@@ -1,0 +1,29 @@
+//! Device-substrate benchmarks: calibration generation and the graph
+//! machinery the policies lean on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quva_device::{CalibrationGenerator, HopMatrix, ReliabilityMatrix, Topology, VariationProfile};
+use std::hint::black_box;
+
+fn bench_calibration(c: &mut Criterion) {
+    let topo = Topology::ibm_q20_tokyo();
+    c.bench_function("calibration/snapshot", |b| {
+        let mut g = CalibrationGenerator::new(VariationProfile::ibm_q20_paper(), 1);
+        b.iter(|| g.snapshot(black_box(&topo)))
+    });
+    c.bench_function("calibration/daily-series-52", |b| {
+        let mut g = CalibrationGenerator::new(VariationProfile::ibm_q20_paper(), 1);
+        b.iter(|| g.daily_series(black_box(&topo), 52))
+    });
+}
+
+fn bench_matrices(c: &mut Criterion) {
+    let topo = Topology::ibm_q20_tokyo();
+    c.bench_function("hop_matrix/q20", |b| b.iter(|| HopMatrix::of(black_box(&topo))));
+    c.bench_function("reliability_matrix/q20", |b| {
+        b.iter(|| ReliabilityMatrix::of(black_box(&topo), |id| 0.5 + (id % 7) as f64 * 0.1))
+    });
+}
+
+criterion_group!(benches, bench_calibration, bench_matrices);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! One benchmark per paper artifact: times the regeneration of each
+//! table/figure (the printed values themselves come from the
+//! corresponding `--bin` targets and `run_all`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quva_bench::{characterization, policy_eval, real_system};
+
+fn bench_characterization_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig05_coherence", |b| b.iter(characterization::fig05_coherence));
+    group.bench_function("fig06_error1q", |b| b.iter(characterization::fig06_error1q));
+    group.bench_function("fig07_error2q", |b| b.iter(characterization::fig07_error2q));
+    group.bench_function("fig08_temporal", |b| b.iter(characterization::fig08_temporal));
+    group.bench_function("fig09_spatial", |b| b.iter(characterization::fig09_spatial));
+    group.finish();
+}
+
+fn bench_policy_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("table1_benchmarks", |b| b.iter(policy_eval::table1_benchmarks));
+    group.bench_function("fig12_vqm", |b| b.iter(policy_eval::fig12_vqm));
+    group.bench_function("table2_error_scaling", |b| b.iter(policy_eval::table2_error_scaling));
+    group.finish();
+}
+
+fn bench_real_system_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("table3_ibmq5", |b| b.iter(|| real_system::table3_ibmq5(1)));
+    group.bench_function("fig16_partitioning", |b| b.iter(real_system::fig16_partitioning));
+    group.finish();
+}
+
+criterion_group!(benches, bench_characterization_figures, bench_policy_figures, bench_real_system_figures);
+criterion_main!(benches);

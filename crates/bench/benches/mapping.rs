@@ -1,0 +1,38 @@
+//! Compile-time benchmarks: allocation + routing cost of each policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quva::MappingPolicy;
+use quva_device::Device;
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let device = Device::ibm_q20();
+    let bv16 = quva_benchmarks::bv(16);
+    let qft12 = quva_benchmarks::qft(12);
+
+    let mut group = c.benchmark_group("compile");
+    for (name, program) in [("bv-16", &bv16), ("qft-12", &qft12)] {
+        for (policy_name, policy) in [
+            ("baseline", MappingPolicy::baseline()),
+            ("vqm", MappingPolicy::vqm()),
+            ("vqm-mah4", MappingPolicy::vqm_hop_limited()),
+            ("vqa-vqm", MappingPolicy::vqa_vqm()),
+        ] {
+            group.bench_function(format!("{policy_name}/{name}"), |b| {
+                b.iter(|| policy.compile(black_box(program), black_box(&device)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_allocation_components(c: &mut Criterion) {
+    let device = Device::ibm_q20();
+    c.bench_function("strongest_subgraph/k=10", |b| {
+        b.iter(|| quva_device::strongest_subgraph(black_box(&device), 10))
+    });
+    c.bench_function("node_strengths/q20", |b| b.iter(|| quva_device::node_strengths(black_box(&device))));
+}
+
+criterion_group!(benches, bench_policies, bench_allocation_components);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Simulator throughput: analytic PST, Monte-Carlo fault injection, and
+//! noisy state-vector trials.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quva::MappingPolicy;
+use quva_device::Device;
+use quva_sim::{analytic_pst, monte_carlo_pst, run_noisy_trials, CoherenceModel};
+use std::hint::black_box;
+
+fn bench_estimators(c: &mut Criterion) {
+    let device = Device::ibm_q20();
+    let compiled = MappingPolicy::baseline().compile(&quva_benchmarks::bv(16), &device).unwrap();
+    let physical = compiled.physical().clone();
+
+    c.bench_function("analytic_pst/bv-16", |b| {
+        b.iter(|| analytic_pst(black_box(&device), black_box(&physical), CoherenceModel::IdleWindow).unwrap())
+    });
+    c.bench_function("monte_carlo/bv-16/10k-trials", |b| {
+        b.iter(|| {
+            monte_carlo_pst(black_box(&device), black_box(&physical), 10_000, 1, CoherenceModel::Disabled)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_statevector(c: &mut Criterion) {
+    let device = Device::ibm_q5();
+    let bench = quva_benchmarks::Benchmark::ghz(3);
+    let compiled = MappingPolicy::vqa_vqm().compile(bench.circuit(), &device).unwrap();
+    let physical = compiled.physical().clone();
+    c.bench_function("noisy_statevector/ghz-3/1k-trials", |b| {
+        b.iter(|| run_noisy_trials(black_box(&device), black_box(&physical), 1000, 3).unwrap())
+    });
+}
+
+fn bench_density_matrix(c: &mut Criterion) {
+    let device = Device::ibm_q5();
+    let bench = quva_benchmarks::Benchmark::bv(4);
+    let compiled = MappingPolicy::vqa_vqm().compile(bench.circuit(), &device).unwrap();
+    let physical = compiled.physical().clone();
+    c.bench_function("exact_noisy_distribution/bv-4", |b| {
+        b.iter(|| quva_sim::exact_noisy_distribution(black_box(&device), black_box(&physical)).unwrap())
+    });
+    c.bench_function("crosstalk_analytic/bv-16-on-q20", |b| {
+        let q20 = Device::ibm_q20();
+        let program = quva_benchmarks::bv(16);
+        let compiled = MappingPolicy::baseline().compile(&program, &q20).unwrap();
+        let phys = compiled.physical().clone();
+        b.iter(|| {
+            quva_sim::analytic_pst_with_crosstalk(
+                black_box(&q20),
+                black_box(&phys),
+                CoherenceModel::Disabled,
+                quva_sim::CrosstalkModel::default(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_estimators, bench_statevector, bench_density_matrix);
+criterion_main!(benches);

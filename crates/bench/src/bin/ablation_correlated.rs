@@ -1,0 +1,6 @@
+//! Ablation report: correlated-error robustness.
+
+fn main() {
+    let table = quva_bench::ablations::ablation_correlated_errors();
+    quva_bench::io::report("ablation_correlated", "benefit under correlated bursts", &table);
+}

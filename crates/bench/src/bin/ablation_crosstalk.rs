@@ -1,0 +1,6 @@
+//! Ablation report: crosstalk robustness.
+
+fn main() {
+    let table = quva_bench::ablations::ablation_crosstalk();
+    quva_bench::io::report("ablation_crosstalk", "benefit under simultaneous-drive crosstalk", &table);
+}

@@ -1,0 +1,6 @@
+//! Ablation report: ablation_mah.
+
+fn main() {
+    let table = quva_bench::ablations::ablation_mah();
+    quva_bench::io::report("ablation_mah", "ablation_mah ablation", &table);
+}

@@ -1,0 +1,6 @@
+//! Ablation report: ablation_meeting_edge.
+
+fn main() {
+    let table = quva_bench::ablations::ablation_meeting_edge();
+    quva_bench::io::report("ablation_meeting_edge", "ablation_meeting_edge ablation", &table);
+}

@@ -1,0 +1,6 @@
+//! Ablation report: ablation_optimizer.
+
+fn main() {
+    let table = quva_bench::ablations::ablation_optimizer();
+    quva_bench::io::report("ablation_optimizer", "ablation_optimizer ablation", &table);
+}

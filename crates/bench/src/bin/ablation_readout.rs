@@ -1,0 +1,6 @@
+//! Ablation report: readout-aware allocation extension.
+
+fn main() {
+    let table = quva_bench::ablations::ablation_readout();
+    quva_bench::io::report("ablation_readout", "readout-aware allocation", &table);
+}

@@ -1,0 +1,6 @@
+//! Ablation report: stepwise lookahead vs plan-based routing.
+
+fn main() {
+    let table = quva_bench::ablations::ablation_router();
+    quva_bench::io::report("ablation_router", "router architecture comparison", &table);
+}

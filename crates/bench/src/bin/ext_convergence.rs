@@ -1,0 +1,31 @@
+//! Extension: Monte-Carlo convergence to the analytic PST (the Fig. 10
+//! estimator's quality as a function of trial count).
+
+use quva::MappingPolicy;
+use quva_device::Device;
+use quva_sim::{monte_carlo_pst, CoherenceModel};
+use quva_stats::{fmt3, Table};
+
+fn main() {
+    let device = Device::ibm_q20();
+    let program = quva_benchmarks::bv(16);
+    let compiled = MappingPolicy::vqa_vqm().compile(&program, &device).expect("bv-16 compiles");
+    let exact = compiled
+        .analytic_pst(&device, CoherenceModel::Disabled)
+        .expect("routed")
+        .pst;
+
+    let mut table = Table::new(["trials", "mc_pst", "std_error", "abs_error"]);
+    for &trials in &[100u64, 1_000, 10_000, 100_000, 1_000_000] {
+        let est = monte_carlo_pst(&device, compiled.physical(), trials, 7, CoherenceModel::Disabled)
+            .expect("routed");
+        table.row([
+            trials.to_string(),
+            format!("{:.5}", est.pst),
+            format!("{:.5}", est.std_error()),
+            format!("{:.5}", (est.pst - exact).abs()),
+        ]);
+    }
+    table.row(["analytic".into(), fmt3(exact), "".into(), "".into()]);
+    quva_bench::io::report("ext_convergence", "Monte-Carlo convergence to analytic PST", &table);
+}

@@ -1,0 +1,26 @@
+//! Extension: mirror-circuit machine probe across policies — the
+//! scalable reliability benchmark, evaluated exactly like §7.
+
+use quva::MappingPolicy;
+use quva_benchmarks::Benchmark;
+use quva_device::Device;
+use quva_sim::run_noisy_trials;
+use quva_stats::{fmt3, fmt_ratio, Table};
+
+fn main() {
+    let device = Device::ibm_q5();
+    let mut table = Table::new(["benchmark", "pst_baseline", "pst_vqa_vqm", "benefit"]);
+    for (n, depth) in [(3, 2), (4, 2), (5, 3)] {
+        let bench = Benchmark::mirror(n, depth, 9);
+        let pst = |policy: MappingPolicy| -> f64 {
+            let compiled = policy.compile(bench.circuit(), &device).expect("mirror compiles on q5");
+            run_noisy_trials(&device, compiled.physical(), 4096, 13)
+                .expect("routed")
+                .success_rate(|o| bench.is_success(o))
+        };
+        let base = pst(MappingPolicy::baseline());
+        let aware = pst(MappingPolicy::vqa_vqm());
+        table.row([bench.name().to_string(), fmt3(base), fmt3(aware), fmt_ratio(aware / base)]);
+    }
+    quva_bench::io::report("ext_mirror", "mirror-circuit probe on the noisy Q5", &table);
+}

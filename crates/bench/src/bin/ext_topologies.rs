@@ -1,0 +1,6 @@
+//! Extension experiment: the benefit across device families.
+
+fn main() {
+    let table = quva_bench::real_system::ext_topologies();
+    quva_bench::io::report("ext_topologies", "VQA+VQM benefit across topologies", &table);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 5: T1/T2 coherence-time distributions.
+
+fn main() {
+    let (table, h1, h2) = quva_bench::characterization::fig05_coherence();
+    println!("T1 distribution (µs):\n{}", h1.render(40));
+    println!("T2 distribution (µs):\n{}", h2.render(40));
+    quva_bench::io::report("fig05_coherence", "T1/T2 coherence distributions", &table);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 6: single-qubit error-rate distribution.
+
+fn main() {
+    let (table, h) = quva_bench::characterization::fig06_error1q();
+    println!("1Q error distribution (%):\n{}", h.render(40));
+    quva_bench::io::report("fig06_error1q", "single-qubit error distribution", &table);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 7: two-qubit error-rate distribution.
+
+fn main() {
+    let (table, h) = quva_bench::characterization::fig07_error2q();
+    println!("2Q error distribution (%):\n{}", h.render(40));
+    quva_bench::io::report("fig07_error2q", "two-qubit error distribution", &table);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 8: temporal drift of three coupling links.
+
+fn main() {
+    let table = quva_bench::characterization::fig08_temporal();
+    quva_bench::io::report("fig08_temporal", "per-day error of strong/median/weak links", &table);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 9: the IBM-Q20 spatial error map.
+
+fn main() {
+    let table = quva_bench::characterization::fig09_spatial();
+    quva_bench::io::report("fig09_spatial", "IBM-Q20 per-link failure map", &table);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 12: VQM / hop-limited VQM relative PST.
+
+fn main() {
+    let table = quva_bench::policy_eval::fig12_vqm();
+    quva_bench::io::report("fig12_vqm", "VQM relative PST vs baseline", &table);
+}

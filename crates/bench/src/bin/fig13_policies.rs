@@ -1,0 +1,6 @@
+//! Regenerates Figure 13: native / baseline / VQM / VQA+VQM.
+
+fn main() {
+    let table = quva_bench::policy_eval::fig13_policies();
+    quva_bench::io::report("fig13_policies", "policy comparison (normalized PST)", &table);
+}

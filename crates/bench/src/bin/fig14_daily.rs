@@ -1,0 +1,6 @@
+//! Regenerates Figure 14: per-day VQA+VQM benefit for bv-16.
+
+fn main() {
+    let table = quva_bench::policy_eval::fig14_daily();
+    quva_bench::io::report("fig14_daily", "bv-16 benefit across 52 daily calibrations", &table);
+}

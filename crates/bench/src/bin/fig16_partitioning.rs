@@ -1,0 +1,6 @@
+//! Regenerates Figure 16: two weak copies vs one strong copy (STPT).
+
+fn main() {
+    let table = quva_bench::real_system::fig16_partitioning();
+    quva_bench::io::report("fig16_partitioning", "STPT of partitioning choices", &table);
+}

@@ -1,0 +1,6 @@
+//! Ablation report: section4_coherence.
+
+fn main() {
+    let table = quva_bench::ablations::section4_coherence();
+    quva_bench::io::report("section4_coherence", "section4_coherence ablation", &table);
+}

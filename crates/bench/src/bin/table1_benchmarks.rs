@@ -1,0 +1,6 @@
+//! Regenerates Table 1: benchmark characteristics.
+
+fn main() {
+    let table = quva_bench::policy_eval::table1_benchmarks();
+    quva_bench::io::report("table1_benchmarks", "benchmark characteristics", &table);
+}

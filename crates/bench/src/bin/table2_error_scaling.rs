@@ -1,0 +1,6 @@
+//! Regenerates Table 2: sensitivity to error-rate scaling.
+
+fn main() {
+    let table = quva_bench::policy_eval::table2_error_scaling();
+    quva_bench::io::report("table2_error_scaling", "VQA+VQM benefit under error scaling", &table);
+}

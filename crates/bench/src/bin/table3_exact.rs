@@ -1,0 +1,6 @@
+//! Table 3 evaluated exactly with the density-matrix simulator.
+
+fn main() {
+    let table = quva_bench::real_system::table3_ibmq5_exact();
+    quva_bench::io::report("table3_exact", "IBM-Q5 exact (density-matrix) PST", &table);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 3: the noisy IBM-Q5 evaluation.
+
+fn main() {
+    let table = quva_bench::real_system::table3_ibmq5(2019);
+    quva_bench::io::report("table3_ibmq5", "IBM-Q5 noisy-simulator PST", &table);
+}

@@ -1,0 +1,188 @@
+//! Experiments reproducing the §3 characterization figures (Figs. 5–9):
+//! the distributions and spatial/temporal structure of device variation.
+
+use quva_device::{CalibrationGenerator, Device, Topology, VariationProfile};
+use quva_stats::{fmt3, mean, std_dev, Histogram, Table};
+
+/// Number of characterization snapshots aggregated per distribution —
+/// the paper gathered "more than 100" reports over 52 days.
+pub const SNAPSHOTS: usize = 100;
+
+/// Fixed seed for the characterization sweep (every figure regenerates
+/// identically).
+pub const SEED: u64 = 52;
+
+/// Collects `SNAPSHOTS` calibrations of IBM-Q20.
+fn snapshots() -> (Topology, Vec<quva_device::Calibration>) {
+    let topo = Topology::ibm_q20_tokyo();
+    let mut g = CalibrationGenerator::new(VariationProfile::ibm_q20_paper(), SEED);
+    let cals = (0..SNAPSHOTS).map(|_| g.snapshot(&topo)).collect();
+    (topo, cals)
+}
+
+/// Figure 5: the T1/T2 coherence-time distributions (20 qubits × 100
+/// samples = 2000 points each). Returns the binned frequencies plus the
+/// summary line the paper quotes (T1 80.32 ± 35.23 µs, T2 42.13 ±
+/// 13.34 µs).
+pub fn fig05_coherence() -> (Table, Histogram, Histogram) {
+    let (_, cals) = snapshots();
+    let t1: Vec<f64> = cals.iter().flat_map(|c| c.t1_table().to_vec()).collect();
+    let t2: Vec<f64> = cals.iter().flat_map(|c| c.t2_table().to_vec()).collect();
+    let mut h1 = Histogram::new(0.0, 250.0, 25);
+    h1.extend(t1.iter().copied());
+    let mut h2 = Histogram::new(0.0, 125.0, 25);
+    h2.extend(t2.iter().copied());
+
+    let mut table = Table::new(["metric", "paper_mean", "paper_std", "measured_mean", "measured_std", "samples"]);
+    table.row(["T1_us", "80.32", "35.23", &fmt3(mean(&t1)), &fmt3(std_dev(&t1)), &t1.len().to_string()]);
+    table.row(["T2_us", "42.13", "13.34", &fmt3(mean(&t2)), &fmt3(std_dev(&t2)), &t2.len().to_string()]);
+    (table, h1, h2)
+}
+
+/// Figure 6: single-qubit operation error-rate distribution (percent).
+/// The paper reports "a large fraction below 1 %".
+pub fn fig06_error1q() -> (Table, Histogram) {
+    let (_, cals) = snapshots();
+    let e1q_pct: Vec<f64> = cals.iter().flat_map(|c| c.one_qubit_errors().iter().map(|e| e * 100.0).collect::<Vec<_>>()).collect();
+    let mut h = Histogram::new(0.0, 4.0, 40);
+    h.extend(e1q_pct.iter().copied());
+    let below_1pct = e1q_pct.iter().filter(|&&e| e < 1.0).count() as f64 / e1q_pct.len() as f64;
+
+    let mut table = Table::new(["metric", "value"]);
+    table.row(["mean_error_pct", &fmt3(mean(&e1q_pct))]);
+    table.row(["std_error_pct", &fmt3(std_dev(&e1q_pct))]);
+    table.row(["fraction_below_1pct", &fmt3(below_1pct)]);
+    table.row(["samples", &e1q_pct.len().to_string()]);
+    (table, h)
+}
+
+/// Figure 7: two-qubit operation error-rate distribution over 38
+/// undirected links × 100 snapshots. Paper: mean 4.3 %, σ 3.02 %.
+pub fn fig07_error2q() -> (Table, Histogram) {
+    let (_, cals) = snapshots();
+    let e2q_pct: Vec<f64> = cals.iter().flat_map(|c| c.two_qubit_errors().iter().map(|e| e * 100.0).collect::<Vec<_>>()).collect();
+    let mut h = Histogram::new(0.0, 20.0, 40);
+    h.extend(e2q_pct.iter().copied());
+
+    let mut table = Table::new(["metric", "paper", "measured"]);
+    table.row(["mean_error_pct", "4.30", &fmt3(mean(&e2q_pct))]);
+    table.row(["std_error_pct", "3.02", &fmt3(std_dev(&e2q_pct))]);
+    table.row(["samples", "7600", &e2q_pct.len().to_string()]);
+    (table, h)
+}
+
+/// Figure 8: temporal drift of three links (strongest, median, weakest
+/// by persistent behaviour) over 25 daily calibrations. The key shape:
+/// the strong link stays mostly strong.
+pub fn fig08_temporal() -> Table {
+    let topo = Topology::ibm_q20_tokyo();
+    let mut g = CalibrationGenerator::new(VariationProfile::ibm_q20_paper(), SEED);
+    let days = g.daily_series(&topo, 25);
+
+    // rank links by mean error over the window
+    let num_links = topo.num_links();
+    let mean_of = |id: usize| -> f64 { mean(&days.iter().map(|d| d.two_qubit_error(id)).collect::<Vec<_>>()) };
+    let mut ids: Vec<usize> = (0..num_links).collect();
+    ids.sort_by(|&a, &b| mean_of(a).total_cmp(&mean_of(b)));
+    let (strong, median_link, weak) = (ids[0], ids[num_links / 2], ids[num_links - 1]);
+
+    let label = |id: usize| {
+        let l = topo.links()[id];
+        format!("CX{}_{}", l.low().index(), l.high().index())
+    };
+    let mut table = Table::new(["day", &label(strong), &label(median_link), &label(weak)]);
+    for (d, cal) in days.iter().enumerate() {
+        table.row([
+            d.to_string(),
+            fmt3(cal.two_qubit_error(strong) * 100.0),
+            fmt3(cal.two_qubit_error(median_link) * 100.0),
+            fmt3(cal.two_qubit_error(weak) * 100.0),
+        ]);
+    }
+    table
+}
+
+/// Figure 9: the spatial error map of IBM-Q20 — per-link average
+/// failure rates with the published extremes (best 0.02, worst 0.15 on
+/// Q14–Q18, a 7.5x spread).
+pub fn fig09_spatial() -> Table {
+    let device = Device::ibm_q20();
+    let topo = device.topology();
+    let cal = device.calibration();
+    let mut table = Table::new(["link", "failure_rate"]);
+    for (id, link) in topo.links().iter().enumerate() {
+        table.row([link.to_string(), fmt3(cal.two_qubit_error(id))]);
+    }
+    let (best, worst) = cal.two_qubit_error_range();
+    table.row(["best".into(), fmt3(best)]);
+    table.row(["worst".into(), fmt3(worst)]);
+    table.row(["spread".into(), format!("{:.1}x", cal.variation_ratio())]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig05_statistics_near_paper() {
+        let (table, h1, h2) = fig05_coherence();
+        assert_eq!(table.len(), 2);
+        assert_eq!(h1.total(), 2000);
+        assert_eq!(h2.total(), 2000);
+        let csv = table.to_csv();
+        // measured T1 mean within 10 µs of 80.32
+        let t1_row: Vec<&str> = csv.lines().nth(1).unwrap().split(',').collect();
+        let measured: f64 = t1_row[3].parse().unwrap();
+        assert!((measured - 80.32).abs() < 10.0, "T1 mean {measured}");
+    }
+
+    #[test]
+    fn fig06_mostly_below_one_percent() {
+        let (table, _) = fig06_error1q();
+        let csv = table.to_csv();
+        let frac: f64 = csv
+            .lines()
+            .find(|l| l.starts_with("fraction_below_1pct"))
+            .unwrap()
+            .split(',')
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(frac > 0.5, "only {frac} of 1q errors below 1%");
+    }
+
+    #[test]
+    fn fig07_moments_near_paper() {
+        let (table, h) = fig07_error2q();
+        assert_eq!(h.total() as usize, SNAPSHOTS * 38);
+        let csv = table.to_csv();
+        let mean_row: Vec<&str> = csv.lines().nth(1).unwrap().split(',').collect();
+        let measured: f64 = mean_row[2].parse().unwrap();
+        assert!((measured - 4.3).abs() < 1.5, "2q mean {measured}%");
+    }
+
+    #[test]
+    fn fig08_strong_link_stays_strong() {
+        let table = fig08_temporal();
+        assert_eq!(table.len(), 25);
+        let csv = table.to_csv();
+        let mut strong_wins = 0;
+        for line in csv.lines().skip(1) {
+            let cells: Vec<f64> = line.split(',').skip(1).map(|c| c.parse().unwrap()).collect();
+            if cells[0] < cells[2] {
+                strong_wins += 1;
+            }
+        }
+        assert!(strong_wins >= 22, "strong link beat weak on only {strong_wins}/25 days");
+    }
+
+    #[test]
+    fn fig09_has_published_extremes() {
+        let table = fig09_spatial();
+        let csv = table.to_csv();
+        assert!(csv.contains("Q14–Q18,0.150"));
+        assert!(csv.contains("spread,7.5x"));
+    }
+}

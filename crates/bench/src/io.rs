@@ -1,0 +1,28 @@
+//! Result-file plumbing for the experiment harness.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use quva_stats::Table;
+
+/// The `results/` directory at the workspace root, created on demand.
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    fs::create_dir_all(&dir).expect("results directory must be creatable");
+    dir
+}
+
+/// Writes a table as `results/<name>.csv` and returns the path.
+pub fn write_csv(name: &str, table: &Table) -> PathBuf {
+    let path = results_dir().join(format!("{name}.csv"));
+    fs::write(&path, table.to_csv()).expect("results csv must be writable");
+    path
+}
+
+/// Prints an experiment banner, the table, and persists the CSV.
+pub fn report(id: &str, title: &str, table: &Table) {
+    println!("== {id}: {title} ==");
+    print!("{table}");
+    let path = write_csv(id, table);
+    println!("[written {}]\n", path.display());
+}

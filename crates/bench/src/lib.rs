@@ -1,0 +1,16 @@
+//! # quva-bench — the experiment harness
+//!
+//! One function per paper table/figure, each returning the
+//! [`quva_stats::Table`] the paper row/series corresponds to, plus
+//! report binaries (`cargo run -p quva-bench --bin <id>`) that print it
+//! and persist a CSV under `results/`. `--bin run_all` regenerates the
+//! whole evaluation.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablations;
+pub mod characterization;
+pub mod io;
+pub mod policy_eval;
+pub mod real_system;

@@ -1,0 +1,228 @@
+//! Experiment reproducing §7's real-system evaluation (Table 3) on the
+//! noisy state-vector stand-in for IBM-Q5, plus §8's partitioning study
+//! (Fig. 16).
+
+use quva::{partition_analysis, MappingPolicy};
+use quva_benchmarks::{ibm_q5_suite, partition_suite};
+use quva_device::Device;
+use quva_sim::{run_noisy_trials, CoherenceModel};
+use quva_stats::{fmt3, fmt_ratio, geomean, Table};
+
+/// Trials per §7 experiment (the paper's IBM-Q5 runs used 4096).
+pub const Q5_TRIALS: u64 = 4096;
+
+/// Multiplier applied to the Q5 calibration for the noisy runs: real
+/// NISQ hardware under-performs its isolated randomized-benchmarking
+/// numbers (crosstalk, drift between calibrations), which is why the
+/// paper's measured Tenerife PSTs (0.13–0.57) sit far below what the
+/// published error rates alone predict. The surcharge brings the
+/// simulated machine's absolute PST scale in line with §7's
+/// measurements; the compiler still only sees the *unscaled*
+/// calibration, exactly as on the real machine.
+pub const Q5_EFFECTIVE_NOISE: f64 = 3.0;
+
+/// Table 3: PST of the baseline and VQA+VQM for the §7 workloads on the
+/// noisy IBM-Q5 simulator, with the geometric-mean benefit.
+///
+/// PST here is *output correctness* over noisy state-vector trials —
+/// the same criterion as running on the physical machine — not
+/// fault-freeness.
+pub fn table3_ibmq5(seed: u64) -> Table {
+    let device = Device::ibm_q5();
+    let hardware = device
+        .with_calibration(device.calibration().with_errors_scaled(Q5_EFFECTIVE_NOISE))
+        .expect("scaled calibration stays valid");
+    let mut table = Table::new(["benchmark", "pst_baseline", "pst_vqa_vqm", "relative_benefit"]);
+    let mut benefits = Vec::new();
+    for b in ibm_q5_suite() {
+        let pst = |policy: MappingPolicy| -> f64 {
+            // compile against the published calibration, execute on the
+            // harsher effective-noise machine — as §7 did on hardware
+            let compiled = policy
+                .compile(b.circuit(), &device)
+                .unwrap_or_else(|e| panic!("{} failed on {}: {e}", policy.name(), b.name()));
+            run_noisy_trials(&hardware, compiled.physical(), Q5_TRIALS, seed)
+                .expect("compiled circuits are routed")
+                .success_rate(|o| b.is_success(o))
+        };
+        let base = pst(MappingPolicy::baseline());
+        let aware = pst(MappingPolicy::vqa_vqm());
+        benefits.push(aware / base);
+        table.row([b.name().to_string(), fmt3(base), fmt3(aware), fmt_ratio(aware / base)]);
+    }
+    table.row(["GeoMean".into(), "".into(), "".into(), fmt_ratio(geomean(&benefits))]);
+    table
+}
+
+/// Table 3, exact variant: the same §7 experiment evaluated with the
+/// density-matrix simulator — the *expectation* of the 4096-trial
+/// sampling run, free of shot noise. The two tables agreeing is a
+/// cross-validation of both engines.
+pub fn table3_ibmq5_exact() -> Table {
+    let device = Device::ibm_q5();
+    let hardware = device
+        .with_calibration(device.calibration().with_errors_scaled(Q5_EFFECTIVE_NOISE))
+        .expect("scaled calibration stays valid");
+    let mut table = Table::new(["benchmark", "pst_baseline", "pst_vqa_vqm", "relative_benefit"]);
+    let mut benefits = Vec::new();
+    for b in ibm_q5_suite() {
+        let pst = |policy: MappingPolicy| -> f64 {
+            let compiled = policy
+                .compile(b.circuit(), &device)
+                .unwrap_or_else(|e| panic!("{} failed on {}: {e}", policy.name(), b.name()));
+            let dist = quva_sim::exact_noisy_distribution(&hardware, compiled.physical())
+                .expect("compiled circuits are routed");
+            dist.iter()
+                .enumerate()
+                .filter(|(o, _)| b.is_success(*o as u64))
+                .map(|(_, &p)| p)
+                .sum()
+        };
+        let base = pst(MappingPolicy::baseline());
+        let aware = pst(MappingPolicy::vqa_vqm());
+        benefits.push(aware / base);
+        table.row([b.name().to_string(), fmt3(base), fmt3(aware), fmt_ratio(aware / base)]);
+    }
+    table.row(["GeoMean".into(), "".into(), "".into(), fmt_ratio(geomean(&benefits))]);
+    table
+}
+
+/// Cross-topology generalization (beyond the paper): the VQA+VQM
+/// benefit on other device families — the Melbourne ladder, a plain
+/// 4×5 mesh, and a sparse heavy-hex — each with a seeded synthetic
+/// calibration drawn from the paper's IBM-Q20 variation profile.
+pub fn ext_topologies() -> Table {
+    use quva_device::{CalibrationGenerator, Topology, VariationProfile};
+    let topologies = vec![
+        Topology::ibm_q20_tokyo(),
+        Topology::ibm_q16_melbourne(),
+        Topology::grid(4, 5),
+        Topology::heavy_hex(4, 5),
+    ];
+    let mut table = Table::new(["topology", "qubits", "links", "baseline_pst", "vqa_vqm_pst", "benefit"]);
+    for topo in topologies {
+        let mut gen = CalibrationGenerator::new(VariationProfile::ibm_q20_paper(), 77);
+        let cal = gen.snapshot(&topo);
+        let device = Device::from_parts(topo, cal).expect("generated calibration fits");
+        let bench = quva_benchmarks::Benchmark::bv(10);
+        let pst = |policy: MappingPolicy| -> f64 {
+            policy
+                .compile(bench.circuit(), &device)
+                .expect("bv-10 fits every candidate topology")
+                .analytic_pst(&device, CoherenceModel::Disabled)
+                .expect("routed")
+                .pst
+        };
+        let base = pst(MappingPolicy::baseline());
+        let aware = pst(MappingPolicy::vqa_vqm());
+        table.row([
+            device.topology().name().to_string(),
+            device.num_qubits().to_string(),
+            device.topology().num_links().to_string(),
+            fmt3(base),
+            fmt3(aware),
+            fmt_ratio(aware / base),
+        ]);
+    }
+    table
+}
+
+/// Figure 16: successful trials per unit time for two concurrent copies
+/// versus one strong copy, normalized to the two-copy configuration
+/// (10-qubit workloads on IBM-Q20).
+pub fn fig16_partitioning() -> Table {
+    let device = Device::ibm_q20();
+    let mut table =
+        Table::new(["benchmark", "stpt_two_copies", "stpt_one_strong", "norm_two", "norm_one", "winner"]);
+    for b in partition_suite() {
+        let report =
+            partition_analysis(b.circuit(), &device, MappingPolicy::vqa_vqm(), CoherenceModel::IdleWindow)
+                .unwrap_or_else(|e| panic!("partitioning failed on {}: {e}", b.name()));
+        let two = report.stpt_two();
+        let one = report.stpt_one();
+        let denom = if two > 0.0 { two } else { 1.0 };
+        table.row([
+            b.name().to_string(),
+            fmt3(two),
+            fmt3(one),
+            fmt3(two / denom),
+            fmt3(one / denom),
+            format!("{:?}", report.recommend()),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_shows_aggregate_benefit() {
+        let t = table3_ibmq5(1);
+        assert_eq!(t.len(), 5); // 4 workloads + geomean
+        let csv = t.to_csv();
+        let geomean_benefit: f64 = csv
+            .lines()
+            .find(|l| l.starts_with("GeoMean"))
+            .unwrap()
+            .split(',')
+            .next_back()
+            .unwrap()
+            .trim_end_matches('x')
+            .parse()
+            .unwrap();
+        assert!(
+            geomean_benefit >= 1.0,
+            "variation-aware policy lost on the noisy Q5: {geomean_benefit}"
+        );
+    }
+
+    #[test]
+    fn table3_psts_are_plausible() {
+        let t = table3_ibmq5(2);
+        for line in t.to_csv().lines().skip(1).take(4) {
+            let cells: Vec<&str> = line.split(',').collect();
+            let base: f64 = cells[1].parse().unwrap();
+            let aware: f64 = cells[2].parse().unwrap();
+            assert!((0.01..=1.0).contains(&base), "{}: baseline PST {base}", cells[0]);
+            assert!((0.01..=1.0).contains(&aware), "{}: aware PST {aware}", cells[0]);
+        }
+    }
+
+    #[test]
+    fn exact_table3_agrees_with_sampled() {
+        let sampled = table3_ibmq5(5);
+        let exact = table3_ibmq5_exact();
+        // per-benchmark PSTs within sampling tolerance
+        for (s_line, e_line) in sampled.to_csv().lines().skip(1).zip(exact.to_csv().lines().skip(1)).take(4) {
+            let s: Vec<&str> = s_line.split(',').collect();
+            let e: Vec<&str> = e_line.split(',').collect();
+            assert_eq!(s[0], e[0]);
+            let ps: f64 = s[1].parse().unwrap();
+            let pe: f64 = e[1].parse().unwrap();
+            assert!((ps - pe).abs() < 0.04, "{}: sampled {ps} vs exact {pe}", s[0]);
+        }
+    }
+
+    #[test]
+    fn topologies_table_shows_benefit_everywhere() {
+        let t = ext_topologies();
+        assert_eq!(t.len(), 4);
+        for line in t.to_csv().lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            let benefit: f64 = cells[5].trim_end_matches('x').parse().unwrap();
+            assert!(benefit >= 0.95, "{}: benefit {benefit}", cells[0]);
+        }
+    }
+
+    #[test]
+    fn fig16_produces_all_three_workloads() {
+        let t = fig16_partitioning();
+        assert_eq!(t.len(), 3);
+        let csv = t.to_csv();
+        for name in ["alu_10", "bv_10", "qft_10"] {
+            assert!(csv.contains(name), "{name} missing from fig16");
+        }
+    }
+}

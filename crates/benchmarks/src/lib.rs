@@ -1,0 +1,31 @@
+//! # quva-benchmarks — the paper's NISQ workloads
+//!
+//! Generators for every workload the evaluation uses:
+//!
+//! * Table 1 set: [`alu`] (Cuccaro adder), [`bv`] (Bernstein–Vazirani),
+//!   [`qft`], and the random kernels [`rnd`] (`rnd-SD` / `rnd-LD`);
+//! * §7 IBM-Q5 set: `bv-3`, `bv-4`, [`triswap`], [`ghz`];
+//! * §8 partitioning set: 10-qubit variants.
+//!
+//! [`Benchmark`] pairs a circuit with its success predicate;
+//! [`table1_suite`], [`ibm_q5_suite`] and [`partition_suite`] reproduce
+//! the paper's workload tables.
+//!
+//! # Examples
+//!
+//! ```
+//! use quva_benchmarks::Benchmark;
+//!
+//! let bv = Benchmark::bv(16);
+//! assert_eq!(bv.circuit().cnot_count(), 15);
+//! assert!(bv.is_success((1 << 15) - 1)); // the all-ones secret
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod generators;
+mod suite;
+
+pub use generators::{alu, alu_adder, bv, bv_with_secret, ghz, grover2, mirror, qft, rnd, triswap, w_state, RandDistance};
+pub use suite::{ibm_q5_suite, partition_suite, table1_suite, Benchmark};

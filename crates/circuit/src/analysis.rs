@@ -1,0 +1,218 @@
+//! Static circuit analyses consumed by the allocation policies.
+//!
+//! VQA (Algorithm 2 of the paper) needs two program properties: the
+//! pairwise CNOT *interaction* counts (who talks to whom) and the
+//! per-qubit *activity* over the first `t` layers (who talks most, and
+//! earliest).
+
+use crate::circuit::{Circuit, QubitId};
+use crate::gate::Gate;
+use crate::layers::Layers;
+
+/// Symmetric matrix of CNOT interaction counts between qubit pairs.
+///
+/// # Examples
+///
+/// ```
+/// use quva_circuit::{Circuit, Qubit, InteractionGraph};
+///
+/// let mut c = Circuit::new(3);
+/// c.cnot(Qubit(0), Qubit(1));
+/// c.cnot(Qubit(1), Qubit(0));
+/// c.cnot(Qubit(1), Qubit(2));
+///
+/// let ig = InteractionGraph::of(&c);
+/// assert_eq!(ig.count(Qubit(0), Qubit(1)), 2);
+/// assert_eq!(ig.count(Qubit(0), Qubit(2)), 0);
+/// assert_eq!(ig.degree(Qubit(1)), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InteractionGraph<Q = crate::Qubit> {
+    n: usize,
+    counts: Vec<u32>,
+    _marker: std::marker::PhantomData<Q>,
+}
+
+impl<Q: QubitId> InteractionGraph<Q> {
+    /// Builds the interaction graph of a whole circuit.
+    pub fn of(circuit: &Circuit<Q>) -> Self {
+        Self::of_gates(circuit.num_qubits(), circuit.iter())
+    }
+
+    /// Builds the interaction graph from an explicit gate iterator.
+    pub fn of_gates<'a>(num_qubits: usize, gates: impl Iterator<Item = &'a Gate<Q>>) -> Self {
+        let mut ig = InteractionGraph {
+            n: num_qubits,
+            counts: vec![0; num_qubits * num_qubits],
+            _marker: std::marker::PhantomData,
+        };
+        for g in gates {
+            if let Gate::Cnot { control, target } = g {
+                ig.record(*control, *target);
+            }
+        }
+        ig
+    }
+
+    fn record(&mut self, a: Q, b: Q) {
+        let (i, j) = (a.index(), b.index());
+        self.counts[i * self.n + j] += 1;
+        self.counts[j * self.n + i] += 1;
+    }
+
+    /// The number of qubits the graph covers.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// CNOT count between a pair of qubits (symmetric).
+    pub fn count(&self, a: Q, b: Q) -> u32 {
+        self.counts[a.index() * self.n + b.index()]
+    }
+
+    /// Total CNOT endpoints on `q` (its weighted degree in the
+    /// interaction graph).
+    pub fn degree(&self, q: Q) -> u32 {
+        (0..self.n).map(|j| self.counts[q.index() * self.n + j]).sum()
+    }
+
+    /// All interacting pairs `(a, b, count)` with `a < b` and `count > 0`,
+    /// sorted by descending count (ties by index).
+    pub fn pairs(&self) -> Vec<(Q, Q, u32)> {
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let c = self.counts[i * self.n + j];
+                if c > 0 {
+                    out.push((Q::from_index(i), Q::from_index(j), c));
+                }
+            }
+        }
+        out.sort_by(|x, y| y.2.cmp(&x.2).then(x.0.cmp(&y.0)).then(x.1.cmp(&y.1)));
+        out
+    }
+}
+
+/// Per-qubit CNOT activity over the first `t` layers of a circuit
+/// (paper §6.2 step 2).
+///
+/// Returns one count per qubit: the number of CNOT endpoints the qubit
+/// contributes within the window. `t = usize::MAX` counts the whole
+/// circuit.
+///
+/// # Examples
+///
+/// ```
+/// use quva_circuit::{Circuit, Qubit, qubit_activity};
+///
+/// let mut c = Circuit::new(3);
+/// c.cnot(Qubit(0), Qubit(1));
+/// c.cnot(Qubit(0), Qubit(2));
+///
+/// let act = qubit_activity(&c, usize::MAX);
+/// assert_eq!(act, vec![2, 1, 1]);
+/// ```
+pub fn qubit_activity<Q: QubitId>(circuit: &Circuit<Q>, t: usize) -> Vec<u32> {
+    let layers = Layers::of(circuit);
+    let mut activity = vec![0u32; circuit.num_qubits()];
+    for (li, layer) in layers.iter().enumerate() {
+        if li >= t {
+            break;
+        }
+        for &g in layer {
+            if let Gate::Cnot { control, target } = &circuit.gates()[g] {
+                activity[control.index()] += 1;
+                activity[target.index()] += 1;
+            }
+        }
+    }
+    activity
+}
+
+/// Qubits ordered by descending activity (ties broken by index), the
+/// priority order VQA uses when assigning program qubits.
+pub fn qubits_by_activity<Q: QubitId>(circuit: &Circuit<Q>, t: usize) -> Vec<Q> {
+    let activity = qubit_activity(circuit, t);
+    let mut order: Vec<usize> = (0..circuit.num_qubits()).collect();
+    order.sort_by(|&a, &b| activity[b].cmp(&activity[a]).then(a.cmp(&b)));
+    order.into_iter().map(Q::from_index).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qubit::Qubit;
+
+    fn star_circuit() -> Circuit {
+        // q0 entangles with everyone — Bernstein-Vazirani-like pattern
+        let mut c = Circuit::new(4);
+        c.cnot(Qubit(1), Qubit(0));
+        c.cnot(Qubit(2), Qubit(0));
+        c.cnot(Qubit(3), Qubit(0));
+        c
+    }
+
+    #[test]
+    fn interaction_counts_are_symmetric() {
+        let ig = InteractionGraph::of(&star_circuit());
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                assert_eq!(ig.count(Qubit(i), Qubit(j)), ig.count(Qubit(j), Qubit(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn star_degrees() {
+        let ig = InteractionGraph::of(&star_circuit());
+        assert_eq!(ig.degree(Qubit(0)), 3);
+        assert_eq!(ig.degree(Qubit(1)), 1);
+    }
+
+    #[test]
+    fn pairs_sorted_by_count() {
+        let mut c = Circuit::new(3);
+        c.cnot(Qubit(1), Qubit(2));
+        c.cnot(Qubit(1), Qubit(2));
+        c.cnot(Qubit(0), Qubit(1));
+        let ig = InteractionGraph::of(&c);
+        let pairs = ig.pairs();
+        assert_eq!(pairs[0], (Qubit(1), Qubit(2), 2));
+        assert_eq!(pairs[1], (Qubit(0), Qubit(1), 1));
+    }
+
+    #[test]
+    fn swaps_do_not_count_as_interaction() {
+        let mut c = Circuit::new(2);
+        c.swap(Qubit(0), Qubit(1));
+        let ig = InteractionGraph::of(&c);
+        assert_eq!(ig.count(Qubit(0), Qubit(1)), 0);
+    }
+
+    #[test]
+    fn activity_full_window() {
+        let act = qubit_activity(&star_circuit(), usize::MAX);
+        assert_eq!(act, vec![3, 1, 1, 1]);
+    }
+
+    #[test]
+    fn activity_respects_layer_window() {
+        // star circuit serializes on q0: one CNOT per layer
+        let act = qubit_activity(&star_circuit(), 2);
+        assert_eq!(act, vec![2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn activity_order_puts_hub_first() {
+        let order = qubits_by_activity(&star_circuit(), usize::MAX);
+        assert_eq!(order[0], Qubit(0));
+        // ties broken by index
+        assert_eq!(&order[1..], &[Qubit(1), Qubit(2), Qubit(3)]);
+    }
+
+    #[test]
+    fn zero_window_means_zero_activity() {
+        let act = qubit_activity(&star_circuit(), 0);
+        assert_eq!(act, vec![0; 4]);
+    }
+}

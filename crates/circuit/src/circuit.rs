@@ -1,0 +1,544 @@
+//! The [`Circuit`] container and its builder-style construction API.
+
+use std::fmt;
+use std::hash::Hash;
+
+use serde::{Deserialize, Serialize};
+
+use crate::gate::{Gate, OneQubitKind};
+use crate::qubit::{Cbit, PhysQubit, Qubit};
+
+/// Types usable as a qubit index inside a [`Circuit`].
+///
+/// Implemented for [`Qubit`] (program circuits) and [`PhysQubit`] (routed
+/// circuits). External implementations are possible but rarely needed.
+pub trait QubitId:
+    Copy + Eq + Hash + Ord + fmt::Debug + fmt::Display + Send + Sync + 'static
+{
+    /// The raw index of the qubit.
+    fn index(self) -> usize;
+    /// Builds the qubit with the given raw index.
+    fn from_index(index: usize) -> Self;
+}
+
+impl QubitId for Qubit {
+    fn index(self) -> usize {
+        Qubit::index(self)
+    }
+    fn from_index(index: usize) -> Self {
+        Qubit(index as u32)
+    }
+}
+
+impl QubitId for PhysQubit {
+    fn index(self) -> usize {
+        PhysQubit::index(self)
+    }
+    fn from_index(index: usize) -> Self {
+        PhysQubit(index as u32)
+    }
+}
+
+/// A quantum program: an ordered list of gates over `num_qubits` qubits
+/// and `num_cbits` classical bits.
+///
+/// The type parameter picks program ([`Qubit`], the default) or physical
+/// ([`PhysQubit`]) addressing.
+///
+/// # Examples
+///
+/// Building a 2-qubit Bell-pair circuit:
+///
+/// ```
+/// use quva_circuit::{Circuit, Qubit, Cbit};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(Qubit(0));
+/// c.cnot(Qubit(0), Qubit(1));
+/// c.measure(Qubit(0), Cbit(0));
+/// c.measure(Qubit(1), Cbit(1));
+///
+/// assert_eq!(c.len(), 4);
+/// assert_eq!(c.two_qubit_gate_count(), 1);
+/// assert_eq!(c.depth(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Circuit<Q = Qubit> {
+    num_qubits: usize,
+    num_cbits: usize,
+    gates: Vec<Gate<Q>>,
+}
+
+impl<Q: QubitId> Circuit<Q> {
+    /// Creates an empty circuit over `num_qubits` qubits and an equal
+    /// number of classical bits.
+    pub fn new(num_qubits: usize) -> Self {
+        Self::with_cbits(num_qubits, num_qubits)
+    }
+
+    /// Creates an empty circuit with an explicit classical register size.
+    pub fn with_cbits(num_qubits: usize, num_cbits: usize) -> Self {
+        Circuit { num_qubits, num_cbits, gates: Vec::new() }
+    }
+
+    /// The number of qubits in the quantum register.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The number of classical bits in the classical register.
+    pub fn num_cbits(&self) -> usize {
+        self.num_cbits
+    }
+
+    /// The gates, in program order.
+    pub fn gates(&self) -> &[Gate<Q>] {
+        &self.gates
+    }
+
+    /// The number of gates (including barriers).
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the circuit contains no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit operand is out of range, or a measurement
+    /// targets an out-of-range classical bit.
+    pub fn push(&mut self, gate: Gate<Q>) -> &mut Self {
+        for q in gate.qubits() {
+            assert!(
+                q.index() < self.num_qubits,
+                "qubit {q} out of range for {}-qubit circuit",
+                self.num_qubits
+            );
+        }
+        if let Gate::Measure { cbit, .. } = &gate {
+            assert!(
+                cbit.index() < self.num_cbits,
+                "classical bit {cbit} out of range for {}-bit register",
+                self.num_cbits
+            );
+        }
+        self.gates.push(gate);
+        self
+    }
+
+    /// Appends every gate of `other` (registers must be compatible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` uses more qubits or classical bits than `self`.
+    pub fn append(&mut self, other: &Circuit<Q>) -> &mut Self {
+        assert!(other.num_qubits <= self.num_qubits, "appended circuit uses more qubits");
+        assert!(other.num_cbits <= self.num_cbits, "appended circuit uses more classical bits");
+        for g in &other.gates {
+            self.push(g.clone());
+        }
+        self
+    }
+
+    /// Appends a single-qubit gate of the given kind.
+    pub fn one(&mut self, kind: OneQubitKind, q: Q) -> &mut Self {
+        self.push(Gate::one(kind, q))
+    }
+
+    /// Appends a Hadamard.
+    pub fn h(&mut self, q: Q) -> &mut Self {
+        self.one(OneQubitKind::H, q)
+    }
+
+    /// Appends a Pauli-X.
+    pub fn x(&mut self, q: Q) -> &mut Self {
+        self.one(OneQubitKind::X, q)
+    }
+
+    /// Appends a Pauli-Y.
+    pub fn y(&mut self, q: Q) -> &mut Self {
+        self.one(OneQubitKind::Y, q)
+    }
+
+    /// Appends a Pauli-Z.
+    pub fn z(&mut self, q: Q) -> &mut Self {
+        self.one(OneQubitKind::Z, q)
+    }
+
+    /// Appends an S gate.
+    pub fn s(&mut self, q: Q) -> &mut Self {
+        self.one(OneQubitKind::S, q)
+    }
+
+    /// Appends an S† gate.
+    pub fn sdg(&mut self, q: Q) -> &mut Self {
+        self.one(OneQubitKind::Sdg, q)
+    }
+
+    /// Appends a T gate.
+    pub fn t(&mut self, q: Q) -> &mut Self {
+        self.one(OneQubitKind::T, q)
+    }
+
+    /// Appends a T† gate.
+    pub fn tdg(&mut self, q: Q) -> &mut Self {
+        self.one(OneQubitKind::Tdg, q)
+    }
+
+    /// Appends an X-rotation by `angle` radians.
+    pub fn rx(&mut self, angle: f64, q: Q) -> &mut Self {
+        self.one(OneQubitKind::Rx(angle), q)
+    }
+
+    /// Appends a Y-rotation by `angle` radians.
+    pub fn ry(&mut self, angle: f64, q: Q) -> &mut Self {
+        self.one(OneQubitKind::Ry(angle), q)
+    }
+
+    /// Appends a Z-rotation by `angle` radians.
+    pub fn rz(&mut self, angle: f64, q: Q) -> &mut Self {
+        self.one(OneQubitKind::Rz(angle), q)
+    }
+
+    /// Appends a CNOT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `control == target`.
+    pub fn cnot(&mut self, control: Q, target: Q) -> &mut Self {
+        assert!(control != target, "cnot control and target must differ");
+        self.push(Gate::cnot(control, target))
+    }
+
+    /// Appends a SWAP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn swap(&mut self, a: Q, b: Q) -> &mut Self {
+        assert!(a != b, "swap operands must differ");
+        self.push(Gate::swap(a, b))
+    }
+
+    /// Appends a measurement of `q` into `c`.
+    pub fn measure(&mut self, q: Q, c: Cbit) -> &mut Self {
+        self.push(Gate::measure(q, c))
+    }
+
+    /// Measures every qubit into the classical bit of the same index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the classical register is smaller than the quantum one.
+    pub fn measure_all(&mut self) -> &mut Self {
+        assert!(self.num_cbits >= self.num_qubits, "classical register too small for measure_all");
+        for i in 0..self.num_qubits {
+            self.measure(Q::from_index(i), Cbit(i as u32));
+        }
+        self
+    }
+
+    /// Appends a barrier across all qubits.
+    pub fn barrier_all(&mut self) -> &mut Self {
+        let qubits = (0..self.num_qubits).map(Q::from_index).collect();
+        self.push(Gate::Barrier { qubits })
+    }
+
+    /// Count of CNOT gates.
+    pub fn cnot_count(&self) -> usize {
+        self.gates.iter().filter(|g| matches!(g, Gate::Cnot { .. })).count()
+    }
+
+    /// Count of SWAP gates.
+    pub fn swap_count(&self) -> usize {
+        self.gates.iter().filter(|g| matches!(g, Gate::Swap { .. })).count()
+    }
+
+    /// Count of gates touching two qubits (CNOT + SWAP).
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// Count of single-qubit gates.
+    pub fn one_qubit_gate_count(&self) -> usize {
+        self.gates.iter().filter(|g| matches!(g, Gate::OneQubit { .. })).count()
+    }
+
+    /// Count of measurement operations.
+    pub fn measure_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_measurement()).count()
+    }
+
+    /// Total operation count excluding barriers.
+    pub fn op_count(&self) -> usize {
+        self.gates.iter().filter(|g| !g.is_barrier()).count()
+    }
+
+    /// Total physical CNOT cost (CNOTs + 3 per SWAP).
+    pub fn total_cnot_cost(&self) -> usize {
+        self.gates.iter().map(Gate::cnot_cost).sum()
+    }
+
+    /// Circuit depth: the length of the longest qubit-dependency chain
+    /// (barriers synchronize but add no depth).
+    pub fn depth(&self) -> usize {
+        let mut frontier = vec![0usize; self.num_qubits];
+        for g in &self.gates {
+            let qs = g.qubits();
+            if qs.is_empty() {
+                continue;
+            }
+            let level = qs.iter().map(|q| frontier[q.index()]).max().unwrap_or(0);
+            let next = if g.is_barrier() { level } else { level + 1 };
+            for q in qs {
+                frontier[q.index()] = next;
+            }
+        }
+        frontier.into_iter().max().unwrap_or(0)
+    }
+
+    /// The set of qubits actually referenced by at least one gate.
+    pub fn used_qubits(&self) -> Vec<Q> {
+        let mut used = vec![false; self.num_qubits];
+        for g in &self.gates {
+            for q in g.qubits() {
+                used[q.index()] = true;
+            }
+        }
+        used.iter()
+            .enumerate()
+            .filter(|&(_, &u)| u)
+            .map(|(i, _)| Q::from_index(i))
+            .collect()
+    }
+
+    /// Rewrites every qubit operand through `f`, producing a circuit over
+    /// a different index type with `new_num_qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rewritten operand exceeds `new_num_qubits`.
+    pub fn map_qubits<R: QubitId>(&self, new_num_qubits: usize, mut f: impl FnMut(Q) -> R) -> Circuit<R> {
+        let mut out = Circuit::with_cbits(new_num_qubits, self.num_cbits);
+        for g in &self.gates {
+            out.push(g.map_qubits(&mut f));
+        }
+        out
+    }
+
+    /// Iterates over the gates.
+    pub fn iter(&self) -> std::slice::Iter<'_, Gate<Q>> {
+        self.gates.iter()
+    }
+
+    /// The inverse circuit: gates reversed, each replaced by its
+    /// inverse, so `c` followed by `c.inverse()` is the identity.
+    /// Barriers are kept in place (reversed order).
+    ///
+    /// # Errors
+    ///
+    /// Returns the index of the first measurement encountered —
+    /// measurements are not invertible.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use quva_circuit::{Circuit, Gate, Qubit};
+    ///
+    /// let mut c = Circuit::new(2);
+    /// c.h(Qubit(0)).t(Qubit(0)).cnot(Qubit(0), Qubit(1));
+    /// let inv = c.inverse().unwrap();
+    /// assert_eq!(inv.gates()[0], Gate::cnot(Qubit(0), Qubit(1)));
+    /// ```
+    pub fn inverse(&self) -> Result<Circuit<Q>, usize> {
+        let mut out = Circuit::with_cbits(self.num_qubits, self.num_cbits);
+        for (idx, gate) in self.gates.iter().enumerate().rev() {
+            let inv = match gate {
+                Gate::OneQubit { kind, qubit } => Gate::OneQubit { kind: kind.inverse(), qubit: *qubit },
+                Gate::Cnot { .. } | Gate::Swap { .. } | Gate::Barrier { .. } => gate.clone(),
+                Gate::Measure { .. } => return Err(idx),
+            };
+            out.push(inv);
+        }
+        Ok(out)
+    }
+}
+
+impl<Q: QubitId> fmt::Display for Circuit<Q> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit[{} qubits, {} gates]", self.num_qubits, self.gates.len())?;
+        for g in &self.gates {
+            writeln!(f, "  {g};")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a, Q: QubitId> IntoIterator for &'a Circuit<Q> {
+    type Item = &'a Gate<Q>;
+    type IntoIter = std::slice::Iter<'a, Gate<Q>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.gates.iter()
+    }
+}
+
+impl<Q: QubitId> Extend<Gate<Q>> for Circuit<Q> {
+    fn extend<T: IntoIterator<Item = Gate<Q>>>(&mut self, iter: T) {
+        for g in iter {
+            self.push(g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0)).cnot(Qubit(0), Qubit(1)).measure_all();
+        c
+    }
+
+    #[test]
+    fn builder_counts() {
+        let c = bell();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.cnot_count(), 1);
+        assert_eq!(c.one_qubit_gate_count(), 1);
+        assert_eq!(c.measure_count(), 2);
+        assert_eq!(c.op_count(), 4);
+        assert_eq!(c.total_cnot_cost(), 1);
+    }
+
+    #[test]
+    fn depth_counts_longest_chain() {
+        let c = bell();
+        // h q0 (1) ; cx q0,q1 (2); measure q0 (3); measure q1 (3)
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn depth_of_parallel_gates() {
+        let mut c = Circuit::new(4);
+        c.h(Qubit(0)).h(Qubit(1)).h(Qubit(2)).h(Qubit(3));
+        assert_eq!(c.depth(), 1);
+    }
+
+    #[test]
+    fn barriers_synchronize_without_depth() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0));
+        c.barrier_all();
+        c.h(Qubit(1));
+        // barrier forces h q1 after h q0's level
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_rejects_out_of_range_qubit() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn cnot_rejects_equal_operands() {
+        let mut c = Circuit::new(2);
+        c.cnot(Qubit(1), Qubit(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "classical bit")]
+    fn measure_rejects_out_of_range_cbit() {
+        let mut c = Circuit::with_cbits(2, 1);
+        c.measure(Qubit(0), Cbit(1));
+    }
+
+    #[test]
+    fn swap_cost_three_cnots() {
+        let mut c = Circuit::new(3);
+        c.swap(Qubit(0), Qubit(1)).cnot(Qubit(1), Qubit(2));
+        assert_eq!(c.total_cnot_cost(), 4);
+        assert_eq!(c.swap_count(), 1);
+        assert_eq!(c.two_qubit_gate_count(), 2);
+    }
+
+    #[test]
+    fn used_qubits_skips_idle() {
+        let mut c = Circuit::new(5);
+        c.h(Qubit(1)).cnot(Qubit(1), Qubit(3));
+        assert_eq!(c.used_qubits(), vec![Qubit(1), Qubit(3)]);
+    }
+
+    #[test]
+    fn map_qubits_to_physical() {
+        let c = bell();
+        let routed: Circuit<PhysQubit> = c.map_qubits(10, |q| PhysQubit(q.0 + 5));
+        assert_eq!(routed.num_qubits(), 10);
+        assert_eq!(routed.gates()[1], Gate::cnot(PhysQubit(5), PhysQubit(6)));
+        // classical bits are preserved untouched
+        assert_eq!(routed.gates()[2], Gate::measure(PhysQubit(5), Cbit(0)));
+    }
+
+    #[test]
+    fn append_concatenates() {
+        let mut c = bell();
+        let d = bell();
+        c.append(&d);
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn extend_from_iterator() {
+        let mut c = Circuit::new(2);
+        c.extend(vec![Gate::one(OneQubitKind::H, Qubit(0)), Gate::cnot(Qubit(0), Qubit(1))]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn display_lists_gates() {
+        let text = bell().to_string();
+        assert!(text.contains("cx q0, q1;"));
+        assert!(text.contains("2 qubits"));
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let c: Circuit = Circuit::new(3);
+        assert!(c.is_empty());
+        assert_eq!(c.depth(), 0);
+        assert!(c.used_qubits().is_empty());
+    }
+
+    #[test]
+    fn inverse_reverses_and_inverts() {
+        let mut c = Circuit::new(2);
+        c.s(Qubit(0)).rx(0.7, Qubit(1)).cnot(Qubit(0), Qubit(1));
+        let inv = c.inverse().unwrap();
+        assert_eq!(inv.gates()[0], Gate::cnot(Qubit(0), Qubit(1)));
+        assert_eq!(inv.gates()[1], Gate::one(OneQubitKind::Rx(-0.7), Qubit(1)));
+        assert_eq!(inv.gates()[2], Gate::one(OneQubitKind::Sdg, Qubit(0)));
+    }
+
+    #[test]
+    fn inverse_of_inverse_is_original() {
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0)).t(Qubit(1)).swap(Qubit(1), Qubit(2)).cnot(Qubit(0), Qubit(2));
+        assert_eq!(c.inverse().unwrap().inverse().unwrap(), c);
+    }
+
+    #[test]
+    fn inverse_rejects_measurement() {
+        let mut c = Circuit::new(1);
+        c.h(Qubit(0)).measure(Qubit(0), Cbit(0));
+        assert_eq!(c.inverse(), Err(1));
+    }
+}

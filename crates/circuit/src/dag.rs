@@ -1,0 +1,212 @@
+//! The gate dependency DAG of a circuit.
+//!
+//! Two gates depend on each other iff they share a qubit; the DAG's
+//! edges connect each gate to the *next* gate on each of its qubits.
+//! [`Layers`](crate::Layers) is the level structure of this DAG; the DAG
+//! itself additionally answers predecessor/successor and critical-path
+//! queries, which schedulers and routers use for lookahead.
+
+use crate::circuit::{Circuit, QubitId};
+
+/// The dependency DAG of one circuit (node = gate index).
+///
+/// # Examples
+///
+/// ```
+/// use quva_circuit::{Circuit, GateDag, Qubit};
+///
+/// let mut c = Circuit::new(3);
+/// c.h(Qubit(0));                 // 0
+/// c.cnot(Qubit(0), Qubit(1));    // 1: depends on 0
+/// c.h(Qubit(2));                 // 2: independent
+/// c.cnot(Qubit(1), Qubit(2));    // 3: depends on 1 and 2
+///
+/// let dag = GateDag::of(&c);
+/// assert_eq!(dag.predecessors(1), &[0]);
+/// assert_eq!(dag.successors(1), &[3]);
+/// assert_eq!(dag.predecessors(3), &[1, 2]);
+/// assert_eq!(dag.critical_path_len(), 3); // 0 → 1 → 3
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateDag {
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+    level: Vec<usize>,
+}
+
+impl GateDag {
+    /// Builds the DAG of `circuit`. Barriers participate as
+    /// synchronization nodes (they depend on, and are depended on by,
+    /// their qubits' neighbours).
+    pub fn of<Q: QubitId>(circuit: &Circuit<Q>) -> Self {
+        let n = circuit.len();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut last_on_qubit: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+        for (i, gate) in circuit.iter().enumerate() {
+            for q in gate.qubits() {
+                if let Some(p) = last_on_qubit[q.index()] {
+                    if !preds[i].contains(&p) {
+                        preds[i].push(p);
+                        succs[p].push(i);
+                    }
+                }
+                last_on_qubit[q.index()] = Some(i);
+            }
+        }
+        // levels by longest path from a source
+        let mut level = vec![0usize; n];
+        for i in 0..n {
+            // program order is a topological order
+            level[i] = preds[i].iter().map(|&p| level[p] + 1).max().unwrap_or(0);
+        }
+        GateDag { preds, succs, level }
+    }
+
+    /// Number of gates (nodes).
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether the circuit had no gates.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// The direct predecessors of gate `i`, in discovery order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn predecessors(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// The direct successors of gate `i`, in discovery order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn successors(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// The dependency level of gate `i` (its longest-path depth; gates
+    /// with no predecessors sit at level 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn level(&self, i: usize) -> usize {
+        self.level[i]
+    }
+
+    /// Gates with no predecessors (the executable frontier).
+    pub fn sources(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.preds[i].is_empty()).collect()
+    }
+
+    /// Gates with no successors (the final gate on each qubit chain).
+    pub fn sinks(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.succs[i].is_empty()).collect()
+    }
+
+    /// Length (in gates) of the longest dependency chain; equals the
+    /// barrier-free circuit depth.
+    pub fn critical_path_len(&self) -> usize {
+        self.level.iter().map(|&l| l + 1).max().unwrap_or(0)
+    }
+
+    /// One longest dependency chain, front to back.
+    pub fn critical_path(&self) -> Vec<usize> {
+        let Some(mut cur) =
+            (0..self.len()).max_by_key(|&i| self.level[i]).filter(|_| !self.is_empty())
+        else {
+            return Vec::new();
+        };
+        let mut path = vec![cur];
+        while !self.preds[cur].is_empty() {
+            cur = *self.preds[cur]
+                .iter()
+                .max_by_key(|&&p| self.level[p])
+                .expect("non-empty predecessor list");
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qubit::Qubit;
+
+    fn diamond() -> Circuit {
+        // 0: h q0; 1: h q1; 2: cx q0,q1; 3: h q0; 4: h q1
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0)).h(Qubit(1)).cnot(Qubit(0), Qubit(1)).h(Qubit(0)).h(Qubit(1));
+        c
+    }
+
+    #[test]
+    fn diamond_structure() {
+        let dag = GateDag::of(&diamond());
+        assert_eq!(dag.predecessors(2), &[0, 1]);
+        assert_eq!(dag.successors(2), &[3, 4]);
+        assert_eq!(dag.sources(), vec![0, 1]);
+        assert_eq!(dag.sinks(), vec![3, 4]);
+    }
+
+    #[test]
+    fn levels_match_layers() {
+        let c = diamond();
+        let dag = GateDag::of(&c);
+        assert_eq!(dag.level(0), 0);
+        assert_eq!(dag.level(1), 0);
+        assert_eq!(dag.level(2), 1);
+        assert_eq!(dag.level(3), 2);
+        assert_eq!(dag.critical_path_len(), c.depth());
+    }
+
+    #[test]
+    fn critical_path_is_a_real_chain() {
+        let c = diamond();
+        let dag = GateDag::of(&c);
+        let path = dag.critical_path();
+        assert_eq!(path.len(), 3);
+        for w in path.windows(2) {
+            assert!(dag.successors(w[0]).contains(&w[1]), "{w:?} not an edge");
+        }
+    }
+
+    #[test]
+    fn two_qubit_gate_dedupes_shared_predecessor() {
+        // both operands of the CNOT last touched the same gate (a swap)
+        let mut c = Circuit::new(2);
+        c.swap(Qubit(0), Qubit(1));
+        c.cnot(Qubit(0), Qubit(1));
+        let dag = GateDag::of(&c);
+        assert_eq!(dag.predecessors(1), &[0]);
+        assert_eq!(dag.successors(0), &[1]);
+    }
+
+    #[test]
+    fn independent_gates_have_no_edges() {
+        let mut c = Circuit::new(4);
+        c.h(Qubit(0)).h(Qubit(1)).h(Qubit(2)).h(Qubit(3));
+        let dag = GateDag::of(&c);
+        assert_eq!(dag.sources().len(), 4);
+        assert_eq!(dag.sinks().len(), 4);
+        assert_eq!(dag.critical_path_len(), 1);
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let c: Circuit = Circuit::new(2);
+        let dag = GateDag::of(&c);
+        assert!(dag.is_empty());
+        assert_eq!(dag.critical_path_len(), 0);
+        assert!(dag.critical_path().is_empty());
+    }
+}

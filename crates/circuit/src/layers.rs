@@ -1,0 +1,212 @@
+//! ASAP layer partitioning of a circuit (§4.5 step 3 of the paper).
+//!
+//! A *layer* is a set of gates that touch pairwise-disjoint qubits and
+//! whose dependencies are all satisfied by earlier layers, so the whole
+//! layer can execute in parallel. Both the baseline mapper and the
+//! variation-aware mappers iterate layer by layer.
+
+use crate::circuit::{Circuit, QubitId};
+use crate::gate::Gate;
+
+/// The result of partitioning a circuit into parallel layers.
+///
+/// Layers store indices into the original circuit's gate list, so no gate
+/// is cloned.
+///
+/// # Examples
+///
+/// ```
+/// use quva_circuit::{Circuit, Qubit, Layers};
+///
+/// let mut c = Circuit::new(3);
+/// c.h(Qubit(0));
+/// c.h(Qubit(1));            // parallel with the first H
+/// c.cnot(Qubit(0), Qubit(1)); // must wait for both
+///
+/// let layers = Layers::of(&c);
+/// assert_eq!(layers.len(), 2);
+/// assert_eq!(layers.layer(0).len(), 2);
+/// assert_eq!(layers.layer(1).len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layers {
+    layers: Vec<Vec<usize>>,
+}
+
+impl Layers {
+    /// Partitions `circuit` into ASAP layers.
+    ///
+    /// Each gate is placed in the earliest layer strictly after every
+    /// layer containing a gate that shares a qubit with it. Barriers
+    /// force all subsequent gates on their qubits into later layers but
+    /// occupy no layer themselves.
+    pub fn of<Q: QubitId>(circuit: &Circuit<Q>) -> Self {
+        let mut frontier = vec![0usize; circuit.num_qubits()];
+        let mut layers: Vec<Vec<usize>> = Vec::new();
+        for (idx, gate) in circuit.iter().enumerate() {
+            let qs = gate.qubits();
+            if qs.is_empty() {
+                continue;
+            }
+            let level = qs.iter().map(|q| frontier[q.index()]).max().unwrap_or(0);
+            if gate.is_barrier() {
+                // A barrier aligns its qubits to a common level without
+                // consuming a layer slot.
+                for q in qs {
+                    frontier[q.index()] = level;
+                }
+                continue;
+            }
+            if level == layers.len() {
+                layers.push(Vec::new());
+            }
+            layers[level].push(idx);
+            for q in qs {
+                frontier[q.index()] = level + 1;
+            }
+        }
+        Layers { layers }
+    }
+
+    /// The number of layers (the circuit depth excluding barriers).
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether there are no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The gate indices of layer `i`, in program order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn layer(&self, i: usize) -> &[usize] {
+        &self.layers[i]
+    }
+
+    /// Iterates over layers as slices of gate indices.
+    pub fn iter(&self) -> impl Iterator<Item = &[usize]> {
+        self.layers.iter().map(Vec::as_slice)
+    }
+
+    /// The CNOT gates of layer `i` as `(control, target)` pairs, resolved
+    /// against `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()` or the layering was built from a
+    /// different circuit.
+    pub fn cnots_in_layer<Q: QubitId>(&self, circuit: &Circuit<Q>, i: usize) -> Vec<(Q, Q)> {
+        self.layers[i]
+            .iter()
+            .filter_map(|&g| match &circuit.gates()[g] {
+                Gate::Cnot { control, target } => Some((*control, *target)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qubit::Qubit;
+
+    #[test]
+    fn serial_chain_gets_one_gate_per_layer() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0)).x(Qubit(0)).z(Qubit(0));
+        let l = Layers::of(&c);
+        assert_eq!(l.len(), 3);
+        for i in 0..3 {
+            assert_eq!(l.layer(i), &[i]);
+        }
+    }
+
+    #[test]
+    fn independent_gates_share_layer() {
+        let mut c = Circuit::new(4);
+        c.h(Qubit(0)).h(Qubit(1)).cnot(Qubit(2), Qubit(3));
+        let l = Layers::of(&c);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.layer(0).len(), 3);
+    }
+
+    #[test]
+    fn cnot_waits_for_both_operands() {
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0));
+        c.h(Qubit(0)); // q0 busy for 2 layers
+        c.cnot(Qubit(0), Qubit(1));
+        let l = Layers::of(&c);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.layer(2), &[2]);
+    }
+
+    #[test]
+    fn layers_cover_all_gates_exactly_once() {
+        let mut c = Circuit::new(4);
+        c.h(Qubit(0)).cnot(Qubit(0), Qubit(1)).cnot(Qubit(2), Qubit(3)).cnot(Qubit(1), Qubit(2)).measure_all();
+        let l = Layers::of(&c);
+        let mut seen: Vec<usize> = l.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..c.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gates_within_layer_are_disjoint() {
+        let mut c = Circuit::new(6);
+        for i in 0..5 {
+            c.cnot(Qubit(i), Qubit(i + 1));
+        }
+        c.h(Qubit(0));
+        let l = Layers::of(&c);
+        for i in 0..l.len() {
+            let mut used = vec![false; 6];
+            for &g in l.layer(i) {
+                for q in c.gates()[g].qubits() {
+                    assert!(!used[q.index()], "layer {i} reuses {q}");
+                    used[q.index()] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_separates_layers() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0));
+        c.barrier_all();
+        c.h(Qubit(1));
+        let l = Layers::of(&c);
+        // without the barrier both H's would share layer 0
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn cnots_in_layer_extracts_pairs() {
+        let mut c = Circuit::new(4);
+        c.cnot(Qubit(0), Qubit(1)).cnot(Qubit(2), Qubit(3)).h(Qubit(0));
+        let l = Layers::of(&c);
+        let pairs = l.cnots_in_layer(&c, 0);
+        assert_eq!(pairs, vec![(Qubit(0), Qubit(1)), (Qubit(2), Qubit(3))]);
+    }
+
+    #[test]
+    fn empty_circuit_has_no_layers() {
+        let c: Circuit = Circuit::new(3);
+        let l = Layers::of(&c);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn layer_count_matches_depth() {
+        let mut c = Circuit::new(5);
+        c.h(Qubit(0)).cnot(Qubit(0), Qubit(1)).cnot(Qubit(1), Qubit(2)).cnot(Qubit(3), Qubit(4));
+        let l = Layers::of(&c);
+        assert_eq!(l.len(), c.depth());
+    }
+}

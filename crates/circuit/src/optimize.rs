@@ -1,0 +1,327 @@
+//! Peephole circuit optimization.
+//!
+//! NISQ reliability is a direct function of gate count, so removing
+//! gates *is* an error-mitigation pass: every cancelled CNOT is ~1 % of
+//! failure probability back. The optimizer applies, to fixpoint:
+//!
+//! * cancellation of adjacent self-inverse pairs (X·X, Y·Y, Z·Z, H·H,
+//!   CX·CX, SWAP·SWAP) and inverse pairs (S·S†, T·T†);
+//! * merging of consecutive same-axis rotations (Rz(a)·Rz(b) → Rz(a+b)),
+//!   dropping the result when the merged angle is ≈ 0 (mod 2π);
+//! * removal of explicit identity gates.
+//!
+//! "Adjacent" means adjacent on the qubit's own timeline: gates on other
+//! qubits may sit in between as long as no intervening gate touches the
+//! pair's qubits.
+
+use crate::circuit::{Circuit, QubitId};
+use crate::gate::{Gate, OneQubitKind};
+
+/// Statistics of one optimization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptimizeStats {
+    /// Gates removed by pair cancellation.
+    pub cancelled: usize,
+    /// Rotations merged into a predecessor.
+    pub merged_rotations: usize,
+    /// Identity gates dropped.
+    pub identities_removed: usize,
+}
+
+impl OptimizeStats {
+    /// Total gates eliminated.
+    pub fn total_removed(&self) -> usize {
+        self.cancelled + self.merged_rotations + self.identities_removed
+    }
+}
+
+/// Optimizes a circuit to fixpoint; returns the new circuit and what was
+/// removed.
+///
+/// # Examples
+///
+/// ```
+/// use quva_circuit::{optimize, Circuit, Qubit};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(Qubit(0));
+/// c.h(Qubit(0));              // cancels
+/// c.cnot(Qubit(0), Qubit(1));
+/// c.rz(0.3, Qubit(1));
+/// c.rz(-0.3, Qubit(1));       // merges to zero and vanishes
+///
+/// let (opt, stats) = optimize(&c);
+/// assert_eq!(opt.len(), 1);   // only the CNOT survives
+/// assert_eq!(stats.total_removed(), 4);
+/// ```
+pub fn optimize<Q: QubitId>(circuit: &Circuit<Q>) -> (Circuit<Q>, OptimizeStats) {
+    let mut gates: Vec<Option<Gate<Q>>> = circuit.iter().cloned().map(Some).collect();
+    let mut stats = OptimizeStats::default();
+    loop {
+        let before = stats;
+        drop_identities(&mut gates, &mut stats);
+        cancel_pairs(circuit.num_qubits(), &mut gates, &mut stats);
+        merge_rotations(circuit.num_qubits(), &mut gates, &mut stats);
+        if stats == before {
+            break;
+        }
+    }
+    let mut out = Circuit::with_cbits(circuit.num_qubits(), circuit.num_cbits());
+    out.extend(gates.into_iter().flatten());
+    (out, stats)
+}
+
+fn drop_identities<Q: QubitId>(gates: &mut [Option<Gate<Q>>], stats: &mut OptimizeStats) {
+    for slot in gates.iter_mut() {
+        if matches!(slot, Some(Gate::OneQubit { kind: OneQubitKind::I, .. })) {
+            *slot = None;
+            stats.identities_removed += 1;
+        }
+    }
+}
+
+/// Whether two gates cancel to the identity.
+fn cancels<Q: QubitId>(a: &Gate<Q>, b: &Gate<Q>) -> bool {
+    use OneQubitKind as K;
+    match (a, b) {
+        (Gate::OneQubit { kind: ka, qubit: qa }, Gate::OneQubit { kind: kb, qubit: qb }) if qa == qb => {
+            matches!(
+                (ka, kb),
+                (K::X, K::X)
+                    | (K::Y, K::Y)
+                    | (K::Z, K::Z)
+                    | (K::H, K::H)
+                    | (K::S, K::Sdg)
+                    | (K::Sdg, K::S)
+                    | (K::T, K::Tdg)
+                    | (K::Tdg, K::T)
+            )
+        }
+        (Gate::Cnot { control: c1, target: t1 }, Gate::Cnot { control: c2, target: t2 }) => {
+            c1 == c2 && t1 == t2
+        }
+        (Gate::Swap { a: a1, b: b1 }, Gate::Swap { a: a2, b: b2 }) => {
+            (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2)
+        }
+        _ => false,
+    }
+}
+
+/// The next gate after `start` that shares a qubit with `qubits`;
+/// returns its index, or `None` if nothing downstream touches them.
+fn next_on_qubits<Q: QubitId>(
+    gates: &[Option<Gate<Q>>],
+    start: usize,
+    qubits: &[Q],
+) -> Option<usize> {
+    gates
+        .iter()
+        .enumerate()
+        .skip(start + 1)
+        .filter_map(|(j, g)| g.as_ref().map(|g| (j, g)))
+        .find(|(_, g)| g.qubits().iter().any(|q| qubits.contains(q)))
+        .map(|(j, _)| j)
+}
+
+fn cancel_pairs<Q: QubitId>(_n: usize, gates: &mut Vec<Option<Gate<Q>>>, stats: &mut OptimizeStats) {
+    for i in 0..gates.len() {
+        let Some(gate) = gates[i].clone() else { continue };
+        if gate.is_measurement() || gate.is_barrier() {
+            continue;
+        }
+        let qubits = gate.qubits();
+        let Some(j) = next_on_qubits(gates, i, &qubits) else { continue };
+        let Some(other) = gates[j].clone() else { continue };
+        // a cancellation is only sound if the successor acts on exactly
+        // the same qubit set (a one-qubit gate slipping between the CX
+        // pair's qubits would already have been caught by next_on_qubits)
+        if cancels(&gate, &other) && other.qubits().len() == qubits.len() {
+            gates[i] = None;
+            gates[j] = None;
+            stats.cancelled += 2;
+        }
+    }
+}
+
+fn merge_rotations<Q: QubitId>(_n: usize, gates: &mut Vec<Option<Gate<Q>>>, stats: &mut OptimizeStats) {
+    use OneQubitKind as K;
+    for i in 0..gates.len() {
+        let Some(Gate::OneQubit { kind, qubit }) = gates[i].clone() else { continue };
+        let Some(angle_a) = kind.angle() else { continue };
+        let Some(j) = next_on_qubits(gates, i, &[qubit]) else { continue };
+        let Some(Gate::OneQubit { kind: kind_b, qubit: qb }) = gates[j].clone() else { continue };
+        debug_assert_eq!(qubit, qb);
+        let same_axis = matches!(
+            (&kind, &kind_b),
+            (K::Rx(_), K::Rx(_)) | (K::Ry(_), K::Ry(_)) | (K::Rz(_), K::Rz(_))
+        );
+        if !same_axis {
+            continue;
+        }
+        let angle_b = kind_b.angle().expect("rotation kinds carry angles");
+        let merged = angle_a + angle_b;
+        let merged_kind = match kind {
+            K::Rx(_) => K::Rx(merged),
+            K::Ry(_) => K::Ry(merged),
+            K::Rz(_) => K::Rz(merged),
+            _ => unreachable!("same_axis guarantees a rotation"),
+        };
+        gates[i] = None;
+        stats.merged_rotations += 1;
+        // drop the merged gate entirely if it is a full turn
+        let reduced = merged.rem_euclid(2.0 * std::f64::consts::PI);
+        if reduced.abs() < 1e-12 || (reduced - 2.0 * std::f64::consts::PI).abs() < 1e-12 {
+            gates[j] = None;
+            stats.merged_rotations += 1;
+        } else {
+            gates[j] = Some(Gate::OneQubit { kind: merged_kind, qubit });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qubit::{Cbit, Qubit};
+
+    #[test]
+    fn double_h_cancels() {
+        let mut c = Circuit::new(1);
+        c.h(Qubit(0)).h(Qubit(0));
+        let (opt, stats) = optimize(&c);
+        assert!(opt.is_empty());
+        assert_eq!(stats.cancelled, 2);
+    }
+
+    #[test]
+    fn double_cnot_cancels() {
+        let mut c = Circuit::new(2);
+        c.cnot(Qubit(0), Qubit(1)).cnot(Qubit(0), Qubit(1));
+        let (opt, _) = optimize(&c);
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    fn reversed_cnot_does_not_cancel() {
+        let mut c = Circuit::new(2);
+        c.cnot(Qubit(0), Qubit(1)).cnot(Qubit(1), Qubit(0));
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.len(), 2);
+    }
+
+    #[test]
+    fn swap_orientation_cancels_both_ways() {
+        let mut c = Circuit::new(2);
+        c.swap(Qubit(0), Qubit(1)).swap(Qubit(1), Qubit(0));
+        let (opt, _) = optimize(&c);
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    fn intervening_gate_blocks_cancellation() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0)).x(Qubit(0)).h(Qubit(0));
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.len(), 3);
+    }
+
+    #[test]
+    fn unrelated_qubit_does_not_block() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0)).x(Qubit(1)).h(Qubit(0));
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.len(), 1); // only x q1 survives
+    }
+
+    #[test]
+    fn one_qubit_gate_blocks_cnot_pair() {
+        // H on the target between the two CNOTs: not cancellable
+        let mut c = Circuit::new(2);
+        c.cnot(Qubit(0), Qubit(1)).h(Qubit(1)).cnot(Qubit(0), Qubit(1));
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.len(), 3);
+    }
+
+    #[test]
+    fn s_sdg_and_t_tdg_cancel() {
+        let mut c = Circuit::new(1);
+        c.s(Qubit(0)).sdg(Qubit(0)).t(Qubit(0)).tdg(Qubit(0));
+        let (opt, _) = optimize(&c);
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    fn rotations_merge() {
+        let mut c = Circuit::new(1);
+        c.rz(0.25, Qubit(0)).rz(0.5, Qubit(0));
+        let (opt, stats) = optimize(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(stats.merged_rotations, 1);
+        match &opt.gates()[0] {
+            Gate::OneQubit { kind: OneQubitKind::Rz(a), .. } => assert!((a - 0.75).abs() < 1e-12),
+            g => panic!("unexpected {g:?}"),
+        }
+    }
+
+    #[test]
+    fn opposite_rotations_vanish() {
+        let mut c = Circuit::new(1);
+        c.rx(1.1, Qubit(0)).rx(-1.1, Qubit(0));
+        let (opt, _) = optimize(&c);
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    fn mixed_axes_do_not_merge() {
+        let mut c = Circuit::new(1);
+        c.rx(0.3, Qubit(0)).rz(0.3, Qubit(0));
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.len(), 2);
+    }
+
+    #[test]
+    fn identities_removed() {
+        let mut c = Circuit::new(1);
+        c.one(OneQubitKind::I, Qubit(0)).x(Qubit(0));
+        let (opt, stats) = optimize(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(stats.identities_removed, 1);
+    }
+
+    #[test]
+    fn fixpoint_cascades() {
+        // H X X H: inner XX cancels, then outer HH cancels
+        let mut c = Circuit::new(1);
+        c.h(Qubit(0)).x(Qubit(0)).x(Qubit(0)).h(Qubit(0));
+        let (opt, stats) = optimize(&c);
+        assert!(opt.is_empty());
+        assert_eq!(stats.cancelled, 4);
+    }
+
+    #[test]
+    fn measurements_and_barriers_survive() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0));
+        c.barrier_all();
+        c.measure(Qubit(0), Cbit(0));
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.len(), 3);
+    }
+
+    #[test]
+    fn measurement_blocks_cancellation() {
+        let mut c = Circuit::new(1);
+        c.h(Qubit(0)).measure(Qubit(0), Cbit(0)).h(Qubit(0));
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.len(), 3);
+    }
+
+    #[test]
+    fn preserves_register_sizes() {
+        let mut c = Circuit::with_cbits(3, 2);
+        c.h(Qubit(0)).h(Qubit(0));
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.num_qubits(), 3);
+        assert_eq!(opt.num_cbits(), 2);
+    }
+}

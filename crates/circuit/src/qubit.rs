@@ -1,0 +1,148 @@
+//! Qubit and classical-bit index newtypes.
+//!
+//! The compiler distinguishes *program* qubits (named by the source
+//! program) from *physical* qubits (locations on the device). Mixing the
+//! two is the classic qubit-mapping bug, so each gets its own newtype.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A program (logical) qubit, as named by the source circuit.
+///
+/// # Examples
+///
+/// ```
+/// use quva_circuit::Qubit;
+///
+/// let q = Qubit(3);
+/// assert_eq!(q.index(), 3);
+/// assert_eq!(q.to_string(), "q3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Qubit(pub u32);
+
+impl Qubit {
+    /// Returns the raw index, convenient for indexing slices.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<u32> for Qubit {
+    fn from(value: u32) -> Self {
+        Qubit(value)
+    }
+}
+
+/// A physical qubit: a location on the target device.
+///
+/// Produced by the mapper; a routed circuit addresses these, not
+/// [`Qubit`]s.
+///
+/// # Examples
+///
+/// ```
+/// use quva_circuit::PhysQubit;
+///
+/// let p = PhysQubit(14);
+/// assert_eq!(p.index(), 14);
+/// assert_eq!(p.to_string(), "Q14");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PhysQubit(pub u32);
+
+impl PhysQubit {
+    /// Returns the raw index, convenient for indexing slices.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PhysQubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}", self.0)
+    }
+}
+
+impl From<u32> for PhysQubit {
+    fn from(value: u32) -> Self {
+        PhysQubit(value)
+    }
+}
+
+/// A classical bit receiving a measurement outcome.
+///
+/// # Examples
+///
+/// ```
+/// use quva_circuit::Cbit;
+///
+/// assert_eq!(Cbit(0).to_string(), "c0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Cbit(pub u32);
+
+impl Cbit {
+    /// Returns the raw index, convenient for indexing slices.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Cbit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<u32> for Cbit {
+    fn from(value: u32) -> Self {
+        Cbit(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_display_and_index() {
+        assert_eq!(Qubit(0).to_string(), "q0");
+        assert_eq!(Qubit(19).index(), 19);
+    }
+
+    #[test]
+    fn phys_qubit_display_and_index() {
+        assert_eq!(PhysQubit(7).to_string(), "Q7");
+        assert_eq!(PhysQubit(7).index(), 7);
+    }
+
+    #[test]
+    fn cbit_display() {
+        assert_eq!(Cbit(2).to_string(), "c2");
+        assert_eq!(Cbit(2).index(), 2);
+    }
+
+    #[test]
+    fn from_u32_conversions() {
+        assert_eq!(Qubit::from(5), Qubit(5));
+        assert_eq!(PhysQubit::from(5), PhysQubit(5));
+        assert_eq!(Cbit::from(5), Cbit(5));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Qubit(1) < Qubit(2));
+        assert!(PhysQubit(0) < PhysQubit(10));
+    }
+}

@@ -1,0 +1,269 @@
+//! ASAP time scheduling of a circuit.
+//!
+//! Assigns each gate a start/end time given per-kind durations (layered
+//! execution: a layer lasts as long as its slowest member). The
+//! coherence model and any latency analysis consume this.
+
+use crate::circuit::{Circuit, QubitId};
+use crate::gate::Gate;
+use crate::layers::Layers;
+
+/// Durations (in nanoseconds) used to time a schedule. A SWAP lasts
+/// three two-qubit gates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateTimes {
+    /// Single-qubit gate duration.
+    pub one_qubit_ns: f64,
+    /// CNOT duration.
+    pub two_qubit_ns: f64,
+    /// Readout duration.
+    pub readout_ns: f64,
+}
+
+impl Default for GateTimes {
+    /// IBM-Q20-era pulse lengths (matches
+    /// `quva_device::GateDurations::default`).
+    fn default() -> Self {
+        GateTimes { one_qubit_ns: 50.0, two_qubit_ns: 300.0, readout_ns: 3500.0 }
+    }
+}
+
+impl GateTimes {
+    /// The duration of one gate under these times (barriers are
+    /// instantaneous).
+    pub fn duration_of<Q: QubitId>(&self, gate: &Gate<Q>) -> f64 {
+        match gate {
+            Gate::OneQubit { .. } => self.one_qubit_ns,
+            Gate::Cnot { .. } => self.two_qubit_ns,
+            Gate::Swap { .. } => 3.0 * self.two_qubit_ns,
+            Gate::Measure { .. } => self.readout_ns,
+            Gate::Barrier { .. } => 0.0,
+        }
+    }
+}
+
+/// A timed, layered schedule of a circuit.
+///
+/// # Examples
+///
+/// ```
+/// use quva_circuit::{Circuit, GateTimes, Qubit, Schedule};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(Qubit(0));
+/// c.cnot(Qubit(0), Qubit(1));
+///
+/// let s = Schedule::asap(&c, GateTimes::default());
+/// assert_eq!(s.start_of(0), 0.0);
+/// assert_eq!(s.start_of(1), 50.0);       // waits for the H
+/// assert_eq!(s.total_duration_ns(), 350.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    times: GateTimes,
+    /// Per gate index: (layer, start time). Barriers get their layer's
+    /// start with zero duration.
+    start: Vec<f64>,
+    duration: Vec<f64>,
+    total: f64,
+    num_qubits: usize,
+    /// Per qubit: (first gate start, last gate end, busy time), gates
+    /// only (measurements excluded from the window, as in the coherence
+    /// model).
+    windows: Vec<QubitWindow>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct QubitWindow {
+    first_start: f64,
+    last_end: f64,
+    busy: f64,
+    used: bool,
+}
+
+impl Schedule {
+    /// Builds the ASAP layered schedule of `circuit`.
+    pub fn asap<Q: QubitId>(circuit: &Circuit<Q>, times: GateTimes) -> Self {
+        let layers = Layers::of(circuit);
+        let n_gates = circuit.len();
+        let mut start = vec![0.0; n_gates];
+        let mut duration = vec![0.0; n_gates];
+        let mut windows =
+            vec![QubitWindow { first_start: f64::INFINITY, last_end: 0.0, busy: 0.0, used: false }; circuit.num_qubits()];
+        let mut t = 0.0;
+        for li in 0..layers.len() {
+            let layer = layers.layer(li);
+            let layer_dur =
+                layer.iter().map(|&g| times.duration_of(&circuit.gates()[g])).fold(0.0, f64::max);
+            for &g in layer {
+                let gate = &circuit.gates()[g];
+                start[g] = t;
+                duration[g] = times.duration_of(gate);
+                if gate.is_measurement() || gate.is_barrier() {
+                    continue;
+                }
+                for q in gate.qubits() {
+                    let w = &mut windows[q.index()];
+                    w.used = true;
+                    w.first_start = w.first_start.min(t);
+                    w.last_end = w.last_end.max(t + layer_dur);
+                    w.busy += duration[g];
+                }
+            }
+            t += layer_dur;
+        }
+        Schedule { times, start, duration, total: t, num_qubits: circuit.num_qubits(), windows }
+    }
+
+    /// The gate times used.
+    pub fn times(&self) -> GateTimes {
+        self.times
+    }
+
+    /// Start time of gate `i` (program order), nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn start_of(&self, i: usize) -> f64 {
+        self.start[i]
+    }
+
+    /// End time of gate `i`, nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn end_of(&self, i: usize) -> f64 {
+        self.start[i] + self.duration[i]
+    }
+
+    /// Total wall-clock duration of the program.
+    pub fn total_duration_ns(&self) -> f64 {
+        self.total
+    }
+
+    /// Idle time of qubit `q` between its first and last gate
+    /// (measurements excluded), nanoseconds; zero for unused qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn idle_ns(&self, q: usize) -> f64 {
+        let w = self.windows[q];
+        if !w.used {
+            return 0.0;
+        }
+        (w.last_end - w.first_start - w.busy).max(0.0)
+    }
+
+    /// Busy (actively gated) time of qubit `q`, nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn busy_ns(&self, q: usize) -> f64 {
+        self.windows[q].busy
+    }
+
+    /// Whether qubit `q` participates in any gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn is_used(&self, q: usize) -> bool {
+        self.windows[q].used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qubit::{Cbit, Qubit};
+
+    fn times() -> GateTimes {
+        GateTimes { one_qubit_ns: 100.0, two_qubit_ns: 400.0, readout_ns: 1000.0 }
+    }
+
+    #[test]
+    fn serial_gates_accumulate_time() {
+        let mut c = Circuit::new(1);
+        c.h(Qubit(0)).x(Qubit(0)).z(Qubit(0));
+        let s = Schedule::asap(&c, times());
+        assert_eq!(s.start_of(0), 0.0);
+        assert_eq!(s.start_of(1), 100.0);
+        assert_eq!(s.start_of(2), 200.0);
+        assert_eq!(s.total_duration_ns(), 300.0);
+    }
+
+    #[test]
+    fn layer_lasts_as_long_as_slowest_member() {
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0)); // 100ns, layer 0
+        c.cnot(Qubit(1), Qubit(2)); // 400ns, layer 0
+        c.h(Qubit(0)); // layer 1 starts after the slow CNOT
+        let s = Schedule::asap(&c, times());
+        assert_eq!(s.start_of(2), 400.0);
+    }
+
+    #[test]
+    fn swap_lasts_three_cnots() {
+        let mut c = Circuit::new(2);
+        c.swap(Qubit(0), Qubit(1));
+        let s = Schedule::asap(&c, times());
+        assert_eq!(s.end_of(0), 1200.0);
+        assert_eq!(s.total_duration_ns(), 1200.0);
+    }
+
+    #[test]
+    fn idle_time_measures_waiting() {
+        // q1 is gated early, then waits for q0's chain
+        let mut c = Circuit::new(2);
+        c.h(Qubit(1));
+        c.h(Qubit(0));
+        c.h(Qubit(0));
+        c.h(Qubit(0));
+        c.cnot(Qubit(0), Qubit(1));
+        let s = Schedule::asap(&c, times());
+        // q1: window 0..700 (h at 0..100, cnot at 300..700), busy 500
+        assert_eq!(s.idle_ns(1), 200.0);
+        assert_eq!(s.busy_ns(1), 500.0);
+        assert_eq!(s.idle_ns(0), 0.0);
+    }
+
+    #[test]
+    fn unused_qubit_has_no_window() {
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0));
+        let s = Schedule::asap(&c, times());
+        assert!(!s.is_used(2));
+        assert_eq!(s.idle_ns(2), 0.0);
+        assert_eq!(s.busy_ns(2), 0.0);
+    }
+
+    #[test]
+    fn measurements_do_not_extend_windows() {
+        let mut c = Circuit::new(1);
+        c.h(Qubit(0));
+        c.measure(Qubit(0), Cbit(0));
+        let s = Schedule::asap(&c, times());
+        assert_eq!(s.idle_ns(0), 0.0);
+        // but they do extend the total program duration
+        assert_eq!(s.total_duration_ns(), 1100.0);
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let c: Circuit = Circuit::new(2);
+        let s = Schedule::asap(&c, GateTimes::default());
+        assert_eq!(s.total_duration_ns(), 0.0);
+    }
+
+    #[test]
+    fn default_times_match_device_defaults() {
+        let t = GateTimes::default();
+        assert_eq!(t.one_qubit_ns, 50.0);
+        assert_eq!(t.two_qubit_ns, 300.0);
+        assert_eq!(t.readout_ns, 3500.0);
+    }
+}

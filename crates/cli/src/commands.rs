@@ -1,0 +1,397 @@
+//! Implementations of the `quva` subcommands. Each returns its output
+//! as a `String` so the logic is testable without capturing stdout.
+
+use std::fmt::Write as _;
+
+use quva::{partition_analysis, MappingPolicy, PartitionChoice};
+use quva_circuit::{qasm, Circuit};
+use quva_device::{node_strengths, Device};
+use quva_sim::{monte_carlo_pst, run_noisy_trials, CoherenceModel};
+use quva_stats::{fmt3, Table};
+
+use crate::args::{ArgsError, ParsedArgs};
+use crate::spec::{parse_benchmark, parse_device, parse_policy};
+
+/// Top-level dispatch: runs one subcommand and returns its report text.
+///
+/// # Errors
+///
+/// Returns a message for unknown commands, malformed specs, I/O
+/// problems, or compilation failures.
+pub fn run(args: &ParsedArgs) -> Result<String, ArgsError> {
+    match args.command() {
+        "compile" => cmd_compile(args),
+        "pst" => cmd_pst(args),
+        "trials" => cmd_trials(args),
+        "characterize" => cmd_characterize(args),
+        "partition" => cmd_partition(args),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(ArgsError::new(format!("unknown command '{other}'\n\n{}", usage()))),
+    }
+}
+
+/// The CLI usage text.
+pub fn usage() -> String {
+    "\
+quva — variation-aware qubit mapping for NISQ machines
+
+USAGE:
+    quva <COMMAND> [OPTIONS]
+
+FLAGS:
+    --stats       (compile) prefix the QASM with compilation statistics
+    --optimize    (compile) run the peephole optimizer before mapping
+
+COMMANDS:
+    compile       compile a program and emit routed OpenQASM
+    pst           estimate the probability of a successful trial
+    trials        run noisy state-vector trials and report outcomes
+    characterize  print a device's calibration summary
+    partition     decide between one strong copy and two copies (§8)
+    help          show this message
+
+COMMON OPTIONS:
+    --device  q20 | q5 | linear:N | ring:N | grid:RxC | full:N (append @SEED)
+    --policy  baseline | vqm | vqm-mah:K | vqa-vqm | native:SEED
+    --bench   bv:N | qft:N | ghz:N | alu | triswap | rnd-sd:N:C | rnd-ld:N:C
+    --qasm    path to an OpenQASM 2.0 file (alternative to --bench)
+    --calibration  JSON calibration snapshot overriding the device's
+                   (export one with: characterize --export cal.json)
+
+EXAMPLES:
+    quva compile --device q20 --policy vqa-vqm --bench bv:16 --stats
+    quva pst --device q20 --policy baseline --bench qft:12 --trials 100000
+    quva trials --device q5 --policy vqa-vqm --bench ghz:3 --trials 4096
+    quva characterize --device q20
+    quva partition --device q20 --policy vqa-vqm --bench bv:10
+"
+    .to_string()
+}
+
+/// Loads the input program from `--bench` or `--qasm`.
+fn load_program(args: &ParsedArgs) -> Result<(String, Circuit), ArgsError> {
+    match (args.get("bench"), args.get("qasm")) {
+        (Some(spec), None) => {
+            let b = parse_benchmark(spec)?;
+            Ok((b.name().to_string(), b.circuit().clone()))
+        }
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ArgsError::new(format!("cannot read {path}: {e}")))?;
+            let circuit = qasm::from_qasm(&text).map_err(|e| ArgsError::new(e.to_string()))?;
+            Ok((path.to_string(), circuit))
+        }
+        (Some(_), Some(_)) => Err(ArgsError::new("give either --bench or --qasm, not both")),
+        (None, None) => Err(ArgsError::new("missing program: give --bench <spec> or --qasm <file>")),
+    }
+}
+
+fn load_setup(args: &ParsedArgs) -> Result<(Device, MappingPolicy, String, Circuit), ArgsError> {
+    let device = load_device(args, "q20")?;
+    let policy = parse_policy(args.get_or("policy", "vqa-vqm"))?;
+    let (name, program) = load_program(args)?;
+    Ok((device, policy, name, program))
+}
+
+/// Builds the device from `--device`, optionally replacing its
+/// calibration with a JSON snapshot from `--calibration` (as exported by
+/// `characterize --export`).
+fn load_device(args: &ParsedArgs, default_spec: &str) -> Result<Device, ArgsError> {
+    let device = parse_device(args.get_or("device", default_spec))?;
+    let Some(path) = args.get("calibration") else {
+        return Ok(device);
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ArgsError::new(format!("cannot read {path}: {e}")))?;
+    let calibration: quva_device::Calibration = serde_json::from_str(&text)
+        .map_err(|e| ArgsError::new(format!("{path} is not a calibration snapshot: {e}")))?;
+    device
+        .with_calibration(calibration)
+        .map_err(|e| ArgsError::new(format!("{path} does not fit the device: {e}")))
+}
+
+fn cmd_compile(args: &ParsedArgs) -> Result<String, ArgsError> {
+    let (device, policy, name, mut program) = load_setup(args)?;
+    let mut removed = 0;
+    if args.has_switch("optimize") {
+        let (optimized, stats) = quva_circuit::optimize(&program);
+        removed = stats.total_removed();
+        program = optimized;
+    }
+    let compiled = policy.compile(&program, &device).map_err(|e| ArgsError::new(e.to_string()))?;
+    let mut out = String::new();
+    if args.has_switch("optimize") && args.has_switch("stats") {
+        let _ = writeln!(out, "// optimizer removed : {removed} gates");
+    }
+    if args.has_switch("stats") {
+        let report = compiled
+            .analytic_pst(&device, CoherenceModel::Disabled)
+            .map_err(|e| ArgsError::new(e.to_string()))?;
+        let _ = writeln!(out, "// program          : {name}");
+        let _ = writeln!(out, "// device           : {device}");
+        let _ = writeln!(out, "// policy           : {}", policy.name());
+        let _ = writeln!(out, "// inserted swaps   : {}", compiled.inserted_swaps());
+        let _ = writeln!(out, "// physical 2Q gates: {}", compiled.physical().two_qubit_gate_count());
+        let _ = writeln!(out, "// analytic PST     : {:.6}", report.pst);
+        let _ = writeln!(out, "// initial mapping  : {}", compiled.initial_mapping());
+        let _ = writeln!(out, "// final mapping    : {}", compiled.final_mapping());
+    }
+    out.push_str(&qasm::to_qasm(compiled.physical()));
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, &out).map_err(|e| ArgsError::new(format!("cannot write {path}: {e}")))?;
+        return Ok(format!("wrote routed program to {path}\n"));
+    }
+    Ok(out)
+}
+
+fn cmd_pst(args: &ParsedArgs) -> Result<String, ArgsError> {
+    let (device, policy, name, program) = load_setup(args)?;
+    let trials: u64 = args.get_parsed("trials")?.unwrap_or(100_000);
+    let compiled = policy.compile(&program, &device).map_err(|e| ArgsError::new(e.to_string()))?;
+    let analytic = compiled
+        .analytic_pst(&device, CoherenceModel::Disabled)
+        .map_err(|e| ArgsError::new(e.to_string()))?;
+    let mc = monte_carlo_pst(&device, compiled.physical(), trials, 7, CoherenceModel::Disabled)
+        .map_err(|e| ArgsError::new(e.to_string()))?;
+    let mut table = Table::new(["metric", "value"]);
+    table.row(["program".into(), name]);
+    table.row(["policy".into(), policy.name()]);
+    table.row(["inserted swaps".into(), compiled.inserted_swaps().to_string()]);
+    table.row(["analytic PST".into(), format!("{:.6}", analytic.pst)]);
+    table.row(["monte-carlo PST".into(), format!("{:.6} ± {:.6}", mc.pst, mc.std_error())]);
+    table.row(["trials".into(), trials.to_string()]);
+    Ok(table.to_string())
+}
+
+fn cmd_trials(args: &ParsedArgs) -> Result<String, ArgsError> {
+    let device = load_device(args, "q5")?;
+    let policy = parse_policy(args.get_or("policy", "vqa-vqm"))?;
+    let bench = parse_benchmark(args.require("bench")?)?;
+    let trials: u64 = args.get_parsed("trials")?.unwrap_or(4096);
+    let compiled = policy.compile(bench.circuit(), &device).map_err(|e| ArgsError::new(e.to_string()))?;
+    let outcomes = run_noisy_trials(&device, compiled.physical(), trials, 11)
+        .map_err(|e| ArgsError::new(e.to_string()))?;
+
+    let mut rows: Vec<(u64, u64)> = outcomes.histogram().iter().map(|(&o, &c)| (o, c)).collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut table = Table::new(["outcome", "count", "fraction", "accepted"]);
+    for (outcome, count) in rows.into_iter().take(10) {
+        table.row([
+            format!("{outcome:0width$b}", width = bench.circuit().num_qubits()),
+            count.to_string(),
+            fmt3(count as f64 / trials as f64),
+            if bench.is_success(outcome) { "yes".into() } else { "no".to_string() },
+        ]);
+    }
+    let mut out = table.to_string();
+    let _ = writeln!(
+        out,
+        "\nPST (output correctness): {:.4} over {trials} noisy trials",
+        outcomes.success_rate(|o| bench.is_success(o))
+    );
+    Ok(out)
+}
+
+fn cmd_characterize(args: &ParsedArgs) -> Result<String, ArgsError> {
+    let device = load_device(args, "q20")?;
+    if let Some(path) = args.get("export") {
+        let json = serde_json::to_string_pretty(device.calibration())
+            .expect("calibrations serialize");
+        std::fs::write(path, json).map_err(|e| ArgsError::new(format!("cannot write {path}: {e}")))?;
+        return Ok(format!("wrote calibration snapshot to {path}\n"));
+    }
+    let cal = device.calibration();
+    let topo = device.topology();
+    let strengths = node_strengths(&device);
+
+    let mut out = format!("{device}\n\n");
+    // ASCII device map for grid-convention layouts
+    let shape = match args.get_or("device", "q20") {
+        "q20" | "ibm-q20" => Some((4, 5)),
+        spec => spec.strip_prefix("grid:").and_then(|dims| {
+            let dims = dims.split('@').next().unwrap_or(dims);
+            let (r, c) = dims.split_once('x')?;
+            Some((r.parse().ok()?, c.parse().ok()?))
+        }),
+    };
+    if let Some((r, c)) = shape {
+        out.push_str(&quva_viz::render_grid_map(&device, r, c));
+        out.push('\n');
+    }
+    let mut qubits = Table::new(["qubit", "T1_us", "T2_us", "err_1q", "err_readout", "strength"]);
+    for q in topo.qubits() {
+        let i = q.index();
+        qubits.row([
+            q.to_string(),
+            format!("{:.1}", cal.t1_us(i)),
+            format!("{:.1}", cal.t2_us(i)),
+            format!("{:.4}", cal.one_qubit_error(i)),
+            format!("{:.4}", cal.readout_error(i)),
+            format!("{:.2}", strengths[i]),
+        ]);
+    }
+    out.push_str(&qubits.to_string());
+
+    let mut links = Table::new(["link", "err_2q", "swap_success"]);
+    for (id, link) in topo.links().iter().enumerate() {
+        links.row([
+            link.to_string(),
+            format!("{:.4}", cal.two_qubit_error(id)),
+            format!("{:.4}", (1.0 - cal.two_qubit_error(id)).powi(3)),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&links.to_string());
+    let (best, worst) = cal.two_qubit_error_range();
+    let _ = writeln!(
+        out,
+        "\nbest link {best:.3}, worst link {worst:.3}, spread {:.1}x, mean {:.3}",
+        cal.variation_ratio(),
+        cal.mean_two_qubit_error()
+    );
+    Ok(out)
+}
+
+fn cmd_partition(args: &ParsedArgs) -> Result<String, ArgsError> {
+    let (device, policy, name, program) = load_setup(args)?;
+    let report = partition_analysis(&program, &device, policy, CoherenceModel::Disabled)
+        .map_err(|e| ArgsError::new(e.to_string()))?;
+    let mut out = format!("partitioning analysis for {name} on {device}\n\n");
+    let _ = writeln!(out, "one strong copy : PST {:.4} (STPT {:.4})", report.one_strong.pst, report.stpt_one());
+    match &report.two_copies {
+        Some((x, y)) => {
+            let _ = writeln!(out, "two copies      : PST {:.4} + {:.4} (STPT {:.4})", x.pst, y.pst, report.stpt_two());
+        }
+        None => {
+            let _ = writeln!(out, "two copies      : do not fit");
+        }
+    }
+    let verdict = match report.recommend() {
+        PartitionChoice::OneStrongCopy => "run ONE strong copy",
+        PartitionChoice::TwoCopies => "run TWO concurrent copies",
+    };
+    let _ = writeln!(out, "recommendation  : {verdict}");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(line: &[&str]) -> Result<String, ArgsError> {
+        let parsed = ParsedArgs::parse(line, &["stats", "optimize"]).unwrap();
+        run(&parsed)
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let out = run_line(&["help"]).unwrap();
+        for cmd in ["compile", "pst", "trials", "characterize", "partition"] {
+            assert!(out.contains(cmd), "usage missing {cmd}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_errors_with_usage() {
+        let err = run_line(&["frobnicate"]).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+        assert!(err.to_string().contains("USAGE"));
+    }
+
+    #[test]
+    fn compile_emits_qasm() {
+        let out = run_line(&["compile", "--device", "q20", "--policy", "vqa-vqm", "--bench", "bv:8"]).unwrap();
+        assert!(out.contains("OPENQASM 2.0;"));
+        assert!(out.contains("cx q["));
+    }
+
+    #[test]
+    fn compile_optimize_flag() {
+        // a program with a cancellable pair: the optimizer shrinks it
+        let out = run_line(&[
+            "compile", "--device", "q5", "--policy", "baseline", "--bench", "bv:3", "--optimize", "--stats",
+        ])
+        .unwrap();
+        assert!(out.contains("// optimizer removed"));
+    }
+
+    #[test]
+    fn compile_stats_header() {
+        let out =
+            run_line(&["compile", "--device", "q20", "--policy", "baseline", "--bench", "ghz:4", "--stats"])
+                .unwrap();
+        assert!(out.contains("// analytic PST"));
+        assert!(out.contains("// inserted swaps"));
+    }
+
+    #[test]
+    fn pst_reports_both_estimators() {
+        let out = run_line(&["pst", "--device", "q5", "--policy", "vqm", "--bench", "bv:4", "--trials", "20000"])
+            .unwrap();
+        assert!(out.contains("analytic PST"));
+        assert!(out.contains("monte-carlo PST"));
+    }
+
+    #[test]
+    fn trials_reports_histogram_and_pst() {
+        let out = run_line(&["trials", "--device", "q5", "--bench", "ghz:3", "--trials", "512"]).unwrap();
+        assert!(out.contains("outcome"));
+        assert!(out.contains("PST (output correctness)"));
+    }
+
+    #[test]
+    fn characterize_lists_links() {
+        let out = run_line(&["characterize", "--device", "q5"]).unwrap();
+        assert!(out.contains("Q0–Q1") || out.contains("err_2q"));
+        assert!(out.contains("spread"));
+    }
+
+    #[test]
+    fn characterize_draws_the_tokyo_map() {
+        let out = run_line(&["characterize", "--device", "q20"]).unwrap();
+        assert!(out.contains("diagonal couplings"), "missing map in:\n{out}");
+    }
+
+    #[test]
+    fn characterize_draws_grid_maps() {
+        let out = run_line(&["characterize", "--device", "grid:2x3"]).unwrap();
+        assert!(out.contains("Q5"), "missing grid map in:\n{out}");
+    }
+
+    #[test]
+    fn partition_recommends() {
+        let out = run_line(&["partition", "--device", "q20", "--bench", "bv:10"]).unwrap();
+        assert!(out.contains("recommendation"));
+    }
+
+    #[test]
+    fn calibration_roundtrip_through_files() {
+        let dir = std::env::temp_dir().join("quva-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cal.json");
+        let path_str = path.to_str().unwrap();
+        let out = run_line(&["characterize", "--device", "q5", "--export", path_str]).unwrap();
+        assert!(out.contains("wrote calibration snapshot"));
+        // reuse the exported snapshot on the same topology
+        let report =
+            run_line(&["pst", "--device", "q5", "--calibration", path_str, "--bench", "bv:3"]).unwrap();
+        assert!(report.contains("analytic PST"));
+        // and reject it on a mismatched topology
+        let err = run_line(&["pst", "--device", "q20", "--calibration", path_str, "--bench", "bv:3"])
+            .unwrap_err();
+        assert!(err.to_string().contains("does not fit"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_program_is_friendly() {
+        let err = run_line(&["pst", "--device", "q20"]).unwrap_err();
+        assert!(err.to_string().contains("--bench"));
+    }
+
+    #[test]
+    fn qasm_and_bench_conflict() {
+        let err = run_line(&["pst", "--bench", "bv:4", "--qasm", "x.qasm"]).unwrap_err();
+        assert!(err.to_string().contains("not both"));
+    }
+}

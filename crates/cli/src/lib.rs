@@ -1,0 +1,24 @@
+//! # quva-cli — command-line interface for the quva NISQ compiler
+//!
+//! Subcommands: `compile` (emit routed OpenQASM), `pst` (reliability
+//! estimation), `trials` (noisy state-vector execution),
+//! `characterize` (calibration summary), `partition` (§8 one-vs-two
+//! copies analysis). See [`commands::usage`] for the full syntax.
+//!
+//! # Examples
+//!
+//! ```
+//! use quva_cli::{args::ParsedArgs, commands};
+//!
+//! let argv = ["pst", "--device", "q5", "--bench", "ghz:3", "--trials", "10000"];
+//! let parsed = ParsedArgs::parse(&argv, &["stats", "optimize"]).unwrap();
+//! let report = commands::run(&parsed).unwrap();
+//! assert!(report.contains("analytic PST"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod args;
+pub mod commands;
+pub mod spec;

@@ -1,0 +1,28 @@
+//! The `quva` binary: parse, dispatch, print.
+
+use std::process::ExitCode;
+
+use quva_cli::args::ParsedArgs;
+use quva_cli::commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match ParsedArgs::parse(&argv, &["stats", "optimize"]) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,684 @@
+//! The end-to-end mapping pipeline: allocate, then route layer by
+//! layer, emitting a physical circuit.
+
+use std::error::Error;
+use std::fmt;
+
+use quva_circuit::{Circuit, Gate, Layers, PhysQubit, Qubit};
+use quva_device::{Device, HopMatrix, ReliabilityMatrix};
+use quva_sim::{analytic_pst, CoherenceModel, PstReport, SimError};
+
+use crate::allocator::AllocationStrategy;
+use crate::mapping::Mapping;
+use crate::router::RoutingMetric;
+
+/// A complete mapping policy: an allocation strategy plus a routing
+/// metric. The paper's four policies are provided as constructors.
+///
+/// # Examples
+///
+/// ```
+/// use quva::MappingPolicy;
+/// use quva_device::Device;
+/// use quva_benchmarks::bv;
+///
+/// # fn main() -> Result<(), quva::CompileError> {
+/// let device = Device::ibm_q20();
+/// let program = bv(16);
+/// let compiled = MappingPolicy::vqa_vqm().compile(&program, &device)?;
+/// assert!(compiled.physical().two_qubit_gate_count() >= program.two_qubit_gate_count());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MappingPolicy {
+    /// Initial placement strategy.
+    pub allocation: AllocationStrategy,
+    /// Movement cost metric.
+    pub routing: RoutingMetric,
+}
+
+impl MappingPolicy {
+    /// The variation-unaware baseline (§4.5): greedy interaction
+    /// placement + minimum-SWAP routing.
+    pub fn baseline() -> Self {
+        MappingPolicy { allocation: AllocationStrategy::GreedyInteraction, routing: RoutingMetric::Hops }
+    }
+
+    /// VQM (§5): baseline allocation, reliability-optimal movement.
+    pub fn vqm() -> Self {
+        MappingPolicy {
+            allocation: AllocationStrategy::GreedyInteraction,
+            routing: RoutingMetric::reliability(),
+        }
+    }
+
+    /// Hop-limited VQM with the paper's MAH = 4 (§5.3).
+    pub fn vqm_hop_limited() -> Self {
+        MappingPolicy {
+            allocation: AllocationStrategy::GreedyInteraction,
+            routing: RoutingMetric::reliability_hop_limited(),
+        }
+    }
+
+    /// VQA + VQM (§6): strongest-subgraph allocation, reliability
+    /// movement — the paper's headline policy.
+    pub fn vqa_vqm() -> Self {
+        MappingPolicy { allocation: AllocationStrategy::vqa(), routing: RoutingMetric::reliability() }
+    }
+
+    /// The IBM-native-compiler stand-in (§6.4): seeded random
+    /// allocation, minimum-SWAP routing.
+    pub fn native(seed: u64) -> Self {
+        MappingPolicy { allocation: AllocationStrategy::Random { seed }, routing: RoutingMetric::Hops }
+    }
+
+    /// A short display name for tables.
+    pub fn name(&self) -> String {
+        match (self.allocation, self.routing) {
+            (AllocationStrategy::Random { .. }, _) => "native".into(),
+            (AllocationStrategy::GreedyInteraction, RoutingMetric::Hops) => "baseline".into(),
+            (AllocationStrategy::GreedyInteraction, RoutingMetric::Reliability { max_additional_hops: None, .. }) => {
+                "VQM".into()
+            }
+            (AllocationStrategy::GreedyInteraction, RoutingMetric::Reliability { max_additional_hops: Some(m), .. }) => {
+                format!("VQM(MAH={m})")
+            }
+            (AllocationStrategy::StrongestSubgraph { .. }, RoutingMetric::Hops) => "VQA".into(),
+            (AllocationStrategy::StrongestSubgraph { .. }, RoutingMetric::Reliability { .. }) => {
+                "VQA+VQM".into()
+            }
+        }
+    }
+
+    /// Compiles a program circuit into a routed physical circuit.
+    ///
+    /// The strongest-subgraph (VQA) allocation is a *restriction* of the
+    /// placement space, so the compiler treats it as a portfolio: it
+    /// also routes the unrestricted interaction-greedy placement and
+    /// keeps whichever compiled circuit the analytic gate-error model
+    /// predicts to be more reliable. This realizes the paper's Fig. 13
+    /// property that VQA+VQM never falls below VQM alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] when the program does not fit the device
+    /// or a required movement is impossible (disconnected topology).
+    pub fn compile(&self, circuit: &Circuit, device: &Device) -> Result<CompiledCircuit, CompileError> {
+        let mapping = self
+            .allocation
+            .allocate(circuit, device)
+            .map_err(CompileError::Allocation)?;
+        let compiled = route(circuit, device, mapping, self.routing)?;
+        if !matches!(self.allocation, AllocationStrategy::StrongestSubgraph { .. }) {
+            return Ok(compiled);
+        }
+        let alt_policy =
+            MappingPolicy { allocation: AllocationStrategy::GreedyInteraction, routing: self.routing };
+        let Ok(alt) = alt_policy.compile(circuit, device) else {
+            return Ok(compiled);
+        };
+        let pst = |c: &CompiledCircuit| {
+            c.analytic_pst(device, CoherenceModel::Disabled).map(|r| r.pst).unwrap_or(0.0)
+        };
+        if pst(&alt) > pst(&compiled) {
+            Ok(alt)
+        } else {
+            Ok(compiled)
+        }
+    }
+
+    /// Compiles with the *plan-based* router instead of the default
+    /// stepwise lookahead router: each separated two-qubit gate gets a
+    /// whole SWAP chain from [`crate::Router::plan`] at once, with no
+    /// lookahead over future gates. Kept as the architecture ablation —
+    /// the stepwise router exists because this variant's trajectories
+    /// are chaotic on dense workloads (see DESIGN.md).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] when the program does not fit the device
+    /// or a required movement is impossible.
+    pub fn compile_plan_based(&self, circuit: &Circuit, device: &Device) -> Result<CompiledCircuit, CompileError> {
+        let mut mapping = self
+            .allocation
+            .allocate(circuit, device)
+            .map_err(CompileError::Allocation)?;
+        let router = crate::router::Router::new(device, self.routing);
+        let initial = mapping.clone();
+        let mut out: Circuit<PhysQubit> =
+            Circuit::with_cbits(device.num_qubits(), circuit.num_cbits().max(1));
+        let mut inserted = 0usize;
+
+        let layers = Layers::of(circuit);
+        for li in 0..layers.len() {
+            for &gi in layers.layer(li) {
+                match &circuit.gates()[gi] {
+                    Gate::OneQubit { kind, qubit } => {
+                        out.one(*kind, mapping.phys_of(*qubit));
+                    }
+                    Gate::Measure { qubit, cbit } => {
+                        out.measure(mapping.phys_of(*qubit), *cbit);
+                    }
+                    Gate::Barrier { qubits } => {
+                        let mapped = qubits.iter().map(|&q| mapping.phys_of(q)).collect();
+                        out.push(Gate::Barrier { qubits: mapped });
+                    }
+                    Gate::Cnot { control: a, target: b } | Gate::Swap { a, b } => {
+                        let (pa, pb) = (mapping.phys_of(*a), mapping.phys_of(*b));
+                        if !device.topology().has_link(pa, pb) {
+                            let plan = router
+                                .plan(pa, pb)
+                                .ok_or(CompileError::Disconnected { a: *a, b: *b })?;
+                            for (u, v) in plan.swaps() {
+                                out.swap(u, v);
+                                mapping.apply_swap(u, v);
+                                inserted += 1;
+                            }
+                        }
+                        let (pa, pb) = (mapping.phys_of(*a), mapping.phys_of(*b));
+                        match &circuit.gates()[gi] {
+                            Gate::Cnot { .. } => {
+                                out.cnot(pa, pb);
+                            }
+                            _ => {
+                                out.swap(pa, pb);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(CompiledCircuit { physical: out, initial, final_mapping: mapping, inserted_swaps: inserted })
+    }
+}
+
+/// Error produced when compilation fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Initial allocation failed (program larger than device, ...).
+    Allocation(String),
+    /// Two program qubits must interact but their physical locations
+    /// are disconnected.
+    Disconnected {
+        /// First program qubit.
+        a: Qubit,
+        /// Second program qubit.
+        b: Qubit,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Allocation(msg) => write!(f, "allocation failed: {msg}"),
+            CompileError::Disconnected { a, b } => {
+                write!(f, "program qubits {a} and {b} sit on disconnected device regions")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+/// The output of compilation: a hardware-level circuit plus the mapping
+/// bookkeeping needed to interpret it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledCircuit {
+    physical: Circuit<PhysQubit>,
+    initial: Mapping,
+    final_mapping: Mapping,
+    inserted_swaps: usize,
+}
+
+impl CompiledCircuit {
+    /// The routed physical circuit (every two-qubit gate on a coupling
+    /// link).
+    pub fn physical(&self) -> &Circuit<PhysQubit> {
+        &self.physical
+    }
+
+    /// Where each program qubit started.
+    pub fn initial_mapping(&self) -> &Mapping {
+        &self.initial
+    }
+
+    /// Where each program qubit ended up.
+    pub fn final_mapping(&self) -> &Mapping {
+        &self.final_mapping
+    }
+
+    /// Number of SWAPs the router inserted (excludes SWAPs present in
+    /// the source program).
+    pub fn inserted_swaps(&self) -> usize {
+        self.inserted_swaps
+    }
+
+    /// Analytic PST of the compiled circuit on `device`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the circuit does not fit `device` (e.g.
+    /// it was compiled for a different machine).
+    pub fn analytic_pst(&self, device: &Device, coherence: CoherenceModel) -> Result<PstReport, SimError> {
+        analytic_pst(device, &self.physical, coherence)
+    }
+
+    /// Per-link utilization in physical CNOT-equivalents (a SWAP counts
+    /// as 3): index i = link id of `device.topology().links()[i]`.
+    /// Links addressed by the circuit but absent from the device count
+    /// as `None`-routing errors elsewhere; here they are skipped.
+    ///
+    /// The core claim of the paper — variation-aware policies *steer
+    /// traffic away from weak links* — is directly observable in this
+    /// profile (see the `vqm_shifts_traffic_off_weak_links` test).
+    pub fn link_utilization(&self, device: &Device) -> Vec<usize> {
+        let topo = device.topology();
+        let mut use_count = vec![0usize; topo.num_links()];
+        for gate in &self.physical {
+            if let Gate::Cnot { control: a, target: b } | Gate::Swap { a, b } = gate {
+                if let Some(id) = topo.link_id(*a, *b) {
+                    use_count[id] += gate.cnot_cost();
+                }
+            }
+        }
+        use_count
+    }
+
+    /// The utilization-weighted mean link error of the compiled
+    /// circuit: the average two-qubit error rate actually *experienced*
+    /// per CNOT-equivalent. Lower is better; variation-aware policies
+    /// push this below the device's plain mean.
+    pub fn experienced_link_error(&self, device: &Device) -> f64 {
+        let usage = self.link_utilization(device);
+        let total: usize = usage.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let cal = device.calibration();
+        usage
+            .iter()
+            .enumerate()
+            .map(|(id, &u)| u as f64 * cal.two_qubit_error(id))
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+/// How many upcoming two-qubit gates the router's lookahead inspects.
+const LOOKAHEAD_WINDOW: usize = 16;
+/// Relative weight of the lookahead term against the current gate.
+const LOOKAHEAD_WEIGHT: f64 = 0.5;
+
+/// Routes an allocated circuit with stepwise SWAP insertion: for each
+/// two-qubit gate whose operands are separated, single SWAPs are chosen
+/// one at a time by a score combining the metric's cost of the SWAP,
+/// the remaining separation of the active pair, and a lookahead over
+/// the next [`LOOKAHEAD_WINDOW`] two-qubit gates — the displacement of
+/// bystander qubits is thereby accounted for instead of compounding
+/// silently (the instability the paper's MAH heuristic also targets).
+fn route(
+    circuit: &Circuit,
+    device: &Device,
+    mut mapping: Mapping,
+    metric: RoutingMetric,
+) -> Result<CompiledCircuit, CompileError> {
+    let topo = device.topology();
+    let hops = HopMatrix::of(topo);
+    // metric distance between physical locations: expected failure
+    // weight (reliability) or SWAP count (hops) to bring them together
+    let swap_dist = match metric {
+        RoutingMetric::Hops => {
+            ReliabilityMatrix::of(topo, |_| 1.0) // uniform: distance = hops
+        }
+        RoutingMetric::Reliability { .. } => ReliabilityMatrix::of(topo, |id| {
+            let link = topo.links()[id];
+            device
+                .swap_failure_weight(link.low(), link.high())
+                .expect("link endpoints are coupled")
+        }),
+    };
+    let dist = swap_dist;
+
+    let initial = mapping.clone();
+    let mut out: Circuit<PhysQubit> = Circuit::with_cbits(device.num_qubits(), circuit.num_cbits().max(1));
+    let mut inserted = 0usize;
+
+    // flatten gates in layer order once; two-qubit gates feed the
+    // lookahead
+    let layers = Layers::of(circuit);
+    let order: Vec<usize> = layers.iter().flatten().copied().collect();
+    let two_qubit_positions: Vec<usize> =
+        (0..order.len()).filter(|&i| circuit.gates()[order[i]].is_two_qubit()).collect();
+    let mut next_2q = 0usize; // index into two_qubit_positions
+
+    for (pos, &gi) in order.iter().enumerate() {
+        let gate = &circuit.gates()[gi];
+        if gate.is_two_qubit() {
+            next_2q += 1;
+        }
+        match gate {
+            Gate::OneQubit { kind, qubit } => {
+                out.one(*kind, mapping.phys_of(*qubit));
+            }
+            Gate::Measure { qubit, cbit } => {
+                out.measure(mapping.phys_of(*qubit), *cbit);
+            }
+            Gate::Barrier { qubits } => {
+                let mapped = qubits.iter().map(|&q| mapping.phys_of(q)).collect();
+                out.push(Gate::Barrier { qubits: mapped });
+            }
+            Gate::Cnot { control: a, target: b } | Gate::Swap { a, b } => {
+                debug_assert!(pos < order.len());
+                let upcoming: Vec<(Qubit, Qubit)> = two_qubit_positions[next_2q..]
+                    .iter()
+                    .take(LOOKAHEAD_WINDOW)
+                    .map(|&i| {
+                        let qs = circuit.gates()[order[i]].qubits();
+                        (qs[0], qs[1])
+                    })
+                    .collect();
+                bring_together(
+                    device, &hops, &dist, metric, &mut mapping, &mut out, &mut inserted, *a, *b, &upcoming,
+                )?;
+                let (pa, pb) = (mapping.phys_of(*a), mapping.phys_of(*b));
+                match gate {
+                    Gate::Cnot { .. } => {
+                        out.cnot(pa, pb);
+                    }
+                    // a SWAP demanded by the source program executes
+                    // physically; register contents exchange, homes stay
+                    _ => {
+                        out.swap(pa, pb);
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(CompiledCircuit { physical: out, initial, final_mapping: mapping, inserted_swaps: inserted })
+}
+
+/// Inserts SWAPs one at a time until program qubits `a` and `b` sit on
+/// coupled physical qubits.
+#[allow(clippy::too_many_arguments)]
+fn bring_together(
+    device: &Device,
+    hops: &HopMatrix,
+    dist: &ReliabilityMatrix,
+    metric: RoutingMetric,
+    mapping: &mut Mapping,
+    out: &mut Circuit<PhysQubit>,
+    inserted: &mut usize,
+    a: Qubit,
+    b: Qubit,
+    upcoming: &[(Qubit, Qubit)],
+) -> Result<(), CompileError> {
+    let topo = device.topology();
+    if hops.get(mapping.phys_of(a), mapping.phys_of(b)) == quva_device::UNREACHABLE_HOPS {
+        return Err(CompileError::Disconnected { a, b });
+    }
+    let start_swaps = hops.swaps_needed(mapping.phys_of(a), mapping.phys_of(b)) as usize;
+    // after this budget, fall back to strict hop descent (guaranteed
+    // progress); MAH additionally caps the exploratory phase
+    let explore_budget = match metric {
+        RoutingMetric::Reliability { max_additional_hops: Some(mah), .. } => start_swaps + mah as usize,
+        _ => start_swaps + 4,
+    };
+    let mut steps = 0usize;
+    let mut last_swap: Option<(PhysQubit, PhysQubit)> = None;
+
+    loop {
+        let (pa, pb) = (mapping.phys_of(a), mapping.phys_of(b));
+        if topo.has_link(pa, pb) {
+            return Ok(());
+        }
+        let strict = steps >= explore_budget;
+
+        // candidate swaps: links incident to either active location
+        let mut best: Option<(f64, (PhysQubit, PhysQubit))> = None;
+        for &active in &[pa, pb] {
+            for nb in topo.neighbors(active) {
+                let cand = (active, nb);
+                if last_swap == Some((cand.1, cand.0)) || last_swap == Some(cand) {
+                    continue; // never undo the previous step
+                }
+                // positions after the candidate swap
+                let move_pos = |p: PhysQubit| -> PhysQubit {
+                    if p == cand.0 {
+                        cand.1
+                    } else if p == cand.1 {
+                        cand.0
+                    } else {
+                        p
+                    }
+                };
+                let (na, nbq) = (move_pos(pa), move_pos(pb));
+                if strict && hops.get(na, nbq) >= hops.get(pa, pb) {
+                    continue; // strict mode: only hop-descending swaps
+                }
+                let swap_cost = match metric {
+                    RoutingMetric::Hops => 1.0,
+                    RoutingMetric::Reliability { .. } => device
+                        .swap_failure_weight(cand.0, cand.1)
+                        .expect("neighbor implies link"),
+                };
+                // remaining cost after this swap: the swap-weight
+                // distance, except that with the meeting-edge extension
+                // a landing edge is charged at its true execution cost
+                // (1× the link weight instead of a SWAP's 3×)
+                let remaining = match metric {
+                    RoutingMetric::Reliability { optimize_meeting_edge: true, .. }
+                        if topo.has_link(na, nbq) =>
+                    {
+                        device.cnot_failure_weight(na, nbq).expect("adjacent implies link")
+                    }
+                    _ => dist.get(na, nbq),
+                };
+                let mut score = swap_cost + remaining;
+                if !upcoming.is_empty() {
+                    let mut future = 0.0;
+                    for &(fa, fb) in upcoming {
+                        let (fa_p, fb_p) = (mapping.phys_of(fa), mapping.phys_of(fb));
+                        future += dist.get(move_pos(fa_p), move_pos(fb_p));
+                    }
+                    score += LOOKAHEAD_WEIGHT * future / upcoming.len() as f64;
+                }
+                let better = match best {
+                    None => true,
+                    Some((bs, bc)) => score < bs - 1e-12 || (score < bs + 1e-12 && cand < bc),
+                };
+                if better {
+                    best = Some((score, cand));
+                }
+            }
+        }
+
+        let (_, (u, v)) = best.expect("a separated, connected pair always has a candidate swap");
+        out.swap(u, v);
+        mapping.apply_swap(u, v);
+        *inserted += 1;
+        last_swap = Some((u, v));
+        steps += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quva_circuit::Cbit;
+    use quva_device::{Calibration, Topology};
+
+    fn uniform(topo: Topology, e: f64) -> Device {
+        Device::new(topo, |t| Calibration::uniform(t, e, 0.001, 0.02))
+    }
+
+    fn long_cnot_program() -> Circuit {
+        let mut c = Circuit::new(4);
+        c.h(Qubit(0));
+        c.cnot(Qubit(0), Qubit(3));
+        c.measure(Qubit(3), Cbit(0));
+        c
+    }
+
+    /// Every two-qubit gate of a compiled circuit must sit on a link.
+    fn assert_routed(compiled: &CompiledCircuit, device: &Device) {
+        for g in compiled.physical() {
+            if let Gate::Cnot { control: a, target: b } | Gate::Swap { a, b } = g {
+                assert!(device.topology().has_link(*a, *b), "{g} not on a coupling link");
+            }
+        }
+    }
+
+    #[test]
+    fn compile_produces_routed_circuit() {
+        let dev = uniform(Topology::linear(4), 0.05);
+        for policy in [
+            MappingPolicy::baseline(),
+            MappingPolicy::vqm(),
+            MappingPolicy::vqm_hop_limited(),
+            MappingPolicy::vqa_vqm(),
+            MappingPolicy::native(3),
+        ] {
+            let compiled = policy.compile(&long_cnot_program(), &dev).unwrap();
+            assert_routed(&compiled, &dev);
+            assert_eq!(compiled.physical().cnot_count(), 1, "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn adjacent_cnot_needs_no_swaps() {
+        let dev = uniform(Topology::linear(2), 0.05);
+        let mut c = Circuit::new(2);
+        c.cnot(Qubit(0), Qubit(1));
+        let compiled = MappingPolicy::baseline().compile(&c, &dev).unwrap();
+        assert_eq!(compiled.inserted_swaps(), 0);
+        assert_eq!(compiled.physical().swap_count(), 0);
+    }
+
+    #[test]
+    fn swap_chain_updates_mapping() {
+        // on a line, allocation may already place q0 and q3 adjacent;
+        // force the identity placement via the native policy with a
+        // seed that yields identity? Instead test the mapping algebra
+        // directly: compile and check measurements land correctly.
+        let dev = uniform(Topology::linear(4), 0.05);
+        let compiled = MappingPolicy::baseline().compile(&long_cnot_program(), &dev).unwrap();
+        // the measured physical qubit must be q3's final home
+        let measured = compiled
+            .physical()
+            .iter()
+            .find_map(|g| match g {
+                Gate::Measure { qubit, .. } => Some(*qubit),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(measured, compiled.final_mapping().phys_of(Qubit(3)));
+    }
+
+    #[test]
+    fn program_swaps_execute_physically() {
+        let dev = uniform(Topology::linear(3), 0.05);
+        let mut c = Circuit::new(3);
+        c.swap(Qubit(0), Qubit(1));
+        let compiled = MappingPolicy::baseline().compile(&c, &dev).unwrap();
+        assert_eq!(compiled.physical().swap_count(), 1);
+        assert_eq!(compiled.inserted_swaps(), 0);
+    }
+
+    #[test]
+    fn vqm_avoids_weak_link_at_cost_of_swaps() {
+        // ring with a weak arc between the allocated qubits
+        let topo = Topology::ring(5);
+        let dev = Device::new(topo, |t| {
+            let mut cal = Calibration::uniform(t, 0.02, 0.0, 0.0);
+            cal.set_two_qubit_error(0, 0.45); // 0-1
+            cal.set_two_qubit_error(1, 0.45); // 1-2
+            cal
+        });
+        let mut c = Circuit::new(5);
+        // identity-friendly: touch all qubits so allocation is full
+        for i in 0..5u32 {
+            c.h(Qubit(i));
+        }
+        c.cnot(Qubit(0), Qubit(2));
+        let base = MappingPolicy::native(0).compile(&c, &dev).unwrap();
+        let vqm = MappingPolicy { allocation: AllocationStrategy::Random { seed: 0 }, routing: RoutingMetric::reliability() }
+            .compile(&c, &dev)
+            .unwrap();
+        let pst_base = base.analytic_pst(&dev, CoherenceModel::Disabled).unwrap().pst;
+        let pst_vqm = vqm.analytic_pst(&dev, CoherenceModel::Disabled).unwrap().pst;
+        assert!(
+            pst_vqm >= pst_base,
+            "VQM PST {pst_vqm} must not lose to baseline {pst_base} with identical allocation"
+        );
+    }
+
+    #[test]
+    fn disconnected_device_reports_error() {
+        let dev = uniform(Topology::from_links("split", 4, [(0, 1), (2, 3)]), 0.05);
+        let mut c = Circuit::new(4);
+        c.h(Qubit(0)).h(Qubit(1)).h(Qubit(2)).h(Qubit(3));
+        c.cnot(Qubit(0), Qubit(3));
+        // random placement may or may not split the pair; try seeds until
+        // the pair lands on different components to exercise the error
+        let mut saw_error = false;
+        for seed in 0..16 {
+            match MappingPolicy::native(seed).compile(&c, &dev) {
+                Err(CompileError::Disconnected { .. }) => {
+                    saw_error = true;
+                    break;
+                }
+                Ok(compiled) => assert_routed(&compiled, &dev),
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(saw_error, "no seed exercised the disconnected path");
+    }
+
+    #[test]
+    fn plan_based_compile_is_routed_and_consistent() {
+        let dev = uniform(Topology::linear(4), 0.05);
+        for policy in [MappingPolicy::baseline(), MappingPolicy::vqm()] {
+            let compiled = policy.compile_plan_based(&long_cnot_program(), &dev).unwrap();
+            assert_routed(&compiled, &dev);
+            assert_eq!(compiled.physical().cnot_count(), 1);
+            // mapping bookkeeping holds
+            let measured = compiled
+                .physical()
+                .iter()
+                .find_map(|g| match g {
+                    Gate::Measure { qubit, .. } => Some(*qubit),
+                    _ => None,
+                })
+                .unwrap();
+            assert_eq!(measured, compiled.final_mapping().phys_of(Qubit(3)));
+        }
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(MappingPolicy::baseline().name(), "baseline");
+        assert_eq!(MappingPolicy::vqm().name(), "VQM");
+        assert_eq!(MappingPolicy::vqm_hop_limited().name(), "VQM(MAH=4)");
+        assert_eq!(MappingPolicy::vqa_vqm().name(), "VQA+VQM");
+        assert_eq!(MappingPolicy::native(7).name(), "native");
+    }
+
+    #[test]
+    fn oversized_program_is_allocation_error() {
+        let dev = uniform(Topology::linear(3), 0.05);
+        let c = Circuit::new(5);
+        let err = MappingPolicy::baseline().compile(&c, &dev).unwrap_err();
+        assert!(matches!(err, CompileError::Allocation(_)));
+        assert!(err.to_string().contains("allocation failed"));
+    }
+
+    #[test]
+    fn compiled_pst_on_wrong_device_errors() {
+        let dev = uniform(Topology::linear(4), 0.05);
+        let small = uniform(Topology::linear(2), 0.05);
+        let compiled = MappingPolicy::baseline().compile(&long_cnot_program(), &dev).unwrap();
+        assert!(compiled.analytic_pst(&small, CoherenceModel::Disabled).is_err());
+    }
+}

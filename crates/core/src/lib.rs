@@ -1,0 +1,59 @@
+//! # quva — Variation-Aware Policies for NISQ-Era Quantum Computers
+//!
+//! A full reproduction of Tannu & Qureshi, *"Not All Qubits Are Created
+//! Equal: A Case for Variability-Aware Policies for NISQ-Era Quantum
+//! Computers"* (ASPLOS 2019): qubit mapping policies that exploit the
+//! large (up to 7.5x) variation in link error rates measured on real
+//! IBM machines.
+//!
+//! ## The policies
+//!
+//! | Policy | Allocation | Movement |
+//! |---|---|---|
+//! | [`MappingPolicy::native`] | random (IBM-compiler-like) | fewest SWAPs |
+//! | [`MappingPolicy::baseline`] | greedy interaction placement | fewest SWAPs |
+//! | [`MappingPolicy::vqm`] | greedy interaction placement | most reliable route |
+//! | [`MappingPolicy::vqm_hop_limited`] | greedy interaction placement | most reliable, MAH = 4 |
+//! | [`MappingPolicy::vqa_vqm`] | strongest subgraph + activity | most reliable route |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use quva::MappingPolicy;
+//! use quva_benchmarks::bv;
+//! use quva_device::Device;
+//! use quva_sim::CoherenceModel;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let device = Device::ibm_q20();
+//! let program = bv(16);
+//!
+//! let baseline = MappingPolicy::baseline().compile(&program, &device)?;
+//! let aware = MappingPolicy::vqa_vqm().compile(&program, &device)?;
+//!
+//! let pst_base = baseline.analytic_pst(&device, CoherenceModel::IdleWindow)?.pst;
+//! let pst_aware = aware.analytic_pst(&device, CoherenceModel::IdleWindow)?.pst;
+//! assert!(pst_aware >= pst_base * 0.95); // variation-awareness pays off
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The sibling crates provide the substrates: `quva-circuit` (IR),
+//! `quva-device` (topologies + calibration), `quva-benchmarks`
+//! (workloads), `quva-sim` (PST estimation and noisy simulation), and
+//! `quva-bench` (the per-figure experiment harness).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod allocator;
+mod compiler;
+mod mapping;
+mod partition;
+mod router;
+
+pub use allocator::AllocationStrategy;
+pub use compiler::{CompileError, CompiledCircuit, MappingPolicy};
+pub use mapping::Mapping;
+pub use partition::{partition_analysis, CopyPlan, PartitionChoice, PartitionReport};
+pub use router::{RoutePlan, Router, RoutingMetric};

@@ -1,0 +1,223 @@
+//! The program-qubit ↔ physical-qubit mapping maintained during
+//! compilation.
+
+use std::fmt;
+
+use quva_circuit::{PhysQubit, Qubit};
+
+/// A (partial) bijection from program qubits to physical qubits.
+///
+/// Every program qubit is mapped; physical qubits may be unmapped
+/// (`prog_of` returns `None`). SWAPs exchange the occupants of two
+/// physical locations, whether occupied or free.
+///
+/// # Examples
+///
+/// ```
+/// use quva::Mapping;
+/// use quva_circuit::{PhysQubit, Qubit};
+///
+/// let mut m = Mapping::from_assignment(2, 4, |q| PhysQubit(q.0 * 2)).unwrap();
+/// assert_eq!(m.phys_of(Qubit(1)), PhysQubit(2));
+/// m.apply_swap(PhysQubit(2), PhysQubit(3));
+/// assert_eq!(m.phys_of(Qubit(1)), PhysQubit(3));
+/// assert_eq!(m.prog_of(PhysQubit(2)), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Mapping {
+    /// phys[q] = physical location of program qubit q.
+    phys: Vec<u32>,
+    /// prog[p] = program qubit at physical location p, u32::MAX if free.
+    prog: Vec<u32>,
+}
+
+const FREE: u32 = u32::MAX;
+
+impl Mapping {
+    /// Builds a mapping for `num_prog` program qubits on `num_phys`
+    /// physical qubits from an assignment function.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the assignment is out of range or collides.
+    pub fn from_assignment(
+        num_prog: usize,
+        num_phys: usize,
+        mut assign: impl FnMut(Qubit) -> PhysQubit,
+    ) -> Result<Self, String> {
+        if num_prog > num_phys {
+            return Err(format!("{num_prog} program qubits cannot fit on {num_phys} physical qubits"));
+        }
+        let mut phys = vec![FREE; num_prog];
+        let mut prog = vec![FREE; num_phys];
+        for q in 0..num_prog {
+            let p = assign(Qubit(q as u32));
+            if p.index() >= num_phys {
+                return Err(format!("program qubit q{q} assigned to out-of-range {p}"));
+            }
+            if prog[p.index()] != FREE {
+                return Err(format!("physical qubit {p} assigned twice"));
+            }
+            phys[q] = p.0;
+            prog[p.index()] = q as u32;
+        }
+        Ok(Mapping { phys, prog })
+    }
+
+    /// The identity mapping: program qubit i on physical qubit i.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_prog > num_phys`.
+    pub fn identity(num_prog: usize, num_phys: usize) -> Self {
+        Mapping::from_assignment(num_prog, num_phys, |q| PhysQubit(q.0))
+            .expect("identity assignment cannot collide")
+    }
+
+    /// Number of program qubits.
+    pub fn num_prog(&self) -> usize {
+        self.phys.len()
+    }
+
+    /// Number of physical qubits.
+    pub fn num_phys(&self) -> usize {
+        self.prog.len()
+    }
+
+    /// The physical location of a program qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn phys_of(&self, q: Qubit) -> PhysQubit {
+        PhysQubit(self.phys[q.index()])
+    }
+
+    /// The program qubit at a physical location, `None` if free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn prog_of(&self, p: PhysQubit) -> Option<Qubit> {
+        let q = self.prog[p.index()];
+        if q == FREE {
+            None
+        } else {
+            Some(Qubit(q))
+        }
+    }
+
+    /// Exchanges the occupants of two physical locations (either may be
+    /// free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the locations coincide or are out of range.
+    pub fn apply_swap(&mut self, a: PhysQubit, b: PhysQubit) {
+        assert!(a != b, "swap locations must differ");
+        let qa = self.prog[a.index()];
+        let qb = self.prog[b.index()];
+        self.prog[a.index()] = qb;
+        self.prog[b.index()] = qa;
+        if qa != FREE {
+            self.phys[qa as usize] = b.0;
+        }
+        if qb != FREE {
+            self.phys[qb as usize] = a.0;
+        }
+    }
+
+    /// Iterates over `(program, physical)` pairs in program-qubit order.
+    pub fn iter(&self) -> impl Iterator<Item = (Qubit, PhysQubit)> + '_ {
+        self.phys.iter().enumerate().map(|(q, &p)| (Qubit(q as u32), PhysQubit(p)))
+    }
+
+    /// The set of occupied physical qubits, in program-qubit order.
+    pub fn occupied(&self) -> Vec<PhysQubit> {
+        self.phys.iter().map(|&p| PhysQubit(p)).collect()
+    }
+}
+
+impl fmt::Display for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, (q, p)) in self.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{q}→{p}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        let m = Mapping::identity(3, 5);
+        for q in 0..3u32 {
+            assert_eq!(m.phys_of(Qubit(q)), PhysQubit(q));
+            assert_eq!(m.prog_of(PhysQubit(q)), Some(Qubit(q)));
+        }
+        assert_eq!(m.prog_of(PhysQubit(4)), None);
+    }
+
+    #[test]
+    fn from_assignment_detects_collision() {
+        let err = Mapping::from_assignment(2, 4, |_| PhysQubit(1)).unwrap_err();
+        assert!(err.contains("twice"));
+    }
+
+    #[test]
+    fn from_assignment_detects_overflow() {
+        assert!(Mapping::from_assignment(5, 3, |q| PhysQubit(q.0)).is_err());
+        assert!(Mapping::from_assignment(2, 3, |_| PhysQubit(7)).is_err());
+    }
+
+    #[test]
+    fn swap_occupied_pair() {
+        let mut m = Mapping::identity(2, 2);
+        m.apply_swap(PhysQubit(0), PhysQubit(1));
+        assert_eq!(m.phys_of(Qubit(0)), PhysQubit(1));
+        assert_eq!(m.phys_of(Qubit(1)), PhysQubit(0));
+    }
+
+    #[test]
+    fn swap_with_free_location() {
+        let mut m = Mapping::identity(1, 3);
+        m.apply_swap(PhysQubit(0), PhysQubit(2));
+        assert_eq!(m.phys_of(Qubit(0)), PhysQubit(2));
+        assert_eq!(m.prog_of(PhysQubit(0)), None);
+        assert_eq!(m.prog_of(PhysQubit(2)), Some(Qubit(0)));
+    }
+
+    #[test]
+    fn swap_two_free_locations_is_noop_semantically() {
+        let mut m = Mapping::identity(1, 3);
+        m.apply_swap(PhysQubit(1), PhysQubit(2));
+        assert_eq!(m.phys_of(Qubit(0)), PhysQubit(0));
+    }
+
+    #[test]
+    fn double_swap_restores() {
+        let mut m = Mapping::identity(3, 4);
+        m.apply_swap(PhysQubit(1), PhysQubit(3));
+        m.apply_swap(PhysQubit(1), PhysQubit(3));
+        assert_eq!(m, Mapping::identity(3, 4));
+    }
+
+    #[test]
+    fn display_lists_pairs() {
+        let m = Mapping::identity(2, 3);
+        assert_eq!(m.to_string(), "{q0→Q0, q1→Q1}");
+    }
+
+    #[test]
+    fn occupied_lists_locations() {
+        let m = Mapping::from_assignment(2, 5, |q| PhysQubit(q.0 + 3)).unwrap();
+        assert_eq!(m.occupied(), vec![PhysQubit(3), PhysQubit(4)]);
+    }
+}

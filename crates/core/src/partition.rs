@@ -1,0 +1,300 @@
+//! Machine partitioning: two weak copies versus one strong copy (§8).
+//!
+//! When a program needs at most half the machine, the operator can run
+//! two concurrent copies (more trials per unit time, but one copy is
+//! stuck with weaker qubits) or a single copy on the strongest region
+//! (fewer, better trials). The figure of merit is **STPT** — successful
+//! trials per unit time: `PST_X + PST_Y` for two concurrent copies
+//! versus `PST_strong` for one.
+
+use quva_circuit::{Circuit, PhysQubit};
+use quva_device::{candidate_regions, try_strongest_subgraph, Device};
+use quva_sim::CoherenceModel;
+
+use crate::compiler::{CompileError, MappingPolicy};
+
+/// Which configuration a partitioning analysis recommends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionChoice {
+    /// Run a single copy on the strongest region.
+    OneStrongCopy,
+    /// Run two concurrent copies.
+    TwoCopies,
+}
+
+/// One program copy's placement and reliability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CopyPlan {
+    /// The physical qubits (of the full device) hosting the copy.
+    pub region: Vec<PhysQubit>,
+    /// The analytic PST of the compiled copy.
+    pub pst: f64,
+}
+
+/// The §8 analysis result for one workload on one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionReport {
+    /// The single strong copy.
+    pub one_strong: CopyPlan,
+    /// The two concurrent copies, if the machine can host them.
+    pub two_copies: Option<(CopyPlan, CopyPlan)>,
+}
+
+impl PartitionReport {
+    /// STPT of the single-copy configuration (successful trials per
+    /// trial window).
+    pub fn stpt_one(&self) -> f64 {
+        self.one_strong.pst
+    }
+
+    /// STPT of the two-copy configuration; zero when two copies do not
+    /// fit.
+    pub fn stpt_two(&self) -> f64 {
+        match &self.two_copies {
+            Some((x, y)) => x.pst + y.pst,
+            None => 0.0,
+        }
+    }
+
+    /// The configuration with the higher STPT (ties go to the simpler
+    /// single copy).
+    pub fn recommend(&self) -> PartitionChoice {
+        if self.stpt_two() > self.stpt_one() {
+            PartitionChoice::TwoCopies
+        } else {
+            PartitionChoice::OneStrongCopy
+        }
+    }
+}
+
+/// Analyzes the one-strong-copy versus two-weak-copies trade-off for
+/// `circuit` on `device` under `policy`.
+///
+/// The single copy compiles onto the whole machine (a variation-aware
+/// policy then gravitates to the strongest region by itself). For two
+/// copies, copy X gets the strongest connected region of the program's
+/// size, and copy Y the strongest connected region of the remainder;
+/// both compile under the same policy, mirroring the paper's setup where
+/// only the available qubit set differs.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if even a single copy cannot be compiled.
+pub fn partition_analysis(
+    circuit: &Circuit,
+    device: &Device,
+    policy: MappingPolicy,
+    coherence: CoherenceModel,
+) -> Result<PartitionReport, CompileError> {
+    let k = circuit.num_qubits();
+
+    // Single strong copy on the full machine.
+    let single = policy.compile(circuit, device)?;
+    let single_pst = single
+        .analytic_pst(device, coherence)
+        .map_err(|e| CompileError::Allocation(e.to_string()))?
+        .pst;
+    let single_region: Vec<PhysQubit> = circuit
+        .used_qubits()
+        .iter()
+        .map(|&q| single.initial_mapping().phys_of(q))
+        .collect();
+    let one_strong = CopyPlan { region: single_region, pst: single_pst };
+
+    // Two copies: strongest region for X, strongest remaining region
+    // for Y.
+    let two_copies = plan_two_copies(circuit, device, policy, coherence, k)?;
+
+    Ok(PartitionReport { one_strong, two_copies })
+}
+
+fn plan_two_copies(
+    circuit: &Circuit,
+    device: &Device,
+    policy: MappingPolicy,
+    coherence: CoherenceModel,
+    k: usize,
+) -> Result<Option<(CopyPlan, CopyPlan)>, CompileError> {
+    if 2 * k > device.num_qubits() {
+        return Ok(None);
+    }
+
+    let compile_on = |region: &[PhysQubit]| -> Result<Option<f64>, CompileError> {
+        let (sub, _) = device.induced(region);
+        match policy.compile(circuit, &sub) {
+            Ok(compiled) => {
+                let pst = compiled
+                    .analytic_pst(&sub, coherence)
+                    .map_err(|e| CompileError::Allocation(e.to_string()))?
+                    .pst;
+                Ok(Some(pst))
+            }
+            // a region can be too sparse to route on; that partition
+            // simply is not available
+            Err(CompileError::Disconnected { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    };
+
+    // explore candidate X-regions strongest-first (the paper explores
+    // all partitions and keeps the best); for each, the Y copy takes
+    // the strongest region of the complement
+    let mut best: Option<(f64, (CopyPlan, CopyPlan))> = None;
+    for region_x in candidate_regions(device, k) {
+        let mut in_x = vec![false; device.num_qubits()];
+        for q in &region_x {
+            in_x[q.index()] = true;
+        }
+        let complement: Vec<PhysQubit> =
+            device.topology().qubits().filter(|q| !in_x[q.index()]).collect();
+        let (comp_device, comp_back) = device.induced(&complement);
+        let Some(region_y_local) = try_strongest_subgraph(&comp_device, k) else {
+            continue;
+        };
+        let Some(pst_x) = compile_on(&region_x)? else {
+            continue;
+        };
+        let region_y: Vec<PhysQubit> = region_y_local.iter().map(|q| comp_back[q.index()]).collect();
+        let Some(pst_y) = compile_on(&region_y)? else {
+            continue;
+        };
+        let stpt = pst_x + pst_y;
+        if best.as_ref().is_none_or(|(b, _)| stpt > *b) {
+            best = Some((
+                stpt,
+                (CopyPlan { region: region_x, pst: pst_x }, CopyPlan { region: region_y, pst: pst_y }),
+            ));
+        }
+    }
+    Ok(best.map(|(_, copies)| copies))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quva_circuit::Qubit;
+    use quva_device::{Calibration, Topology};
+
+    fn small_program() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0));
+        c.cnot(Qubit(0), Qubit(1));
+        c.cnot(Qubit(1), Qubit(2));
+        c.measure_all();
+        c
+    }
+
+    #[test]
+    fn two_copies_fit_on_big_machine() {
+        let dev = Device::ibm_q20();
+        let report =
+            partition_analysis(&small_program(), &dev, MappingPolicy::vqa_vqm(), CoherenceModel::Disabled)
+                .unwrap();
+        let (x, y) = report.two_copies.as_ref().expect("20 qubits host two 3-qubit copies");
+        // regions must be disjoint
+        for q in &x.region {
+            assert!(!y.region.contains(q), "regions share {q}");
+        }
+        assert!(report.stpt_two() > 0.0);
+        assert!(report.stpt_one() > 0.0);
+    }
+
+    #[test]
+    fn strong_copy_beats_each_individual_copy() {
+        let dev = Device::ibm_q20();
+        let report =
+            partition_analysis(&small_program(), &dev, MappingPolicy::vqa_vqm(), CoherenceModel::Disabled)
+                .unwrap();
+        let (x, y) = report.two_copies.as_ref().unwrap();
+        // the strong copy has the whole machine to pick from, so it is
+        // essentially as reliable as either constrained copy (heuristic
+        // placement tie-breaks may differ by a hair)
+        let best_copy = x.pst.max(y.pst);
+        assert!(
+            report.one_strong.pst >= best_copy * 0.95,
+            "single strong copy {} lost to a constrained copy {}",
+            report.one_strong.pst,
+            best_copy
+        );
+    }
+
+    #[test]
+    fn no_room_for_two_copies() {
+        let dev = Device::new(Topology::linear(4), |t| Calibration::uniform(t, 0.05, 0.0, 0.0));
+        let report =
+            partition_analysis(&small_program(), &dev, MappingPolicy::vqa_vqm(), CoherenceModel::Disabled)
+                .unwrap();
+        assert!(report.two_copies.is_none());
+        assert_eq!(report.stpt_two(), 0.0);
+        assert_eq!(report.recommend(), PartitionChoice::OneStrongCopy);
+    }
+
+    #[test]
+    fn uniform_device_prefers_two_copies() {
+        // no variation: the strong copy has no edge, so doubling the
+        // trial rate wins
+        let dev = Device::new(Topology::grid(2, 4), |t| Calibration::uniform(t, 0.03, 0.0, 0.0));
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0));
+        c.cnot(Qubit(0), Qubit(1));
+        c.measure_all();
+        let report =
+            partition_analysis(&c, &dev, MappingPolicy::vqa_vqm(), CoherenceModel::Disabled).unwrap();
+        assert_eq!(report.recommend(), PartitionChoice::TwoCopies);
+        assert!((report.stpt_two() - 2.0 * report.stpt_one()).abs() < 0.05);
+    }
+
+    #[test]
+    fn recommendation_follows_stpt() {
+        let strong = CopyPlan { region: vec![PhysQubit(0)], pst: 0.5 };
+        let x = CopyPlan { region: vec![PhysQubit(1)], pst: 0.2 };
+        let y = CopyPlan { region: vec![PhysQubit(2)], pst: 0.1 };
+        let two_win = PartitionReport {
+            one_strong: CopyPlan { pst: 0.25, ..strong.clone() },
+            two_copies: Some((x.clone(), y.clone())),
+        };
+        assert_eq!(two_win.recommend(), PartitionChoice::TwoCopies);
+        assert!((two_win.stpt_two() - 0.3).abs() < 1e-12);
+        let one_win = PartitionReport { one_strong: strong, two_copies: Some((x, y)) };
+        assert_eq!(one_win.recommend(), PartitionChoice::OneStrongCopy);
+    }
+
+    #[test]
+    fn confinement_hurts_the_partitioned_copy() {
+        // The §8 mechanism: a single copy may route through qubits a
+        // partitioned copy must not touch. Machine: a weak 4-path whose
+        // middle pair is bridged by a strong detour qubit.
+        //   0 –w– 1 –w– 2 –w– 3      w = weak (0.25)
+        //         1 –s– 4 –s– 2      s = strong (0.01)
+        // plus weak appendix links 5–0 and 5–3 so the complement
+        // {0, 3, 5} stays connected and a second region exists.
+        let topo = Topology::from_links(
+            "bridge",
+            6,
+            [(0, 1), (1, 2), (2, 3), (1, 4), (4, 2), (5, 0), (5, 3)],
+        );
+        let dev = Device::new(topo, |t| {
+            let mut cal = Calibration::uniform(t, 0.25, 0.0, 0.0);
+            cal.set_two_qubit_error(t.link_id(PhysQubit(1), PhysQubit(4)).unwrap(), 0.01);
+            cal.set_two_qubit_error(t.link_id(PhysQubit(4), PhysQubit(2)).unwrap(), 0.01);
+            cal
+        });
+        // chatty 3-qubit program
+        let mut c = Circuit::new(3);
+        for _ in 0..6 {
+            c.cnot(Qubit(0), Qubit(1));
+            c.cnot(Qubit(1), Qubit(2));
+        }
+        let report =
+            partition_analysis(&c, &dev, MappingPolicy::vqa_vqm(), CoherenceModel::Disabled).unwrap();
+        // the full-machine copy can use the strong bridge 1–4–2
+        let (x, y) = report.two_copies.as_ref().expect("6 qubits host two 3-qubit copies");
+        assert!(
+            report.one_strong.pst > x.pst.min(y.pst),
+            "single {} vs copies {}/{}",
+            report.one_strong.pst,
+            x.pst,
+            y.pst
+        );
+    }
+}

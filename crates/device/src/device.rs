@@ -1,0 +1,304 @@
+//! A [`Device`]: a coupling topology paired with one calibration
+//! snapshot. This is the object every policy and simulator consumes.
+
+use std::fmt;
+
+use quva_circuit::PhysQubit;
+
+use crate::calibration::{Calibration, CalibrationError};
+use crate::topology::Topology;
+
+/// A NISQ machine at a point in time: its coupling graph plus the error
+/// rates measured at the most recent calibration cycle.
+///
+/// # Examples
+///
+/// ```
+/// use quva_device::{Calibration, Device, Topology};
+/// use quva_circuit::PhysQubit;
+///
+/// let dev = Device::new(Topology::linear(3), |t| Calibration::uniform(t, 0.1, 0.001, 0.02));
+/// assert_eq!(dev.num_qubits(), 3);
+/// assert_eq!(dev.link_error(PhysQubit(0), PhysQubit(1)), Some(0.1));
+/// assert_eq!(dev.link_error(PhysQubit(0), PhysQubit(2)), None);
+/// let swap = dev.swap_success(PhysQubit(0), PhysQubit(1)).unwrap();
+/// assert!((swap - 0.9f64.powi(3)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Device {
+    topology: Topology,
+    calibration: Calibration,
+}
+
+impl Device {
+    /// Builds a device, deriving the calibration from the topology via a
+    /// closure — convenient because most constructors need the topology
+    /// twice.
+    pub fn new(topology: Topology, calibration: impl FnOnce(&Topology) -> Calibration) -> Self {
+        let calibration = calibration(&topology);
+        Device { topology, calibration }
+    }
+
+    /// Builds a device from independently constructed parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CalibrationError`] if the calibration tables do not
+    /// match the topology shape.
+    pub fn from_parts(topology: Topology, calibration: Calibration) -> Result<Self, CalibrationError> {
+        // Re-validate through the constructor to catch shape mismatches.
+        let revalidated = Calibration::new(
+            &topology,
+            calibration.t1_table().to_vec(),
+            calibration.t2_table().to_vec(),
+            calibration.one_qubit_errors().to_vec(),
+            calibration.readout_errors().to_vec(),
+            calibration.two_qubit_errors().to_vec(),
+            calibration.durations(),
+        )?;
+        Ok(Device { topology, calibration: revalidated })
+    }
+
+    /// The IBM-Q20 Tokyo machine with the paper's deterministic average
+    /// error map (the primary evaluation configuration).
+    pub fn ibm_q20() -> Self {
+        let topology = Topology::ibm_q20_tokyo();
+        let calibration = crate::calgen::ibm_q20_average_calibration(&topology);
+        Device { topology, calibration }
+    }
+
+    /// The IBM-Q5 Tenerife machine with the §7 average error map.
+    pub fn ibm_q5() -> Self {
+        let topology = Topology::ibm_q5_tenerife();
+        let calibration = crate::calgen::ibm_q5_average_calibration(&topology);
+        Device { topology, calibration }
+    }
+
+    /// The coupling topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The calibration snapshot.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.topology.num_qubits()
+    }
+
+    /// Replaces the calibration (e.g. the next day's snapshot),
+    /// validating it against the topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CalibrationError`] on shape mismatch.
+    pub fn with_calibration(&self, calibration: Calibration) -> Result<Self, CalibrationError> {
+        Device::from_parts(self.topology.clone(), calibration)
+    }
+
+    /// CNOT error rate across a link, `None` when the qubits are not
+    /// coupled.
+    pub fn link_error(&self, a: PhysQubit, b: PhysQubit) -> Option<f64> {
+        self.topology.link_id(a, b).map(|id| self.calibration.two_qubit_error(id))
+    }
+
+    /// CNOT success probability across a link, `None` when uncoupled.
+    pub fn cnot_success(&self, a: PhysQubit, b: PhysQubit) -> Option<f64> {
+        self.link_error(a, b).map(|e| 1.0 - e)
+    }
+
+    /// SWAP success probability across a link: a SWAP is 3 CNOTs, so
+    /// `(1 − e)³` (paper §2.1 / Fig. 2d).
+    pub fn swap_success(&self, a: PhysQubit, b: PhysQubit) -> Option<f64> {
+        self.cnot_success(a, b).map(|s| s.powi(3))
+    }
+
+    /// The failure weight `−ln(p)` of one CNOT on a link, the additive
+    /// cost VQM minimizes. `None` when uncoupled.
+    pub fn cnot_failure_weight(&self, a: PhysQubit, b: PhysQubit) -> Option<f64> {
+        self.cnot_success(a, b).map(|s| -s.max(f64::MIN_POSITIVE).ln())
+    }
+
+    /// The failure weight `−ln(p³)` of one SWAP on a link.
+    pub fn swap_failure_weight(&self, a: PhysQubit, b: PhysQubit) -> Option<f64> {
+        self.swap_success(a, b).map(|s| -s.max(f64::MIN_POSITIVE).ln())
+    }
+
+    /// The sub-device induced by a region of physical qubits: the
+    /// region's qubits renumbered `0..region.len()` (in the order
+    /// given), keeping only internal links and the matching calibration
+    /// rows. Returns the device plus the new-index → original-qubit
+    /// table.
+    ///
+    /// Used by the §8 partitioning study to compile a program copy onto
+    /// one half of a machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is empty, repeats a qubit, or references a
+    /// qubit outside the device.
+    pub fn induced(&self, region: &[PhysQubit]) -> (Device, Vec<PhysQubit>) {
+        assert!(!region.is_empty(), "induced region is empty");
+        let n = self.num_qubits();
+        let mut new_of_old = vec![usize::MAX; n];
+        for (new, &q) in region.iter().enumerate() {
+            assert!(q.index() < n, "{q} outside the device");
+            assert!(new_of_old[q.index()] == usize::MAX, "{q} repeated in region");
+            new_of_old[q.index()] = new;
+        }
+        let links: Vec<(u32, u32)> = self
+            .topology
+            .links()
+            .iter()
+            .filter(|l| new_of_old[l.low().index()] != usize::MAX && new_of_old[l.high().index()] != usize::MAX)
+            .map(|l| (new_of_old[l.low().index()] as u32, new_of_old[l.high().index()] as u32))
+            .collect();
+        let topology = Topology::from_links(
+            format!("{}[{}q-region]", self.topology.name(), region.len()),
+            region.len(),
+            links,
+        );
+        let cal = &self.calibration;
+        let pick = |f: &dyn Fn(usize) -> f64| -> Vec<f64> { region.iter().map(|q| f(q.index())).collect() };
+        let err_2q: Vec<f64> = topology
+            .links()
+            .iter()
+            .map(|l| {
+                let (a, b) = (region[l.low().index()], region[l.high().index()]);
+                self.link_error(a, b).expect("induced link exists in parent")
+            })
+            .collect();
+        let calibration = Calibration::new(
+            &topology,
+            pick(&|i| cal.t1_us(i)),
+            pick(&|i| cal.t2_us(i)),
+            pick(&|i| cal.one_qubit_error(i)),
+            pick(&|i| cal.readout_error(i)),
+            err_2q,
+            cal.durations(),
+        )
+        .expect("subset of a valid calibration stays valid");
+        (Device { topology, calibration }, region.to_vec())
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [mean 2Q err {:.2}%, spread {:.1}x]",
+            self.topology,
+            100.0 * self.calibration.mean_two_qubit_error(),
+            self.calibration.variation_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_parts_validates_shape() {
+        let topo3 = Topology::linear(3);
+        let topo4 = Topology::linear(4);
+        let cal3 = Calibration::uniform(&topo3, 0.1, 0.0, 0.0);
+        assert!(Device::from_parts(topo4, cal3).is_err());
+    }
+
+    #[test]
+    fn ibm_presets_build() {
+        let q20 = Device::ibm_q20();
+        assert_eq!(q20.num_qubits(), 20);
+        assert!((q20.calibration().variation_ratio() - 7.5).abs() < 1e-9);
+        let q5 = Device::ibm_q5();
+        assert_eq!(q5.num_qubits(), 5);
+    }
+
+    #[test]
+    fn swap_success_is_cube_of_cnot() {
+        let dev = Device::new(Topology::linear(2), |t| Calibration::uniform(t, 0.1, 0.0, 0.0));
+        let c = dev.cnot_success(PhysQubit(0), PhysQubit(1)).unwrap();
+        let s = dev.swap_success(PhysQubit(0), PhysQubit(1)).unwrap();
+        assert!((s - c.powi(3)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn failure_weights_are_nonnegative_and_monotone() {
+        let dev = Device::new(Topology::linear(3), |t| {
+            let mut c = Calibration::uniform(t, 0.05, 0.0, 0.0);
+            c.set_two_qubit_error(1, 0.2);
+            c
+        });
+        let w_good = dev.cnot_failure_weight(PhysQubit(0), PhysQubit(1)).unwrap();
+        let w_bad = dev.cnot_failure_weight(PhysQubit(1), PhysQubit(2)).unwrap();
+        assert!(w_good >= 0.0);
+        assert!(w_bad > w_good, "weaker link must have larger failure weight");
+        let sw = dev.swap_failure_weight(PhysQubit(0), PhysQubit(1)).unwrap();
+        assert!((sw - 3.0 * w_good).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncoupled_pair_returns_none() {
+        let dev = Device::new(Topology::linear(3), |t| Calibration::uniform(t, 0.1, 0.0, 0.0));
+        assert_eq!(dev.cnot_success(PhysQubit(0), PhysQubit(2)), None);
+        assert_eq!(dev.swap_failure_weight(PhysQubit(0), PhysQubit(2)), None);
+    }
+
+    #[test]
+    fn with_calibration_swaps_snapshot() {
+        let dev = Device::new(Topology::linear(3), |t| Calibration::uniform(t, 0.1, 0.0, 0.0));
+        let next = Calibration::uniform(dev.topology(), 0.05, 0.0, 0.0);
+        let dev2 = dev.with_calibration(next).unwrap();
+        assert_eq!(dev2.link_error(PhysQubit(0), PhysQubit(1)), Some(0.05));
+        // original untouched
+        assert_eq!(dev.link_error(PhysQubit(0), PhysQubit(1)), Some(0.1));
+    }
+
+    #[test]
+    fn display_mentions_spread() {
+        let dev = Device::ibm_q20();
+        let s = dev.to_string();
+        assert!(s.contains("7.5x"), "{s}");
+    }
+
+    #[test]
+    fn induced_subdevice_preserves_errors() {
+        let dev = Device::ibm_q20();
+        let region = [PhysQubit(5), PhysQubit(6), PhysQubit(7)];
+        let (sub, back) = dev.induced(&region);
+        assert_eq!(sub.num_qubits(), 3);
+        assert_eq!(back, region);
+        // link 5-6 maps to new link 0-1 with the same error
+        assert_eq!(
+            sub.link_error(PhysQubit(0), PhysQubit(1)),
+            dev.link_error(PhysQubit(5), PhysQubit(6))
+        );
+        // per-qubit quantities follow the region ordering
+        assert_eq!(sub.calibration().t1_us(2), dev.calibration().t1_us(7));
+    }
+
+    #[test]
+    fn induced_drops_external_links() {
+        let dev = Device::new(Topology::linear(4), |t| Calibration::uniform(t, 0.1, 0.0, 0.0));
+        let (sub, _) = dev.induced(&[PhysQubit(0), PhysQubit(2)]);
+        assert_eq!(sub.topology().num_links(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn induced_rejects_duplicates() {
+        let dev = Device::new(Topology::linear(3), |t| Calibration::uniform(t, 0.1, 0.0, 0.0));
+        dev.induced(&[PhysQubit(0), PhysQubit(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn induced_rejects_out_of_range() {
+        let dev = Device::new(Topology::linear(3), |t| Calibration::uniform(t, 0.1, 0.0, 0.0));
+        dev.induced(&[PhysQubit(7)]);
+    }
+}

@@ -1,0 +1,336 @@
+//! Standard device layouts used in the paper's evaluation.
+//!
+//! * [`Topology::ibm_q20_tokyo`] — the 20-qubit machine analyzed in §3,
+//!   4 rows × 5 columns with diagonal couplings, 38 undirected links
+//!   (characterized in both directions = the paper's "76 links");
+//! * [`Topology::ibm_q5_tenerife`] — the 5-qubit "bowtie" used for the
+//!   real-system evaluation in §7;
+//! * generic `linear`, `ring`, `grid`, and `fully_connected` layouts for
+//!   experiments and tests.
+
+use crate::topology::Topology;
+
+impl Topology {
+    /// A 1-D chain of `n` qubits: `0–1–2–…–(n−1)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use quva_device::Topology;
+    ///
+    /// let t = Topology::linear(5);
+    /// assert_eq!(t.num_links(), 4);
+    /// ```
+    pub fn linear(n: usize) -> Self {
+        let links = (0..n.saturating_sub(1)).map(|i| (i as u32, i as u32 + 1));
+        Topology::from_links(format!("linear-{n}"), n, links)
+    }
+
+    /// A ring of `n` qubits (linear chain plus the closing link).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` (smaller rings degenerate to duplicate links).
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "a ring needs at least 3 qubits");
+        let links = (0..n).map(|i| (i as u32, ((i + 1) % n) as u32));
+        Topology::from_links(format!("ring-{n}"), n, links)
+    }
+
+    /// A rectilinear `rows × cols` mesh, qubit `r*cols + c` at row `r`,
+    /// column `c`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use quva_device::Topology;
+    ///
+    /// let t = Topology::grid(2, 3);
+    /// assert_eq!(t.num_qubits(), 6);
+    /// assert_eq!(t.num_links(), 7); // 4 horizontal + 3 vertical
+    /// ```
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        let mut links = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let q = (r * cols + c) as u32;
+                if c + 1 < cols {
+                    links.push((q, q + 1));
+                }
+                if r + 1 < rows {
+                    links.push((q, q + cols as u32));
+                }
+            }
+        }
+        Topology::from_links(format!("grid-{rows}x{cols}"), rows * cols, links)
+    }
+
+    /// All-to-all coupling over `n` qubits (the idealized machine of
+    /// §2.4, used as a contrast case in tests).
+    pub fn fully_connected(n: usize) -> Self {
+        let mut links = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                links.push((i as u32, j as u32));
+            }
+        }
+        Topology::from_links(format!("full-{n}"), n, links)
+    }
+
+    /// The IBM-Q20 "Tokyo" layout the paper characterizes (§3, Fig. 9):
+    /// a 4×5 mesh with seven diagonal couplings, for 38 undirected links.
+    ///
+    /// The rectilinear part is the exact 4×5 mesh; the diagonal set
+    /// reproduces the published link *count* (the paper reports error
+    /// data for 76 directed links = 38 undirected) and the mesh-with-
+    /// diagonals structure shown in Fig. 9.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use quva_device::Topology;
+    ///
+    /// let t = Topology::ibm_q20_tokyo();
+    /// assert_eq!(t.num_qubits(), 20);
+    /// assert_eq!(t.num_links(), 38);
+    /// assert!(t.is_connected());
+    /// ```
+    pub fn ibm_q20_tokyo() -> Self {
+        // Qubit r*5+c sits at row r (0..4), column c (0..5).
+        let mut links = Vec::new();
+        for r in 0..4u32 {
+            for c in 0..5u32 {
+                let q = r * 5 + c;
+                if c + 1 < 5 {
+                    links.push((q, q + 1));
+                }
+                if r + 1 < 4 {
+                    links.push((q, q + 5));
+                }
+            }
+        }
+        // Seven diagonal couplings (crossed cells of Fig. 9).
+        links.extend_from_slice(&[
+            (1, 7),   // row0/col1 ↘ row1/col2
+            (2, 6),   // row0/col2 ↙ row1/col1
+            (3, 9),   // row0/col3 ↘ row1/col4
+            (4, 8),   // row0/col4 ↙ row1/col3
+            (5, 11),  // row1/col0 ↘ row2/col1
+            (11, 17), // row2/col1 ↘ row3/col2
+            (14, 18), // row2/col4 ↙ row3/col3 — the weakest link of Fig. 9
+        ]);
+        Topology::from_links("ibm-q20-tokyo", 20, links)
+    }
+
+    /// The IBM-Q5 "Tenerife" bowtie used for the paper's real-system
+    /// evaluation (§7): `1–0, 2–0, 2–1, 3–2, 3–4, 4–2`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use quva_device::Topology;
+    ///
+    /// let t = Topology::ibm_q5_tenerife();
+    /// assert_eq!(t.num_qubits(), 5);
+    /// assert_eq!(t.num_links(), 6);
+    /// ```
+    pub fn ibm_q5_tenerife() -> Self {
+        Topology::from_links("ibm-q5-tenerife", 5, [(1, 0), (2, 0), (2, 1), (3, 2), (3, 4), (4, 2)])
+    }
+
+    /// The IBM-Q16 "Melbourne" ladder (the 14 usable qubits of the
+    /// 16-qubit device, published coupling map) — a contemporary of the
+    /// paper's machines, included for cross-topology experiments.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use quva_device::Topology;
+    ///
+    /// let t = Topology::ibm_q16_melbourne();
+    /// assert_eq!(t.num_qubits(), 14);
+    /// assert!(t.is_connected());
+    /// ```
+    pub fn ibm_q16_melbourne() -> Self {
+        Topology::from_links(
+            "ibm-q16-melbourne",
+            14,
+            [
+                (1, 0),
+                (1, 2),
+                (2, 3),
+                (4, 3),
+                (4, 10),
+                (5, 4),
+                (5, 6),
+                (5, 9),
+                (6, 8),
+                (7, 8),
+                (9, 8),
+                (9, 10),
+                (11, 3),
+                (11, 10),
+                (11, 12),
+                (12, 2),
+                (13, 1),
+                (13, 12),
+            ],
+        )
+    }
+
+    /// A heavy-hexagon lattice of the given unit-cell dimensions — the
+    /// topology IBM adopted after the paper's era, included to test how
+    /// the policies generalize to sparser connectivity.
+    ///
+    /// Built as a degree-bounded brick pattern: rows of `cols` qubits
+    /// connected linearly, with every second vertical rung present,
+    /// alternating offset per row pair. All qubit degrees are ≤ 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows < 2` or `cols < 3`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use quva_device::Topology;
+    ///
+    /// let t = Topology::heavy_hex(4, 5);
+    /// assert!(t.is_connected());
+    /// assert!(t.qubits().all(|q| t.degree(q) <= 3));
+    /// ```
+    pub fn heavy_hex(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 2 && cols >= 3, "heavy-hex needs at least a 2x3 cell");
+        let mut links = Vec::new();
+        let q = |r: usize, c: usize| (r * cols + c) as u32;
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    links.push((q(r, c), q(r, c + 1)));
+                }
+                // rungs on alternating columns, offset by row parity
+                if r + 1 < rows && c % 2 == r % 2 {
+                    links.push((q(r, c), q(r + 1, c)));
+                }
+            }
+        }
+        Topology::from_links(format!("heavy-hex-{rows}x{cols}"), rows * cols, links)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quva_circuit::PhysQubit;
+
+    #[test]
+    fn linear_shape() {
+        let t = Topology::linear(4);
+        assert_eq!(t.num_qubits(), 4);
+        assert_eq!(t.num_links(), 3);
+        assert!(t.is_connected());
+        assert_eq!(t.degree(PhysQubit(0)), 1);
+        assert_eq!(t.degree(PhysQubit(1)), 2);
+    }
+
+    #[test]
+    fn ring_closes() {
+        let t = Topology::ring(5);
+        assert_eq!(t.num_links(), 5);
+        assert!(t.has_link(PhysQubit(4), PhysQubit(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_ring_rejected() {
+        Topology::ring(2);
+    }
+
+    #[test]
+    fn grid_link_count() {
+        // rows*(cols-1) + cols*(rows-1)
+        let t = Topology::grid(3, 4);
+        assert_eq!(t.num_links(), 3 * 3 + 4 * 2);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn grid_adjacency_is_manhattan() {
+        let t = Topology::grid(3, 3);
+        assert!(t.has_link(PhysQubit(0), PhysQubit(1)));
+        assert!(t.has_link(PhysQubit(0), PhysQubit(3)));
+        assert!(!t.has_link(PhysQubit(0), PhysQubit(4))); // no diagonal
+    }
+
+    #[test]
+    fn fully_connected_count() {
+        let t = Topology::fully_connected(5);
+        assert_eq!(t.num_links(), 10);
+    }
+
+    #[test]
+    fn tokyo_matches_paper_counts() {
+        let t = Topology::ibm_q20_tokyo();
+        assert_eq!(t.num_qubits(), 20);
+        // 38 undirected = the paper's 76 directed characterized links
+        assert_eq!(t.num_links(), 38);
+        assert!(t.is_connected());
+        // the mesh part is present
+        assert!(t.has_link(PhysQubit(0), PhysQubit(1)));
+        assert!(t.has_link(PhysQubit(0), PhysQubit(5)));
+        // a diagonal from Fig. 9's crossed cells
+        assert!(t.has_link(PhysQubit(1), PhysQubit(7)));
+    }
+
+    #[test]
+    fn tokyo_max_degree_is_bounded() {
+        let t = Topology::ibm_q20_tokyo();
+        for q in t.qubits() {
+            assert!(t.degree(q) <= 6, "{q} has implausible degree {}", t.degree(q));
+        }
+    }
+
+    #[test]
+    fn tenerife_matches_published_coupling() {
+        let t = Topology::ibm_q5_tenerife();
+        assert!(t.has_link(PhysQubit(2), PhysQubit(0)));
+        assert!(t.has_link(PhysQubit(3), PhysQubit(4)));
+        assert!(!t.has_link(PhysQubit(0), PhysQubit(3)));
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn melbourne_matches_published_coupling() {
+        let t = Topology::ibm_q16_melbourne();
+        assert_eq!(t.num_qubits(), 14);
+        assert_eq!(t.num_links(), 18);
+        assert!(t.is_connected());
+        assert!(t.has_link(PhysQubit(13), PhysQubit(1)));
+        assert!(t.has_link(PhysQubit(4), PhysQubit(10)));
+        assert!(!t.has_link(PhysQubit(0), PhysQubit(13)));
+    }
+
+    #[test]
+    fn heavy_hex_is_sparse_and_connected() {
+        for (rows, cols) in [(2, 3), (3, 5), (4, 7)] {
+            let t = Topology::heavy_hex(rows, cols);
+            assert!(t.is_connected(), "{rows}x{cols} disconnected");
+            for q in t.qubits() {
+                assert!(t.degree(q) <= 3, "{rows}x{cols}: {q} has degree {}", t.degree(q));
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_hex_is_sparser_than_grid() {
+        let hex = Topology::heavy_hex(4, 5);
+        let grid = Topology::grid(4, 5);
+        assert!(hex.num_links() < grid.num_links());
+    }
+
+    #[test]
+    #[should_panic(expected = "2x3")]
+    fn tiny_heavy_hex_rejected() {
+        Topology::heavy_hex(1, 3);
+    }
+}

@@ -1,0 +1,234 @@
+//! A calibration history: the sequence of characterization snapshots a
+//! machine accumulates across calibration cycles (the paper's 52 days
+//! of IBM-Q20 reports, §3).
+
+use crate::calibration::{Calibration, CalibrationError};
+use crate::topology::Topology;
+
+/// An append-only log of calibration snapshots for one device, with the
+/// aggregate queries the paper's analysis needs: per-link time series,
+/// per-link means, and the average calibration (the Fig. 9 map is the
+/// average over the measurement window).
+///
+/// # Examples
+///
+/// ```
+/// use quva_device::{CalibrationGenerator, CalibrationLog, Topology, VariationProfile};
+///
+/// let topo = Topology::ibm_q20_tokyo();
+/// let mut g = CalibrationGenerator::new(VariationProfile::ibm_q20_paper(), 1);
+/// let mut log = CalibrationLog::new(&topo);
+/// for day in g.daily_series(&topo, 10) {
+///     log.push(day).unwrap();
+/// }
+/// assert_eq!(log.len(), 10);
+/// let series = log.link_series(0);
+/// assert_eq!(series.len(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationLog {
+    num_qubits: usize,
+    num_links: usize,
+    entries: Vec<Calibration>,
+}
+
+impl CalibrationLog {
+    /// Creates an empty log for a device shape.
+    pub fn new(topology: &Topology) -> Self {
+        CalibrationLog {
+            num_qubits: topology.num_qubits(),
+            num_links: topology.num_links(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CalibrationError`] if the snapshot's shape does not
+    /// match the log's device.
+    pub fn push(&mut self, calibration: Calibration) -> Result<(), CalibrationError> {
+        if calibration.two_qubit_errors().len() != self.num_links {
+            return Err(CalibrationError::LinkCountMismatch {
+                expected: self.num_links,
+                actual: calibration.two_qubit_errors().len(),
+            });
+        }
+        if calibration.t1_table().len() != self.num_qubits {
+            return Err(CalibrationError::QubitCountMismatch {
+                field: "t1",
+                expected: self.num_qubits,
+                actual: calibration.t1_table().len(),
+            });
+        }
+        self.entries.push(calibration);
+        Ok(())
+    }
+
+    /// Number of snapshots recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log has no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The snapshot at position `day`, if recorded.
+    pub fn get(&self, day: usize) -> Option<&Calibration> {
+        self.entries.get(day)
+    }
+
+    /// Iterates over snapshots in recording order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Calibration> {
+        self.entries.iter()
+    }
+
+    /// The two-qubit error of one link across all snapshots, in order —
+    /// the Fig. 8 time series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link_id` is out of range (when the log is non-empty).
+    pub fn link_series(&self, link_id: usize) -> Vec<f64> {
+        self.entries.iter().map(|c| c.two_qubit_error(link_id)).collect()
+    }
+
+    /// The mean two-qubit error of one link over the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log is empty or `link_id` is out of range.
+    pub fn link_mean(&self, link_id: usize) -> f64 {
+        assert!(!self.is_empty(), "no snapshots recorded");
+        self.link_series(link_id).iter().sum::<f64>() / self.len() as f64
+    }
+
+    /// Link ids ordered from strongest (lowest mean error) to weakest —
+    /// the ranking Fig. 8 picks its three example links from.
+    pub fn links_by_strength(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = (0..self.num_links).collect();
+        ids.sort_by(|&a, &b| self.link_mean(a).total_cmp(&self.link_mean(b)));
+        ids
+    }
+
+    /// The element-wise average calibration over the window — the
+    /// paper's primary evaluation configuration (Fig. 9 is the average
+    /// map over 52 days).
+    ///
+    /// Gate durations are taken from the first snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log is empty.
+    pub fn average(&self, topology: &Topology) -> Calibration {
+        assert!(!self.is_empty(), "no snapshots recorded");
+        let n = self.len() as f64;
+        let avg = |extract: &dyn Fn(&Calibration) -> &[f64], len: usize| -> Vec<f64> {
+            let mut acc = vec![0.0; len];
+            for c in &self.entries {
+                for (a, v) in acc.iter_mut().zip(extract(c)) {
+                    *a += v;
+                }
+            }
+            acc.iter().map(|v| v / n).collect()
+        };
+        Calibration::new(
+            topology,
+            avg(&|c| c.t1_table(), self.num_qubits),
+            avg(&|c| c.t2_table(), self.num_qubits),
+            avg(&|c| c.one_qubit_errors(), self.num_qubits),
+            avg(&|c| c.readout_errors(), self.num_qubits),
+            avg(&|c| c.two_qubit_errors(), self.num_links),
+            self.entries[0].durations(),
+        )
+        .expect("averages of valid calibrations stay valid")
+    }
+}
+
+impl Extend<Calibration> for CalibrationLog {
+    /// # Panics
+    ///
+    /// Panics if a snapshot does not match the device shape.
+    fn extend<T: IntoIterator<Item = Calibration>>(&mut self, iter: T) {
+        for c in iter {
+            self.push(c).expect("extended snapshots must match the device shape");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calgen::{CalibrationGenerator, VariationProfile};
+
+    fn filled_log(days: usize) -> (Topology, CalibrationLog) {
+        let topo = Topology::ibm_q20_tokyo();
+        let mut g = CalibrationGenerator::new(VariationProfile::ibm_q20_paper(), 5);
+        let mut log = CalibrationLog::new(&topo);
+        log.extend(g.daily_series(&topo, days));
+        (topo, log)
+    }
+
+    #[test]
+    fn push_validates_shape() {
+        let topo20 = Topology::ibm_q20_tokyo();
+        let topo5 = Topology::ibm_q5_tenerife();
+        let mut log = CalibrationLog::new(&topo20);
+        let wrong = Calibration::uniform(&topo5, 0.05, 0.0, 0.0);
+        assert!(log.push(wrong).is_err());
+        assert!(log.push(Calibration::uniform(&topo20, 0.05, 0.0, 0.0)).is_ok());
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn series_and_means_are_consistent() {
+        let (_, log) = filled_log(8);
+        for id in [0, 10, 37] {
+            let series = log.link_series(id);
+            assert_eq!(series.len(), 8);
+            let mean = series.iter().sum::<f64>() / 8.0;
+            assert!((log.link_mean(id) - mean).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn strength_ranking_is_monotone() {
+        let (_, log) = filled_log(12);
+        let ranked = log.links_by_strength();
+        assert_eq!(ranked.len(), 38);
+        for w in ranked.windows(2) {
+            assert!(log.link_mean(w[0]) <= log.link_mean(w[1]) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn average_is_elementwise() {
+        let (topo, log) = filled_log(5);
+        let avg = log.average(&topo);
+        let manual: f64 = (0..5).map(|d| log.get(d).unwrap().two_qubit_error(3)).sum::<f64>() / 5.0;
+        assert!((avg.two_qubit_error(3) - manual).abs() < 1e-12);
+        let manual_t1: f64 = (0..5).map(|d| log.get(d).unwrap().t1_us(7)).sum::<f64>() / 5.0;
+        assert!((avg.t1_us(7) - manual_t1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_smooths_daily_jitter() {
+        let (topo, log) = filled_log(30);
+        let avg = log.average(&topo);
+        // per-link averages vary less than single days do: the average
+        // map's deviation from the per-link mean is zero by construction
+        for id in 0..topo.num_links() {
+            assert!((avg.two_qubit_error(id) - log.link_mean(id)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no snapshots")]
+    fn empty_average_panics() {
+        let topo = Topology::linear(3);
+        CalibrationLog::new(&topo).average(&topo);
+    }
+}

@@ -1,0 +1,302 @@
+//! Coupling topology of a NISQ device.
+//!
+//! A topology is an undirected graph whose nodes are physical qubits and
+//! whose edges are coupling links: a two-qubit gate can only be applied
+//! across an edge (paper §2.4).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use petgraph::graph::{NodeIndex, UnGraph};
+use quva_circuit::PhysQubit;
+use serde::{Deserialize, Serialize};
+
+/// An undirected coupling link between two physical qubits, stored with
+/// the smaller index first so that `(a, b)` and `(b, a)` compare equal.
+///
+/// # Examples
+///
+/// ```
+/// use quva_device::Link;
+/// use quva_circuit::PhysQubit;
+///
+/// assert_eq!(Link::new(PhysQubit(3), PhysQubit(1)), Link::new(PhysQubit(1), PhysQubit(3)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Link {
+    a: PhysQubit,
+    b: PhysQubit,
+}
+
+impl Link {
+    /// Creates a normalized link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (self-loops are not physical couplings).
+    pub fn new(a: PhysQubit, b: PhysQubit) -> Self {
+        assert!(a != b, "coupling link endpoints must differ");
+        if a < b {
+            Link { a, b }
+        } else {
+            Link { a: b, b: a }
+        }
+    }
+
+    /// The endpoint with the smaller index.
+    pub fn low(self) -> PhysQubit {
+        self.a
+    }
+
+    /// The endpoint with the larger index.
+    pub fn high(self) -> PhysQubit {
+        self.b
+    }
+
+    /// Both endpoints, low first.
+    pub fn endpoints(self) -> (PhysQubit, PhysQubit) {
+        (self.a, self.b)
+    }
+
+    /// Whether `q` is one of the endpoints.
+    pub fn touches(self, q: PhysQubit) -> bool {
+        self.a == q || self.b == q
+    }
+
+    /// Given one endpoint, returns the other; `None` if `q` is not an
+    /// endpoint.
+    pub fn other(self, q: PhysQubit) -> Option<PhysQubit> {
+        if q == self.a {
+            Some(self.b)
+        } else if q == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}–{}", self.a, self.b)
+    }
+}
+
+/// The coupling graph of a device.
+///
+/// # Examples
+///
+/// ```
+/// use quva_device::Topology;
+/// use quva_circuit::PhysQubit;
+///
+/// let t = Topology::linear(3);
+/// assert_eq!(t.num_qubits(), 3);
+/// assert!(t.has_link(PhysQubit(0), PhysQubit(1)));
+/// assert!(!t.has_link(PhysQubit(0), PhysQubit(2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    name: String,
+    graph: UnGraph<PhysQubit, ()>,
+    links: Vec<Link>,
+    link_index: HashMap<Link, usize>,
+}
+
+impl Topology {
+    /// Builds a topology from an explicit link list.
+    ///
+    /// Duplicate links are collapsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a link references a qubit `>= num_qubits`, or if a link
+    /// is a self-loop.
+    pub fn from_links(
+        name: impl Into<String>,
+        num_qubits: usize,
+        link_pairs: impl IntoIterator<Item = (u32, u32)>,
+    ) -> Self {
+        let mut graph = UnGraph::new_undirected();
+        let nodes: Vec<NodeIndex> = (0..num_qubits).map(|i| graph.add_node(PhysQubit(i as u32))).collect();
+        let mut links = Vec::new();
+        let mut link_index = HashMap::new();
+        for (a, b) in link_pairs {
+            assert!((a as usize) < num_qubits && (b as usize) < num_qubits, "link ({a},{b}) out of range");
+            let link = Link::new(PhysQubit(a), PhysQubit(b));
+            if link_index.contains_key(&link) {
+                continue;
+            }
+            link_index.insert(link, links.len());
+            links.push(link);
+            graph.add_edge(nodes[a as usize], nodes[b as usize], ());
+        }
+        Topology { name: name.into(), graph, links, link_index }
+    }
+
+    /// A human-readable name ("ibm-q20-tokyo", "linear-5", ...).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of undirected coupling links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// All links, in insertion order. The position of a link in this
+    /// slice is its *link id*, used by calibration data.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The id of a link (its index into [`Topology::links`]), if present.
+    pub fn link_id(&self, a: PhysQubit, b: PhysQubit) -> Option<usize> {
+        if a == b {
+            return None;
+        }
+        self.link_index.get(&Link::new(a, b)).copied()
+    }
+
+    /// Whether qubits `a` and `b` are directly coupled.
+    pub fn has_link(&self, a: PhysQubit, b: PhysQubit) -> bool {
+        self.link_id(a, b).is_some()
+    }
+
+    /// The neighbors of `q`, in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn neighbors(&self, q: PhysQubit) -> Vec<PhysQubit> {
+        assert!(q.index() < self.num_qubits(), "{q} out of range");
+        let mut out: Vec<PhysQubit> = self
+            .graph
+            .neighbors(NodeIndex::new(q.index()))
+            .map(|n| self.graph[n])
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The coupling degree of `q`.
+    pub fn degree(&self, q: PhysQubit) -> usize {
+        self.graph.neighbors(NodeIndex::new(q.index())).count()
+    }
+
+    /// Whether every qubit can reach every other via coupling links.
+    pub fn is_connected(&self) -> bool {
+        if self.num_qubits() == 0 {
+            return true;
+        }
+        let mut seen = vec![false; self.num_qubits()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for n in self.graph.neighbors(NodeIndex::new(v)) {
+                let i = n.index();
+                if !seen[i] {
+                    seen[i] = true;
+                    count += 1;
+                    stack.push(i);
+                }
+            }
+        }
+        count == self.num_qubits()
+    }
+
+    /// Iterates over all physical qubits.
+    pub fn qubits(&self) -> impl Iterator<Item = PhysQubit> + '_ {
+        (0..self.num_qubits()).map(|i| PhysQubit(i as u32))
+    }
+
+    /// Access to the underlying petgraph graph (read-only), for callers
+    /// that need custom traversals.
+    pub fn graph(&self) -> &UnGraph<PhysQubit, ()> {
+        &self.graph
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} qubits, {} links)", self.name, self.num_qubits(), self.num_links())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_normalizes_order() {
+        let l = Link::new(PhysQubit(5), PhysQubit(2));
+        assert_eq!(l.low(), PhysQubit(2));
+        assert_eq!(l.high(), PhysQubit(5));
+        assert_eq!(l.endpoints(), (PhysQubit(2), PhysQubit(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn link_rejects_self_loop() {
+        Link::new(PhysQubit(1), PhysQubit(1));
+    }
+
+    #[test]
+    fn link_other_endpoint() {
+        let l = Link::new(PhysQubit(0), PhysQubit(1));
+        assert_eq!(l.other(PhysQubit(0)), Some(PhysQubit(1)));
+        assert_eq!(l.other(PhysQubit(1)), Some(PhysQubit(0)));
+        assert_eq!(l.other(PhysQubit(2)), None);
+        assert!(l.touches(PhysQubit(0)));
+        assert!(!l.touches(PhysQubit(2)));
+    }
+
+    #[test]
+    fn from_links_collapses_duplicates() {
+        let t = Topology::from_links("t", 3, [(0, 1), (1, 0), (1, 2)]);
+        assert_eq!(t.num_links(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_links_rejects_bad_qubit() {
+        Topology::from_links("t", 2, [(0, 2)]);
+    }
+
+    #[test]
+    fn link_ids_are_stable() {
+        let t = Topology::from_links("t", 4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(t.link_id(PhysQubit(1), PhysQubit(2)), Some(1));
+        assert_eq!(t.link_id(PhysQubit(2), PhysQubit(1)), Some(1));
+        assert_eq!(t.link_id(PhysQubit(0), PhysQubit(3)), None);
+        assert_eq!(t.link_id(PhysQubit(0), PhysQubit(0)), None);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let t = Topology::from_links("t", 4, [(2, 1), (2, 3), (2, 0)]);
+        assert_eq!(t.neighbors(PhysQubit(2)), vec![PhysQubit(0), PhysQubit(1), PhysQubit(3)]);
+        assert_eq!(t.degree(PhysQubit(2)), 3);
+        assert_eq!(t.degree(PhysQubit(0)), 1);
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        let connected = Topology::from_links("c", 3, [(0, 1), (1, 2)]);
+        assert!(connected.is_connected());
+        let disconnected = Topology::from_links("d", 4, [(0, 1), (2, 3)]);
+        assert!(!disconnected.is_connected());
+    }
+
+    #[test]
+    fn display_includes_counts() {
+        let t = Topology::from_links("demo", 3, [(0, 1)]);
+        assert_eq!(t.to_string(), "demo (3 qubits, 1 links)");
+    }
+}

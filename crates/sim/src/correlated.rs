@@ -1,0 +1,223 @@
+//! Fault injection with *correlated* errors — probing the paper's §9
+//! limitation ("we assume no correlations between errors").
+//!
+//! Model: within a single trial, each coupling link independently has a
+//! "bad episode" with some probability; every operation on that link
+//! during the trial then fails with its error rate multiplied by a
+//! burst factor. This captures the dominant real-world correlation —
+//! temporal drift that outlives one gate — while keeping trials
+//! independent of each other.
+
+use quva_circuit::{Circuit, Gate, PhysQubit};
+use quva_device::Device;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::SimError;
+use crate::montecarlo::McEstimate;
+
+/// Parameters of the correlated burst model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrelatedModel {
+    /// Per-trial probability that a given link is in a bad episode.
+    pub burst_probability: f64,
+    /// Multiplier applied to a bursting link's error rate (clamped to
+    /// 0.95 failure probability).
+    pub burst_multiplier: f64,
+}
+
+impl Default for CorrelatedModel {
+    /// A mild default: 5 % of links drift per trial window, tripling
+    /// their error rate.
+    fn default() -> Self {
+        CorrelatedModel { burst_probability: 0.05, burst_multiplier: 3.0 }
+    }
+}
+
+impl CorrelatedModel {
+    /// A model with no correlation at all (reduces exactly to the
+    /// independent injector; property-tested).
+    pub fn independent() -> Self {
+        CorrelatedModel { burst_probability: 0.0, burst_multiplier: 1.0 }
+    }
+}
+
+/// Monte-Carlo PST under the correlated burst model.
+///
+/// With [`CorrelatedModel::independent`] this reproduces the
+/// uncorrelated estimator exactly (up to sampling noise).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the circuit is unrouted for `device` or too
+/// large.
+///
+/// # Examples
+///
+/// ```
+/// use quva_circuit::{Circuit, PhysQubit};
+/// use quva_device::{Calibration, Device, Topology};
+/// use quva_sim::{monte_carlo_pst_correlated, CorrelatedModel};
+///
+/// # fn main() -> Result<(), quva_sim::SimError> {
+/// let dev = Device::new(Topology::linear(2), |t| Calibration::uniform(t, 0.05, 0.0, 0.0));
+/// let mut c: Circuit<PhysQubit> = Circuit::new(2);
+/// c.cnot(PhysQubit(0), PhysQubit(1));
+/// let est = monte_carlo_pst_correlated(&dev, &c, 50_000, 1, CorrelatedModel::default())?;
+/// assert!(est.pst < 0.96 && est.pst > 0.90); // bursts cost a little PST
+/// # Ok(())
+/// # }
+/// ```
+pub fn monte_carlo_pst_correlated(
+    device: &Device,
+    circuit: &Circuit<PhysQubit>,
+    trials: u64,
+    seed: u64,
+    model: CorrelatedModel,
+) -> Result<McEstimate, SimError> {
+    if circuit.num_qubits() > device.num_qubits() {
+        return Err(SimError::TooManyQubits { circuit: circuit.num_qubits(), device: device.num_qubits() });
+    }
+    let cal = device.calibration();
+    // per op: (base failure probability, link id if the op rides a link)
+    let mut ops: Vec<(f64, Option<usize>)> = Vec::with_capacity(circuit.len());
+    for (idx, gate) in circuit.iter().enumerate() {
+        let entry = match gate {
+            Gate::OneQubit { qubit, .. } => (cal.one_qubit_error(qubit.index()), None),
+            Gate::Cnot { control, target } => {
+                let id = device
+                    .topology()
+                    .link_id(*control, *target)
+                    .ok_or(SimError::UncoupledOperands { gate_index: idx, a: *control, b: *target })?;
+                (cal.two_qubit_error(id), Some(id))
+            }
+            Gate::Swap { a, b } => {
+                let id = device
+                    .topology()
+                    .link_id(*a, *b)
+                    .ok_or(SimError::UncoupledOperands { gate_index: idx, a: *a, b: *b })?;
+                (1.0 - (1.0 - cal.two_qubit_error(id)).powi(3), Some(id))
+            }
+            Gate::Measure { qubit, .. } => (cal.readout_error(qubit.index()), None),
+            Gate::Barrier { .. } => continue,
+        };
+        ops.push(entry);
+    }
+
+    let num_links = device.topology().num_links();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bursting = vec![false; num_links];
+    let mut successes = 0u64;
+    'trial: for _ in 0..trials {
+        if model.burst_probability > 0.0 {
+            for b in bursting.iter_mut() {
+                *b = rng.random::<f64>() < model.burst_probability;
+            }
+        }
+        for &(p, link) in &ops {
+            let p_eff = match link {
+                Some(id) if bursting[id] => (p * model.burst_multiplier).min(0.95),
+                _ => p,
+            };
+            if rng.random::<f64>() < p_eff {
+                continue 'trial;
+            }
+        }
+        successes += 1;
+    }
+    Ok(McEstimate { pst: successes as f64 / trials.max(1) as f64, successes, trials })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::montecarlo::monte_carlo_pst;
+    use crate::profile::CoherenceModel;
+    use quva_device::{Calibration, Topology};
+
+    fn device() -> Device {
+        Device::new(Topology::linear(3), |t| Calibration::uniform(t, 0.05, 0.002, 0.02))
+    }
+
+    fn chain() -> Circuit<PhysQubit> {
+        let mut c: Circuit<PhysQubit> = Circuit::new(3);
+        c.h(PhysQubit(0));
+        for _ in 0..5 {
+            c.cnot(PhysQubit(0), PhysQubit(1));
+            c.swap(PhysQubit(1), PhysQubit(2));
+        }
+        c.measure_all();
+        c
+    }
+
+    #[test]
+    fn independent_model_matches_plain_injector() {
+        let dev = device();
+        let c = chain();
+        let plain = monte_carlo_pst(&dev, &c, 200_000, 3, CoherenceModel::Disabled).unwrap();
+        let corr =
+            monte_carlo_pst_correlated(&dev, &c, 200_000, 4, CorrelatedModel::independent()).unwrap();
+        assert!(
+            (plain.pst - corr.pst).abs() < 5.0 * (plain.std_error() + corr.std_error()) + 1e-3,
+            "plain {} vs correlated-independent {}",
+            plain.pst,
+            corr.pst
+        );
+    }
+
+    #[test]
+    fn bursts_reduce_pst() {
+        let dev = device();
+        let c = chain();
+        let base = monte_carlo_pst_correlated(&dev, &c, 100_000, 1, CorrelatedModel::independent())
+            .unwrap()
+            .pst;
+        let bursty = monte_carlo_pst_correlated(
+            &dev,
+            &c,
+            100_000,
+            1,
+            CorrelatedModel { burst_probability: 0.3, burst_multiplier: 5.0 },
+        )
+        .unwrap()
+        .pst;
+        assert!(bursty < base, "bursty {bursty} >= base {base}");
+    }
+
+    #[test]
+    fn burst_failure_probability_is_capped() {
+        // a multiplier that would exceed 1.0 must not panic or make
+        // success impossible when the burst misses
+        let dev = Device::new(Topology::linear(2), |t| Calibration::uniform(t, 0.5, 0.0, 0.0));
+        let mut c: Circuit<PhysQubit> = Circuit::new(2);
+        c.cnot(PhysQubit(0), PhysQubit(1));
+        let est = monte_carlo_pst_correlated(
+            &dev,
+            &c,
+            20_000,
+            2,
+            CorrelatedModel { burst_probability: 1.0, burst_multiplier: 100.0 },
+        )
+        .unwrap();
+        assert!(est.pst > 0.0, "cap at 0.95 leaves a 5% success channel");
+        assert!(est.pst < 0.1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let dev = device();
+        let c = chain();
+        let m = CorrelatedModel::default();
+        let a = monte_carlo_pst_correlated(&dev, &c, 10_000, 9, m).unwrap();
+        let b = monte_carlo_pst_correlated(&dev, &c, 10_000, 9, m).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unrouted_rejected() {
+        let dev = device();
+        let mut c: Circuit<PhysQubit> = Circuit::new(3);
+        c.cnot(PhysQubit(0), PhysQubit(2));
+        assert!(monte_carlo_pst_correlated(&dev, &c, 10, 0, CorrelatedModel::default()).is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! Crosstalk-aware reliability estimation — an extension beyond the
+//! paper (its §9 notes the no-correlation assumption; crosstalk between
+//! simultaneously driven neighbouring links became the follow-up
+//! literature's main subject).
+//!
+//! Model: two-qubit gates that execute in the same schedule layer on
+//! *neighbouring* links (links joined by at least one coupling between
+//! their endpoints) suffer a multiplicative error increase. This is the
+//! dominant crosstalk mechanism on fixed-frequency transmon devices:
+//! simultaneous cross-resonance drives on adjacent couplings interfere.
+
+use quva_circuit::{Circuit, Gate, Layers, PhysQubit};
+use quva_device::Device;
+
+use crate::analytic::PstReport;
+use crate::error::SimError;
+use crate::profile::{CoherenceModel, FailureProfile};
+
+/// Parameters of the crosstalk model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrosstalkModel {
+    /// Error-rate multiplier applied to each member of a simultaneous
+    /// neighbouring-link gate pair (1.0 = no crosstalk).
+    pub factor: f64,
+}
+
+impl Default for CrosstalkModel {
+    /// The ~2x degradation reported for simultaneous cross-resonance
+    /// gates on adjacent couplings.
+    fn default() -> Self {
+        CrosstalkModel { factor: 2.0 }
+    }
+}
+
+/// Whether two links are crosstalk-neighbours: distinct, not sharing a
+/// qubit (they could not be simultaneous otherwise), and joined by at
+/// least one coupling between their endpoints.
+fn links_neighbour(device: &Device, a: (PhysQubit, PhysQubit), b: (PhysQubit, PhysQubit)) -> bool {
+    let topo = device.topology();
+    let shares_qubit = a.0 == b.0 || a.0 == b.1 || a.1 == b.0 || a.1 == b.1;
+    if shares_qubit {
+        return false;
+    }
+    for u in [a.0, a.1] {
+        for v in [b.0, b.1] {
+            if topo.has_link(u, v) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Analytic PST under gate + readout + coherence errors *and*
+/// layer-simultaneous crosstalk between neighbouring links.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the circuit is unrouted for `device` or too
+/// large.
+///
+/// # Examples
+///
+/// ```
+/// use quva_circuit::{Circuit, PhysQubit};
+/// use quva_device::{Calibration, Device, Topology};
+/// use quva_sim::{analytic_pst_with_crosstalk, CoherenceModel, CrosstalkModel};
+///
+/// # fn main() -> Result<(), quva_sim::SimError> {
+/// let dev = Device::new(Topology::linear(4), |t| Calibration::uniform(t, 0.05, 0.0, 0.0));
+/// // two CNOTs on neighbouring links, in the same layer
+/// let mut c: Circuit<PhysQubit> = Circuit::new(4);
+/// c.cnot(PhysQubit(0), PhysQubit(1));
+/// c.cnot(PhysQubit(2), PhysQubit(3));
+/// let clean = analytic_pst_with_crosstalk(&dev, &c, CoherenceModel::Disabled,
+///                                         CrosstalkModel { factor: 1.0 })?;
+/// let noisy = analytic_pst_with_crosstalk(&dev, &c, CoherenceModel::Disabled,
+///                                         CrosstalkModel { factor: 2.0 })?;
+/// assert!(noisy.pst < clean.pst);
+/// # Ok(())
+/// # }
+/// ```
+pub fn analytic_pst_with_crosstalk(
+    device: &Device,
+    circuit: &Circuit<PhysQubit>,
+    coherence: CoherenceModel,
+    model: CrosstalkModel,
+) -> Result<PstReport, SimError> {
+    // base profile validates routing and supplies the per-op rates
+    let profile = FailureProfile::new(device, circuit, coherence)?;
+    let multipliers = crosstalk_multipliers(device, circuit, model);
+
+    // recombine: ops scaled by their multiplier, coherence untouched
+    let mut pst = 1.0;
+    let mut gate_weight = 0.0;
+    let mut readout_weight = 0.0;
+    let mut op_idx = 0;
+    for gate in circuit.iter() {
+        if gate.is_barrier() {
+            continue;
+        }
+        let p = (profile.op_failures()[op_idx] * multipliers[op_idx]).min(0.95);
+        pst *= 1.0 - p;
+        let w = -(1.0 - p).max(f64::MIN_POSITIVE).ln();
+        if gate.is_measurement() {
+            readout_weight += w;
+        } else {
+            gate_weight += w;
+        }
+        op_idx += 1;
+    }
+    for &p in profile.coherence_failures() {
+        pst *= 1.0 - p;
+    }
+    Ok(PstReport {
+        pst,
+        gate_failure_weight: gate_weight,
+        readout_failure_weight: readout_weight,
+        coherence_failure_weight: profile.coherence_failure_weight(),
+    })
+}
+
+/// Per-op crosstalk multipliers (1.0 for unaffected ops), aligned with
+/// the failure profile's op order (barriers excluded).
+fn crosstalk_multipliers(
+    device: &Device,
+    circuit: &Circuit<PhysQubit>,
+    model: CrosstalkModel,
+) -> Vec<f64> {
+    // map gate index -> op index (barriers collapse)
+    let mut op_index_of = vec![usize::MAX; circuit.len()];
+    let mut next = 0;
+    for (gi, g) in circuit.iter().enumerate() {
+        if !g.is_barrier() {
+            op_index_of[gi] = next;
+            next += 1;
+        }
+    }
+    let mut multipliers = vec![1.0; next];
+
+    let layers = Layers::of(circuit);
+    for li in 0..layers.len() {
+        let layer = layers.layer(li);
+        let two_qubit: Vec<(usize, (PhysQubit, PhysQubit))> = layer
+            .iter()
+            .filter_map(|&gi| match &circuit.gates()[gi] {
+                Gate::Cnot { control: a, target: b } | Gate::Swap { a, b } => Some((gi, (*a, *b))),
+                _ => None,
+            })
+            .collect();
+        for (i, &(gi_a, link_a)) in two_qubit.iter().enumerate() {
+            for &(gi_b, link_b) in two_qubit.iter().skip(i + 1) {
+                if links_neighbour(device, link_a, link_b) {
+                    multipliers[op_index_of[gi_a]] = model.factor;
+                    multipliers[op_index_of[gi_b]] = model.factor;
+                }
+            }
+        }
+    }
+    multipliers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::analytic_pst;
+    use quva_device::{Calibration, Topology};
+
+    fn device() -> Device {
+        Device::new(Topology::linear(6), |t| Calibration::uniform(t, 0.05, 0.0, 0.0))
+    }
+
+    #[test]
+    fn factor_one_matches_plain_analytic() {
+        let dev = device();
+        let mut c: Circuit<PhysQubit> = Circuit::new(6);
+        c.cnot(PhysQubit(0), PhysQubit(1));
+        c.cnot(PhysQubit(2), PhysQubit(3));
+        c.cnot(PhysQubit(4), PhysQubit(5));
+        let plain = analytic_pst(&dev, &c, CoherenceModel::Disabled).unwrap();
+        let xt = analytic_pst_with_crosstalk(&dev, &c, CoherenceModel::Disabled, CrosstalkModel { factor: 1.0 })
+            .unwrap();
+        assert!((plain.pst - xt.pst).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simultaneous_neighbours_pay() {
+        let dev = device();
+        // links (0,1) and (2,3) are joined by coupling (1,2): neighbours
+        let mut parallel: Circuit<PhysQubit> = Circuit::new(6);
+        parallel.cnot(PhysQubit(0), PhysQubit(1));
+        parallel.cnot(PhysQubit(2), PhysQubit(3));
+        // same gates serialized by a data dependency: no crosstalk
+        let mut serial: Circuit<PhysQubit> = Circuit::new(6);
+        serial.cnot(PhysQubit(0), PhysQubit(1));
+        serial.cnot(PhysQubit(1), PhysQubit(2)); // forces ordering
+        let model = CrosstalkModel { factor: 3.0 };
+        let p_par =
+            analytic_pst_with_crosstalk(&dev, &parallel, CoherenceModel::Disabled, model).unwrap().pst;
+        let p_ser =
+            analytic_pst_with_crosstalk(&dev, &serial, CoherenceModel::Disabled, model).unwrap().pst;
+        // parallel: both CNOTs at 15% err: 0.85² = 0.7225
+        assert!((p_par - 0.85f64.powi(2)).abs() < 1e-12, "parallel {p_par}");
+        // serial chain: plain 5% each
+        assert!((p_ser - 0.95f64.powi(2)).abs() < 1e-12, "serial {p_ser}");
+    }
+
+    #[test]
+    fn distant_simultaneous_gates_are_free() {
+        let dev = device();
+        // links (0,1) and (4,5): separated by two couplings, no crosstalk
+        let mut c: Circuit<PhysQubit> = Circuit::new(6);
+        c.cnot(PhysQubit(0), PhysQubit(1));
+        c.cnot(PhysQubit(4), PhysQubit(5));
+        let model = CrosstalkModel { factor: 3.0 };
+        let xt = analytic_pst_with_crosstalk(&dev, &c, CoherenceModel::Disabled, model).unwrap().pst;
+        assert!((xt - 0.95f64.powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharing_a_qubit_is_not_crosstalk() {
+        let dev = device();
+        // impossible to be simultaneous anyway: layering serializes them
+        let mut c: Circuit<PhysQubit> = Circuit::new(6);
+        c.cnot(PhysQubit(0), PhysQubit(1));
+        c.cnot(PhysQubit(1), PhysQubit(2));
+        let model = CrosstalkModel::default();
+        let xt = analytic_pst_with_crosstalk(&dev, &c, CoherenceModel::Disabled, model).unwrap().pst;
+        assert!((xt - 0.95f64.powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crosstalk_error_is_capped() {
+        let dev = Device::new(Topology::linear(4), |t| Calibration::uniform(t, 0.6, 0.0, 0.0));
+        let mut c: Circuit<PhysQubit> = Circuit::new(4);
+        c.cnot(PhysQubit(0), PhysQubit(1));
+        c.cnot(PhysQubit(2), PhysQubit(3));
+        let xt = analytic_pst_with_crosstalk(
+            &dev,
+            &c,
+            CoherenceModel::Disabled,
+            CrosstalkModel { factor: 10.0 },
+        )
+        .unwrap();
+        assert!(xt.pst > 0.0, "cap keeps trials possible");
+    }
+
+    #[test]
+    fn unrouted_rejected() {
+        let dev = device();
+        let mut c: Circuit<PhysQubit> = Circuit::new(6);
+        c.cnot(PhysQubit(0), PhysQubit(5));
+        assert!(
+            analytic_pst_with_crosstalk(&dev, &c, CoherenceModel::Disabled, CrosstalkModel::default())
+                .is_err()
+        );
+    }
+}

@@ -1,0 +1,398 @@
+//! Exact open-system simulation with a density matrix.
+//!
+//! Where [`crate::run_noisy_trials`] *samples* the noisy process, this
+//! module computes its exact expectation: the state is a density matrix
+//! ρ evolved through unitaries and Kraus channels, and measurement
+//! outcomes come out as a full probability distribution — no sampling
+//! noise. Feasible up to [`MAX_DENSITY_QUBITS`] qubits, which covers the
+//! paper's 5-qubit §7 machine comfortably.
+//!
+//! Implementation: ρ is stored *vectorized* as a pure state of `2n`
+//! qubits — bit `q` indexes ρ's row, bit `q + n` its column — so every
+//! unitary U applies as U on the row qubit and U* on the column qubit,
+//! and a Kraus channel Σ KᵢρKᵢ† is a sum of branch applications.
+
+use quva_circuit::{Gate, OneQubitKind, QubitId};
+
+use crate::complex::Complex64;
+use crate::statevector::{matrix_of, StateVector};
+
+/// Maximum qubit count for the density-matrix simulator (the vectorized
+/// state has `2n` qubits).
+pub const MAX_DENSITY_QUBITS: usize = 10;
+
+/// A mixed quantum state over `n` qubits.
+///
+/// # Examples
+///
+/// ```
+/// use quva_sim::DensityMatrix;
+///
+/// let mut rho = DensityMatrix::new(2);
+/// rho.h(0);
+/// rho.cnot(0, 1);
+/// // a pure Bell state: purity 1, diagonal 1/2–0–0–1/2
+/// assert!((rho.purity() - 1.0).abs() < 1e-10);
+/// assert!((rho.probability(0b00) - 0.5).abs() < 1e-10);
+///
+/// rho.depolarize_1q(0, 0.5);
+/// assert!(rho.purity() < 1.0); // noise mixes the state
+/// assert!((rho.trace() - 1.0).abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMatrix {
+    n: usize,
+    vec: StateVector,
+}
+
+impl DensityMatrix {
+    /// The pure state |0…0⟩⟨0…0| over `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`MAX_DENSITY_QUBITS`].
+    pub fn new(n: usize) -> Self {
+        assert!(n <= MAX_DENSITY_QUBITS, "{n} qubits exceeds the density-matrix limit");
+        DensityMatrix { n, vec: StateVector::new(2 * n) }
+    }
+
+    /// The number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// ρ's diagonal entry for `basis` — the probability of that
+    /// computational-basis outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `basis` has bits above the register.
+    pub fn probability(&self, basis: u64) -> f64 {
+        assert!(basis < (1u64 << self.n), "basis state out of range");
+        self.vec.amplitude(basis | (basis << self.n)).re
+    }
+
+    /// Tr ρ (should stay 1 through all channels; tested).
+    pub fn trace(&self) -> f64 {
+        (0..(1u64 << self.n)).map(|b| self.probability(b)).sum()
+    }
+
+    /// Tr ρ² — 1 for pure states, smaller for mixed ones.
+    pub fn purity(&self) -> f64 {
+        // Tr ρ² = Σ_{r,c} ρ[r][c]·ρ[c][r] = Σ |ρ[r][c]|² for Hermitian ρ
+        self.vec.amps().iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Applies a single-qubit unitary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_1q(&mut self, q: usize, m: [[Complex64; 2]; 2]) {
+        assert!(q < self.n, "qubit {q} out of range");
+        let conj = [[m[0][0].conj(), m[0][1].conj()], [m[1][0].conj(), m[1][1].conj()]];
+        self.vec.apply_1q(q, m);
+        self.vec.apply_1q(q + self.n, conj);
+    }
+
+    /// Applies the named single-qubit gate.
+    pub fn apply_kind(&mut self, q: usize, kind: OneQubitKind) {
+        self.apply_1q(q, matrix_of(kind));
+    }
+
+    /// Hadamard on `q`.
+    pub fn h(&mut self, q: usize) {
+        self.apply_kind(q, OneQubitKind::H);
+    }
+
+    /// Pauli-X on `q`.
+    pub fn x(&mut self, q: usize) {
+        self.apply_kind(q, OneQubitKind::X);
+    }
+
+    /// CNOT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands coincide or are out of range.
+    pub fn cnot(&mut self, control: usize, target: usize) {
+        assert!(control < self.n && target < self.n, "cnot operand out of range");
+        self.vec.cnot(control, target);
+        self.vec.cnot(control + self.n, target + self.n);
+    }
+
+    /// SWAP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands coincide or are out of range.
+    pub fn swap(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n, "swap operand out of range");
+        self.vec.swap(a, b);
+        self.vec.swap(a + self.n, b + self.n);
+    }
+
+    /// Applies one unitary gate of the IR (barrier = no-op).
+    ///
+    /// # Panics
+    ///
+    /// Panics on measurement gates — use
+    /// [`DensityMatrix::outcome_distribution`] instead.
+    pub fn apply_gate<Q: QubitId>(&mut self, gate: &Gate<Q>) {
+        match gate {
+            Gate::OneQubit { kind, qubit } => self.apply_kind(qubit.index(), *kind),
+            Gate::Cnot { control, target } => self.cnot(control.index(), target.index()),
+            Gate::Swap { a, b } => self.swap(a.index(), b.index()),
+            Gate::Barrier { .. } => {}
+            Gate::Measure { .. } => panic!("measurement is not a channel here; read the distribution"),
+        }
+    }
+
+    /// Applies a single-qubit Kraus channel Σ KᵢρKᵢ†.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range or no Kraus operators are given.
+    pub fn apply_kraus_1q(&mut self, q: usize, kraus: &[[[Complex64; 2]; 2]]) {
+        assert!(q < self.n, "qubit {q} out of range");
+        assert!(!kraus.is_empty(), "a channel needs at least one Kraus operator");
+        let mut acc: Vec<Complex64> = vec![Complex64::ZERO; self.vec.amps().len()];
+        for k in kraus {
+            let mut branch = self.clone();
+            let conj = [[k[0][0].conj(), k[0][1].conj()], [k[1][0].conj(), k[1][1].conj()]];
+            branch.vec.apply_1q(q, *k);
+            branch.vec.apply_1q(q + self.n, conj);
+            for (a, b) in acc.iter_mut().zip(branch.vec.amps()) {
+                *a += *b;
+            }
+        }
+        self.vec.amps_mut().copy_from_slice(&acc);
+    }
+
+    /// Single-qubit depolarizing channel: with probability `p`, a
+    /// uniformly random Pauli hits `q` (the sampling simulator's 1Q
+    /// error model, in expectation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn depolarize_1q(&mut self, q: usize, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        let keep = (1.0 - p).sqrt();
+        let flip = (p / 3.0).sqrt();
+        let scaled = |m: [[Complex64; 2]; 2], s: f64| {
+            [[m[0][0].scale(s), m[0][1].scale(s)], [m[1][0].scale(s), m[1][1].scale(s)]]
+        };
+        self.apply_kraus_1q(
+            q,
+            &[
+                scaled(matrix_of(OneQubitKind::I), keep),
+                scaled(matrix_of(OneQubitKind::X), flip),
+                scaled(matrix_of(OneQubitKind::Y), flip),
+                scaled(matrix_of(OneQubitKind::Z), flip),
+            ],
+        );
+    }
+
+    /// Two-qubit depolarizing channel: with probability `p`, a uniform
+    /// non-identity Pauli pair hits `(a, b)` (the sampling simulator's
+    /// 2Q error model, in expectation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands are out of range or `p` is outside `[0, 1]`.
+    pub fn depolarize_2q(&mut self, a: usize, b: usize, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        assert!(a < self.n && b < self.n && a != b, "bad channel operands");
+        // Mix of 16 Pauli-pair branches: II with weight 1-p, the other
+        // 15 with weight p/15 each. Applying each branch via unitary
+        // conjugation and convex mixing of the resulting matrices.
+        let original = self.clone();
+        let paulis = [OneQubitKind::I, OneQubitKind::X, OneQubitKind::Y, OneQubitKind::Z];
+        let mut acc: Vec<Complex64> = original
+            .vec
+            .amps()
+            .iter()
+            .map(|amp| amp.scale(1.0 - p))
+            .collect();
+        for (i, &pa) in paulis.iter().enumerate() {
+            for (j, &pb) in paulis.iter().enumerate() {
+                if i == 0 && j == 0 {
+                    continue;
+                }
+                let mut branch = original.clone();
+                branch.apply_kind(a, pa);
+                branch.apply_kind(b, pb);
+                for (dst, src) in acc.iter_mut().zip(branch.vec.amps()) {
+                    *dst += src.scale(p / 15.0);
+                }
+            }
+        }
+        self.vec.amps_mut().copy_from_slice(&acc);
+    }
+
+    /// T1 amplitude-damping channel with decay probability `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is outside `[0, 1]`.
+    pub fn amplitude_damp(&mut self, q: usize, gamma: f64) {
+        assert!((0.0..=1.0).contains(&gamma), "gamma {gamma} out of range");
+        let k0 = [
+            [Complex64::ONE, Complex64::ZERO],
+            [Complex64::ZERO, Complex64::new((1.0 - gamma).sqrt(), 0.0)],
+        ];
+        let k1 = [
+            [Complex64::ZERO, Complex64::new(gamma.sqrt(), 0.0)],
+            [Complex64::ZERO, Complex64::ZERO],
+        ];
+        self.apply_kraus_1q(q, &[k0, k1]);
+    }
+
+    /// Pure dephasing channel with phase-flip probability `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is outside `[0, 1]`.
+    pub fn dephase(&mut self, q: usize, lambda: f64) {
+        assert!((0.0..=1.0).contains(&lambda), "lambda {lambda} out of range");
+        let keep = (1.0 - lambda).sqrt();
+        let z = lambda.sqrt();
+        let k0 = [
+            [Complex64::new(keep, 0.0), Complex64::ZERO],
+            [Complex64::ZERO, Complex64::new(keep, 0.0)],
+        ];
+        let k1 = [
+            [Complex64::new(z, 0.0), Complex64::ZERO],
+            [Complex64::ZERO, Complex64::new(-z, 0.0)],
+        ];
+        self.apply_kraus_1q(q, &[k0, k1]);
+    }
+
+    /// The probability distribution over all `2^n` computational-basis
+    /// outcomes (ρ's diagonal).
+    pub fn outcome_distribution(&self) -> Vec<f64> {
+        (0..(1u64 << self.n)).map(|b| self.probability(b)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quva_circuit::PhysQubit;
+
+    #[test]
+    fn starts_pure_in_zero() {
+        let rho = DensityMatrix::new(3);
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+        assert!((rho.probability(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_statevector_for_unitary_circuits() {
+        let mut rho = DensityMatrix::new(3);
+        let mut sv = StateVector::new(3);
+        let gates: Vec<Gate<PhysQubit>> = vec![
+            Gate::one(OneQubitKind::H, PhysQubit(0)),
+            Gate::one(OneQubitKind::T, PhysQubit(1)),
+            Gate::cnot(PhysQubit(0), PhysQubit(1)),
+            Gate::one(OneQubitKind::Ry(0.7), PhysQubit(2)),
+            Gate::swap(PhysQubit(1), PhysQubit(2)),
+            Gate::cnot(PhysQubit(2), PhysQubit(0)),
+        ];
+        for g in &gates {
+            rho.apply_gate(g);
+            sv.apply_gate(g);
+        }
+        for basis in 0..8u64 {
+            assert!(
+                (rho.probability(basis) - sv.probability(basis)).abs() < 1e-10,
+                "basis {basis} diverged"
+            );
+        }
+        assert!((rho.purity() - 1.0).abs() < 1e-10, "unitary evolution stays pure");
+    }
+
+    #[test]
+    fn depolarizing_mixes_toward_uniform() {
+        let mut rho = DensityMatrix::new(1);
+        rho.depolarize_1q(0, 0.75); // maximal 1q depolarizing
+        assert!((rho.probability(0) - 0.5).abs() < 1e-10);
+        assert!((rho.probability(1) - 0.5).abs() < 1e-10);
+        assert!((rho.purity() - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn channels_preserve_trace() {
+        let mut rho = DensityMatrix::new(2);
+        rho.h(0);
+        rho.cnot(0, 1);
+        rho.depolarize_1q(0, 0.1);
+        rho.depolarize_2q(0, 1, 0.2);
+        rho.amplitude_damp(1, 0.3);
+        rho.dephase(0, 0.15);
+        assert!((rho.trace() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_state() {
+        let mut rho = DensityMatrix::new(1);
+        rho.x(0); // |1>
+        rho.amplitude_damp(0, 0.4);
+        assert!((rho.probability(1) - 0.6).abs() < 1e-10);
+        assert!((rho.probability(0) - 0.4).abs() < 1e-10);
+    }
+
+    #[test]
+    fn dephasing_kills_coherence_not_populations() {
+        let mut rho = DensityMatrix::new(1);
+        rho.h(0); // |+>
+        let before = rho.probability(0);
+        rho.dephase(0, 0.5); // full dephasing: coherences halve... at λ=0.5 they vanish
+        assert!((rho.probability(0) - before).abs() < 1e-10, "populations unchanged");
+        // after full dephasing, H brings |+>⟨+| to a mixed state, not |0>
+        rho.h(0);
+        assert!((rho.probability(0) - 0.5).abs() < 1e-10);
+        assert!(rho.purity() < 0.51);
+    }
+
+    #[test]
+    fn two_qubit_depolarizing_damages_bell_correlations() {
+        let mut rho = DensityMatrix::new(2);
+        rho.h(0);
+        rho.cnot(0, 1);
+        rho.depolarize_2q(0, 1, 0.3);
+        // anti-correlated outcomes appear
+        let p_01 = rho.probability(0b01);
+        let p_10 = rho.probability(0b10);
+        assert!(p_01 > 0.01 && p_10 > 0.01, "noise must populate 01/10: {p_01}, {p_10}");
+        assert!((rho.trace() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let mut rho = DensityMatrix::new(3);
+        rho.h(0);
+        rho.cnot(0, 2);
+        rho.depolarize_1q(1, 0.2);
+        let dist = rho.outcome_distribution();
+        let total: f64 = dist.iter().sum();
+        assert!((total - 1.0).abs() < 1e-10);
+        assert_eq!(dist.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "density-matrix limit")]
+    fn rejects_oversized_register() {
+        DensityMatrix::new(MAX_DENSITY_QUBITS + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "read the distribution")]
+    fn rejects_measure_gate() {
+        let mut rho = DensityMatrix::new(1);
+        let g: Gate<PhysQubit> = Gate::measure(PhysQubit(0), quva_circuit::Cbit(0));
+        rho.apply_gate(&g);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type shared by the simulators.
+
+use std::error::Error;
+use std::fmt;
+
+use quva_circuit::PhysQubit;
+
+/// Error produced when a circuit cannot be simulated against a device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A two-qubit gate addresses a pair of qubits with no coupling
+    /// link — the circuit was not routed for this device.
+    UncoupledOperands {
+        /// Index of the offending gate in the circuit.
+        gate_index: usize,
+        /// First operand.
+        a: PhysQubit,
+        /// Second operand.
+        b: PhysQubit,
+    },
+    /// The circuit uses more qubits than the device has.
+    TooManyQubits {
+        /// Qubits the circuit declares.
+        circuit: usize,
+        /// Qubits the device has.
+        device: usize,
+    },
+    /// A gate touched a qubit after that qubit was measured — the exact
+    /// density-matrix evaluator supports terminal measurement only.
+    MidCircuitMeasurement {
+        /// Index of the offending gate.
+        gate_index: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UncoupledOperands { gate_index, a, b } => {
+                write!(f, "gate {gate_index} addresses uncoupled qubits {a} and {b}; route the circuit first")
+            }
+            SimError::TooManyQubits { circuit, device } => {
+                write!(f, "circuit uses {circuit} qubits but the device has only {device}")
+            }
+            SimError::MidCircuitMeasurement { gate_index } => {
+                write!(f, "gate {gate_index} touches a measured qubit; only terminal measurement is supported here")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_routing() {
+        let e = SimError::UncoupledOperands { gate_index: 3, a: PhysQubit(0), b: PhysQubit(5) };
+        assert!(e.to_string().contains("route the circuit first"));
+        let e = SimError::TooManyQubits { circuit: 10, device: 5 };
+        assert!(e.to_string().contains("only 5"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Exact noisy-outcome distributions: the density-matrix expectation of
+//! exactly the stochastic process [`crate::run_noisy_trials`] samples.
+
+use quva_circuit::{Circuit, Gate, PhysQubit};
+use quva_device::Device;
+
+use crate::density::{DensityMatrix, MAX_DENSITY_QUBITS};
+use crate::error::SimError;
+
+/// Computes the exact probability of every classical outcome of a
+/// routed circuit on a noisy device (depolarizing gate noise + readout
+/// flips — the same channels the sampling simulator draws from).
+///
+/// Returns a distribution indexed by the classical outcome (bit `i` of
+/// the index = cbit `i`), of length `2^num_cbits`.
+///
+/// Only terminal measurements are supported: once a qubit is measured,
+/// no later gate may touch it.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the circuit is unrouted, too large for the
+/// density-matrix simulator, or measures a qubit mid-circuit.
+///
+/// # Examples
+///
+/// ```
+/// use quva_circuit::{Circuit, PhysQubit, Cbit};
+/// use quva_device::{Calibration, Device, Topology};
+/// use quva_sim::exact_noisy_distribution;
+///
+/// # fn main() -> Result<(), quva_sim::SimError> {
+/// let dev = Device::new(Topology::linear(2), |t| Calibration::uniform(t, 0.0, 0.0, 0.1));
+/// let mut c: Circuit<PhysQubit> = Circuit::new(2);
+/// c.x(PhysQubit(0));
+/// c.measure(PhysQubit(0), Cbit(0));
+/// let dist = exact_noisy_distribution(&dev, &c)?;
+/// assert!((dist[1] - 0.9).abs() < 1e-10); // readout flips 10% to 0
+/// # Ok(())
+/// # }
+/// ```
+pub fn exact_noisy_distribution(
+    device: &Device,
+    circuit: &Circuit<PhysQubit>,
+) -> Result<Vec<f64>, SimError> {
+    let n = circuit.num_qubits();
+    if n > device.num_qubits() {
+        return Err(SimError::TooManyQubits { circuit: n, device: device.num_qubits() });
+    }
+    if n > MAX_DENSITY_QUBITS {
+        return Err(SimError::TooManyQubits { circuit: n, device: MAX_DENSITY_QUBITS });
+    }
+    let cal = device.calibration();
+    let mut rho = DensityMatrix::new(n);
+    // measured[q] = destination cbit
+    let mut measured: Vec<Option<usize>> = vec![None; n];
+    for (idx, gate) in circuit.iter().enumerate() {
+        for q in gate.qubits() {
+            if measured[q.index()].is_some() && !gate.is_barrier() {
+                return Err(SimError::MidCircuitMeasurement { gate_index: idx });
+            }
+        }
+        match gate {
+            Gate::OneQubit { kind, qubit } => {
+                rho.apply_kind(qubit.index(), *kind);
+                rho.depolarize_1q(qubit.index(), cal.one_qubit_error(qubit.index()));
+            }
+            Gate::Cnot { control, target } => {
+                let e = device
+                    .link_error(*control, *target)
+                    .ok_or(SimError::UncoupledOperands { gate_index: idx, a: *control, b: *target })?;
+                rho.cnot(control.index(), target.index());
+                rho.depolarize_2q(control.index(), target.index(), e);
+            }
+            Gate::Swap { a, b } => {
+                let e = device
+                    .link_error(*a, *b)
+                    .ok_or(SimError::UncoupledOperands { gate_index: idx, a: *a, b: *b })?;
+                rho.swap(a.index(), b.index());
+                rho.depolarize_2q(a.index(), b.index(), 1.0 - (1.0 - e).powi(3));
+            }
+            Gate::Measure { qubit, cbit } => {
+                measured[qubit.index()] = Some(cbit.index());
+            }
+            Gate::Barrier { .. } => {}
+        }
+    }
+
+    // marginalize the diagonal onto the measured qubits, then apply
+    // classical readout flips
+    let joint = rho.outcome_distribution();
+    let num_cbits = circuit.num_cbits();
+    let mut dist = vec![0.0; 1 << num_cbits];
+    for (basis, &p) in joint.iter().enumerate() {
+        let mut outcome = 0usize;
+        for (q, slot) in measured.iter().enumerate() {
+            if let Some(c) = slot {
+                if basis >> q & 1 == 1 {
+                    outcome |= 1 << c;
+                }
+            }
+        }
+        dist[outcome] += p;
+    }
+    for (q, slot) in measured.iter().enumerate() {
+        let Some(c) = slot else { continue };
+        let r = cal.readout_error(q);
+        if r == 0.0 {
+            continue;
+        }
+        let bit = 1usize << c;
+        let mut flipped = vec![0.0; dist.len()];
+        for (o, &p) in dist.iter().enumerate() {
+            flipped[o] += p * (1.0 - r);
+            flipped[o ^ bit] += p * r;
+        }
+        dist = flipped;
+    }
+    Ok(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noisy::run_noisy_trials;
+    use quva_circuit::Cbit;
+    use quva_device::{Calibration, Topology};
+
+    fn device(e2q: f64, e1q: f64, ero: f64) -> Device {
+        Device::new(Topology::fully_connected(3), |t| Calibration::uniform(t, e2q, e1q, ero))
+    }
+
+    fn bv3() -> Circuit<PhysQubit> {
+        quva_benchmarks::bv(3).map_qubits(3, |q| PhysQubit(q.0))
+    }
+
+    #[test]
+    fn noiseless_bv_is_deterministic() {
+        let dist = exact_noisy_distribution(&device(0.0, 0.0, 0.0), &bv3()).unwrap();
+        assert!((dist[0b11] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn distribution_is_normalized_under_noise() {
+        let dist = exact_noisy_distribution(&device(0.08, 0.01, 0.05), &bv3()).unwrap();
+        let total: f64 = dist.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(dist.iter().all(|&p| p >= -1e-12));
+    }
+
+    #[test]
+    fn sampling_simulator_converges_to_exact() {
+        // the headline cross-validation: the Monte-Carlo state-vector
+        // simulator samples exactly this distribution
+        let dev = device(0.06, 0.005, 0.03);
+        let c = bv3();
+        let exact = exact_noisy_distribution(&dev, &c).unwrap();
+        let sampled = run_noisy_trials(&dev, &c, 200_000, 11).unwrap();
+        let mut tv = 0.0; // total-variation distance
+        for (o, &p) in exact.iter().enumerate() {
+            let q = sampled.count(o as u64) as f64 / sampled.trials() as f64;
+            tv += (p - q).abs();
+        }
+        tv /= 2.0;
+        assert!(tv < 0.01, "total variation {tv} too large");
+    }
+
+    #[test]
+    fn readout_flip_convolution() {
+        let dev = device(0.0, 0.0, 0.2);
+        let mut c: Circuit<PhysQubit> = Circuit::new(3);
+        c.x(PhysQubit(0));
+        c.measure(PhysQubit(0), Cbit(0));
+        c.measure(PhysQubit(1), Cbit(1));
+        let dist = exact_noisy_distribution(&dev, &c).unwrap();
+        // q0=1 (flips with 0.2), q1=0 (flips with 0.2); cbit2 unused
+        assert!((dist[0b01] - 0.8 * 0.8).abs() < 1e-10);
+        assert!((dist[0b00] - 0.2 * 0.8).abs() < 1e-10);
+        assert!((dist[0b11] - 0.8 * 0.2).abs() < 1e-10);
+        assert!((dist[0b10] - 0.2 * 0.2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mid_circuit_measurement_rejected() {
+        let dev = device(0.0, 0.0, 0.0);
+        let mut c: Circuit<PhysQubit> = Circuit::new(3);
+        c.measure(PhysQubit(0), Cbit(0));
+        c.h(PhysQubit(0));
+        let err = exact_noisy_distribution(&dev, &c).unwrap_err();
+        assert!(matches!(err, SimError::MidCircuitMeasurement { gate_index: 1 }));
+    }
+
+    #[test]
+    fn unrouted_rejected() {
+        let dev = Device::new(Topology::linear(3), |t| Calibration::uniform(t, 0.0, 0.0, 0.0));
+        let mut c: Circuit<PhysQubit> = Circuit::new(3);
+        c.cnot(PhysQubit(0), PhysQubit(2));
+        assert!(exact_noisy_distribution(&dev, &c).is_err());
+    }
+
+    #[test]
+    fn oversized_register_rejected() {
+        let dev = Device::new(Topology::linear(12), |t| Calibration::uniform(t, 0.0, 0.0, 0.0));
+        let c: Circuit<PhysQubit> = Circuit::new(12);
+        assert!(matches!(
+            exact_noisy_distribution(&dev, &c),
+            Err(SimError::TooManyQubits { .. })
+        ));
+    }
+}

@@ -1,0 +1,179 @@
+//! The Monte-Carlo fault-injection simulator of Fig. 10.
+//!
+//! Each trial walks the routed circuit and draws an independent
+//! Bernoulli per operation (and per qubit for coherence exposure); a
+//! trial succeeds iff no fault fires. PST = successful / total trials —
+//! exactly the estimator the paper runs 1 million trials of per
+//! workload.
+
+use quva_circuit::{Circuit, PhysQubit};
+use quva_device::Device;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::SimError;
+use crate::profile::{CoherenceModel, FailureProfile};
+
+/// Result of a Monte-Carlo PST estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McEstimate {
+    /// Estimated probability of a successful trial.
+    pub pst: f64,
+    /// Number of successful trials.
+    pub successes: u64,
+    /// Total trials performed.
+    pub trials: u64,
+}
+
+impl McEstimate {
+    /// Binomial standard error of the estimate.
+    pub fn std_error(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        (self.pst * (1.0 - self.pst) / self.trials as f64).sqrt()
+    }
+}
+
+/// Runs `trials` fault-injection trials of a routed circuit and reports
+/// the observed PST.
+///
+/// Deterministic for a given `seed`.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the circuit is unrouted for `device` or uses
+/// more qubits than the device has.
+///
+/// # Examples
+///
+/// ```
+/// use quva_circuit::{Circuit, PhysQubit};
+/// use quva_device::{Calibration, Device, Topology};
+/// use quva_sim::{monte_carlo_pst, CoherenceModel};
+///
+/// # fn main() -> Result<(), quva_sim::SimError> {
+/// let dev = Device::new(Topology::linear(2), |t| Calibration::uniform(t, 0.1, 0.0, 0.0));
+/// let mut c: Circuit<PhysQubit> = Circuit::new(2);
+/// c.cnot(PhysQubit(0), PhysQubit(1));
+/// let est = monte_carlo_pst(&dev, &c, 100_000, 7, CoherenceModel::Disabled)?;
+/// assert!((est.pst - 0.9).abs() < 0.01); // converges to the analytic value
+/// # Ok(())
+/// # }
+/// ```
+pub fn monte_carlo_pst(
+    device: &Device,
+    circuit: &Circuit<PhysQubit>,
+    trials: u64,
+    seed: u64,
+    coherence: CoherenceModel,
+) -> Result<McEstimate, SimError> {
+    let profile = FailureProfile::new(device, circuit, coherence)?;
+    Ok(run_trials(&profile, trials, seed))
+}
+
+/// Runs the injection loop against a prebuilt [`FailureProfile`] —
+/// useful when sweeping trial counts over the same circuit.
+pub fn run_trials(profile: &FailureProfile, trials: u64, seed: u64) -> McEstimate {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Event probabilities, flattened; coherence events appended after
+    // the per-op events.
+    let events: Vec<f64> = profile
+        .op_failures()
+        .iter()
+        .chain(profile.coherence_failures().iter())
+        .copied()
+        .filter(|&p| p > 0.0)
+        .collect();
+    let mut successes = 0u64;
+    'trial: for _ in 0..trials {
+        for &p in &events {
+            if rng.random::<f64>() < p {
+                continue 'trial;
+            }
+        }
+        successes += 1;
+    }
+    McEstimate { pst: successes as f64 / trials.max(1) as f64, successes, trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quva_device::{Calibration, Topology};
+
+    fn device(e2q: f64) -> Device {
+        Device::new(Topology::linear(3), |t| Calibration::uniform(t, e2q, 0.0, 0.0))
+    }
+
+    fn chain(len: usize) -> Circuit<PhysQubit> {
+        let mut c: Circuit<PhysQubit> = Circuit::new(3);
+        for _ in 0..len {
+            c.cnot(PhysQubit(0), PhysQubit(1));
+        }
+        c
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let dev = device(0.1);
+        let c = chain(5);
+        let a = monte_carlo_pst(&dev, &c, 10_000, 3, CoherenceModel::Disabled).unwrap();
+        let b = monte_carlo_pst(&dev, &c, 10_000, 3, CoherenceModel::Disabled).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn converges_to_analytic() {
+        let dev = device(0.05);
+        let c = chain(10);
+        let analytic = 0.95f64.powi(10);
+        let est = monte_carlo_pst(&dev, &c, 200_000, 1, CoherenceModel::Disabled).unwrap();
+        assert!(
+            (est.pst - analytic).abs() < 4.0 * est.std_error().max(1e-4),
+            "MC {} vs analytic {analytic}",
+            est.pst
+        );
+    }
+
+    #[test]
+    fn error_free_device_always_succeeds() {
+        let dev = device(0.0);
+        let est = monte_carlo_pst(&dev, &chain(20), 1000, 0, CoherenceModel::Disabled).unwrap();
+        assert_eq!(est.pst, 1.0);
+        assert_eq!(est.successes, 1000);
+    }
+
+    #[test]
+    fn hopeless_device_never_succeeds() {
+        let dev = Device::new(Topology::linear(3), |t| Calibration::uniform(t, 0.999, 0.0, 0.0));
+        let est = monte_carlo_pst(&dev, &chain(10), 1000, 0, CoherenceModel::Disabled).unwrap();
+        assert!(est.pst < 0.01);
+    }
+
+    #[test]
+    fn std_error_shrinks_with_trials() {
+        let dev = device(0.1);
+        let c = chain(3);
+        let small = monte_carlo_pst(&dev, &c, 1_000, 0, CoherenceModel::Disabled).unwrap();
+        let large = monte_carlo_pst(&dev, &c, 100_000, 0, CoherenceModel::Disabled).unwrap();
+        assert!(large.std_error() < small.std_error());
+    }
+
+    #[test]
+    fn zero_trials_reports_zero() {
+        let dev = device(0.1);
+        let est = monte_carlo_pst(&dev, &chain(1), 0, 0, CoherenceModel::Disabled).unwrap();
+        assert_eq!(est.trials, 0);
+        assert_eq!(est.pst, 0.0);
+        assert_eq!(est.std_error(), 0.0);
+    }
+
+    #[test]
+    fn unrouted_circuit_rejected() {
+        let dev = device(0.1);
+        let mut c: Circuit<PhysQubit> = Circuit::new(3);
+        c.cnot(PhysQubit(0), PhysQubit(2));
+        assert!(monte_carlo_pst(&dev, &c, 10, 0, CoherenceModel::Disabled).is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! The noisy "real machine" stand-in for the paper's §7 evaluation.
+//!
+//! The paper validated its policies on physical IBM-Q5 hardware. We
+//! substitute a full state-vector simulation with stochastic Pauli gate
+//! noise and readout flips: unlike the uncorrelated fault-injection
+//! model the *compiler* optimizes against, errors here propagate through
+//! entanglement and depend on the quantum state — a deliberately
+//! model-mismatched target, which is exactly what "runs on the real
+//! machine" tested.
+
+use std::collections::HashMap;
+
+use quva_circuit::{Circuit, Gate, PhysQubit};
+use quva_device::Device;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::SimError;
+use crate::statevector::StateVector;
+
+/// Outcome histogram of a batch of noisy trials.
+///
+/// # Examples
+///
+/// ```
+/// use quva_circuit::{Circuit, PhysQubit, Cbit};
+/// use quva_device::{Calibration, Device, Topology};
+/// use quva_sim::run_noisy_trials;
+///
+/// # fn main() -> Result<(), quva_sim::SimError> {
+/// let dev = Device::new(Topology::linear(2), |t| Calibration::uniform(t, 0.0, 0.0, 0.0));
+/// let mut c: Circuit<PhysQubit> = Circuit::new(2);
+/// c.x(PhysQubit(0));
+/// c.measure(PhysQubit(0), Cbit(0));
+/// c.measure(PhysQubit(1), Cbit(1));
+/// let out = run_noisy_trials(&dev, &c, 100, 1)?;
+/// assert_eq!(out.success_rate(|o| o == 0b01), 1.0); // noiseless: always 01
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialOutcomes {
+    counts: HashMap<u64, u64>,
+    trials: u64,
+}
+
+impl TrialOutcomes {
+    /// The number of trials run.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// How many trials produced classical outcome `outcome`.
+    pub fn count(&self, outcome: u64) -> u64 {
+        self.counts.get(&outcome).copied().unwrap_or(0)
+    }
+
+    /// The raw histogram.
+    pub fn histogram(&self) -> &HashMap<u64, u64> {
+        &self.counts
+    }
+
+    /// Fraction of trials whose outcome satisfies `accept` — the PST
+    /// under an output-correctness criterion (§7's definition).
+    pub fn success_rate(&self, accept: impl Fn(u64) -> bool) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        let ok: u64 = self.counts.iter().filter(|(&o, _)| accept(o)).map(|(_, &c)| c).sum();
+        ok as f64 / self.trials as f64
+    }
+
+    /// The most frequent outcome, ties broken by smaller value; `None`
+    /// when no trials ran.
+    pub fn mode(&self) -> Option<u64> {
+        self.counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(&o, _)| o)
+    }
+}
+
+/// Runs `trials` executions of a routed circuit on the noisy
+/// state-vector simulator and collects the classical outcomes.
+///
+/// Noise model: after every gate, with probability equal to the gate's
+/// calibrated error rate, a uniformly random non-identity Pauli is
+/// injected on the participating qubit(s); a SWAP carries the 3-CNOT
+/// compound error `1 − (1 − e)³`; each measurement result flips with
+/// the qubit's readout error. Deterministic per `seed`.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the circuit is unrouted for `device` or too
+/// large.
+pub fn run_noisy_trials(
+    device: &Device,
+    circuit: &Circuit<PhysQubit>,
+    trials: u64,
+    seed: u64,
+) -> Result<TrialOutcomes, SimError> {
+    if circuit.num_qubits() > device.num_qubits() {
+        return Err(SimError::TooManyQubits { circuit: circuit.num_qubits(), device: device.num_qubits() });
+    }
+    // Pre-validate coupling and collect per-gate error rates.
+    let cal = device.calibration();
+    let mut gate_errors = Vec::with_capacity(circuit.len());
+    for (idx, gate) in circuit.iter().enumerate() {
+        let e = match gate {
+            Gate::OneQubit { qubit, .. } => cal.one_qubit_error(qubit.index()),
+            Gate::Cnot { control, target } => device
+                .link_error(*control, *target)
+                .ok_or(SimError::UncoupledOperands { gate_index: idx, a: *control, b: *target })?,
+            Gate::Swap { a, b } => {
+                let e = device
+                    .link_error(*a, *b)
+                    .ok_or(SimError::UncoupledOperands { gate_index: idx, a: *a, b: *b })?;
+                1.0 - (1.0 - e).powi(3)
+            }
+            Gate::Measure { qubit, .. } => cal.readout_error(qubit.index()),
+            Gate::Barrier { .. } => 0.0,
+        };
+        gate_errors.push(e);
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for _ in 0..trials {
+        let outcome = run_one_trial(circuit, &gate_errors, &mut rng);
+        *counts.entry(outcome).or_insert(0) += 1;
+    }
+    Ok(TrialOutcomes { counts, trials })
+}
+
+fn run_one_trial(circuit: &Circuit<PhysQubit>, gate_errors: &[f64], rng: &mut StdRng) -> u64 {
+    let mut sv = StateVector::new(circuit.num_qubits());
+    let mut outcome = 0u64;
+    for (gate, &err) in circuit.iter().zip(gate_errors) {
+        match gate {
+            Gate::Measure { qubit, cbit } => {
+                let mut bit = sv.measure(qubit.index(), rng);
+                if rng.random::<f64>() < err {
+                    bit = !bit; // readout flip
+                }
+                if bit {
+                    outcome |= 1u64 << cbit.index();
+                } else {
+                    outcome &= !(1u64 << cbit.index());
+                }
+            }
+            Gate::Barrier { .. } => {}
+            _ => {
+                sv.apply_gate(gate);
+                if err > 0.0 && rng.random::<f64>() < err {
+                    inject_pauli(&mut sv, gate, rng);
+                }
+            }
+        }
+    }
+    outcome
+}
+
+/// Injects a uniformly random non-identity Pauli on the gate's operand
+/// qubit(s): one of {X, Y, Z} for single-qubit gates, one of the 15
+/// non-II two-qubit Paulis for CNOT/SWAP.
+fn inject_pauli(sv: &mut StateVector, gate: &Gate<PhysQubit>, rng: &mut StdRng) {
+    match gate {
+        Gate::OneQubit { qubit, .. } => {
+            sv.apply_pauli(qubit.index(), rng.random_range(1..=3));
+        }
+        Gate::Cnot { control: a, target: b } | Gate::Swap { a, b } => {
+            // draw (p, q) uniformly from {0..3}² \ {(0,0)}
+            let code = rng.random_range(1..16u8);
+            let (pa, pb) = (code / 4, code % 4);
+            if pa > 0 {
+                sv.apply_pauli(a.index(), pa);
+            }
+            if pb > 0 {
+                sv.apply_pauli(b.index(), pb);
+            }
+        }
+        _ => unreachable!("only unitary gates receive Pauli noise"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quva_circuit::Cbit;
+    use quva_device::{Calibration, Topology};
+
+    fn clean_device(n: usize) -> Device {
+        Device::new(Topology::fully_connected(n), |t| Calibration::uniform(t, 0.0, 0.0, 0.0))
+    }
+
+    fn noisy_device(n: usize, e2q: f64, ero: f64) -> Device {
+        Device::new(Topology::fully_connected(n), |t| Calibration::uniform(t, e2q, 0.0, ero))
+    }
+
+    fn bv3() -> Circuit<PhysQubit> {
+        quva_benchmarks::bv(3).map_qubits(3, |q| PhysQubit(q.0))
+    }
+
+    #[test]
+    fn noiseless_bv_always_finds_secret() {
+        let out = run_noisy_trials(&clean_device(3), &bv3(), 200, 1).unwrap();
+        assert_eq!(out.count(0b11), 200);
+        assert_eq!(out.success_rate(|o| o == 0b11), 1.0);
+        assert_eq!(out.mode(), Some(0b11));
+    }
+
+    #[test]
+    fn noiseless_ghz_splits_between_poles() {
+        let c = quva_benchmarks::ghz(3).map_qubits(3, |q| PhysQubit(q.0));
+        let out = run_noisy_trials(&clean_device(3), &c, 2000, 2).unwrap();
+        let zeros = out.count(0b000);
+        let ones = out.count(0b111);
+        assert_eq!(zeros + ones, 2000, "GHZ produced a non-pole outcome");
+        assert!((800..1200).contains(&(zeros as usize)), "pole split biased: {zeros}");
+    }
+
+    #[test]
+    fn noise_degrades_success() {
+        let clean = run_noisy_trials(&clean_device(3), &bv3(), 2000, 3).unwrap();
+        let noisy = run_noisy_trials(&noisy_device(3, 0.1, 0.05), &bv3(), 2000, 3).unwrap();
+        let ps_clean = clean.success_rate(|o| o == 0b11);
+        let ps_noisy = noisy.success_rate(|o| o == 0b11);
+        assert_eq!(ps_clean, 1.0);
+        assert!(ps_noisy < 0.95, "noise had no effect: {ps_noisy}");
+        assert!(ps_noisy > 0.3, "noise implausibly destructive: {ps_noisy}");
+    }
+
+    #[test]
+    fn readout_error_alone_flips_bits() {
+        let dev = noisy_device(2, 0.0, 0.5);
+        let mut c: Circuit<PhysQubit> = Circuit::new(2);
+        c.measure(PhysQubit(0), Cbit(0));
+        let out = run_noisy_trials(&dev, &c, 4000, 4).unwrap();
+        let flipped = out.count(0b1);
+        assert!((1700..2300).contains(&(flipped as usize)), "readout flip rate off: {flipped}/4000");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let dev = noisy_device(3, 0.05, 0.02);
+        let a = run_noisy_trials(&dev, &bv3(), 500, 9).unwrap();
+        let b = run_noisy_trials(&dev, &bv3(), 500, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unrouted_circuit_rejected() {
+        let dev = Device::new(Topology::linear(3), |t| Calibration::uniform(t, 0.0, 0.0, 0.0));
+        let mut c: Circuit<PhysQubit> = Circuit::new(3);
+        c.cnot(PhysQubit(0), PhysQubit(2));
+        assert!(run_noisy_trials(&dev, &c, 10, 0).is_err());
+    }
+
+    #[test]
+    fn oversized_circuit_rejected() {
+        let dev = clean_device(2);
+        let c: Circuit<PhysQubit> = Circuit::new(3);
+        assert!(matches!(run_noisy_trials(&dev, &c, 1, 0), Err(SimError::TooManyQubits { .. })));
+    }
+
+    #[test]
+    fn empty_outcomes() {
+        let out = run_noisy_trials(&clean_device(2), &Circuit::new(2), 0, 0).unwrap();
+        assert_eq!(out.trials(), 0);
+        assert_eq!(out.success_rate(|_| true), 0.0);
+        assert_eq!(out.mode(), None);
+    }
+
+    #[test]
+    fn triswap_moves_excitation() {
+        let c = quva_benchmarks::triswap().map_qubits(3, |q| PhysQubit(q.0));
+        let out = run_noisy_trials(&clean_device(3), &c, 100, 5).unwrap();
+        assert_eq!(out.count(0b100), 100);
+    }
+}

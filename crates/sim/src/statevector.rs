@@ -1,0 +1,450 @@
+//! A dense state-vector quantum simulator.
+//!
+//! Tracks all `2^n` complex amplitudes, applies gate unitaries exactly,
+//! and supports projective measurement with collapse. This is the
+//! engine behind the noisy "real machine" stand-in of §7: unlike the
+//! fault-injection model, errors here are *state-dependent* (a Pauli-Z
+//! on a qubit in |0⟩ is harmless, an X always flips), so it exercises
+//! the policies against a noise process they were not tuned for.
+
+use quva_circuit::{Gate, OneQubitKind, PhysQubit, QubitId};
+use rand::Rng;
+
+use crate::complex::Complex64;
+
+/// Maximum qubit count the dense simulator accepts (`2^24` amplitudes =
+/// 256 MiB); chosen to fail fast on accidental huge circuits.
+pub const MAX_STATEVECTOR_QUBITS: usize = 24;
+
+/// A pure quantum state over `n` qubits, with qubit `q` mapped to bit
+/// `q` of the basis index (little-endian).
+///
+/// # Examples
+///
+/// ```
+/// use quva_sim::StateVector;
+///
+/// let mut sv = StateVector::new(2);
+/// sv.h(0);
+/// sv.cnot(0, 1);               // Bell pair
+/// assert!((sv.probability(0b00) - 0.5).abs() < 1e-12);
+/// assert!((sv.probability(0b11) - 0.5).abs() < 1e-12);
+/// assert!(sv.probability(0b01) < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    n: usize,
+    amps: Vec<Complex64>,
+}
+
+impl StateVector {
+    /// The all-zeros state |0…0⟩ over `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`MAX_STATEVECTOR_QUBITS`].
+    pub fn new(n: usize) -> Self {
+        assert!(n <= MAX_STATEVECTOR_QUBITS, "{n} qubits exceeds the dense simulator limit");
+        let mut amps = vec![Complex64::ZERO; 1usize << n];
+        amps[0] = Complex64::ONE;
+        StateVector { n, amps }
+    }
+
+    /// The number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The probability of measuring basis state `basis` on all qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `basis` has bits above the register size.
+    pub fn probability(&self, basis: u64) -> f64 {
+        assert!(basis < (1u64 << self.n), "basis state out of range");
+        self.amps[basis as usize].norm_sqr()
+    }
+
+    /// The raw amplitude of basis state `basis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `basis` has bits above the register size.
+    pub fn amplitude(&self, basis: u64) -> Complex64 {
+        assert!(basis < (1u64 << self.n), "basis state out of range");
+        self.amps[basis as usize]
+    }
+
+    /// Crate-internal raw access for the density-matrix layer.
+    pub(crate) fn amps(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// Crate-internal raw mutable access for the density-matrix layer.
+    pub(crate) fn amps_mut(&mut self) -> &mut [Complex64] {
+        &mut self.amps
+    }
+
+    /// Total norm `Σ|amp|²` (should stay 1 under unitaries; tested).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Applies an arbitrary single-qubit unitary `[[a, b], [c, d]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_1q(&mut self, q: usize, m: [[Complex64; 2]; 2]) {
+        assert!(q < self.n, "qubit {q} out of range");
+        let bit = 1usize << q;
+        for i in 0..self.amps.len() {
+            if i & bit == 0 {
+                let j = i | bit;
+                let a0 = self.amps[i];
+                let a1 = self.amps[j];
+                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
+            }
+        }
+    }
+
+    /// Applies the named single-qubit gate.
+    pub fn apply_kind(&mut self, q: usize, kind: OneQubitKind) {
+        self.apply_1q(q, matrix_of(kind));
+    }
+
+    /// Hadamard on `q`.
+    pub fn h(&mut self, q: usize) {
+        self.apply_kind(q, OneQubitKind::H);
+    }
+
+    /// Pauli-X on `q`.
+    pub fn x(&mut self, q: usize) {
+        self.apply_kind(q, OneQubitKind::X);
+    }
+
+    /// Pauli-Y on `q`.
+    pub fn y(&mut self, q: usize) {
+        self.apply_kind(q, OneQubitKind::Y);
+    }
+
+    /// Pauli-Z on `q`.
+    pub fn z(&mut self, q: usize) {
+        self.apply_kind(q, OneQubitKind::Z);
+    }
+
+    /// CNOT with the given control and target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands coincide or are out of range.
+    pub fn cnot(&mut self, control: usize, target: usize) {
+        assert!(control != target, "cnot operands must differ");
+        assert!(control < self.n && target < self.n, "cnot operand out of range");
+        let cbit = 1usize << control;
+        let tbit = 1usize << target;
+        for i in 0..self.amps.len() {
+            if i & cbit != 0 && i & tbit == 0 {
+                self.amps.swap(i, i | tbit);
+            }
+        }
+    }
+
+    /// SWAP of two qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands coincide or are out of range.
+    pub fn swap(&mut self, a: usize, b: usize) {
+        assert!(a != b, "swap operands must differ");
+        assert!(a < self.n && b < self.n, "swap operand out of range");
+        let abit = 1usize << a;
+        let bbit = 1usize << b;
+        for i in 0..self.amps.len() {
+            if i & abit != 0 && i & bbit == 0 {
+                self.amps.swap(i, (i & !abit) | bbit);
+            }
+        }
+    }
+
+    /// Applies one gate of the IR (barriers are no-ops; measurements are
+    /// not unitary — use [`StateVector::measure`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if handed a measurement gate.
+    pub fn apply_gate<Q: QubitId>(&mut self, gate: &Gate<Q>) {
+        match gate {
+            Gate::OneQubit { kind, qubit } => self.apply_kind(qubit.index(), *kind),
+            Gate::Cnot { control, target } => self.cnot(control.index(), target.index()),
+            Gate::Swap { a, b } => self.swap(a.index(), b.index()),
+            Gate::Barrier { .. } => {}
+            Gate::Measure { .. } => panic!("measurement is not unitary; use StateVector::measure"),
+        }
+    }
+
+    /// Probability that measuring `q` yields 1.
+    pub fn prob_one(&self, q: usize) -> f64 {
+        let bit = 1usize << q;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & bit != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Projectively measures `q` in the Z basis, collapsing the state
+    /// and returning the outcome bit.
+    pub fn measure(&mut self, q: usize, rng: &mut impl Rng) -> bool {
+        let p1 = self.prob_one(q);
+        let outcome = rng.random::<f64>() < p1;
+        self.collapse(q, outcome);
+        outcome
+    }
+
+    /// Forces qubit `q` into the given outcome, renormalizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome has zero probability (the state has no
+    /// support on it).
+    pub fn collapse(&mut self, q: usize, outcome: bool) {
+        let bit = 1usize << q;
+        let p = if outcome { self.prob_one(q) } else { 1.0 - self.prob_one(q) };
+        assert!(p > 1e-15, "collapsing onto a zero-probability outcome");
+        let scale = 1.0 / p.sqrt();
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            let has_bit = i & bit != 0;
+            if has_bit == outcome {
+                *amp = amp.scale(scale);
+            } else {
+                *amp = Complex64::ZERO;
+            }
+        }
+    }
+
+    /// Applies the Pauli operator `pauli` (1 = X, 2 = Y, 3 = Z) to `q` —
+    /// the error injections of the noisy simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pauli` is not 1, 2, or 3.
+    pub fn apply_pauli(&mut self, q: usize, pauli: u8) {
+        match pauli {
+            1 => self.x(q),
+            2 => self.y(q),
+            3 => self.z(q),
+            _ => panic!("pauli index {pauli} must be 1 (X), 2 (Y) or 3 (Z)"),
+        }
+    }
+}
+
+/// The 2×2 unitary of a single-qubit gate kind.
+pub fn matrix_of(kind: OneQubitKind) -> [[Complex64; 2]; 2] {
+    use Complex64 as C;
+    let zero = C::ZERO;
+    let one = C::ONE;
+    let i = C::I;
+    let h = std::f64::consts::FRAC_1_SQRT_2;
+    match kind {
+        OneQubitKind::I => [[one, zero], [zero, one]],
+        OneQubitKind::X => [[zero, one], [one, zero]],
+        OneQubitKind::Y => [[zero, -i], [i, zero]],
+        OneQubitKind::Z => [[one, zero], [zero, -one]],
+        OneQubitKind::H => [[C::new(h, 0.0), C::new(h, 0.0)], [C::new(h, 0.0), C::new(-h, 0.0)]],
+        OneQubitKind::S => [[one, zero], [zero, i]],
+        OneQubitKind::Sdg => [[one, zero], [zero, -i]],
+        OneQubitKind::T => [[one, zero], [zero, C::from_polar(std::f64::consts::FRAC_PI_4)]],
+        OneQubitKind::Tdg => [[one, zero], [zero, C::from_polar(-std::f64::consts::FRAC_PI_4)]],
+        OneQubitKind::Rx(t) => {
+            let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+            [[C::new(c, 0.0), C::new(0.0, -s)], [C::new(0.0, -s), C::new(c, 0.0)]]
+        }
+        OneQubitKind::Ry(t) => {
+            let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+            [[C::new(c, 0.0), C::new(-s, 0.0)], [C::new(s, 0.0), C::new(c, 0.0)]]
+        }
+        OneQubitKind::Rz(t) => {
+            [[C::from_polar(-t / 2.0), zero], [zero, C::from_polar(t / 2.0)]]
+        }
+    }
+}
+
+// PhysQubit is the index type used throughout the simulators; keep the
+// import non-dead even when only generics use it.
+#[allow(unused)]
+fn _assert_physqubit_usable(g: &Gate<PhysQubit>, sv: &mut StateVector) {
+    sv.apply_gate(g);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn starts_in_zero_state() {
+        let sv = StateVector::new(3);
+        assert_eq!(sv.probability(0), 1.0);
+        assert!((sv.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_flips() {
+        let mut sv = StateVector::new(2);
+        sv.x(1);
+        assert!((sv.probability(0b10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h_twice_is_identity() {
+        let mut sv = StateVector::new(1);
+        sv.h(0);
+        sv.h(0);
+        assert!((sv.probability(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_pair_correlations() {
+        let mut sv = StateVector::new(2);
+        sv.h(0);
+        sv.cnot(0, 1);
+        assert!((sv.probability(0b00) - 0.5).abs() < 1e-12);
+        assert!((sv.probability(0b11) - 0.5).abs() < 1e-12);
+        assert!(sv.probability(0b01).abs() < 1e-12);
+        assert!(sv.probability(0b10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_exchanges_bits() {
+        let mut sv = StateVector::new(3);
+        sv.x(0);
+        sv.swap(0, 2);
+        assert!((sv.probability(0b100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_equals_three_cnots() {
+        let mut a = StateVector::new(2);
+        a.h(0);
+        a.t(0);
+        a.swap(0, 1);
+        let mut b = StateVector::new(2);
+        b.h(0);
+        b.t(0);
+        b.cnot(0, 1);
+        b.cnot(1, 0);
+        b.cnot(0, 1);
+        for basis in 0..4u64 {
+            assert!((a.probability(basis) - b.probability(basis)).abs() < 1e-12);
+        }
+    }
+
+    impl StateVector {
+        fn t(&mut self, q: usize) {
+            self.apply_kind(q, OneQubitKind::T);
+        }
+    }
+
+    #[test]
+    fn unitaries_preserve_norm() {
+        let mut sv = StateVector::new(4);
+        for (q, kind) in [
+            (0, OneQubitKind::H),
+            (1, OneQubitKind::T),
+            (2, OneQubitKind::Rx(0.7)),
+            (3, OneQubitKind::Ry(1.3)),
+            (0, OneQubitKind::Rz(2.1)),
+            (1, OneQubitKind::S),
+            (2, OneQubitKind::Y),
+        ] {
+            sv.apply_kind(q, kind);
+        }
+        sv.cnot(0, 3);
+        sv.swap(1, 2);
+        assert!((sv.norm() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sdg_inverts_s() {
+        let mut sv = StateVector::new(1);
+        sv.h(0);
+        sv.apply_kind(0, OneQubitKind::S);
+        sv.apply_kind(0, OneQubitKind::Sdg);
+        sv.h(0);
+        assert!((sv.probability(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rx_pi_is_x_up_to_phase() {
+        let mut sv = StateVector::new(1);
+        sv.apply_kind(0, OneQubitKind::Rx(std::f64::consts::PI));
+        assert!((sv.probability(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_collapses() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut sv = StateVector::new(2);
+        sv.h(0);
+        sv.cnot(0, 1);
+        let m0 = sv.measure(0, &mut rng);
+        let m1 = sv.measure(1, &mut rng);
+        assert_eq!(m0, m1, "Bell pair measurements must agree");
+        assert!((sv.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_statistics_are_fair() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut ones = 0;
+        for _ in 0..2000 {
+            let mut sv = StateVector::new(1);
+            sv.h(0);
+            if sv.measure(0, &mut rng) {
+                ones += 1;
+            }
+        }
+        assert!((800..1200).contains(&ones), "H measurement bias: {ones}/2000");
+    }
+
+    #[test]
+    fn pauli_injection() {
+        let mut sv = StateVector::new(1);
+        sv.apply_pauli(0, 1);
+        assert!((sv.probability(1) - 1.0).abs() < 1e-12);
+        // Z on |1> flips phase but not probability
+        sv.apply_pauli(0, 3);
+        assert!((sv.probability(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "pauli index")]
+    fn pauli_rejects_identity_code() {
+        StateVector::new(1).apply_pauli(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not unitary")]
+    fn apply_gate_rejects_measure() {
+        let mut sv = StateVector::new(1);
+        let g: Gate<PhysQubit> = Gate::measure(PhysQubit(0), quva_circuit::Cbit(0));
+        sv.apply_gate(&g);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-probability")]
+    fn collapse_rejects_impossible() {
+        let mut sv = StateVector::new(1);
+        sv.collapse(0, true); // |0> has no support on 1
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the dense simulator limit")]
+    fn refuses_monster_register() {
+        StateVector::new(30);
+    }
+}

@@ -1,0 +1,187 @@
+//! Fixed-bin histograms with ASCII rendering — used to regenerate the
+//! distribution figures (Figs. 5–7).
+
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A histogram over `[lo, hi)` with equally-sized bins.
+///
+/// # Examples
+///
+/// ```
+/// use quva_stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.extend([1.0, 1.5, 7.2, 9.9, 12.0]); // 12.0 lands in the overflow bin
+/// assert_eq!(h.count(0), 2);
+/// assert_eq!(h.total(), 5);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over `[lo, hi)` with `bins` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range [{lo}, {hi}) is empty");
+        Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, value: f64) {
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let bin = (((value - self.lo) / width) as usize).min(self.counts.len() - 1);
+            self.counts[bin] += 1;
+        }
+    }
+
+    /// The number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.bins()`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's end.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// `(bin_center, frequency)` pairs with frequencies normalized so
+    /// they sum to 1 over in-range observations.
+    pub fn normalized(&self) -> Vec<(f64, f64)> {
+        let in_range: u64 = self.counts.iter().sum();
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let center = self.lo + (i as f64 + 0.5) * width;
+                let f = if in_range == 0 { 0.0 } else { c as f64 / in_range as f64 };
+                (center, f)
+            })
+            .collect()
+    }
+
+    /// Renders the histogram as ASCII bars (for the report binaries).
+    pub fn render(&self, max_width: usize) -> String {
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = "#".repeat((c as usize * max_width) / peak as usize);
+            let _ = writeln!(out, "{:>9.3} – {:<9.3} |{:<w$} {}", self.lo + i as f64 * width, self.lo + (i as f64 + 1.0) * width, bar, c, w = max_width);
+        }
+        out
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(40))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_is_uniform() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.extend([0.5, 1.5, 2.5, 3.5]);
+        for i in 0..4 {
+            assert_eq!(h.count(i), 1);
+        }
+    }
+
+    #[test]
+    fn boundary_values() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(0.0); // first bin
+        h.add(0.5); // second bin
+        h.add(1.0); // overflow ([lo, hi) excludes hi)
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn under_and_overflow_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 1);
+        h.extend([-0.1, 2.0, 0.5]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn normalized_sums_to_one() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend((0..100).map(|i| i as f64 / 10.0));
+        let sum: f64 = h.normalized().iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_bars() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.extend([0.5, 0.6, 1.5]);
+        let text = h.render(10);
+        assert!(text.contains('#'));
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is empty")]
+    fn inverted_range_rejected() {
+        Histogram::new(2.0, 1.0, 3);
+    }
+}

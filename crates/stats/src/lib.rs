@@ -1,0 +1,29 @@
+//! # quva-stats — statistics and report rendering for quva experiments
+//!
+//! Small, dependency-free helpers shared by the experiment harness:
+//! summary statistics ([`mean`], [`std_dev`], [`geomean`],
+//! [`percentile`]), fixed-bin [`Histogram`]s (Figs. 5–7), and the
+//! console/CSV [`Table`] every report binary emits.
+//!
+//! # Examples
+//!
+//! ```
+//! use quva_stats::{geomean, Histogram};
+//!
+//! assert!((geomean(&[1.22, 1.09, 1.90, 1.35]) - 1.36).abs() < 0.02);
+//!
+//! let mut h = Histogram::new(0.0, 0.2, 20);
+//! h.extend([0.02, 0.04, 0.043, 0.15]);
+//! assert_eq!(h.total(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod histogram;
+mod summary;
+mod table;
+
+pub use histogram::Histogram;
+pub use summary::{geomean, linear_fit, max, mean, median, min, pearson, percentile, std_dev};
+pub use table::{fmt3, fmt_ratio, Table};

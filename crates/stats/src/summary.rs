@@ -1,0 +1,204 @@
+//! Summary statistics used throughout the experiment reports.
+
+/// Arithmetic mean; 0 for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(quva_stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(quva_stats::mean(&[]), 0.0);
+/// ```
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation; 0 for fewer than two values.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Geometric mean (the paper's Table 3 aggregate).
+///
+/// # Panics
+///
+/// Panics if any value is non-positive.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Minimum; `None` for an empty slice.
+pub fn min(values: &[f64]) -> Option<f64> {
+    values.iter().copied().reduce(f64::min)
+}
+
+/// Maximum; `None` for an empty slice.
+pub fn max(values: &[f64]) -> Option<f64> {
+    values.iter().copied().reduce(f64::max)
+}
+
+/// The `p`-th percentile (0–100) by linear interpolation; `None` for an
+/// empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Median (50th percentile).
+pub fn median(values: &[f64]) -> Option<f64> {
+    percentile(values, 50.0)
+}
+
+/// Pearson correlation coefficient of two equal-length series; `None`
+/// for mismatched lengths, fewer than two points, or zero variance.
+///
+/// # Examples
+///
+/// ```
+/// let r = quva_stats::pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx * vy).sqrt())
+}
+
+/// Least-squares line fit `y ≈ slope·x + intercept`; `None` under the
+/// same conditions as [`pearson`].
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<(f64, f64)> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+    }
+    if vx == 0.0 {
+        return None;
+    }
+    let slope = cov / vx;
+    Some((slope, my - slope * mx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&v), 5.0);
+        assert!((std_dev(&v) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_of_singleton_is_zero() {
+        assert_eq!(std_dev(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 100.0), Some(4.0));
+        assert_eq!(median(&v), Some(2.5));
+    }
+
+    #[test]
+    fn min_max() {
+        let v = [3.0, -1.0, 7.0];
+        assert_eq!(min(&v), Some(-1.0));
+        assert_eq!(max(&v), Some(7.0));
+        assert_eq!(min(&[]), None);
+    }
+
+    #[test]
+    fn pearson_signs_and_bounds() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert!((pearson(&x, &[2.0, 4.0, 6.0, 8.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &[8.0, 6.0, 4.0, 2.0]).unwrap() + 1.0).abs() < 1e-12);
+        let weak = pearson(&x, &[1.0, 3.0, 2.0, 4.0]).unwrap();
+        assert!(weak > 0.0 && weak < 1.0);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[3.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), None); // zero variance
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.5 * x - 1.0).collect();
+        let (slope, intercept) = linear_fit(&xs, &ys).unwrap();
+        assert!((slope - 2.5).abs() < 1e-12);
+        assert!((intercept + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(geomean(&[]), 0.0);
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+}

@@ -1,0 +1,149 @@
+//! Console table and CSV rendering for the experiment reports.
+
+use std::fmt;
+
+/// A simple column-aligned table that also serializes to CSV — every
+/// report binary prints one of these and writes the CSV into
+/// `results/`.
+///
+/// # Examples
+///
+/// ```
+/// use quva_stats::Table;
+///
+/// let mut t = Table::new(["benchmark", "PST"]);
+/// t.row(["bv-16", "0.42"]);
+/// assert!(t.to_string().contains("bv-16"));
+/// assert_eq!(t.to_csv(), "benchmark,PST\nbv-16,0.42\n");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no columns are given.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        let header: Vec<String> = header.into_iter().map(Into::into).collect();
+        assert!(!header.is_empty(), "a table needs at least one column");
+        Table { header, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Serializes as CSV (no quoting — reports contain no commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    f.write_str("  ")?;
+                }
+                write!(f, "{cell:<w$}")?;
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 3 decimal places (the report convention).
+pub fn fmt3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a ratio as "1.43x".
+pub fn fmt_ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_pads_columns() {
+        let mut t = Table::new(["a", "long-header"]);
+        t.row(["wide-cell", "x"]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("a        "), "{:?}", lines[0]);
+        assert!(lines[1].starts_with("---"));
+    }
+
+    #[test]
+    fn csv_roundtrip_structure() {
+        let mut t = Table::new(["x", "y"]);
+        t.row(["1", "2"]).row(["3", "4"]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n3,4\n");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn ragged_row_rejected() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_header_rejected() {
+        Table::new(Vec::<String>::new());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt3(0.12345), "0.123");
+        assert_eq!(fmt_ratio(1.429), "1.43x");
+    }
+}

@@ -1,0 +1,177 @@
+//! # quva-viz — ASCII rendering for quva reports
+//!
+//! Terminal-friendly views of the objects the experiments talk about:
+//!
+//! * [`render_grid_map`] — a device map in the style of the paper's
+//!   Fig. 9: qubits laid out on their grid with per-link error rates on
+//!   the edges (diagonals listed below the grid);
+//! * [`bar_chart`] — horizontal labelled bars for PST comparisons.
+//!
+//! # Examples
+//!
+//! ```
+//! use quva_device::Device;
+//! use quva_viz::render_grid_map;
+//!
+//! let map = render_grid_map(&Device::ibm_q20(), 4, 5);
+//! assert!(map.contains("Q14"));
+//! assert!(map.contains("15.0%")); // the worst link of Fig. 9
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt::Write as _;
+
+use quva_circuit::PhysQubit;
+use quva_device::Device;
+
+/// Renders a device whose qubits follow the `q = row·cols + col` grid
+/// convention (all `Topology::grid` layouts and the IBM-Q20 Tokyo map)
+/// as an ASCII map with per-link error percentages. Links that are not
+/// horizontal or vertical grid edges (Tokyo's diagonals) are listed
+/// under the grid.
+///
+/// # Panics
+///
+/// Panics if `rows * cols` does not match the device size.
+pub fn render_grid_map(device: &Device, rows: usize, cols: usize) -> String {
+    assert_eq!(rows * cols, device.num_qubits(), "grid shape mismatch");
+    let q = |r: usize, c: usize| PhysQubit((r * cols + c) as u32);
+    let err = |a: PhysQubit, b: PhysQubit| -> Option<String> {
+        device.link_error(a, b).map(|e| format!("{:.1}%", e * 100.0))
+    };
+
+    let cell = 9; // width allotted per column
+    let mut out = String::new();
+    for r in 0..rows {
+        // qubit row
+        let mut line = String::new();
+        for c in 0..cols {
+            let label = format!("Q{:<2}", q(r, c).index());
+            let link = if c + 1 < cols { err(q(r, c), q(r, c + 1)) } else { None };
+            match link {
+                Some(e) => {
+                    let _ = write!(line, "{label}—{e:<w$}", w = cell - label.len() - 1);
+                }
+                None => {
+                    let _ = write!(line, "{label:<cell$}");
+                }
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        // vertical links
+        if r + 1 < rows {
+            let mut vline = String::new();
+            for c in 0..cols {
+                match err(q(r, c), q(r + 1, c)) {
+                    Some(e) => {
+                        let _ = write!(vline, "{:<cell$}", format!("|{e}"));
+                    }
+                    None => {
+                        let _ = write!(vline, "{:<cell$}", "");
+                    }
+                }
+            }
+            out.push_str(vline.trim_end());
+            out.push('\n');
+        }
+    }
+
+    // non-grid links (diagonals)
+    let mut extras = Vec::new();
+    for (id, link) in device.topology().links().iter().enumerate() {
+        let (a, b) = (link.low().index(), link.high().index());
+        let (ra, ca) = (a / cols, a % cols);
+        let (rb, cb) = (b / cols, b % cols);
+        let is_grid_edge =
+            (ra == rb && ca.abs_diff(cb) == 1) || (ca == cb && ra.abs_diff(rb) == 1);
+        if !is_grid_edge {
+            extras.push(format!(
+                "  {} {:.1}%",
+                link,
+                device.calibration().two_qubit_error(id) * 100.0
+            ));
+        }
+    }
+    if !extras.is_empty() {
+        out.push_str("diagonal couplings:\n");
+        for e in extras {
+            out.push_str(&e);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders labelled horizontal bars scaled to `width` characters, with
+/// the numeric value appended — the report binaries' PST comparisons.
+///
+/// # Examples
+///
+/// ```
+/// let chart = quva_viz::bar_chart(&[("baseline", 0.05), ("VQA+VQM", 0.10)], 20);
+/// assert!(chart.contains("VQA+VQM"));
+/// assert!(chart.lines().count() == 2);
+/// ```
+pub fn bar_chart(rows: &[(&str, f64)], width: usize) -> String {
+    let peak = rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let filled = ((value / peak) * width as f64).round() as usize;
+        let _ = writeln!(out, "{label:<label_w$} |{:<width$} {value:.4}", "█".repeat(filled.min(width)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quva_device::{Calibration, Topology};
+
+    #[test]
+    fn grid_map_covers_all_grid_links() {
+        let dev = Device::new(Topology::grid(2, 3), |t| Calibration::uniform(t, 0.042, 0.0, 0.0));
+        let map = render_grid_map(&dev, 2, 3);
+        // 7 links, each printed as 4.2%
+        assert_eq!(map.matches("4.2%").count(), 7, "{map}");
+        for i in 0..6 {
+            assert!(map.contains(&format!("Q{i}")), "missing Q{i} in\n{map}");
+        }
+        assert!(!map.contains("diagonal"));
+    }
+
+    #[test]
+    fn tokyo_map_lists_diagonals() {
+        let map = render_grid_map(&Device::ibm_q20(), 4, 5);
+        assert!(map.contains("diagonal couplings:"));
+        assert!(map.contains("Q14–Q18 15.0%"), "{map}");
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn wrong_shape_rejected() {
+        render_grid_map(&Device::ibm_q20(), 2, 5);
+    }
+
+    #[test]
+    fn bars_scale_to_peak() {
+        let chart = bar_chart(&[("a", 1.0), ("b", 0.5)], 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines[0].matches('█').count(), 10);
+        assert_eq!(lines[1].matches('█').count(), 5);
+    }
+
+    #[test]
+    fn empty_chart_is_empty() {
+        assert!(bar_chart(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn zero_values_render_without_panic() {
+        let chart = bar_chart(&[("zero", 0.0)], 10);
+        assert!(chart.contains("zero"));
+    }
+}

@@ -1,0 +1,45 @@
+//! The §8 case study: when a program needs at most half the machine,
+//! should you run two concurrent copies (more trials) or one copy on
+//! the strongest qubits (better trials)? STPT — successful trials per
+//! unit time — decides.
+//!
+//! Run with `cargo run --example partitioning`.
+
+use quva::{partition_analysis, MappingPolicy, PartitionChoice};
+use quva_benchmarks::partition_suite;
+use quva_device::Device;
+use quva_sim::CoherenceModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = Device::ibm_q20();
+    println!("machine: {device}\n");
+
+    for bench in partition_suite() {
+        let report = partition_analysis(
+            bench.circuit(),
+            &device,
+            MappingPolicy::vqa_vqm(),
+            CoherenceModel::Disabled,
+        )?;
+
+        println!("{}:", bench.name());
+        println!("  one strong copy : PST {:.4}  (STPT {:.4})", report.one_strong.pst, report.stpt_one());
+        match &report.two_copies {
+            Some((x, y)) => {
+                println!(
+                    "  two copies      : PST {:.4} + {:.4}  (STPT {:.4})",
+                    x.pst,
+                    y.pst,
+                    report.stpt_two()
+                );
+            }
+            None => println!("  two copies      : do not fit"),
+        }
+        let verdict = match report.recommend() {
+            PartitionChoice::OneStrongCopy => "run ONE strong copy",
+            PartitionChoice::TwoCopies => "run TWO concurrent copies",
+        };
+        println!("  recommendation  : {verdict}\n");
+    }
+    Ok(())
+}

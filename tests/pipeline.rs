@@ -1,0 +1,197 @@
+//! End-to-end pipeline tests: benchmark generators → allocation →
+//! routing → reliability evaluation, across every policy.
+//!
+//! The central correctness property: a routed circuit is *semantically
+//! identical* to the source program — verified by exact state-vector
+//! simulation of both, related through the initial and final mappings.
+
+use quva::{CompiledCircuit, MappingPolicy};
+use quva_circuit::{Circuit, Gate, Qubit};
+use quva_device::{Calibration, Device, Topology};
+use quva_sim::{CoherenceModel, StateVector};
+
+fn all_policies() -> Vec<MappingPolicy> {
+    vec![
+        MappingPolicy::native(1),
+        MappingPolicy::baseline(),
+        MappingPolicy::vqm(),
+        MappingPolicy::vqm_hop_limited(),
+        MappingPolicy::vqa_vqm(),
+    ]
+}
+
+/// Every two-qubit gate of the compiled circuit must lie on a coupling
+/// link of the device.
+fn assert_routed(compiled: &CompiledCircuit, device: &Device) {
+    for g in compiled.physical() {
+        if let Gate::Cnot { control: a, target: b } | Gate::Swap { a, b } = g {
+            assert!(device.topology().has_link(*a, *b), "{g} is not on a coupling link");
+        }
+    }
+}
+
+/// The routed circuit must implement the same unitary as the source,
+/// up to the relabeling given by the initial and final mappings.
+fn assert_semantically_equal(source: &Circuit, compiled: &CompiledCircuit, device: &Device) {
+    let n_phys = device.num_qubits();
+    assert!(n_phys <= 12, "state-vector check limited to small devices");
+
+    // source program embedded at its initial physical locations
+    let mut sv_src = StateVector::new(n_phys);
+    for gate in source {
+        if gate.is_measurement() {
+            continue;
+        }
+        let mapped = gate.map_qubits(|q| compiled.initial_mapping().phys_of(q));
+        sv_src.apply_gate(&mapped);
+    }
+
+    // the routed physical program
+    let mut sv_routed = StateVector::new(n_phys);
+    for gate in compiled.physical() {
+        if gate.is_measurement() {
+            continue;
+        }
+        sv_routed.apply_gate(gate);
+    }
+
+    // compare the probability of every program-qubit basis assignment
+    let k = source.num_qubits();
+    for assignment in 0u64..(1 << k) {
+        let mut src_basis = 0u64;
+        let mut routed_basis = 0u64;
+        for q in 0..k {
+            if assignment >> q & 1 == 1 {
+                src_basis |= 1 << compiled.initial_mapping().phys_of(Qubit(q as u32)).index();
+                routed_basis |= 1 << compiled.final_mapping().phys_of(Qubit(q as u32)).index();
+            }
+        }
+        let p_src = sv_src.probability(src_basis);
+        let p_routed = sv_routed.probability(routed_basis);
+        assert!(
+            (p_src - p_routed).abs() < 1e-9,
+            "assignment {assignment:b}: source prob {p_src} vs routed {p_routed}"
+        );
+    }
+}
+
+fn small_device() -> Device {
+    // 2x4 mesh with mild variation
+    Device::new(Topology::grid(2, 4), |t| {
+        let mut cal = Calibration::uniform(t, 0.03, 0.001, 0.02);
+        cal.set_two_qubit_error(0, 0.12);
+        cal.set_two_qubit_error(5, 0.01);
+        cal
+    })
+}
+
+#[test]
+fn bv_routes_and_preserves_semantics_under_every_policy() {
+    let device = small_device();
+    let program = quva_benchmarks::bv(5);
+    for policy in all_policies() {
+        let compiled = policy.compile(&program, &device).expect("bv-5 compiles on 8 qubits");
+        assert_routed(&compiled, &device);
+        assert_semantically_equal(&program, &compiled, &device);
+    }
+}
+
+#[test]
+fn ghz_routes_and_preserves_semantics_under_every_policy() {
+    let device = small_device();
+    let program = quva_benchmarks::ghz(6);
+    for policy in all_policies() {
+        let compiled = policy.compile(&program, &device).expect("ghz-6 compiles on 8 qubits");
+        assert_routed(&compiled, &device);
+        assert_semantically_equal(&program, &compiled, &device);
+    }
+}
+
+#[test]
+fn qft_routes_and_preserves_semantics_under_every_policy() {
+    let device = small_device();
+    let program = quva_benchmarks::qft(5);
+    for policy in all_policies() {
+        let compiled = policy.compile(&program, &device).expect("qft-5 compiles on 8 qubits");
+        assert_routed(&compiled, &device);
+        assert_semantically_equal(&program, &compiled, &device);
+    }
+}
+
+#[test]
+fn triswap_preserves_semantics() {
+    let device = small_device();
+    let program = quva_benchmarks::triswap();
+    for policy in all_policies() {
+        let compiled = policy.compile(&program, &device).expect("triswap compiles");
+        assert_routed(&compiled, &device);
+        assert_semantically_equal(&program, &compiled, &device);
+    }
+}
+
+#[test]
+fn full_suite_compiles_on_ibm_q20() {
+    let device = Device::ibm_q20();
+    for bench in quva_benchmarks::table1_suite() {
+        for policy in all_policies() {
+            let compiled = policy
+                .compile(bench.circuit(), &device)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", policy.name(), bench.name()));
+            assert_routed(&compiled, &device);
+            let pst = compiled
+                .analytic_pst(&device, CoherenceModel::IdleWindow)
+                .expect("routed circuit evaluates")
+                .pst;
+            assert!(pst > 0.0 && pst <= 1.0, "{} on {}: PST {pst}", policy.name(), bench.name());
+        }
+    }
+}
+
+#[test]
+fn q5_suite_compiles_on_tenerife() {
+    let device = Device::ibm_q5();
+    for bench in quva_benchmarks::ibm_q5_suite() {
+        for policy in all_policies() {
+            let compiled = policy
+                .compile(bench.circuit(), &device)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", policy.name(), bench.name()));
+            assert_routed(&compiled, &device);
+        }
+    }
+}
+
+#[test]
+fn measurements_follow_their_qubits() {
+    // route a program where the measured qubit must move, and verify
+    // the measurement lands on its final physical home
+    let device = Device::new(Topology::linear(5), |t| Calibration::uniform(t, 0.05, 0.0, 0.01));
+    let mut program = Circuit::new(5);
+    for i in 0..5u32 {
+        program.h(Qubit(i));
+    }
+    program.cnot(Qubit(0), Qubit(4));
+    program.measure(Qubit(0), quva_circuit::Cbit(0));
+    let compiled = MappingPolicy::baseline().compile(&program, &device).unwrap();
+    let measured = compiled
+        .physical()
+        .iter()
+        .find_map(|g| match g {
+            Gate::Measure { qubit, .. } => Some(*qubit),
+            _ => None,
+        })
+        .expect("measurement survives compilation");
+    assert_eq!(measured, compiled.final_mapping().phys_of(Qubit(0)));
+}
+
+#[test]
+fn compiled_swap_counts_are_reported_consistently() {
+    let device = Device::ibm_q20();
+    let program = quva_benchmarks::qft(12);
+    let compiled = MappingPolicy::baseline().compile(&program, &device).unwrap();
+    let source_swaps = program.swap_count();
+    assert_eq!(
+        compiled.physical().swap_count(),
+        source_swaps + compiled.inserted_swaps(),
+        "physical swaps = program swaps + inserted swaps"
+    );
+}
