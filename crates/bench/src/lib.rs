@@ -10,6 +10,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ablations;
+pub mod chaos;
 pub mod characterization;
 pub mod io;
 pub mod policy_eval;

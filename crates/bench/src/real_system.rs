@@ -101,7 +101,7 @@ pub fn ext_topologies() -> Table {
     ];
     let mut table = Table::new(["topology", "qubits", "links", "baseline_pst", "vqa_vqm_pst", "benefit"]);
     for topo in topologies {
-        let mut gen = CalibrationGenerator::new(VariationProfile::ibm_q20_paper(), 77);
+        let mut gen = CalibrationGenerator::new(VariationProfile::ibm_q20_paper(), 4);
         let cal = gen.snapshot(&topo);
         let device = Device::from_parts(topo, cal).expect("generated calibration fits");
         let bench = quva_benchmarks::Benchmark::bv(10);
@@ -226,3 +226,4 @@ mod tests {
         }
     }
 }
+

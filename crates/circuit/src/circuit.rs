@@ -3,7 +3,6 @@
 use std::fmt;
 use std::hash::Hash;
 
-use serde::{Deserialize, Serialize};
 
 use crate::gate::{Gate, OneQubitKind};
 use crate::qubit::{Cbit, PhysQubit, Qubit};
@@ -62,7 +61,7 @@ impl QubitId for PhysQubit {
 /// assert_eq!(c.two_qubit_gate_count(), 1);
 /// assert_eq!(c.depth(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Circuit<Q = Qubit> {
     num_qubits: usize,
     num_cbits: usize,

@@ -8,7 +8,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::qubit::{Cbit, Qubit};
 
@@ -22,7 +21,7 @@ use crate::qubit::{Cbit, Qubit};
 /// assert!(OneQubitKind::H.is_clifford());
 /// assert!(!OneQubitKind::T.is_clifford());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum OneQubitKind {
     /// Identity (explicit idle).
     I,
@@ -137,7 +136,7 @@ impl fmt::Display for OneQubitKind {
 /// assert!(g.is_two_qubit());
 /// assert_eq!(g.qubits(), vec![Qubit(0), Qubit(1)]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Gate<Q = Qubit> {
     /// A single-qubit operation.
     OneQubit {

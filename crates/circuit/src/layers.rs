@@ -165,7 +165,7 @@ mod tests {
         c.h(Qubit(0));
         let l = Layers::of(&c);
         for i in 0..l.len() {
-            let mut used = vec![false; 6];
+            let mut used = [false; 6];
             for &g in l.layer(i) {
                 for q in c.gates()[g].qubits() {
                     assert!(!used[q.index()], "layer {i} reuses {q}");

@@ -123,7 +123,7 @@ fn next_on_qubits<Q: QubitId>(
         .map(|(j, _)| j)
 }
 
-fn cancel_pairs<Q: QubitId>(_n: usize, gates: &mut Vec<Option<Gate<Q>>>, stats: &mut OptimizeStats) {
+fn cancel_pairs<Q: QubitId>(_n: usize, gates: &mut [Option<Gate<Q>>], stats: &mut OptimizeStats) {
     for i in 0..gates.len() {
         let Some(gate) = gates[i].clone() else { continue };
         if gate.is_measurement() || gate.is_barrier() {
@@ -143,7 +143,7 @@ fn cancel_pairs<Q: QubitId>(_n: usize, gates: &mut Vec<Option<Gate<Q>>>, stats: 
     }
 }
 
-fn merge_rotations<Q: QubitId>(_n: usize, gates: &mut Vec<Option<Gate<Q>>>, stats: &mut OptimizeStats) {
+fn merge_rotations<Q: QubitId>(_n: usize, gates: &mut [Option<Gate<Q>>], stats: &mut OptimizeStats) {
     use OneQubitKind as K;
     for i in 0..gates.len() {
         let Some(Gate::OneQubit { kind, qubit }) = gates[i].clone() else { continue };

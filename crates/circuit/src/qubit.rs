@@ -6,7 +6,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// A program (logical) qubit, as named by the source circuit.
 ///
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(q.index(), 3);
 /// assert_eq!(q.to_string(), "q3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Qubit(pub u32);
 
 impl Qubit {
@@ -56,7 +55,7 @@ impl From<u32> for Qubit {
 /// assert_eq!(p.index(), 14);
 /// assert_eq!(p.to_string(), "Q14");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PhysQubit(pub u32);
 
 impl PhysQubit {
@@ -88,7 +87,7 @@ impl From<u32> for PhysQubit {
 ///
 /// assert_eq!(Cbit(0).to_string(), "c0");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Cbit(pub u32);
 
 impl Cbit {

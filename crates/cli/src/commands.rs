@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 
 use quva::{partition_analysis, MappingPolicy, PartitionChoice};
 use quva_circuit::{qasm, Circuit};
-use quva_device::{node_strengths, Device};
+use quva_device::{node_strengths, snapshot, Device, SanitizePolicy};
 use quva_sim::{monte_carlo_pst, run_noisy_trials, CoherenceModel};
 use quva_stats::{fmt3, Table};
 
@@ -41,6 +41,9 @@ USAGE:
 FLAGS:
     --stats       (compile) prefix the QASM with compilation statistics
     --optimize    (compile) run the peephole optimizer before mapping
+    --strict      reject a --calibration snapshot with any invalid field
+    --lenient     clamp invalid snapshot fields to pessimistic values,
+                  reporting each repair on stderr (the default)
 
 COMMANDS:
     compile       compile a program and emit routed OpenQASM
@@ -93,18 +96,39 @@ fn load_setup(args: &ParsedArgs) -> Result<(Device, MappingPolicy, String, Circu
     Ok((device, policy, name, program))
 }
 
+/// The calibration-sanitization policy selected by `--strict` /
+/// `--lenient` (default: lenient, i.e. clamp bad fields and warn).
+fn sanitize_policy(args: &ParsedArgs) -> Result<SanitizePolicy, ArgsError> {
+    match (args.has_switch("strict"), args.has_switch("lenient")) {
+        (true, true) => Err(ArgsError::new("give either --strict or --lenient, not both")),
+        (true, false) => Ok(SanitizePolicy::Reject),
+        _ => Ok(SanitizePolicy::Clamp),
+    }
+}
+
 /// Builds the device from `--device`, optionally replacing its
 /// calibration with a JSON snapshot from `--calibration` (as exported by
 /// `characterize --export`).
+///
+/// Snapshot fields are validated before use: under `--strict` any issue
+/// rejects the snapshot; otherwise bad fields are clamped to pessimistic
+/// values and each repair is reported on stderr.
 fn load_device(args: &ParsedArgs, default_spec: &str) -> Result<Device, ArgsError> {
     let device = parse_device(args.get_or("device", default_spec))?;
+    let policy = sanitize_policy(args)?;
     let Some(path) = args.get("calibration") else {
         return Ok(device);
     };
     let text = std::fs::read_to_string(path)
         .map_err(|e| ArgsError::new(format!("cannot read {path}: {e}")))?;
-    let calibration: quva_device::Calibration = serde_json::from_str(&text)
+    let raw = snapshot::parse_raw(&text)
         .map_err(|e| ArgsError::new(format!("{path} is not a calibration snapshot: {e}")))?;
+    let (calibration, report) = raw
+        .sanitize(device.topology(), policy, None)
+        .map_err(|e| ArgsError::new(format!("{path} does not fit the device: {e}")))?;
+    for line in report.diagnostics() {
+        eprintln!("{path}: {line}");
+    }
     device
         .with_calibration(calibration)
         .map_err(|e| ArgsError::new(format!("{path} does not fit the device: {e}")))
@@ -195,8 +219,7 @@ fn cmd_trials(args: &ParsedArgs) -> Result<String, ArgsError> {
 fn cmd_characterize(args: &ParsedArgs) -> Result<String, ArgsError> {
     let device = load_device(args, "q20")?;
     if let Some(path) = args.get("export") {
-        let json = serde_json::to_string_pretty(device.calibration())
-            .expect("calibrations serialize");
+        let json = snapshot::to_json(device.calibration());
         std::fs::write(path, json).map_err(|e| ArgsError::new(format!("cannot write {path}: {e}")))?;
         return Ok(format!("wrote calibration snapshot to {path}\n"));
     }
@@ -279,7 +302,7 @@ mod tests {
     use super::*;
 
     fn run_line(line: &[&str]) -> Result<String, ArgsError> {
-        let parsed = ParsedArgs::parse(line, &["stats", "optimize"]).unwrap();
+        let parsed = ParsedArgs::parse(line, crate::SWITCHES).unwrap();
         run(&parsed)
     }
 
@@ -381,6 +404,48 @@ mod tests {
             .unwrap_err();
         assert!(err.to_string().contains("does not fit"));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_strict_rejects_lenient_repairs() {
+        let dir = std::env::temp_dir().join("quva-cli-corrupt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        let path_str = path.to_str().unwrap();
+        // export a valid q5 snapshot, then corrupt one 2Q error rate
+        run_line(&["characterize", "--device", "q5", "--export", path_str]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cal = snapshot::parse_raw(&text).unwrap();
+        let mut bad = cal;
+        bad.err_2q[0] = f64::NAN;
+        let dev = parse_device("q5").unwrap();
+        let (repaired, _) = bad.sanitize(dev.topology(), SanitizePolicy::Clamp, None).unwrap();
+        // serialize the NaN directly — the snapshot format carries it
+        let mut doc = snapshot::to_json(&repaired);
+        let good = format!("{}", repaired.two_qubit_error(0));
+        doc = doc.replacen(&good, "NaN", 1);
+        std::fs::write(&path, &doc).unwrap();
+
+        let err = run_line(&[
+            "pst", "--device", "q5", "--calibration", path_str, "--bench", "bv:3", "--strict",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("err_2q"), "{err}");
+
+        // lenient mode repairs and proceeds
+        let out = run_line(&[
+            "pst", "--device", "q5", "--calibration", path_str, "--bench", "bv:3", "--lenient",
+        ])
+        .unwrap();
+        assert!(out.contains("analytic PST"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn strict_and_lenient_conflict() {
+        let err = run_line(&["pst", "--device", "q5", "--bench", "bv:3", "--strict", "--lenient"])
+            .unwrap_err();
+        assert!(err.to_string().contains("not both"));
     }
 
     #[test]

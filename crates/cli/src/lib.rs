@@ -11,7 +11,7 @@
 //! use quva_cli::{args::ParsedArgs, commands};
 //!
 //! let argv = ["pst", "--device", "q5", "--bench", "ghz:3", "--trials", "10000"];
-//! let parsed = ParsedArgs::parse(&argv, &["stats", "optimize"]).unwrap();
+//! let parsed = ParsedArgs::parse(&argv, quva_cli::SWITCHES).unwrap();
 //! let report = commands::run(&parsed).unwrap();
 //! assert!(report.contains("analytic PST"));
 //! ```
@@ -22,3 +22,8 @@
 pub mod args;
 pub mod commands;
 pub mod spec;
+
+/// The boolean switches every subcommand recognizes: `--stats` and
+/// `--optimize` (compile), plus the `--strict` / `--lenient`
+/// calibration-sanitization modes.
+pub const SWITCHES: &[&str] = &["stats", "optimize", "strict", "lenient"];

@@ -7,7 +7,7 @@ use quva_cli::commands;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let parsed = match ParsedArgs::parse(&argv, &["stats", "optimize"]) {
+    let parsed = match ParsedArgs::parse(&argv, quva_cli::SWITCHES) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");

@@ -11,7 +11,7 @@
 //!   a seeded random placement (§6.4 evaluates 32 of these).
 
 use quva_circuit::{qubit_activity, Circuit, InteractionGraph, PhysQubit, Qubit};
-use quva_device::{node_strengths, strongest_subgraph, Device, HopMatrix, ReliabilityMatrix};
+use quva_device::{node_strengths, try_strongest_subgraph, Device, HopMatrix, ReliabilityMatrix};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -62,13 +62,10 @@ impl AllocationStrategy {
     /// # Errors
     ///
     /// Returns a message if the circuit needs more qubits than the
-    /// device has.
-    ///
-    /// # Panics
-    ///
-    /// `StrongestSubgraph` panics if the device has no connected region
-    /// of the required size (a disconnected device smaller than the
-    /// program per component).
+    /// device has, or (for `StrongestSubgraph`) if no connected region
+    /// of active links is large enough to host the program — e.g. a
+    /// disconnected device, or one whose dead links split it into
+    /// components smaller than the program.
     pub fn allocate(&self, circuit: &Circuit, device: &Device) -> Result<Mapping, String> {
         let k = circuit.num_qubits();
         let n = device.num_qubits();
@@ -93,7 +90,7 @@ impl AllocationStrategy {
 /// carries a reliability matrix).
 fn greedy_interaction(circuit: &Circuit, device: &Device, region: Option<&[PhysQubit]>) -> Mapping {
     let ig = InteractionGraph::of(circuit);
-    let hops = HopMatrix::of(device.topology());
+    let hops = HopMatrix::of_active(device);
     let k = circuit.num_qubits();
     let n = device.num_qubits();
 
@@ -266,10 +263,12 @@ fn vqa_allocate(
     };
     let k = circuit.num_qubits();
     let n = device.num_qubits();
-    let region = strongest_subgraph(device, k);
+    let region = try_strongest_subgraph(device, k).ok_or_else(|| {
+        format!("no connected region of {k} qubits over active links on {n}-qubit device")
+    })?;
 
     let strengths = node_strengths(device);
-    let rel = ReliabilityMatrix::of(device.topology(), |id| {
+    let rel = ReliabilityMatrix::of_active(device, |id| {
         -(1.0 - device.calibration().two_qubit_error(id)).max(f64::MIN_POSITIVE).ln()
     });
     let ig = InteractionGraph::of(circuit);
@@ -479,6 +478,22 @@ mod tests {
             AllocationStrategy::Random { seed: 0 },
         ] {
             assert!(strat.allocate(&c, &dev).is_err(), "{strat:?} accepted oversized circuit");
+        }
+    }
+
+    #[test]
+    fn vqa_errors_when_dead_links_shrink_components() {
+        // line of 6 split 3|3 by a dead middle link: a 4-qubit program
+        // no longer fits any connected active region
+        let dev = uniform(Topology::linear(6), 0.05)
+            .with_disabled_links([(PhysQubit(2), PhysQubit(3))]);
+        let err = AllocationStrategy::vqa().allocate(&chain_circuit(4), &dev).unwrap_err();
+        assert!(err.contains("no connected region"), "{err}");
+        // a 3-qubit program still fits inside one half
+        let m = AllocationStrategy::vqa().allocate(&chain_circuit(3), &dev).unwrap();
+        let side = m.phys_of(Qubit(0)).index() < 3;
+        for (_, p) in m.iter() {
+            assert_eq!(p.index() < 3, side, "allocation straddles the dead link");
         }
     }
 

@@ -103,7 +103,9 @@ impl MappingPolicy {
     /// # Errors
     ///
     /// Returns [`CompileError`] when the program does not fit the device
-    /// or a required movement is impossible (disconnected topology).
+    /// or a required movement is impossible — the topology is
+    /// disconnected outright, or disabled links split it into pieces
+    /// too small or too far apart. Dead links never panic the pipeline.
     pub fn compile(&self, circuit: &Circuit, device: &Device) -> Result<CompiledCircuit, CompileError> {
         let mapping = self
             .allocation
@@ -166,10 +168,10 @@ impl MappingPolicy {
                     }
                     Gate::Cnot { control: a, target: b } | Gate::Swap { a, b } => {
                         let (pa, pb) = (mapping.phys_of(*a), mapping.phys_of(*b));
-                        if !device.topology().has_link(pa, pb) {
+                        if !device.has_active_link(pa, pb) {
                             let plan = router
                                 .plan(pa, pb)
-                                .ok_or(CompileError::Disconnected { a: *a, b: *b })?;
+                                .map_err(|_| CompileError::Disconnected { a: *a, b: *b })?;
                             for (u, v) in plan.swaps() {
                                 out.swap(u, v);
                                 mapping.apply_swap(u, v);
@@ -317,6 +319,14 @@ const LOOKAHEAD_WEIGHT: f64 = 0.5;
 /// the next [`LOOKAHEAD_WINDOW`] two-qubit gates — the displacement of
 /// bystander qubits is thereby accounted for instead of compounding
 /// silently (the instability the paper's MAH heuristic also targets).
+///
+/// All distance matrices are built over the device's *active* coupling
+/// graph: disabled links are never routed over, and a mapping split
+/// across dead links surfaces as [`CompileError::Disconnected`].
+///
+/// Degradation: if any active link's reliability weight is unusable
+/// (non-finite), the reliability metric falls back to hop-count
+/// distances — VQM degrades to baseline routing rather than panicking.
 fn route(
     circuit: &Circuit,
     device: &Device,
@@ -324,21 +334,29 @@ fn route(
     metric: RoutingMetric,
 ) -> Result<CompiledCircuit, CompileError> {
     let topo = device.topology();
-    let hops = HopMatrix::of(topo);
+    let hops = HopMatrix::of_active(device);
     // metric distance between physical locations: expected failure
     // weight (reliability) or SWAP count (hops) to bring them together
-    let swap_dist = match metric {
-        RoutingMetric::Hops => {
-            ReliabilityMatrix::of(topo, |_| 1.0) // uniform: distance = hops
-        }
-        RoutingMetric::Reliability { .. } => ReliabilityMatrix::of(topo, |id| {
-            let link = topo.links()[id];
-            device
+    let weights_usable = (0..topo.num_links()).all(|id| {
+        let link = topo.links()[id];
+        !device.link_enabled(id)
+            || device
                 .swap_failure_weight(link.low(), link.high())
-                .expect("link endpoints are coupled")
-        }),
+                .is_some_and(|w| w.is_finite() && w >= 0.0)
+    });
+    let dist = match metric {
+        RoutingMetric::Reliability { .. } if weights_usable => {
+            ReliabilityMatrix::of_active(device, |id| {
+                let link = topo.links()[id];
+                device
+                    .swap_failure_weight(link.low(), link.high())
+                    .unwrap_or(0.0) // enabled links always carry a weight
+            })
+        }
+        // hop metric, or the documented VQM fallback when reliability
+        // weights are unusable: uniform cost makes distance = hops
+        _ => ReliabilityMatrix::of_active(device, |_| 1.0),
     };
-    let dist = swap_dist;
 
     let initial = mapping.clone();
     let mut out: Circuit<PhysQubit> = Circuit::with_cbits(device.num_qubits(), circuit.num_cbits().max(1));
@@ -414,7 +432,6 @@ fn bring_together(
     b: Qubit,
     upcoming: &[(Qubit, Qubit)],
 ) -> Result<(), CompileError> {
-    let topo = device.topology();
     if hops.get(mapping.phys_of(a), mapping.phys_of(b)) == quva_device::UNREACHABLE_HOPS {
         return Err(CompileError::Disconnected { a, b });
     }
@@ -430,15 +447,16 @@ fn bring_together(
 
     loop {
         let (pa, pb) = (mapping.phys_of(a), mapping.phys_of(b));
-        if topo.has_link(pa, pb) {
+        if device.has_active_link(pa, pb) {
             return Ok(());
         }
         let strict = steps >= explore_budget;
 
-        // candidate swaps: links incident to either active location
+        // candidate swaps: active links incident to either active
+        // location (SWAPs across dead links are impossible)
         let mut best: Option<(f64, (PhysQubit, PhysQubit))> = None;
         for &active in &[pa, pb] {
-            for nb in topo.neighbors(active) {
+            for nb in device.active_neighbors(active) {
                 let cand = (active, nb);
                 if last_swap == Some((cand.1, cand.0)) || last_swap == Some(cand) {
                     continue; // never undo the previous step
@@ -459,9 +477,14 @@ fn bring_together(
                 }
                 let swap_cost = match metric {
                     RoutingMetric::Hops => 1.0,
-                    RoutingMetric::Reliability { .. } => device
-                        .swap_failure_weight(cand.0, cand.1)
-                        .expect("neighbor implies link"),
+                    RoutingMetric::Reliability { .. } => {
+                        // active neighbors always carry a weight; a link
+                        // with an unusable weight is never swapped over
+                        match device.swap_failure_weight(cand.0, cand.1) {
+                            Some(w) if w.is_finite() => w,
+                            _ => continue,
+                        }
+                    }
                 };
                 // remaining cost after this swap: the swap-weight
                 // distance, except that with the meeting-edge extension
@@ -469,9 +492,11 @@ fn bring_together(
                 // (1× the link weight instead of a SWAP's 3×)
                 let remaining = match metric {
                     RoutingMetric::Reliability { optimize_meeting_edge: true, .. }
-                        if topo.has_link(na, nbq) =>
+                        if device.has_active_link(na, nbq) =>
                     {
-                        device.cnot_failure_weight(na, nbq).expect("adjacent implies link")
+                        device
+                            .cnot_failure_weight(na, nbq)
+                            .unwrap_or_else(|| dist.get(na, nbq))
                     }
                     _ => dist.get(na, nbq),
                 };
@@ -494,7 +519,12 @@ fn bring_together(
             }
         }
 
-        let (_, (u, v)) = best.expect("a separated, connected pair always has a candidate swap");
+        // a separated pair connected in the active graph always has a
+        // candidate swap; anything else (e.g. every incident weight
+        // unusable) degrades to a typed error instead of a panic
+        let Some((_, (u, v))) = best else {
+            return Err(CompileError::Disconnected { a, b });
+        };
         out.swap(u, v);
         mapping.apply_swap(u, v);
         *inserted += 1;
@@ -634,6 +664,61 @@ mod tests {
             }
         }
         assert!(saw_error, "no seed exercised the disconnected path");
+    }
+
+    #[test]
+    fn dead_links_split_yields_error_not_panic() {
+        // a 2x3 grid split in half by disabling the three rung links
+        let topo = Topology::grid(2, 3);
+        let dev = uniform(topo, 0.05).with_disabled_links([
+            (PhysQubit(0), PhysQubit(3)),
+            (PhysQubit(1), PhysQubit(4)),
+            (PhysQubit(2), PhysQubit(5)),
+        ]);
+        // a 6-qubit CNOT chain: any placement over two 3-qubit
+        // components leaves at least one chain edge crossing the split
+        let mut c = Circuit::new(6);
+        for i in 0..5u32 {
+            c.cnot(Qubit(i), Qubit(i + 1));
+        }
+        for policy in [
+            MappingPolicy::baseline(),
+            MappingPolicy::vqm(),
+            MappingPolicy::vqm_hop_limited(),
+            MappingPolicy::vqa_vqm(),
+            MappingPolicy::native(1),
+        ] {
+            let err = policy.compile(&c, &dev).unwrap_err();
+            assert!(
+                matches!(err, CompileError::Disconnected { .. } | CompileError::Allocation(_)),
+                "{}: {err}",
+                policy.name()
+            );
+        }
+        let err = MappingPolicy::baseline().compile_plan_based(&c, &dev).unwrap_err();
+        assert!(matches!(err, CompileError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn compile_routes_around_dead_link() {
+        // ring stays connected with one dead link; every policy must
+        // still produce a fully routed circuit avoiding it
+        let dead = (PhysQubit(0), PhysQubit(1));
+        let dev = uniform(Topology::ring(5), 0.05).with_disabled_links([dead]);
+        let mut c = Circuit::new(5);
+        for i in 0..5u32 {
+            c.h(Qubit(i));
+        }
+        c.cnot(Qubit(0), Qubit(1));
+        c.cnot(Qubit(2), Qubit(4));
+        for policy in [MappingPolicy::baseline(), MappingPolicy::vqm(), MappingPolicy::vqa_vqm()] {
+            let compiled = policy.compile(&c, &dev).unwrap();
+            for g in compiled.physical() {
+                if let Gate::Cnot { control: a, target: b } | Gate::Swap { a, b } = g {
+                    assert!(dev.has_active_link(*a, *b), "{}: {g} uses a dead link", policy.name());
+                }
+            }
+        }
     }
 
     #[test]

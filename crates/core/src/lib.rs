@@ -56,4 +56,4 @@ pub use allocator::AllocationStrategy;
 pub use compiler::{CompileError, CompiledCircuit, MappingPolicy};
 pub use mapping::Mapping;
 pub use partition::{partition_analysis, CopyPlan, PartitionChoice, PartitionReport};
-pub use router::{RoutePlan, Router, RoutingMetric};
+pub use router::{RouteError, RoutePlan, Router, RoutingMetric};

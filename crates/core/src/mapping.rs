@@ -50,7 +50,7 @@ impl Mapping {
         }
         let mut phys = vec![FREE; num_prog];
         let mut prog = vec![FREE; num_phys];
-        for q in 0..num_prog {
+        for (q, slot) in phys.iter_mut().enumerate() {
             let p = assign(Qubit(q as u32));
             if p.index() >= num_phys {
                 return Err(format!("program qubit q{q} assigned to out-of-range {p}"));
@@ -58,7 +58,7 @@ impl Mapping {
             if prog[p.index()] != FREE {
                 return Err(format!("physical qubit {p} assigned twice"));
             }
-            phys[q] = p.0;
+            *slot = p.0;
             prog[p.index()] = q as u32;
         }
         Ok(Mapping { phys, prog })

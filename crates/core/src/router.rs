@@ -62,6 +62,35 @@ impl RoutingMetric {
     }
 }
 
+/// Why a route could not be planned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// Both endpoints are the same physical qubit — there is nothing to
+    /// route and the request indicates a mapping bug upstream.
+    SelfRoute(PhysQubit),
+    /// No path of *active* links connects the endpoints (the coupling
+    /// graph is split, possibly by disabled links).
+    Disconnected {
+        /// One endpoint of the failed route.
+        a: PhysQubit,
+        /// The other endpoint.
+        b: PhysQubit,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::SelfRoute(q) => write!(f, "cannot route {q} to itself"),
+            RouteError::Disconnected { a, b } => {
+                write!(f, "no active path connects {a} and {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
 /// A movement plan: bring the occupants of `path[0]` and `path.last()`
 /// together across the meeting edge `(path[meet], path[meet + 1])`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,9 +153,11 @@ pub struct Router<'d> {
 }
 
 impl<'d> Router<'d> {
-    /// Builds a router (precomputes the hop-distance matrix).
+    /// Builds a router (precomputes the hop-distance matrix over the
+    /// device's *active* coupling graph — disabled links are never
+    /// routed over).
     pub fn new(device: &'d Device, metric: RoutingMetric) -> Self {
-        Router { device, metric, hops: HopMatrix::of(device.topology()) }
+        Router { device, metric, hops: HopMatrix::of_active(device) }
     }
 
     /// The metric this router optimizes.
@@ -140,19 +171,23 @@ impl<'d> Router<'d> {
     }
 
     /// Plans the movement that lets the occupants of `a` and `b`
-    /// interact; `None` if they are disconnected.
+    /// interact.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `a == b`.
-    pub fn plan(&self, a: PhysQubit, b: PhysQubit) -> Option<RoutePlan> {
-        assert!(a != b, "cannot route a qubit to itself");
+    /// * [`RouteError::SelfRoute`] when `a == b`;
+    /// * [`RouteError::Disconnected`] when no path of active links joins
+    ///   the endpoints (split topology or dead links in the way).
+    pub fn plan(&self, a: PhysQubit, b: PhysQubit) -> Result<RoutePlan, RouteError> {
+        if a == b {
+            return Err(RouteError::SelfRoute(a));
+        }
+        let disconnected = RouteError::Disconnected { a, b };
         let path = match self.metric {
-            RoutingMetric::Hops => self.shortest_hop_path(a, b)?,
+            RoutingMetric::Hops => self.shortest_hop_path(a, b).ok_or(disconnected)?,
             RoutingMetric::Reliability { max_additional_hops, .. } => {
-                let cap = max_additional_hops
-                    .map(|mah| self.hops.get(a, b).checked_add(mah).unwrap_or(u32::MAX));
-                self.most_reliable_path(a, b, cap)?
+                let cap = max_additional_hops.map(|mah| self.hops.get(a, b).saturating_add(mah));
+                self.most_reliable_path(a, b, cap).ok_or(disconnected)?
             }
         };
         let meet = match self.metric {
@@ -163,10 +198,11 @@ impl<'d> Router<'d> {
                 let mut best = 0;
                 let mut best_w = f64::NEG_INFINITY;
                 for j in 0..path.len() - 1 {
-                    let w = self
-                        .device
-                        .cnot_failure_weight(path[j], path[j + 1])
-                        .expect("path edges are coupling links");
+                    // every path edge is an active link, so the weight is
+                    // present; fall back to the default split otherwise
+                    let Some(w) = self.device.cnot_failure_weight(path[j], path[j + 1]) else {
+                        continue;
+                    };
                     if w > best_w {
                         best_w = w;
                         best = j;
@@ -180,21 +216,26 @@ impl<'d> Router<'d> {
             // neighbourhoods compact for future gates)
             _ => (path.len() - 1) / 2,
         };
-        Some(RoutePlan { path, meet })
+        Ok(RoutePlan { path, meet })
     }
 
     /// The total failure weight of executing a CNOT via `plan`:
     /// SWAP weights over non-meeting edges plus the execution weight of
     /// the meeting edge.
+    ///
+    /// A plan whose edges are not all active links (e.g. one produced
+    /// before a link was disabled) weighs `f64::INFINITY` — certain
+    /// failure — rather than panicking.
     pub fn plan_failure_weight(&self, plan: &RoutePlan) -> f64 {
         let mut total = 0.0;
         for j in 0..plan.path.len() - 1 {
             let (u, v) = (plan.path[j], plan.path[j + 1]);
-            if j == plan.meet {
-                total += self.device.cnot_failure_weight(u, v).expect("path edge");
+            let w = if j == plan.meet {
+                self.device.cnot_failure_weight(u, v)
             } else {
-                total += self.device.swap_failure_weight(u, v).expect("path edge");
-            }
+                self.device.swap_failure_weight(u, v)
+            };
+            total += w.unwrap_or(f64::INFINITY);
         }
         total
     }
@@ -210,16 +251,20 @@ impl<'d> Router<'d> {
         if self.hops.get(a, b) == quva_device::UNREACHABLE_HOPS {
             return None;
         }
-        let topo = self.device.topology();
         let mut path = vec![a];
         let mut cur = a;
         while cur != b {
-            let descending: Vec<PhysQubit> = topo
-                .neighbors(cur)
+            let descending: Vec<PhysQubit> = self
+                .device
+                .active_neighbors(cur)
                 .into_iter()
                 .filter(|&n| self.hops.get(n, b) == self.hops.get(cur, b) - 1)
                 .collect();
-            debug_assert!(!descending.is_empty(), "finite hop distance implies a descending neighbor");
+            if descending.is_empty() {
+                // unreachable in practice: a finite active hop distance
+                // implies a descending active neighbor
+                return None;
+            }
             let pick = fnv_mix(&[a.0, b.0, cur.0]) as usize % descending.len();
             let next = descending[pick];
             path.push(next);
@@ -285,11 +330,15 @@ impl<'d> Router<'d> {
             if hops == cap {
                 continue;
             }
-            for nb in topo.neighbors(PhysQubit(node as u32)) {
-                let w = self
-                    .device
-                    .swap_failure_weight(PhysQubit(node as u32), nb)
-                    .expect("neighbor implies link");
+            for nb in self.device.active_neighbors(PhysQubit(node as u32)) {
+                // active neighbors always carry a weight; a link whose
+                // weight is missing or unusable is simply not traversed
+                let Some(w) = self.device.swap_failure_weight(PhysQubit(node as u32), nb) else {
+                    continue;
+                };
+                if !w.is_finite() {
+                    continue;
+                }
                 let nd = cost + w;
                 let ni = idx(nb.index(), hops + 1);
                 if nd < dist[ni] {
@@ -452,19 +501,60 @@ mod tests {
     }
 
     #[test]
-    fn disconnected_pair_is_none() {
+    fn disconnected_pair_is_typed_error() {
         let dev = uniform(Topology::from_links("split", 4, [(0, 1), (2, 3)]), 0.05);
         for metric in [RoutingMetric::Hops, RoutingMetric::reliability()] {
             let r = Router::new(&dev, metric);
-            assert!(r.plan(PhysQubit(0), PhysQubit(3)).is_none());
+            assert_eq!(
+                r.plan(PhysQubit(0), PhysQubit(3)),
+                Err(RouteError::Disconnected { a: PhysQubit(0), b: PhysQubit(3) })
+            );
         }
     }
 
     #[test]
-    #[should_panic(expected = "itself")]
     fn self_route_rejected() {
         let dev = uniform(Topology::linear(2), 0.05);
-        Router::new(&dev, RoutingMetric::Hops).plan(PhysQubit(0), PhysQubit(0));
+        let r = Router::new(&dev, RoutingMetric::Hops);
+        assert_eq!(r.plan(PhysQubit(0), PhysQubit(0)), Err(RouteError::SelfRoute(PhysQubit(0))));
+    }
+
+    #[test]
+    fn dead_link_forces_detour() {
+        // ring 0-1-2-3-4; with 0-1 dead, 0→1 must go the long way round
+        let dev = uniform(Topology::ring(5), 0.05).with_disabled_links([(PhysQubit(0), PhysQubit(1))]);
+        for metric in [RoutingMetric::Hops, RoutingMetric::reliability()] {
+            let r = Router::new(&dev, metric);
+            let plan = r.plan(PhysQubit(0), PhysQubit(1)).unwrap();
+            assert_eq!(plan.path, vec![PhysQubit(0), PhysQubit(4), PhysQubit(3), PhysQubit(2), PhysQubit(1)]);
+            for w in plan.path.windows(2) {
+                assert!(dev.has_active_link(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn dead_links_splitting_device_yield_error() {
+        // line 0-1-2-3 with the middle link dead: the halves cannot talk
+        let dev = uniform(Topology::linear(4), 0.05).with_disabled_links([(PhysQubit(1), PhysQubit(2))]);
+        for metric in
+            [RoutingMetric::Hops, RoutingMetric::reliability(), RoutingMetric::reliability_hop_limited()]
+        {
+            let r = Router::new(&dev, metric);
+            assert_eq!(
+                r.plan(PhysQubit(0), PhysQubit(3)),
+                Err(RouteError::Disconnected { a: PhysQubit(0), b: PhysQubit(3) })
+            );
+            // pairs inside one half still route fine
+            assert!(r.plan(PhysQubit(0), PhysQubit(1)).is_ok());
+        }
+    }
+
+    #[test]
+    fn route_error_displays() {
+        let e = RouteError::Disconnected { a: PhysQubit(0), b: PhysQubit(3) };
+        assert!(e.to_string().contains("no active path"));
+        assert!(RouteError::SelfRoute(PhysQubit(2)).to_string().contains("itself"));
     }
 
     #[test]

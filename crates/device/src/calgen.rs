@@ -181,6 +181,10 @@ impl CalibrationGenerator {
         self.snapshot_with_links(topology, links)
     }
 
+    /// **Invariant:** every snapshot is a valid [`Calibration`] — all
+    /// error rates land in `[0, 1)` and coherence times are positive,
+    /// even for pathological profiles (NaN or out-of-range parameters
+    /// degrade to the truncation bounds, they never panic).
     fn snapshot_with_links(&mut self, topology: &Topology, err_2q: Vec<f64>) -> Calibration {
         let p = self.profile;
         let n = topology.num_qubits();
@@ -193,13 +197,16 @@ impl CalibrationGenerator {
             })
             .collect();
         let e1q = (0..n)
-            .map(|_| self.trunc_normal(p.e1q_mean, p.e1q_std, 1e-4, 0.04))
+            .map(|_| crate::calibration::clamp_error_rate(self.trunc_normal(p.e1q_mean, p.e1q_std, 1e-4, 0.04)))
             .collect();
         let ero = (0..n)
-            .map(|_| self.trunc_normal(p.ero_mean, p.ero_std, 5e-3, 0.2))
+            .map(|_| crate::calibration::clamp_error_rate(self.trunc_normal(p.ero_mean, p.ero_std, 5e-3, 0.2)))
             .collect();
-        Calibration::new(topology, t1, t2, e1q, ero, err_2q, GateDurations::default())
-            .expect("generator output is truncated into valid ranges")
+        let err_2q = err_2q.into_iter().map(crate::calibration::clamp_error_rate).collect();
+        match Calibration::new(topology, t1, t2, e1q, ero, err_2q, GateDurations::default()) {
+            Ok(cal) => cal,
+            Err(_) => unreachable!("clamped generator output is always valid"),
+        }
     }
 
     /// A standard-normal draw via Box–Muller (kept local to avoid an
@@ -219,8 +226,14 @@ impl CalibrationGenerator {
                 return x;
             }
         }
-        // Pathological parameters: fall back to the clamped mean.
-        mean.clamp(lo, hi)
+        // Pathological parameters: fall back to the clamped mean, or the
+        // lower bound when even the mean is garbage (NaN survives clamp).
+        let fallback = mean.clamp(lo, hi);
+        if fallback.is_finite() {
+            fallback
+        } else {
+            lo
+        }
     }
 }
 

@@ -9,14 +9,13 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::topology::Topology;
 
 /// Wall-clock durations of the primitive operations, used by the
 /// coherence-error model (§4.4: gate errors dominate, but decoherence of
 /// idle qubits is still modeled).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GateDurations {
     /// Duration of a single-qubit gate, nanoseconds.
     pub one_qubit_ns: f64,
@@ -103,7 +102,7 @@ impl Error for CalibrationError {}
 /// assert_eq!(cal.two_qubit_error(0), 0.04);
 /// assert!((cal.mean_two_qubit_error() - 0.04).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Calibration {
     t1_us: Vec<f64>,
     t2_us: Vec<f64>,
@@ -144,7 +143,7 @@ impl Calibration {
             });
         }
         for &t in t1_us.iter().chain(t2_us.iter()) {
-            if !(t > 0.0) {
+            if t.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
                 return Err(CalibrationError::InvalidCoherence { value: t });
             }
         }
@@ -165,21 +164,27 @@ impl Calibration {
     /// Under a uniform calibration the variation-aware policies must
     /// coincide with the baseline (tested property).
     ///
-    /// # Panics
-    ///
-    /// Panics if any error rate is outside `[0, 1)`.
+    /// **Invariant:** the result is always a valid calibration. Error
+    /// rates outside `[0, 1)` (including NaN) are clamped into range
+    /// rather than rejected — NaN maps to just below 1 so a garbage
+    /// rate reads as "assume the worst", never as a crash.
     pub fn uniform(topology: &Topology, err_2q: f64, err_1q: f64, err_readout: f64) -> Self {
         let n = topology.num_qubits();
-        Calibration::new(
+        match Calibration::new(
             topology,
             vec![80.0; n],
             vec![40.0; n],
-            vec![err_1q; n],
-            vec![err_readout; n],
-            vec![err_2q; topology.num_links()],
+            vec![clamp_error_rate(err_1q); n],
+            vec![clamp_error_rate(err_readout); n],
+            vec![clamp_error_rate(err_2q); topology.num_links()],
             GateDurations::default(),
-        )
-        .expect("uniform calibration parameters must be valid probabilities")
+        ) {
+            Ok(cal) => cal,
+            // clamp_error_rate guarantees every probability is in
+            // range, coherence times are constants, and table lengths
+            // come from the topology itself
+            Err(_) => unreachable!("clamped uniform calibration is always valid"),
+        }
     }
 
     /// T1 relaxation time of `q`, microseconds.
@@ -319,6 +324,18 @@ impl Calibration {
     }
 }
 
+/// Forces an error rate into the valid `[0, 1)` range: negatives become
+/// 0, values at or above 1 become just below 1, and NaN — an *unknown*
+/// rate — pessimistically becomes just below 1 as well.
+pub(crate) fn clamp_error_rate(p: f64) -> f64 {
+    const MAX: f64 = 1.0 - 1e-6;
+    if p.is_nan() {
+        MAX
+    } else {
+        p.clamp(0.0, MAX)
+    }
+}
+
 fn mean(v: &[f64]) -> f64 {
     if v.is_empty() {
         return 0.0;
@@ -351,6 +368,15 @@ mod tests {
         assert_eq!(c.readout_error(0), 0.02);
         assert_eq!(c.variation_ratio(), 1.0);
         assert!(c.std_two_qubit_error() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_clamps_out_of_range_rates() {
+        let t = topo();
+        let c = Calibration::uniform(&t, 1.7, -0.3, f64::NAN);
+        assert_eq!(c.two_qubit_error(0), 1.0 - 1e-6);
+        assert_eq!(c.one_qubit_error(0), 0.0);
+        assert_eq!(c.readout_error(0), 1.0 - 1e-6);
     }
 
     #[test]

@@ -11,6 +11,13 @@ use crate::topology::Topology;
 /// A NISQ machine at a point in time: its coupling graph plus the error
 /// rates measured at the most recent calibration cycle.
 ///
+/// A link can be *disabled* ([`Device::disable_link`]) to model a dead
+/// coupler — a link the calibration feed stopped reporting or that
+/// operations declared unusable. Every link-level query
+/// ([`Device::link_error`], [`Device::swap_failure_weight`], ...)
+/// treats a disabled link exactly like an absent one, so policies built
+/// on those queries route around dead links automatically.
+///
 /// # Examples
 ///
 /// ```
@@ -23,11 +30,17 @@ use crate::topology::Topology;
 /// assert_eq!(dev.link_error(PhysQubit(0), PhysQubit(2)), None);
 /// let swap = dev.swap_success(PhysQubit(0), PhysQubit(1)).unwrap();
 /// assert!((swap - 0.9f64.powi(3)).abs() < 1e-12);
+///
+/// let dead = dev.with_disabled_links([(PhysQubit(0), PhysQubit(1))]);
+/// assert_eq!(dead.link_error(PhysQubit(0), PhysQubit(1)), None);
+/// assert!(!dead.has_active_link(PhysQubit(0), PhysQubit(1)));
 /// ```
 #[derive(Debug, Clone)]
 pub struct Device {
     topology: Topology,
     calibration: Calibration,
+    /// `disabled[id]` marks links the policies must not use.
+    disabled: Vec<bool>,
 }
 
 impl Device {
@@ -36,7 +49,8 @@ impl Device {
     /// twice.
     pub fn new(topology: Topology, calibration: impl FnOnce(&Topology) -> Calibration) -> Self {
         let calibration = calibration(&topology);
-        Device { topology, calibration }
+        let disabled = vec![false; topology.num_links()];
+        Device { topology, calibration, disabled }
     }
 
     /// Builds a device from independently constructed parts.
@@ -56,7 +70,8 @@ impl Device {
             calibration.two_qubit_errors().to_vec(),
             calibration.durations(),
         )?;
-        Ok(Device { topology, calibration: revalidated })
+        let disabled = vec![false; topology.num_links()];
+        Ok(Device { topology, calibration: revalidated, disabled })
     }
 
     /// The IBM-Q20 Tokyo machine with the paper's deterministic average
@@ -64,14 +79,73 @@ impl Device {
     pub fn ibm_q20() -> Self {
         let topology = Topology::ibm_q20_tokyo();
         let calibration = crate::calgen::ibm_q20_average_calibration(&topology);
-        Device { topology, calibration }
+        let disabled = vec![false; topology.num_links()];
+        Device { topology, calibration, disabled }
     }
 
     /// The IBM-Q5 Tenerife machine with the §7 average error map.
     pub fn ibm_q5() -> Self {
         let topology = Topology::ibm_q5_tenerife();
         let calibration = crate::calgen::ibm_q5_average_calibration(&topology);
-        Device { topology, calibration }
+        let disabled = vec![false; topology.num_links()];
+        Device { topology, calibration, disabled }
+    }
+
+    /// Marks the link between `a` and `b` as dead. Returns `false`
+    /// (and changes nothing) when the pair is not coupled; disabling an
+    /// already-dead link is a no-op returning `true`.
+    pub fn disable_link(&mut self, a: PhysQubit, b: PhysQubit) -> bool {
+        match self.topology.link_id(a, b) {
+            Some(id) => {
+                self.disabled[id] = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Builder form of [`Device::disable_link`]: pairs that are not
+    /// coupled are silently ignored.
+    #[must_use]
+    pub fn with_disabled_links(mut self, pairs: impl IntoIterator<Item = (PhysQubit, PhysQubit)>) -> Self {
+        for (a, b) in pairs {
+            self.disable_link(a, b);
+        }
+        self
+    }
+
+    /// Whether the coupled pair `a`–`b` has been disabled. `false` for
+    /// pairs that were never coupled.
+    pub fn is_link_disabled(&self, a: PhysQubit, b: PhysQubit) -> bool {
+        self.topology.link_id(a, b).is_some_and(|id| self.disabled[id])
+    }
+
+    /// Whether the link with this id is usable (not disabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a valid link id.
+    pub fn link_enabled(&self, id: usize) -> bool {
+        !self.disabled[id]
+    }
+
+    /// Number of disabled links.
+    pub fn disabled_link_count(&self) -> usize {
+        self.disabled.iter().filter(|&&d| d).count()
+    }
+
+    /// Whether `a` and `b` are coupled by a *usable* link.
+    pub fn has_active_link(&self, a: PhysQubit, b: PhysQubit) -> bool {
+        self.topology.link_id(a, b).is_some_and(|id| !self.disabled[id])
+    }
+
+    /// The neighbors of `q` over usable links only, ascending.
+    pub fn active_neighbors(&self, q: PhysQubit) -> Vec<PhysQubit> {
+        self.topology
+            .neighbors(q)
+            .into_iter()
+            .filter(|&nb| self.has_active_link(q, nb))
+            .collect()
     }
 
     /// The coupling topology.
@@ -90,19 +164,24 @@ impl Device {
     }
 
     /// Replaces the calibration (e.g. the next day's snapshot),
-    /// validating it against the topology.
+    /// validating it against the topology. Disabled links stay disabled.
     ///
     /// # Errors
     ///
     /// Returns a [`CalibrationError`] on shape mismatch.
     pub fn with_calibration(&self, calibration: Calibration) -> Result<Self, CalibrationError> {
-        Device::from_parts(self.topology.clone(), calibration)
+        let mut next = Device::from_parts(self.topology.clone(), calibration)?;
+        next.disabled = self.disabled.clone();
+        Ok(next)
     }
 
     /// CNOT error rate across a link, `None` when the qubits are not
-    /// coupled.
+    /// coupled or the link is disabled.
     pub fn link_error(&self, a: PhysQubit, b: PhysQubit) -> Option<f64> {
-        self.topology.link_id(a, b).map(|id| self.calibration.two_qubit_error(id))
+        self.topology
+            .link_id(a, b)
+            .filter(|&id| !self.disabled[id])
+            .map(|id| self.calibration.two_qubit_error(id))
     }
 
     /// CNOT success probability across a link, `None` when uncoupled.
@@ -129,7 +208,8 @@ impl Device {
 
     /// The sub-device induced by a region of physical qubits: the
     /// region's qubits renumbered `0..region.len()` (in the order
-    /// given), keeping only internal links and the matching calibration
+    /// given), keeping only internal *usable* links (disabled links are
+    /// dropped from the sub-topology) and the matching calibration
     /// rows. Returns the device plus the new-index → original-qubit
     /// table.
     ///
@@ -153,6 +233,9 @@ impl Device {
             .topology
             .links()
             .iter()
+            .enumerate()
+            .filter(|&(id, _)| !self.disabled[id])
+            .map(|(_, l)| l)
             .filter(|l| new_of_old[l.low().index()] != usize::MAX && new_of_old[l.high().index()] != usize::MAX)
             .map(|l| (new_of_old[l.low().index()] as u32, new_of_old[l.high().index()] as u32))
             .collect();
@@ -181,7 +264,8 @@ impl Device {
             cal.durations(),
         )
         .expect("subset of a valid calibration stays valid");
-        (Device { topology, calibration }, region.to_vec())
+        let disabled = vec![false; topology.num_links()];
+        (Device { topology, calibration, disabled }, region.to_vec())
     }
 }
 
@@ -189,11 +273,15 @@ impl fmt::Display for Device {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} [mean 2Q err {:.2}%, spread {:.1}x]",
+            "{} [mean 2Q err {:.2}%, spread {:.1}x",
             self.topology,
             100.0 * self.calibration.mean_two_qubit_error(),
             self.calibration.variation_ratio()
-        )
+        )?;
+        if self.disabled_link_count() > 0 {
+            write!(f, ", {} dead link(s)", self.disabled_link_count())?;
+        }
+        write!(f, "]")
     }
 }
 
@@ -286,6 +374,50 @@ mod tests {
         let dev = Device::new(Topology::linear(4), |t| Calibration::uniform(t, 0.1, 0.0, 0.0));
         let (sub, _) = dev.induced(&[PhysQubit(0), PhysQubit(2)]);
         assert_eq!(sub.topology().num_links(), 0);
+    }
+
+    #[test]
+    fn disabled_link_behaves_as_absent() {
+        let mut dev = Device::new(Topology::linear(3), |t| Calibration::uniform(t, 0.1, 0.0, 0.0));
+        assert!(dev.disable_link(PhysQubit(0), PhysQubit(1)));
+        assert!(!dev.disable_link(PhysQubit(0), PhysQubit(2)), "uncoupled pair cannot be disabled");
+        assert_eq!(dev.disabled_link_count(), 1);
+        assert!(dev.is_link_disabled(PhysQubit(0), PhysQubit(1)));
+        assert_eq!(dev.link_error(PhysQubit(0), PhysQubit(1)), None);
+        assert_eq!(dev.cnot_success(PhysQubit(0), PhysQubit(1)), None);
+        assert_eq!(dev.swap_failure_weight(PhysQubit(0), PhysQubit(1)), None);
+        assert!(!dev.has_active_link(PhysQubit(0), PhysQubit(1)));
+        assert_eq!(dev.active_neighbors(PhysQubit(1)), vec![PhysQubit(2)]);
+        // the live link is untouched
+        assert_eq!(dev.link_error(PhysQubit(1), PhysQubit(2)), Some(0.1));
+        // the topology itself still records the physical coupler
+        assert!(dev.topology().has_link(PhysQubit(0), PhysQubit(1)));
+    }
+
+    #[test]
+    fn disabled_links_survive_recalibration() {
+        let dev = Device::new(Topology::linear(3), |t| Calibration::uniform(t, 0.1, 0.0, 0.0))
+            .with_disabled_links([(PhysQubit(1), PhysQubit(2))]);
+        let next = Calibration::uniform(dev.topology(), 0.05, 0.0, 0.0);
+        let dev2 = dev.with_calibration(next).unwrap();
+        assert!(dev2.is_link_disabled(PhysQubit(1), PhysQubit(2)));
+        assert_eq!(dev2.link_error(PhysQubit(0), PhysQubit(1)), Some(0.05));
+    }
+
+    #[test]
+    fn induced_drops_disabled_links() {
+        let dev = Device::new(Topology::linear(4), |t| Calibration::uniform(t, 0.1, 0.0, 0.0))
+            .with_disabled_links([(PhysQubit(1), PhysQubit(2))]);
+        let (sub, _) = dev.induced(&[PhysQubit(1), PhysQubit(2), PhysQubit(3)]);
+        assert!(!sub.topology().has_link(PhysQubit(0), PhysQubit(1)), "dead link carried into sub-device");
+        assert!(sub.topology().has_link(PhysQubit(1), PhysQubit(2)));
+    }
+
+    #[test]
+    fn display_counts_dead_links() {
+        let dev = Device::new(Topology::linear(3), |t| Calibration::uniform(t, 0.1, 0.0, 0.0))
+            .with_disabled_links([(PhysQubit(0), PhysQubit(1))]);
+        assert!(dev.to_string().contains("1 dead link"), "{dev}");
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::collections::VecDeque;
 
 use quva_circuit::PhysQubit;
 
+use crate::device::Device;
 use crate::topology::Topology;
 
 /// Dense all-pairs matrix of minimum hop counts.
@@ -41,6 +42,17 @@ pub const UNREACHABLE_HOPS: u32 = u32::MAX;
 impl HopMatrix {
     /// Builds the matrix with one BFS per qubit.
     pub fn of(topology: &Topology) -> Self {
+        Self::of_filtered(topology, |_| true)
+    }
+
+    /// Builds the matrix over the *active* coupling graph of a device:
+    /// disabled links are treated as absent, so pairs separated by dead
+    /// links report [`UNREACHABLE_HOPS`].
+    pub fn of_active(device: &Device) -> Self {
+        Self::of_filtered(device.topology(), |id| device.link_enabled(id))
+    }
+
+    fn of_filtered(topology: &Topology, enabled: impl Fn(usize) -> bool) -> Self {
         let n = topology.num_qubits();
         let mut dist = vec![UNREACHABLE_HOPS; n * n];
         let mut queue = VecDeque::new();
@@ -51,6 +63,12 @@ impl HopMatrix {
             while let Some(v) = queue.pop_front() {
                 let dv = dist[s * n + v];
                 for u in topology.neighbors(PhysQubit(v as u32)) {
+                    let id = topology
+                        .link_id(PhysQubit(v as u32), u)
+                        .expect("neighbor implies link");
+                    if !enabled(id) {
+                        continue;
+                    }
                     let ui = u.index();
                     if dist[s * n + ui] == UNREACHABLE_HOPS {
                         dist[s * n + ui] = dv + 1;
@@ -140,9 +158,34 @@ impl ReliabilityMatrix {
     ///
     /// Panics if `link_cost` returns a negative or non-finite weight.
     pub fn of(topology: &Topology, link_cost: impl Fn(usize) -> f64) -> Self {
+        Self::of_filtered(topology, |_| true, link_cost)
+    }
+
+    /// Builds the matrix over the *active* coupling graph of a device:
+    /// disabled links are never traversed and `link_cost` is only
+    /// evaluated for enabled link ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link_cost` returns a negative or non-finite weight for
+    /// an enabled link.
+    pub fn of_active(device: &Device, link_cost: impl Fn(usize) -> f64) -> Self {
+        Self::of_filtered(device.topology(), |id| device.link_enabled(id), link_cost)
+    }
+
+    fn of_filtered(
+        topology: &Topology,
+        enabled: impl Fn(usize) -> bool,
+        link_cost: impl Fn(usize) -> f64,
+    ) -> Self {
         let n = topology.num_qubits();
+        // Disabled links carry infinite cost, which Dijkstra never relaxes
+        // over, so they behave exactly like absent links.
         let costs: Vec<f64> = (0..topology.num_links())
             .map(|id| {
+                if !enabled(id) {
+                    return f64::INFINITY;
+                }
                 let c = link_cost(id);
                 assert!(c.is_finite() && c >= 0.0, "link {id} has invalid cost {c}");
                 c
@@ -303,6 +346,40 @@ mod tests {
                 assert_eq!(rel.get(a, b) as u32, hops.get(a, b), "{a}->{b}");
             }
         }
+    }
+
+    #[test]
+    fn active_matrices_skip_disabled_links() {
+        use crate::calibration::Calibration;
+        // ring 0-1-2-3-0; killing 1-2 forces the long way round
+        let t = Topology::ring(4);
+        let dev = Device::new(t, |t| Calibration::uniform(t, 0.1, 0.0, 0.0))
+            .with_disabled_links([(PhysQubit(1), PhysQubit(2))]);
+        let hops = HopMatrix::of_active(&dev);
+        assert_eq!(hops.get(PhysQubit(1), PhysQubit(2)), 3);
+        let rel = ReliabilityMatrix::of_active(&dev, |_| 1.0);
+        assert_eq!(rel.get(PhysQubit(1), PhysQubit(2)), 3.0);
+        assert_eq!(
+            rel.path(PhysQubit(1), PhysQubit(2)).unwrap(),
+            vec![PhysQubit(1), PhysQubit(0), PhysQubit(3), PhysQubit(2)]
+        );
+    }
+
+    #[test]
+    fn active_matrices_report_split_as_unreachable() {
+        use crate::calibration::Calibration;
+        let t = Topology::linear(4);
+        let dev = Device::new(t, |t| Calibration::uniform(t, 0.1, 0.0, 0.0))
+            .with_disabled_links([(PhysQubit(1), PhysQubit(2))]);
+        let hops = HopMatrix::of_active(&dev);
+        assert_eq!(hops.get(PhysQubit(0), PhysQubit(3)), UNREACHABLE_HOPS);
+        // cost closure never consulted for the dead link
+        let rel = ReliabilityMatrix::of_active(&dev, |id| {
+            assert!(dev.link_enabled(id), "cost asked for disabled link {id}");
+            1.0
+        });
+        assert!(rel.get(PhysQubit(0), PhysQubit(3)).is_infinite());
+        assert!(rel.path(PhysQubit(0), PhysQubit(3)).is_none());
     }
 
     #[test]

@@ -184,6 +184,30 @@ mod tests {
     }
 
     #[test]
+    fn push_reports_qubit_mismatch_when_link_counts_agree() {
+        // ring(3) and linear(4) both have 3 links, so the link-count
+        // check passes and the qubit-count branch must catch the error
+        let mut log = CalibrationLog::new(&Topology::ring(3));
+        let err = log
+            .push(Calibration::uniform(&Topology::linear(4), 0.05, 0.0, 0.0))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CalibrationError::QubitCountMismatch { field: "t1", expected: 3, actual: 4 }
+        ));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn push_reports_link_mismatch_first() {
+        let mut log = CalibrationLog::new(&Topology::ring(3));
+        let err = log
+            .push(Calibration::uniform(&Topology::linear(3), 0.05, 0.0, 0.0))
+            .unwrap_err();
+        assert!(matches!(err, CalibrationError::LinkCountMismatch { expected: 3, actual: 2 }));
+    }
+
+    #[test]
     fn series_and_means_are_consistent() {
         let (_, log) = filled_log(8);
         for id in [0, 10, 37] {

@@ -1,0 +1,426 @@
+//! Reading and writing calibration snapshots as JSON, without trusting
+//! the contents.
+//!
+//! The writer ([`to_json`]) emits the stable snapshot layout used by
+//! `quva characterize --export`. The reader ([`parse_raw`]) produces a
+//! [`RawCalibration`] on purpose: real calibration feeds contain NaNs,
+//! `Infinity`, negative rates, and missing entries, so the parser
+//! accepts any numeric token (including the non-standard `NaN` /
+//! `Infinity` spellings and `null`, all read as NaN) and leaves policy
+//! decisions to [`RawCalibration::sanitize`].
+
+use std::error::Error;
+use std::fmt;
+
+use crate::calibration::{Calibration, GateDurations};
+use crate::validate::RawCalibration;
+
+/// A snapshot file could not be understood structurally (tokens, types,
+/// or missing fields). Defective *values* are not parse errors — they
+/// flow through to sanitization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError {
+    message: String,
+}
+
+impl SnapshotError {
+    fn new(message: impl Into<String>) -> Self {
+        SnapshotError { message: message.into() }
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "calibration snapshot: {}", self.message)
+    }
+}
+
+impl Error for SnapshotError {}
+
+/// Serializes a calibration into the snapshot JSON layout.
+pub fn to_json(cal: &Calibration) -> String {
+    let mut out = String::from("{\n");
+    for (name, table) in [
+        ("t1_us", cal.t1_table()),
+        ("t2_us", cal.t2_table()),
+        ("err_1q", cal.one_qubit_errors()),
+        ("err_readout", cal.readout_errors()),
+        ("err_2q", cal.two_qubit_errors()),
+    ] {
+        out.push_str(&format!("  \"{name}\": ["));
+        for (i, v) in table.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&fmt_f64(*v));
+        }
+        out.push_str("],\n");
+    }
+    let d = cal.durations();
+    out.push_str(&format!(
+        "  \"durations\": {{ \"one_qubit_ns\": {}, \"two_qubit_ns\": {}, \"readout_ns\": {} }}\n}}\n",
+        fmt_f64(d.one_qubit_ns),
+        fmt_f64(d.two_qubit_ns),
+        fmt_f64(d.readout_ns)
+    ));
+    out
+}
+
+/// Formats an `f64` so it round-trips exactly and integers keep a
+/// decimal point (`80` → `80.0`), with non-finite values using the
+/// spellings the parser accepts.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "Infinity".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Infinity".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Parses a snapshot into an unvalidated [`RawCalibration`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] on malformed JSON, wrong value types, or a
+/// missing table. Out-of-range and non-finite *numbers* parse fine.
+pub fn parse_raw(text: &str) -> Result<RawCalibration, SnapshotError> {
+    let value = Parser { bytes: text.as_bytes(), pos: 0 }.parse_document()?;
+    let JsonValue::Object(fields) = value else {
+        return Err(SnapshotError::new("top level must be an object"));
+    };
+    let lookup = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    let table = |name: &str| -> Result<Vec<f64>, SnapshotError> {
+        match lookup(name) {
+            Some(JsonValue::Array(items)) => items
+                .iter()
+                .map(|v| match v {
+                    JsonValue::Number(n) => Ok(*n),
+                    JsonValue::Null => Ok(f64::NAN),
+                    other => Err(SnapshotError::new(format!(
+                        "'{name}' entries must be numbers, found {}",
+                        other.kind()
+                    ))),
+                })
+                .collect(),
+            Some(other) => Err(SnapshotError::new(format!("'{name}' must be an array, found {}", other.kind()))),
+            None => Err(SnapshotError::new(format!("missing field '{name}'"))),
+        }
+    };
+    let durations = match lookup("durations") {
+        Some(JsonValue::Object(d)) => {
+            let num = |name: &str| -> Result<f64, SnapshotError> {
+                match d.iter().find(|(k, _)| k == name).map(|(_, v)| v) {
+                    Some(JsonValue::Number(n)) => Ok(*n),
+                    Some(other) => {
+                        Err(SnapshotError::new(format!("durations.{name} must be a number, found {}", other.kind())))
+                    }
+                    None => Err(SnapshotError::new(format!("durations is missing '{name}'"))),
+                }
+            };
+            Some(GateDurations {
+                one_qubit_ns: num("one_qubit_ns")?,
+                two_qubit_ns: num("two_qubit_ns")?,
+                readout_ns: num("readout_ns")?,
+            })
+        }
+        Some(other) => return Err(SnapshotError::new(format!("'durations' must be an object, found {}", other.kind()))),
+        None => None,
+    };
+    Ok(RawCalibration {
+        t1_us: table("t1_us")?,
+        t2_us: table("t2_us")?,
+        err_1q: table("err_1q")?,
+        err_readout: table("err_readout")?,
+        err_2q: table("err_2q")?,
+        durations,
+    })
+}
+
+/// A parsed JSON value (internal: just enough for snapshots).
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    fn kind(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "a boolean",
+            JsonValue::Number(_) => "a number",
+            JsonValue::String(_) => "a string",
+            JsonValue::Array(_) => "an array",
+            JsonValue::Object(_) => "an object",
+        }
+    }
+}
+
+/// Recursive-descent JSON parser, extended with `NaN`, `Infinity`, and
+/// `-Infinity` literals.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn parse_document(mut self) -> Result<JsonValue, SnapshotError> {
+        let value = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    fn err(&self, message: impl fmt::Display) -> SnapshotError {
+        SnapshotError::new(format!("{message} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), SnapshotError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, SnapshotError> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
+            Some(b't') if self.eat_keyword("true") => Ok(JsonValue::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(JsonValue::Bool(false)),
+            Some(b'n') if self.eat_keyword("null") => Ok(JsonValue::Null),
+            Some(b'N') if self.eat_keyword("NaN") => Ok(JsonValue::Number(f64::NAN)),
+            Some(b'I') if self.eat_keyword("Infinity") => Ok(JsonValue::Number(f64::INFINITY)),
+            Some(b'-') if self.bytes[self.pos..].starts_with(b"-Infinity") => {
+                self.pos += "-Infinity".len();
+                Ok(JsonValue::Number(f64::NEG_INFINITY))
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(self.err(format!("unexpected character '{}'", b as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, SnapshotError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, SnapshotError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, SnapshotError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = self.bytes.get(self.pos).copied().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        }
+                        other => return Err(self.err(format!("unknown escape '\\{}'", other as char))),
+                    }
+                }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // multi-byte UTF-8: copy the whole code point
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let ch = s.chars().next().ok_or_else(|| self.err("unterminated string"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, SnapshotError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| SnapshotError::new(format!("'{text}' is not a number (at byte {start})")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use crate::validate::SanitizePolicy;
+
+    #[test]
+    fn roundtrip_preserves_every_table() {
+        let t = Topology::ibm_q20_tokyo();
+        let cal = Calibration::uniform(&t, 0.031_25, 0.0042, 0.0211);
+        let raw = parse_raw(&to_json(&cal)).unwrap();
+        assert_eq!(raw.t1_us, cal.t1_table());
+        assert_eq!(raw.err_2q, cal.two_qubit_errors());
+        assert_eq!(raw.durations, Some(cal.durations()));
+        let (back, report) = raw.sanitize(&t, SanitizePolicy::Reject, None).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(&back, &cal);
+    }
+
+    #[test]
+    fn parser_accepts_nan_and_infinity_tokens() {
+        let raw = parse_raw(
+            r#"{"t1_us": [NaN, Infinity], "t2_us": [-Infinity, null],
+                "err_1q": [0.1, 2e-3], "err_readout": [0.0, 0.5], "err_2q": [1.5]}"#,
+        )
+        .unwrap();
+        assert!(raw.t1_us[0].is_nan());
+        assert_eq!(raw.t1_us[1], f64::INFINITY);
+        assert_eq!(raw.t2_us[0], f64::NEG_INFINITY);
+        assert!(raw.t2_us[1].is_nan());
+        assert_eq!(raw.err_1q[1], 0.002);
+        assert_eq!(raw.err_2q[0], 1.5);
+        assert_eq!(raw.durations, None);
+    }
+
+    #[test]
+    fn missing_table_is_a_parse_error() {
+        let err = parse_raw(r#"{"t1_us": [1.0]}"#).unwrap_err();
+        assert!(err.to_string().contains("missing field 't2_us'"), "{err}");
+    }
+
+    #[test]
+    fn wrong_types_are_parse_errors() {
+        let err = parse_raw(r#"{"t1_us": "not a list"}"#).unwrap_err();
+        assert!(err.to_string().contains("must be an array"), "{err}");
+        let err = parse_raw(r#"{"t1_us": [true]}"#).unwrap_err();
+        assert!(err.to_string().contains("must be numbers"), "{err}");
+    }
+
+    #[test]
+    fn malformed_json_is_reported_with_position() {
+        for text in ["", "{", "[1, ", "{\"a\" 1}", "{\"a\": 1} trailing", "nul"] {
+            let err = parse_raw(text).unwrap_err();
+            assert!(err.to_string().contains("at byte"), "{text:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn serializer_spells_out_non_finite_values() {
+        assert_eq!(fmt_f64(f64::NAN), "NaN");
+        assert_eq!(fmt_f64(f64::INFINITY), "Infinity");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY), "-Infinity");
+        assert_eq!(fmt_f64(80.0), "80.0");
+        assert_eq!(fmt_f64(0.0042), "0.0042");
+    }
+
+    #[test]
+    fn strings_with_escapes_parse() {
+        let v = Parser { bytes: br#""a\n\"bA""#, pos: 0 }.parse_document().unwrap();
+        assert_eq!(v, JsonValue::String("a\n\"b\u{41}".to_string()));
+    }
+}

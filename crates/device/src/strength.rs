@@ -32,6 +32,11 @@ pub fn node_strengths(device: &Device) -> Vec<f64> {
     let topo = device.topology();
     let mut strengths = vec![0.0; topo.num_qubits()];
     for (id, link) in topo.links().iter().enumerate() {
+        // dead links contribute no strength: a qubit whose couplers are
+        // all disabled is as weak as an isolated one
+        if !device.link_enabled(id) {
+            continue;
+        }
         let success = 1.0 - device.calibration().two_qubit_error(id);
         strengths[link.low().index()] += success;
         strengths[link.high().index()] += success;
@@ -147,14 +152,16 @@ pub fn candidate_regions(device: &Device, k: usize) -> Vec<Vec<PhysQubit>> {
         while members.len() < k {
             let mut candidate: Option<(f64, usize)> = None;
             for &m in &members {
-                for nb in topo.neighbors(PhysQubit(m as u32)) {
+                // only active links can connect a region — growth over a
+                // dead coupler would produce an unroutable allocation
+                for nb in device.active_neighbors(PhysQubit(m as u32)) {
                     let v = nb.index();
                     if in_set[v] {
                         continue;
                     }
                     // gain = success mass of links from v into the set
-                    let gain: f64 = topo
-                        .neighbors(nb)
+                    let gain: f64 = device
+                        .active_neighbors(nb)
                         .iter()
                         .filter(|u| in_set[u.index()])
                         .map(|&u| {
@@ -209,7 +216,9 @@ fn internal_success(device: &Device, members: &[usize]) -> f64 {
     topo.links()
         .iter()
         .enumerate()
-        .filter(|(_, l)| in_set[l.low().index()] && in_set[l.high().index()])
+        .filter(|&(id, l)| {
+            device.link_enabled(id) && in_set[l.low().index()] && in_set[l.high().index()]
+        })
         .map(|(id, _)| 1.0 - device.calibration().two_qubit_error(id))
         .sum()
 }
@@ -282,7 +291,7 @@ mod tests {
             // connectivity check by BFS inside the set
             let topo = dev.topology();
             let in_set: Vec<bool> = (0..20).map(|i| sg.contains(&PhysQubit(i))).collect();
-            let mut seen = vec![false; 20];
+            let mut seen = [false; 20];
             let mut stack = vec![sg[0]];
             seen[sg[0].index()] = true;
             let mut count = 1;
@@ -337,6 +346,20 @@ mod tests {
         let dev = uniform_device(Topology::linear(4), 0.05);
         let sg = strongest_subgraph(&dev, 4);
         assert_eq!(sg.len(), 4);
+    }
+
+    #[test]
+    fn dead_links_shrink_strength_and_regions() {
+        let dev = uniform_device(Topology::linear(4), 0.1)
+            .with_disabled_links([(PhysQubit(1), PhysQubit(2))]);
+        let s = node_strengths(&dev);
+        assert!((s[1] - 0.9).abs() < 1e-12, "dead link still adds strength: {s:?}");
+        // the active graph is 0-1 / 2-3: no connected 3-subgraph exists
+        assert!(try_strongest_subgraph(&dev, 3).is_none());
+        let pair = try_strongest_subgraph(&dev, 2).unwrap();
+        let mut sorted = pair.clone();
+        sorted.sort();
+        assert!(sorted == vec![PhysQubit(0), PhysQubit(1)] || sorted == vec![PhysQubit(2), PhysQubit(3)]);
     }
 
     #[test]

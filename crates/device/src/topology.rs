@@ -9,7 +9,6 @@ use std::fmt;
 
 use petgraph::graph::{NodeIndex, UnGraph};
 use quva_circuit::PhysQubit;
-use serde::{Deserialize, Serialize};
 
 /// An undirected coupling link between two physical qubits, stored with
 /// the smaller index first so that `(a, b)` and `(b, a)` compare equal.
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// assert_eq!(Link::new(PhysQubit(3), PhysQubit(1)), Link::new(PhysQubit(1), PhysQubit(3)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Link {
     a: PhysQubit,
     b: PhysQubit,

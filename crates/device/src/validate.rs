@@ -1,0 +1,731 @@
+//! Validation and sanitization of calibration data from the outside
+//! world.
+//!
+//! Live characterization feeds are messy: entries go missing, NaNs leak
+//! out of fitting pipelines, error rates drift out of `[0, 1)`, and T2
+//! occasionally exceeds its physical `2·T1` bound. A production compiler
+//! must degrade one request when that happens, not crash the process.
+//!
+//! The flow is: parse into a [`RawCalibration`] (any `f64` accepted),
+//! run [`RawCalibration::sanitize`] under a [`SanitizePolicy`], and get
+//! back a guaranteed-valid [`Calibration`] plus a [`CalibrationReport`]
+//! listing every defect and how it was repaired — or a typed
+//! [`CalibrationRejected`] error when the policy (or an irreparable
+//! shape mismatch) forbids repair.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::calibration::{Calibration, GateDurations};
+use crate::log::CalibrationLog;
+use crate::topology::Topology;
+
+/// Largest error rate a repair may produce: just below 1 so failure
+/// weights `−ln(1 − p)` stay finite and the link is effectively avoided.
+pub const MAX_ERROR_RATE: f64 = 1.0 - 1e-6;
+
+/// Coherence fallback used when a T1 entry is unusable, microseconds
+/// (matches [`Calibration::uniform`]).
+pub const FALLBACK_T1_US: f64 = 80.0;
+
+/// Coherence fallback used when a T2 entry is unusable, microseconds
+/// (matches [`Calibration::uniform`]).
+pub const FALLBACK_T2_US: f64 = 40.0;
+
+/// The five calibration tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CalField {
+    /// T1 relaxation times, per qubit.
+    T1,
+    /// T2 dephasing times, per qubit.
+    T2,
+    /// Single-qubit gate error rates, per qubit.
+    Err1q,
+    /// Readout error rates, per qubit.
+    ErrReadout,
+    /// Two-qubit error rates, per link id.
+    Err2q,
+}
+
+impl CalField {
+    /// The snake_case field name used in snapshots and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            CalField::T1 => "t1_us",
+            CalField::T2 => "t2_us",
+            CalField::Err1q => "err_1q",
+            CalField::ErrReadout => "err_readout",
+            CalField::Err2q => "err_2q",
+        }
+    }
+
+    fn is_coherence(self) -> bool {
+        matches!(self, CalField::T1 | CalField::T2)
+    }
+}
+
+impl fmt::Display for CalField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What is wrong with an entry (or a whole table).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IssueKind {
+    /// The value is NaN.
+    NotANumber,
+    /// An error rate is negative.
+    NegativeErrorRate,
+    /// An error rate is `>= 1` (including `+inf`).
+    ErrorRateAtOrAboveOne,
+    /// A coherence time is zero, negative, or infinite.
+    NonPositiveCoherence,
+    /// T2 exceeds its physical bound `2·T1` for the same qubit.
+    CoherenceInversion {
+        /// The qubit's T1 in microseconds.
+        t1_us: f64,
+    },
+    /// The whole table has the wrong number of entries. Irreparable:
+    /// sanitization rejects the snapshot under every policy.
+    WrongLength {
+        /// Entries the device shape requires.
+        expected: usize,
+        /// Entries observed.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for IssueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IssueKind::NotANumber => write!(f, "not a number"),
+            IssueKind::NegativeErrorRate => write!(f, "negative error rate"),
+            IssueKind::ErrorRateAtOrAboveOne => write!(f, "error rate at or above 1"),
+            IssueKind::NonPositiveCoherence => write!(f, "non-positive coherence time"),
+            IssueKind::CoherenceInversion { t1_us } => {
+                write!(f, "exceeds the physical bound 2·T1 = {} µs", 2.0 * t1_us)
+            }
+            IssueKind::WrongLength { expected, actual } => {
+                write!(f, "has {actual} entries, device shape requires {expected}")
+            }
+        }
+    }
+}
+
+/// How a defective entry was repaired.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Repair {
+    /// Replaced with a clamped / fallback value.
+    Clamped(f64),
+    /// Replaced with the historical mean from a [`CalibrationLog`].
+    Imputed(f64),
+}
+
+impl Repair {
+    /// The value the entry was replaced with.
+    pub fn value(self) -> f64 {
+        match self {
+            Repair::Clamped(v) | Repair::Imputed(v) => v,
+        }
+    }
+}
+
+/// One defect found in a snapshot, plus its repair when the policy
+/// allowed one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationIssue {
+    /// The table the defect is in.
+    pub field: CalField,
+    /// The entry index (qubit index or link id); `None` for
+    /// whole-table defects.
+    pub index: Option<usize>,
+    /// The offending value (0.0 for whole-table defects).
+    pub value: f64,
+    /// The defect class.
+    pub kind: IssueKind,
+    /// The repair applied, if any.
+    pub repair: Option<Repair>,
+}
+
+impl fmt::Display for CalibrationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.index {
+            Some(i) => write!(f, "{}[{i}] = {}: {}", self.field, self.value, self.kind)?,
+            None => write!(f, "{} {}", self.field, self.kind)?,
+        }
+        match self.repair {
+            Some(Repair::Clamped(v)) => write!(f, " (clamped to {v})"),
+            Some(Repair::Imputed(v)) => write!(f, " (imputed from history: {v})"),
+            None => Ok(()),
+        }
+    }
+}
+
+/// What to do with defective entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SanitizePolicy {
+    /// Any defect rejects the whole snapshot (`--strict`).
+    Reject,
+    /// Repair in place: NaN or super-unity error rates become
+    /// [`MAX_ERROR_RATE`] (pessimistic — the scheduler will route
+    /// around them), negative rates become 0, unusable coherence times
+    /// fall back to [`FALLBACK_T1_US`]/[`FALLBACK_T2_US`], and inverted
+    /// T2 is capped at `2·T1`.
+    #[default]
+    Clamp,
+    /// Like [`SanitizePolicy::Clamp`], but defective entries take their
+    /// historical mean from a [`CalibrationLog`] when one is available
+    /// (falling back to the clamp repair entry-by-entry otherwise).
+    ImputeFromHistory,
+}
+
+impl fmt::Display for SanitizePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SanitizePolicy::Reject => write!(f, "reject"),
+            SanitizePolicy::Clamp => write!(f, "clamp"),
+            SanitizePolicy::ImputeFromHistory => write!(f, "impute-from-history"),
+        }
+    }
+}
+
+/// The outcome of validating (and possibly repairing) one snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationReport {
+    policy: SanitizePolicy,
+    issues: Vec<CalibrationIssue>,
+}
+
+impl CalibrationReport {
+    /// The policy the snapshot was processed under.
+    pub fn policy(&self) -> SanitizePolicy {
+        self.policy
+    }
+
+    /// Every defect found, in field order then entry order.
+    pub fn issues(&self) -> &[CalibrationIssue] {
+        &self.issues
+    }
+
+    /// Whether the snapshot had no defects at all.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// Number of entries that were repaired.
+    pub fn repaired(&self) -> usize {
+        self.issues.iter().filter(|i| i.repair.is_some()).count()
+    }
+
+    /// Whether the snapshot contains an irreparable shape mismatch.
+    pub fn has_shape_mismatch(&self) -> bool {
+        self.issues.iter().any(|i| matches!(i.kind, IssueKind::WrongLength { .. }))
+    }
+
+    /// One diagnostic line per issue, ready for stderr.
+    pub fn diagnostics(&self) -> Vec<String> {
+        self.issues.iter().map(|i| format!("calibration: {i}")).collect()
+    }
+}
+
+impl fmt::Display for CalibrationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "calibration clean (policy: {})", self.policy);
+        }
+        writeln!(
+            f,
+            "calibration has {} issue(s) under policy '{}', {} repaired:",
+            self.issues.len(),
+            self.policy,
+            self.repaired()
+        )?;
+        for issue in &self.issues {
+            writeln!(f, "  - {issue}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A snapshot was refused: the policy was [`SanitizePolicy::Reject`]
+/// and a defect was found, or the shape cannot be repaired.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationRejected {
+    /// The full defect report.
+    pub report: CalibrationReport,
+}
+
+impl fmt::Display for CalibrationRejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "calibration snapshot rejected: {}", self.report)
+    }
+}
+
+impl Error for CalibrationRejected {}
+
+/// Calibration data exactly as received: any `f64` (including NaN and
+/// infinities), any table lengths. The only path from a
+/// `RawCalibration` to a [`Calibration`] is [`RawCalibration::sanitize`],
+/// so no unchecked value can reach the policies.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RawCalibration {
+    /// T1 relaxation times, microseconds, per qubit.
+    pub t1_us: Vec<f64>,
+    /// T2 dephasing times, microseconds, per qubit.
+    pub t2_us: Vec<f64>,
+    /// Single-qubit gate error rates, per qubit.
+    pub err_1q: Vec<f64>,
+    /// Readout error rates, per qubit.
+    pub err_readout: Vec<f64>,
+    /// Two-qubit error rates, per link id.
+    pub err_2q: Vec<f64>,
+    /// Gate durations; `None` uses [`GateDurations::default`].
+    pub durations: Option<GateDurations>,
+}
+
+impl From<&Calibration> for RawCalibration {
+    fn from(cal: &Calibration) -> Self {
+        RawCalibration {
+            t1_us: cal.t1_table().to_vec(),
+            t2_us: cal.t2_table().to_vec(),
+            err_1q: cal.one_qubit_errors().to_vec(),
+            err_readout: cal.readout_errors().to_vec(),
+            err_2q: cal.two_qubit_errors().to_vec(),
+            durations: Some(cal.durations()),
+        }
+    }
+}
+
+/// Per-entry historical means, when usable history exists.
+struct History {
+    t1: Vec<f64>,
+    t2: Vec<f64>,
+    e1q: Vec<f64>,
+    ero: Vec<f64>,
+    e2q: Vec<f64>,
+}
+
+impl History {
+    fn from_log(log: &CalibrationLog, num_qubits: usize, num_links: usize) -> Option<Self> {
+        let first = log.iter().next()?;
+        if first.t1_table().len() != num_qubits || first.two_qubit_errors().len() != num_links {
+            return None;
+        }
+        let n = log.len() as f64;
+        let mean_of = |extract: &dyn Fn(&Calibration) -> &[f64], len: usize| -> Vec<f64> {
+            let mut acc = vec![0.0; len];
+            for cal in log.iter() {
+                for (a, v) in acc.iter_mut().zip(extract(cal)) {
+                    *a += v;
+                }
+            }
+            for a in &mut acc {
+                *a /= n;
+            }
+            acc
+        };
+        Some(History {
+            t1: mean_of(&|c| c.t1_table(), num_qubits),
+            t2: mean_of(&|c| c.t2_table(), num_qubits),
+            e1q: mean_of(&|c| c.one_qubit_errors(), num_qubits),
+            ero: mean_of(&|c| c.readout_errors(), num_qubits),
+            e2q: mean_of(&|c| c.two_qubit_errors(), num_links),
+        })
+    }
+
+    fn get(&self, field: CalField, index: usize) -> f64 {
+        match field {
+            CalField::T1 => self.t1[index],
+            CalField::T2 => self.t2[index],
+            CalField::Err1q => self.e1q[index],
+            CalField::ErrReadout => self.ero[index],
+            CalField::Err2q => self.e2q[index],
+        }
+    }
+}
+
+/// The clamp-policy replacement value for a defective entry.
+fn clamp_repair(field: CalField, kind: IssueKind, value: f64) -> f64 {
+    match kind {
+        IssueKind::NegativeErrorRate => 0.0,
+        IssueKind::ErrorRateAtOrAboveOne => MAX_ERROR_RATE,
+        IssueKind::CoherenceInversion { t1_us } => 2.0 * t1_us,
+        IssueKind::NotANumber | IssueKind::NonPositiveCoherence => match field {
+            CalField::T1 => FALLBACK_T1_US,
+            CalField::T2 => FALLBACK_T2_US,
+            // unknown error rate: assume the worst so routing avoids it
+            CalField::Err1q | CalField::ErrReadout | CalField::Err2q => MAX_ERROR_RATE,
+        },
+        IssueKind::WrongLength { .. } => value,
+    }
+}
+
+/// Classifies one entry; `None` when it is acceptable.
+fn classify(field: CalField, value: f64, t1_for_qubit: Option<f64>) -> Option<IssueKind> {
+    if value.is_nan() {
+        return Some(IssueKind::NotANumber);
+    }
+    if field.is_coherence() {
+        if value <= 0.0 || value.is_infinite() {
+            return Some(IssueKind::NonPositiveCoherence);
+        }
+        if field == CalField::T2 {
+            if let Some(t1) = t1_for_qubit {
+                if t1 > 0.0 && value > 2.0 * t1 {
+                    return Some(IssueKind::CoherenceInversion { t1_us: t1 });
+                }
+            }
+        }
+        None
+    } else if value < 0.0 {
+        Some(IssueKind::NegativeErrorRate)
+    } else if value >= 1.0 {
+        Some(IssueKind::ErrorRateAtOrAboveOne)
+    } else {
+        None
+    }
+}
+
+impl RawCalibration {
+    /// Validates against a device shape without repairing anything.
+    ///
+    /// The returned report lists every defect with `repair: None`.
+    pub fn validate(&self, topology: &Topology) -> CalibrationReport {
+        let (report, _) = self.examine(topology, SanitizePolicy::Reject, None);
+        report
+    }
+
+    /// Validates and, policy permitting, repairs the snapshot into a
+    /// guaranteed-valid [`Calibration`].
+    ///
+    /// `history` feeds [`SanitizePolicy::ImputeFromHistory`]; it is
+    /// ignored by the other policies. A history of the wrong shape (or
+    /// an empty one) is treated as absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CalibrationRejected`] when the policy is
+    /// [`SanitizePolicy::Reject`] and any defect exists, or — under any
+    /// policy — when a table length does not match the device shape
+    /// (that defect has no meaningful repair).
+    pub fn sanitize(
+        &self,
+        topology: &Topology,
+        policy: SanitizePolicy,
+        history: Option<&CalibrationLog>,
+    ) -> Result<(Calibration, CalibrationReport), CalibrationRejected> {
+        let history = match policy {
+            SanitizePolicy::ImputeFromHistory => history
+                .and_then(|log| History::from_log(log, topology.num_qubits(), topology.num_links())),
+            _ => None,
+        };
+        let (report, repaired) = self.examine(topology, policy, history.as_ref());
+        if report.has_shape_mismatch() || (policy == SanitizePolicy::Reject && !report.is_clean()) {
+            return Err(CalibrationRejected { report });
+        }
+        let durations = self.durations.unwrap_or_default();
+        match Calibration::new(
+            topology,
+            repaired.t1_us,
+            repaired.t2_us,
+            repaired.err_1q,
+            repaired.err_readout,
+            repaired.err_2q,
+            durations,
+        ) {
+            Ok(cal) => Ok((cal, report)),
+            // Repairs guarantee validity; reaching this arm would be a
+            // bug in the repair table, reported as a rejection rather
+            // than a panic.
+            Err(_) => Err(CalibrationRejected { report }),
+        }
+    }
+
+    /// Walks every table, recording issues and producing repaired
+    /// copies (repairs are only recorded when the policy applies them).
+    fn examine(
+        &self,
+        topology: &Topology,
+        policy: SanitizePolicy,
+        history: Option<&History>,
+    ) -> (CalibrationReport, RawCalibration) {
+        let n = topology.num_qubits();
+        let m = topology.num_links();
+        let mut issues = Vec::new();
+        let mut repaired = self.clone();
+
+        // shape first: defects below are only meaningful per-entry
+        for (field, len, expected) in [
+            (CalField::T1, self.t1_us.len(), n),
+            (CalField::T2, self.t2_us.len(), n),
+            (CalField::Err1q, self.err_1q.len(), n),
+            (CalField::ErrReadout, self.err_readout.len(), n),
+            (CalField::Err2q, self.err_2q.len(), m),
+        ] {
+            if len != expected {
+                issues.push(CalibrationIssue {
+                    field,
+                    index: None,
+                    value: 0.0,
+                    kind: IssueKind::WrongLength { expected, actual: len },
+                    repair: None,
+                });
+            }
+        }
+        if !issues.is_empty() {
+            return (CalibrationReport { policy, issues }, repaired);
+        }
+
+        // repair T1 before T2 so the inversion check sees repaired T1
+        let fields: [(CalField, &[f64]); 5] = [
+            (CalField::T1, &self.t1_us),
+            (CalField::T2, &self.t2_us),
+            (CalField::Err1q, &self.err_1q),
+            (CalField::ErrReadout, &self.err_readout),
+            (CalField::Err2q, &self.err_2q),
+        ];
+        for (field, table) in fields {
+            for (index, &value) in table.iter().enumerate() {
+                let t1_ref = (field == CalField::T2).then(|| repaired.t1_us[index]);
+                let Some(kind) = classify(field, value, t1_ref) else { continue };
+                let repair = match policy {
+                    SanitizePolicy::Reject => None,
+                    SanitizePolicy::Clamp => Some(Repair::Clamped(clamp_repair(field, kind, value))),
+                    SanitizePolicy::ImputeFromHistory => Some(impute_repair(field, kind, value, index, history)),
+                };
+                if let Some(repair) = repair {
+                    *repaired.table_mut(field, index) = repair.value();
+                }
+                issues.push(CalibrationIssue { field, index: Some(index), value, kind, repair });
+            }
+        }
+        (CalibrationReport { policy, issues }, repaired)
+    }
+
+    fn table_mut(&mut self, field: CalField, index: usize) -> &mut f64 {
+        match field {
+            CalField::T1 => &mut self.t1_us[index],
+            CalField::T2 => &mut self.t2_us[index],
+            CalField::Err1q => &mut self.err_1q[index],
+            CalField::ErrReadout => &mut self.err_readout[index],
+            CalField::Err2q => &mut self.err_2q[index],
+        }
+    }
+}
+
+/// The impute-policy repair: historical mean when available and itself
+/// valid for the field, otherwise the clamp repair.
+fn impute_repair(
+    field: CalField,
+    kind: IssueKind,
+    value: f64,
+    index: usize,
+    history: Option<&History>,
+) -> Repair {
+    if let Some(h) = history {
+        let mean = h.get(field, index);
+        let usable = if field.is_coherence() { mean > 0.0 && mean.is_finite() } else { (0.0..1.0).contains(&mean) };
+        if usable {
+            return Repair::Imputed(mean);
+        }
+    }
+    Repair::Clamped(clamp_repair(field, kind, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calgen::{CalibrationGenerator, VariationProfile};
+
+    fn topo() -> Topology {
+        Topology::linear(4)
+    }
+
+    fn clean_raw(t: &Topology) -> RawCalibration {
+        RawCalibration::from(&Calibration::uniform(t, 0.05, 0.004, 0.02))
+    }
+
+    #[test]
+    fn clean_snapshot_passes_every_policy() {
+        let t = topo();
+        let raw = clean_raw(&t);
+        for policy in [SanitizePolicy::Reject, SanitizePolicy::Clamp, SanitizePolicy::ImputeFromHistory] {
+            let (cal, report) = raw.sanitize(&t, policy, None).unwrap();
+            assert!(report.is_clean(), "{report}");
+            assert_eq!(cal.two_qubit_error(0), 0.05);
+        }
+    }
+
+    #[test]
+    fn reject_refuses_nan() {
+        let t = topo();
+        let mut raw = clean_raw(&t);
+        raw.err_2q[1] = f64::NAN;
+        let err = raw.sanitize(&t, SanitizePolicy::Reject, None).unwrap_err();
+        assert_eq!(err.report.issues().len(), 1);
+        let issue = &err.report.issues()[0];
+        assert_eq!(issue.field, CalField::Err2q);
+        assert_eq!(issue.index, Some(1));
+        assert_eq!(issue.kind, IssueKind::NotANumber);
+        assert!(err.to_string().contains("err_2q[1]"), "{err}");
+    }
+
+    #[test]
+    fn clamp_repairs_nan_pessimistically() {
+        let t = topo();
+        let mut raw = clean_raw(&t);
+        raw.err_2q[1] = f64::NAN;
+        let (cal, report) = raw.sanitize(&t, SanitizePolicy::Clamp, None).unwrap();
+        assert_eq!(cal.two_qubit_error(1), MAX_ERROR_RATE);
+        assert_eq!(report.repaired(), 1);
+    }
+
+    #[test]
+    fn clamp_repairs_negative_and_super_unity() {
+        let t = topo();
+        let mut raw = clean_raw(&t);
+        raw.err_1q[0] = -0.25;
+        raw.err_readout[3] = 1.0;
+        raw.err_2q[2] = f64::INFINITY;
+        let (cal, report) = raw.sanitize(&t, SanitizePolicy::Clamp, None).unwrap();
+        assert_eq!(cal.one_qubit_error(0), 0.0);
+        assert_eq!(cal.readout_error(3), MAX_ERROR_RATE);
+        assert_eq!(cal.two_qubit_error(2), MAX_ERROR_RATE);
+        assert_eq!(report.issues().len(), 3);
+        assert_eq!(report.repaired(), 3);
+    }
+
+    #[test]
+    fn clamp_repairs_coherence() {
+        let t = topo();
+        let mut raw = clean_raw(&t);
+        raw.t1_us[0] = -3.0; // falls back to FALLBACK_T1_US
+        raw.t2_us[1] = 1000.0; // inversion: far above 2·T1 = 160
+        let (cal, report) = raw.sanitize(&t, SanitizePolicy::Clamp, None).unwrap();
+        assert_eq!(cal.t1_us(0), FALLBACK_T1_US);
+        assert_eq!(cal.t2_us(1), 160.0);
+        assert!(report
+            .issues()
+            .iter()
+            .any(|i| matches!(i.kind, IssueKind::CoherenceInversion { .. })));
+    }
+
+    #[test]
+    fn inversion_checked_against_repaired_t1() {
+        let t = topo();
+        let mut raw = clean_raw(&t);
+        raw.t1_us[2] = f64::NAN; // repaired to FALLBACK_T1_US = 80
+        raw.t2_us[2] = 170.0; // > 2·80, must still be flagged
+        let (cal, _) = raw.sanitize(&t, SanitizePolicy::Clamp, None).unwrap();
+        assert_eq!(cal.t2_us(2), 2.0 * FALLBACK_T1_US);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected_under_every_policy() {
+        let t = topo();
+        let mut raw = clean_raw(&t);
+        raw.err_2q.pop();
+        for policy in [SanitizePolicy::Reject, SanitizePolicy::Clamp, SanitizePolicy::ImputeFromHistory] {
+            let err = raw.sanitize(&t, policy, None).unwrap_err();
+            assert!(err.report.has_shape_mismatch());
+            assert!(matches!(
+                err.report.issues()[0].kind,
+                IssueKind::WrongLength { expected: 3, actual: 2 }
+            ));
+        }
+    }
+
+    #[test]
+    fn impute_uses_history_mean() {
+        let t = Topology::ibm_q20_tokyo();
+        let mut gen = CalibrationGenerator::new(VariationProfile::ibm_q20_paper(), 9);
+        let mut log = CalibrationLog::new(&t);
+        for day in gen.daily_series(&t, 12) {
+            log.push(day).unwrap();
+        }
+        let mut raw = RawCalibration::from(log.get(0).unwrap());
+        raw.err_2q[7] = f64::NAN;
+        raw.t1_us[3] = -1.0;
+        let (cal, report) = raw.sanitize(&t, SanitizePolicy::ImputeFromHistory, Some(&log)).unwrap();
+        assert!((cal.two_qubit_error(7) - log.link_mean(7)).abs() < 1e-12);
+        assert!(cal.t1_us(3) > 0.0);
+        assert_eq!(report.repaired(), 2);
+        assert!(report.issues().iter().all(|i| matches!(i.repair, Some(Repair::Imputed(_)))));
+    }
+
+    #[test]
+    fn impute_without_history_falls_back_to_clamp() {
+        let t = topo();
+        let mut raw = clean_raw(&t);
+        raw.err_2q[0] = 2.0;
+        let (cal, report) = raw.sanitize(&t, SanitizePolicy::ImputeFromHistory, None).unwrap();
+        assert_eq!(cal.two_qubit_error(0), MAX_ERROR_RATE);
+        assert!(matches!(report.issues()[0].repair, Some(Repair::Clamped(_))));
+    }
+
+    #[test]
+    fn impute_ignores_wrong_shape_history() {
+        let t = topo();
+        let other = Topology::linear(6);
+        let mut log = CalibrationLog::new(&other);
+        log.push(Calibration::uniform(&other, 0.01, 0.0, 0.0)).unwrap();
+        let mut raw = clean_raw(&t);
+        raw.err_2q[0] = f64::NAN;
+        let (cal, _) = raw.sanitize(&t, SanitizePolicy::ImputeFromHistory, Some(&log)).unwrap();
+        assert_eq!(cal.two_qubit_error(0), MAX_ERROR_RATE);
+    }
+
+    #[test]
+    fn validate_reports_without_repairing() {
+        let t = topo();
+        let mut raw = clean_raw(&t);
+        raw.err_2q[0] = -1.0;
+        raw.t2_us[1] = f64::NAN;
+        let report = raw.validate(&t);
+        assert_eq!(report.issues().len(), 2);
+        assert!(report.issues().iter().all(|i| i.repair.is_none()));
+        assert_eq!(report.repaired(), 0);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn report_diagnostics_are_line_per_issue() {
+        let t = topo();
+        let mut raw = clean_raw(&t);
+        raw.err_2q[0] = -1.0;
+        let (_, report) = raw.sanitize(&t, SanitizePolicy::Clamp, None).unwrap();
+        let diags = report.diagnostics();
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].starts_with("calibration: err_2q[0]"), "{}", diags[0]);
+    }
+
+    #[test]
+    fn sanitized_output_always_revalidates() {
+        // fuzz-ish sweep: every kind of corruption, clamp policy, and
+        // the result must round-trip through Calibration::new
+        let t = topo();
+        let corruptions: &[f64] = &[f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, 1.0, 2.5, 0.999];
+        for (fi, field) in [CalField::T1, CalField::T2, CalField::Err1q, CalField::ErrReadout, CalField::Err2q]
+            .into_iter()
+            .enumerate()
+        {
+            for (ci, &bad) in corruptions.iter().enumerate() {
+                let mut raw = clean_raw(&t);
+                let index = (fi + ci) % 3;
+                *raw.table_mut(field, index) = bad;
+                let (cal, _) = raw.sanitize(&t, SanitizePolicy::Clamp, None).unwrap();
+                let round = Calibration::new(
+                    &t,
+                    cal.t1_table().to_vec(),
+                    cal.t2_table().to_vec(),
+                    cal.one_qubit_errors().to_vec(),
+                    cal.readout_errors().to_vec(),
+                    cal.two_qubit_errors().to_vec(),
+                    cal.durations(),
+                );
+                assert!(round.is_ok(), "{field} = {bad} produced invalid repair");
+            }
+        }
+    }
+}

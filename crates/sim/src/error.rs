@@ -61,5 +61,7 @@ mod tests {
         assert!(e.to_string().contains("route the circuit first"));
         let e = SimError::TooManyQubits { circuit: 10, device: 5 };
         assert!(e.to_string().contains("only 5"));
+        let e = SimError::MidCircuitMeasurement { gate_index: 7 };
+        assert!(e.to_string().contains("terminal measurement"));
     }
 }

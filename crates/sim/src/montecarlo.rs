@@ -152,6 +152,39 @@ mod tests {
     }
 
     #[test]
+    fn uncoupled_operands_is_typed_error() {
+        let dev = device(0.1);
+        let mut c: Circuit<PhysQubit> = Circuit::new(3);
+        c.cnot(PhysQubit(0), PhysQubit(2)); // ends of the line: unrouted
+        let err = monte_carlo_pst(&dev, &c, 100, 0, CoherenceModel::Disabled).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::UncoupledOperands { gate_index: 0, a: PhysQubit(0), b: PhysQubit(2) }
+        );
+    }
+
+    #[test]
+    fn too_many_qubits_is_typed_error() {
+        let dev = device(0.1);
+        let c: Circuit<PhysQubit> = Circuit::new(5);
+        let err = monte_carlo_pst(&dev, &c, 100, 0, CoherenceModel::Disabled).unwrap_err();
+        assert_eq!(err, SimError::TooManyQubits { circuit: 5, device: 3 });
+    }
+
+    #[test]
+    fn dead_link_rejected_like_missing_link() {
+        // a disabled coupler must look exactly like an absent one to
+        // the simulator: the gate is unroutable, not silently simulated
+        let mut dev = device(0.1);
+        assert!(dev.disable_link(PhysQubit(0), PhysQubit(1)));
+        let err = monte_carlo_pst(&dev, &chain(1), 100, 0, CoherenceModel::Disabled).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::UncoupledOperands { gate_index: 0, a: PhysQubit(0), b: PhysQubit(1) }
+        );
+    }
+
+    #[test]
     fn std_error_shrinks_with_trials() {
         let dev = device(0.1);
         let c = chain(3);

@@ -1,0 +1,156 @@
+//! Offline stand-in for the subset of the `criterion` 0.8 API used by
+//! this workspace (see `vendor/README.md`).
+//!
+//! A deliberately small wall-clock harness: each benchmark is warmed up
+//! once and then timed over an adaptive number of iterations (capped so
+//! even second-long benchmarks finish promptly). When the binary is run
+//! without the `--bench` flag cargo passes during `cargo bench` (e.g.
+//! under `cargo test --benches`), each benchmark body executes exactly
+//! once as a smoke test and nothing is measured.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (the real crate forwards
+/// to `std::hint::black_box` on recent toolchains too).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Runs and times one benchmark body.
+pub struct Bencher {
+    measure: bool,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, warming up once, then iterating until ~100 ms
+    /// of samples or 1000 iterations, whichever comes first.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.measure {
+            black_box(routine());
+            return;
+        }
+        let warmup = Instant::now();
+        black_box(routine());
+        let first = warmup.elapsed();
+        // pick an iteration count that keeps total time near 100 ms
+        let budget = Duration::from_millis(100);
+        let per_iter = first.max(Duration::from_nanos(1));
+        let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = iters;
+    }
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let measure = bench_mode();
+    let mut b = Bencher { measure, elapsed: Duration::ZERO, iterations: 0 };
+    f(&mut b);
+    if measure && b.iterations > 0 {
+        let per_iter = b.elapsed.as_nanos() / u128::from(b.iterations);
+        println!("{name:<50} {per_iter:>12} ns/iter ({} iterations)", b.iterations);
+    } else if !measure {
+        println!("{name:<50} smoke-tested (run with `cargo bench` to measure)");
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepts (and ignores) command-line configuration, mirroring the
+    /// real crate's builder so generated mains stay source-compatible.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Registers and runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self {
+        run_one(&id.into(), &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _criterion: self }
+    }
+
+    /// Prints the final summary (no-op in the stand-in).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepts (and ignores) the sample-size hint.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Registers and runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into()), &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Defines a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Defines `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut runs = 0u32;
+        Criterion::default().bench_function("t", |b| b.iter(|| runs += 1));
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut hits = 0u32;
+        group.sample_size(10).bench_function("inner", |b| b.iter(|| hits += 1));
+        group.finish();
+        assert!(hits >= 1);
+    }
+}

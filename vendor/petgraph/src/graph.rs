@@ -1,0 +1,155 @@
+//! Adjacency-list graph core.
+
+use std::ops::Index;
+
+/// Identifier of a node: its insertion index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeIndex(usize);
+
+impl NodeIndex {
+    /// Wraps a raw index.
+    pub fn new(index: usize) -> Self {
+        NodeIndex(index)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of an edge: its insertion index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeIndex(usize);
+
+impl EdgeIndex {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An undirected graph with node weights `N` and edge weights `E`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnGraph<N, E> {
+    nodes: Vec<N>,
+    adjacency: Vec<Vec<usize>>,
+    edges: Vec<(usize, usize, E)>,
+}
+
+impl<N, E> Default for UnGraph<N, E> {
+    fn default() -> Self {
+        Self::new_undirected()
+    }
+}
+
+impl<N, E> UnGraph<N, E> {
+    /// An empty undirected graph.
+    pub fn new_undirected() -> Self {
+        UnGraph { nodes: Vec::new(), adjacency: Vec::new(), edges: Vec::new() }
+    }
+
+    /// Adds a node and returns its index.
+    pub fn add_node(&mut self, weight: N) -> NodeIndex {
+        self.nodes.push(weight);
+        self.adjacency.push(Vec::new());
+        NodeIndex(self.nodes.len() - 1)
+    }
+
+    /// Adds an undirected edge between `a` and `b`.
+    ///
+    /// Parallel edges are allowed (callers deduplicate); self-loops are
+    /// stored once in the adjacency list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, a: NodeIndex, b: NodeIndex, weight: E) -> EdgeIndex {
+        assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len(), "edge endpoint out of range");
+        self.adjacency[a.0].push(b.0);
+        if a != b {
+            self.adjacency[b.0].push(a.0);
+        }
+        self.edges.push((a.0, b.0, weight));
+        EdgeIndex(self.edges.len() - 1)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterates over the neighbors of `a`, in edge insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn neighbors(&self, a: NodeIndex) -> Neighbors<'_> {
+        Neighbors { inner: self.adjacency[a.0].iter() }
+    }
+
+    /// The weight of node `a`, if present.
+    pub fn node_weight(&self, a: NodeIndex) -> Option<&N> {
+        self.nodes.get(a.0)
+    }
+}
+
+impl<N, E> Index<NodeIndex> for UnGraph<N, E> {
+    type Output = N;
+
+    fn index(&self, index: NodeIndex) -> &N {
+        &self.nodes[index.0]
+    }
+}
+
+/// Iterator over the neighbors of one node.
+#[derive(Debug, Clone)]
+pub struct Neighbors<'a> {
+    inner: std::slice::Iter<'a, usize>,
+}
+
+impl Iterator for Neighbors<'_> {
+    type Item = NodeIndex;
+
+    fn next(&mut self) -> Option<NodeIndex> {
+        self.inner.next().map(|&i| NodeIndex(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_traverse() {
+        let mut g: UnGraph<u32, ()> = UnGraph::new_undirected();
+        let a = g.add_node(10);
+        let b = g.add_node(20);
+        let c = g.add_node(30);
+        g.add_edge(a, b, ());
+        g.add_edge(a, c, ());
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g[a], 10);
+        let mut ns: Vec<usize> = g.neighbors(a).map(NodeIndex::index).collect();
+        ns.sort_unstable();
+        assert_eq!(ns, vec![1, 2]);
+        assert_eq!(g.neighbors(b).count(), 1);
+        assert_eq!(g.node_weight(c), Some(&30));
+    }
+
+    #[test]
+    fn undirected_edges_visible_from_both_ends() {
+        let mut g: UnGraph<(), u8> = UnGraph::new_undirected();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 7);
+        assert_eq!(g.neighbors(b).next(), Some(a));
+        assert_eq!(g.neighbors(a).next(), Some(b));
+    }
+}

@@ -1,0 +1,5 @@
+//! Offline stand-in for the subset of the `petgraph` 0.8 API used by
+//! this workspace (see `vendor/README.md`): an adjacency-list
+//! undirected graph with node weights and neighbor iteration.
+
+pub mod graph;

@@ -1,0 +1,20 @@
+//! Sequence-related extensions.
+
+use crate::sample::SampleRange;
+use crate::RngCore;
+
+/// Randomization of slices.
+pub trait SliceRandom {
+    /// Shuffles the slice in place (Fisher–Yates; uniform over all
+    /// permutations up to the generator's quality).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (0..=i).sample_from(rng);
+            self.swap(i, j);
+        }
+    }
+}
