@@ -1,0 +1,519 @@
+//! The diagnostics vocabulary of the lint framework: stable codes,
+//! severities, gate-index spans, and the [`Report`] they aggregate into.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+///
+/// The severity policy is fixed per [`LintCode`] (see
+/// [`LintCode::severity`]): *errors* mean the artifact is illegal or
+/// semantically wrong (a compiler emitting it has a bug), *warnings*
+/// mean it is legal but wasteful or suspicious.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Legal but suspicious or wasteful; never fails verification.
+    Warning,
+    /// Illegal or semantically wrong; fails verification.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// The stable identity of a lint finding.
+///
+/// Codes are append-only: a released code never changes meaning,
+/// number, or default severity, so reports can be compared across
+/// versions and CI can grep for a specific code.
+///
+/// # Examples
+///
+/// ```
+/// use quva_analysis::{LintCode, Severity};
+///
+/// assert_eq!(LintCode::OffCouplerGate.code(), "QV001");
+/// assert_eq!(LintCode::OffCouplerGate.severity(), Severity::Error);
+/// assert_eq!(LintCode::RedundantPair.severity(), Severity::Warning);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintCode {
+    /// A two-qubit gate addresses a pair of physical qubits with no
+    /// coupler between them.
+    OffCouplerGate,
+    /// A two-qubit gate addresses a coupler that exists but has been
+    /// disabled (a dead link).
+    DisabledLinkGate,
+    /// Replaying the compiled circuit's SWAPs from the initial mapping
+    /// does not reproduce the claimed final mapping.
+    PermutationMismatch,
+    /// The compiled gate stream is not the logical program under the
+    /// evolving qubit mapping (wrong operands, reordered dependencies,
+    /// dropped or invented gates).
+    SequenceMismatch,
+    /// A qubit is operated on after it has been measured.
+    UseAfterMeasure,
+    /// The circuit needs more qubits than the device provides, or a
+    /// mapping's shape does not match the circuit/device it claims to
+    /// connect.
+    WidthExceeded,
+    /// A physical gate operates on a location no program qubit
+    /// occupies at that point.
+    UnmappedOperand,
+    /// An invalid calibration value (NaN, negative, or ≥ 1 error rate;
+    /// non-positive coherence time) escaped sanitization and is
+    /// visible to policy code.
+    CalibrationEscape,
+    /// A register qubit is allocated but never referenced by any gate.
+    UnusedQubit,
+    /// A used qubit is never measured although the circuit measures
+    /// others.
+    UnmeasuredQubit,
+    /// The circuit contains no measurements at all.
+    NoMeasurements,
+    /// Two measurements write the same classical bit; the first result
+    /// is lost.
+    ClobberedCbit,
+    /// A SWAP moves a qubit that has already been measured.
+    SwapAfterMeasure,
+    /// Two adjacent gates cancel each other exactly.
+    RedundantPair,
+    /// A SWAP whose effect is unobservable: neither operand is used or
+    /// measured afterwards.
+    ZeroEffectSwap,
+}
+
+impl LintCode {
+    /// The stable short code, e.g. `QV001`.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::OffCouplerGate => "QV001",
+            LintCode::DisabledLinkGate => "QV002",
+            LintCode::PermutationMismatch => "QV003",
+            LintCode::SequenceMismatch => "QV004",
+            LintCode::UseAfterMeasure => "QV005",
+            LintCode::WidthExceeded => "QV006",
+            LintCode::UnmappedOperand => "QV007",
+            LintCode::CalibrationEscape => "QV008",
+            LintCode::UnusedQubit => "QV101",
+            LintCode::UnmeasuredQubit => "QV102",
+            LintCode::NoMeasurements => "QV103",
+            LintCode::ClobberedCbit => "QV104",
+            LintCode::SwapAfterMeasure => "QV105",
+            LintCode::RedundantPair => "QV201",
+            LintCode::ZeroEffectSwap => "QV202",
+        }
+    }
+
+    /// The human-readable slug, e.g. `off-coupler-gate`.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintCode::OffCouplerGate => "off-coupler-gate",
+            LintCode::DisabledLinkGate => "disabled-link-gate",
+            LintCode::PermutationMismatch => "permutation-mismatch",
+            LintCode::SequenceMismatch => "sequence-mismatch",
+            LintCode::UseAfterMeasure => "use-after-measure",
+            LintCode::WidthExceeded => "width-exceeded",
+            LintCode::UnmappedOperand => "unmapped-operand",
+            LintCode::CalibrationEscape => "calibration-escape",
+            LintCode::UnusedQubit => "unused-qubit",
+            LintCode::UnmeasuredQubit => "unmeasured-qubit",
+            LintCode::NoMeasurements => "no-measurements",
+            LintCode::ClobberedCbit => "clobbered-cbit",
+            LintCode::SwapAfterMeasure => "swap-after-measure",
+            LintCode::RedundantPair => "redundant-pair",
+            LintCode::ZeroEffectSwap => "zero-effect-swap",
+        }
+    }
+
+    /// The fixed severity of this code.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintCode::OffCouplerGate
+            | LintCode::DisabledLinkGate
+            | LintCode::PermutationMismatch
+            | LintCode::SequenceMismatch
+            | LintCode::UseAfterMeasure
+            | LintCode::WidthExceeded
+            | LintCode::UnmappedOperand
+            | LintCode::CalibrationEscape => Severity::Error,
+            LintCode::UnusedQubit
+            | LintCode::UnmeasuredQubit
+            | LintCode::NoMeasurements
+            | LintCode::ClobberedCbit
+            | LintCode::SwapAfterMeasure
+            | LintCode::RedundantPair
+            | LintCode::ZeroEffectSwap => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// A gate-index range in the analyzed circuit: `start..=end` in gate
+/// (instruction) order. A single-gate finding has `start == end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// First gate index (0-based, inclusive).
+    pub start: usize,
+    /// Last gate index (0-based, inclusive).
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering exactly one gate.
+    pub fn gate(index: usize) -> Self {
+        Span {
+            start: index,
+            end: index,
+        }
+    }
+
+    /// A span covering `start..=end`.
+    pub fn range(start: usize, end: usize) -> Self {
+        Span {
+            start: start.min(end),
+            end: start.max(end),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.start == self.end {
+            write!(f, "gate {}", self.start)
+        } else {
+            write!(f, "gates {}-{}", self.start, self.end)
+        }
+    }
+}
+
+/// One finding of one pass: a stable code, an optional gate-index span
+/// (device-level findings have none), and a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    code: LintCode,
+    span: Option<Span>,
+    message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic; the severity comes from the code.
+    pub fn new(code: LintCode, span: Option<Span>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// The stable lint code.
+    pub fn code(&self) -> LintCode {
+        self.code
+    }
+
+    /// The severity (fixed per code).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+
+    /// The gate-index span, if the finding is anchored to gates.
+    pub fn span(&self) -> Option<Span> {
+        self.span
+    }
+
+    /// The human-readable explanation.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{} {}]",
+            self.severity(),
+            self.code.code(),
+            self.code.name()
+        )?;
+        if let Some(span) = self.span {
+            write!(f, " @ {span}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The aggregated outcome of running a set of passes: every diagnostic
+/// plus the names of the passes that ran (so "clean" is distinguishable
+/// from "nothing ran").
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+    passes: Vec<&'static str>,
+}
+
+impl Report {
+    /// Builds a report from raw parts.
+    pub fn new(diagnostics: Vec<Diagnostic>, passes: Vec<&'static str>) -> Self {
+        Report { diagnostics, passes }
+    }
+
+    /// Every diagnostic, in pass order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// The names of the passes that produced this report.
+    pub fn passes(&self) -> &[&'static str] {
+        &self.passes
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Warning)
+            .count()
+    }
+
+    /// Whether the report carries no errors (warnings allowed). This is
+    /// the CI / `quva lint` pass criterion.
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Whether any diagnostic carries the given code.
+    pub fn has_code(&self, code: LintCode) -> bool {
+        self.diagnostics.iter().any(|d| d.code() == code)
+    }
+
+    /// The diagnostics carrying a given code.
+    pub fn with_code(&self, code: LintCode) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code() == code).collect()
+    }
+
+    /// Renders the report as human-readable text, one diagnostic per
+    /// line plus a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        let summary = format!(
+            "{} error(s), {} warning(s) from {} pass(es)",
+            self.error_count(),
+            self.warning_count(),
+            self.passes.len()
+        );
+        if self.diagnostics.is_empty() {
+            out.push_str(&format!(
+                "clean: no diagnostics from {} pass(es)\n",
+                self.passes.len()
+            ));
+        } else {
+            out.push_str(&summary);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the report as a JSON document (hand-rolled, mirroring
+    /// the dependency policy of `quva-device::snapshot`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"code\": \"{}\", ", d.code().code()));
+            out.push_str(&format!("\"name\": \"{}\", ", d.code().name()));
+            out.push_str(&format!("\"severity\": \"{}\", ", d.severity()));
+            match d.span() {
+                Some(s) => out.push_str(&format!(
+                    "\"span\": {{\"start\": {}, \"end\": {}}}, ",
+                    s.start, s.end
+                )),
+                None => out.push_str("\"span\": null, "),
+            }
+            out.push_str(&format!("\"message\": \"{}\"", escape_json(d.message())));
+            out.push('}');
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str(&format!("  \"errors\": {},\n", self.error_count()));
+        out.push_str(&format!("  \"warnings\": {},\n", self.warning_count()));
+        out.push_str("  \"passes\": [");
+        for (i, p) in self.passes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\"", escape_json(p)));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    pub(crate) fn record_pass(&mut self, name: &'static str) {
+        self.passes.push(name);
+    }
+
+    pub(crate) fn extend(&mut self, diagnostics: Vec<Diagnostic>) {
+        self.diagnostics.extend(diagnostics);
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report::new(
+            vec![
+                Diagnostic::new(
+                    LintCode::OffCouplerGate,
+                    Some(Span::gate(3)),
+                    "cx Q0, Q7 has no coupler",
+                ),
+                Diagnostic::new(LintCode::RedundantPair, Some(Span::range(5, 4)), "h/h cancels"),
+                Diagnostic::new(LintCode::CalibrationEscape, None, "link 2 error is NaN"),
+            ],
+            vec!["coupler-legality", "redundancy", "calibration-sanity"],
+        )
+    }
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let all = [
+            LintCode::OffCouplerGate,
+            LintCode::DisabledLinkGate,
+            LintCode::PermutationMismatch,
+            LintCode::SequenceMismatch,
+            LintCode::UseAfterMeasure,
+            LintCode::WidthExceeded,
+            LintCode::UnmappedOperand,
+            LintCode::CalibrationEscape,
+            LintCode::UnusedQubit,
+            LintCode::UnmeasuredQubit,
+            LintCode::NoMeasurements,
+            LintCode::ClobberedCbit,
+            LintCode::SwapAfterMeasure,
+            LintCode::RedundantPair,
+            LintCode::ZeroEffectSwap,
+        ];
+        let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len(), "duplicate lint codes");
+        // the three seeded-corruption codes are distinct and fixed
+        assert_eq!(LintCode::OffCouplerGate.code(), "QV001");
+        assert_eq!(LintCode::PermutationMismatch.code(), "QV003");
+        assert_eq!(LintCode::UseAfterMeasure.code(), "QV005");
+    }
+
+    #[test]
+    fn severity_policy() {
+        assert_eq!(LintCode::OffCouplerGate.severity(), Severity::Error);
+        assert_eq!(LintCode::DisabledLinkGate.severity(), Severity::Error);
+        assert_eq!(LintCode::UnusedQubit.severity(), Severity::Warning);
+        assert!(Severity::Error > Severity::Warning);
+    }
+
+    #[test]
+    fn report_counts_and_cleanliness() {
+        let r = sample();
+        assert_eq!(r.error_count(), 2);
+        assert_eq!(r.warning_count(), 1);
+        assert!(!r.is_clean());
+        assert!(r.has_code(LintCode::OffCouplerGate));
+        assert!(!r.has_code(LintCode::UseAfterMeasure));
+        assert_eq!(r.with_code(LintCode::RedundantPair).len(), 1);
+        let clean = Report::new(vec![], vec!["coupler-legality"]);
+        assert!(clean.is_clean());
+    }
+
+    #[test]
+    fn text_rendering() {
+        let text = sample().render_text();
+        assert!(text.contains("error[QV001 off-coupler-gate] @ gate 3"), "{text}");
+        assert!(
+            text.contains("warning[QV201 redundant-pair] @ gates 4-5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("2 error(s), 1 warning(s) from 3 pass(es)"),
+            "{text}"
+        );
+        let clean = Report::new(vec![], vec!["a", "b"]).render_text();
+        assert!(clean.contains("clean"), "{clean}");
+    }
+
+    #[test]
+    fn json_rendering() {
+        let json = sample().render_json();
+        assert!(json.contains("\"code\": \"QV001\""), "{json}");
+        assert!(json.contains("\"severity\": \"error\""), "{json}");
+        assert!(json.contains("\"span\": {\"start\": 3, \"end\": 3}"), "{json}");
+        assert!(json.contains("\"span\": null"), "{json}");
+        assert!(json.contains("\"errors\": 2"), "{json}");
+        assert!(json.contains("\"passes\": [\"coupler-legality\""), "{json}");
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let r = Report::new(
+            vec![Diagnostic::new(
+                LintCode::NoMeasurements,
+                None,
+                "a \"quoted\"\nline\\path",
+            )],
+            vec![],
+        );
+        let json = r.render_json();
+        assert!(json.contains("a \\\"quoted\\\"\\nline\\\\path"), "{json}");
+    }
+
+    #[test]
+    fn span_display_and_normalization() {
+        assert_eq!(Span::gate(7).to_string(), "gate 7");
+        assert_eq!(Span::range(9, 2), Span { start: 2, end: 9 });
+    }
+}

@@ -1,0 +1,203 @@
+//! The pass abstraction and the registry that runs passes over
+//! circuits and compiled outputs.
+
+use std::fmt;
+
+use quva::CompiledCircuit;
+use quva_circuit::Circuit;
+use quva_device::Device;
+
+use crate::diagnostic::{Diagnostic, Report};
+use crate::passes;
+
+/// A static pass over a *logical* (program) circuit, optionally aware
+/// of the device it is intended for.
+pub trait CircuitPass {
+    /// The stable pass name shown in reports.
+    fn name(&self) -> &'static str;
+    /// Runs the pass, appending any findings to `out`.
+    fn run(&self, circuit: &Circuit, device: Option<&Device>, out: &mut Vec<Diagnostic>);
+}
+
+/// Everything a compiled-output pass can look at: the source program,
+/// the device it was compiled for, and the compiler's output.
+#[derive(Debug, Clone, Copy)]
+pub struct CompiledContext<'a> {
+    /// The logical program that was compiled.
+    pub source: &'a Circuit,
+    /// The device the output claims to target.
+    pub device: &'a Device,
+    /// The compiler's output under audit.
+    pub compiled: &'a CompiledCircuit,
+}
+
+/// A static pass over a compiled circuit (no simulation involved).
+pub trait CompiledPass {
+    /// The stable pass name shown in reports.
+    fn name(&self) -> &'static str;
+    /// Runs the pass, appending any findings to `out`.
+    fn run(&self, cx: &CompiledContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// An ordered collection of passes: circuit-level lints and
+/// compiled-output verification passes.
+///
+/// # Examples
+///
+/// ```
+/// use quva_analysis::PassRegistry;
+/// use quva_circuit::{Circuit, Qubit, Cbit};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(Qubit(0)).cnot(Qubit(0), Qubit(1));
+/// c.measure(Qubit(0), Cbit(0)).measure(Qubit(1), Cbit(1));
+/// let report = PassRegistry::standard().lint_circuit(&c, None);
+/// assert!(report.is_clean());
+/// ```
+#[derive(Default)]
+pub struct PassRegistry {
+    circuit: Vec<Box<dyn CircuitPass>>,
+    compiled: Vec<Box<dyn CompiledPass>>,
+}
+
+impl fmt::Debug for PassRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassRegistry")
+            .field("circuit", &self.circuit_pass_names())
+            .field("compiled", &self.compiled_pass_names())
+            .finish()
+    }
+}
+
+impl PassRegistry {
+    /// An empty registry; add passes with
+    /// [`PassRegistry::register_circuit_pass`] /
+    /// [`PassRegistry::register_compiled_pass`].
+    pub fn empty() -> Self {
+        PassRegistry::default()
+    }
+
+    /// The standard registry: every built-in pass.
+    ///
+    /// Circuit lints: qubit liveness & width, measurement coverage,
+    /// redundancy, calibration sanity (when a device is supplied).
+    /// Compiled passes: coupler legality, permutation & sequence
+    /// consistency, physical hygiene (use-after-measure, redundancy),
+    /// calibration sanity.
+    pub fn standard() -> Self {
+        let mut r = PassRegistry::empty();
+        r.register_circuit_pass(Box::new(passes::liveness::QubitLiveness));
+        r.register_circuit_pass(Box::new(passes::measurement::MeasurementCoverage));
+        r.register_circuit_pass(Box::new(passes::redundancy::Redundancy));
+        r.register_circuit_pass(Box::new(passes::calibration::CalibrationSanity));
+        r.register_compiled_pass(Box::new(passes::coupler::CouplerLegality));
+        r.register_compiled_pass(Box::new(passes::permutation::PermutationConsistency));
+        r.register_compiled_pass(Box::new(passes::liveness::PhysicalLiveness));
+        r.register_compiled_pass(Box::new(passes::redundancy::PhysicalRedundancy));
+        r.register_compiled_pass(Box::new(passes::calibration::CompiledCalibrationSanity));
+        r
+    }
+
+    /// Appends a circuit-level pass.
+    pub fn register_circuit_pass(&mut self, pass: Box<dyn CircuitPass>) -> &mut Self {
+        self.circuit.push(pass);
+        self
+    }
+
+    /// Appends a compiled-output pass.
+    pub fn register_compiled_pass(&mut self, pass: Box<dyn CompiledPass>) -> &mut Self {
+        self.compiled.push(pass);
+        self
+    }
+
+    /// The registered circuit-pass names, in run order.
+    pub fn circuit_pass_names(&self) -> Vec<&'static str> {
+        self.circuit.iter().map(|p| p.name()).collect()
+    }
+
+    /// The registered compiled-pass names, in run order.
+    pub fn compiled_pass_names(&self) -> Vec<&'static str> {
+        self.compiled.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs every circuit-level pass over a logical circuit. Passing a
+    /// device enables the device-dependent lints (width, calibration
+    /// sanity).
+    pub fn lint_circuit(&self, circuit: &Circuit, device: Option<&Device>) -> Report {
+        let mut report = Report::default();
+        for pass in &self.circuit {
+            let mut out = Vec::new();
+            pass.run(circuit, device, &mut out);
+            report.record_pass(pass.name());
+            report.extend(out);
+        }
+        report
+    }
+
+    /// Runs every compiled-output pass over a compiled circuit.
+    pub fn verify(&self, source: &Circuit, device: &Device, compiled: &CompiledCircuit) -> Report {
+        let cx = CompiledContext {
+            source,
+            device,
+            compiled,
+        };
+        let mut report = Report::default();
+        for pass in &self.compiled {
+            let mut out = Vec::new();
+            pass.run(&cx, &mut out);
+            report.record_pass(pass.name());
+            report.extend(out);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::{LintCode, Span};
+    use quva_circuit::Qubit;
+
+    struct AlwaysWarn;
+    impl CircuitPass for AlwaysWarn {
+        fn name(&self) -> &'static str {
+            "always-warn"
+        }
+        fn run(&self, _: &Circuit, _: Option<&Device>, out: &mut Vec<Diagnostic>) {
+            out.push(Diagnostic::new(
+                LintCode::NoMeasurements,
+                Some(Span::gate(0)),
+                "synthetic",
+            ));
+        }
+    }
+
+    #[test]
+    fn standard_registry_has_all_passes() {
+        let r = PassRegistry::standard();
+        assert!(r.circuit_pass_names().contains(&"qubit-liveness"));
+        assert!(r.circuit_pass_names().contains(&"measurement-coverage"));
+        assert!(r.compiled_pass_names().contains(&"coupler-legality"));
+        assert!(r.compiled_pass_names().contains(&"permutation-consistency"));
+        assert!(r.compiled_pass_names().len() >= 4);
+    }
+
+    #[test]
+    fn custom_pass_registration() {
+        let mut r = PassRegistry::empty();
+        r.register_circuit_pass(Box::new(AlwaysWarn));
+        let mut c = Circuit::new(1);
+        c.h(Qubit(0));
+        let report = r.lint_circuit(&c, None);
+        assert_eq!(report.passes(), ["always-warn"]);
+        assert_eq!(report.warning_count(), 1);
+        assert!(report.is_clean(), "warnings do not fail verification");
+    }
+
+    #[test]
+    fn debug_lists_pass_names() {
+        let r = PassRegistry::standard();
+        let dbg = format!("{r:?}");
+        assert!(dbg.contains("coupler-legality"), "{dbg}");
+    }
+}

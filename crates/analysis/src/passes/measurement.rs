@@ -1,0 +1,63 @@
+//! Measurement coverage of logical circuits: does the program actually
+//! read out what it computes?
+
+use quva_circuit::{Circuit, Gate};
+use quva_device::Device;
+
+use crate::diagnostic::{Diagnostic, LintCode, Span};
+use crate::pass::CircuitPass;
+
+/// Flags circuits with no measurements at all ([`QV103`]), used qubits
+/// that are never measured while others are ([`QV102`]), and classical
+/// bits written twice ([`QV104`]). All warnings: un-read programs are
+/// legal, just rarely what the author meant.
+///
+/// [`QV102`]: LintCode::UnmeasuredQubit
+/// [`QV103`]: LintCode::NoMeasurements
+/// [`QV104`]: LintCode::ClobberedCbit
+#[derive(Debug, Default)]
+pub struct MeasurementCoverage;
+
+impl CircuitPass for MeasurementCoverage {
+    fn name(&self) -> &'static str {
+        "measurement-coverage"
+    }
+
+    fn run(&self, circuit: &Circuit, _device: Option<&Device>, out: &mut Vec<Diagnostic>) {
+        if circuit.is_empty() {
+            return;
+        }
+        if circuit.measure_count() == 0 {
+            out.push(Diagnostic::new(
+                LintCode::NoMeasurements,
+                None,
+                "circuit never measures; its outcome is unobservable".to_string(),
+            ));
+            return;
+        }
+        let mut cbit_writer: Vec<Option<usize>> = vec![None; circuit.num_cbits()];
+        let mut qubit_measured = vec![false; circuit.num_qubits()];
+        for (i, g) in circuit.iter().enumerate() {
+            if let Gate::Measure { qubit, cbit } = g {
+                qubit_measured[qubit.index()] = true;
+                if let Some(first) = cbit_writer[cbit.index()] {
+                    out.push(Diagnostic::new(
+                        LintCode::ClobberedCbit,
+                        Some(Span::range(first, i)),
+                        format!("{cbit} is written twice; the first result is lost"),
+                    ));
+                }
+                cbit_writer[cbit.index()] = Some(i);
+            }
+        }
+        for q in circuit.used_qubits() {
+            if !qubit_measured[q.index()] {
+                out.push(Diagnostic::new(
+                    LintCode::UnmeasuredQubit,
+                    None,
+                    format!("{q} is used but never measured"),
+                ));
+            }
+        }
+    }
+}

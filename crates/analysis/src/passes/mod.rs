@@ -1,0 +1,11 @@
+//! The built-in static passes.
+//!
+//! Each module hosts one concern; [`crate::PassRegistry::standard`]
+//! wires them all up in a fixed order.
+
+pub mod calibration;
+pub mod coupler;
+pub mod liveness;
+pub mod measurement;
+pub mod permutation;
+pub mod redundancy;

@@ -21,7 +21,9 @@ fn bench_policy_figures(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("table1_benchmarks", |b| b.iter(policy_eval::table1_benchmarks));
     group.bench_function("fig12_vqm", |b| b.iter(policy_eval::fig12_vqm));
-    group.bench_function("table2_error_scaling", |b| b.iter(policy_eval::table2_error_scaling));
+    group.bench_function("table2_error_scaling", |b| {
+        b.iter(policy_eval::table2_error_scaling)
+    });
     group.finish();
 }
 
@@ -33,5 +35,10 @@ fn bench_real_system_figures(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_characterization_figures, bench_policy_figures, bench_real_system_figures);
+criterion_group!(
+    benches,
+    bench_characterization_figures,
+    bench_policy_figures,
+    bench_real_system_figures
+);
 criterion_main!(benches);

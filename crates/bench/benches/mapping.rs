@@ -31,7 +31,9 @@ fn bench_allocation_components(c: &mut Criterion) {
     c.bench_function("strongest_subgraph/k=10", |b| {
         b.iter(|| quva_device::strongest_subgraph(black_box(&device), 10))
     });
-    c.bench_function("node_strengths/q20", |b| b.iter(|| quva_device::node_strengths(black_box(&device))));
+    c.bench_function("node_strengths/q20", |b| {
+        b.iter(|| quva_device::node_strengths(black_box(&device)))
+    });
 }
 
 criterion_group!(benches, bench_policies, bench_allocation_components);

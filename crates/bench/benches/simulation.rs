@@ -9,16 +9,31 @@ use std::hint::black_box;
 
 fn bench_estimators(c: &mut Criterion) {
     let device = Device::ibm_q20();
-    let compiled = MappingPolicy::baseline().compile(&quva_benchmarks::bv(16), &device).unwrap();
+    let compiled = MappingPolicy::baseline()
+        .compile(&quva_benchmarks::bv(16), &device)
+        .unwrap();
     let physical = compiled.physical().clone();
 
     c.bench_function("analytic_pst/bv-16", |b| {
-        b.iter(|| analytic_pst(black_box(&device), black_box(&physical), CoherenceModel::IdleWindow).unwrap())
+        b.iter(|| {
+            analytic_pst(
+                black_box(&device),
+                black_box(&physical),
+                CoherenceModel::IdleWindow,
+            )
+            .unwrap()
+        })
     });
     c.bench_function("monte_carlo/bv-16/10k-trials", |b| {
         b.iter(|| {
-            monte_carlo_pst(black_box(&device), black_box(&physical), 10_000, 1, CoherenceModel::Disabled)
-                .unwrap()
+            monte_carlo_pst(
+                black_box(&device),
+                black_box(&physical),
+                10_000,
+                1,
+                CoherenceModel::Disabled,
+            )
+            .unwrap()
         })
     });
 }
@@ -26,7 +41,9 @@ fn bench_estimators(c: &mut Criterion) {
 fn bench_statevector(c: &mut Criterion) {
     let device = Device::ibm_q5();
     let bench = quva_benchmarks::Benchmark::ghz(3);
-    let compiled = MappingPolicy::vqa_vqm().compile(bench.circuit(), &device).unwrap();
+    let compiled = MappingPolicy::vqa_vqm()
+        .compile(bench.circuit(), &device)
+        .unwrap();
     let physical = compiled.physical().clone();
     c.bench_function("noisy_statevector/ghz-3/1k-trials", |b| {
         b.iter(|| run_noisy_trials(black_box(&device), black_box(&physical), 1000, 3).unwrap())
@@ -36,7 +53,9 @@ fn bench_statevector(c: &mut Criterion) {
 fn bench_density_matrix(c: &mut Criterion) {
     let device = Device::ibm_q5();
     let bench = quva_benchmarks::Benchmark::bv(4);
-    let compiled = MappingPolicy::vqa_vqm().compile(bench.circuit(), &device).unwrap();
+    let compiled = MappingPolicy::vqa_vqm()
+        .compile(bench.circuit(), &device)
+        .unwrap();
     let physical = compiled.physical().clone();
     c.bench_function("exact_noisy_distribution/bv-4", |b| {
         b.iter(|| quva_sim::exact_noisy_distribution(black_box(&device), black_box(&physical)).unwrap())

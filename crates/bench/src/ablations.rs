@@ -57,7 +57,12 @@ pub fn ablation_meeting_edge() -> Table {
             routing: RoutingMetric::reliability_with_meeting_edge(),
         };
         let ext = pst_of(ext_policy, &bench, &device);
-        table.row([bench.name().to_string(), fmt3(vqm), fmt3(ext), fmt_ratio(ext / vqm)]);
+        table.row([
+            bench.name().to_string(),
+            fmt3(vqm),
+            fmt3(ext),
+            fmt_ratio(ext / vqm),
+        ]);
     }
     table
 }
@@ -66,8 +71,14 @@ pub fn ablation_meeting_edge() -> Table {
 /// the optimizer before mapping.
 pub fn ablation_optimizer() -> Table {
     let device = Device::ibm_q20();
-    let mut table =
-        Table::new(["benchmark", "gates", "gates_optimized", "pst_raw", "pst_optimized", "gain"]);
+    let mut table = Table::new([
+        "benchmark",
+        "gates",
+        "gates_optimized",
+        "pst_raw",
+        "pst_optimized",
+        "gain",
+    ]);
     for bench in table1_suite() {
         let raw = bench.circuit();
         let (opt, _) = optimize(raw);
@@ -92,10 +103,18 @@ pub fn ablation_optimizer() -> Table {
 pub fn ablation_correlated_errors() -> Table {
     use quva_sim::{monte_carlo_pst_correlated, CorrelatedModel};
     let device = Device::ibm_q20();
-    let model = CorrelatedModel { burst_probability: 0.1, burst_multiplier: 3.0 };
+    let model = CorrelatedModel {
+        burst_probability: 0.1,
+        burst_multiplier: 3.0,
+    };
     let trials = 200_000;
-    let mut table =
-        Table::new(["benchmark", "baseline_corr", "vqa_vqm_corr", "benefit_corr", "benefit_independent"]);
+    let mut table = Table::new([
+        "benchmark",
+        "baseline_corr",
+        "vqa_vqm_corr",
+        "benefit_corr",
+        "benefit_independent",
+    ]);
     for bench in [Benchmark::bv(16), Benchmark::bv(20), Benchmark::alu()] {
         let pst_corr = |policy: MappingPolicy, seed: u64| -> f64 {
             let compiled = policy.compile(bench.circuit(), &device).expect("suite compiles");
@@ -105,8 +124,8 @@ pub fn ablation_correlated_errors() -> Table {
         };
         let base = pst_corr(MappingPolicy::baseline(), 1);
         let aware = pst_corr(MappingPolicy::vqa_vqm(), 1);
-        let independent =
-            pst_of(MappingPolicy::vqa_vqm(), &bench, &device) / pst_of(MappingPolicy::baseline(), &bench, &device);
+        let independent = pst_of(MappingPolicy::vqa_vqm(), &bench, &device)
+            / pst_of(MappingPolicy::baseline(), &bench, &device);
         table.row([
             bench.name().to_string(),
             fmt3(base),
@@ -125,8 +144,13 @@ pub fn ablation_crosstalk() -> Table {
     use quva_sim::{analytic_pst_with_crosstalk, CrosstalkModel};
     let device = Device::ibm_q20();
     let model = CrosstalkModel { factor: 2.0 };
-    let mut table =
-        Table::new(["benchmark", "baseline_xt", "vqa_vqm_xt", "benefit_xt", "benefit_no_xt"]);
+    let mut table = Table::new([
+        "benchmark",
+        "baseline_xt",
+        "vqa_vqm_xt",
+        "benefit_xt",
+        "benefit_no_xt",
+    ]);
     for bench in table1_suite() {
         let pst_xt = |policy: MappingPolicy| -> f64 {
             let compiled = policy.compile(bench.circuit(), &device).expect("suite compiles");
@@ -136,8 +160,8 @@ pub fn ablation_crosstalk() -> Table {
         };
         let base = pst_xt(MappingPolicy::baseline());
         let aware = pst_xt(MappingPolicy::vqa_vqm());
-        let plain =
-            pst_of(MappingPolicy::vqa_vqm(), &bench, &device) / pst_of(MappingPolicy::baseline(), &bench, &device);
+        let plain = pst_of(MappingPolicy::vqa_vqm(), &bench, &device)
+            / pst_of(MappingPolicy::baseline(), &bench, &device);
         table.row([
             bench.name().to_string(),
             fmt3(base),
@@ -161,7 +185,12 @@ pub fn ablation_readout() -> Table {
             routing: RoutingMetric::reliability(),
         };
         let aware = pst_of(aware_policy, &bench, &device);
-        table.row([bench.name().to_string(), fmt3(base), fmt3(aware), fmt_ratio(aware / base)]);
+        table.row([
+            bench.name().to_string(),
+            fmt3(base),
+            fmt3(aware),
+            fmt_ratio(aware / base),
+        ]);
     }
     table
 }
@@ -179,12 +208,16 @@ pub fn ablation_router() -> Table {
         "stepwise_advantage",
     ]);
     for bench in table1_suite() {
-        let stepwise = MappingPolicy::vqm().compile(bench.circuit(), &device).expect("suite compiles");
+        let stepwise = MappingPolicy::vqm()
+            .compile(bench.circuit(), &device)
+            .expect("suite compiles");
         let plan = MappingPolicy::vqm()
             .compile_plan_based(bench.circuit(), &device)
             .expect("suite compiles plan-based");
         let pst = |c: &quva::CompiledCircuit| {
-            c.analytic_pst(&device, CoherenceModel::Disabled).expect("routed").pst
+            c.analytic_pst(&device, CoherenceModel::Disabled)
+                .expect("routed")
+                .pst
         };
         let (ps, pp) = (pst(&stepwise), pst(&plan));
         table.row([
@@ -205,7 +238,10 @@ pub fn section4_coherence() -> Table {
     let device = Device::ibm_q20();
     let mut table = Table::new(["benchmark", "gate_to_coherence_ratio"]);
     for bench in table1_suite() {
-        table.row([bench.name().to_string(), format!("{:.2}", coherence_ratio(&bench, &device))]);
+        table.row([
+            bench.name().to_string(),
+            format!("{:.2}", coherence_ratio(&bench, &device)),
+        ]);
     }
     table
 }
@@ -252,7 +288,10 @@ mod tests {
             if ["alu", "bv-16", "bv-20"].contains(&name.as_str()) {
                 // empirical band, pinned to the workspace's deterministic
                 // calibration stream (vendor/rand)
-                assert!((0.7..1.5).contains(gain), "{name}: extension gain {gain} not near-neutral");
+                assert!(
+                    (0.7..1.5).contains(gain),
+                    "{name}: extension gain {gain} not near-neutral"
+                );
             } else {
                 assert!(gain.is_finite() && *gain > 0.0, "{name}: invalid gain {gain}");
             }
@@ -311,8 +350,12 @@ mod tests {
     #[test]
     fn readout_awareness_does_not_hurt_on_average() {
         let t = ablation_readout();
-        let gains: Vec<f64> =
-            t.to_csv().lines().skip(1).map(|l| parse_ratio(l.split(',').nth(3).unwrap())).collect();
+        let gains: Vec<f64> = t
+            .to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| parse_ratio(l.split(',').nth(3).unwrap()))
+            .collect();
         let geo: f64 = gains.iter().map(|g| g.ln()).sum::<f64>() / gains.len() as f64;
         assert!(geo.exp() > 0.8, "readout awareness geomean gain {}", geo.exp());
     }

@@ -2,5 +2,9 @@
 
 fn main() {
     let table = quva_bench::ablations::ablation_crosstalk();
-    quva_bench::io::report("ablation_crosstalk", "benefit under simultaneous-drive crosstalk", &table);
+    quva_bench::io::report(
+        "ablation_crosstalk",
+        "benefit under simultaneous-drive crosstalk",
+        &table,
+    );
 }

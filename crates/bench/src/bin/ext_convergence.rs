@@ -9,7 +9,9 @@ use quva_stats::{fmt3, Table};
 fn main() {
     let device = Device::ibm_q20();
     let program = quva_benchmarks::bv(16);
-    let compiled = MappingPolicy::vqa_vqm().compile(&program, &device).expect("bv-16 compiles");
+    let compiled = MappingPolicy::vqa_vqm()
+        .compile(&program, &device)
+        .expect("bv-16 compiles");
     let exact = compiled
         .analytic_pst(&device, CoherenceModel::Disabled)
         .expect("routed")
@@ -27,5 +29,9 @@ fn main() {
         ]);
     }
     table.row(["analytic".into(), fmt3(exact), "".into(), "".into()]);
-    quva_bench::io::report("ext_convergence", "Monte-Carlo convergence to analytic PST", &table);
+    quva_bench::io::report(
+        "ext_convergence",
+        "Monte-Carlo convergence to analytic PST",
+        &table,
+    );
 }

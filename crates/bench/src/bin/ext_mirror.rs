@@ -13,14 +13,21 @@ fn main() {
     for (n, depth) in [(3, 2), (4, 2), (5, 3)] {
         let bench = Benchmark::mirror(n, depth, 9);
         let pst = |policy: MappingPolicy| -> f64 {
-            let compiled = policy.compile(bench.circuit(), &device).expect("mirror compiles on q5");
+            let compiled = policy
+                .compile(bench.circuit(), &device)
+                .expect("mirror compiles on q5");
             run_noisy_trials(&device, compiled.physical(), 4096, 13)
                 .expect("routed")
                 .success_rate(|o| bench.is_success(o))
         };
         let base = pst(MappingPolicy::baseline());
         let aware = pst(MappingPolicy::vqa_vqm());
-        table.row([bench.name().to_string(), fmt3(base), fmt3(aware), fmt_ratio(aware / base)]);
+        table.row([
+            bench.name().to_string(),
+            fmt3(base),
+            fmt3(aware),
+            fmt_ratio(aware / base),
+        ]);
     }
     quva_bench::io::report("ext_mirror", "mirror-circuit probe on the noisy Q5", &table);
 }

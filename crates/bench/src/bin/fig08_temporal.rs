@@ -2,5 +2,9 @@
 
 fn main() {
     let table = quva_bench::characterization::fig08_temporal();
-    quva_bench::io::report("fig08_temporal", "per-day error of strong/median/weak links", &table);
+    quva_bench::io::report(
+        "fig08_temporal",
+        "per-day error of strong/median/weak links",
+        &table,
+    );
 }

@@ -2,5 +2,9 @@
 
 fn main() {
     let table = quva_bench::policy_eval::fig14_daily();
-    quva_bench::io::report("fig14_daily", "bv-16 benefit across 52 daily calibrations", &table);
+    quva_bench::io::report(
+        "fig14_daily",
+        "bv-16 benefit across 52 daily calibrations",
+        &table,
+    );
 }

@@ -16,27 +16,99 @@ fn main() {
     println!("2Q error distribution (%):\n{}", h7.render(40));
     io::report("fig07_error2q", "two-qubit error distribution", &t7);
 
-    io::report("fig08_temporal", "per-day error of strong/median/weak links", &characterization::fig08_temporal());
-    io::report("fig09_spatial", "IBM-Q20 per-link failure map", &characterization::fig09_spatial());
-    io::report("table1_benchmarks", "benchmark characteristics", &policy_eval::table1_benchmarks());
-    io::report("fig12_vqm", "VQM relative PST vs baseline", &policy_eval::fig12_vqm());
-    io::report("fig13_policies", "policy comparison (normalized PST)", &policy_eval::fig13_policies());
-    io::report("fig14_daily", "bv-16 benefit across 52 daily calibrations", &policy_eval::fig14_daily());
-    io::report("table2_error_scaling", "VQA+VQM benefit under error scaling", &policy_eval::table2_error_scaling());
-    io::report("table3_ibmq5", "IBM-Q5 noisy-simulator PST", &real_system::table3_ibmq5(2019));
-    io::report("table3_exact", "IBM-Q5 exact (density-matrix) PST", &real_system::table3_ibmq5_exact());
-    io::report("ext_topologies", "VQA+VQM benefit across topologies", &real_system::ext_topologies());
-    io::report("fig16_partitioning", "STPT of partitioning choices", &real_system::fig16_partitioning());
+    io::report(
+        "fig08_temporal",
+        "per-day error of strong/median/weak links",
+        &characterization::fig08_temporal(),
+    );
+    io::report(
+        "fig09_spatial",
+        "IBM-Q20 per-link failure map",
+        &characterization::fig09_spatial(),
+    );
+    io::report(
+        "table1_benchmarks",
+        "benchmark characteristics",
+        &policy_eval::table1_benchmarks(),
+    );
+    io::report(
+        "fig12_vqm",
+        "VQM relative PST vs baseline",
+        &policy_eval::fig12_vqm(),
+    );
+    io::report(
+        "fig13_policies",
+        "policy comparison (normalized PST)",
+        &policy_eval::fig13_policies(),
+    );
+    io::report(
+        "fig14_daily",
+        "bv-16 benefit across 52 daily calibrations",
+        &policy_eval::fig14_daily(),
+    );
+    io::report(
+        "table2_error_scaling",
+        "VQA+VQM benefit under error scaling",
+        &policy_eval::table2_error_scaling(),
+    );
+    io::report(
+        "table3_ibmq5",
+        "IBM-Q5 noisy-simulator PST",
+        &real_system::table3_ibmq5(2019),
+    );
+    io::report(
+        "table3_exact",
+        "IBM-Q5 exact (density-matrix) PST",
+        &real_system::table3_ibmq5_exact(),
+    );
+    io::report(
+        "ext_topologies",
+        "VQA+VQM benefit across topologies",
+        &real_system::ext_topologies(),
+    );
+    io::report(
+        "fig16_partitioning",
+        "STPT of partitioning choices",
+        &real_system::fig16_partitioning(),
+    );
 
     // ablations beyond the paper's own artifacts
     io::report("ablation_mah", "MAH budget sweep", &ablations::ablation_mah());
-    io::report("ablation_meeting_edge", "meeting-edge extension", &ablations::ablation_meeting_edge());
-    io::report("ablation_optimizer", "peephole optimizer pre-pass", &ablations::ablation_optimizer());
-    io::report("ablation_correlated", "benefit under correlated bursts", &ablations::ablation_correlated_errors());
-    io::report("ablation_readout", "readout-aware allocation", &ablations::ablation_readout());
-    io::report("ablation_crosstalk", "benefit under simultaneous-drive crosstalk", &ablations::ablation_crosstalk());
-    io::report("ablation_router", "router architecture comparison", &ablations::ablation_router());
-    io::report("section4_coherence", "gate vs coherence failure weights", &ablations::section4_coherence());
+    io::report(
+        "ablation_meeting_edge",
+        "meeting-edge extension",
+        &ablations::ablation_meeting_edge(),
+    );
+    io::report(
+        "ablation_optimizer",
+        "peephole optimizer pre-pass",
+        &ablations::ablation_optimizer(),
+    );
+    io::report(
+        "ablation_correlated",
+        "benefit under correlated bursts",
+        &ablations::ablation_correlated_errors(),
+    );
+    io::report(
+        "ablation_readout",
+        "readout-aware allocation",
+        &ablations::ablation_readout(),
+    );
+    io::report(
+        "ablation_crosstalk",
+        "benefit under simultaneous-drive crosstalk",
+        &ablations::ablation_crosstalk(),
+    );
+    io::report(
+        "ablation_router",
+        "router architecture comparison",
+        &ablations::ablation_router(),
+    );
+    io::report(
+        "section4_coherence",
+        "gate vs coherence failure weights",
+        &ablations::section4_coherence(),
+    );
     println!("All experiments regenerated into results/.");
     println!("(ext_convergence and ext_mirror are separate binaries: cargo run -p quva-bench --bin <name>)");
 }

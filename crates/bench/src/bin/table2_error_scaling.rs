@@ -2,5 +2,9 @@
 
 fn main() {
     let table = quva_bench::policy_eval::table2_error_scaling();
-    quva_bench::io::report("table2_error_scaling", "VQA+VQM benefit under error scaling", &table);
+    quva_bench::io::report(
+        "table2_error_scaling",
+        "VQA+VQM benefit under error scaling",
+        &table,
+    );
 }

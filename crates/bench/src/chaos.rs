@@ -1,6 +1,7 @@
 //! Fault-injection chaos harness for the compile pipeline.
 //!
-//! The pipeline (allocate → route → compile → simulate) must *degrade*,
+//! The pipeline (allocate → route → compile → verify → simulate) must
+//! *degrade*,
 //! never panic, under calibration faults: dead links, NaN or negative
 //! fields, error rates at or above one, spiked (valid but terrible)
 //! links, inverted coherence times, stale snapshots, and oversized
@@ -27,8 +28,7 @@ use quva::{MappingPolicy, Router};
 use quva_benchmarks::ghz;
 use quva_circuit::{Gate, PhysQubit};
 use quva_device::{
-    CalField, CalibrationGenerator, Device, RawCalibration, SanitizePolicy, Topology,
-    VariationProfile,
+    CalField, CalibrationGenerator, Device, RawCalibration, SanitizePolicy, Topology, VariationProfile,
 };
 use quva_sim::{monte_carlo_pst, CoherenceModel};
 use rand::rngs::StdRng;
@@ -111,23 +111,44 @@ impl FaultPlan {
 }
 
 fn random_fault(rng: &mut StdRng) -> Fault {
-    let fields = [CalField::T1, CalField::T2, CalField::Err1q, CalField::ErrReadout, CalField::Err2q];
+    let fields = [
+        CalField::T1,
+        CalField::T2,
+        CalField::Err1q,
+        CalField::ErrReadout,
+        CalField::Err2q,
+    ];
     match rng.random_range(0..9u32) {
-        0 => Fault::DropLink { nth: rng.random_range(0..64usize) },
-        1 => Fault::IsolateQubit { qubit: rng.random_range(0..32usize) },
-        2 => Fault::NanField { field: fields[rng.random_range(0..5usize)], index: rng.random_range(0..64usize) },
+        0 => Fault::DropLink {
+            nth: rng.random_range(0..64usize),
+        },
+        1 => Fault::IsolateQubit {
+            qubit: rng.random_range(0..32usize),
+        },
+        2 => Fault::NanField {
+            field: fields[rng.random_range(0..5usize)],
+            index: rng.random_range(0..64usize),
+        },
         3 => Fault::NegativeRate {
             field: [CalField::Err1q, CalField::ErrReadout, CalField::Err2q][rng.random_range(0..3usize)],
             index: rng.random_range(0..64usize),
         },
-        4 => Fault::SuperUnityRate { index: rng.random_range(0..64usize) },
+        4 => Fault::SuperUnityRate {
+            index: rng.random_range(0..64usize),
+        },
         5 => Fault::SpikeLinkError {
             index: rng.random_range(0..64usize),
             rate: 0.5 + rng.random_range(0..45u32) as f64 / 100.0,
         },
-        6 => Fault::InvertCoherence { qubit: rng.random_range(0..32usize) },
-        7 => Fault::StaleSnapshot { days: rng.random_range(1..60usize) },
-        _ => Fault::OversizedCircuit { extra: rng.random_range(1..8usize) },
+        6 => Fault::InvertCoherence {
+            qubit: rng.random_range(0..32usize),
+        },
+        7 => Fault::StaleSnapshot {
+            days: rng.random_range(1..60usize),
+        },
+        _ => Fault::OversizedCircuit {
+            extra: rng.random_range(1..8usize),
+        },
     }
 }
 
@@ -135,8 +156,8 @@ fn random_fault(rng: &mut StdRng) -> Fault {
 /// `Err` the typed error's message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageResult {
-    /// Stage name: `sanitize`, `allocate`, `route`, `compile`, or
-    /// `simulate`.
+    /// Stage name: `sanitize`, `allocate`, `route`, `compile`,
+    /// `verify`, or `simulate`.
     pub stage: &'static str,
     /// What happened.
     pub outcome: Result<String, String>,
@@ -168,7 +189,12 @@ impl ChaosRun {
 
 impl fmt::Display for ChaosRun {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "chaos seed {} with {} fault(s):", self.plan.seed, self.plan.faults.len())?;
+        writeln!(
+            f,
+            "chaos seed {} with {} fault(s):",
+            self.plan.seed,
+            self.plan.faults.len()
+        )?;
         for s in &self.stages {
             match &s.outcome {
                 Ok(msg) => writeln!(f, "  {:<9} ok   {msg}", s.stage)?,
@@ -215,7 +241,11 @@ pub fn run_chaos(plan: &FaultPlan, policy: MappingPolicy) -> ChaosRun {
                 stage: "sanitize",
                 outcome: Err(rejected.to_string()),
             });
-            return ChaosRun { plan: plan.clone(), stages, repaired_fields: 0 };
+            return ChaosRun {
+                plan: plan.clone(),
+                stages,
+                repaired_fields: 0,
+            };
         }
     };
     let repaired_fields = report.repaired();
@@ -228,8 +258,15 @@ pub fn run_chaos(plan: &FaultPlan, policy: MappingPolicy) -> ChaosRun {
     let mut device = match Device::from_parts(topo, cal) {
         Ok(d) => d,
         Err(e) => {
-            stages.push(StageResult { stage: "sanitize", outcome: Err(e.to_string()) });
-            return ChaosRun { plan: plan.clone(), stages, repaired_fields };
+            stages.push(StageResult {
+                stage: "sanitize",
+                outcome: Err(e.to_string()),
+            });
+            return ChaosRun {
+                plan: plan.clone(),
+                stages,
+                repaired_fields,
+            };
         }
     };
     for fault in &plan.faults {
@@ -253,7 +290,10 @@ pub fn run_chaos(plan: &FaultPlan, policy: MappingPolicy) -> ChaosRun {
     let mapping = policy.allocation.allocate(&circuit, &device);
     stages.push(StageResult {
         stage: "allocate",
-        outcome: mapping.as_ref().map(|m| format!("{} qubits placed", m.num_prog())).map_err(Clone::clone),
+        outcome: mapping
+            .as_ref()
+            .map(|m| format!("{} qubits placed", m.num_prog()))
+            .map_err(Clone::clone),
     });
 
     // stage: route — plan a movement for the first separated CNOT
@@ -273,7 +313,10 @@ pub fn run_chaos(plan: &FaultPlan, policy: MappingPolicy) -> ChaosRun {
                 .map_err(|e| e.to_string()),
             None => Ok("all pairs already adjacent".to_string()),
         };
-        stages.push(StageResult { stage: "route", outcome });
+        stages.push(StageResult {
+            stage: "route",
+            outcome,
+        });
     }
 
     // stage: compile
@@ -286,16 +329,43 @@ pub fn run_chaos(plan: &FaultPlan, policy: MappingPolicy) -> ChaosRun {
             .map_err(|e| e.to_string()),
     });
 
-    // stage: simulate
+    // stage: verify — whatever survives compilation must also pass
+    // static verification, faults or not
     if let Ok(compiled) = &compiled {
-        let outcome =
-            monte_carlo_pst(&device, compiled.physical(), 500, plan.seed, CoherenceModel::IdleWindow)
-                .map(|r| format!("PST {:.4}", r.pst))
-                .map_err(|e| e.to_string());
-        stages.push(StageResult { stage: "simulate", outcome });
+        let report = quva_analysis::verify_compiled(&circuit, &device, compiled);
+        let outcome = if report.is_clean() {
+            Ok(format!("clean ({} warning(s))", report.warning_count()))
+        } else {
+            Err(report.render_text())
+        };
+        stages.push(StageResult {
+            stage: "verify",
+            outcome,
+        });
     }
 
-    ChaosRun { plan: plan.clone(), stages, repaired_fields }
+    // stage: simulate
+    if let Ok(compiled) = &compiled {
+        let outcome = monte_carlo_pst(
+            &device,
+            compiled.physical(),
+            500,
+            plan.seed,
+            CoherenceModel::IdleWindow,
+        )
+        .map(|r| format!("PST {:.4}", r.pst))
+        .map_err(|e| e.to_string());
+        stages.push(StageResult {
+            stage: "simulate",
+            outcome,
+        });
+    }
+
+    ChaosRun {
+        plan: plan.clone(),
+        stages,
+        repaired_fields,
+    }
 }
 
 fn table_of(raw: &mut RawCalibration, field: CalField) -> &mut Vec<f64> {
@@ -370,8 +440,20 @@ fn apply_link_fault(device: &mut Device, fault: Fault) {
 /// per fault kind plus combined stress cases.
 pub fn scenarios() -> Vec<(&'static str, FaultPlan)> {
     vec![
-        ("dead-link", FaultPlan { seed: 1, faults: vec![Fault::DropLink { nth: 3 }] }),
-        ("isolated-qubit", FaultPlan { seed: 2, faults: vec![Fault::IsolateQubit { qubit: 7 }] }),
+        (
+            "dead-link",
+            FaultPlan {
+                seed: 1,
+                faults: vec![Fault::DropLink { nth: 3 }],
+            },
+        ),
+        (
+            "isolated-qubit",
+            FaultPlan {
+                seed: 2,
+                faults: vec![Fault::IsolateQubit { qubit: 7 }],
+            },
+        ),
         (
             "split-device",
             FaultPlan {
@@ -381,32 +463,68 @@ pub fn scenarios() -> Vec<(&'static str, FaultPlan)> {
         ),
         (
             "nan-2q-error",
-            FaultPlan { seed: 4, faults: vec![Fault::NanField { field: CalField::Err2q, index: 5 }] },
+            FaultPlan {
+                seed: 4,
+                faults: vec![Fault::NanField {
+                    field: CalField::Err2q,
+                    index: 5,
+                }],
+            },
         ),
         (
             "nan-coherence",
-            FaultPlan { seed: 5, faults: vec![Fault::NanField { field: CalField::T1, index: 0 }] },
+            FaultPlan {
+                seed: 5,
+                faults: vec![Fault::NanField {
+                    field: CalField::T1,
+                    index: 0,
+                }],
+            },
         ),
         (
             "negative-readout",
             FaultPlan {
                 seed: 6,
-                faults: vec![Fault::NegativeRate { field: CalField::ErrReadout, index: 2 }],
+                faults: vec![Fault::NegativeRate {
+                    field: CalField::ErrReadout,
+                    index: 2,
+                }],
             },
         ),
-        ("super-unity-2q", FaultPlan { seed: 7, faults: vec![Fault::SuperUnityRate { index: 4 }] }),
+        (
+            "super-unity-2q",
+            FaultPlan {
+                seed: 7,
+                faults: vec![Fault::SuperUnityRate { index: 4 }],
+            },
+        ),
         (
             "spiked-weak-link",
-            FaultPlan { seed: 8, faults: vec![Fault::SpikeLinkError { index: 0, rate: 0.6 }] },
+            FaultPlan {
+                seed: 8,
+                faults: vec![Fault::SpikeLinkError { index: 0, rate: 0.6 }],
+            },
         ),
         (
             "inverted-coherence",
-            FaultPlan { seed: 9, faults: vec![Fault::InvertCoherence { qubit: 3 }] },
+            FaultPlan {
+                seed: 9,
+                faults: vec![Fault::InvertCoherence { qubit: 3 }],
+            },
         ),
-        ("stale-snapshot", FaultPlan { seed: 10, faults: vec![Fault::StaleSnapshot { days: 45 }] }),
+        (
+            "stale-snapshot",
+            FaultPlan {
+                seed: 10,
+                faults: vec![Fault::StaleSnapshot { days: 45 }],
+            },
+        ),
         (
             "oversized-circuit",
-            FaultPlan { seed: 11, faults: vec![Fault::OversizedCircuit { extra: 4 }] },
+            FaultPlan {
+                seed: 11,
+                faults: vec![Fault::OversizedCircuit { extra: 4 }],
+            },
         ),
         (
             "kitchen-sink",
@@ -414,7 +532,10 @@ pub fn scenarios() -> Vec<(&'static str, FaultPlan)> {
                 seed: 12,
                 faults: vec![
                     Fault::DropLink { nth: 1 },
-                    Fault::NanField { field: CalField::Err2q, index: 9 },
+                    Fault::NanField {
+                        field: CalField::Err2q,
+                        index: 9,
+                    },
                     Fault::SpikeLinkError { index: 2, rate: 0.9 },
                     Fault::InvertCoherence { qubit: 14 },
                     Fault::StaleSnapshot { days: 10 },
@@ -447,7 +568,8 @@ mod tests {
         for (name, plan) in scenarios() {
             for policy in policies() {
                 let result = catch_unwind(AssertUnwindSafe(|| run_chaos(&plan, policy)));
-                let run = result.unwrap_or_else(|_| panic!("scenario '{name}' panicked under {}", policy.name()));
+                let run =
+                    result.unwrap_or_else(|_| panic!("scenario '{name}' panicked under {}", policy.name()));
                 assert!(!run.stages.is_empty(), "scenario '{name}' recorded no stages");
             }
         }
@@ -460,7 +582,10 @@ mod tests {
 
     #[test]
     fn clean_run_succeeds_end_to_end() {
-        let plan = FaultPlan { seed: 0, faults: vec![] };
+        let plan = FaultPlan {
+            seed: 0,
+            faults: vec![],
+        };
         let run = run_chaos(&plan, MappingPolicy::vqa_vqm());
         assert!(run.fully_succeeded(), "{run}");
         assert_eq!(run.repaired_fields, 0);
@@ -507,8 +632,17 @@ mod tests {
 
     #[test]
     fn corrupted_fields_are_repaired_then_compile_succeeds() {
-        for name in ["nan-2q-error", "nan-coherence", "negative-readout", "super-unity-2q"] {
-            let plan = scenarios().into_iter().find(|(n, _)| *n == name).map(|(_, p)| p).unwrap();
+        for name in [
+            "nan-2q-error",
+            "nan-coherence",
+            "negative-readout",
+            "super-unity-2q",
+        ] {
+            let plan = scenarios()
+                .into_iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, p)| p)
+                .unwrap();
             let run = run_chaos(&plan, MappingPolicy::vqa_vqm());
             assert!(run.repaired_fields >= 1, "{name}: no repairs recorded\n{run}");
             assert!(run.fully_succeeded(), "{name}: {run}");
@@ -517,9 +651,37 @@ mod tests {
 
     #[test]
     fn spiked_link_still_compiles_and_vqm_avoids_it() {
-        let plan = FaultPlan { seed: 8, faults: vec![Fault::SpikeLinkError { index: 0, rate: 0.6 }] };
+        let plan = FaultPlan {
+            seed: 8,
+            faults: vec![Fault::SpikeLinkError { index: 0, rate: 0.6 }],
+        };
         let run = run_chaos(&plan, MappingPolicy::vqm());
         assert!(run.fully_succeeded(), "{run}");
+    }
+
+    /// Whenever compilation survives a fault plan, the compiled output
+    /// must still pass static verification: faults may abort the
+    /// pipeline, never corrupt what it emits.
+    #[test]
+    fn surviving_compiles_verify_clean() {
+        for (name, plan) in scenarios() {
+            for policy in policies() {
+                let run = run_chaos(&plan, policy);
+                if run.stage("compile").is_some_and(|s| s.outcome.is_ok()) {
+                    let verify = run.stage("verify").unwrap_or_else(|| {
+                        panic!(
+                            "scenario '{name}' compiled but never verified under {}",
+                            policy.name()
+                        )
+                    });
+                    assert!(
+                        verify.outcome.is_ok(),
+                        "scenario '{name}' under {}: {run}",
+                        policy.name()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -33,9 +33,30 @@ pub fn fig05_coherence() -> (Table, Histogram, Histogram) {
     let mut h2 = Histogram::new(0.0, 125.0, 25);
     h2.extend(t2.iter().copied());
 
-    let mut table = Table::new(["metric", "paper_mean", "paper_std", "measured_mean", "measured_std", "samples"]);
-    table.row(["T1_us", "80.32", "35.23", &fmt3(mean(&t1)), &fmt3(std_dev(&t1)), &t1.len().to_string()]);
-    table.row(["T2_us", "42.13", "13.34", &fmt3(mean(&t2)), &fmt3(std_dev(&t2)), &t2.len().to_string()]);
+    let mut table = Table::new([
+        "metric",
+        "paper_mean",
+        "paper_std",
+        "measured_mean",
+        "measured_std",
+        "samples",
+    ]);
+    table.row([
+        "T1_us",
+        "80.32",
+        "35.23",
+        &fmt3(mean(&t1)),
+        &fmt3(std_dev(&t1)),
+        &t1.len().to_string(),
+    ]);
+    table.row([
+        "T2_us",
+        "42.13",
+        "13.34",
+        &fmt3(mean(&t2)),
+        &fmt3(std_dev(&t2)),
+        &t2.len().to_string(),
+    ]);
     (table, h1, h2)
 }
 
@@ -43,7 +64,10 @@ pub fn fig05_coherence() -> (Table, Histogram, Histogram) {
 /// The paper reports "a large fraction below 1 %".
 pub fn fig06_error1q() -> (Table, Histogram) {
     let (_, cals) = snapshots();
-    let e1q_pct: Vec<f64> = cals.iter().flat_map(|c| c.one_qubit_errors().iter().map(|e| e * 100.0).collect::<Vec<_>>()).collect();
+    let e1q_pct: Vec<f64> = cals
+        .iter()
+        .flat_map(|c| c.one_qubit_errors().iter().map(|e| e * 100.0).collect::<Vec<_>>())
+        .collect();
     let mut h = Histogram::new(0.0, 4.0, 40);
     h.extend(e1q_pct.iter().copied());
     let below_1pct = e1q_pct.iter().filter(|&&e| e < 1.0).count() as f64 / e1q_pct.len() as f64;
@@ -60,7 +84,10 @@ pub fn fig06_error1q() -> (Table, Histogram) {
 /// undirected links × 100 snapshots. Paper: mean 4.3 %, σ 3.02 %.
 pub fn fig07_error2q() -> (Table, Histogram) {
     let (_, cals) = snapshots();
-    let e2q_pct: Vec<f64> = cals.iter().flat_map(|c| c.two_qubit_errors().iter().map(|e| e * 100.0).collect::<Vec<_>>()).collect();
+    let e2q_pct: Vec<f64> = cals
+        .iter()
+        .flat_map(|c| c.two_qubit_errors().iter().map(|e| e * 100.0).collect::<Vec<_>>())
+        .collect();
     let mut h = Histogram::new(0.0, 20.0, 40);
     h.extend(e2q_pct.iter().copied());
 
@@ -81,7 +108,8 @@ pub fn fig08_temporal() -> Table {
 
     // rank links by mean error over the window
     let num_links = topo.num_links();
-    let mean_of = |id: usize| -> f64 { mean(&days.iter().map(|d| d.two_qubit_error(id)).collect::<Vec<_>>()) };
+    let mean_of =
+        |id: usize| -> f64 { mean(&days.iter().map(|d| d.two_qubit_error(id)).collect::<Vec<_>>()) };
     let mut ids: Vec<usize> = (0..num_links).collect();
     ids.sort_by(|&a, &b| mean_of(a).total_cmp(&mean_of(b)));
     let (strong, median_link, weak) = (ids[0], ids[num_links / 2], ids[num_links - 1]);
@@ -175,7 +203,10 @@ mod tests {
                 strong_wins += 1;
             }
         }
-        assert!(strong_wins >= 22, "strong link beat weak on only {strong_wins}/25 days");
+        assert!(
+            strong_wins >= 22,
+            "strong link beat weak on only {strong_wins}/25 days"
+        );
     }
 
     #[test]

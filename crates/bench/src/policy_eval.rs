@@ -67,7 +67,14 @@ pub fn table1_benchmarks() -> Table {
 /// baseline, per Table 1 workload.
 pub fn fig12_vqm() -> Table {
     let device = Device::ibm_q20();
-    let mut table = Table::new(["benchmark", "baseline", "VQM", "VQM_MAH4", "rel_VQM", "rel_VQM_MAH4"]);
+    let mut table = Table::new([
+        "benchmark",
+        "baseline",
+        "VQM",
+        "VQM_MAH4",
+        "rel_VQM",
+        "rel_VQM_MAH4",
+    ]);
     for b in table1_suite() {
         let base = pst_of(MappingPolicy::baseline(), &b, &device);
         let vqm = pst_of(MappingPolicy::vqm(), &b, &device);
@@ -103,8 +110,9 @@ pub fn fig13_policies() -> Table {
     ]);
     for b in table1_suite() {
         let base = pst_of(MappingPolicy::baseline(), &b, &device);
-        let natives: Vec<f64> =
-            (0..NATIVE_SEEDS).map(|s| pst_of(MappingPolicy::native(s), &b, &device) / base).collect();
+        let natives: Vec<f64> = (0..NATIVE_SEEDS)
+            .map(|s| pst_of(MappingPolicy::native(s), &b, &device) / base)
+            .collect();
         let vqm = pst_of(MappingPolicy::vqm(), &b, &device) / base;
         let vqa_vqm = pst_of(MappingPolicy::vqa_vqm(), &b, &device) / base;
         let nmin = natives.iter().copied().fold(f64::INFINITY, f64::min);
@@ -133,7 +141,13 @@ pub fn fig14_daily() -> Table {
     let days = gen.daily_series(&topo, DAYS);
     let bench = Benchmark::bv(16);
 
-    let mut table = Table::new(["day", "variation_cov", "baseline_pst", "vqa_vqm_pst", "relative_benefit"]);
+    let mut table = Table::new([
+        "day",
+        "variation_cov",
+        "baseline_pst",
+        "vqa_vqm_pst",
+        "relative_benefit",
+    ]);
     let mut benefits = Vec::with_capacity(DAYS);
     let mut covs = Vec::with_capacity(DAYS);
     for (d, cal) in days.into_iter().enumerate() {
@@ -143,12 +157,30 @@ pub fn fig14_daily() -> Table {
         let aware = pst_of(MappingPolicy::vqa_vqm(), &bench, &device);
         benefits.push(aware / base);
         covs.push(cov);
-        table.row([d.to_string(), fmt3(cov), fmt3(base), fmt3(aware), fmt_ratio(aware / base)]);
+        table.row([
+            d.to_string(),
+            fmt3(cov),
+            fmt3(base),
+            fmt3(aware),
+            fmt_ratio(aware / base),
+        ]);
     }
-    table.row(["average".into(), "".into(), "".into(), "".into(), fmt_ratio(mean(&benefits))]);
+    table.row([
+        "average".into(),
+        "".into(),
+        "".into(),
+        "".into(),
+        fmt_ratio(mean(&benefits)),
+    ]);
     // §6.5's claim quantified: benefit tracks the day's variability
     let r = quva_stats::pearson(&covs, &benefits).unwrap_or(0.0);
-    table.row(["corr(cov,benefit)".into(), "".into(), "".into(), "".into(), fmt3(r)]);
+    table.row([
+        "corr(cov,benefit)".into(),
+        "".into(),
+        "".into(),
+        "".into(),
+        fmt3(r),
+    ]);
     table
 }
 
@@ -170,7 +202,12 @@ pub fn table2_error_scaling() -> Table {
         (
             "10x lower, 2*Cov-Base",
             device
-                .with_calibration(device.calibration().with_errors_scaled(0.1).with_two_qubit_cov_scaled(2.0))
+                .with_calibration(
+                    device
+                        .calibration()
+                        .with_errors_scaled(0.1)
+                        .with_two_qubit_cov_scaled(2.0),
+                )
                 .expect("scaling preserves shape"),
         ),
     ];
@@ -210,7 +247,12 @@ mod tests {
                 .parse()
                 .unwrap()
         };
-        assert!(swaps("rnd-LD") > swaps("rnd-SD"), "LD {} vs SD {}", swaps("rnd-LD"), swaps("rnd-SD"));
+        assert!(
+            swaps("rnd-LD") > swaps("rnd-SD"),
+            "LD {} vs SD {}",
+            swaps("rnd-LD"),
+            swaps("rnd-SD")
+        );
     }
 
     #[test]
@@ -249,7 +291,12 @@ mod tests {
             .collect();
         assert_eq!(rows.len(), 3);
         // doubling the CoV must not shrink the benefit
-        assert!(rows[2] >= rows[1] * 0.95, "2xCov {} vs 1xCov {}", rows[2], rows[1]);
+        assert!(
+            rows[2] >= rows[1] * 0.95,
+            "2xCov {} vs 1xCov {}",
+            rows[2],
+            rows[1]
+        );
         // every scenario shows a benefit
         for (i, r) in rows.iter().enumerate() {
             assert!(*r >= 1.0, "scenario {i} benefit {r}");

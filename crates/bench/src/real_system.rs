@@ -48,9 +48,19 @@ pub fn table3_ibmq5(seed: u64) -> Table {
         let base = pst(MappingPolicy::baseline());
         let aware = pst(MappingPolicy::vqa_vqm());
         benefits.push(aware / base);
-        table.row([b.name().to_string(), fmt3(base), fmt3(aware), fmt_ratio(aware / base)]);
+        table.row([
+            b.name().to_string(),
+            fmt3(base),
+            fmt3(aware),
+            fmt_ratio(aware / base),
+        ]);
     }
-    table.row(["GeoMean".into(), "".into(), "".into(), fmt_ratio(geomean(&benefits))]);
+    table.row([
+        "GeoMean".into(),
+        "".into(),
+        "".into(),
+        fmt_ratio(geomean(&benefits)),
+    ]);
     table
 }
 
@@ -81,9 +91,19 @@ pub fn table3_ibmq5_exact() -> Table {
         let base = pst(MappingPolicy::baseline());
         let aware = pst(MappingPolicy::vqa_vqm());
         benefits.push(aware / base);
-        table.row([b.name().to_string(), fmt3(base), fmt3(aware), fmt_ratio(aware / base)]);
+        table.row([
+            b.name().to_string(),
+            fmt3(base),
+            fmt3(aware),
+            fmt_ratio(aware / base),
+        ]);
     }
-    table.row(["GeoMean".into(), "".into(), "".into(), fmt_ratio(geomean(&benefits))]);
+    table.row([
+        "GeoMean".into(),
+        "".into(),
+        "".into(),
+        fmt_ratio(geomean(&benefits)),
+    ]);
     table
 }
 
@@ -99,7 +119,14 @@ pub fn ext_topologies() -> Table {
         Topology::grid(4, 5),
         Topology::heavy_hex(4, 5),
     ];
-    let mut table = Table::new(["topology", "qubits", "links", "baseline_pst", "vqa_vqm_pst", "benefit"]);
+    let mut table = Table::new([
+        "topology",
+        "qubits",
+        "links",
+        "baseline_pst",
+        "vqa_vqm_pst",
+        "benefit",
+    ]);
     for topo in topologies {
         let mut gen = CalibrationGenerator::new(VariationProfile::ibm_q20_paper(), 4);
         let cal = gen.snapshot(&topo);
@@ -132,12 +159,22 @@ pub fn ext_topologies() -> Table {
 /// (10-qubit workloads on IBM-Q20).
 pub fn fig16_partitioning() -> Table {
     let device = Device::ibm_q20();
-    let mut table =
-        Table::new(["benchmark", "stpt_two_copies", "stpt_one_strong", "norm_two", "norm_one", "winner"]);
+    let mut table = Table::new([
+        "benchmark",
+        "stpt_two_copies",
+        "stpt_one_strong",
+        "norm_two",
+        "norm_one",
+        "winner",
+    ]);
     for b in partition_suite() {
-        let report =
-            partition_analysis(b.circuit(), &device, MappingPolicy::vqa_vqm(), CoherenceModel::IdleWindow)
-                .unwrap_or_else(|e| panic!("partitioning failed on {}: {e}", b.name()));
+        let report = partition_analysis(
+            b.circuit(),
+            &device,
+            MappingPolicy::vqa_vqm(),
+            CoherenceModel::IdleWindow,
+        )
+        .unwrap_or_else(|e| panic!("partitioning failed on {}: {e}", b.name()));
         let two = report.stpt_two();
         let one = report.stpt_one();
         let denom = if two > 0.0 { two } else { 1.0 };
@@ -195,7 +232,13 @@ mod tests {
         let sampled = table3_ibmq5(5);
         let exact = table3_ibmq5_exact();
         // per-benchmark PSTs within sampling tolerance
-        for (s_line, e_line) in sampled.to_csv().lines().skip(1).zip(exact.to_csv().lines().skip(1)).take(4) {
+        for (s_line, e_line) in sampled
+            .to_csv()
+            .lines()
+            .skip(1)
+            .zip(exact.to_csv().lines().skip(1))
+            .take(4)
+        {
             let s: Vec<&str> = s_line.split(',').collect();
             let e: Vec<&str> = e_line.split(',').collect();
             assert_eq!(s[0], e[0]);
@@ -226,4 +269,3 @@ mod tests {
         }
     }
 }
-

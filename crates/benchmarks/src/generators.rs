@@ -26,7 +26,10 @@ use rand::{Rng, SeedableRng};
 pub fn bv_with_secret(n: usize, secret: u64) -> Circuit {
     assert!(n >= 2, "Bernstein–Vazirani needs a data qubit and an ancilla");
     let data = n - 1;
-    assert!(secret < (1u64 << data), "secret has bits beyond the data register");
+    assert!(
+        secret < (1u64 << data),
+        "secret has bits beyond the data register"
+    );
     let mut c = Circuit::new(n);
     let ancilla = Qubit((n - 1) as u32);
     // |-> on the ancilla
@@ -249,7 +252,11 @@ pub fn rnd(n: usize, num_cnots: usize, distance: RandDistance, seed: u64) -> Cir
                 RandDistance::Short => rng.random_range(1..=2usize),
                 RandDistance::Long => rng.random_range(n / 4..n),
             };
-            let b = if rng.random::<bool>() { a + d } else { a.wrapping_sub(d) };
+            let b = if rng.random::<bool>() {
+                a + d
+            } else {
+                a.wrapping_sub(d)
+            };
             if b < n && b != a {
                 break (a, b);
             }
@@ -447,7 +454,11 @@ mod tests {
     fn qft_table1_scale() {
         // Table 1: qft-12 has ~344 instructions — ours lands in that band
         let c = qft(12);
-        assert!((300..400).contains(&c.op_count()), "qft-12 op count {}", c.op_count());
+        assert!(
+            (300..400).contains(&c.op_count()),
+            "qft-12 op count {}",
+            c.op_count()
+        );
     }
 
     #[test]
@@ -456,7 +467,11 @@ mod tests {
         assert_eq!(c.num_qubits(), 10);
         // Table 1 lists 299 instructions in IBM's u1/u2/u3+cx basis; our
         // compact Toffoli decomposition lands lower but same order.
-        assert!((120..350).contains(&c.op_count()), "alu op count {}", c.op_count());
+        assert!(
+            (120..350).contains(&c.op_count()),
+            "alu op count {}",
+            c.op_count()
+        );
         // 8 toffolis x 6 CX + 2 CX per MAJ/UMA + carry CX
         assert_eq!(c.cnot_count(), 8 * 6 + 8 * 2 + 1);
     }

@@ -27,5 +27,7 @@
 mod generators;
 mod suite;
 
-pub use generators::{alu, alu_adder, bv, bv_with_secret, ghz, grover2, mirror, qft, rnd, triswap, w_state, RandDistance};
+pub use generators::{
+    alu, alu_adder, bv, bv_with_secret, ghz, grover2, mirror, qft, rnd, triswap, w_state, RandDistance,
+};
 pub use suite::{ibm_q5_suite, partition_suite, table1_suite, Benchmark};

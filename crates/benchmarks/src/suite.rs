@@ -27,7 +27,11 @@ impl Benchmark {
     /// Bundles a circuit under a display name with an optional accepted
     /// outcome set.
     pub fn new(name: impl Into<String>, circuit: Circuit, accepted: Option<Vec<u64>>) -> Self {
-        Benchmark { name: name.into(), circuit, accepted }
+        Benchmark {
+            name: name.into(),
+            circuit,
+            accepted,
+        }
     }
 
     /// The display name used in tables ("bv-16", "qft-12", ...).
@@ -102,12 +106,20 @@ impl Benchmark {
 
     /// Random short-distance CNOT kernel (`rnd-SD`).
     pub fn rnd_sd(n: usize, num_cnots: usize, seed: u64) -> Self {
-        Benchmark::new("rnd-SD", generators::rnd(n, num_cnots, RandDistance::Short, seed), None)
+        Benchmark::new(
+            "rnd-SD",
+            generators::rnd(n, num_cnots, RandDistance::Short, seed),
+            None,
+        )
     }
 
     /// Random long-distance CNOT kernel (`rnd-LD`).
     pub fn rnd_ld(n: usize, num_cnots: usize, seed: u64) -> Self {
-        Benchmark::new("rnd-LD", generators::rnd(n, num_cnots, RandDistance::Long, seed), None)
+        Benchmark::new(
+            "rnd-LD",
+            generators::rnd(n, num_cnots, RandDistance::Long, seed),
+            None,
+        )
     }
 
     /// 2-qubit Grover search for `marked`; the only ideal outcome is the
@@ -117,7 +129,11 @@ impl Benchmark {
     ///
     /// Panics if `marked > 3`.
     pub fn grover2(marked: u64) -> Self {
-        Benchmark::new(format!("grover2-{marked}"), generators::grover2(marked), Some(vec![marked]))
+        Benchmark::new(
+            format!("grover2-{marked}"),
+            generators::grover2(marked),
+            Some(vec![marked]),
+        )
     }
 
     /// `n`-qubit W state; ideal outcomes are the `n` one-hot strings.
@@ -172,7 +188,12 @@ pub fn table1_suite() -> Vec<Benchmark> {
 
 /// The §7 IBM-Q5 workloads: bv-3, bv-4, TriSwap, GHZ-3.
 pub fn ibm_q5_suite() -> Vec<Benchmark> {
-    vec![Benchmark::bv(3), Benchmark::bv(4), Benchmark::triswap(), Benchmark::ghz(3)]
+    vec![
+        Benchmark::bv(3),
+        Benchmark::bv(4),
+        Benchmark::triswap(),
+        Benchmark::ghz(3),
+    ]
 }
 
 /// The §8 partitioning workloads, modified to 10 program qubits:
@@ -230,7 +251,10 @@ mod tests {
     fn table1_names_and_sizes() {
         let suite = table1_suite();
         let names: Vec<&str> = suite.iter().map(Benchmark::name).collect();
-        assert_eq!(names, ["alu", "bv-16", "bv-20", "qft-12", "qft-14", "rnd-SD", "rnd-LD"]);
+        assert_eq!(
+            names,
+            ["alu", "bv-16", "bv-20", "qft-12", "qft-14", "rnd-SD", "rnd-LD"]
+        );
         assert_eq!(suite[0].circuit().num_qubits(), 10);
         assert_eq!(suite[2].circuit().num_qubits(), 20);
         assert_eq!(suite[5].circuit().num_qubits(), 20);

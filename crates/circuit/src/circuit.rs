@@ -3,7 +3,6 @@
 use std::fmt;
 use std::hash::Hash;
 
-
 use crate::gate::{Gate, OneQubitKind};
 use crate::qubit::{Cbit, PhysQubit, Qubit};
 
@@ -11,9 +10,7 @@ use crate::qubit::{Cbit, PhysQubit, Qubit};
 ///
 /// Implemented for [`Qubit`] (program circuits) and [`PhysQubit`] (routed
 /// circuits). External implementations are possible but rarely needed.
-pub trait QubitId:
-    Copy + Eq + Hash + Ord + fmt::Debug + fmt::Display + Send + Sync + 'static
-{
+pub trait QubitId: Copy + Eq + Hash + Ord + fmt::Debug + fmt::Display + Send + Sync + 'static {
     /// The raw index of the qubit.
     fn index(self) -> usize;
     /// Builds the qubit with the given raw index.
@@ -77,7 +74,11 @@ impl<Q: QubitId> Circuit<Q> {
 
     /// Creates an empty circuit with an explicit classical register size.
     pub fn with_cbits(num_qubits: usize, num_cbits: usize) -> Self {
-        Circuit { num_qubits, num_cbits, gates: Vec::new() }
+        Circuit {
+            num_qubits,
+            num_cbits,
+            gates: Vec::new(),
+        }
     }
 
     /// The number of qubits in the quantum register.
@@ -136,8 +137,14 @@ impl<Q: QubitId> Circuit<Q> {
     ///
     /// Panics if `other` uses more qubits or classical bits than `self`.
     pub fn append(&mut self, other: &Circuit<Q>) -> &mut Self {
-        assert!(other.num_qubits <= self.num_qubits, "appended circuit uses more qubits");
-        assert!(other.num_cbits <= self.num_cbits, "appended circuit uses more classical bits");
+        assert!(
+            other.num_qubits <= self.num_qubits,
+            "appended circuit uses more qubits"
+        );
+        assert!(
+            other.num_cbits <= self.num_cbits,
+            "appended circuit uses more classical bits"
+        );
         for g in &other.gates {
             self.push(g.clone());
         }
@@ -235,7 +242,10 @@ impl<Q: QubitId> Circuit<Q> {
     ///
     /// Panics if the classical register is smaller than the quantum one.
     pub fn measure_all(&mut self) -> &mut Self {
-        assert!(self.num_cbits >= self.num_qubits, "classical register too small for measure_all");
+        assert!(
+            self.num_cbits >= self.num_qubits,
+            "classical register too small for measure_all"
+        );
         for i in 0..self.num_qubits {
             self.measure(Q::from_index(i), Cbit(i as u32));
         }
@@ -250,12 +260,18 @@ impl<Q: QubitId> Circuit<Q> {
 
     /// Count of CNOT gates.
     pub fn cnot_count(&self) -> usize {
-        self.gates.iter().filter(|g| matches!(g, Gate::Cnot { .. })).count()
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::Cnot { .. }))
+            .count()
     }
 
     /// Count of SWAP gates.
     pub fn swap_count(&self) -> usize {
-        self.gates.iter().filter(|g| matches!(g, Gate::Swap { .. })).count()
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::Swap { .. }))
+            .count()
     }
 
     /// Count of gates touching two qubits (CNOT + SWAP).
@@ -265,7 +281,10 @@ impl<Q: QubitId> Circuit<Q> {
 
     /// Count of single-qubit gates.
     pub fn one_qubit_gate_count(&self) -> usize {
-        self.gates.iter().filter(|g| matches!(g, Gate::OneQubit { .. })).count()
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::OneQubit { .. }))
+            .count()
     }
 
     /// Count of measurement operations.
@@ -358,7 +377,10 @@ impl<Q: QubitId> Circuit<Q> {
         let mut out = Circuit::with_cbits(self.num_qubits, self.num_cbits);
         for (idx, gate) in self.gates.iter().enumerate().rev() {
             let inv = match gate {
-                Gate::OneQubit { kind, qubit } => Gate::OneQubit { kind: kind.inverse(), qubit: *qubit },
+                Gate::OneQubit { kind, qubit } => Gate::OneQubit {
+                    kind: kind.inverse(),
+                    qubit: *qubit,
+                },
                 Gate::Cnot { .. } | Gate::Swap { .. } | Gate::Barrier { .. } => gate.clone(),
                 Gate::Measure { .. } => return Err(idx),
             };
@@ -370,7 +392,12 @@ impl<Q: QubitId> Circuit<Q> {
 
 impl<Q: QubitId> fmt::Display for Circuit<Q> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit[{} qubits, {} gates]", self.num_qubits, self.gates.len())?;
+        writeln!(
+            f,
+            "circuit[{} qubits, {} gates]",
+            self.num_qubits,
+            self.gates.len()
+        )?;
         for g in &self.gates {
             writeln!(f, "  {g};")?;
         }
@@ -498,7 +525,10 @@ mod tests {
     #[test]
     fn extend_from_iterator() {
         let mut c = Circuit::new(2);
-        c.extend(vec![Gate::one(OneQubitKind::H, Qubit(0)), Gate::cnot(Qubit(0), Qubit(1))]);
+        c.extend(vec![
+            Gate::one(OneQubitKind::H, Qubit(0)),
+            Gate::cnot(Qubit(0), Qubit(1)),
+        ]);
         assert_eq!(c.len(), 2);
     }
 
@@ -530,7 +560,10 @@ mod tests {
     #[test]
     fn inverse_of_inverse_is_original() {
         let mut c = Circuit::new(3);
-        c.h(Qubit(0)).t(Qubit(1)).swap(Qubit(1), Qubit(2)).cnot(Qubit(0), Qubit(2));
+        c.h(Qubit(0))
+            .t(Qubit(1))
+            .swap(Qubit(1), Qubit(2))
+            .cnot(Qubit(0), Qubit(2));
         assert_eq!(c.inverse().unwrap().inverse().unwrap(), c);
     }
 

@@ -119,17 +119,15 @@ impl GateDag {
 
     /// One longest dependency chain, front to back.
     pub fn critical_path(&self) -> Vec<usize> {
-        let Some(mut cur) =
-            (0..self.len()).max_by_key(|&i| self.level[i]).filter(|_| !self.is_empty())
+        let Some(mut cur) = (0..self.len())
+            .max_by_key(|&i| self.level[i])
+            .filter(|_| !self.is_empty())
         else {
             return Vec::new();
         };
         let mut path = vec![cur];
-        while !self.preds[cur].is_empty() {
-            cur = *self.preds[cur]
-                .iter()
-                .max_by_key(|&&p| self.level[p])
-                .expect("non-empty predecessor list");
+        while let Some(&deepest) = self.preds[cur].iter().max_by_key(|&&p| self.level[p]) {
+            cur = deepest;
             path.push(cur);
         }
         path.reverse();
@@ -145,7 +143,11 @@ mod tests {
     fn diamond() -> Circuit {
         // 0: h q0; 1: h q1; 2: cx q0,q1; 3: h q0; 4: h q1
         let mut c = Circuit::new(2);
-        c.h(Qubit(0)).h(Qubit(1)).cnot(Qubit(0), Qubit(1)).h(Qubit(0)).h(Qubit(1));
+        c.h(Qubit(0))
+            .h(Qubit(1))
+            .cnot(Qubit(0), Qubit(1))
+            .h(Qubit(0))
+            .h(Qubit(1));
         c
     }
 

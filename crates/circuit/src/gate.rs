@@ -8,7 +8,6 @@
 
 use std::fmt;
 
-
 use crate::qubit::{Cbit, Qubit};
 
 /// The single-qubit operation kinds supported by the IR.
@@ -81,7 +80,11 @@ impl OneQubitKind {
     pub fn is_clifford(self) -> bool {
         !matches!(
             self,
-            OneQubitKind::T | OneQubitKind::Tdg | OneQubitKind::Rx(_) | OneQubitKind::Ry(_) | OneQubitKind::Rz(_)
+            OneQubitKind::T
+                | OneQubitKind::Tdg
+                | OneQubitKind::Rx(_)
+                | OneQubitKind::Ry(_)
+                | OneQubitKind::Rz(_)
         )
     }
 
@@ -234,11 +237,22 @@ impl<Q: Copy> Gate<Q> {
     /// index type. Used to rewrite program qubits to physical qubits.
     pub fn map_qubits<R: Copy>(&self, mut f: impl FnMut(Q) -> R) -> Gate<R> {
         match self {
-            Gate::OneQubit { kind, qubit } => Gate::OneQubit { kind: *kind, qubit: f(*qubit) },
-            Gate::Cnot { control, target } => Gate::Cnot { control: f(*control), target: f(*target) },
+            Gate::OneQubit { kind, qubit } => Gate::OneQubit {
+                kind: *kind,
+                qubit: f(*qubit),
+            },
+            Gate::Cnot { control, target } => Gate::Cnot {
+                control: f(*control),
+                target: f(*target),
+            },
             Gate::Swap { a, b } => Gate::Swap { a: f(*a), b: f(*b) },
-            Gate::Measure { qubit, cbit } => Gate::Measure { qubit: f(*qubit), cbit: *cbit },
-            Gate::Barrier { qubits } => Gate::Barrier { qubits: qubits.iter().map(|&q| f(q)).collect() },
+            Gate::Measure { qubit, cbit } => Gate::Measure {
+                qubit: f(*qubit),
+                cbit: *cbit,
+            },
+            Gate::Barrier { qubits } => Gate::Barrier {
+                qubits: qubits.iter().map(|&q| f(q)).collect(),
+            },
         }
     }
 }
@@ -275,7 +289,9 @@ mod tests {
         assert_eq!(Gate::cnot(Qubit(1), Qubit(2)).qubits(), vec![Qubit(1), Qubit(2)]);
         assert_eq!(Gate::swap(Qubit(3), Qubit(4)).qubits(), vec![Qubit(3), Qubit(4)]);
         assert_eq!(Gate::measure(Qubit(5), Cbit(0)).qubits(), vec![Qubit(5)]);
-        let b: Gate = Gate::Barrier { qubits: vec![Qubit(0), Qubit(1)] };
+        let b: Gate = Gate::Barrier {
+            qubits: vec![Qubit(0), Qubit(1)],
+        };
         assert_eq!(b.qubits().len(), 2);
     }
 
@@ -315,10 +331,24 @@ mod tests {
 
     #[test]
     fn clifford_classification() {
-        for k in [OneQubitKind::I, OneQubitKind::X, OneQubitKind::Y, OneQubitKind::Z, OneQubitKind::H, OneQubitKind::S, OneQubitKind::Sdg] {
+        for k in [
+            OneQubitKind::I,
+            OneQubitKind::X,
+            OneQubitKind::Y,
+            OneQubitKind::Z,
+            OneQubitKind::H,
+            OneQubitKind::S,
+            OneQubitKind::Sdg,
+        ] {
             assert!(k.is_clifford(), "{k:?} should be Clifford");
         }
-        for k in [OneQubitKind::T, OneQubitKind::Tdg, OneQubitKind::Rx(0.1), OneQubitKind::Ry(0.1), OneQubitKind::Rz(0.1)] {
+        for k in [
+            OneQubitKind::T,
+            OneQubitKind::Tdg,
+            OneQubitKind::Rx(0.1),
+            OneQubitKind::Ry(0.1),
+            OneQubitKind::Rz(0.1),
+        ] {
             assert!(!k.is_clifford(), "{k:?} should not be Clifford");
         }
     }

@@ -149,7 +149,11 @@ mod tests {
     #[test]
     fn layers_cover_all_gates_exactly_once() {
         let mut c = Circuit::new(4);
-        c.h(Qubit(0)).cnot(Qubit(0), Qubit(1)).cnot(Qubit(2), Qubit(3)).cnot(Qubit(1), Qubit(2)).measure_all();
+        c.h(Qubit(0))
+            .cnot(Qubit(0), Qubit(1))
+            .cnot(Qubit(2), Qubit(3))
+            .cnot(Qubit(1), Qubit(2))
+            .measure_all();
         let l = Layers::of(&c);
         let mut seen: Vec<usize> = l.iter().flatten().copied().collect();
         seen.sort_unstable();
@@ -205,7 +209,10 @@ mod tests {
     #[test]
     fn layer_count_matches_depth() {
         let mut c = Circuit::new(5);
-        c.h(Qubit(0)).cnot(Qubit(0), Qubit(1)).cnot(Qubit(1), Qubit(2)).cnot(Qubit(3), Qubit(4));
+        c.h(Qubit(0))
+            .cnot(Qubit(0), Qubit(1))
+            .cnot(Qubit(1), Qubit(2))
+            .cnot(Qubit(3), Qubit(4));
         let l = Layers::of(&c);
         assert_eq!(l.len(), c.depth());
     }

@@ -73,7 +73,13 @@ pub fn optimize<Q: QubitId>(circuit: &Circuit<Q>) -> (Circuit<Q>, OptimizeStats)
 
 fn drop_identities<Q: QubitId>(gates: &mut [Option<Gate<Q>>], stats: &mut OptimizeStats) {
     for slot in gates.iter_mut() {
-        if matches!(slot, Some(Gate::OneQubit { kind: OneQubitKind::I, .. })) {
+        if matches!(
+            slot,
+            Some(Gate::OneQubit {
+                kind: OneQubitKind::I,
+                ..
+            })
+        ) {
             *slot = None;
             stats.identities_removed += 1;
         }
@@ -97,9 +103,16 @@ fn cancels<Q: QubitId>(a: &Gate<Q>, b: &Gate<Q>) -> bool {
                     | (K::Tdg, K::T)
             )
         }
-        (Gate::Cnot { control: c1, target: t1 }, Gate::Cnot { control: c2, target: t2 }) => {
-            c1 == c2 && t1 == t2
-        }
+        (
+            Gate::Cnot {
+                control: c1,
+                target: t1,
+            },
+            Gate::Cnot {
+                control: c2,
+                target: t2,
+            },
+        ) => c1 == c2 && t1 == t2,
         (Gate::Swap { a: a1, b: b1 }, Gate::Swap { a: a2, b: b2 }) => {
             (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2)
         }
@@ -109,11 +122,7 @@ fn cancels<Q: QubitId>(a: &Gate<Q>, b: &Gate<Q>) -> bool {
 
 /// The next gate after `start` that shares a qubit with `qubits`;
 /// returns its index, or `None` if nothing downstream touches them.
-fn next_on_qubits<Q: QubitId>(
-    gates: &[Option<Gate<Q>>],
-    start: usize,
-    qubits: &[Q],
-) -> Option<usize> {
+fn next_on_qubits<Q: QubitId>(gates: &[Option<Gate<Q>>], start: usize, qubits: &[Q]) -> Option<usize> {
     gates
         .iter()
         .enumerate()
@@ -130,7 +139,9 @@ fn cancel_pairs<Q: QubitId>(_n: usize, gates: &mut [Option<Gate<Q>>], stats: &mu
             continue;
         }
         let qubits = gate.qubits();
-        let Some(j) = next_on_qubits(gates, i, &qubits) else { continue };
+        let Some(j) = next_on_qubits(gates, i, &qubits) else {
+            continue;
+        };
         let Some(other) = gates[j].clone() else { continue };
         // a cancellation is only sound if the successor acts on exactly
         // the same qubit set (a one-qubit gate slipping between the CX
@@ -146,10 +157,20 @@ fn cancel_pairs<Q: QubitId>(_n: usize, gates: &mut [Option<Gate<Q>>], stats: &mu
 fn merge_rotations<Q: QubitId>(_n: usize, gates: &mut [Option<Gate<Q>>], stats: &mut OptimizeStats) {
     use OneQubitKind as K;
     for i in 0..gates.len() {
-        let Some(Gate::OneQubit { kind, qubit }) = gates[i].clone() else { continue };
+        let Some(Gate::OneQubit { kind, qubit }) = gates[i].clone() else {
+            continue;
+        };
         let Some(angle_a) = kind.angle() else { continue };
-        let Some(j) = next_on_qubits(gates, i, &[qubit]) else { continue };
-        let Some(Gate::OneQubit { kind: kind_b, qubit: qb }) = gates[j].clone() else { continue };
+        let Some(j) = next_on_qubits(gates, i, &[qubit]) else {
+            continue;
+        };
+        let Some(Gate::OneQubit {
+            kind: kind_b,
+            qubit: qb,
+        }) = gates[j].clone()
+        else {
+            continue;
+        };
         debug_assert_eq!(qubit, qb);
         let same_axis = matches!(
             (&kind, &kind_b),
@@ -158,7 +179,7 @@ fn merge_rotations<Q: QubitId>(_n: usize, gates: &mut [Option<Gate<Q>>], stats: 
         if !same_axis {
             continue;
         }
-        let angle_b = kind_b.angle().expect("rotation kinds carry angles");
+        let Some(angle_b) = kind_b.angle() else { continue };
         let merged = angle_a + angle_b;
         let merged_kind = match kind {
             K::Rx(_) => K::Rx(merged),
@@ -174,7 +195,10 @@ fn merge_rotations<Q: QubitId>(_n: usize, gates: &mut [Option<Gate<Q>>], stats: 
             gates[j] = None;
             stats.merged_rotations += 1;
         } else {
-            gates[j] = Some(Gate::OneQubit { kind: merged_kind, qubit });
+            gates[j] = Some(Gate::OneQubit {
+                kind: merged_kind,
+                qubit,
+            });
         }
     }
 }
@@ -258,7 +282,10 @@ mod tests {
         assert_eq!(opt.len(), 1);
         assert_eq!(stats.merged_rotations, 1);
         match &opt.gates()[0] {
-            Gate::OneQubit { kind: OneQubitKind::Rz(a), .. } => assert!((a - 0.75).abs() < 1e-12),
+            Gate::OneQubit {
+                kind: OneQubitKind::Rz(a),
+                ..
+            } => assert!((a - 0.75).abs() < 1e-12),
             g => panic!("unexpected {g:?}"),
         }
     }

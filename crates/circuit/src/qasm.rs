@@ -40,7 +40,13 @@ pub fn to_qasm<Q: QubitId>(circuit: &Circuit<Q>) -> String {
         match gate {
             Gate::OneQubit { kind, qubit } => match kind.angle() {
                 Some(a) => {
-                    let _ = writeln!(out, "{}({}) q[{}];", kind.qasm_name(), fmt_angle(a), qubit.index());
+                    let _ = writeln!(
+                        out,
+                        "{}({}) q[{}];",
+                        kind.qasm_name(),
+                        fmt_angle(a),
+                        qubit.index()
+                    );
                 }
                 None => {
                     let _ = writeln!(out, "{} q[{}];", kind.qasm_name(), qubit.index());
@@ -89,7 +95,10 @@ pub struct ParseQasmError {
 
 impl ParseQasmError {
     fn new(line: usize, message: impl Into<String>) -> Self {
-        ParseQasmError { line, message: message.into() }
+        ParseQasmError {
+            line,
+            message: message.into(),
+        }
     }
 
     /// 1-based line number where parsing failed.
@@ -204,7 +213,10 @@ impl RegisterTable {
             return Err(ParseQasmError::new(lineno, format!("bad register name '{name}'")));
         }
         if self.regs.iter().any(|(n, _, _)| n == name) {
-            return Err(ParseQasmError::new(lineno, format!("register '{name}' declared twice")));
+            return Err(ParseQasmError::new(
+                lineno,
+                format!("register '{name}' declared twice"),
+            ));
         }
         let size: usize = rest[open + 1..close]
             .trim()
@@ -218,9 +230,9 @@ impl RegisterTable {
     /// Resolves `name[i]` to a global index.
     fn resolve(&self, lineno: usize, text: &str) -> Result<u32, ParseQasmError> {
         let text = text.trim();
-        let open = text
-            .find('[')
-            .ok_or_else(|| ParseQasmError::new(lineno, format!("expected operand like reg[i], got '{text}'")))?;
+        let open = text.find('[').ok_or_else(|| {
+            ParseQasmError::new(lineno, format!("expected operand like reg[i], got '{text}'"))
+        })?;
         let inner = text[open + 1..]
             .strip_suffix(']')
             .ok_or_else(|| ParseQasmError::new(lineno, format!("unclosed index in operand '{text}'")))?;
@@ -279,7 +291,12 @@ fn parse_statement(
 ) -> Result<(), ParseQasmError> {
     let (head, args) = match stmt.find(|ch: char| ch.is_whitespace()) {
         Some(pos) => (&stmt[..pos], stmt[pos..].trim()),
-        None => return Err(ParseQasmError::new(lineno, format!("malformed statement '{stmt}'"))),
+        None => {
+            return Err(ParseQasmError::new(
+                lineno,
+                format!("malformed statement '{stmt}'"),
+            ))
+        }
     };
 
     let check = |_c: &Circuit, q: u32| -> Result<crate::Qubit, ParseQasmError> { Ok(crate::Qubit(q)) };
@@ -292,7 +309,10 @@ fn parse_statement(
         let q = qregs.resolve(lineno, parts[0])?;
         let b = cregs.resolve(lineno, parts[1])?;
         if (b as usize) >= c.num_cbits() {
-            return Err(ParseQasmError::new(lineno, format!("classical index {b} out of range")));
+            return Err(ParseQasmError::new(
+                lineno,
+                format!("classical index {b} out of range"),
+            ));
         }
         c.measure(check(c, q)?, Cbit(b));
         return Ok(());
@@ -316,7 +336,10 @@ fn parse_statement(
         let a = check(c, qregs.resolve(lineno, parts[0])?)?;
         let b = check(c, qregs.resolve(lineno, parts[1])?)?;
         if a == b {
-            return Err(ParseQasmError::new(lineno, format!("{head} operands must differ")));
+            return Err(ParseQasmError::new(
+                lineno,
+                format!("{head} operands must differ"),
+            ));
         }
         if head == "cx" {
             c.cnot(a, b);

@@ -6,7 +6,6 @@
 
 use std::fmt;
 
-
 /// A program (logical) qubit, as named by the source circuit.
 ///
 /// # Examples

@@ -24,7 +24,11 @@ impl Default for GateTimes {
     /// IBM-Q20-era pulse lengths (matches
     /// `quva_device::GateDurations::default`).
     fn default() -> Self {
-        GateTimes { one_qubit_ns: 50.0, two_qubit_ns: 300.0, readout_ns: 3500.0 }
+        GateTimes {
+            one_qubit_ns: 50.0,
+            two_qubit_ns: 300.0,
+            readout_ns: 3500.0,
+        }
     }
 }
 
@@ -88,13 +92,22 @@ impl Schedule {
         let n_gates = circuit.len();
         let mut start = vec![0.0; n_gates];
         let mut duration = vec![0.0; n_gates];
-        let mut windows =
-            vec![QubitWindow { first_start: f64::INFINITY, last_end: 0.0, busy: 0.0, used: false }; circuit.num_qubits()];
+        let mut windows = vec![
+            QubitWindow {
+                first_start: f64::INFINITY,
+                last_end: 0.0,
+                busy: 0.0,
+                used: false
+            };
+            circuit.num_qubits()
+        ];
         let mut t = 0.0;
         for li in 0..layers.len() {
             let layer = layers.layer(li);
-            let layer_dur =
-                layer.iter().map(|&g| times.duration_of(&circuit.gates()[g])).fold(0.0, f64::max);
+            let layer_dur = layer
+                .iter()
+                .map(|&g| times.duration_of(&circuit.gates()[g]))
+                .fold(0.0, f64::max);
             for &g in layer {
                 let gate = &circuit.gates()[g];
                 start[g] = t;
@@ -112,7 +125,14 @@ impl Schedule {
             }
             t += layer_dur;
         }
-        Schedule { times, start, duration, total: t, num_qubits: circuit.num_qubits(), windows }
+        Schedule {
+            times,
+            start,
+            duration,
+            total: t,
+            num_qubits: circuit.num_qubits(),
+            windows,
+        }
     }
 
     /// The gate times used.
@@ -182,7 +202,11 @@ mod tests {
     use crate::qubit::{Cbit, Qubit};
 
     fn times() -> GateTimes {
-        GateTimes { one_qubit_ns: 100.0, two_qubit_ns: 400.0, readout_ns: 1000.0 }
+        GateTimes {
+            one_qubit_ns: 100.0,
+            two_qubit_ns: 400.0,
+            readout_ns: 1000.0,
+        }
     }
 
     #[test]

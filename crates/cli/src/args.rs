@@ -45,8 +45,13 @@ impl ParsedArgs {
     /// Fails on a missing subcommand or an option with no value.
     pub fn parse<S: AsRef<str>>(argv: &[S], switches: &[&str]) -> Result<Self, ArgsError> {
         let mut it = argv.iter().map(|s| s.as_ref().to_string()).peekable();
-        let command = it.next().ok_or_else(|| ArgsError::new("missing subcommand; try `quva help`"))?;
-        let mut parsed = ParsedArgs { command, ..Default::default() };
+        let command = it
+            .next()
+            .ok_or_else(|| ArgsError::new("missing subcommand; try `quva help`"))?;
+        let mut parsed = ParsedArgs {
+            command,
+            ..Default::default()
+        };
         while let Some(tok) = it.next() {
             if let Some(name) = tok.strip_prefix("--") {
                 if switches.contains(&name) {
@@ -85,7 +90,8 @@ impl ParsedArgs {
     ///
     /// Fails when the option is absent.
     pub fn require(&self, name: &str) -> Result<&str, ArgsError> {
-        self.get(name).ok_or_else(|| ArgsError::new(format!("missing required option --{name}")))
+        self.get(name)
+            .ok_or_else(|| ArgsError::new(format!("missing required option --{name}")))
     }
 
     /// Whether a boolean switch was given.
@@ -120,7 +126,11 @@ mod tests {
 
     #[test]
     fn parses_command_options_and_positionals() {
-        let a = ParsedArgs::parse(&["compile", "--device", "q20", "prog.qasm", "--trials", "100"], &[]).unwrap();
+        let a = ParsedArgs::parse(
+            &["compile", "--device", "q20", "prog.qasm", "--trials", "100"],
+            &[],
+        )
+        .unwrap();
         assert_eq!(a.command(), "compile");
         assert_eq!(a.get("device"), Some("q20"));
         assert_eq!(a.get("trials"), Some("100"));

@@ -3,7 +3,8 @@
 
 use std::fmt::Write as _;
 
-use quva::{partition_analysis, MappingPolicy, PartitionChoice};
+use quva::{partition_analysis, CompileOptions, MappingPolicy, PartitionChoice};
+use quva_analysis::Verifier;
 use quva_circuit::{qasm, Circuit};
 use quva_device::{node_strengths, snapshot, Device, SanitizePolicy};
 use quva_sim::{monte_carlo_pst, run_noisy_trials, CoherenceModel};
@@ -21,12 +22,16 @@ use crate::spec::{parse_benchmark, parse_device, parse_policy};
 pub fn run(args: &ParsedArgs) -> Result<String, ArgsError> {
     match args.command() {
         "compile" => cmd_compile(args),
+        "lint" => cmd_lint(args),
         "pst" => cmd_pst(args),
         "trials" => cmd_trials(args),
         "characterize" => cmd_characterize(args),
         "partition" => cmd_partition(args),
         "help" | "--help" | "-h" => Ok(usage()),
-        other => Err(ArgsError::new(format!("unknown command '{other}'\n\n{}", usage()))),
+        other => Err(ArgsError::new(format!(
+            "unknown command '{other}'\n\n{}",
+            usage()
+        ))),
     }
 }
 
@@ -41,12 +46,15 @@ USAGE:
 FLAGS:
     --stats       (compile) prefix the QASM with compilation statistics
     --optimize    (compile) run the peephole optimizer before mapping
+    --verify      (compile) statically verify the routed output against
+                  the source program; any QV error aborts the compile
     --strict      reject a --calibration snapshot with any invalid field
     --lenient     clamp invalid snapshot fields to pessimistic values,
                   reporting each repair on stderr (the default)
 
 COMMANDS:
     compile       compile a program and emit routed OpenQASM
+    lint          run the static lint passes over a program (no compile)
     pst           estimate the probability of a successful trial
     trials        run noisy state-vector trials and report outcomes
     characterize  print a device's calibration summary
@@ -58,11 +66,14 @@ COMMON OPTIONS:
     --policy  baseline | vqm | vqm-mah:K | vqa-vqm | native:SEED
     --bench   bv:N | qft:N | ghz:N | alu | triswap | rnd-sd:N:C | rnd-ld:N:C
     --qasm    path to an OpenQASM 2.0 file (alternative to --bench)
+    --format  (lint) text | json
     --calibration  JSON calibration snapshot overriding the device's
                    (export one with: characterize --export cal.json)
 
 EXAMPLES:
-    quva compile --device q20 --policy vqa-vqm --bench bv:16 --stats
+    quva compile --device q20 --policy vqa-vqm --bench bv:16 --stats --verify
+    quva lint --bench qft:12
+    quva lint --qasm program.qasm --device q20 --format json
     quva pst --device q20 --policy baseline --bench qft:12 --trials 100000
     quva trials --device q5 --policy vqa-vqm --bench ghz:3 --trials 4096
     quva characterize --device q20
@@ -85,7 +96,9 @@ fn load_program(args: &ParsedArgs) -> Result<(String, Circuit), ArgsError> {
             Ok((path.to_string(), circuit))
         }
         (Some(_), Some(_)) => Err(ArgsError::new("give either --bench or --qasm, not both")),
-        (None, None) => Err(ArgsError::new("missing program: give --bench <spec> or --qasm <file>")),
+        (None, None) => Err(ArgsError::new(
+            "missing program: give --bench <spec> or --qasm <file>",
+        )),
     }
 }
 
@@ -119,8 +132,8 @@ fn load_device(args: &ParsedArgs, default_spec: &str) -> Result<Device, ArgsErro
     let Some(path) = args.get("calibration") else {
         return Ok(device);
     };
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| ArgsError::new(format!("cannot read {path}: {e}")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgsError::new(format!("cannot read {path}: {e}")))?;
     let raw = snapshot::parse_raw(&text)
         .map_err(|e| ArgsError::new(format!("{path} is not a calibration snapshot: {e}")))?;
     let (calibration, report) = raw
@@ -142,7 +155,15 @@ fn cmd_compile(args: &ParsedArgs) -> Result<String, ArgsError> {
         removed = stats.total_removed();
         program = optimized;
     }
-    let compiled = policy.compile(&program, &device).map_err(|e| ArgsError::new(e.to_string()))?;
+    let verifier = Verifier::new();
+    let options = CompileOptions {
+        verify: args
+            .has_switch("verify")
+            .then_some(&verifier as &dyn quva::CompileAudit),
+    };
+    let compiled = policy
+        .compile_with(&program, &device, &options)
+        .map_err(|e| ArgsError::new(e.to_string()))?;
     let mut out = String::new();
     if args.has_switch("optimize") && args.has_switch("stats") {
         let _ = writeln!(out, "// optimizer removed : {removed} gates");
@@ -155,7 +176,11 @@ fn cmd_compile(args: &ParsedArgs) -> Result<String, ArgsError> {
         let _ = writeln!(out, "// device           : {device}");
         let _ = writeln!(out, "// policy           : {}", policy.name());
         let _ = writeln!(out, "// inserted swaps   : {}", compiled.inserted_swaps());
-        let _ = writeln!(out, "// physical 2Q gates: {}", compiled.physical().two_qubit_gate_count());
+        let _ = writeln!(
+            out,
+            "// physical 2Q gates: {}",
+            compiled.physical().two_qubit_gate_count()
+        );
         let _ = writeln!(out, "// analytic PST     : {:.6}", report.pst);
         let _ = writeln!(out, "// initial mapping  : {}", compiled.initial_mapping());
         let _ = writeln!(out, "// final mapping    : {}", compiled.final_mapping());
@@ -168,10 +193,40 @@ fn cmd_compile(args: &ParsedArgs) -> Result<String, ArgsError> {
     Ok(out)
 }
 
+/// `quva lint`: runs the static circuit passes over a program without
+/// compiling it. With `--device` the device-dependent checks (register
+/// width, calibration sanity) run too. Any error-severity finding makes
+/// the command fail, so CI can gate on the exit code; warnings are
+/// reported but do not fail the lint.
+fn cmd_lint(args: &ParsedArgs) -> Result<String, ArgsError> {
+    let (name, program) = load_program(args)?;
+    let device = match args.get("device") {
+        Some(_) => Some(load_device(args, "q20")?),
+        None => None,
+    };
+    let report = quva_analysis::lint_circuit(&program, device.as_ref());
+    let rendered = match args.get_or("format", "text") {
+        "text" => format!("lint report for {name}\n{}", report.render_text()),
+        "json" => report.render_json(),
+        other => {
+            return Err(ArgsError::new(format!(
+                "unknown --format '{other}' (use text or json)"
+            )))
+        }
+    };
+    if report.is_clean() {
+        Ok(rendered)
+    } else {
+        Err(ArgsError::new(rendered))
+    }
+}
+
 fn cmd_pst(args: &ParsedArgs) -> Result<String, ArgsError> {
     let (device, policy, name, program) = load_setup(args)?;
     let trials: u64 = args.get_parsed("trials")?.unwrap_or(100_000);
-    let compiled = policy.compile(&program, &device).map_err(|e| ArgsError::new(e.to_string()))?;
+    let compiled = policy
+        .compile(&program, &device)
+        .map_err(|e| ArgsError::new(e.to_string()))?;
     let analytic = compiled
         .analytic_pst(&device, CoherenceModel::Disabled)
         .map_err(|e| ArgsError::new(e.to_string()))?;
@@ -182,7 +237,10 @@ fn cmd_pst(args: &ParsedArgs) -> Result<String, ArgsError> {
     table.row(["policy".into(), policy.name()]);
     table.row(["inserted swaps".into(), compiled.inserted_swaps().to_string()]);
     table.row(["analytic PST".into(), format!("{:.6}", analytic.pst)]);
-    table.row(["monte-carlo PST".into(), format!("{:.6} ± {:.6}", mc.pst, mc.std_error())]);
+    table.row([
+        "monte-carlo PST".into(),
+        format!("{:.6} ± {:.6}", mc.pst, mc.std_error()),
+    ]);
     table.row(["trials".into(), trials.to_string()]);
     Ok(table.to_string())
 }
@@ -192,7 +250,9 @@ fn cmd_trials(args: &ParsedArgs) -> Result<String, ArgsError> {
     let policy = parse_policy(args.get_or("policy", "vqa-vqm"))?;
     let bench = parse_benchmark(args.require("bench")?)?;
     let trials: u64 = args.get_parsed("trials")?.unwrap_or(4096);
-    let compiled = policy.compile(bench.circuit(), &device).map_err(|e| ArgsError::new(e.to_string()))?;
+    let compiled = policy
+        .compile(bench.circuit(), &device)
+        .map_err(|e| ArgsError::new(e.to_string()))?;
     let outcomes = run_noisy_trials(&device, compiled.physical(), trials, 11)
         .map_err(|e| ArgsError::new(e.to_string()))?;
 
@@ -204,7 +264,11 @@ fn cmd_trials(args: &ParsedArgs) -> Result<String, ArgsError> {
             format!("{outcome:0width$b}", width = bench.circuit().num_qubits()),
             count.to_string(),
             fmt3(count as f64 / trials as f64),
-            if bench.is_success(outcome) { "yes".into() } else { "no".to_string() },
+            if bench.is_success(outcome) {
+                "yes".into()
+            } else {
+                "no".to_string()
+            },
         ]);
     }
     let mut out = table.to_string();
@@ -280,10 +344,21 @@ fn cmd_partition(args: &ParsedArgs) -> Result<String, ArgsError> {
     let report = partition_analysis(&program, &device, policy, CoherenceModel::Disabled)
         .map_err(|e| ArgsError::new(e.to_string()))?;
     let mut out = format!("partitioning analysis for {name} on {device}\n\n");
-    let _ = writeln!(out, "one strong copy : PST {:.4} (STPT {:.4})", report.one_strong.pst, report.stpt_one());
+    let _ = writeln!(
+        out,
+        "one strong copy : PST {:.4} (STPT {:.4})",
+        report.one_strong.pst,
+        report.stpt_one()
+    );
     match &report.two_copies {
         Some((x, y)) => {
-            let _ = writeln!(out, "two copies      : PST {:.4} + {:.4} (STPT {:.4})", x.pst, y.pst, report.stpt_two());
+            let _ = writeln!(
+                out,
+                "two copies      : PST {:.4} + {:.4} (STPT {:.4})",
+                x.pst,
+                y.pst,
+                report.stpt_two()
+            );
         }
         None => {
             let _ = writeln!(out, "two copies      : do not fit");
@@ -323,7 +398,10 @@ mod tests {
 
     #[test]
     fn compile_emits_qasm() {
-        let out = run_line(&["compile", "--device", "q20", "--policy", "vqa-vqm", "--bench", "bv:8"]).unwrap();
+        let out = run_line(&[
+            "compile", "--device", "q20", "--policy", "vqa-vqm", "--bench", "bv:8",
+        ])
+        .unwrap();
         assert!(out.contains("OPENQASM 2.0;"));
         assert!(out.contains("cx q["));
     }
@@ -332,7 +410,15 @@ mod tests {
     fn compile_optimize_flag() {
         // a program with a cancellable pair: the optimizer shrinks it
         let out = run_line(&[
-            "compile", "--device", "q5", "--policy", "baseline", "--bench", "bv:3", "--optimize", "--stats",
+            "compile",
+            "--device",
+            "q5",
+            "--policy",
+            "baseline",
+            "--bench",
+            "bv:3",
+            "--optimize",
+            "--stats",
         ])
         .unwrap();
         assert!(out.contains("// optimizer removed"));
@@ -340,17 +426,75 @@ mod tests {
 
     #[test]
     fn compile_stats_header() {
-        let out =
-            run_line(&["compile", "--device", "q20", "--policy", "baseline", "--bench", "ghz:4", "--stats"])
-                .unwrap();
+        let out = run_line(&[
+            "compile", "--device", "q20", "--policy", "baseline", "--bench", "ghz:4", "--stats",
+        ])
+        .unwrap();
         assert!(out.contains("// analytic PST"));
         assert!(out.contains("// inserted swaps"));
     }
 
     #[test]
+    fn compile_verify_flag_passes_on_real_output() {
+        let out = run_line(&[
+            "compile", "--device", "q20", "--policy", "vqa-vqm", "--bench", "bv:8", "--verify",
+        ])
+        .unwrap();
+        assert!(out.contains("OPENQASM 2.0;"));
+    }
+
+    #[test]
+    fn lint_clean_bench_reports_clean() {
+        let out = run_line(&["lint", "--bench", "ghz:4"]).unwrap();
+        assert!(out.contains("clean"), "{out}");
+    }
+
+    #[test]
+    fn lint_with_device_runs_device_checks() {
+        // bv's ancilla draws an unmeasured-qubit warning: reported, but
+        // warnings alone keep the lint passing
+        let out = run_line(&["lint", "--bench", "bv:8", "--device", "q20"]).unwrap();
+        assert!(out.contains("0 error(s)"), "{out}");
+        assert!(out.contains("QV102"), "{out}");
+    }
+
+    #[test]
+    fn lint_catches_use_after_measure_in_qasm() {
+        let dir = std::env::temp_dir().join("quva-cli-lint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("uam.qasm");
+        std::fs::write(
+            &path,
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\nh q[0];\nmeasure q[0] -> c[0];\ncx q[0],q[1];\nmeasure q[1] -> c[1];\n",
+        )
+        .unwrap();
+        let err = run_line(&["lint", "--qasm", path.to_str().unwrap()]).unwrap_err();
+        assert!(err.to_string().contains("QV005"), "{err}");
+        // json format carries the same code and also fails
+        let err = run_line(&["lint", "--qasm", path.to_str().unwrap(), "--format", "json"]).unwrap_err();
+        assert!(err.to_string().contains("\"code\": \"QV005\""), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn lint_json_format_renders_json() {
+        let out = run_line(&["lint", "--bench", "ghz:4", "--format", "json"]).unwrap();
+        assert!(out.contains("\"errors\": 0"), "{out}");
+        assert!(out.contains("\"passes\""), "{out}");
+    }
+
+    #[test]
+    fn lint_rejects_unknown_format() {
+        let err = run_line(&["lint", "--bench", "ghz:4", "--format", "yaml"]).unwrap_err();
+        assert!(err.to_string().contains("unknown --format"), "{err}");
+    }
+
+    #[test]
     fn pst_reports_both_estimators() {
-        let out = run_line(&["pst", "--device", "q5", "--policy", "vqm", "--bench", "bv:4", "--trials", "20000"])
-            .unwrap();
+        let out = run_line(&[
+            "pst", "--device", "q5", "--policy", "vqm", "--bench", "bv:4", "--trials", "20000",
+        ])
+        .unwrap();
         assert!(out.contains("analytic PST"));
         assert!(out.contains("monte-carlo PST"));
     }
@@ -396,12 +540,28 @@ mod tests {
         let out = run_line(&["characterize", "--device", "q5", "--export", path_str]).unwrap();
         assert!(out.contains("wrote calibration snapshot"));
         // reuse the exported snapshot on the same topology
-        let report =
-            run_line(&["pst", "--device", "q5", "--calibration", path_str, "--bench", "bv:3"]).unwrap();
+        let report = run_line(&[
+            "pst",
+            "--device",
+            "q5",
+            "--calibration",
+            path_str,
+            "--bench",
+            "bv:3",
+        ])
+        .unwrap();
         assert!(report.contains("analytic PST"));
         // and reject it on a mismatched topology
-        let err = run_line(&["pst", "--device", "q20", "--calibration", path_str, "--bench", "bv:3"])
-            .unwrap_err();
+        let err = run_line(&[
+            "pst",
+            "--device",
+            "q20",
+            "--calibration",
+            path_str,
+            "--bench",
+            "bv:3",
+        ])
+        .unwrap_err();
         assert!(err.to_string().contains("does not fit"));
         std::fs::remove_file(path).ok();
     }
@@ -427,14 +587,28 @@ mod tests {
         std::fs::write(&path, &doc).unwrap();
 
         let err = run_line(&[
-            "pst", "--device", "q5", "--calibration", path_str, "--bench", "bv:3", "--strict",
+            "pst",
+            "--device",
+            "q5",
+            "--calibration",
+            path_str,
+            "--bench",
+            "bv:3",
+            "--strict",
         ])
         .unwrap_err();
         assert!(err.to_string().contains("err_2q"), "{err}");
 
         // lenient mode repairs and proceeds
         let out = run_line(&[
-            "pst", "--device", "q5", "--calibration", path_str, "--bench", "bv:3", "--lenient",
+            "pst",
+            "--device",
+            "q5",
+            "--calibration",
+            path_str,
+            "--bench",
+            "bv:3",
+            "--lenient",
         ])
         .unwrap();
         assert!(out.contains("analytic PST"));
@@ -443,8 +617,16 @@ mod tests {
 
     #[test]
     fn strict_and_lenient_conflict() {
-        let err = run_line(&["pst", "--device", "q5", "--bench", "bv:3", "--strict", "--lenient"])
-            .unwrap_err();
+        let err = run_line(&[
+            "pst",
+            "--device",
+            "q5",
+            "--bench",
+            "bv:3",
+            "--strict",
+            "--lenient",
+        ])
+        .unwrap_err();
         assert!(err.to_string().contains("not both"));
     }
 

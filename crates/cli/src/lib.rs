@@ -1,9 +1,10 @@
 //! # quva-cli — command-line interface for the quva NISQ compiler
 //!
-//! Subcommands: `compile` (emit routed OpenQASM), `pst` (reliability
-//! estimation), `trials` (noisy state-vector execution),
-//! `characterize` (calibration summary), `partition` (§8 one-vs-two
-//! copies analysis). See [`commands::usage`] for the full syntax.
+//! Subcommands: `compile` (emit routed OpenQASM), `lint` (static
+//! checks without compiling), `pst` (reliability estimation), `trials`
+//! (noisy state-vector execution), `characterize` (calibration
+//! summary), `partition` (§8 one-vs-two copies analysis). See
+//! [`commands::usage`] for the full syntax.
 //!
 //! # Examples
 //!
@@ -23,7 +24,7 @@ pub mod args;
 pub mod commands;
 pub mod spec;
 
-/// The boolean switches every subcommand recognizes: `--stats` and
-/// `--optimize` (compile), plus the `--strict` / `--lenient`
-/// calibration-sanitization modes.
-pub const SWITCHES: &[&str] = &["stats", "optimize", "strict", "lenient"];
+/// The boolean switches every subcommand recognizes: `--stats`,
+/// `--optimize`, and `--verify` (compile), plus the `--strict` /
+/// `--lenient` calibration-sanitization modes.
+pub const SWITCHES: &[&str] = &["stats", "optimize", "verify", "strict", "lenient"];

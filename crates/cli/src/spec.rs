@@ -40,9 +40,11 @@ pub fn parse_device(spec: &str) -> Result<Device, ArgsError> {
         }
         None => (spec, 1),
     };
-    let (kind, dims) = shape
-        .split_once(':')
-        .ok_or_else(|| ArgsError::new(format!("unknown device '{spec}' (try q20, q5, linear:N, grid:RxC)")))?;
+    let (kind, dims) = shape.split_once(':').ok_or_else(|| {
+        ArgsError::new(format!(
+            "unknown device '{spec}' (try q20, q5, linear:N, grid:RxC)"
+        ))
+    })?;
     let topology = match kind {
         "linear" => Topology::linear(parse_dim(spec, dims)?),
         "ring" => Topology::ring(parse_dim(spec, dims)?),
@@ -59,7 +61,11 @@ pub fn parse_device(spec: &str) -> Result<Device, ArgsError> {
                 .ok_or_else(|| ArgsError::new(format!("heavyhex spec needs RxC, got '{spec}'")))?;
             Topology::heavy_hex(parse_dim(spec, r)?, parse_dim(spec, c)?)
         }
-        _ => return Err(ArgsError::new(format!("unknown device kind '{kind}' in '{spec}'"))),
+        _ => {
+            return Err(ArgsError::new(format!(
+                "unknown device kind '{kind}' in '{spec}'"
+            )))
+        }
     };
     let mut generator = CalibrationGenerator::new(VariationProfile::ibm_q20_paper(), seed);
     let calibration = generator.snapshot(&topology);
@@ -67,8 +73,9 @@ pub fn parse_device(spec: &str) -> Result<Device, ArgsError> {
 }
 
 fn parse_dim(spec: &str, text: &str) -> Result<usize, ArgsError> {
-    let d: usize =
-        text.parse().map_err(|_| ArgsError::new(format!("bad dimension '{text}' in device spec '{spec}'")))?;
+    let d: usize = text
+        .parse()
+        .map_err(|_| ArgsError::new(format!("bad dimension '{text}' in device spec '{spec}'")))?;
     if d == 0 || d > 1000 {
         return Err(ArgsError::new(format!("dimension {d} out of range in '{spec}'")));
     }
@@ -91,7 +98,10 @@ pub fn parse_policy(spec: &str) -> Result<MappingPolicy, ArgsError> {
             allocation: AllocationStrategy::vqa_readout_aware(),
             routing: RoutingMetric::reliability(),
         },
-        "vqa" => MappingPolicy { allocation: AllocationStrategy::vqa(), routing: RoutingMetric::Hops },
+        "vqa" => MappingPolicy {
+            allocation: AllocationStrategy::vqa(),
+            routing: RoutingMetric::Hops,
+        },
         _ => {
             if let Some(k) = spec.strip_prefix("vqm-mah:") {
                 let mah: u32 = k
@@ -160,7 +170,9 @@ pub fn parse_benchmark(spec: &str) -> Result<Benchmark, ArgsError> {
             _ => Err(ArgsError::new(format!("unknown benchmark '{spec}'"))),
         };
     }
-    Err(ArgsError::new(format!("unknown benchmark '{spec}' (try bv:16, qft:12, ghz:3, alu, triswap)")))
+    Err(ArgsError::new(format!(
+        "unknown benchmark '{spec}' (try bv:16, qft:12, ghz:3, alu, triswap)"
+    )))
 }
 
 #[cfg(test)]
@@ -211,7 +223,10 @@ mod tests {
         let mah2 = parse_policy("vqm-mah:2").unwrap();
         assert_eq!(
             mah2.routing,
-            RoutingMetric::Reliability { max_additional_hops: Some(2), optimize_meeting_edge: false }
+            RoutingMetric::Reliability {
+                max_additional_hops: Some(2),
+                optimize_meeting_edge: false
+            }
         );
         assert!(parse_policy("qiskit").is_err());
         assert!(parse_policy("vqm-mah:x").is_err());

@@ -48,13 +48,19 @@ pub enum AllocationStrategy {
 impl AllocationStrategy {
     /// VQA with the whole program as the activity window.
     pub fn vqa() -> Self {
-        AllocationStrategy::StrongestSubgraph { activity_window: usize::MAX, readout_aware: false }
+        AllocationStrategy::StrongestSubgraph {
+            activity_window: usize::MAX,
+            readout_aware: false,
+        }
     }
 
     /// VQA extended with readout awareness (see
     /// [`AllocationStrategy::StrongestSubgraph::readout_aware`]).
     pub fn vqa_readout_aware() -> Self {
-        AllocationStrategy::StrongestSubgraph { activity_window: usize::MAX, readout_aware: true }
+        AllocationStrategy::StrongestSubgraph {
+            activity_window: usize::MAX,
+            readout_aware: true,
+        }
     }
 
     /// Computes the initial mapping of `circuit` onto `device`.
@@ -74,9 +80,10 @@ impl AllocationStrategy {
         }
         match *self {
             AllocationStrategy::GreedyInteraction => Ok(greedy_interaction(circuit, device, None)),
-            AllocationStrategy::StrongestSubgraph { activity_window, readout_aware } => {
-                vqa_allocate(circuit, device, activity_window, readout_aware)
-            }
+            AllocationStrategy::StrongestSubgraph {
+                activity_window,
+                readout_aware,
+            } => vqa_allocate(circuit, device, activity_window, readout_aware),
             AllocationStrategy::Random { seed } => Ok(random_allocate(k, n, seed)),
         }
     }
@@ -132,15 +139,18 @@ fn greedy_interaction(circuit: &Circuit, device: &Device, region: Option<&[PhysQ
                 best = Some((score, p));
             }
         }
-        let (_, p) = best.expect("k <= n guarantees a free candidate");
+        let (_, p) = best.unwrap_or_else(|| unreachable!("k <= n guarantees a free candidate"));
         assigned[q.index()] = Some(p);
         used[p.index()] = true;
     }
 
-    let mut positions: Vec<PhysQubit> =
-        assigned.into_iter().map(|slot| slot.expect("all qubits placed")).collect();
+    let mut positions: Vec<PhysQubit> = assigned
+        .into_iter()
+        .map(|slot| slot.unwrap_or_else(|| unreachable!("all qubits placed")))
+        .collect();
     refine_by_exchange(&mut positions, &candidates, &ig, |a, b| hops.get(a, b) as f64);
-    Mapping::from_assignment(k, n, |q| positions[q.index()]).expect("refined placement cannot collide")
+    Mapping::from_assignment(k, n, |q| positions[q.index()])
+        .unwrap_or_else(|e| unreachable!("refined placement cannot collide: {e}"))
 }
 
 /// Iterated local search over placements: repeatedly try swapping two
@@ -228,15 +238,14 @@ fn connectivity_order(ig: &InteractionGraph, k: usize) -> Vec<u32> {
         let next = (0..k)
             .filter(|&q| !placed[q])
             .max_by(|&a, &b| {
-                let traffic = |q: usize| -> u32 {
-                    order.iter().map(|&p| ig.count(Qubit(q as u32), Qubit(p))).sum()
-                };
+                let traffic =
+                    |q: usize| -> u32 { order.iter().map(|&p| ig.count(Qubit(q as u32), Qubit(p))).sum() };
                 traffic(a)
                     .cmp(&traffic(b))
                     .then(ig.degree(Qubit(a as u32)).cmp(&ig.degree(Qubit(b as u32))))
                     .then(b.cmp(&a)) // prefer the smaller index on full ties
             })
-            .expect("k iterations over k qubits");
+            .unwrap_or_else(|| unreachable!("k iterations over k qubits"));
         placed[next] = true;
         order.push(next as u32);
     }
@@ -263,13 +272,14 @@ fn vqa_allocate(
     };
     let k = circuit.num_qubits();
     let n = device.num_qubits();
-    let region = try_strongest_subgraph(device, k).ok_or_else(|| {
-        format!("no connected region of {k} qubits over active links on {n}-qubit device")
-    })?;
+    let region = try_strongest_subgraph(device, k)
+        .ok_or_else(|| format!("no connected region of {k} qubits over active links on {n}-qubit device"))?;
 
     let strengths = node_strengths(device);
     let rel = ReliabilityMatrix::of_active(device, |id| {
-        -(1.0 - device.calibration().two_qubit_error(id)).max(f64::MIN_POSITIVE).ln()
+        -(1.0 - device.calibration().two_qubit_error(id))
+            .max(f64::MIN_POSITIVE)
+            .ln()
     });
     let ig = InteractionGraph::of(circuit);
     let activity = qubit_activity(circuit, activity_window);
@@ -313,13 +323,15 @@ fn vqa_allocate(
                 best = Some((score, p));
             }
         }
-        let (_, p) = best.expect("region has k free slots");
+        let (_, p) = best.unwrap_or_else(|| unreachable!("region has k free slots"));
         assigned[q.index()] = Some(p);
         used[p.index()] = true;
     }
 
-    let mut positions: Vec<PhysQubit> =
-        assigned.into_iter().map(|slot| slot.expect("all qubits placed")).collect();
+    let mut positions: Vec<PhysQubit> = assigned
+        .into_iter()
+        .map(|slot| slot.unwrap_or_else(|| unreachable!("all qubits placed")))
+        .collect();
     // refine under the reliability metric, still confined to the region
     refine_by_exchange(&mut positions, &region, &ig, |a, b| rel.get(a, b));
     Mapping::from_assignment(k, n, |q| positions[q.index()]).map_err(|e| e.to_string())
@@ -331,7 +343,7 @@ fn random_allocate(k: usize, n: usize, seed: u64) -> Mapping {
     let mut slots: Vec<u32> = (0..n as u32).collect();
     slots.shuffle(&mut rng);
     Mapping::from_assignment(k, n, |q| PhysQubit(slots[q.index()]))
-        .expect("shuffled slots cannot collide")
+        .unwrap_or_else(|e| unreachable!("shuffled slots cannot collide: {e}"))
 }
 
 #[cfg(test)]
@@ -460,7 +472,9 @@ mod tests {
         c.cnot(Qubit(0), Qubit(1));
         c.cnot(Qubit(1), Qubit(2));
         c.measure(Qubit(0), quva_circuit::Cbit(0));
-        let aware = AllocationStrategy::vqa_readout_aware().allocate(&c, &dev).unwrap();
+        let aware = AllocationStrategy::vqa_readout_aware()
+            .allocate(&c, &dev)
+            .unwrap();
         assert_ne!(
             aware.phys_of(Qubit(0)).index(),
             0,
@@ -477,7 +491,10 @@ mod tests {
             AllocationStrategy::vqa(),
             AllocationStrategy::Random { seed: 0 },
         ] {
-            assert!(strat.allocate(&c, &dev).is_err(), "{strat:?} accepted oversized circuit");
+            assert!(
+                strat.allocate(&c, &dev).is_err(),
+                "{strat:?} accepted oversized circuit"
+            );
         }
     }
 
@@ -485,12 +502,15 @@ mod tests {
     fn vqa_errors_when_dead_links_shrink_components() {
         // line of 6 split 3|3 by a dead middle link: a 4-qubit program
         // no longer fits any connected active region
-        let dev = uniform(Topology::linear(6), 0.05)
-            .with_disabled_links([(PhysQubit(2), PhysQubit(3))]);
-        let err = AllocationStrategy::vqa().allocate(&chain_circuit(4), &dev).unwrap_err();
+        let dev = uniform(Topology::linear(6), 0.05).with_disabled_links([(PhysQubit(2), PhysQubit(3))]);
+        let err = AllocationStrategy::vqa()
+            .allocate(&chain_circuit(4), &dev)
+            .unwrap_err();
         assert!(err.contains("no connected region"), "{err}");
         // a 3-qubit program still fits inside one half
-        let m = AllocationStrategy::vqa().allocate(&chain_circuit(3), &dev).unwrap();
+        let m = AllocationStrategy::vqa()
+            .allocate(&chain_circuit(3), &dev)
+            .unwrap();
         let side = m.phys_of(Qubit(0)).index() < 3;
         for (_, p) in m.iter() {
             assert_eq!(p.index() < 3, side, "allocation straddles the dead link");

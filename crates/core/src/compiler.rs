@@ -42,7 +42,10 @@ impl MappingPolicy {
     /// The variation-unaware baseline (§4.5): greedy interaction
     /// placement + minimum-SWAP routing.
     pub fn baseline() -> Self {
-        MappingPolicy { allocation: AllocationStrategy::GreedyInteraction, routing: RoutingMetric::Hops }
+        MappingPolicy {
+            allocation: AllocationStrategy::GreedyInteraction,
+            routing: RoutingMetric::Hops,
+        }
     }
 
     /// VQM (§5): baseline allocation, reliability-optimal movement.
@@ -64,13 +67,19 @@ impl MappingPolicy {
     /// VQA + VQM (§6): strongest-subgraph allocation, reliability
     /// movement — the paper's headline policy.
     pub fn vqa_vqm() -> Self {
-        MappingPolicy { allocation: AllocationStrategy::vqa(), routing: RoutingMetric::reliability() }
+        MappingPolicy {
+            allocation: AllocationStrategy::vqa(),
+            routing: RoutingMetric::reliability(),
+        }
     }
 
     /// The IBM-native-compiler stand-in (§6.4): seeded random
     /// allocation, minimum-SWAP routing.
     pub fn native(seed: u64) -> Self {
-        MappingPolicy { allocation: AllocationStrategy::Random { seed }, routing: RoutingMetric::Hops }
+        MappingPolicy {
+            allocation: AllocationStrategy::Random { seed },
+            routing: RoutingMetric::Hops,
+        }
     }
 
     /// A short display name for tables.
@@ -78,10 +87,20 @@ impl MappingPolicy {
         match (self.allocation, self.routing) {
             (AllocationStrategy::Random { .. }, _) => "native".into(),
             (AllocationStrategy::GreedyInteraction, RoutingMetric::Hops) => "baseline".into(),
-            (AllocationStrategy::GreedyInteraction, RoutingMetric::Reliability { max_additional_hops: None, .. }) => {
-                "VQM".into()
-            }
-            (AllocationStrategy::GreedyInteraction, RoutingMetric::Reliability { max_additional_hops: Some(m), .. }) => {
+            (
+                AllocationStrategy::GreedyInteraction,
+                RoutingMetric::Reliability {
+                    max_additional_hops: None,
+                    ..
+                },
+            ) => "VQM".into(),
+            (
+                AllocationStrategy::GreedyInteraction,
+                RoutingMetric::Reliability {
+                    max_additional_hops: Some(m),
+                    ..
+                },
+            ) => {
                 format!("VQM(MAH={m})")
             }
             (AllocationStrategy::StrongestSubgraph { .. }, RoutingMetric::Hops) => "VQA".into(),
@@ -107,6 +126,36 @@ impl MappingPolicy {
     /// disconnected outright, or disabled links split it into pieces
     /// too small or too far apart. Dead links never panic the pipeline.
     pub fn compile(&self, circuit: &Circuit, device: &Device) -> Result<CompiledCircuit, CompileError> {
+        self.compile_with(circuit, device, &CompileOptions::default())
+    }
+
+    /// Like [`MappingPolicy::compile`], with explicit [`CompileOptions`].
+    ///
+    /// When [`CompileOptions::verify`] is set, the audit runs once on
+    /// the finally chosen circuit (after VQA portfolio selection); a
+    /// finding surfaces as [`CompileError::Verification`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`MappingPolicy::compile`] returns, plus
+    /// [`CompileError::Verification`] when the audit rejects the output.
+    pub fn compile_with(
+        &self,
+        circuit: &Circuit,
+        device: &Device,
+        options: &CompileOptions<'_>,
+    ) -> Result<CompiledCircuit, CompileError> {
+        let compiled = self.compile_unchecked(circuit, device)?;
+        if let Some(auditor) = options.verify {
+            auditor
+                .audit(circuit, device, &compiled)
+                .map_err(CompileError::Verification)?;
+        }
+        Ok(compiled)
+    }
+
+    /// The compile pipeline without the optional post-compile audit.
+    fn compile_unchecked(&self, circuit: &Circuit, device: &Device) -> Result<CompiledCircuit, CompileError> {
         let mapping = self
             .allocation
             .allocate(circuit, device)
@@ -115,13 +164,17 @@ impl MappingPolicy {
         if !matches!(self.allocation, AllocationStrategy::StrongestSubgraph { .. }) {
             return Ok(compiled);
         }
-        let alt_policy =
-            MappingPolicy { allocation: AllocationStrategy::GreedyInteraction, routing: self.routing };
-        let Ok(alt) = alt_policy.compile(circuit, device) else {
+        let alt_policy = MappingPolicy {
+            allocation: AllocationStrategy::GreedyInteraction,
+            routing: self.routing,
+        };
+        let Ok(alt) = alt_policy.compile_unchecked(circuit, device) else {
             return Ok(compiled);
         };
         let pst = |c: &CompiledCircuit| {
-            c.analytic_pst(device, CoherenceModel::Disabled).map(|r| r.pst).unwrap_or(0.0)
+            c.analytic_pst(device, CoherenceModel::Disabled)
+                .map(|r| r.pst)
+                .unwrap_or(0.0)
         };
         if pst(&alt) > pst(&compiled) {
             Ok(alt)
@@ -141,7 +194,11 @@ impl MappingPolicy {
     ///
     /// Returns [`CompileError`] when the program does not fit the device
     /// or a required movement is impossible.
-    pub fn compile_plan_based(&self, circuit: &Circuit, device: &Device) -> Result<CompiledCircuit, CompileError> {
+    pub fn compile_plan_based(
+        &self,
+        circuit: &Circuit,
+        device: &Device,
+    ) -> Result<CompiledCircuit, CompileError> {
         let mut mapping = self
             .allocation
             .allocate(circuit, device)
@@ -166,7 +223,11 @@ impl MappingPolicy {
                         let mapped = qubits.iter().map(|&q| mapping.phys_of(q)).collect();
                         out.push(Gate::Barrier { qubits: mapped });
                     }
-                    Gate::Cnot { control: a, target: b } | Gate::Swap { a, b } => {
+                    Gate::Cnot {
+                        control: a,
+                        target: b,
+                    }
+                    | Gate::Swap { a, b } => {
                         let (pa, pb) = (mapping.phys_of(*a), mapping.phys_of(*b));
                         if !device.has_active_link(pa, pb) {
                             let plan = router
@@ -191,7 +252,42 @@ impl MappingPolicy {
                 }
             }
         }
-        Ok(CompiledCircuit { physical: out, initial, final_mapping: mapping, inserted_swaps: inserted })
+        Ok(CompiledCircuit {
+            physical: out,
+            initial,
+            final_mapping: mapping,
+            inserted_swaps: inserted,
+        })
+    }
+}
+
+/// A post-compile audit over the compiler's chosen output.
+///
+/// Defined here so `quva` never depends on the analysis machinery
+/// (dependency inversion): `quva-analysis::Verifier` implements this
+/// trait, and callers thread it in through [`CompileOptions::verify`].
+pub trait CompileAudit {
+    /// Audits `compiled` against its source program and target device.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of every finding; it fails the
+    /// compile as [`CompileError::Verification`].
+    fn audit(&self, source: &Circuit, device: &Device, compiled: &CompiledCircuit) -> Result<(), String>;
+}
+
+/// Options for [`MappingPolicy::compile_with`].
+#[derive(Default)]
+pub struct CompileOptions<'a> {
+    /// Post-compile audit to run on the chosen output, if any.
+    pub verify: Option<&'a dyn CompileAudit>,
+}
+
+impl fmt::Debug for CompileOptions<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompileOptions")
+            .field("verify", &self.verify.is_some())
+            .finish()
     }
 }
 
@@ -208,6 +304,9 @@ pub enum CompileError {
         /// Second program qubit.
         b: Qubit,
     },
+    /// The post-compile audit rejected the output; the string is the
+    /// auditor's rendered report.
+    Verification(String),
 }
 
 impl fmt::Display for CompileError {
@@ -216,6 +315,9 @@ impl fmt::Display for CompileError {
             CompileError::Allocation(msg) => write!(f, "allocation failed: {msg}"),
             CompileError::Disconnected { a, b } => {
                 write!(f, "program qubits {a} and {b} sit on disconnected device regions")
+            }
+            CompileError::Verification(report) => {
+                write!(f, "compiled output failed verification:\n{report}")
             }
         }
     }
@@ -234,6 +336,27 @@ pub struct CompiledCircuit {
 }
 
 impl CompiledCircuit {
+    /// Assembles a compiled circuit from raw parts.
+    ///
+    /// No invariant is checked here — the parts are *trusted*, exactly
+    /// like the compiler's own output. `quva-analysis` exists to audit
+    /// them; this constructor is the interop/test seam that lets a
+    /// verifier be pointed at hand-built (or deliberately corrupted)
+    /// outputs.
+    pub fn from_parts(
+        physical: Circuit<PhysQubit>,
+        initial: Mapping,
+        final_mapping: Mapping,
+        inserted_swaps: usize,
+    ) -> Self {
+        CompiledCircuit {
+            physical,
+            initial,
+            final_mapping,
+            inserted_swaps,
+        }
+    }
+
     /// The routed physical circuit (every two-qubit gate on a coupling
     /// link).
     pub fn physical(&self) -> &Circuit<PhysQubit> {
@@ -268,8 +391,10 @@ impl CompiledCircuit {
 
     /// Per-link utilization in physical CNOT-equivalents (a SWAP counts
     /// as 3): index i = link id of `device.topology().links()[i]`.
-    /// Links addressed by the circuit but absent from the device count
-    /// as `None`-routing errors elsewhere; here they are skipped.
+    /// Gates on pairs absent from the device, or on *disabled* links, are
+    /// skipped here — such gates are illegal output, and it is the
+    /// verifier's job (`quva-analysis`, QV001/QV002) to flag them, not
+    /// this profile's to silently fold them into utilization.
     ///
     /// The core claim of the paper — variation-aware policies *steer
     /// traffic away from weak links* — is directly observable in this
@@ -278,9 +403,16 @@ impl CompiledCircuit {
         let topo = device.topology();
         let mut use_count = vec![0usize; topo.num_links()];
         for gate in &self.physical {
-            if let Gate::Cnot { control: a, target: b } | Gate::Swap { a, b } = gate {
+            if let Gate::Cnot {
+                control: a,
+                target: b,
+            }
+            | Gate::Swap { a, b } = gate
+            {
                 if let Some(id) = topo.link_id(*a, *b) {
-                    use_count[id] += gate.cnot_cost();
+                    if device.link_enabled(id) {
+                        use_count[id] += gate.cnot_cost();
+                    }
                 }
             }
         }
@@ -348,9 +480,8 @@ fn route(
         RoutingMetric::Reliability { .. } if weights_usable => {
             ReliabilityMatrix::of_active(device, |id| {
                 let link = topo.links()[id];
-                device
-                    .swap_failure_weight(link.low(), link.high())
-                    .unwrap_or(0.0) // enabled links always carry a weight
+                device.swap_failure_weight(link.low(), link.high()).unwrap_or(0.0)
+                // enabled links always carry a weight
             })
         }
         // hop metric, or the documented VQM fallback when reliability
@@ -366,8 +497,9 @@ fn route(
     // lookahead
     let layers = Layers::of(circuit);
     let order: Vec<usize> = layers.iter().flatten().copied().collect();
-    let two_qubit_positions: Vec<usize> =
-        (0..order.len()).filter(|&i| circuit.gates()[order[i]].is_two_qubit()).collect();
+    let two_qubit_positions: Vec<usize> = (0..order.len())
+        .filter(|&i| circuit.gates()[order[i]].is_two_qubit())
+        .collect();
     let mut next_2q = 0usize; // index into two_qubit_positions
 
     for (pos, &gi) in order.iter().enumerate() {
@@ -386,7 +518,11 @@ fn route(
                 let mapped = qubits.iter().map(|&q| mapping.phys_of(q)).collect();
                 out.push(Gate::Barrier { qubits: mapped });
             }
-            Gate::Cnot { control: a, target: b } | Gate::Swap { a, b } => {
+            Gate::Cnot {
+                control: a,
+                target: b,
+            }
+            | Gate::Swap { a, b } => {
                 debug_assert!(pos < order.len());
                 let upcoming: Vec<(Qubit, Qubit)> = two_qubit_positions[next_2q..]
                     .iter()
@@ -397,7 +533,16 @@ fn route(
                     })
                     .collect();
                 bring_together(
-                    device, &hops, &dist, metric, &mut mapping, &mut out, &mut inserted, *a, *b, &upcoming,
+                    device,
+                    &hops,
+                    &dist,
+                    metric,
+                    &mut mapping,
+                    &mut out,
+                    &mut inserted,
+                    *a,
+                    *b,
+                    &upcoming,
                 )?;
                 let (pa, pb) = (mapping.phys_of(*a), mapping.phys_of(*b));
                 match gate {
@@ -414,7 +559,12 @@ fn route(
         }
     }
 
-    Ok(CompiledCircuit { physical: out, initial, final_mapping: mapping, inserted_swaps: inserted })
+    Ok(CompiledCircuit {
+        physical: out,
+        initial,
+        final_mapping: mapping,
+        inserted_swaps: inserted,
+    })
 }
 
 /// Inserts SWAPs one at a time until program qubits `a` and `b` sit on
@@ -439,7 +589,10 @@ fn bring_together(
     // after this budget, fall back to strict hop descent (guaranteed
     // progress); MAH additionally caps the exploratory phase
     let explore_budget = match metric {
-        RoutingMetric::Reliability { max_additional_hops: Some(mah), .. } => start_swaps + mah as usize,
+        RoutingMetric::Reliability {
+            max_additional_hops: Some(mah),
+            ..
+        } => start_swaps + mah as usize,
         _ => start_swaps + 4,
     };
     let mut steps = 0usize;
@@ -491,13 +644,12 @@ fn bring_together(
                 // a landing edge is charged at its true execution cost
                 // (1× the link weight instead of a SWAP's 3×)
                 let remaining = match metric {
-                    RoutingMetric::Reliability { optimize_meeting_edge: true, .. }
-                        if device.has_active_link(na, nbq) =>
-                    {
-                        device
-                            .cnot_failure_weight(na, nbq)
-                            .unwrap_or_else(|| dist.get(na, nbq))
-                    }
+                    RoutingMetric::Reliability {
+                        optimize_meeting_edge: true,
+                        ..
+                    } if device.has_active_link(na, nbq) => device
+                        .cnot_failure_weight(na, nbq)
+                        .unwrap_or_else(|| dist.get(na, nbq)),
                     _ => dist.get(na, nbq),
                 };
                 let mut score = swap_cost + remaining;
@@ -554,7 +706,12 @@ mod tests {
     /// Every two-qubit gate of a compiled circuit must sit on a link.
     fn assert_routed(compiled: &CompiledCircuit, device: &Device) {
         for g in compiled.physical() {
-            if let Gate::Cnot { control: a, target: b } | Gate::Swap { a, b } = g {
+            if let Gate::Cnot {
+                control: a,
+                target: b,
+            }
+            | Gate::Swap { a, b } = g
+            {
                 assert!(device.topology().has_link(*a, *b), "{g} not on a coupling link");
             }
         }
@@ -593,7 +750,9 @@ mod tests {
         // seed that yields identity? Instead test the mapping algebra
         // directly: compile and check measurements land correctly.
         let dev = uniform(Topology::linear(4), 0.05);
-        let compiled = MappingPolicy::baseline().compile(&long_cnot_program(), &dev).unwrap();
+        let compiled = MappingPolicy::baseline()
+            .compile(&long_cnot_program(), &dev)
+            .unwrap();
         // the measured physical qubit must be q3's final home
         let measured = compiled
             .physical()
@@ -633,9 +792,12 @@ mod tests {
         }
         c.cnot(Qubit(0), Qubit(2));
         let base = MappingPolicy::native(0).compile(&c, &dev).unwrap();
-        let vqm = MappingPolicy { allocation: AllocationStrategy::Random { seed: 0 }, routing: RoutingMetric::reliability() }
-            .compile(&c, &dev)
-            .unwrap();
+        let vqm = MappingPolicy {
+            allocation: AllocationStrategy::Random { seed: 0 },
+            routing: RoutingMetric::reliability(),
+        }
+        .compile(&c, &dev)
+        .unwrap();
         let pst_base = base.analytic_pst(&dev, CoherenceModel::Disabled).unwrap().pst;
         let pst_vqm = vqm.analytic_pst(&dev, CoherenceModel::Disabled).unwrap().pst;
         assert!(
@@ -690,12 +852,17 @@ mod tests {
         ] {
             let err = policy.compile(&c, &dev).unwrap_err();
             assert!(
-                matches!(err, CompileError::Disconnected { .. } | CompileError::Allocation(_)),
+                matches!(
+                    err,
+                    CompileError::Disconnected { .. } | CompileError::Allocation(_)
+                ),
                 "{}: {err}",
                 policy.name()
             );
         }
-        let err = MappingPolicy::baseline().compile_plan_based(&c, &dev).unwrap_err();
+        let err = MappingPolicy::baseline()
+            .compile_plan_based(&c, &dev)
+            .unwrap_err();
         assert!(matches!(err, CompileError::Disconnected { .. }));
     }
 
@@ -711,11 +878,24 @@ mod tests {
         }
         c.cnot(Qubit(0), Qubit(1));
         c.cnot(Qubit(2), Qubit(4));
-        for policy in [MappingPolicy::baseline(), MappingPolicy::vqm(), MappingPolicy::vqa_vqm()] {
+        for policy in [
+            MappingPolicy::baseline(),
+            MappingPolicy::vqm(),
+            MappingPolicy::vqa_vqm(),
+        ] {
             let compiled = policy.compile(&c, &dev).unwrap();
             for g in compiled.physical() {
-                if let Gate::Cnot { control: a, target: b } | Gate::Swap { a, b } = g {
-                    assert!(dev.has_active_link(*a, *b), "{}: {g} uses a dead link", policy.name());
+                if let Gate::Cnot {
+                    control: a,
+                    target: b,
+                }
+                | Gate::Swap { a, b } = g
+                {
+                    assert!(
+                        dev.has_active_link(*a, *b),
+                        "{}: {g} uses a dead link",
+                        policy.name()
+                    );
                 }
             }
         }
@@ -760,10 +940,77 @@ mod tests {
     }
 
     #[test]
+    fn link_utilization_skips_disabled_links() {
+        let mut phys: Circuit<PhysQubit> = Circuit::with_cbits(3, 3);
+        phys.cnot(PhysQubit(0), PhysQubit(1));
+        phys.cnot(PhysQubit(1), PhysQubit(2));
+        let m = Mapping::identity(3, 3);
+        let compiled = CompiledCircuit::from_parts(phys, m.clone(), m, 0);
+
+        let dev = uniform(Topology::linear(3), 0.05);
+        assert_eq!(compiled.link_utilization(&dev), vec![1, 1]);
+        assert!((compiled.experienced_link_error(&dev) - 0.05).abs() < 1e-12);
+
+        let degraded = uniform(Topology::linear(3), 0.05).with_disabled_links([(PhysQubit(0), PhysQubit(1))]);
+        assert_eq!(compiled.link_utilization(&degraded), vec![0, 1]);
+        assert!((compiled.experienced_link_error(&degraded) - 0.05).abs() < 1e-12);
+    }
+
+    struct RejectAll;
+    impl CompileAudit for RejectAll {
+        fn audit(&self, _: &Circuit, _: &Device, _: &CompiledCircuit) -> Result<(), String> {
+            Err("synthetic audit failure".into())
+        }
+    }
+
+    struct AcceptAll;
+    impl CompileAudit for AcceptAll {
+        fn audit(&self, _: &Circuit, _: &Device, _: &CompiledCircuit) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn compile_with_runs_the_audit() {
+        let dev = uniform(Topology::linear(4), 0.05);
+        let program = long_cnot_program();
+        let accepted = MappingPolicy::baseline().compile_with(
+            &program,
+            &dev,
+            &CompileOptions {
+                verify: Some(&AcceptAll),
+            },
+        );
+        assert!(accepted.is_ok());
+        let err = MappingPolicy::baseline()
+            .compile_with(
+                &program,
+                &dev,
+                &CompileOptions {
+                    verify: Some(&RejectAll),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, CompileError::Verification(_)));
+        assert!(err.to_string().contains("synthetic audit failure"));
+    }
+
+    #[test]
+    fn compile_options_debug_shows_presence() {
+        assert!(format!("{:?}", CompileOptions::default()).contains("verify: false"));
+        let opts = CompileOptions {
+            verify: Some(&AcceptAll),
+        };
+        assert!(format!("{opts:?}").contains("verify: true"));
+    }
+
+    #[test]
     fn compiled_pst_on_wrong_device_errors() {
         let dev = uniform(Topology::linear(4), 0.05);
         let small = uniform(Topology::linear(2), 0.05);
-        let compiled = MappingPolicy::baseline().compile(&long_cnot_program(), &dev).unwrap();
+        let compiled = MappingPolicy::baseline()
+            .compile(&long_cnot_program(), &dev)
+            .unwrap();
         assert!(compiled.analytic_pst(&small, CoherenceModel::Disabled).is_err());
     }
 }

@@ -53,7 +53,7 @@ mod partition;
 mod router;
 
 pub use allocator::AllocationStrategy;
-pub use compiler::{CompileError, CompiledCircuit, MappingPolicy};
+pub use compiler::{CompileAudit, CompileError, CompileOptions, CompiledCircuit, MappingPolicy};
 pub use mapping::Mapping;
 pub use partition::{partition_analysis, CopyPlan, PartitionChoice, PartitionReport};
 pub use router::{RouteError, RoutePlan, Router, RoutingMetric};

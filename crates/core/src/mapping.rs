@@ -46,7 +46,9 @@ impl Mapping {
         mut assign: impl FnMut(Qubit) -> PhysQubit,
     ) -> Result<Self, String> {
         if num_prog > num_phys {
-            return Err(format!("{num_prog} program qubits cannot fit on {num_phys} physical qubits"));
+            return Err(format!(
+                "{num_prog} program qubits cannot fit on {num_phys} physical qubits"
+            ));
         }
         let mut phys = vec![FREE; num_prog];
         let mut prog = vec![FREE; num_phys];
@@ -71,7 +73,7 @@ impl Mapping {
     /// Panics if `num_prog > num_phys`.
     pub fn identity(num_prog: usize, num_phys: usize) -> Self {
         Mapping::from_assignment(num_prog, num_phys, |q| PhysQubit(q.0))
-            .expect("identity assignment cannot collide")
+            .unwrap_or_else(|e| panic!("identity assignment cannot collide: {e}"))
     }
 
     /// Number of program qubits.
@@ -129,7 +131,10 @@ impl Mapping {
 
     /// Iterates over `(program, physical)` pairs in program-qubit order.
     pub fn iter(&self) -> impl Iterator<Item = (Qubit, PhysQubit)> + '_ {
-        self.phys.iter().enumerate().map(|(q, &p)| (Qubit(q as u32), PhysQubit(p)))
+        self.phys
+            .iter()
+            .enumerate()
+            .map(|(q, &p)| (Qubit(q as u32), PhysQubit(p)))
     }
 
     /// The set of occupied physical qubits, in program-qubit order.

@@ -99,13 +99,19 @@ pub fn partition_analysis(
         .iter()
         .map(|&q| single.initial_mapping().phys_of(q))
         .collect();
-    let one_strong = CopyPlan { region: single_region, pst: single_pst };
+    let one_strong = CopyPlan {
+        region: single_region,
+        pst: single_pst,
+    };
 
     // Two copies: strongest region for X, strongest remaining region
     // for Y.
     let two_copies = plan_two_copies(circuit, device, policy, coherence, k)?;
 
-    Ok(PartitionReport { one_strong, two_copies })
+    Ok(PartitionReport {
+        one_strong,
+        two_copies,
+    })
 }
 
 fn plan_two_copies(
@@ -145,8 +151,7 @@ fn plan_two_copies(
         for q in &region_x {
             in_x[q.index()] = true;
         }
-        let complement: Vec<PhysQubit> =
-            device.topology().qubits().filter(|q| !in_x[q.index()]).collect();
+        let complement: Vec<PhysQubit> = device.topology().qubits().filter(|q| !in_x[q.index()]).collect();
         let (comp_device, comp_back) = device.induced(&complement);
         let Some(region_y_local) = try_strongest_subgraph(&comp_device, k) else {
             continue;
@@ -162,7 +167,16 @@ fn plan_two_copies(
         if best.as_ref().is_none_or(|(b, _)| stpt > *b) {
             best = Some((
                 stpt,
-                (CopyPlan { region: region_x, pst: pst_x }, CopyPlan { region: region_y, pst: pst_y }),
+                (
+                    CopyPlan {
+                        region: region_x,
+                        pst: pst_x,
+                    },
+                    CopyPlan {
+                        region: region_y,
+                        pst: pst_y,
+                    },
+                ),
             ));
         }
     }
@@ -187,10 +201,17 @@ mod tests {
     #[test]
     fn two_copies_fit_on_big_machine() {
         let dev = Device::ibm_q20();
-        let report =
-            partition_analysis(&small_program(), &dev, MappingPolicy::vqa_vqm(), CoherenceModel::Disabled)
-                .unwrap();
-        let (x, y) = report.two_copies.as_ref().expect("20 qubits host two 3-qubit copies");
+        let report = partition_analysis(
+            &small_program(),
+            &dev,
+            MappingPolicy::vqa_vqm(),
+            CoherenceModel::Disabled,
+        )
+        .unwrap();
+        let (x, y) = report
+            .two_copies
+            .as_ref()
+            .expect("20 qubits host two 3-qubit copies");
         // regions must be disjoint
         for q in &x.region {
             assert!(!y.region.contains(q), "regions share {q}");
@@ -202,9 +223,13 @@ mod tests {
     #[test]
     fn strong_copy_beats_each_individual_copy() {
         let dev = Device::ibm_q20();
-        let report =
-            partition_analysis(&small_program(), &dev, MappingPolicy::vqa_vqm(), CoherenceModel::Disabled)
-                .unwrap();
+        let report = partition_analysis(
+            &small_program(),
+            &dev,
+            MappingPolicy::vqa_vqm(),
+            CoherenceModel::Disabled,
+        )
+        .unwrap();
         let (x, y) = report.two_copies.as_ref().unwrap();
         // the strong copy has the whole machine to pick from, so it is
         // essentially as reliable as either constrained copy (heuristic
@@ -221,9 +246,13 @@ mod tests {
     #[test]
     fn no_room_for_two_copies() {
         let dev = Device::new(Topology::linear(4), |t| Calibration::uniform(t, 0.05, 0.0, 0.0));
-        let report =
-            partition_analysis(&small_program(), &dev, MappingPolicy::vqa_vqm(), CoherenceModel::Disabled)
-                .unwrap();
+        let report = partition_analysis(
+            &small_program(),
+            &dev,
+            MappingPolicy::vqa_vqm(),
+            CoherenceModel::Disabled,
+        )
+        .unwrap();
         assert!(report.two_copies.is_none());
         assert_eq!(report.stpt_two(), 0.0);
         assert_eq!(report.recommend(), PartitionChoice::OneStrongCopy);
@@ -246,16 +275,31 @@ mod tests {
 
     #[test]
     fn recommendation_follows_stpt() {
-        let strong = CopyPlan { region: vec![PhysQubit(0)], pst: 0.5 };
-        let x = CopyPlan { region: vec![PhysQubit(1)], pst: 0.2 };
-        let y = CopyPlan { region: vec![PhysQubit(2)], pst: 0.1 };
+        let strong = CopyPlan {
+            region: vec![PhysQubit(0)],
+            pst: 0.5,
+        };
+        let x = CopyPlan {
+            region: vec![PhysQubit(1)],
+            pst: 0.2,
+        };
+        let y = CopyPlan {
+            region: vec![PhysQubit(2)],
+            pst: 0.1,
+        };
         let two_win = PartitionReport {
-            one_strong: CopyPlan { pst: 0.25, ..strong.clone() },
+            one_strong: CopyPlan {
+                pst: 0.25,
+                ..strong.clone()
+            },
             two_copies: Some((x.clone(), y.clone())),
         };
         assert_eq!(two_win.recommend(), PartitionChoice::TwoCopies);
         assert!((two_win.stpt_two() - 0.3).abs() < 1e-12);
-        let one_win = PartitionReport { one_strong: strong, two_copies: Some((x, y)) };
+        let one_win = PartitionReport {
+            one_strong: strong,
+            two_copies: Some((x, y)),
+        };
         assert_eq!(one_win.recommend(), PartitionChoice::OneStrongCopy);
     }
 
@@ -288,7 +332,10 @@ mod tests {
         let report =
             partition_analysis(&c, &dev, MappingPolicy::vqa_vqm(), CoherenceModel::Disabled).unwrap();
         // the full-machine copy can use the strong bridge 1–4–2
-        let (x, y) = report.two_copies.as_ref().expect("6 qubits host two 3-qubit copies");
+        let (x, y) = report
+            .two_copies
+            .as_ref()
+            .expect("6 qubits host two 3-qubit copies");
         assert!(
             report.one_strong.pst > x.pst.min(y.pst),
             "single {} vs copies {}/{}",

@@ -46,19 +46,28 @@ pub enum RoutingMetric {
 impl RoutingMetric {
     /// The unconstrained VQM metric (paper Algorithm 1).
     pub fn reliability() -> Self {
-        RoutingMetric::Reliability { max_additional_hops: None, optimize_meeting_edge: false }
+        RoutingMetric::Reliability {
+            max_additional_hops: None,
+            optimize_meeting_edge: false,
+        }
     }
 
     /// The hop-limited VQM metric with the paper's MAH = 4.
     pub fn reliability_hop_limited() -> Self {
-        RoutingMetric::Reliability { max_additional_hops: Some(4), optimize_meeting_edge: false }
+        RoutingMetric::Reliability {
+            max_additional_hops: Some(4),
+            optimize_meeting_edge: false,
+        }
     }
 
     /// VQM extended with meeting-edge optimization (see
     /// [`RoutingMetric::Reliability::optimize_meeting_edge`]); evaluated
     /// as an ablation in the benchmark harness.
     pub fn reliability_with_meeting_edge() -> Self {
-        RoutingMetric::Reliability { max_additional_hops: None, optimize_meeting_edge: true }
+        RoutingMetric::Reliability {
+            max_additional_hops: None,
+            optimize_meeting_edge: true,
+        }
     }
 }
 
@@ -157,7 +166,11 @@ impl<'d> Router<'d> {
     /// device's *active* coupling graph — disabled links are never
     /// routed over).
     pub fn new(device: &'d Device, metric: RoutingMetric) -> Self {
-        Router { device, metric, hops: HopMatrix::of_active(device) }
+        Router {
+            device,
+            metric,
+            hops: HopMatrix::of_active(device),
+        }
     }
 
     /// The metric this router optimizes.
@@ -185,7 +198,9 @@ impl<'d> Router<'d> {
         let disconnected = RouteError::Disconnected { a, b };
         let path = match self.metric {
             RoutingMetric::Hops => self.shortest_hop_path(a, b).ok_or(disconnected)?,
-            RoutingMetric::Reliability { max_additional_hops, .. } => {
+            RoutingMetric::Reliability {
+                max_additional_hops, ..
+            } => {
                 let cap = max_additional_hops.map(|mah| self.hops.get(a, b).saturating_add(mah));
                 self.most_reliable_path(a, b, cap).ok_or(disconnected)?
             }
@@ -194,7 +209,10 @@ impl<'d> Router<'d> {
             // total failure weight = Σ swap_w(all edges) − swap_w(meet)
             // + exec_w(meet); with swap_w = 3·exec_w, minimize by
             // putting the meeting on the *weakest* edge of the path
-            RoutingMetric::Reliability { optimize_meeting_edge: true, .. } => {
+            RoutingMetric::Reliability {
+                optimize_meeting_edge: true,
+                ..
+            } => {
                 let mut best = 0;
                 let mut best_w = f64::NEG_INFINITY;
                 for j in 0..path.len() - 1 {
@@ -275,7 +293,12 @@ impl<'d> Router<'d> {
 
     /// Dijkstra over SWAP failure weights, optionally capped at
     /// `max_hops` edges.
-    fn most_reliable_path(&self, a: PhysQubit, b: PhysQubit, max_hops: Option<u32>) -> Option<Vec<PhysQubit>> {
+    fn most_reliable_path(
+        &self,
+        a: PhysQubit,
+        b: PhysQubit,
+        max_hops: Option<u32>,
+    ) -> Option<Vec<PhysQubit>> {
         let topo = self.device.topology();
         let n = topo.num_qubits();
         let cap = max_hops.map(|c| c.min(n as u32)).unwrap_or(n as u32) as usize;
@@ -308,7 +331,11 @@ impl<'d> Router<'d> {
         }
 
         let mut heap = BinaryHeap::new();
-        heap.push(Entry { cost: 0.0, node: a.index(), hops: 0 });
+        heap.push(Entry {
+            cost: 0.0,
+            node: a.index(),
+            hops: 0,
+        });
         while let Some(Entry { cost, node, hops }) = heap.pop() {
             if cost > dist[idx(node, hops)] {
                 continue;
@@ -344,7 +371,11 @@ impl<'d> Router<'d> {
                 if nd < dist[ni] {
                     dist[ni] = nd;
                     parent[ni] = node;
-                    heap.push(Entry { cost: nd, node: nb.index(), hops: hops + 1 });
+                    heap.push(Entry {
+                        cost: nd,
+                        node: nb.index(),
+                        hops: hops + 1,
+                    });
                 }
             }
         }
@@ -422,8 +453,15 @@ mod tests {
         let short = hop_router.plan(PhysQubit(0), PhysQubit(2)).unwrap();
         let strong = rel_router.plan(PhysQubit(0), PhysQubit(2)).unwrap();
         assert_eq!(short.swap_count(), 1);
-        assert_eq!(strong.swap_count(), 2, "VQM should take the longer, stronger route");
-        assert_eq!(strong.path, vec![PhysQubit(0), PhysQubit(4), PhysQubit(3), PhysQubit(2)]);
+        assert_eq!(
+            strong.swap_count(),
+            2,
+            "VQM should take the longer, stronger route"
+        );
+        assert_eq!(
+            strong.path,
+            vec![PhysQubit(0), PhysQubit(4), PhysQubit(3), PhysQubit(2)]
+        );
         assert!(rel_router.plan_failure_weight(&strong) < rel_router.plan_failure_weight(&short));
     }
 
@@ -439,7 +477,10 @@ mod tests {
         });
         let r = Router::new(
             &dev,
-            RoutingMetric::Reliability { max_additional_hops: Some(0), optimize_meeting_edge: false },
+            RoutingMetric::Reliability {
+                max_additional_hops: Some(0),
+                optimize_meeting_edge: false,
+            },
         );
         let plan = r.plan(PhysQubit(0), PhysQubit(2)).unwrap();
         assert_eq!(plan.swap_count(), 1, "MAH=0 must keep the shortest hop count");
@@ -477,7 +518,10 @@ mod tests {
         let plan = r.plan(PhysQubit(0), PhysQubit(3)).unwrap();
         assert_eq!(plan.meet, 1, "meeting edge should be the weak 1–2 link");
         let swaps = plan.swaps();
-        assert_eq!(swaps, vec![(PhysQubit(0), PhysQubit(1)), (PhysQubit(3), PhysQubit(2))]);
+        assert_eq!(
+            swaps,
+            vec![(PhysQubit(0), PhysQubit(1)), (PhysQubit(3), PhysQubit(2))]
+        );
         assert_eq!(plan.first_lands_at(), PhysQubit(1));
         assert_eq!(plan.second_lands_at(), PhysQubit(2));
         // the extension never costs more failure weight than the
@@ -495,7 +539,10 @@ mod tests {
         let plan = r.plan(PhysQubit(0), PhysQubit(3)).unwrap();
         // central meeting: both occupants move one step
         assert_eq!(plan.meet, 1);
-        assert_eq!(plan.swaps(), vec![(PhysQubit(0), PhysQubit(1)), (PhysQubit(3), PhysQubit(2))]);
+        assert_eq!(
+            plan.swaps(),
+            vec![(PhysQubit(0), PhysQubit(1)), (PhysQubit(3), PhysQubit(2))]
+        );
         assert_eq!(plan.first_lands_at(), PhysQubit(1));
         assert_eq!(plan.second_lands_at(), PhysQubit(2));
     }
@@ -507,7 +554,10 @@ mod tests {
             let r = Router::new(&dev, metric);
             assert_eq!(
                 r.plan(PhysQubit(0), PhysQubit(3)),
-                Err(RouteError::Disconnected { a: PhysQubit(0), b: PhysQubit(3) })
+                Err(RouteError::Disconnected {
+                    a: PhysQubit(0),
+                    b: PhysQubit(3)
+                })
             );
         }
     }
@@ -516,7 +566,10 @@ mod tests {
     fn self_route_rejected() {
         let dev = uniform(Topology::linear(2), 0.05);
         let r = Router::new(&dev, RoutingMetric::Hops);
-        assert_eq!(r.plan(PhysQubit(0), PhysQubit(0)), Err(RouteError::SelfRoute(PhysQubit(0))));
+        assert_eq!(
+            r.plan(PhysQubit(0), PhysQubit(0)),
+            Err(RouteError::SelfRoute(PhysQubit(0)))
+        );
     }
 
     #[test]
@@ -526,7 +579,16 @@ mod tests {
         for metric in [RoutingMetric::Hops, RoutingMetric::reliability()] {
             let r = Router::new(&dev, metric);
             let plan = r.plan(PhysQubit(0), PhysQubit(1)).unwrap();
-            assert_eq!(plan.path, vec![PhysQubit(0), PhysQubit(4), PhysQubit(3), PhysQubit(2), PhysQubit(1)]);
+            assert_eq!(
+                plan.path,
+                vec![
+                    PhysQubit(0),
+                    PhysQubit(4),
+                    PhysQubit(3),
+                    PhysQubit(2),
+                    PhysQubit(1)
+                ]
+            );
             for w in plan.path.windows(2) {
                 assert!(dev.has_active_link(w[0], w[1]));
             }
@@ -537,13 +599,18 @@ mod tests {
     fn dead_links_splitting_device_yield_error() {
         // line 0-1-2-3 with the middle link dead: the halves cannot talk
         let dev = uniform(Topology::linear(4), 0.05).with_disabled_links([(PhysQubit(1), PhysQubit(2))]);
-        for metric in
-            [RoutingMetric::Hops, RoutingMetric::reliability(), RoutingMetric::reliability_hop_limited()]
-        {
+        for metric in [
+            RoutingMetric::Hops,
+            RoutingMetric::reliability(),
+            RoutingMetric::reliability_hop_limited(),
+        ] {
             let r = Router::new(&dev, metric);
             assert_eq!(
                 r.plan(PhysQubit(0), PhysQubit(3)),
-                Err(RouteError::Disconnected { a: PhysQubit(0), b: PhysQubit(3) })
+                Err(RouteError::Disconnected {
+                    a: PhysQubit(0),
+                    b: PhysQubit(3)
+                })
             );
             // pairs inside one half still route fine
             assert!(r.plan(PhysQubit(0), PhysQubit(1)).is_ok());
@@ -552,7 +619,10 @@ mod tests {
 
     #[test]
     fn route_error_displays() {
-        let e = RouteError::Disconnected { a: PhysQubit(0), b: PhysQubit(3) };
+        let e = RouteError::Disconnected {
+            a: PhysQubit(0),
+            b: PhysQubit(3),
+        };
         assert!(e.to_string().contains("no active path"));
         assert!(RouteError::SelfRoute(PhysQubit(2)).to_string().contains("itself"));
     }
@@ -561,15 +631,24 @@ mod tests {
     fn metric_constructors() {
         assert_eq!(
             RoutingMetric::reliability(),
-            RoutingMetric::Reliability { max_additional_hops: None, optimize_meeting_edge: false }
+            RoutingMetric::Reliability {
+                max_additional_hops: None,
+                optimize_meeting_edge: false
+            }
         );
         assert_eq!(
             RoutingMetric::reliability_hop_limited(),
-            RoutingMetric::Reliability { max_additional_hops: Some(4), optimize_meeting_edge: false }
+            RoutingMetric::Reliability {
+                max_additional_hops: Some(4),
+                optimize_meeting_edge: false
+            }
         );
         assert_eq!(
             RoutingMetric::reliability_with_meeting_edge(),
-            RoutingMetric::Reliability { max_additional_hops: None, optimize_meeting_edge: true }
+            RoutingMetric::Reliability {
+                max_additional_hops: None,
+                optimize_meeting_edge: true
+            }
         );
     }
 }

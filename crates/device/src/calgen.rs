@@ -111,7 +111,10 @@ pub struct CalibrationGenerator {
 impl CalibrationGenerator {
     /// Creates a generator with the given profile and RNG seed.
     pub fn new(profile: VariationProfile, seed: u64) -> Self {
-        CalibrationGenerator { profile, rng: StdRng::seed_from_u64(seed) }
+        CalibrationGenerator {
+            profile,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The profile this generator samples from.
@@ -188,7 +191,9 @@ impl CalibrationGenerator {
     fn snapshot_with_links(&mut self, topology: &Topology, err_2q: Vec<f64>) -> Calibration {
         let p = self.profile;
         let n = topology.num_qubits();
-        let t1: Vec<f64> = (0..n).map(|_| self.trunc_normal(p.t1_mean, p.t1_std, 5.0, 250.0)).collect();
+        let t1: Vec<f64> = (0..n)
+            .map(|_| self.trunc_normal(p.t1_mean, p.t1_std, 5.0, 250.0))
+            .collect();
         let t2: Vec<f64> = (0..n)
             .map(|i| {
                 let raw = self.trunc_normal(p.t2_mean, p.t2_std, 3.0, 150.0);
@@ -197,12 +202,19 @@ impl CalibrationGenerator {
             })
             .collect();
         let e1q = (0..n)
-            .map(|_| crate::calibration::clamp_error_rate(self.trunc_normal(p.e1q_mean, p.e1q_std, 1e-4, 0.04)))
+            .map(|_| {
+                crate::calibration::clamp_error_rate(self.trunc_normal(p.e1q_mean, p.e1q_std, 1e-4, 0.04))
+            })
             .collect();
         let ero = (0..n)
-            .map(|_| crate::calibration::clamp_error_rate(self.trunc_normal(p.ero_mean, p.ero_std, 5e-3, 0.2)))
+            .map(|_| {
+                crate::calibration::clamp_error_rate(self.trunc_normal(p.ero_mean, p.ero_std, 5e-3, 0.2))
+            })
             .collect();
-        let err_2q = err_2q.into_iter().map(crate::calibration::clamp_error_rate).collect();
+        let err_2q = err_2q
+            .into_iter()
+            .map(crate::calibration::clamp_error_rate)
+            .collect();
         match Calibration::new(topology, t1, t2, e1q, ero, err_2q, GateDurations::default()) {
             Ok(cal) => cal,
             Err(_) => unreachable!("clamped generator output is always valid"),
@@ -274,10 +286,10 @@ pub fn ibm_q20_average_calibration(topology: &Topology) -> Calibration {
     // Relocate the worst link onto the Q14–Q18 diagonal named in Fig. 9.
     let worst_target = topology
         .link_id(quva_circuit::PhysQubit(14), quva_circuit::PhysQubit(18))
-        .expect("Tokyo layout has the 14–18 diagonal");
+        .unwrap_or_else(|| panic!("expected the IBM-Q20 Tokyo layout: missing the 14-18 diagonal"));
     let worst_current = (0..topology.num_links())
         .max_by(|&a, &b| cal.two_qubit_error(a).total_cmp(&cal.two_qubit_error(b)))
-        .expect("Tokyo has links");
+        .unwrap_or_else(|| unreachable!("Tokyo has links"));
     let held = cal.two_qubit_error(worst_target);
     cal.set_two_qubit_error(worst_target, cal.two_qubit_error(worst_current));
     cal.set_two_qubit_error(worst_current, held);
@@ -297,7 +309,11 @@ fn rescale_link_errors(cal: &mut Calibration, num_links: usize, lo: f64, hi: f64
     let normalized: Vec<f64> = values.iter().map(|&e| (e - min) / span).collect();
 
     let mean_for = |gamma: f64| -> f64 {
-        normalized.iter().map(|&t| lo + (hi - lo) * t.powf(gamma)).sum::<f64>() / num_links as f64
+        normalized
+            .iter()
+            .map(|&t| lo + (hi - lo) * t.powf(gamma))
+            .sum::<f64>()
+            / num_links as f64
     };
     // mean_for is decreasing in γ; bisect on γ ∈ [0.1, 10]
     let (mut g_lo, mut g_hi) = (0.1f64, 10.0f64);
@@ -361,8 +377,13 @@ mod tests {
             all.extend_from_slice(g.snapshot(&topo).two_qubit_errors());
         }
         let mean = all.iter().sum::<f64>() / all.len() as f64;
-        assert!((mean - profile.e2q_mean).abs() < 0.01, "mean 2q error {mean} too far from profile");
-        let t1s: Vec<f64> = (0..50).flat_map(|_| g.snapshot(&topo).t1_table().to_vec()).collect();
+        assert!(
+            (mean - profile.e2q_mean).abs() < 0.01,
+            "mean 2q error {mean} too far from profile"
+        );
+        let t1s: Vec<f64> = (0..50)
+            .flat_map(|_| g.snapshot(&topo).t1_table().to_vec())
+            .collect();
         let t1m = t1s.iter().sum::<f64>() / t1s.len() as f64;
         assert!((t1m - profile.t1_mean).abs() < 8.0, "T1 mean {t1m} too far");
     }
@@ -396,7 +417,10 @@ mod tests {
             .iter()
             .filter(|d| d.two_qubit_error(strong) < d.two_qubit_error(weak))
             .count();
-        assert!(wins > 40, "persistence too weak: strong link won only {wins}/52 days");
+        assert!(
+            wins > 40,
+            "persistence too weak: strong link won only {wins}/52 days"
+        );
     }
 
     #[test]
@@ -422,7 +446,10 @@ mod tests {
     #[test]
     fn q20_average_map_is_deterministic() {
         let topo = tokyo();
-        assert_eq!(ibm_q20_average_calibration(&topo), ibm_q20_average_calibration(&topo));
+        assert_eq!(
+            ibm_q20_average_calibration(&topo),
+            ibm_q20_average_calibration(&topo)
+        );
     }
 
     #[test]

@@ -9,7 +9,6 @@
 use std::error::Error;
 use std::fmt;
 
-
 use crate::topology::Topology;
 
 /// Wall-clock durations of the primitive operations, used by the
@@ -29,7 +28,11 @@ impl Default for GateDurations {
     /// IBM-Q20-era typical values: 50 ns single-qubit pulses, 300 ns
     /// CNOTs, 3.5 µs readout.
     fn default() -> Self {
-        GateDurations { one_qubit_ns: 50.0, two_qubit_ns: 300.0, readout_ns: 3500.0 }
+        GateDurations {
+            one_qubit_ns: 50.0,
+            two_qubit_ns: 300.0,
+            readout_ns: 3500.0,
+        }
     }
 }
 
@@ -69,14 +72,24 @@ pub enum CalibrationError {
 impl fmt::Display for CalibrationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CalibrationError::QubitCountMismatch { field, expected, actual } => {
+            CalibrationError::QubitCountMismatch {
+                field,
+                expected,
+                actual,
+            } => {
                 write!(f, "{field} has {actual} entries, device has {expected} qubits")
             }
             CalibrationError::LinkCountMismatch { expected, actual } => {
-                write!(f, "two-qubit error table has {actual} entries, device has {expected} links")
+                write!(
+                    f,
+                    "two-qubit error table has {actual} entries, device has {expected} links"
+                )
             }
             CalibrationError::InvalidProbability { field, value } => {
-                write!(f, "{field} contains {value}, which is not a probability in [0, 1)")
+                write!(
+                    f,
+                    "{field} contains {value}, which is not a probability in [0, 1)"
+                )
             }
             CalibrationError::InvalidCoherence { value } => {
                 write!(f, "coherence time {value} µs is not strictly positive")
@@ -131,9 +144,18 @@ impl Calibration {
         durations: GateDurations,
     ) -> Result<Self, CalibrationError> {
         let n = topology.num_qubits();
-        for (field, v) in [("t1", &t1_us), ("t2", &t2_us), ("err_1q", &err_1q), ("err_readout", &err_readout)] {
+        for (field, v) in [
+            ("t1", &t1_us),
+            ("t2", &t2_us),
+            ("err_1q", &err_1q),
+            ("err_readout", &err_readout),
+        ] {
             if v.len() != n {
-                return Err(CalibrationError::QubitCountMismatch { field, expected: n, actual: v.len() });
+                return Err(CalibrationError::QubitCountMismatch {
+                    field,
+                    expected: n,
+                    actual: v.len(),
+                });
             }
         }
         if err_2q.len() != topology.num_links() {
@@ -147,14 +169,25 @@ impl Calibration {
                 return Err(CalibrationError::InvalidCoherence { value: t });
             }
         }
-        for (field, v) in [("err_1q", &err_1q), ("err_readout", &err_readout), ("err_2q", &err_2q)] {
+        for (field, v) in [
+            ("err_1q", &err_1q),
+            ("err_readout", &err_readout),
+            ("err_2q", &err_2q),
+        ] {
             for &p in v.iter() {
                 if !(0.0..1.0).contains(&p) {
                     return Err(CalibrationError::InvalidProbability { field, value: p });
                 }
             }
         }
-        Ok(Calibration { t1_us, t2_us, err_1q, err_readout, err_2q, durations })
+        Ok(Calibration {
+            t1_us,
+            t2_us,
+            err_1q,
+            err_readout,
+            err_2q,
+            durations,
+        })
     }
 
     /// A variation-free calibration: every link has 2Q error `err_2q`,
@@ -294,7 +327,10 @@ impl Calibration {
             v.iter()
                 .map(|&p| {
                     let s = p * factor;
-                    assert!((0.0..1.0).contains(&s), "scaling {field} by {factor} leaves range");
+                    assert!(
+                        (0.0..1.0).contains(&s),
+                        "scaling {field} by {factor} leaves range"
+                    );
                     s
                 })
                 .collect()
@@ -320,7 +356,10 @@ impl Calibration {
             .iter()
             .map(|&p| (mu + (p - mu) * cov_factor).clamp(1e-5, 0.5))
             .collect();
-        Calibration { err_2q, ..self.clone() }
+        Calibration {
+            err_2q,
+            ..self.clone()
+        }
     }
 }
 
@@ -382,38 +421,85 @@ mod tests {
     #[test]
     fn new_rejects_wrong_qubit_count() {
         let t = topo();
-        let err = Calibration::new(&t, vec![80.0; 3], vec![40.0; 4], vec![0.0; 4], vec![0.0; 4], vec![0.01; 3], GateDurations::default())
-            .unwrap_err();
-        assert!(matches!(err, CalibrationError::QubitCountMismatch { field: "t1", .. }));
+        let err = Calibration::new(
+            &t,
+            vec![80.0; 3],
+            vec![40.0; 4],
+            vec![0.0; 4],
+            vec![0.0; 4],
+            vec![0.01; 3],
+            GateDurations::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CalibrationError::QubitCountMismatch { field: "t1", .. }
+        ));
     }
 
     #[test]
     fn new_rejects_wrong_link_count() {
         let t = topo();
-        let err = Calibration::new(&t, vec![80.0; 4], vec![40.0; 4], vec![0.0; 4], vec![0.0; 4], vec![0.01; 5], GateDurations::default())
-            .unwrap_err();
-        assert!(matches!(err, CalibrationError::LinkCountMismatch { expected: 3, actual: 5 }));
+        let err = Calibration::new(
+            &t,
+            vec![80.0; 4],
+            vec![40.0; 4],
+            vec![0.0; 4],
+            vec![0.0; 4],
+            vec![0.01; 5],
+            GateDurations::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CalibrationError::LinkCountMismatch {
+                expected: 3,
+                actual: 5
+            }
+        ));
     }
 
     #[test]
     fn new_rejects_bad_probability() {
         let t = topo();
-        let err = Calibration::new(&t, vec![80.0; 4], vec![40.0; 4], vec![0.0; 4], vec![0.0; 4], vec![1.5; 3], GateDurations::default())
-            .unwrap_err();
-        assert!(matches!(err, CalibrationError::InvalidProbability { field: "err_2q", .. }));
+        let err = Calibration::new(
+            &t,
+            vec![80.0; 4],
+            vec![40.0; 4],
+            vec![0.0; 4],
+            vec![0.0; 4],
+            vec![1.5; 3],
+            GateDurations::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CalibrationError::InvalidProbability { field: "err_2q", .. }
+        ));
     }
 
     #[test]
     fn new_rejects_nonpositive_coherence() {
         let t = topo();
-        let err = Calibration::new(&t, vec![0.0; 4], vec![40.0; 4], vec![0.0; 4], vec![0.0; 4], vec![0.01; 3], GateDurations::default())
-            .unwrap_err();
+        let err = Calibration::new(
+            &t,
+            vec![0.0; 4],
+            vec![40.0; 4],
+            vec![0.0; 4],
+            vec![0.0; 4],
+            vec![0.01; 3],
+            GateDurations::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, CalibrationError::InvalidCoherence { .. }));
     }
 
     #[test]
     fn error_display_is_informative() {
-        let e = CalibrationError::LinkCountMismatch { expected: 3, actual: 5 };
+        let e = CalibrationError::LinkCountMismatch {
+            expected: 3,
+            actual: 5,
+        };
         assert!(e.to_string().contains("3 links"));
     }
 

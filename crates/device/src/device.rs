@@ -50,7 +50,11 @@ impl Device {
     pub fn new(topology: Topology, calibration: impl FnOnce(&Topology) -> Calibration) -> Self {
         let calibration = calibration(&topology);
         let disabled = vec![false; topology.num_links()];
-        Device { topology, calibration, disabled }
+        Device {
+            topology,
+            calibration,
+            disabled,
+        }
     }
 
     /// Builds a device from independently constructed parts.
@@ -71,7 +75,11 @@ impl Device {
             calibration.durations(),
         )?;
         let disabled = vec![false; topology.num_links()];
-        Ok(Device { topology, calibration: revalidated, disabled })
+        Ok(Device {
+            topology,
+            calibration: revalidated,
+            disabled,
+        })
     }
 
     /// The IBM-Q20 Tokyo machine with the paper's deterministic average
@@ -80,7 +88,11 @@ impl Device {
         let topology = Topology::ibm_q20_tokyo();
         let calibration = crate::calgen::ibm_q20_average_calibration(&topology);
         let disabled = vec![false; topology.num_links()];
-        Device { topology, calibration, disabled }
+        Device {
+            topology,
+            calibration,
+            disabled,
+        }
     }
 
     /// The IBM-Q5 Tenerife machine with the §7 average error map.
@@ -88,7 +100,11 @@ impl Device {
         let topology = Topology::ibm_q5_tenerife();
         let calibration = crate::calgen::ibm_q5_average_calibration(&topology);
         let disabled = vec![false; topology.num_links()];
-        Device { topology, calibration, disabled }
+        Device {
+            topology,
+            calibration,
+            disabled,
+        }
     }
 
     /// Marks the link between `a` and `b` as dead. Returns `false`
@@ -236,8 +252,15 @@ impl Device {
             .enumerate()
             .filter(|&(id, _)| !self.disabled[id])
             .map(|(_, l)| l)
-            .filter(|l| new_of_old[l.low().index()] != usize::MAX && new_of_old[l.high().index()] != usize::MAX)
-            .map(|l| (new_of_old[l.low().index()] as u32, new_of_old[l.high().index()] as u32))
+            .filter(|l| {
+                new_of_old[l.low().index()] != usize::MAX && new_of_old[l.high().index()] != usize::MAX
+            })
+            .map(|l| {
+                (
+                    new_of_old[l.low().index()] as u32,
+                    new_of_old[l.high().index()] as u32,
+                )
+            })
             .collect();
         let topology = Topology::from_links(
             format!("{}[{}q-region]", self.topology.name(), region.len()),
@@ -251,7 +274,8 @@ impl Device {
             .iter()
             .map(|l| {
                 let (a, b) = (region[l.low().index()], region[l.high().index()]);
-                self.link_error(a, b).expect("induced link exists in parent")
+                self.link_error(a, b)
+                    .unwrap_or_else(|| unreachable!("induced link exists in parent"))
             })
             .collect();
         let calibration = Calibration::new(
@@ -263,9 +287,16 @@ impl Device {
             err_2q,
             cal.durations(),
         )
-        .expect("subset of a valid calibration stays valid");
+        .unwrap_or_else(|e| unreachable!("subset of a valid calibration stays valid: {e}"));
         let disabled = vec![false; topology.num_links()];
-        (Device { topology, calibration, disabled }, region.to_vec())
+        (
+            Device {
+                topology,
+                calibration,
+                disabled,
+            },
+            region.to_vec(),
+        )
     }
 }
 
@@ -380,7 +411,10 @@ mod tests {
     fn disabled_link_behaves_as_absent() {
         let mut dev = Device::new(Topology::linear(3), |t| Calibration::uniform(t, 0.1, 0.0, 0.0));
         assert!(dev.disable_link(PhysQubit(0), PhysQubit(1)));
-        assert!(!dev.disable_link(PhysQubit(0), PhysQubit(2)), "uncoupled pair cannot be disabled");
+        assert!(
+            !dev.disable_link(PhysQubit(0), PhysQubit(2)),
+            "uncoupled pair cannot be disabled"
+        );
         assert_eq!(dev.disabled_link_count(), 1);
         assert!(dev.is_link_disabled(PhysQubit(0), PhysQubit(1)));
         assert_eq!(dev.link_error(PhysQubit(0), PhysQubit(1)), None);
@@ -409,7 +443,10 @@ mod tests {
         let dev = Device::new(Topology::linear(4), |t| Calibration::uniform(t, 0.1, 0.0, 0.0))
             .with_disabled_links([(PhysQubit(1), PhysQubit(2))]);
         let (sub, _) = dev.induced(&[PhysQubit(1), PhysQubit(2), PhysQubit(3)]);
-        assert!(!sub.topology().has_link(PhysQubit(0), PhysQubit(1)), "dead link carried into sub-device");
+        assert!(
+            !sub.topology().has_link(PhysQubit(0), PhysQubit(1)),
+            "dead link carried into sub-device"
+        );
         assert!(sub.topology().has_link(PhysQubit(1), PhysQubit(2)));
     }
 

@@ -65,7 +65,7 @@ impl HopMatrix {
                 for u in topology.neighbors(PhysQubit(v as u32)) {
                     let id = topology
                         .link_id(PhysQubit(v as u32), u)
-                        .expect("neighbor implies link");
+                        .unwrap_or_else(|| unreachable!("neighbor implies link"));
                     if !enabled(id) {
                         continue;
                     }
@@ -94,7 +94,12 @@ impl HopMatrix {
 
     /// The graph diameter (maximum finite pairwise distance).
     pub fn diameter(&self) -> u32 {
-        self.dist.iter().copied().filter(|&d| d != UNREACHABLE_HOPS).max().unwrap_or(0)
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != UNREACHABLE_HOPS)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -204,7 +209,7 @@ impl ReliabilityMatrix {
                 for nb in topology.neighbors(PhysQubit(node as u32)) {
                     let id = topology
                         .link_id(PhysQubit(node as u32), nb)
-                        .expect("neighbor implies link");
+                        .unwrap_or_else(|| unreachable!("neighbor implies link"));
                     let nd = cost + costs[id];
                     let ni = nb.index();
                     if nd < dist[s * n + ni] {
@@ -394,7 +399,9 @@ mod tests {
         let t = Topology::ibm_q20_tokyo();
         // pseudo-random but deterministic costs
         let m = ReliabilityMatrix::of(&t, |id| 0.5 + ((id * 7919) % 13) as f64 / 5.0);
-        let costs: Vec<f64> = (0..t.num_links()).map(|id| 0.5 + ((id * 7919) % 13) as f64 / 5.0).collect();
+        let costs: Vec<f64> = (0..t.num_links())
+            .map(|id| 0.5 + ((id * 7919) % 13) as f64 / 5.0)
+            .collect();
         for a in t.qubits() {
             for b in t.qubits() {
                 let p = m.path(a, b).unwrap();
@@ -402,7 +409,10 @@ mod tests {
                     .windows(2)
                     .map(|w| costs[t.link_id(w[0], w[1]).expect("path uses links")])
                     .sum();
-                assert!((total - m.get(a, b)).abs() < 1e-9, "{a}->{b} path weight mismatch");
+                assert!(
+                    (total - m.get(a, b)).abs() < 1e-9,
+                    "{a}->{b} path weight mismatch"
+                );
             }
         }
     }

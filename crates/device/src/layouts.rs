@@ -135,7 +135,11 @@ impl Topology {
     /// assert_eq!(t.num_links(), 6);
     /// ```
     pub fn ibm_q5_tenerife() -> Self {
-        Topology::from_links("ibm-q5-tenerife", 5, [(1, 0), (2, 0), (2, 1), (3, 2), (3, 4), (4, 2)])
+        Topology::from_links(
+            "ibm-q5-tenerife",
+            5,
+            [(1, 0), (2, 0), (2, 1), (3, 2), (3, 4), (4, 2)],
+        )
     }
 
     /// The IBM-Q16 "Melbourne" ladder (the 14 usable qubits of the

@@ -40,14 +40,19 @@ mod strength;
 mod topology;
 pub mod validate;
 
-pub use calgen::{ibm_q20_average_calibration, ibm_q5_average_calibration, CalibrationGenerator, VariationProfile};
+pub use calgen::{
+    ibm_q20_average_calibration, ibm_q5_average_calibration, CalibrationGenerator, VariationProfile,
+};
 pub use calibration::{Calibration, CalibrationError, GateDurations};
 pub use device::Device;
-pub use log::CalibrationLog;
 pub use distances::{HopMatrix, ReliabilityMatrix, UNREACHABLE_HOPS};
+pub use log::CalibrationLog;
 pub use snapshot::SnapshotError;
-pub use strength::{candidate_regions, k_core_numbers, node_strengths, strongest_subgraph, try_strongest_subgraph};
+pub use strength::{
+    candidate_regions, k_core_numbers, node_strengths, strongest_subgraph, try_strongest_subgraph,
+};
 pub use topology::{Link, Topology};
 pub use validate::{
-    CalField, CalibrationIssue, CalibrationRejected, CalibrationReport, IssueKind, RawCalibration, SanitizePolicy,
+    CalField, CalibrationIssue, CalibrationRejected, CalibrationReport, IssueKind, RawCalibration,
+    SanitizePolicy,
 };

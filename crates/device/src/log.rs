@@ -144,7 +144,7 @@ impl CalibrationLog {
             avg(&|c| c.two_qubit_errors(), self.num_links),
             self.entries[0].durations(),
         )
-        .expect("averages of valid calibrations stay valid")
+        .unwrap_or_else(|e| unreachable!("averages of valid calibrations stay valid: {e}"))
     }
 }
 
@@ -154,7 +154,8 @@ impl Extend<Calibration> for CalibrationLog {
     /// Panics if a snapshot does not match the device shape.
     fn extend<T: IntoIterator<Item = Calibration>>(&mut self, iter: T) {
         for c in iter {
-            self.push(c).expect("extended snapshots must match the device shape");
+            self.push(c)
+                .unwrap_or_else(|e| panic!("extended snapshots must match the device shape: {e}"));
         }
     }
 }
@@ -193,7 +194,11 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             err,
-            CalibrationError::QubitCountMismatch { field: "t1", expected: 3, actual: 4 }
+            CalibrationError::QubitCountMismatch {
+                field: "t1",
+                expected: 3,
+                actual: 4
+            }
         ));
         assert!(log.is_empty());
     }
@@ -204,7 +209,13 @@ mod tests {
         let err = log
             .push(Calibration::uniform(&Topology::linear(3), 0.05, 0.0, 0.0))
             .unwrap_err();
-        assert!(matches!(err, CalibrationError::LinkCountMismatch { expected: 3, actual: 2 }));
+        assert!(matches!(
+            err,
+            CalibrationError::LinkCountMismatch {
+                expected: 3,
+                actual: 2
+            }
+        ));
     }
 
     #[test]
@@ -232,7 +243,10 @@ mod tests {
     fn average_is_elementwise() {
         let (topo, log) = filled_log(5);
         let avg = log.average(&topo);
-        let manual: f64 = (0..5).map(|d| log.get(d).unwrap().two_qubit_error(3)).sum::<f64>() / 5.0;
+        let manual: f64 = (0..5)
+            .map(|d| log.get(d).unwrap().two_qubit_error(3))
+            .sum::<f64>()
+            / 5.0;
         assert!((avg.two_qubit_error(3) - manual).abs() < 1e-12);
         let manual_t1: f64 = (0..5).map(|d| log.get(d).unwrap().t1_us(7)).sum::<f64>() / 5.0;
         assert!((avg.t1_us(7) - manual_t1).abs() < 1e-12);

@@ -25,7 +25,9 @@ pub struct SnapshotError {
 
 impl SnapshotError {
     fn new(message: impl Into<String>) -> Self {
-        SnapshotError { message: message.into() }
+        SnapshotError {
+            message: message.into(),
+        }
     }
 }
 
@@ -90,7 +92,11 @@ fn fmt_f64(v: f64) -> String {
 /// Returns [`SnapshotError`] on malformed JSON, wrong value types, or a
 /// missing table. Out-of-range and non-finite *numbers* parse fine.
 pub fn parse_raw(text: &str) -> Result<RawCalibration, SnapshotError> {
-    let value = Parser { bytes: text.as_bytes(), pos: 0 }.parse_document()?;
+    let value = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    }
+    .parse_document()?;
     let JsonValue::Object(fields) = value else {
         return Err(SnapshotError::new("top level must be an object"));
     };
@@ -108,7 +114,10 @@ pub fn parse_raw(text: &str) -> Result<RawCalibration, SnapshotError> {
                     ))),
                 })
                 .collect(),
-            Some(other) => Err(SnapshotError::new(format!("'{name}' must be an array, found {}", other.kind()))),
+            Some(other) => Err(SnapshotError::new(format!(
+                "'{name}' must be an array, found {}",
+                other.kind()
+            ))),
             None => Err(SnapshotError::new(format!("missing field '{name}'"))),
         }
     };
@@ -117,9 +126,10 @@ pub fn parse_raw(text: &str) -> Result<RawCalibration, SnapshotError> {
             let num = |name: &str| -> Result<f64, SnapshotError> {
                 match d.iter().find(|(k, _)| k == name).map(|(_, v)| v) {
                     Some(JsonValue::Number(n)) => Ok(*n),
-                    Some(other) => {
-                        Err(SnapshotError::new(format!("durations.{name} must be a number, found {}", other.kind())))
-                    }
+                    Some(other) => Err(SnapshotError::new(format!(
+                        "durations.{name} must be a number, found {}",
+                        other.kind()
+                    ))),
                     None => Err(SnapshotError::new(format!("durations is missing '{name}'"))),
                 }
             };
@@ -129,7 +139,12 @@ pub fn parse_raw(text: &str) -> Result<RawCalibration, SnapshotError> {
                 readout_ns: num("readout_ns")?,
             })
         }
-        Some(other) => return Err(SnapshotError::new(format!("'durations' must be an object, found {}", other.kind()))),
+        Some(other) => {
+            return Err(SnapshotError::new(format!(
+                "'durations' must be an object, found {}",
+                other.kind()
+            )))
+        }
         None => None,
     };
     Ok(RawCalibration {
@@ -295,7 +310,11 @@ impl Parser<'_> {
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    let escaped = self.bytes.get(self.pos).copied().ok_or_else(|| self.err("unterminated escape"))?;
+                    let escaped = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| self.err("unterminated escape"))?;
                     self.pos += 1;
                     match escaped {
                         b'"' => out.push('"'),
@@ -344,8 +363,8 @@ impl Parser<'_> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("invalid number"))?;
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.err("invalid number"))?;
         text.parse::<f64>()
             .map(JsonValue::Number)
             .map_err(|_| SnapshotError::new(format!("'{text}' is not a number (at byte {start})")))
@@ -420,7 +439,12 @@ mod tests {
 
     #[test]
     fn strings_with_escapes_parse() {
-        let v = Parser { bytes: br#""a\n\"bA""#, pos: 0 }.parse_document().unwrap();
+        let v = Parser {
+            bytes: br#""a\n\"bA""#,
+            pos: 0,
+        }
+        .parse_document()
+        .unwrap();
         assert_eq!(v, JsonValue::String("a\n\"b\u{41}".to_string()));
     }
 }

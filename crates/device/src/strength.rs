@@ -73,7 +73,7 @@ pub fn k_core_numbers(topology: &Topology) -> Vec<usize> {
         let v = (0..n)
             .filter(|&v| !removed[v])
             .min_by_key(|&v| degree[v])
-            .expect("n iterations over n vertices");
+            .unwrap_or_else(|| unreachable!("n iterations over n vertices"));
         current_k = current_k.max(degree[v]);
         core[v] = current_k;
         removed[v] = true;
@@ -119,9 +119,12 @@ pub fn k_core_numbers(topology: &Topology) -> Vec<usize> {
 pub fn strongest_subgraph(device: &Device, k: usize) -> Vec<PhysQubit> {
     let topo = device.topology();
     let n = topo.num_qubits();
-    assert!(k >= 1 && k <= n, "subgraph size {k} out of range for {n}-qubit device");
+    assert!(
+        k >= 1 && k <= n,
+        "subgraph size {k} out of range for {n}-qubit device"
+    );
     try_strongest_subgraph(device, k)
-        .expect("device has no connected subgraph of the requested size")
+        .unwrap_or_else(|| panic!("device has no connected subgraph of the requested size"))
 }
 
 /// Fallible variant of [`strongest_subgraph`]: returns `None` when `k`
@@ -165,7 +168,9 @@ pub fn candidate_regions(device: &Device, k: usize) -> Vec<Vec<PhysQubit>> {
                         .iter()
                         .filter(|u| in_set[u.index()])
                         .map(|&u| {
-                            let id = topo.link_id(nb, u).expect("neighbor implies link");
+                            let id = topo
+                                .link_id(nb, u)
+                                .unwrap_or_else(|| unreachable!("neighbor implies link"));
                             1.0 - device.calibration().two_qubit_error(id)
                         })
                         .sum::<f64>()
@@ -183,7 +188,8 @@ pub fn candidate_regions(device: &Device, k: usize) -> Vec<Vec<PhysQubit>> {
         if members.len() < k {
             continue; // component too small
         }
-        let ans: f64 = internal_success(device, &members) + 1e-6 * members.iter().map(|&v| strengths[v]).sum::<f64>();
+        let ans: f64 =
+            internal_success(device, &members) + 1e-6 * members.iter().map(|&v| strengths[v]).sum::<f64>();
         // order members by descending node strength — the order VQA
         // assigns the most active program qubits in
         members.sort_by(|&a, &b| strengths[b].total_cmp(&strengths[a]).then(a.cmp(&b)));
@@ -216,9 +222,7 @@ fn internal_success(device: &Device, members: &[usize]) -> f64 {
     topo.links()
         .iter()
         .enumerate()
-        .filter(|&(id, l)| {
-            device.link_enabled(id) && in_set[l.low().index()] && in_set[l.high().index()]
-        })
+        .filter(|&(id, l)| device.link_enabled(id) && in_set[l.low().index()] && in_set[l.high().index()])
         .map(|(id, _)| 1.0 - device.calibration().two_qubit_error(id))
         .sum()
 }
@@ -279,7 +283,10 @@ mod tests {
     #[test]
     fn tokyo_core_is_at_least_two() {
         let core = k_core_numbers(&Topology::ibm_q20_tokyo());
-        assert!(core.iter().all(|&c| c >= 2), "mesh interior should be 2-core: {core:?}");
+        assert!(
+            core.iter().all(|&c| c >= 2),
+            "mesh interior should be 2-core: {core:?}"
+        );
     }
 
     #[test]
@@ -350,8 +357,8 @@ mod tests {
 
     #[test]
     fn dead_links_shrink_strength_and_regions() {
-        let dev = uniform_device(Topology::linear(4), 0.1)
-            .with_disabled_links([(PhysQubit(1), PhysQubit(2))]);
+        let dev =
+            uniform_device(Topology::linear(4), 0.1).with_disabled_links([(PhysQubit(1), PhysQubit(2))]);
         let s = node_strengths(&dev);
         assert!((s[1] - 0.9).abs() < 1e-12, "dead link still adds strength: {s:?}");
         // the active graph is 0-1 / 2-3: no connected 3-subgraph exists
@@ -365,7 +372,10 @@ mod tests {
     #[test]
     fn try_variant_handles_impossible_sizes() {
         let dev = uniform_device(Topology::from_links("split", 4, [(0, 1), (2, 3)]), 0.05);
-        assert!(try_strongest_subgraph(&dev, 3).is_none(), "no connected 3-subgraph exists");
+        assert!(
+            try_strongest_subgraph(&dev, 3).is_none(),
+            "no connected 3-subgraph exists"
+        );
         assert!(try_strongest_subgraph(&dev, 2).is_some());
         assert!(try_strongest_subgraph(&dev, 0).is_none());
         assert!(try_strongest_subgraph(&dev, 9).is_none());

@@ -117,11 +117,16 @@ impl Topology {
         link_pairs: impl IntoIterator<Item = (u32, u32)>,
     ) -> Self {
         let mut graph = UnGraph::new_undirected();
-        let nodes: Vec<NodeIndex> = (0..num_qubits).map(|i| graph.add_node(PhysQubit(i as u32))).collect();
+        let nodes: Vec<NodeIndex> = (0..num_qubits)
+            .map(|i| graph.add_node(PhysQubit(i as u32)))
+            .collect();
         let mut links = Vec::new();
         let mut link_index = HashMap::new();
         for (a, b) in link_pairs {
-            assert!((a as usize) < num_qubits && (b as usize) < num_qubits, "link ({a},{b}) out of range");
+            assert!(
+                (a as usize) < num_qubits && (b as usize) < num_qubits,
+                "link ({a},{b}) out of range"
+            );
             let link = Link::new(PhysQubit(a), PhysQubit(b));
             if link_index.contains_key(&link) {
                 continue;
@@ -130,7 +135,12 @@ impl Topology {
             links.push(link);
             graph.add_edge(nodes[a as usize], nodes[b as usize], ());
         }
-        Topology { name: name.into(), graph, links, link_index }
+        Topology {
+            name: name.into(),
+            graph,
+            links,
+            link_index,
+        }
     }
 
     /// A human-readable name ("ibm-q20-tokyo", "linear-5", ...).
@@ -224,7 +234,13 @@ impl Topology {
 
 impl fmt::Display for Topology {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({} qubits, {} links)", self.name, self.num_qubits(), self.num_links())
+        write!(
+            f,
+            "{} ({} qubits, {} links)",
+            self.name,
+            self.num_qubits(),
+            self.num_links()
+        )
     }
 }
 
@@ -280,7 +296,10 @@ mod tests {
     #[test]
     fn neighbors_sorted() {
         let t = Topology::from_links("t", 4, [(2, 1), (2, 3), (2, 0)]);
-        assert_eq!(t.neighbors(PhysQubit(2)), vec![PhysQubit(0), PhysQubit(1), PhysQubit(3)]);
+        assert_eq!(
+            t.neighbors(PhysQubit(2)),
+            vec![PhysQubit(0), PhysQubit(1), PhysQubit(3)]
+        );
         assert_eq!(t.degree(PhysQubit(2)), 3);
         assert_eq!(t.degree(PhysQubit(0)), 1);
     }

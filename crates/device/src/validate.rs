@@ -220,7 +220,9 @@ impl CalibrationReport {
 
     /// Whether the snapshot contains an irreparable shape mismatch.
     pub fn has_shape_mismatch(&self) -> bool {
-        self.issues.iter().any(|i| matches!(i.kind, IssueKind::WrongLength { .. }))
+        self.issues
+            .iter()
+            .any(|i| matches!(i.kind, IssueKind::WrongLength { .. }))
     }
 
     /// One diagnostic line per issue, ready for stderr.
@@ -416,8 +418,9 @@ impl RawCalibration {
         history: Option<&CalibrationLog>,
     ) -> Result<(Calibration, CalibrationReport), CalibrationRejected> {
         let history = match policy {
-            SanitizePolicy::ImputeFromHistory => history
-                .and_then(|log| History::from_log(log, topology.num_qubits(), topology.num_links())),
+            SanitizePolicy::ImputeFromHistory => {
+                history.and_then(|log| History::from_log(log, topology.num_qubits(), topology.num_links()))
+            }
             _ => None,
         };
         let (report, repaired) = self.examine(topology, policy, history.as_ref());
@@ -468,7 +471,10 @@ impl RawCalibration {
                     field,
                     index: None,
                     value: 0.0,
-                    kind: IssueKind::WrongLength { expected, actual: len },
+                    kind: IssueKind::WrongLength {
+                        expected,
+                        actual: len,
+                    },
                     repair: None,
                 });
             }
@@ -488,16 +494,26 @@ impl RawCalibration {
         for (field, table) in fields {
             for (index, &value) in table.iter().enumerate() {
                 let t1_ref = (field == CalField::T2).then(|| repaired.t1_us[index]);
-                let Some(kind) = classify(field, value, t1_ref) else { continue };
+                let Some(kind) = classify(field, value, t1_ref) else {
+                    continue;
+                };
                 let repair = match policy {
                     SanitizePolicy::Reject => None,
                     SanitizePolicy::Clamp => Some(Repair::Clamped(clamp_repair(field, kind, value))),
-                    SanitizePolicy::ImputeFromHistory => Some(impute_repair(field, kind, value, index, history)),
+                    SanitizePolicy::ImputeFromHistory => {
+                        Some(impute_repair(field, kind, value, index, history))
+                    }
                 };
                 if let Some(repair) = repair {
                     *repaired.table_mut(field, index) = repair.value();
                 }
-                issues.push(CalibrationIssue { field, index: Some(index), value, kind, repair });
+                issues.push(CalibrationIssue {
+                    field,
+                    index: Some(index),
+                    value,
+                    kind,
+                    repair,
+                });
             }
         }
         (CalibrationReport { policy, issues }, repaired)
@@ -525,7 +541,11 @@ fn impute_repair(
 ) -> Repair {
     if let Some(h) = history {
         let mean = h.get(field, index);
-        let usable = if field.is_coherence() { mean > 0.0 && mean.is_finite() } else { (0.0..1.0).contains(&mean) };
+        let usable = if field.is_coherence() {
+            mean > 0.0 && mean.is_finite()
+        } else {
+            (0.0..1.0).contains(&mean)
+        };
         if usable {
             return Repair::Imputed(mean);
         }
@@ -550,7 +570,11 @@ mod tests {
     fn clean_snapshot_passes_every_policy() {
         let t = topo();
         let raw = clean_raw(&t);
-        for policy in [SanitizePolicy::Reject, SanitizePolicy::Clamp, SanitizePolicy::ImputeFromHistory] {
+        for policy in [
+            SanitizePolicy::Reject,
+            SanitizePolicy::Clamp,
+            SanitizePolicy::ImputeFromHistory,
+        ] {
             let (cal, report) = raw.sanitize(&t, policy, None).unwrap();
             assert!(report.is_clean(), "{report}");
             assert_eq!(cal.two_qubit_error(0), 0.05);
@@ -626,12 +650,19 @@ mod tests {
         let t = topo();
         let mut raw = clean_raw(&t);
         raw.err_2q.pop();
-        for policy in [SanitizePolicy::Reject, SanitizePolicy::Clamp, SanitizePolicy::ImputeFromHistory] {
+        for policy in [
+            SanitizePolicy::Reject,
+            SanitizePolicy::Clamp,
+            SanitizePolicy::ImputeFromHistory,
+        ] {
             let err = raw.sanitize(&t, policy, None).unwrap_err();
             assert!(err.report.has_shape_mismatch());
             assert!(matches!(
                 err.report.issues()[0].kind,
-                IssueKind::WrongLength { expected: 3, actual: 2 }
+                IssueKind::WrongLength {
+                    expected: 3,
+                    actual: 2
+                }
             ));
         }
     }
@@ -647,11 +678,16 @@ mod tests {
         let mut raw = RawCalibration::from(log.get(0).unwrap());
         raw.err_2q[7] = f64::NAN;
         raw.t1_us[3] = -1.0;
-        let (cal, report) = raw.sanitize(&t, SanitizePolicy::ImputeFromHistory, Some(&log)).unwrap();
+        let (cal, report) = raw
+            .sanitize(&t, SanitizePolicy::ImputeFromHistory, Some(&log))
+            .unwrap();
         assert!((cal.two_qubit_error(7) - log.link_mean(7)).abs() < 1e-12);
         assert!(cal.t1_us(3) > 0.0);
         assert_eq!(report.repaired(), 2);
-        assert!(report.issues().iter().all(|i| matches!(i.repair, Some(Repair::Imputed(_)))));
+        assert!(report
+            .issues()
+            .iter()
+            .all(|i| matches!(i.repair, Some(Repair::Imputed(_)))));
     }
 
     #[test]
@@ -672,7 +708,9 @@ mod tests {
         log.push(Calibration::uniform(&other, 0.01, 0.0, 0.0)).unwrap();
         let mut raw = clean_raw(&t);
         raw.err_2q[0] = f64::NAN;
-        let (cal, _) = raw.sanitize(&t, SanitizePolicy::ImputeFromHistory, Some(&log)).unwrap();
+        let (cal, _) = raw
+            .sanitize(&t, SanitizePolicy::ImputeFromHistory, Some(&log))
+            .unwrap();
         assert_eq!(cal.two_qubit_error(0), MAX_ERROR_RATE);
     }
 
@@ -706,9 +744,15 @@ mod tests {
         // the result must round-trip through Calibration::new
         let t = topo();
         let corruptions: &[f64] = &[f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, 1.0, 2.5, 0.999];
-        for (fi, field) in [CalField::T1, CalField::T2, CalField::Err1q, CalField::ErrReadout, CalField::Err2q]
-            .into_iter()
-            .enumerate()
+        for (fi, field) in [
+            CalField::T1,
+            CalField::T2,
+            CalField::Err1q,
+            CalField::ErrReadout,
+            CalField::Err2q,
+        ]
+        .into_iter()
+        .enumerate()
         {
             for (ci, &bad) in corruptions.iter().enumerate() {
                 let mut raw = clean_raw(&t);

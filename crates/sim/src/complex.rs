@@ -40,7 +40,10 @@ impl Complex64 {
 
     /// `e^{iθ}` — a unit phase.
     pub fn from_polar(theta: f64) -> Self {
-        Complex64 { re: theta.cos(), im: theta.sin() }
+        Complex64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Squared magnitude `|z|²`.
@@ -50,19 +53,28 @@ impl Complex64 {
 
     /// Complex conjugate.
     pub fn conj(self) -> Self {
-        Complex64 { re: self.re, im: -self.im }
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Scales by a real factor.
     pub fn scale(self, k: f64) -> Self {
-        Complex64 { re: self.re * k, im: self.im * k }
+        Complex64 {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 }
 
 impl Add for Complex64 {
     type Output = Complex64;
     fn add(self, rhs: Complex64) -> Complex64 {
-        Complex64 { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -76,7 +88,10 @@ impl AddAssign for Complex64 {
 impl Sub for Complex64 {
     type Output = Complex64;
     fn sub(self, rhs: Complex64) -> Complex64 {
-        Complex64 { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -93,7 +108,10 @@ impl Mul for Complex64 {
 impl Neg for Complex64 {
     type Output = Complex64;
     fn neg(self) -> Complex64 {
-        Complex64 { re: -self.re, im: -self.im }
+        Complex64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

@@ -30,7 +30,10 @@ impl Default for CorrelatedModel {
     /// A mild default: 5 % of links drift per trial window, tripling
     /// their error rate.
     fn default() -> Self {
-        CorrelatedModel { burst_probability: 0.05, burst_multiplier: 3.0 }
+        CorrelatedModel {
+            burst_probability: 0.05,
+            burst_multiplier: 3.0,
+        }
     }
 }
 
@@ -38,7 +41,10 @@ impl CorrelatedModel {
     /// A model with no correlation at all (reduces exactly to the
     /// independent injector; property-tested).
     pub fn independent() -> Self {
-        CorrelatedModel { burst_probability: 0.0, burst_multiplier: 1.0 }
+        CorrelatedModel {
+            burst_probability: 0.0,
+            burst_multiplier: 1.0,
+        }
     }
 }
 
@@ -76,7 +82,10 @@ pub fn monte_carlo_pst_correlated(
     model: CorrelatedModel,
 ) -> Result<McEstimate, SimError> {
     if circuit.num_qubits() > device.num_qubits() {
-        return Err(SimError::TooManyQubits { circuit: circuit.num_qubits(), device: device.num_qubits() });
+        return Err(SimError::TooManyQubits {
+            circuit: circuit.num_qubits(),
+            device: device.num_qubits(),
+        });
     }
     let cal = device.calibration();
     // per op: (base failure probability, link id if the op rides a link)
@@ -88,14 +97,22 @@ pub fn monte_carlo_pst_correlated(
                 let id = device
                     .topology()
                     .link_id(*control, *target)
-                    .ok_or(SimError::UncoupledOperands { gate_index: idx, a: *control, b: *target })?;
+                    .ok_or(SimError::UncoupledOperands {
+                        gate_index: idx,
+                        a: *control,
+                        b: *target,
+                    })?;
                 (cal.two_qubit_error(id), Some(id))
             }
             Gate::Swap { a, b } => {
                 let id = device
                     .topology()
                     .link_id(*a, *b)
-                    .ok_or(SimError::UncoupledOperands { gate_index: idx, a: *a, b: *b })?;
+                    .ok_or(SimError::UncoupledOperands {
+                        gate_index: idx,
+                        a: *a,
+                        b: *b,
+                    })?;
                 (1.0 - (1.0 - cal.two_qubit_error(id)).powi(3), Some(id))
             }
             Gate::Measure { qubit, .. } => (cal.readout_error(qubit.index()), None),
@@ -125,7 +142,11 @@ pub fn monte_carlo_pst_correlated(
         }
         successes += 1;
     }
-    Ok(McEstimate { pst: successes as f64 / trials.max(1) as f64, successes, trials })
+    Ok(McEstimate {
+        pst: successes as f64 / trials.max(1) as f64,
+        successes,
+        trials,
+    })
 }
 
 #[cfg(test)]
@@ -136,7 +157,9 @@ mod tests {
     use quva_device::{Calibration, Topology};
 
     fn device() -> Device {
-        Device::new(Topology::linear(3), |t| Calibration::uniform(t, 0.05, 0.002, 0.02))
+        Device::new(Topology::linear(3), |t| {
+            Calibration::uniform(t, 0.05, 0.002, 0.02)
+        })
     }
 
     fn chain() -> Circuit<PhysQubit> {
@@ -155,8 +178,7 @@ mod tests {
         let dev = device();
         let c = chain();
         let plain = monte_carlo_pst(&dev, &c, 200_000, 3, CoherenceModel::Disabled).unwrap();
-        let corr =
-            monte_carlo_pst_correlated(&dev, &c, 200_000, 4, CorrelatedModel::independent()).unwrap();
+        let corr = monte_carlo_pst_correlated(&dev, &c, 200_000, 4, CorrelatedModel::independent()).unwrap();
         assert!(
             (plain.pst - corr.pst).abs() < 5.0 * (plain.std_error() + corr.std_error()) + 1e-3,
             "plain {} vs correlated-independent {}",
@@ -177,7 +199,10 @@ mod tests {
             &c,
             100_000,
             1,
-            CorrelatedModel { burst_probability: 0.3, burst_multiplier: 5.0 },
+            CorrelatedModel {
+                burst_probability: 0.3,
+                burst_multiplier: 5.0,
+            },
         )
         .unwrap()
         .pst;
@@ -196,7 +221,10 @@ mod tests {
             &c,
             20_000,
             2,
-            CorrelatedModel { burst_probability: 1.0, burst_multiplier: 100.0 },
+            CorrelatedModel {
+                burst_probability: 1.0,
+                burst_multiplier: 100.0,
+            },
         )
         .unwrap();
         assert!(est.pst > 0.0, "cap at 0.95 leaves a 5% success channel");

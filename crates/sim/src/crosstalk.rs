@@ -122,11 +122,7 @@ pub fn analytic_pst_with_crosstalk(
 
 /// Per-op crosstalk multipliers (1.0 for unaffected ops), aligned with
 /// the failure profile's op order (barriers excluded).
-fn crosstalk_multipliers(
-    device: &Device,
-    circuit: &Circuit<PhysQubit>,
-    model: CrosstalkModel,
-) -> Vec<f64> {
+fn crosstalk_multipliers(device: &Device, circuit: &Circuit<PhysQubit>, model: CrosstalkModel) -> Vec<f64> {
     // map gate index -> op index (barriers collapse)
     let mut op_index_of = vec![usize::MAX; circuit.len()];
     let mut next = 0;
@@ -144,7 +140,11 @@ fn crosstalk_multipliers(
         let two_qubit: Vec<(usize, (PhysQubit, PhysQubit))> = layer
             .iter()
             .filter_map(|&gi| match &circuit.gates()[gi] {
-                Gate::Cnot { control: a, target: b } | Gate::Swap { a, b } => Some((gi, (*a, *b))),
+                Gate::Cnot {
+                    control: a,
+                    target: b,
+                }
+                | Gate::Swap { a, b } => Some((gi, (*a, *b))),
                 _ => None,
             })
             .collect();
@@ -178,8 +178,9 @@ mod tests {
         c.cnot(PhysQubit(2), PhysQubit(3));
         c.cnot(PhysQubit(4), PhysQubit(5));
         let plain = analytic_pst(&dev, &c, CoherenceModel::Disabled).unwrap();
-        let xt = analytic_pst_with_crosstalk(&dev, &c, CoherenceModel::Disabled, CrosstalkModel { factor: 1.0 })
-            .unwrap();
+        let xt =
+            analytic_pst_with_crosstalk(&dev, &c, CoherenceModel::Disabled, CrosstalkModel { factor: 1.0 })
+                .unwrap();
         assert!((plain.pst - xt.pst).abs() < 1e-12);
     }
 
@@ -195,10 +196,12 @@ mod tests {
         serial.cnot(PhysQubit(0), PhysQubit(1));
         serial.cnot(PhysQubit(1), PhysQubit(2)); // forces ordering
         let model = CrosstalkModel { factor: 3.0 };
-        let p_par =
-            analytic_pst_with_crosstalk(&dev, &parallel, CoherenceModel::Disabled, model).unwrap().pst;
-        let p_ser =
-            analytic_pst_with_crosstalk(&dev, &serial, CoherenceModel::Disabled, model).unwrap().pst;
+        let p_par = analytic_pst_with_crosstalk(&dev, &parallel, CoherenceModel::Disabled, model)
+            .unwrap()
+            .pst;
+        let p_ser = analytic_pst_with_crosstalk(&dev, &serial, CoherenceModel::Disabled, model)
+            .unwrap()
+            .pst;
         // parallel: both CNOTs at 15% err: 0.85² = 0.7225
         assert!((p_par - 0.85f64.powi(2)).abs() < 1e-12, "parallel {p_par}");
         // serial chain: plain 5% each
@@ -213,7 +216,9 @@ mod tests {
         c.cnot(PhysQubit(0), PhysQubit(1));
         c.cnot(PhysQubit(4), PhysQubit(5));
         let model = CrosstalkModel { factor: 3.0 };
-        let xt = analytic_pst_with_crosstalk(&dev, &c, CoherenceModel::Disabled, model).unwrap().pst;
+        let xt = analytic_pst_with_crosstalk(&dev, &c, CoherenceModel::Disabled, model)
+            .unwrap()
+            .pst;
         assert!((xt - 0.95f64.powi(2)).abs() < 1e-12);
     }
 
@@ -225,7 +230,9 @@ mod tests {
         c.cnot(PhysQubit(0), PhysQubit(1));
         c.cnot(PhysQubit(1), PhysQubit(2));
         let model = CrosstalkModel::default();
-        let xt = analytic_pst_with_crosstalk(&dev, &c, CoherenceModel::Disabled, model).unwrap().pst;
+        let xt = analytic_pst_with_crosstalk(&dev, &c, CoherenceModel::Disabled, model)
+            .unwrap()
+            .pst;
         assert!((xt - 0.95f64.powi(2)).abs() < 1e-12);
     }
 

@@ -52,8 +52,14 @@ impl DensityMatrix {
     ///
     /// Panics if `n` exceeds [`MAX_DENSITY_QUBITS`].
     pub fn new(n: usize) -> Self {
-        assert!(n <= MAX_DENSITY_QUBITS, "{n} qubits exceeds the density-matrix limit");
-        DensityMatrix { n, vec: StateVector::new(2 * n) }
+        assert!(
+            n <= MAX_DENSITY_QUBITS,
+            "{n} qubits exceeds the density-matrix limit"
+        );
+        DensityMatrix {
+            n,
+            vec: StateVector::new(2 * n),
+        }
     }
 
     /// The number of qubits.
@@ -181,7 +187,10 @@ impl DensityMatrix {
         let keep = (1.0 - p).sqrt();
         let flip = (p / 3.0).sqrt();
         let scaled = |m: [[Complex64; 2]; 2], s: f64| {
-            [[m[0][0].scale(s), m[0][1].scale(s)], [m[1][0].scale(s), m[1][1].scale(s)]]
+            [
+                [m[0][0].scale(s), m[0][1].scale(s)],
+                [m[1][0].scale(s), m[1][1].scale(s)],
+            ]
         };
         self.apply_kraus_1q(
             q,
@@ -209,12 +218,7 @@ impl DensityMatrix {
         // conjugation and convex mixing of the resulting matrices.
         let original = self.clone();
         let paulis = [OneQubitKind::I, OneQubitKind::X, OneQubitKind::Y, OneQubitKind::Z];
-        let mut acc: Vec<Complex64> = original
-            .vec
-            .amps()
-            .iter()
-            .map(|amp| amp.scale(1.0 - p))
-            .collect();
+        let mut acc: Vec<Complex64> = original.vec.amps().iter().map(|amp| amp.scale(1.0 - p)).collect();
         for (i, &pa) in paulis.iter().enumerate() {
             for (j, &pb) in paulis.iter().enumerate() {
                 if i == 0 && j == 0 {
@@ -350,7 +354,10 @@ mod tests {
         rho.h(0); // |+>
         let before = rho.probability(0);
         rho.dephase(0, 0.5); // full dephasing: coherences halve... at λ=0.5 they vanish
-        assert!((rho.probability(0) - before).abs() < 1e-10, "populations unchanged");
+        assert!(
+            (rho.probability(0) - before).abs() < 1e-10,
+            "populations unchanged"
+        );
         // after full dephasing, H brings |+>⟨+| to a mixed state, not |0>
         rho.h(0);
         assert!((rho.probability(0) - 0.5).abs() < 1e-10);
@@ -366,7 +373,10 @@ mod tests {
         // anti-correlated outcomes appear
         let p_01 = rho.probability(0b01);
         let p_10 = rho.probability(0b10);
-        assert!(p_01 > 0.01 && p_10 > 0.01, "noise must populate 01/10: {p_01}, {p_10}");
+        assert!(
+            p_01 > 0.01 && p_10 > 0.01,
+            "noise must populate 01/10: {p_01}, {p_10}"
+        );
         assert!((rho.trace() - 1.0).abs() < 1e-10);
     }
 

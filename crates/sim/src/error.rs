@@ -37,13 +37,22 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::UncoupledOperands { gate_index, a, b } => {
-                write!(f, "gate {gate_index} addresses uncoupled qubits {a} and {b}; route the circuit first")
+                write!(
+                    f,
+                    "gate {gate_index} addresses uncoupled qubits {a} and {b}; route the circuit first"
+                )
             }
             SimError::TooManyQubits { circuit, device } => {
-                write!(f, "circuit uses {circuit} qubits but the device has only {device}")
+                write!(
+                    f,
+                    "circuit uses {circuit} qubits but the device has only {device}"
+                )
             }
             SimError::MidCircuitMeasurement { gate_index } => {
-                write!(f, "gate {gate_index} touches a measured qubit; only terminal measurement is supported here")
+                write!(
+                    f,
+                    "gate {gate_index} touches a measured qubit; only terminal measurement is supported here"
+                )
             }
         }
     }
@@ -57,9 +66,16 @@ mod tests {
 
     #[test]
     fn display_mentions_routing() {
-        let e = SimError::UncoupledOperands { gate_index: 3, a: PhysQubit(0), b: PhysQubit(5) };
+        let e = SimError::UncoupledOperands {
+            gate_index: 3,
+            a: PhysQubit(0),
+            b: PhysQubit(5),
+        };
         assert!(e.to_string().contains("route the circuit first"));
-        let e = SimError::TooManyQubits { circuit: 10, device: 5 };
+        let e = SimError::TooManyQubits {
+            circuit: 10,
+            device: 5,
+        };
         assert!(e.to_string().contains("only 5"));
         let e = SimError::MidCircuitMeasurement { gate_index: 7 };
         assert!(e.to_string().contains("terminal measurement"));

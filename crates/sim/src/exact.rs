@@ -39,16 +39,19 @@ use crate::error::SimError;
 /// # Ok(())
 /// # }
 /// ```
-pub fn exact_noisy_distribution(
-    device: &Device,
-    circuit: &Circuit<PhysQubit>,
-) -> Result<Vec<f64>, SimError> {
+pub fn exact_noisy_distribution(device: &Device, circuit: &Circuit<PhysQubit>) -> Result<Vec<f64>, SimError> {
     let n = circuit.num_qubits();
     if n > device.num_qubits() {
-        return Err(SimError::TooManyQubits { circuit: n, device: device.num_qubits() });
+        return Err(SimError::TooManyQubits {
+            circuit: n,
+            device: device.num_qubits(),
+        });
     }
     if n > MAX_DENSITY_QUBITS {
-        return Err(SimError::TooManyQubits { circuit: n, device: MAX_DENSITY_QUBITS });
+        return Err(SimError::TooManyQubits {
+            circuit: n,
+            device: MAX_DENSITY_QUBITS,
+        });
     }
     let cal = device.calibration();
     let mut rho = DensityMatrix::new(n);
@@ -68,14 +71,20 @@ pub fn exact_noisy_distribution(
             Gate::Cnot { control, target } => {
                 let e = device
                     .link_error(*control, *target)
-                    .ok_or(SimError::UncoupledOperands { gate_index: idx, a: *control, b: *target })?;
+                    .ok_or(SimError::UncoupledOperands {
+                        gate_index: idx,
+                        a: *control,
+                        b: *target,
+                    })?;
                 rho.cnot(control.index(), target.index());
                 rho.depolarize_2q(control.index(), target.index(), e);
             }
             Gate::Swap { a, b } => {
-                let e = device
-                    .link_error(*a, *b)
-                    .ok_or(SimError::UncoupledOperands { gate_index: idx, a: *a, b: *b })?;
+                let e = device.link_error(*a, *b).ok_or(SimError::UncoupledOperands {
+                    gate_index: idx,
+                    a: *a,
+                    b: *b,
+                })?;
                 rho.swap(a.index(), b.index());
                 rho.depolarize_2q(a.index(), b.index(), 1.0 - (1.0 - e).powi(3));
             }
@@ -127,7 +136,9 @@ mod tests {
     use quva_device::{Calibration, Topology};
 
     fn device(e2q: f64, e1q: f64, ero: f64) -> Device {
-        Device::new(Topology::fully_connected(3), |t| Calibration::uniform(t, e2q, e1q, ero))
+        Device::new(Topology::fully_connected(3), |t| {
+            Calibration::uniform(t, e2q, e1q, ero)
+        })
     }
 
     fn bv3() -> Circuit<PhysQubit> {

@@ -52,8 +52,8 @@ pub use complex::Complex64;
 pub use correlated::{monte_carlo_pst_correlated, CorrelatedModel};
 pub use crosstalk::{analytic_pst_with_crosstalk, CrosstalkModel};
 pub use density::{DensityMatrix, MAX_DENSITY_QUBITS};
-pub use exact::exact_noisy_distribution;
 pub use error::SimError;
+pub use exact::exact_noisy_distribution;
 pub use montecarlo::{monte_carlo_pst, run_trials, McEstimate};
 pub use noisy::{run_noisy_trials, TrialOutcomes};
 pub use profile::{CoherenceModel, FailureProfile};

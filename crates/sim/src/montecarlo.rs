@@ -94,7 +94,11 @@ pub fn run_trials(profile: &FailureProfile, trials: u64, seed: u64) -> McEstimat
         }
         successes += 1;
     }
-    McEstimate { pst: successes as f64 / trials.max(1) as f64, successes, trials }
+    McEstimate {
+        pst: successes as f64 / trials.max(1) as f64,
+        successes,
+        trials,
+    }
 }
 
 #[cfg(test)]
@@ -159,7 +163,11 @@ mod tests {
         let err = monte_carlo_pst(&dev, &c, 100, 0, CoherenceModel::Disabled).unwrap_err();
         assert_eq!(
             err,
-            SimError::UncoupledOperands { gate_index: 0, a: PhysQubit(0), b: PhysQubit(2) }
+            SimError::UncoupledOperands {
+                gate_index: 0,
+                a: PhysQubit(0),
+                b: PhysQubit(2)
+            }
         );
     }
 
@@ -168,7 +176,13 @@ mod tests {
         let dev = device(0.1);
         let c: Circuit<PhysQubit> = Circuit::new(5);
         let err = monte_carlo_pst(&dev, &c, 100, 0, CoherenceModel::Disabled).unwrap_err();
-        assert_eq!(err, SimError::TooManyQubits { circuit: 5, device: 3 });
+        assert_eq!(
+            err,
+            SimError::TooManyQubits {
+                circuit: 5,
+                device: 3
+            }
+        );
     }
 
     #[test]
@@ -180,7 +194,11 @@ mod tests {
         let err = monte_carlo_pst(&dev, &chain(1), 100, 0, CoherenceModel::Disabled).unwrap_err();
         assert_eq!(
             err,
-            SimError::UncoupledOperands { gate_index: 0, a: PhysQubit(0), b: PhysQubit(1) }
+            SimError::UncoupledOperands {
+                gate_index: 0,
+                a: PhysQubit(0),
+                b: PhysQubit(1)
+            }
         );
     }
 

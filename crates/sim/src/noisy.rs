@@ -66,7 +66,12 @@ impl TrialOutcomes {
         if self.trials == 0 {
             return 0.0;
         }
-        let ok: u64 = self.counts.iter().filter(|(&o, _)| accept(o)).map(|(_, &c)| c).sum();
+        let ok: u64 = self
+            .counts
+            .iter()
+            .filter(|(&o, _)| accept(o))
+            .map(|(_, &c)| c)
+            .sum();
         ok as f64 / self.trials as f64
     }
 
@@ -100,7 +105,10 @@ pub fn run_noisy_trials(
     seed: u64,
 ) -> Result<TrialOutcomes, SimError> {
     if circuit.num_qubits() > device.num_qubits() {
-        return Err(SimError::TooManyQubits { circuit: circuit.num_qubits(), device: device.num_qubits() });
+        return Err(SimError::TooManyQubits {
+            circuit: circuit.num_qubits(),
+            device: device.num_qubits(),
+        });
     }
     // Pre-validate coupling and collect per-gate error rates.
     let cal = device.calibration();
@@ -108,13 +116,21 @@ pub fn run_noisy_trials(
     for (idx, gate) in circuit.iter().enumerate() {
         let e = match gate {
             Gate::OneQubit { qubit, .. } => cal.one_qubit_error(qubit.index()),
-            Gate::Cnot { control, target } => device
-                .link_error(*control, *target)
-                .ok_or(SimError::UncoupledOperands { gate_index: idx, a: *control, b: *target })?,
+            Gate::Cnot { control, target } => {
+                device
+                    .link_error(*control, *target)
+                    .ok_or(SimError::UncoupledOperands {
+                        gate_index: idx,
+                        a: *control,
+                        b: *target,
+                    })?
+            }
             Gate::Swap { a, b } => {
-                let e = device
-                    .link_error(*a, *b)
-                    .ok_or(SimError::UncoupledOperands { gate_index: idx, a: *a, b: *b })?;
+                let e = device.link_error(*a, *b).ok_or(SimError::UncoupledOperands {
+                    gate_index: idx,
+                    a: *a,
+                    b: *b,
+                })?;
                 1.0 - (1.0 - e).powi(3)
             }
             Gate::Measure { qubit, .. } => cal.readout_error(qubit.index()),
@@ -168,7 +184,11 @@ fn inject_pauli(sv: &mut StateVector, gate: &Gate<PhysQubit>, rng: &mut StdRng) 
         Gate::OneQubit { qubit, .. } => {
             sv.apply_pauli(qubit.index(), rng.random_range(1..=3));
         }
-        Gate::Cnot { control: a, target: b } | Gate::Swap { a, b } => {
+        Gate::Cnot {
+            control: a,
+            target: b,
+        }
+        | Gate::Swap { a, b } => {
             // draw (p, q) uniformly from {0..3}² \ {(0,0)}
             let code = rng.random_range(1..16u8);
             let (pa, pb) = (code / 4, code % 4);
@@ -190,11 +210,15 @@ mod tests {
     use quva_device::{Calibration, Topology};
 
     fn clean_device(n: usize) -> Device {
-        Device::new(Topology::fully_connected(n), |t| Calibration::uniform(t, 0.0, 0.0, 0.0))
+        Device::new(Topology::fully_connected(n), |t| {
+            Calibration::uniform(t, 0.0, 0.0, 0.0)
+        })
     }
 
     fn noisy_device(n: usize, e2q: f64, ero: f64) -> Device {
-        Device::new(Topology::fully_connected(n), |t| Calibration::uniform(t, e2q, 0.0, ero))
+        Device::new(Topology::fully_connected(n), |t| {
+            Calibration::uniform(t, e2q, 0.0, ero)
+        })
     }
 
     fn bv3() -> Circuit<PhysQubit> {
@@ -216,7 +240,10 @@ mod tests {
         let zeros = out.count(0b000);
         let ones = out.count(0b111);
         assert_eq!(zeros + ones, 2000, "GHZ produced a non-pole outcome");
-        assert!((800..1200).contains(&(zeros as usize)), "pole split biased: {zeros}");
+        assert!(
+            (800..1200).contains(&(zeros as usize)),
+            "pole split biased: {zeros}"
+        );
     }
 
     #[test]
@@ -237,7 +264,10 @@ mod tests {
         c.measure(PhysQubit(0), Cbit(0));
         let out = run_noisy_trials(&dev, &c, 4000, 4).unwrap();
         let flipped = out.count(0b1);
-        assert!((1700..2300).contains(&(flipped as usize)), "readout flip rate off: {flipped}/4000");
+        assert!(
+            (1700..2300).contains(&(flipped as usize)),
+            "readout flip rate off: {flipped}/4000"
+        );
     }
 
     #[test]
@@ -260,7 +290,10 @@ mod tests {
     fn oversized_circuit_rejected() {
         let dev = clean_device(2);
         let c: Circuit<PhysQubit> = Circuit::new(3);
-        assert!(matches!(run_noisy_trials(&dev, &c, 1, 0), Err(SimError::TooManyQubits { .. })));
+        assert!(matches!(
+            run_noisy_trials(&dev, &c, 1, 0),
+            Err(SimError::TooManyQubits { .. })
+        ));
     }
 
     #[test]

@@ -69,13 +69,21 @@ impl FailureProfile {
         for (idx, gate) in circuit.iter().enumerate() {
             let p = match gate {
                 Gate::OneQubit { qubit, .. } => cal.one_qubit_error(qubit.index()),
-                Gate::Cnot { control, target } => device
-                    .link_error(*control, *target)
-                    .ok_or(SimError::UncoupledOperands { gate_index: idx, a: *control, b: *target })?,
+                Gate::Cnot { control, target } => {
+                    device
+                        .link_error(*control, *target)
+                        .ok_or(SimError::UncoupledOperands {
+                            gate_index: idx,
+                            a: *control,
+                            b: *target,
+                        })?
+                }
                 Gate::Swap { a, b } => {
-                    let e = device
-                        .link_error(*a, *b)
-                        .ok_or(SimError::UncoupledOperands { gate_index: idx, a: *a, b: *b })?;
+                    let e = device.link_error(*a, *b).ok_or(SimError::UncoupledOperands {
+                        gate_index: idx,
+                        a: *a,
+                        b: *b,
+                    })?;
                     1.0 - (1.0 - e).powi(3)
                 }
                 Gate::Measure { qubit, .. } => cal.readout_error(qubit.index()),
@@ -99,7 +107,13 @@ impl FailureProfile {
             .map(|&p| -(1.0 - p).max(f64::MIN_POSITIVE).ln())
             .sum();
 
-        Ok(FailureProfile { op_failures, coherence_failures, gate_weight, readout_weight, coherence_weight })
+        Ok(FailureProfile {
+            op_failures,
+            coherence_failures,
+            gate_weight,
+            readout_weight,
+            coherence_weight,
+        })
     }
 
     /// Failure probability of every physical operation, program order.
@@ -221,7 +235,13 @@ mod tests {
     fn oversized_circuit_rejected() {
         let c: Circuit<PhysQubit> = Circuit::new(5);
         let err = FailureProfile::new(&device(), &c, CoherenceModel::Disabled).unwrap_err();
-        assert!(matches!(err, SimError::TooManyQubits { circuit: 5, device: 3 }));
+        assert!(matches!(
+            err,
+            SimError::TooManyQubits {
+                circuit: 5,
+                device: 3
+            }
+        ));
     }
 
     #[test]
@@ -273,7 +293,9 @@ mod tests {
         let dev = Device::ibm_q20();
         let mut c: Circuit<PhysQubit> = Circuit::new(20);
         // boustrophedon walk over the 4×5 Tokyo mesh
-        let snake = [0u32, 1, 2, 3, 4, 9, 8, 7, 6, 5, 10, 11, 12, 13, 14, 19, 18, 17, 16, 15];
+        let snake = [
+            0u32, 1, 2, 3, 4, 9, 8, 7, 6, 5, 10, 11, 12, 13, 14, 19, 18, 17, 16, 15,
+        ];
         for w in snake.windows(2) {
             c.cnot(PhysQubit(w[0]), PhysQubit(w[1]));
         }
@@ -281,6 +303,10 @@ mod tests {
         let p = FailureProfile::new(&dev, &c, CoherenceModel::IdleWindow).unwrap();
         // a fully serial CNOT chain is the coherence-heaviest shape;
         // even there gates must outweigh decoherence
-        assert!(p.gate_to_coherence_ratio() > 1.0, "ratio {}", p.gate_to_coherence_ratio());
+        assert!(
+            p.gate_to_coherence_ratio() > 1.0,
+            "ratio {}",
+            p.gate_to_coherence_ratio()
+        );
     }
 }

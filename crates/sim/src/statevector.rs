@@ -44,7 +44,10 @@ impl StateVector {
     ///
     /// Panics if `n` exceeds [`MAX_STATEVECTOR_QUBITS`].
     pub fn new(n: usize) -> Self {
-        assert!(n <= MAX_STATEVECTOR_QUBITS, "{n} qubits exceeds the dense simulator limit");
+        assert!(
+            n <= MAX_STATEVECTOR_QUBITS,
+            "{n} qubits exceeds the dense simulator limit"
+        );
         let mut amps = vec![Complex64::ZERO; 1usize << n];
         amps[0] = Complex64::ONE;
         StateVector { n, amps }
@@ -212,7 +215,11 @@ impl StateVector {
     /// support on it).
     pub fn collapse(&mut self, q: usize, outcome: bool) {
         let bit = 1usize << q;
-        let p = if outcome { self.prob_one(q) } else { 1.0 - self.prob_one(q) };
+        let p = if outcome {
+            self.prob_one(q)
+        } else {
+            1.0 - self.prob_one(q)
+        };
         assert!(p > 1e-15, "collapsing onto a zero-probability outcome");
         let scale = 1.0 / p.sqrt();
         for (i, amp) in self.amps.iter_mut().enumerate() {
@@ -253,22 +260,29 @@ pub fn matrix_of(kind: OneQubitKind) -> [[Complex64; 2]; 2] {
         OneQubitKind::X => [[zero, one], [one, zero]],
         OneQubitKind::Y => [[zero, -i], [i, zero]],
         OneQubitKind::Z => [[one, zero], [zero, -one]],
-        OneQubitKind::H => [[C::new(h, 0.0), C::new(h, 0.0)], [C::new(h, 0.0), C::new(-h, 0.0)]],
+        OneQubitKind::H => [
+            [C::new(h, 0.0), C::new(h, 0.0)],
+            [C::new(h, 0.0), C::new(-h, 0.0)],
+        ],
         OneQubitKind::S => [[one, zero], [zero, i]],
         OneQubitKind::Sdg => [[one, zero], [zero, -i]],
         OneQubitKind::T => [[one, zero], [zero, C::from_polar(std::f64::consts::FRAC_PI_4)]],
         OneQubitKind::Tdg => [[one, zero], [zero, C::from_polar(-std::f64::consts::FRAC_PI_4)]],
         OneQubitKind::Rx(t) => {
             let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
-            [[C::new(c, 0.0), C::new(0.0, -s)], [C::new(0.0, -s), C::new(c, 0.0)]]
+            [
+                [C::new(c, 0.0), C::new(0.0, -s)],
+                [C::new(0.0, -s), C::new(c, 0.0)],
+            ]
         }
         OneQubitKind::Ry(t) => {
             let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
-            [[C::new(c, 0.0), C::new(-s, 0.0)], [C::new(s, 0.0), C::new(c, 0.0)]]
+            [
+                [C::new(c, 0.0), C::new(-s, 0.0)],
+                [C::new(s, 0.0), C::new(c, 0.0)],
+            ]
         }
-        OneQubitKind::Rz(t) => {
-            [[C::from_polar(-t / 2.0), zero], [zero, C::from_polar(t / 2.0)]]
-        }
+        OneQubitKind::Rz(t) => [[C::from_polar(-t / 2.0), zero], [zero, C::from_polar(t / 2.0)]],
     }
 }
 

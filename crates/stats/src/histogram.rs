@@ -35,7 +35,13 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(lo < hi, "histogram range [{lo}, {hi}) is empty");
-        Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Records one observation.
@@ -90,7 +96,11 @@ impl Histogram {
             .enumerate()
             .map(|(i, &c)| {
                 let center = self.lo + (i as f64 + 0.5) * width;
-                let f = if in_range == 0 { 0.0 } else { c as f64 / in_range as f64 };
+                let f = if in_range == 0 {
+                    0.0
+                } else {
+                    c as f64 / in_range as f64
+                };
                 (center, f)
             })
             .collect()
@@ -103,7 +113,15 @@ impl Histogram {
         let mut out = String::new();
         for (i, &c) in self.counts.iter().enumerate() {
             let bar = "#".repeat((c as usize * max_width) / peak as usize);
-            let _ = writeln!(out, "{:>9.3} – {:<9.3} |{:<w$} {}", self.lo + i as f64 * width, self.lo + (i as f64 + 1.0) * width, bar, c, w = max_width);
+            let _ = writeln!(
+                out,
+                "{:>9.3} – {:<9.3} |{:<w$} {}",
+                self.lo + i as f64 * width,
+                self.lo + (i as f64 + 1.0) * width,
+                bar,
+                c,
+                w = max_width
+            );
         }
         out
     }

@@ -31,7 +31,10 @@ impl Table {
     pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
         let header: Vec<String> = header.into_iter().map(Into::into).collect();
         assert!(!header.is_empty(), "a table needs at least one column");
-        Table { header, rows: Vec::new() }
+        Table {
+            header,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.

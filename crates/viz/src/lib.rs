@@ -49,7 +49,11 @@ pub fn render_grid_map(device: &Device, rows: usize, cols: usize) -> String {
         let mut line = String::new();
         for c in 0..cols {
             let label = format!("Q{:<2}", q(r, c).index());
-            let link = if c + 1 < cols { err(q(r, c), q(r, c + 1)) } else { None };
+            let link = if c + 1 < cols {
+                err(q(r, c), q(r, c + 1))
+            } else {
+                None
+            };
             match link {
                 Some(e) => {
                     let _ = write!(line, "{label}—{e:<w$}", w = cell - label.len() - 1);
@@ -85,8 +89,7 @@ pub fn render_grid_map(device: &Device, rows: usize, cols: usize) -> String {
         let (a, b) = (link.low().index(), link.high().index());
         let (ra, ca) = (a / cols, a % cols);
         let (rb, cb) = (b / cols, b % cols);
-        let is_grid_edge =
-            (ra == rb && ca.abs_diff(cb) == 1) || (ca == cb && ra.abs_diff(rb) == 1);
+        let is_grid_edge = (ra == rb && ca.abs_diff(cb) == 1) || (ca == cb && ra.abs_diff(rb) == 1);
         if !is_grid_edge {
             extras.push(format!(
                 "  {} {:.1}%",
@@ -116,12 +119,20 @@ pub fn render_grid_map(device: &Device, rows: usize, cols: usize) -> String {
 /// assert!(chart.lines().count() == 2);
 /// ```
 pub fn bar_chart(rows: &[(&str, f64)], width: usize) -> String {
-    let peak = rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
+    let peak = rows
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
     let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     let mut out = String::new();
     for (label, value) in rows {
         let filled = ((value / peak) * width as f64).round() as usize;
-        let _ = writeln!(out, "{label:<label_w$} |{:<width$} {value:.4}", "█".repeat(filled.min(width)));
+        let _ = writeln!(
+            out,
+            "{label:<label_w$} |{:<width$} {value:.4}",
+            "█".repeat(filled.min(width))
+        );
     }
     out
 }

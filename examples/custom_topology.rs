@@ -27,14 +27,18 @@ measure q[3] -> c[3];
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A hypothetical 6-qubit machine: a ring with one chord, with one
     // sick link — like Fig. 1's example device.
-    let topology = Topology::from_links("hexring", 6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)]);
+    let topology = Topology::from_links(
+        "hexring",
+        6,
+        [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)],
+    );
     let calibration = Calibration::new(
         &topology,
-        vec![75.0; 6],                                      // T1 µs
-        vec![40.0; 6],                                      // T2 µs
-        vec![0.001; 6],                                     // 1Q error
-        vec![0.02; 6],                                      // readout error
-        vec![0.03, 0.25, 0.03, 0.02, 0.04, 0.03, 0.02],     // 2Q error per link; link 1–2 is sick
+        vec![75.0; 6],                                  // T1 µs
+        vec![40.0; 6],                                  // T2 µs
+        vec![0.001; 6],                                 // 1Q error
+        vec![0.02; 6],                                  // readout error
+        vec![0.03, 0.25, 0.03, 0.02, 0.04, 0.03, 0.02], // 2Q error per link; link 1–2 is sick
         GateDurations::default(),
     )?;
     let device = Device::from_parts(topology, calibration)?;
@@ -45,7 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("imported {} gates from QASM\n", program.len());
 
     let ghz_accept = |o: u64| o == 0 || o == 0b1111;
-    for policy in [MappingPolicy::native(0), MappingPolicy::baseline(), MappingPolicy::vqa_vqm()] {
+    for policy in [
+        MappingPolicy::native(0),
+        MappingPolicy::baseline(),
+        MappingPolicy::vqa_vqm(),
+    ] {
         let compiled = policy.compile(&program, &device)?;
         // validate end-to-end on the noisy state-vector simulator
         let outcomes = run_noisy_trials(&device, compiled.physical(), 4096, 11)?;

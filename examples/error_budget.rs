@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!(
                 "{:<8} {:>6} {:>9.3} {:>9.3} {:>11.3} {:>13.2}%",
                 bench.name(),
-                if policy == MappingPolicy::baseline() { "base" } else { "aware" },
+                if policy == MappingPolicy::baseline() {
+                    "base"
+                } else {
+                    "aware"
+                },
                 report.gate_failure_weight,
                 report.readout_failure_weight,
                 report.coherence_failure_weight,
@@ -37,7 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the headline picture: PST side by side for bv-16
     let bench = quva_benchmarks::Benchmark::bv(16);
     let pst = |p: MappingPolicy| -> Result<f64, Box<dyn std::error::Error>> {
-        Ok(p.compile(bench.circuit(), &device)?.analytic_pst(&device, CoherenceModel::Disabled)?.pst)
+        Ok(p.compile(bench.circuit(), &device)?
+            .analytic_pst(&device, CoherenceModel::Disabled)?
+            .pst)
     };
     let rows = [
         ("native(0)", pst(MappingPolicy::native(0))?),

@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
 
         println!("{}:", bench.name());
-        println!("  one strong copy : PST {:.4}  (STPT {:.4})", report.one_strong.pst, report.stpt_one());
+        println!(
+            "  one strong copy : PST {:.4}  (STPT {:.4})",
+            report.one_strong.pst,
+            report.stpt_one()
+        );
         match &report.two_copies {
             Some((x, y)) => {
                 println!(

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         program.depth()
     );
 
-    for policy in [MappingPolicy::baseline(), MappingPolicy::vqm(), MappingPolicy::vqa_vqm()] {
+    for policy in [
+        MappingPolicy::baseline(),
+        MappingPolicy::vqm(),
+        MappingPolicy::vqa_vqm(),
+    ] {
         let compiled = policy.compile(&program, &device)?;
         // exact PST under the paper's uncorrelated error model ...
         let analytic = compiled.analytic_pst(&device, CoherenceModel::Disabled)?.pst;

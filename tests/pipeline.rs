@@ -24,8 +24,16 @@ fn all_policies() -> Vec<MappingPolicy> {
 /// link of the device.
 fn assert_routed(compiled: &CompiledCircuit, device: &Device) {
     for g in compiled.physical() {
-        if let Gate::Cnot { control: a, target: b } | Gate::Swap { a, b } = g {
-            assert!(device.topology().has_link(*a, *b), "{g} is not on a coupling link");
+        if let Gate::Cnot {
+            control: a,
+            target: b,
+        }
+        | Gate::Swap { a, b } = g
+        {
+            assert!(
+                device.topology().has_link(*a, *b),
+                "{g} is not on a coupling link"
+            );
         }
     }
 }
@@ -90,7 +98,9 @@ fn bv_routes_and_preserves_semantics_under_every_policy() {
     let device = small_device();
     let program = quva_benchmarks::bv(5);
     for policy in all_policies() {
-        let compiled = policy.compile(&program, &device).expect("bv-5 compiles on 8 qubits");
+        let compiled = policy
+            .compile(&program, &device)
+            .expect("bv-5 compiles on 8 qubits");
         assert_routed(&compiled, &device);
         assert_semantically_equal(&program, &compiled, &device);
     }
@@ -101,7 +111,9 @@ fn ghz_routes_and_preserves_semantics_under_every_policy() {
     let device = small_device();
     let program = quva_benchmarks::ghz(6);
     for policy in all_policies() {
-        let compiled = policy.compile(&program, &device).expect("ghz-6 compiles on 8 qubits");
+        let compiled = policy
+            .compile(&program, &device)
+            .expect("ghz-6 compiles on 8 qubits");
         assert_routed(&compiled, &device);
         assert_semantically_equal(&program, &compiled, &device);
     }
@@ -112,7 +124,9 @@ fn qft_routes_and_preserves_semantics_under_every_policy() {
     let device = small_device();
     let program = quva_benchmarks::qft(5);
     for policy in all_policies() {
-        let compiled = policy.compile(&program, &device).expect("qft-5 compiles on 8 qubits");
+        let compiled = policy
+            .compile(&program, &device)
+            .expect("qft-5 compiles on 8 qubits");
         assert_routed(&compiled, &device);
         assert_semantically_equal(&program, &compiled, &device);
     }
@@ -142,7 +156,12 @@ fn full_suite_compiles_on_ibm_q20() {
                 .analytic_pst(&device, CoherenceModel::IdleWindow)
                 .expect("routed circuit evaluates")
                 .pst;
-            assert!(pst > 0.0 && pst <= 1.0, "{} on {}: PST {pst}", policy.name(), bench.name());
+            assert!(
+                pst > 0.0 && pst <= 1.0,
+                "{} on {}: PST {pst}",
+                policy.name(),
+                bench.name()
+            );
         }
     }
 }

@@ -86,8 +86,14 @@ fn figure_1_worked_example_vqm_takes_the_long_route() {
     let mut strict_win = false;
     for seed in 0..12 {
         let fixed_alloc = AllocationStrategy::Random { seed };
-        let base = MappingPolicy { allocation: fixed_alloc, routing: RoutingMetric::Hops };
-        let vqm = MappingPolicy { allocation: fixed_alloc, routing: RoutingMetric::reliability() };
+        let base = MappingPolicy {
+            allocation: fixed_alloc,
+            routing: RoutingMetric::Hops,
+        };
+        let vqm = MappingPolicy {
+            allocation: fixed_alloc,
+            routing: RoutingMetric::reliability(),
+        };
         let pst_base = gate_pst(base, &program, &device);
         let pst_vqm = gate_pst(vqm, &program, &device);
         assert!(
@@ -112,7 +118,10 @@ fn partitioning_reports_cover_the_section_8_suite() {
             CoherenceModel::Disabled,
         )
         .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
-        let (x, y) = report.two_copies.as_ref().expect("two 10-qubit copies fit on 20 qubits");
+        let (x, y) = report
+            .two_copies
+            .as_ref()
+            .expect("two 10-qubit copies fit on 20 qubits");
         assert!(x.pst > 0.0 && y.pst > 0.0);
         // disjoint regions of the right size
         assert_eq!(x.region.len(), 10);
@@ -131,7 +140,10 @@ fn hop_limited_vqm_inserts_bounded_swaps() {
     let program = quva_benchmarks::bv(16);
     let strict = MappingPolicy {
         allocation: AllocationStrategy::GreedyInteraction,
-        routing: RoutingMetric::Reliability { max_additional_hops: Some(0), optimize_meeting_edge: false },
+        routing: RoutingMetric::Reliability {
+            max_additional_hops: Some(0),
+            optimize_meeting_edge: false,
+        },
     };
     let base = MappingPolicy::baseline().compile(&program, &device).unwrap();
     let limited = strict.compile(&program, &device).unwrap();
@@ -154,7 +166,9 @@ fn vqm_shifts_traffic_off_weak_links() {
     let mut improved = 0;
     let mut total = 0;
     for bench in quva_benchmarks::table1_suite() {
-        let base = MappingPolicy::baseline().compile(bench.circuit(), &device).unwrap();
+        let base = MappingPolicy::baseline()
+            .compile(bench.circuit(), &device)
+            .unwrap();
         let vqm = MappingPolicy::vqm().compile(bench.circuit(), &device).unwrap();
         let e_base = base.experienced_link_error(&device);
         let e_vqm = vqm.experienced_link_error(&device);
@@ -163,13 +177,18 @@ fn vqm_shifts_traffic_off_weak_links() {
             improved += 1;
         }
     }
-    assert!(improved >= total - 1, "VQM lowered experienced link error on only {improved}/{total} workloads");
+    assert!(
+        improved >= total - 1,
+        "VQM lowered experienced link error on only {improved}/{total} workloads"
+    );
 }
 
 #[test]
 fn link_utilization_accounts_every_two_qubit_op() {
     let device = Device::ibm_q20();
-    let compiled = MappingPolicy::baseline().compile(quva_benchmarks::Benchmark::qft(10).circuit(), &device).unwrap();
+    let compiled = MappingPolicy::baseline()
+        .compile(quva_benchmarks::Benchmark::qft(10).circuit(), &device)
+        .unwrap();
     let usage = compiled.link_utilization(&device);
     let total: usize = usage.iter().sum();
     assert_eq!(total, compiled.physical().total_cnot_cost());

@@ -128,10 +128,14 @@ proptest! {
 
 #[test]
 fn grover_finds_every_marked_item_noiselessly() {
-    let device = Device::new(Topology::fully_connected(2), |t| Calibration::uniform(t, 0.0, 0.0, 0.0));
+    let device = Device::new(Topology::fully_connected(2), |t| {
+        Calibration::uniform(t, 0.0, 0.0, 0.0)
+    });
     for marked in 0..4u64 {
         let bench = quva_benchmarks::Benchmark::grover2(marked);
-        let compiled = MappingPolicy::baseline().compile(bench.circuit(), &device).unwrap();
+        let compiled = MappingPolicy::baseline()
+            .compile(bench.circuit(), &device)
+            .unwrap();
         let out = run_noisy_trials(&device, compiled.physical(), 128, 1).unwrap();
         assert_eq!(
             out.success_rate(|o| o == marked),
@@ -143,9 +147,13 @@ fn grover_finds_every_marked_item_noiselessly() {
 
 #[test]
 fn w_state_yields_uniform_one_hot_outcomes() {
-    let device = Device::new(Topology::fully_connected(4), |t| Calibration::uniform(t, 0.0, 0.0, 0.0));
+    let device = Device::new(Topology::fully_connected(4), |t| {
+        Calibration::uniform(t, 0.0, 0.0, 0.0)
+    });
     let bench = quva_benchmarks::Benchmark::w_state(4);
-    let compiled = MappingPolicy::baseline().compile(bench.circuit(), &device).unwrap();
+    let compiled = MappingPolicy::baseline()
+        .compile(bench.circuit(), &device)
+        .unwrap();
     let out = run_noisy_trials(&device, compiled.physical(), 8000, 2).unwrap();
     // every outcome is one-hot
     assert_eq!(out.success_rate(|o| bench.is_success(o)), 1.0);
@@ -158,10 +166,14 @@ fn w_state_yields_uniform_one_hot_outcomes() {
 
 #[test]
 fn mirror_benchmark_returns_to_zero_noiselessly() {
-    let device = Device::new(Topology::fully_connected(5), |t| Calibration::uniform(t, 0.0, 0.0, 0.0));
+    let device = Device::new(Topology::fully_connected(5), |t| {
+        Calibration::uniform(t, 0.0, 0.0, 0.0)
+    });
     for seed in 0..4 {
         let bench = quva_benchmarks::Benchmark::mirror(5, 4, seed);
-        let compiled = MappingPolicy::vqa_vqm().compile(bench.circuit(), &device).unwrap();
+        let compiled = MappingPolicy::vqa_vqm()
+            .compile(bench.circuit(), &device)
+            .unwrap();
         let out = run_noisy_trials(&device, compiled.physical(), 64, 3).unwrap();
         assert_eq!(out.count(0), 64, "mirror seed {seed} failed to return to |0…0⟩");
     }
@@ -170,11 +182,17 @@ fn mirror_benchmark_returns_to_zero_noiselessly() {
 #[test]
 fn analytic_pst_is_order_invariant_for_commuting_views() {
     // PST depends only on the multiset of operations, not their order
-    let device = Device::new(Topology::linear(3), |t| Calibration::uniform(t, 0.07, 0.002, 0.03));
+    let device = Device::new(Topology::linear(3), |t| {
+        Calibration::uniform(t, 0.07, 0.002, 0.03)
+    });
     let mut a: Circuit<PhysQubit> = Circuit::new(3);
-    a.h(PhysQubit(0)).cnot(PhysQubit(0), PhysQubit(1)).swap(PhysQubit(1), PhysQubit(2));
+    a.h(PhysQubit(0))
+        .cnot(PhysQubit(0), PhysQubit(1))
+        .swap(PhysQubit(1), PhysQubit(2));
     let mut b: Circuit<PhysQubit> = Circuit::new(3);
-    b.swap(PhysQubit(1), PhysQubit(2)).h(PhysQubit(0)).cnot(PhysQubit(0), PhysQubit(1));
+    b.swap(PhysQubit(1), PhysQubit(2))
+        .h(PhysQubit(0))
+        .cnot(PhysQubit(0), PhysQubit(1));
     let pa = analytic_pst(&device, &a, CoherenceModel::Disabled).unwrap().pst;
     let pb = analytic_pst(&device, &b, CoherenceModel::Disabled).unwrap().pst;
     assert!((pa - pb).abs() < 1e-12);
@@ -205,8 +223,14 @@ fn coherence_model_only_lowers_pst() {
     let device = Device::ibm_q20();
     let program = quva_benchmarks::bv(16);
     let compiled = MappingPolicy::baseline().compile(&program, &device).unwrap();
-    let without = compiled.analytic_pst(&device, CoherenceModel::Disabled).unwrap().pst;
-    let with = compiled.analytic_pst(&device, CoherenceModel::IdleWindow).unwrap().pst;
+    let without = compiled
+        .analytic_pst(&device, CoherenceModel::Disabled)
+        .unwrap()
+        .pst;
+    let with = compiled
+        .analytic_pst(&device, CoherenceModel::IdleWindow)
+        .unwrap()
+        .pst;
     assert!(with <= without);
     assert!(with > 0.0);
 }
@@ -220,7 +244,9 @@ fn gate_errors_weigh_at_least_as_much_as_coherence_for_bv20() {
     let device = Device::ibm_q20();
     let program = quva_benchmarks::bv(20);
     let compiled = MappingPolicy::baseline().compile(&program, &device).unwrap();
-    let report = compiled.analytic_pst(&device, CoherenceModel::IdleWindow).unwrap();
+    let report = compiled
+        .analytic_pst(&device, CoherenceModel::IdleWindow)
+        .unwrap();
     let ratio = report.gate_to_coherence_ratio();
     assert!((0.4..1000.0).contains(&ratio), "gate/coherence ratio {ratio}");
 }
@@ -261,7 +287,10 @@ fn mapping_identity_smoke_for_qubit_types() {
     let mut program = Circuit::new(2);
     program.cnot(Qubit(0), Qubit(1));
     let compiled = MappingPolicy::baseline().compile(&program, &device).unwrap();
-    let exact = compiled.analytic_pst(&device, CoherenceModel::Disabled).unwrap().pst;
+    let exact = compiled
+        .analytic_pst(&device, CoherenceModel::Disabled)
+        .unwrap()
+        .pst;
     assert!((exact - 0.9).abs() < 1e-12);
     let mc = monte_carlo_pst(&device, compiled.physical(), 50_000, 2, CoherenceModel::Disabled).unwrap();
     assert!((mc.pst - 0.9).abs() < 0.01);

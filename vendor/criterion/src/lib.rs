@@ -53,7 +53,11 @@ impl Bencher {
 
 fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
     let measure = bench_mode();
-    let mut b = Bencher { measure, elapsed: Duration::ZERO, iterations: 0 };
+    let mut b = Bencher {
+        measure,
+        elapsed: Duration::ZERO,
+        iterations: 0,
+    };
     f(&mut b);
     if measure && b.iterations > 0 {
         let per_iter = b.elapsed.as_nanos() / u128::from(b.iterations);
@@ -82,7 +86,10 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), _criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
     }
 
     /// Prints the final summary (no-op in the stand-in).
@@ -149,7 +156,9 @@ mod tests {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("g");
         let mut hits = 0u32;
-        group.sample_size(10).bench_function("inner", |b| b.iter(|| hits += 1));
+        group
+            .sample_size(10)
+            .bench_function("inner", |b| b.iter(|| hits += 1));
         group.finish();
         assert!(hits >= 1);
     }

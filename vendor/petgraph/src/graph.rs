@@ -46,7 +46,11 @@ impl<N, E> Default for UnGraph<N, E> {
 impl<N, E> UnGraph<N, E> {
     /// An empty undirected graph.
     pub fn new_undirected() -> Self {
-        UnGraph { nodes: Vec::new(), adjacency: Vec::new(), edges: Vec::new() }
+        UnGraph {
+            nodes: Vec::new(),
+            adjacency: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     /// Adds a node and returns its index.
@@ -65,7 +69,10 @@ impl<N, E> UnGraph<N, E> {
     ///
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, a: NodeIndex, b: NodeIndex, weight: E) -> EdgeIndex {
-        assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len(), "edge endpoint out of range");
+        assert!(
+            a.0 < self.nodes.len() && b.0 < self.nodes.len(),
+            "edge endpoint out of range"
+        );
         self.adjacency[a.0].push(b.0);
         if a != b {
             self.adjacency[b.0].push(a.0);
@@ -90,7 +97,9 @@ impl<N, E> UnGraph<N, E> {
     ///
     /// Panics if `a` is out of range.
     pub fn neighbors(&self, a: NodeIndex) -> Neighbors<'_> {
-        Neighbors { inner: self.adjacency[a.0].iter() }
+        Neighbors {
+            inner: self.adjacency[a.0].iter(),
+        }
     }
 
     /// The weight of node `a`, if present.

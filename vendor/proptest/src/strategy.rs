@@ -32,7 +32,11 @@ pub trait Strategy {
     where
         Self: Sized,
     {
-        FilterMap { inner: self, filter_map, whence }
+        FilterMap {
+            inner: self,
+            filter_map,
+            whence,
+        }
     }
 
     /// Type-erases the strategy.
@@ -86,7 +90,10 @@ impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> 
                 return value;
             }
         }
-        panic!("prop_filter_map '{}' rejected 1000 consecutive samples", self.whence)
+        panic!(
+            "prop_filter_map '{}' rejected 1000 consecutive samples",
+            self.whence
+        )
     }
 }
 

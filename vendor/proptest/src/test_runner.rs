@@ -40,7 +40,9 @@ fn fnv1a64(text: &str) -> u64 {
 impl TestRng {
     /// The RNG for one case of one named test.
     pub fn for_case(test_name: &str, case: u64) -> Self {
-        TestRng { state: fnv1a64(test_name) ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+        TestRng {
+            state: fnv1a64(test_name) ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
     }
 
     /// The next 64 random bits.

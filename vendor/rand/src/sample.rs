@@ -84,7 +84,12 @@ impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl SampleRange<f64> for Range<f64> {
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
-        assert!(self.start < self.end, "cannot sample empty range {}..{}", self.start, self.end);
+        assert!(
+            self.start < self.end,
+            "cannot sample empty range {}..{}",
+            self.start,
+            self.end
+        );
         let x = self.start + unit_f64(rng) * (self.end - self.start);
         // guard against rounding up to the excluded endpoint
         if x >= self.end {
