@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use quva::MappingPolicy;
 use quva_device::Device;
-use quva_sim::{analytic_pst, monte_carlo_pst, run_noisy_trials, CoherenceModel};
+use quva_sim::{
+    analytic_pst, monte_carlo_pst, run_noisy_trials, run_trials, CoherenceModel, FailureProfile, McEngine,
+};
 use std::hint::black_box;
 
 fn bench_estimators(c: &mut Criterion) {
@@ -36,6 +38,31 @@ fn bench_estimators(c: &mut Criterion) {
             .unwrap()
         })
     });
+}
+
+/// Sequential vs chunk-parallel Monte-Carlo trial loops. Every engine
+/// configuration samples the identical estimate, so these rows compare
+/// pure wall-clock; `bench_sim` emits the same measurements as
+/// machine-readable `BENCH_sim.json` for the CI regression gate.
+fn bench_parallel_engine(c: &mut Criterion) {
+    let device = Device::ibm_q20();
+    let compiled = MappingPolicy::baseline()
+        .compile(&quva_benchmarks::bv(16), &device)
+        .unwrap();
+    let profile = FailureProfile::new(&device, compiled.physical(), CoherenceModel::Disabled).unwrap();
+    const TRIALS: u64 = 200_000;
+
+    let mut group = c.benchmark_group("run_trials/bv-16/200k");
+    group.bench_function("sequential", |b| {
+        b.iter(|| run_trials(black_box(&profile), TRIALS, 1))
+    });
+    for threads in [1usize, 2, 4, 8] {
+        let engine = McEngine::new(threads);
+        group.bench_function(format!("threads-{threads}"), |b| {
+            b.iter(|| engine.run(black_box(&profile), TRIALS, 1))
+        });
+    }
+    group.finish();
 }
 
 fn bench_statevector(c: &mut Criterion) {
@@ -77,5 +104,11 @@ fn bench_density_matrix(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_estimators, bench_statevector, bench_density_matrix);
+criterion_group!(
+    benches,
+    bench_estimators,
+    bench_parallel_engine,
+    bench_statevector,
+    bench_density_matrix
+);
 criterion_main!(benches);

@@ -1,0 +1,222 @@
+//! Machine-readable simulator benchmark: times the Monte-Carlo trial
+//! loop sequentially and on the parallel [`McEngine`] at 1/2/4/8
+//! threads, writes `BENCH_sim.json`, and (with `--check`) gates CI on
+//! wall-clock regressions against a committed baseline.
+//!
+//! The workload is the criterion `run_trials/bv-16` bench expressed as
+//! data: bv-16 compiled with the baseline policy onto IBM-Q20, faults
+//! injected per gate event. Regressions are judged on normalized
+//! ns/trial so `--quick` runs remain comparable to a full baseline.
+//!
+//! ```text
+//! bench_sim [--trials N] [--reps N] [--quick] [--out PATH]
+//!           [--check BASELINE] [--tolerance FRAC]
+//! ```
+//!
+//! Exit status is non-zero when `--check` finds the sequential loop
+//! more than `--tolerance` (default 0.15) slower than the baseline, or
+//! when a host with >= 4 CPUs fails to reach a 2x speedup at 4 threads.
+
+use quva::MappingPolicy;
+use quva_device::Device;
+use quva_sim::{CoherenceModel, FailureProfile, McEngine};
+use std::time::Instant;
+
+/// One timed engine configuration.
+struct Row {
+    name: &'static str,
+    threads: usize,
+    ns: u128,
+    ns_per_trial: f64,
+}
+
+struct Config {
+    trials: u64,
+    reps: u32,
+    out: String,
+    check: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        trials: 1_000_000,
+        reps: 3,
+        out: "BENCH_sim.json".into(),
+        check: None,
+        tolerance: 0.15,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{flag} requires a value")))
+        };
+        match arg.as_str() {
+            "--trials" => {
+                cfg.trials = value("--trials")
+                    .parse()
+                    .unwrap_or_else(|_| die("--trials expects an integer"));
+            }
+            "--reps" => {
+                cfg.reps = value("--reps")
+                    .parse()
+                    .unwrap_or_else(|_| die("--reps expects an integer"));
+            }
+            "--quick" => {
+                cfg.trials = 200_000;
+                cfg.reps = 2;
+            }
+            "--out" => cfg.out = value("--out"),
+            "--check" => cfg.check = Some(value("--check")),
+            "--tolerance" => {
+                cfg.tolerance = value("--tolerance")
+                    .parse()
+                    .unwrap_or_else(|_| die("--tolerance expects a fraction"));
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    if cfg.trials == 0 || cfg.reps == 0 {
+        die("--trials and --reps must be positive");
+    }
+    cfg
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_sim: {msg}");
+    std::process::exit(2);
+}
+
+/// Best-of-`reps` wall clock for one engine configuration, after one
+/// untimed warm-up run.
+fn time_engine(engine: &McEngine, profile: &FailureProfile, trials: u64, reps: u32) -> u128 {
+    engine.run(profile, trials, 1);
+    (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(engine.run(profile, trials, 1));
+            start.elapsed().as_nanos()
+        })
+        .min()
+        .unwrap_or(0)
+}
+
+/// Pulls `"key": <number>` out of a hand-rolled JSON line.
+fn extract_f64(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// The baseline's normalized sequential cost, read from a previous
+/// `BENCH_sim.json`.
+fn baseline_ns_per_trial(path: &str) -> f64 {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read baseline {path}: {e}")));
+    text.lines()
+        .find(|l| l.contains("\"name\": \"sequential\""))
+        .and_then(|l| extract_f64(l, "ns_per_trial"))
+        .unwrap_or_else(|| die(&format!("baseline {path} has no sequential ns_per_trial")))
+}
+
+fn main() {
+    let cfg = parse_args();
+    let device = Device::ibm_q20();
+    let compiled = MappingPolicy::baseline()
+        .compile(&quva_benchmarks::bv(16), &device)
+        .expect("bv-16 compiles on ibm-q20");
+    let profile = FailureProfile::new(&device, compiled.physical(), CoherenceModel::Disabled)
+        .expect("compiled circuit is routed");
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let configs: [(&str, McEngine); 5] = [
+        ("sequential", McEngine::sequential()),
+        ("threads-1", McEngine::new(1)),
+        ("threads-2", McEngine::new(2)),
+        ("threads-4", McEngine::new(4)),
+        ("threads-8", McEngine::new(8)),
+    ];
+
+    // Every configuration must sample the identical estimate before we
+    // bother timing it — the gate doubles as a determinism check.
+    let reference = configs[0].1.run(&profile, cfg.trials, 1);
+    for (name, engine) in &configs[1..] {
+        let est = engine.run(&profile, cfg.trials, 1);
+        assert!(
+            est.pst.to_bits() == reference.pst.to_bits() && est.trials == reference.trials,
+            "{name} diverged from the sequential estimate"
+        );
+    }
+
+    let rows: Vec<Row> = configs
+        .iter()
+        .map(|(name, engine)| {
+            let ns = time_engine(engine, &profile, cfg.trials, cfg.reps);
+            eprintln!(
+                "{name:<12} {ns:>12} ns  ({:.2} ns/trial)",
+                ns as f64 / cfg.trials as f64
+            );
+            Row {
+                name,
+                threads: engine.threads(),
+                ns,
+                ns_per_trial: ns as f64 / cfg.trials as f64,
+            }
+        })
+        .collect();
+
+    let seq = rows[0].ns_per_trial;
+    let speedup_4t = rows
+        .iter()
+        .find(|r| r.name == "threads-4")
+        .map_or(1.0, |r| seq / r.ns_per_trial);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"quva-bench-sim/v1\",\n");
+    json.push_str("  \"workload\": \"run_trials/bv-16/ibm-q20/baseline\",\n");
+    json.push_str(&format!("  \"trials\": {},\n", cfg.trials));
+    json.push_str(&format!("  \"reps\": {},\n", cfg.reps));
+    json.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"threads\": {}, \"ns\": {}, \"ns_per_trial\": {}}}{comma}\n",
+            row.name, row.threads, row.ns, row.ns_per_trial
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"speedup_4t\": {speedup_4t}\n"));
+    json.push_str("}\n");
+    std::fs::write(&cfg.out, &json).unwrap_or_else(|e| die(&format!("cannot write {}: {e}", cfg.out)));
+    println!("wrote {} (speedup at 4 threads: {speedup_4t:.2}x)", cfg.out);
+
+    if let Some(baseline) = &cfg.check {
+        let base = baseline_ns_per_trial(baseline);
+        let limit = base * (1.0 + cfg.tolerance);
+        println!("regression gate: sequential {seq:.3} ns/trial vs baseline {base:.3} (limit {limit:.3})");
+        if seq > limit {
+            eprintln!(
+                "bench_sim: FAIL — run_trials regressed {:.1}% (> {:.0}% tolerance)",
+                (seq / base - 1.0) * 100.0,
+                cfg.tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+        if host_threads >= 4 {
+            if speedup_4t < 2.0 {
+                eprintln!(
+                    "bench_sim: FAIL — {speedup_4t:.2}x speedup at 4 threads on a \
+                     {host_threads}-CPU host (need >= 2x)"
+                );
+                std::process::exit(1);
+            }
+        } else {
+            println!("speedup gate skipped: host has {host_threads} CPU(s), need >= 4");
+        }
+        println!("regression gate: PASS");
+    }
+}

@@ -1,9 +1,14 @@
 //! Extension: Monte-Carlo convergence to the analytic PST (the Fig. 10
 //! estimator's quality as a function of trial count).
+//!
+//! The sweep shares one prebuilt [`FailureProfile`] across all trial
+//! counts and runs on the parallel [`McEngine`] — the 1M-trial row is
+//! the paper's headline estimator configuration, and the engine keeps
+//! it bit-identical whatever the host's thread count is.
 
 use quva::MappingPolicy;
 use quva_device::Device;
-use quva_sim::{monte_carlo_pst, CoherenceModel};
+use quva_sim::{CoherenceModel, FailureProfile, McEngine};
 use quva_stats::{fmt3, Table};
 
 fn main() {
@@ -16,11 +21,13 @@ fn main() {
         .analytic_pst(&device, CoherenceModel::Disabled)
         .expect("routed")
         .pst;
+    let profile =
+        FailureProfile::new(&device, compiled.physical(), CoherenceModel::Disabled).expect("routed");
+    let engine = McEngine::auto();
 
     let mut table = Table::new(["trials", "mc_pst", "std_error", "abs_error"]);
     for &trials in &[100u64, 1_000, 10_000, 100_000, 1_000_000] {
-        let est = monte_carlo_pst(&device, compiled.physical(), trials, 7, CoherenceModel::Disabled)
-            .expect("routed");
+        let est = engine.run(&profile, trials, 7);
         table.row([
             trials.to_string(),
             format!("{:.5}", est.pst),

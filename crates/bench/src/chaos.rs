@@ -30,7 +30,7 @@ use quva_circuit::{Gate, PhysQubit};
 use quva_device::{
     CalField, CalibrationGenerator, Device, RawCalibration, SanitizePolicy, Topology, VariationProfile,
 };
-use quva_sim::{monte_carlo_pst, CoherenceModel};
+use quva_sim::{monte_carlo_pst_with, CoherenceModel, McEngine};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -344,14 +344,17 @@ pub fn run_chaos(plan: &FaultPlan, policy: MappingPolicy) -> ChaosRun {
         });
     }
 
-    // stage: simulate
+    // stage: simulate — the parallel engine is part of the pipeline
+    // under test; its estimate is thread-count-independent, so chaos
+    // reports stay comparable across hosts
     if let Ok(compiled) = &compiled {
-        let outcome = monte_carlo_pst(
+        let outcome = monte_carlo_pst_with(
             &device,
             compiled.physical(),
             500,
             plan.seed,
             CoherenceModel::IdleWindow,
+            McEngine::auto(),
         )
         .map(|r| format!("PST {:.4}", r.pst))
         .map_err(|e| e.to_string());

@@ -1,11 +1,32 @@
 //! Experiments reproducing the policy evaluation on IBM-Q20
 //! (Table 1, Fig. 12, Fig. 13, Fig. 14, Table 2).
 
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
 use quva::MappingPolicy;
 use quva_benchmarks::{table1_suite, Benchmark};
 use quva_device::{CalibrationGenerator, Device, Topology, VariationProfile};
 use quva_sim::CoherenceModel;
 use quva_stats::{fmt3, fmt_ratio, mean, Table};
+
+/// Memoized (policy, circuit, device) → PST evaluations.
+///
+/// The figure and chaos suites re-evaluate the same compile + profile
+/// combination many times (fig12 and fig13 share baseline/VQM rows;
+/// `run_all` chains both after table 1), and compilation dominates each
+/// evaluation. The device key is [`Device::fingerprint`] and the
+/// workload key is the structural `Circuit::fingerprint` (display
+/// names like "rnd-SD" omit generator seeds) — any calibration,
+/// topology, dead-link, or circuit change produces a different key, so
+/// daily-series and error-scaling sweeps never alias.
+fn pst_cache() -> &'static Mutex<HashMap<PstKey, f64>> {
+    static CACHE: OnceLock<Mutex<HashMap<PstKey, f64>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// (device fingerprint, policy debug form, circuit fingerprint).
+type PstKey = (u64, String, u64);
 
 /// Analytic PST of `benchmark` compiled with `policy` on `device`
 /// (exact value of the paper's 1M-trial Monte-Carlo estimate).
@@ -16,18 +37,38 @@ use quva_stats::{fmt3, fmt_ratio, mean, Table};
 /// only. The coherence decomposition is reported separately by
 /// [`coherence_ratio`].
 ///
+/// Results are cached process-wide per (policy, benchmark, device
+/// fingerprint); repeated evaluations of the same configuration are a
+/// map lookup.
+///
 /// # Panics
 ///
 /// Panics if compilation fails — the experiment configurations are all
 /// known-compilable.
 pub fn pst_of(policy: MappingPolicy, benchmark: &Benchmark, device: &Device) -> f64 {
+    // The debug form of the policy is its full configuration (the
+    // display name collapses e.g. every native seed to "native").
+    let key = (
+        device.fingerprint(),
+        format!("{policy:?}"),
+        benchmark.circuit().fingerprint(),
+    );
+    if let Ok(cache) = pst_cache().lock() {
+        if let Some(&pst) = cache.get(&key) {
+            return pst;
+        }
+    }
     let compiled = policy
         .compile(benchmark.circuit(), device)
         .unwrap_or_else(|e| panic!("{} failed to compile {}: {e}", policy.name(), benchmark.name()));
-    compiled
+    let pst = compiled
         .analytic_pst(device, CoherenceModel::Disabled)
         .expect("compiled circuits are routed")
-        .pst
+        .pst;
+    if let Ok(mut cache) = pst_cache().lock() {
+        cache.insert(key, pst);
+    }
+    pst
 }
 
 /// The §4.4 dominance claim: the ratio of gate to coherence failure
@@ -227,6 +268,37 @@ mod tests {
 
     fn parse_ratio(cell: &str) -> f64 {
         cell.trim_end_matches('x').parse().unwrap()
+    }
+
+    #[test]
+    fn pst_cache_hits_are_identical_and_keys_do_not_alias() {
+        let device = Device::ibm_q20();
+        let bench = Benchmark::bv(8);
+        let first = pst_of(MappingPolicy::vqm(), &bench, &device);
+        let cached = pst_of(MappingPolicy::vqm(), &bench, &device);
+        assert_eq!(first.to_bits(), cached.to_bits());
+
+        // same display name, different circuit: must not alias
+        let rnd_a = Benchmark::rnd_sd(8, 16, 1);
+        let rnd_b = Benchmark::rnd_sd(8, 16, 2);
+        assert_ne!(
+            pst_of(MappingPolicy::baseline(), &rnd_a, &device).to_bits(),
+            pst_of(MappingPolicy::baseline(), &rnd_b, &device).to_bits(),
+            "distinct rnd-SD seeds collided in the PST cache"
+        );
+
+        // same policy display name ("native"), different seed: distinct
+        let n1 = pst_of(MappingPolicy::native(1), &bench, &device);
+        let n2 = pst_of(MappingPolicy::native(2), &bench, &device);
+        // (values could coincide by luck of the allocator, but the cache
+        // must at least have evaluated both — sanity-check plausibility)
+        assert!(n1 > 0.0 && n2 > 0.0);
+
+        // recalibrated device: different key, coherent value
+        let scaled = device
+            .with_calibration(device.calibration().with_errors_scaled(0.5))
+            .unwrap();
+        assert!(pst_of(MappingPolicy::vqm(), &bench, &scaled) > first);
     }
 
     #[test]

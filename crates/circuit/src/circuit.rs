@@ -96,6 +96,57 @@ impl<Q: QubitId> Circuit<Q> {
         &self.gates
     }
 
+    /// A 64-bit structural fingerprint: register sizes plus every
+    /// gate's kind and operands in program order (rotation angles by
+    /// exact bit pattern). Two circuits with equal structure share a
+    /// fingerprint whatever path built them — suitable as a memo-cache
+    /// key for per-circuit work. Not cryptographic; collisions are
+    /// astronomically unlikely, not impossible.
+    pub fn fingerprint(&self) -> u64 {
+        use crate::gate::OneQubitKind;
+        use std::hash::{DefaultHasher, Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.num_qubits.hash(&mut h);
+        self.num_cbits.hash(&mut h);
+        for gate in &self.gates {
+            match gate {
+                Gate::OneQubit { kind, qubit } => {
+                    let (tag, angle): (u8, f64) = match kind {
+                        OneQubitKind::I => (0, 0.0),
+                        OneQubitKind::X => (1, 0.0),
+                        OneQubitKind::Y => (2, 0.0),
+                        OneQubitKind::Z => (3, 0.0),
+                        OneQubitKind::H => (4, 0.0),
+                        OneQubitKind::S => (5, 0.0),
+                        OneQubitKind::Sdg => (6, 0.0),
+                        OneQubitKind::T => (7, 0.0),
+                        OneQubitKind::Tdg => (8, 0.0),
+                        OneQubitKind::Rx(a) => (9, *a),
+                        OneQubitKind::Ry(a) => (10, *a),
+                        OneQubitKind::Rz(a) => (11, *a),
+                    };
+                    (0u8, tag, angle.to_bits(), qubit.index()).hash(&mut h);
+                }
+                Gate::Cnot { control, target } => {
+                    (1u8, control.index(), target.index()).hash(&mut h);
+                }
+                Gate::Swap { a, b } => {
+                    (2u8, a.index(), b.index()).hash(&mut h);
+                }
+                Gate::Measure { qubit, cbit } => {
+                    (3u8, qubit.index(), cbit.index()).hash(&mut h);
+                }
+                Gate::Barrier { qubits } => {
+                    (4u8, qubits.len()).hash(&mut h);
+                    for q in qubits {
+                        q.index().hash(&mut h);
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+
     /// The number of gates (including barriers).
     pub fn len(&self) -> usize {
         self.gates.len()
@@ -441,6 +492,31 @@ mod tests {
         assert_eq!(c.measure_count(), 2);
         assert_eq!(c.op_count(), 4);
         assert_eq!(c.total_cnot_cost(), 1);
+    }
+
+    #[test]
+    fn fingerprint_is_structural() {
+        // same structure, built twice → same fingerprint
+        assert_eq!(bell().fingerprint(), bell().fingerprint());
+        // operand change
+        let mut swapped = Circuit::new(2);
+        swapped.h(Qubit(1)).cnot(Qubit(0), Qubit(1)).measure_all();
+        assert_ne!(bell().fingerprint(), swapped.fingerprint());
+        // gate-kind change with identical operands
+        let mut x_instead = Circuit::new(2);
+        x_instead.x(Qubit(0)).cnot(Qubit(0), Qubit(1)).measure_all();
+        assert_ne!(bell().fingerprint(), x_instead.fingerprint());
+        // rotation angle (exact bits) participates
+        let mut ry1 = Circuit::new(1);
+        ry1.push(Gate::one(OneQubitKind::Ry(0.25), Qubit(0)));
+        let mut ry2 = Circuit::new(1);
+        ry2.push(Gate::one(OneQubitKind::Ry(0.5), Qubit(0)));
+        assert_ne!(ry1.fingerprint(), ry2.fingerprint());
+        // register width participates even with no gates
+        assert_ne!(
+            Circuit::<Qubit>::new(2).fingerprint(),
+            Circuit::<Qubit>::new(3).fingerprint()
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@ use quva::{partition_analysis, CompileOptions, MappingPolicy, PartitionChoice};
 use quva_analysis::Verifier;
 use quva_circuit::{qasm, Circuit};
 use quva_device::{node_strengths, snapshot, Device, SanitizePolicy};
-use quva_sim::{monte_carlo_pst, run_noisy_trials, CoherenceModel};
+use quva_sim::{monte_carlo_pst_with, run_noisy_trials, CoherenceModel, McEngine};
 use quva_stats::{fmt3, Table};
 
 use crate::args::{ArgsError, ParsedArgs};
@@ -24,6 +24,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, ArgsError> {
         "compile" => cmd_compile(args),
         "lint" => cmd_lint(args),
         "pst" => cmd_pst(args),
+        "simulate" => cmd_simulate(args),
         "trials" => cmd_trials(args),
         "characterize" => cmd_characterize(args),
         "partition" => cmd_partition(args),
@@ -56,6 +57,7 @@ COMMANDS:
     compile       compile a program and emit routed OpenQASM
     lint          run the static lint passes over a program (no compile)
     pst           estimate the probability of a successful trial
+    simulate      Monte-Carlo PST as machine-readable JSON
     trials        run noisy state-vector trials and report outcomes
     characterize  print a device's calibration summary
     partition     decide between one strong copy and two copies (§8)
@@ -67,6 +69,11 @@ COMMON OPTIONS:
     --bench   bv:N | qft:N | ghz:N | alu | triswap | rnd-sd:N:C | rnd-ld:N:C
     --qasm    path to an OpenQASM 2.0 file (alternative to --bench)
     --format  (lint) text | json
+    --threads (pst, simulate) Monte-Carlo worker threads; defaults to
+              the available parallelism. The estimate is bit-identical
+              for every thread count — 1 gives the exact same numbers
+              on a single thread
+    --seed    (pst, simulate) Monte-Carlo root seed (default 7)
     --calibration  JSON calibration snapshot overriding the device's
                    (export one with: characterize --export cal.json)
 
@@ -75,6 +82,7 @@ EXAMPLES:
     quva lint --bench qft:12
     quva lint --qasm program.qasm --device q20 --format json
     quva pst --device q20 --policy baseline --bench qft:12 --trials 100000
+    quva simulate --device q20 --policy vqa-vqm --bench bv:16 --threads 8
     quva trials --device q5 --policy vqa-vqm --bench ghz:3 --trials 4096
     quva characterize --device q20
     quva partition --device q20 --policy vqa-vqm --bench bv:10
@@ -221,17 +229,38 @@ fn cmd_lint(args: &ParsedArgs) -> Result<String, ArgsError> {
     }
 }
 
+/// The Monte-Carlo execution engine selected by `--threads N`
+/// (default: one worker per available hardware thread). The choice
+/// affects wall-clock only — estimates are bit-identical for every
+/// thread count.
+fn parse_engine(args: &ParsedArgs) -> Result<McEngine, ArgsError> {
+    match args.get_parsed::<usize>("threads")? {
+        Some(0) => Err(ArgsError::new("--threads must be at least 1")),
+        Some(n) => Ok(McEngine::new(n)),
+        None => Ok(McEngine::auto()),
+    }
+}
+
 fn cmd_pst(args: &ParsedArgs) -> Result<String, ArgsError> {
     let (device, policy, name, program) = load_setup(args)?;
     let trials: u64 = args.get_parsed("trials")?.unwrap_or(100_000);
+    let seed: u64 = args.get_parsed("seed")?.unwrap_or(7);
+    let engine = parse_engine(args)?;
     let compiled = policy
         .compile(&program, &device)
         .map_err(|e| ArgsError::new(e.to_string()))?;
     let analytic = compiled
         .analytic_pst(&device, CoherenceModel::Disabled)
         .map_err(|e| ArgsError::new(e.to_string()))?;
-    let mc = monte_carlo_pst(&device, compiled.physical(), trials, 7, CoherenceModel::Disabled)
-        .map_err(|e| ArgsError::new(e.to_string()))?;
+    let mc = monte_carlo_pst_with(
+        &device,
+        compiled.physical(),
+        trials,
+        seed,
+        CoherenceModel::Disabled,
+        engine,
+    )
+    .map_err(|e| ArgsError::new(e.to_string()))?;
     let mut table = Table::new(["metric", "value"]);
     table.row(["program".into(), name]);
     table.row(["policy".into(), policy.name()]);
@@ -243,6 +272,51 @@ fn cmd_pst(args: &ParsedArgs) -> Result<String, ArgsError> {
     ]);
     table.row(["trials".into(), trials.to_string()]);
     Ok(table.to_string())
+}
+
+/// `quva simulate`: the Monte-Carlo estimator with machine-readable
+/// JSON output.
+///
+/// The output never mentions the engine configuration: for a fixed
+/// `(program, device, policy, trials, seed)` the bytes are identical
+/// whatever `--threads` is. CI diffs `--threads 1` against
+/// `--threads 8` across the benchmark suite to guard the engine's
+/// seed-derivation contract.
+fn cmd_simulate(args: &ParsedArgs) -> Result<String, ArgsError> {
+    let (device, policy, name, program) = load_setup(args)?;
+    let trials: u64 = args.get_parsed("trials")?.unwrap_or(100_000);
+    let seed: u64 = args.get_parsed("seed")?.unwrap_or(7);
+    let engine = parse_engine(args)?;
+    let compiled = policy
+        .compile(&program, &device)
+        .map_err(|e| ArgsError::new(e.to_string()))?;
+    let analytic = compiled
+        .analytic_pst(&device, CoherenceModel::Disabled)
+        .map_err(|e| ArgsError::new(e.to_string()))?;
+    let mc = monte_carlo_pst_with(
+        &device,
+        compiled.physical(),
+        trials,
+        seed,
+        CoherenceModel::Disabled,
+        engine,
+    )
+    .map_err(|e| ArgsError::new(e.to_string()))?;
+    // Hand-rolled JSON (vendor policy: no serde). Floats use Rust's
+    // shortest-roundtrip Display — platform-independent bytes.
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"program\": \"{name}\",");
+    let _ = writeln!(out, "  \"device\": \"{}\",", args.get_or("device", "q20"));
+    let _ = writeln!(out, "  \"policy\": \"{}\",", policy.name());
+    let _ = writeln!(out, "  \"inserted_swaps\": {},", compiled.inserted_swaps());
+    let _ = writeln!(out, "  \"trials\": {trials},");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"successes\": {},", mc.successes);
+    let _ = writeln!(out, "  \"pst\": {},", mc.pst);
+    let _ = writeln!(out, "  \"std_error\": {},", mc.std_error());
+    let _ = writeln!(out, "  \"analytic_pst\": {}", analytic.pst);
+    out.push_str("}\n");
+    Ok(out)
 }
 
 fn cmd_trials(args: &ParsedArgs) -> Result<String, ArgsError> {
@@ -497,6 +571,85 @@ mod tests {
         .unwrap();
         assert!(out.contains("analytic PST"));
         assert!(out.contains("monte-carlo PST"));
+    }
+
+    #[test]
+    fn pst_accepts_threads_and_seed() {
+        let a = run_line(&[
+            "pst",
+            "--device",
+            "q5",
+            "--policy",
+            "vqm",
+            "--bench",
+            "bv:4",
+            "--trials",
+            "20000",
+            "--threads",
+            "1",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+        let b = run_line(&[
+            "pst",
+            "--device",
+            "q5",
+            "--policy",
+            "vqm",
+            "--bench",
+            "bv:4",
+            "--trials",
+            "20000",
+            "--threads",
+            "4",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(a, b, "thread count leaked into the pst report");
+    }
+
+    #[test]
+    fn simulate_emits_json() {
+        let out = run_line(&[
+            "simulate", "--device", "q5", "--policy", "baseline", "--bench", "ghz:3", "--trials", "10000",
+        ])
+        .unwrap();
+        assert!(out.contains("\"pst\":"), "{out}");
+        assert!(out.contains("\"successes\":"), "{out}");
+        assert!(out.contains("\"seed\": 7"), "{out}");
+    }
+
+    #[test]
+    fn simulate_is_byte_identical_across_thread_counts() {
+        let run_with = |threads: &str| {
+            run_line(&[
+                "simulate",
+                "--device",
+                "q20",
+                "--policy",
+                "vqa-vqm",
+                "--bench",
+                "bv:8",
+                "--trials",
+                "50000",
+                "--threads",
+                threads,
+            ])
+            .unwrap()
+        };
+        let single = run_with("1");
+        for threads in ["2", "4", "8"] {
+            assert_eq!(single, run_with(threads), "--threads {threads} diverged");
+        }
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        let err =
+            run_line(&["simulate", "--device", "q5", "--bench", "ghz:3", "--threads", "0"]).unwrap_err();
+        assert!(err.to_string().contains("--threads"), "{err}");
     }
 
     #[test]

@@ -1,10 +1,14 @@
 //! # quva-cli — command-line interface for the quva NISQ compiler
 //!
 //! Subcommands: `compile` (emit routed OpenQASM), `lint` (static
-//! checks without compiling), `pst` (reliability estimation), `trials`
+//! checks without compiling), `pst` (reliability estimation),
+//! `simulate` (Monte-Carlo PST as machine-readable JSON), `trials`
 //! (noisy state-vector execution), `characterize` (calibration
 //! summary), `partition` (§8 one-vs-two copies analysis). See
 //! [`commands::usage`] for the full syntax.
+//!
+//! Monte-Carlo commands accept `--threads N` (default: available
+//! parallelism); results are bit-identical for every thread count.
 //!
 //! # Examples
 //!

@@ -191,6 +191,45 @@ impl Device {
         Ok(next)
     }
 
+    /// A 64-bit structural fingerprint of this device: topology shape,
+    /// every calibration table (exact bit patterns), gate durations,
+    /// and the disabled-link mask.
+    ///
+    /// Two devices with equal fingerprints evaluate any circuit
+    /// identically, which is what makes the fingerprint a sound cache
+    /// key for memoizing per-device work (e.g. repeated PST
+    /// evaluations of the same benchmark in the experiment harness).
+    /// Not a cryptographic hash — collisions are astronomically
+    /// unlikely in practice but not impossible.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{DefaultHasher, Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.topology.num_qubits().hash(&mut h);
+        for link in self.topology.links() {
+            link.low().index().hash(&mut h);
+            link.high().index().hash(&mut h);
+        }
+        let cal = &self.calibration;
+        for table in [
+            cal.t1_table(),
+            cal.t2_table(),
+            cal.one_qubit_errors(),
+            cal.readout_errors(),
+            cal.two_qubit_errors(),
+        ] {
+            table.len().hash(&mut h);
+            for &v in table {
+                v.to_bits().hash(&mut h);
+            }
+        }
+        let dur = cal.durations();
+        dur.one_qubit_ns.to_bits().hash(&mut h);
+        dur.two_qubit_ns.to_bits().hash(&mut h);
+        dur.readout_ns.to_bits().hash(&mut h);
+        self.disabled.hash(&mut h);
+        h.finish()
+    }
+
     /// CNOT error rate across a link, `None` when the qubits are not
     /// coupled or the link is disabled.
     pub fn link_error(&self, a: PhysQubit, b: PhysQubit) -> Option<f64> {
@@ -455,6 +494,27 @@ mod tests {
         let dev = Device::new(Topology::linear(3), |t| Calibration::uniform(t, 0.1, 0.0, 0.0))
             .with_disabled_links([(PhysQubit(0), PhysQubit(1))]);
         assert!(dev.to_string().contains("1 dead link"), "{dev}");
+    }
+
+    #[test]
+    fn fingerprint_tracks_everything_that_affects_evaluation() {
+        let dev = Device::new(Topology::linear(3), |t| Calibration::uniform(t, 0.1, 0.0, 0.0));
+        let same = Device::new(Topology::linear(3), |t| Calibration::uniform(t, 0.1, 0.0, 0.0));
+        assert_eq!(dev.fingerprint(), same.fingerprint());
+
+        // a calibration change must change the key
+        let recal = dev
+            .with_calibration(dev.calibration().with_errors_scaled(0.5))
+            .unwrap();
+        assert_ne!(dev.fingerprint(), recal.fingerprint());
+
+        // a dead link must change the key (same calibration tables)
+        let dead = dev.clone().with_disabled_links([(PhysQubit(0), PhysQubit(1))]);
+        assert_ne!(dev.fingerprint(), dead.fingerprint());
+
+        // a different topology must change the key
+        let ring = Device::new(Topology::ring(3), |t| Calibration::uniform(t, 0.1, 0.0, 0.0));
+        assert_ne!(dev.fingerprint(), ring.fingerprint());
     }
 
     #[test]

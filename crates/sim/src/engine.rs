@@ -1,0 +1,302 @@
+//! Deterministic parallel execution engine for the Monte-Carlo
+//! fault injector.
+//!
+//! The estimator is embarrassingly parallel: each trial draws an
+//! independent Bernoulli per event and trials never communicate. The
+//! engine exploits that by splitting the trial budget into fixed-size
+//! *chunks*, giving every chunk its own RNG stream derived from the
+//! root seed by a SplitMix64 counter, and merging the per-chunk
+//! [`McEstimate`]s by pure integer addition.
+//!
+//! # Determinism contract
+//!
+//! For a given `(trials, seed, chunk_trials)` the result is
+//! **bit-identical for every thread count, including 1**:
+//!
+//! * chunk `k` always simulates the same trial range with the RNG
+//!   stream seeded by [`chunk seed derivation`](#seed-derivation),
+//!   regardless of which worker picks it up;
+//! * merging is `u64` addition of success and trial counts —
+//!   associative and commutative, so the work-stealing schedule cannot
+//!   leak into the result;
+//! * the final PST is one `f64` division of the merged integers,
+//!   performed once.
+//!
+//! The chunk size is a property of the *estimator*, not of the
+//! machine: it defaults to [`DEFAULT_CHUNK_TRIALS`] everywhere so a
+//! laptop, a CI runner, and a 96-core server all produce the same
+//! bytes.
+//!
+//! # Seed derivation
+//!
+//! Chunk `k` is seeded with element `k` of the SplitMix64 stream
+//! anchored at the root seed (the same generator, with the same
+//! constants, that [`rand::rngs::StdRng`] uses internally to expand
+//! seeds). SplitMix64 is a bijective counter-based generator, so chunk
+//! seeds are derived in O(1) without scanning — workers can claim
+//! chunks in any order — and distinct chunks never collide.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::montecarlo::McEstimate;
+use crate::profile::FailureProfile;
+
+/// Trials per chunk: the unit of work handed to worker threads.
+///
+/// Fixed (rather than `trials / threads`) so results are independent
+/// of the thread count. 16Ki trials is large enough that chunk
+/// dispatch overhead vanishes against the injection loop, and small
+/// enough that a million-trial run load-balances across dozens of
+/// workers even when early faults make chunk costs uneven.
+pub const DEFAULT_CHUNK_TRIALS: u64 = 16_384;
+
+/// The SplitMix64 increment (golden-ratio constant), shared with
+/// `StdRng`'s seed expansion.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Element `index` of the SplitMix64 stream anchored at `root` — the
+/// RNG seed of chunk `index`. Counter-based: O(1) for any index.
+fn chunk_seed(root: u64, index: u64) -> u64 {
+    let z = root.wrapping_add(GOLDEN.wrapping_mul(index.wrapping_add(1)));
+    let z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs one chunk of the injection loop: `trials` independent trials
+/// against the dense `events` table, its own seeded stream.
+fn run_chunk(events: &[f64], trials: u64, seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut successes = 0u64;
+    'trial: for _ in 0..trials {
+        for &p in events {
+            if rng.random::<f64>() < p {
+                continue 'trial;
+            }
+        }
+        successes += 1;
+    }
+    successes
+}
+
+/// A chunked, deterministic, optionally multi-threaded executor for
+/// Monte-Carlo trial runs.
+///
+/// # Examples
+///
+/// ```
+/// use quva_circuit::{Circuit, PhysQubit};
+/// use quva_device::{Calibration, Device, Topology};
+/// use quva_sim::{CoherenceModel, FailureProfile, McEngine};
+///
+/// # fn main() -> Result<(), quva_sim::SimError> {
+/// let dev = Device::new(Topology::linear(2), |t| Calibration::uniform(t, 0.1, 0.0, 0.0));
+/// let mut c: Circuit<PhysQubit> = Circuit::new(2);
+/// c.cnot(PhysQubit(0), PhysQubit(1));
+/// let profile = FailureProfile::new(&dev, &c, CoherenceModel::Disabled)?;
+///
+/// let sequential = McEngine::sequential().run(&profile, 100_000, 7);
+/// let parallel = McEngine::new(8).run(&profile, 100_000, 7);
+/// assert_eq!(sequential, parallel); // bit-identical, any thread count
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McEngine {
+    threads: usize,
+    chunk_trials: u64,
+}
+
+impl Default for McEngine {
+    /// The automatic engine: one worker per available hardware thread.
+    fn default() -> Self {
+        McEngine::auto()
+    }
+}
+
+impl McEngine {
+    /// An engine with exactly `threads` workers (clamped to at least
+    /// one). `McEngine::new(1)` runs entirely on the caller's thread —
+    /// no threads are spawned — and is the reference the parallel
+    /// schedules are bit-compared against.
+    pub fn new(threads: usize) -> Self {
+        McEngine {
+            threads: threads.max(1),
+            chunk_trials: DEFAULT_CHUNK_TRIALS,
+        }
+    }
+
+    /// The single-threaded engine (identical results, no spawning).
+    pub fn sequential() -> Self {
+        McEngine::new(1)
+    }
+
+    /// One worker per available hardware thread (falls back to 1 when
+    /// the parallelism cannot be queried).
+    pub fn auto() -> Self {
+        McEngine::new(std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+    }
+
+    /// Overrides the trials-per-chunk granularity. Changing this picks
+    /// a *different* (still deterministic) sample: results are
+    /// bit-stable across thread counts for a fixed chunk size, not
+    /// across chunk sizes. Exposed for property tests and tuning; the
+    /// default suits every production path.
+    pub fn with_chunk_trials(mut self, chunk_trials: u64) -> Self {
+        self.chunk_trials = chunk_trials.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The configured trials-per-chunk granularity.
+    pub fn chunk_trials(&self) -> u64 {
+        self.chunk_trials
+    }
+
+    /// Number of trials chunk `index` simulates out of `trials` total.
+    fn chunk_len(&self, trials: u64, index: u64) -> u64 {
+        (trials - index * self.chunk_trials).min(self.chunk_trials)
+    }
+
+    /// Runs `trials` fault-injection trials against `profile` and
+    /// merges the per-chunk estimates.
+    ///
+    /// Deterministic for a given `(trials, seed)`: the result is the
+    /// same `McEstimate`, bit for bit, whatever `threads` is.
+    pub fn run(&self, profile: &FailureProfile, trials: u64, seed: u64) -> McEstimate {
+        let events = profile.active_events();
+        let chunks = trials.div_ceil(self.chunk_trials);
+        let workers = (self.threads as u64).min(chunks);
+        if workers <= 1 {
+            // Caller-thread path: same chunking, same seeds, no spawn.
+            let successes = (0..chunks)
+                .map(|k| run_chunk(events, self.chunk_len(trials, k), chunk_seed(seed, k)))
+                .sum();
+            return McEstimate::from_counts(successes, trials);
+        }
+
+        // Work-stealing over the chunk index: chunk costs are uneven
+        // (an early fault aborts a trial), so a shared counter beats
+        // static striping. The result cannot depend on the schedule —
+        // chunk k's seed is a pure function of (seed, k) and the merge
+        // is integer addition.
+        let next = AtomicU64::new(0);
+        let successes = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = 0u64;
+                        loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            if k >= chunks {
+                                break;
+                            }
+                            local += run_chunk(events, self.chunk_len(trials, k), chunk_seed(seed, k));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
+                .sum()
+        });
+        McEstimate::from_counts(successes, trials)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::CoherenceModel;
+    use quva_circuit::{Circuit, PhysQubit};
+    use quva_device::{Calibration, Device, Topology};
+
+    fn profile(e2q: f64, gates: usize) -> FailureProfile {
+        let dev = Device::new(Topology::linear(3), |t| Calibration::uniform(t, e2q, 0.0, 0.0));
+        let mut c: Circuit<PhysQubit> = Circuit::new(3);
+        for _ in 0..gates {
+            c.cnot(PhysQubit(0), PhysQubit(1));
+        }
+        FailureProfile::new(&dev, &c, CoherenceModel::Disabled).unwrap()
+    }
+
+    #[test]
+    fn chunk_seeds_are_counter_derived_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..10_000u64 {
+            assert!(seen.insert(chunk_seed(42, k)), "collision at chunk {k}");
+        }
+        // counter-based: deriving a late chunk's seed needs no scan and
+        // no derivation order
+        let forward: Vec<u64> = (0..100).map(|k| chunk_seed(7, k)).collect();
+        let backward: Vec<u64> = (0..100).rev().map(|k| chunk_seed(7, k)).collect();
+        assert!(forward.iter().eq(backward.iter().rev()));
+    }
+
+    #[test]
+    fn thread_counts_are_bit_identical() {
+        let p = profile(0.08, 7);
+        let reference = McEngine::sequential().run(&p, 100_000, 11);
+        for threads in [2usize, 3, 4, 8, 17] {
+            let parallel = McEngine::new(threads).run(&p, 100_000, 11);
+            assert_eq!(reference, parallel, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn partial_final_chunk_is_covered() {
+        let p = profile(0.0, 1);
+        // trials not a multiple of the chunk size: every trial must
+        // still run (error-free device ⇒ every trial succeeds)
+        let engine = McEngine::new(4).with_chunk_trials(1000);
+        let est = engine.run(&p, 2_500, 0);
+        assert_eq!(est.successes, 2_500);
+        assert_eq!(est.trials, 2_500);
+        assert_eq!(est.pst, 1.0);
+    }
+
+    #[test]
+    fn zero_trials_is_the_empty_estimate() {
+        let p = profile(0.1, 3);
+        let est = McEngine::new(8).run(&p, 0, 5);
+        assert_eq!(est, McEstimate::from_counts(0, 0));
+        assert_eq!(est.pst, 0.0);
+        assert_eq!(est.std_error(), 0.0);
+    }
+
+    #[test]
+    fn more_threads_than_chunks_is_fine() {
+        let p = profile(0.05, 2);
+        let engine = McEngine::new(64).with_chunk_trials(10);
+        let small = engine.run(&p, 25, 3);
+        assert_eq!(small, McEngine::sequential().with_chunk_trials(10).run(&p, 25, 3));
+    }
+
+    #[test]
+    fn engine_converges_to_analytic() {
+        let p = profile(0.05, 10);
+        let analytic = p.success_probability();
+        let est = McEngine::new(4).run(&p, 200_000, 1);
+        assert!(
+            (est.pst - analytic).abs() < 4.0 * est.std_error().max(1e-4),
+            "engine {} vs analytic {analytic}",
+            est.pst
+        );
+    }
+
+    #[test]
+    fn auto_engine_has_at_least_one_thread() {
+        assert!(McEngine::auto().threads() >= 1);
+        assert_eq!(McEngine::default(), McEngine::auto());
+    }
+}

@@ -6,7 +6,9 @@
 //!   model (§4.3): the product of per-event success probabilities, with
 //!   a gate/readout/coherence failure-weight decomposition;
 //! * [`monte_carlo_pst`] — the Fig. 10 Monte-Carlo fault injector,
-//!   which converges to the analytic value (property-tested);
+//!   which converges to the analytic value (property-tested). Trial
+//!   execution runs on the deterministic parallel [`McEngine`]:
+//!   chunked, seed-derived, and bit-identical for every thread count;
 //! * [`run_noisy_trials`] — a dense state-vector simulation with
 //!   stochastic Pauli gate noise and readout flips, the stand-in for
 //!   the paper's real-hardware IBM-Q5 runs (§7).
@@ -40,6 +42,7 @@ mod complex;
 mod correlated;
 mod crosstalk;
 mod density;
+mod engine;
 mod error;
 mod exact;
 mod montecarlo;
@@ -52,9 +55,10 @@ pub use complex::Complex64;
 pub use correlated::{monte_carlo_pst_correlated, CorrelatedModel};
 pub use crosstalk::{analytic_pst_with_crosstalk, CrosstalkModel};
 pub use density::{DensityMatrix, MAX_DENSITY_QUBITS};
+pub use engine::{McEngine, DEFAULT_CHUNK_TRIALS};
 pub use error::SimError;
 pub use exact::exact_noisy_distribution;
-pub use montecarlo::{monte_carlo_pst, run_trials, McEstimate};
+pub use montecarlo::{monte_carlo_pst, monte_carlo_pst_with, run_trials, McEstimate};
 pub use noisy::{run_noisy_trials, TrialOutcomes};
 pub use profile::{CoherenceModel, FailureProfile};
 pub use statevector::{matrix_of, StateVector, MAX_STATEVECTOR_QUBITS};

@@ -8,9 +8,8 @@
 
 use quva_circuit::{Circuit, PhysQubit};
 use quva_device::Device;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
+use crate::engine::McEngine;
 use crate::error::SimError;
 use crate::profile::{CoherenceModel, FailureProfile};
 
@@ -26,7 +25,35 @@ pub struct McEstimate {
 }
 
 impl McEstimate {
-    /// Binomial standard error of the estimate.
+    /// Builds an estimate from raw counts.
+    ///
+    /// Zero-trial convention (shared by every accessor): an empty run
+    /// estimates `pst = 0.0` with `std_error() = 0.0`, and is the
+    /// identity element of [`McEstimate::merge`].
+    pub fn from_counts(successes: u64, trials: u64) -> Self {
+        let pst = if trials == 0 {
+            0.0
+        } else {
+            successes as f64 / trials as f64
+        };
+        McEstimate {
+            pst,
+            successes,
+            trials,
+        }
+    }
+
+    /// Merges two independent estimates of the same quantity by
+    /// pooling their counts. Associative and commutative, with the
+    /// zero-trial estimate as identity — which is what makes chunked
+    /// parallel execution bit-identical to sequential.
+    pub fn merge(self, other: McEstimate) -> McEstimate {
+        McEstimate::from_counts(self.successes + other.successes, self.trials + other.trials)
+    }
+
+    /// Binomial standard error of the estimate (`0.0` for an empty
+    /// run, matching the zero-trial convention of
+    /// [`McEstimate::from_counts`]).
     pub fn std_error(&self) -> f64 {
         if self.trials == 0 {
             return 0.0;
@@ -68,37 +95,37 @@ pub fn monte_carlo_pst(
     seed: u64,
     coherence: CoherenceModel,
 ) -> Result<McEstimate, SimError> {
+    monte_carlo_pst_with(device, circuit, trials, seed, coherence, McEngine::auto())
+}
+
+/// [`monte_carlo_pst`] with an explicit execution [`McEngine`] — the
+/// CLI's `--threads` flag and the benchmark harness land here. The
+/// engine affects wall-clock only: the estimate is bit-identical for
+/// every thread count.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the circuit is unrouted for `device` or uses
+/// more qubits than the device has.
+pub fn monte_carlo_pst_with(
+    device: &Device,
+    circuit: &Circuit<PhysQubit>,
+    trials: u64,
+    seed: u64,
+    coherence: CoherenceModel,
+    engine: McEngine,
+) -> Result<McEstimate, SimError> {
     let profile = FailureProfile::new(device, circuit, coherence)?;
-    Ok(run_trials(&profile, trials, seed))
+    Ok(engine.run(&profile, trials, seed))
 }
 
 /// Runs the injection loop against a prebuilt [`FailureProfile`] —
 /// useful when sweeping trial counts over the same circuit.
+///
+/// Single-threaded reference path: identical, bit for bit, to
+/// [`McEngine::run`] at any thread count.
 pub fn run_trials(profile: &FailureProfile, trials: u64, seed: u64) -> McEstimate {
-    let mut rng = StdRng::seed_from_u64(seed);
-    // Event probabilities, flattened; coherence events appended after
-    // the per-op events.
-    let events: Vec<f64> = profile
-        .op_failures()
-        .iter()
-        .chain(profile.coherence_failures().iter())
-        .copied()
-        .filter(|&p| p > 0.0)
-        .collect();
-    let mut successes = 0u64;
-    'trial: for _ in 0..trials {
-        for &p in &events {
-            if rng.random::<f64>() < p {
-                continue 'trial;
-            }
-        }
-        successes += 1;
-    }
-    McEstimate {
-        pst: successes as f64 / trials.max(1) as f64,
-        successes,
-        trials,
-    }
+    McEngine::sequential().run(profile, trials, seed)
 }
 
 #[cfg(test)]
@@ -218,6 +245,36 @@ mod tests {
         assert_eq!(est.trials, 0);
         assert_eq!(est.pst, 0.0);
         assert_eq!(est.std_error(), 0.0);
+    }
+
+    #[test]
+    fn from_counts_and_std_error_share_the_zero_convention() {
+        let empty = McEstimate::from_counts(0, 0);
+        assert_eq!(empty.pst, 0.0);
+        assert_eq!(empty.std_error(), 0.0);
+        let full = McEstimate::from_counts(3, 4);
+        assert_eq!(full.pst, 0.75);
+        assert!(full.std_error() > 0.0);
+    }
+
+    #[test]
+    fn merge_pools_counts() {
+        let a = McEstimate::from_counts(10, 100);
+        let b = McEstimate::from_counts(40, 100);
+        let m = a.merge(b);
+        assert_eq!(m, McEstimate::from_counts(50, 200));
+        assert_eq!(m.pst, 0.25);
+        // commutative
+        assert_eq!(m, b.merge(a));
+    }
+
+    #[test]
+    fn merging_empty_chunks_is_identity() {
+        let empty = McEstimate::from_counts(0, 0);
+        let est = McEstimate::from_counts(7, 9);
+        assert_eq!(est.merge(empty), est);
+        assert_eq!(empty.merge(est), est);
+        assert_eq!(empty.merge(empty), empty);
     }
 
     #[test]

@@ -37,6 +37,11 @@ pub struct FailureProfile {
     op_failures: Vec<f64>,
     /// Per-qubit coherence failure probability over the whole program.
     coherence_failures: Vec<f64>,
+    /// The injection table: every event with non-zero failure
+    /// probability (ops first, then coherence), precomputed once so the
+    /// Monte-Carlo hot loop — and every worker thread sharing this
+    /// profile — walks a dense immutable slice.
+    active_events: Vec<f64>,
     /// Decomposition accumulators (failure weights `−ln(1−p)`).
     gate_weight: f64,
     readout_weight: f64,
@@ -107,9 +112,17 @@ impl FailureProfile {
             .map(|&p| -(1.0 - p).max(f64::MIN_POSITIVE).ln())
             .sum();
 
+        let active_events = op_failures
+            .iter()
+            .chain(coherence_failures.iter())
+            .copied()
+            .filter(|&p| p > 0.0)
+            .collect();
+
         Ok(FailureProfile {
             op_failures,
             coherence_failures,
+            active_events,
             gate_weight,
             readout_weight,
             coherence_weight,
@@ -124,6 +137,15 @@ impl FailureProfile {
     /// Per-qubit whole-program coherence failure probability.
     pub fn coherence_failures(&self) -> &[f64] {
         &self.coherence_failures
+    }
+
+    /// Every event with a non-zero failure probability — operations in
+    /// program order, then per-qubit coherence exposures. This is the
+    /// dense table the Monte-Carlo injector draws against; it is built
+    /// once at profile construction and shared (immutably) across
+    /// worker threads.
+    pub fn active_events(&self) -> &[f64] {
+        &self.active_events
     }
 
     /// The probability that *no* failure event fires — the analytic PST.
@@ -206,6 +228,15 @@ mod tests {
     fn profile_collects_op_failures() {
         let p = FailureProfile::new(&device(), &routed_bell(), CoherenceModel::Disabled).unwrap();
         assert_eq!(p.op_failures(), &[0.01, 0.1, 0.02, 0.02]);
+    }
+
+    #[test]
+    fn active_events_drops_zero_probability_entries() {
+        let dev = Device::new(Topology::linear(3), |t| Calibration::uniform(t, 0.1, 0.0, 0.02));
+        let p = FailureProfile::new(&dev, &routed_bell(), CoherenceModel::Disabled).unwrap();
+        // h has zero 1Q error on this device: it must not appear in the
+        // injection table, while the CNOT and both measurements do
+        assert_eq!(p.active_events(), &[0.1, 0.02, 0.02]);
     }
 
     #[test]

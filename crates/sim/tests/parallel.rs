@@ -1,0 +1,89 @@
+//! Property tests for the parallel Monte-Carlo engine: chunk-merged
+//! estimates must be bit-identical to the sequential reference for any
+//! `(trials, chunk_size, thread_count)`, and pooled estimates must
+//! never get less certain as trial counts grow.
+
+use proptest::prelude::*;
+use quva_circuit::{Cbit, Circuit, PhysQubit};
+use quva_device::{Calibration, Device, Topology};
+use quva_sim::{CoherenceModel, FailureProfile, McEngine, McEstimate};
+use std::sync::OnceLock;
+
+/// One shared profile for every proptest case — a hand-routed ladder
+/// on a 5-qubit line, with every fault class active.
+fn profile() -> &'static FailureProfile {
+    static PROFILE: OnceLock<FailureProfile> = OnceLock::new();
+    PROFILE.get_or_init(|| {
+        let device = Device::new(Topology::linear(5), |t| Calibration::uniform(t, 0.05, 0.01, 0.02));
+        let mut c: Circuit<PhysQubit> = Circuit::new(5);
+        c.h(PhysQubit(0));
+        for q in 0..4 {
+            c.cnot(PhysQubit(q), PhysQubit(q + 1));
+        }
+        c.swap(PhysQubit(2), PhysQubit(3));
+        for q in 0..5 {
+            c.measure(PhysQubit(q), Cbit(q));
+        }
+        FailureProfile::new(&device, &c, CoherenceModel::IdleWindow)
+            .expect("ladder circuit is routed on the 5-qubit line")
+    })
+}
+
+proptest! {
+    /// The determinism contract: thread count and scheduling never
+    /// change the estimate, only the chunk size defines the sample.
+    #[test]
+    fn chunk_merged_estimates_match_sequential(
+        (trials, chunk_trials, threads, seed) in
+            (0u64..40_000, 1u64..10_000, 1usize..12, 0u64..=u64::MAX)
+    ) {
+        let reference = McEngine::sequential()
+            .with_chunk_trials(chunk_trials)
+            .run(profile(), trials, seed);
+        let parallel = McEngine::new(threads)
+            .with_chunk_trials(chunk_trials)
+            .run(profile(), trials, seed);
+        prop_assert_eq!(parallel.successes, reference.successes);
+        prop_assert_eq!(parallel.trials, reference.trials);
+        prop_assert_eq!(parallel.pst.to_bits(), reference.pst.to_bits());
+    }
+
+    /// Merging is pooling: the merged estimate equals `from_counts`
+    /// over the summed counts, in any association order.
+    #[test]
+    fn merge_equals_pooled_counts(
+        counts in prop::collection::vec((0u64..1_000, 0u64..1_000), 0..8)
+    ) {
+        let counts: Vec<(u64, u64)> =
+            counts.into_iter().map(|(s, t)| (s.min(t), t)).collect();
+        let left = counts.iter().fold(McEstimate::from_counts(0, 0), |acc, &(s, t)| {
+            acc.merge(McEstimate::from_counts(s, t))
+        });
+        let right = counts.iter().rev().fold(McEstimate::from_counts(0, 0), |acc, &(s, t)| {
+            McEstimate::from_counts(s, t).merge(acc)
+        });
+        let successes: u64 = counts.iter().map(|&(s, _)| s).sum();
+        let trials: u64 = counts.iter().map(|&(_, t)| t).sum();
+        let pooled = McEstimate::from_counts(successes, trials);
+        prop_assert_eq!(left.pst.to_bits(), pooled.pst.to_bits());
+        prop_assert_eq!(right.pst.to_bits(), pooled.pst.to_bits());
+        prop_assert_eq!(left.trials, trials);
+        prop_assert_eq!(right.successes, successes);
+    }
+
+    /// More pooled evidence at the same success rate never widens the
+    /// error bar: `std_error` shrinks monotonically in the trial count.
+    #[test]
+    fn std_error_shrinks_as_merged_trials_grow(
+        (successes, trials, growth) in (0u64..=10_000, 1u64..=10_000, 2u64..=64)
+    ) {
+        let successes = successes.min(trials);
+        let base = McEstimate::from_counts(successes, trials);
+        let grown = McEstimate::from_counts(successes * growth, trials * growth);
+        prop_assert_eq!(base.pst.to_bits(), grown.pst.to_bits());
+        prop_assert!(grown.std_error() <= base.std_error());
+        if base.std_error() > 0.0 {
+            prop_assert!(grown.std_error() < base.std_error());
+        }
+    }
+}
