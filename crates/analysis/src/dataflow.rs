@@ -1,0 +1,285 @@
+//! A generic forward-dataflow engine over physical circuits.
+//!
+//! Abstract interpretation of a gate stream: each physical qubit
+//! carries an abstract state (an element of a join-semilattice), every
+//! gate applies a transfer function to its operands' states, and a
+//! worklist iterates to a fixpoint. Straight-line circuits converge in
+//! one ascending pass; the worklist exists so transfer functions may be
+//! composed and re-run safely (each gate's outputs are a pure function
+//! of its inputs, never of its own previous outputs).
+//!
+//! The ESP interval analysis ([`crate::passes::esp`]) is the flagship
+//! client: its state is a `[lo, hi]` success-probability interval per
+//! qubit. The framework itself is domain-agnostic — see the gate-count
+//! example below.
+//!
+//! # Examples
+//!
+//! Counting the operations each qubit participates in:
+//!
+//! ```
+//! use quva_analysis::dataflow::{run_forward, ForwardAnalysis, JoinSemiLattice};
+//! use quva_circuit::{Circuit, Gate, PhysQubit};
+//!
+//! #[derive(Clone, PartialEq, Debug)]
+//! struct Count(u32);
+//! impl JoinSemiLattice for Count {
+//!     fn join(&self, other: &Self) -> Self {
+//!         Count(self.0.max(other.0))
+//!     }
+//! }
+//!
+//! struct GateCount;
+//! impl ForwardAnalysis for GateCount {
+//!     type State = Count;
+//!     fn name(&self) -> &'static str {
+//!         "gate-count"
+//!     }
+//!     fn boundary(&self, _qubit: usize) -> Count {
+//!         Count(0)
+//!     }
+//!     fn transfer(&self, _gate: &Gate<PhysQubit>, _index: usize, inputs: &[Count]) -> Vec<Count> {
+//!         inputs.iter().map(|c| Count(c.0 + 1)).collect()
+//!     }
+//! }
+//!
+//! let mut c: Circuit<PhysQubit> = Circuit::new(2);
+//! c.h(PhysQubit(0));
+//! c.cnot(PhysQubit(0), PhysQubit(1));
+//! let result = run_forward(&GateCount, &c, 2);
+//! assert_eq!(result.exit[0], Count(2));
+//! assert_eq!(result.exit[1], Count(1));
+//! ```
+
+use std::collections::BTreeSet;
+
+use quva_circuit::{Circuit, Gate, PhysQubit};
+
+/// An element of a join-semilattice: the abstract state one physical
+/// qubit carries through the analysis.
+pub trait JoinSemiLattice: Clone + PartialEq + std::fmt::Debug {
+    /// The least upper bound of two states. The engine never joins
+    /// states on straight-line circuits (each qubit has a single
+    /// predecessor chain), but transfer functions and future
+    /// control-flow extensions rely on it.
+    fn join(&self, other: &Self) -> Self;
+}
+
+/// A forward dataflow analysis: a boundary state per qubit and a
+/// transfer function per gate.
+pub trait ForwardAnalysis {
+    /// The per-qubit abstract state.
+    type State: JoinSemiLattice;
+
+    /// The analysis name (shown in debug output and reports).
+    fn name(&self) -> &'static str;
+
+    /// The state each physical qubit enters the circuit with.
+    fn boundary(&self, qubit: usize) -> Self::State;
+
+    /// Applies one gate: `inputs` holds the incoming state of each
+    /// operand in [`Gate::qubits`] order; the returned vector gives the
+    /// outgoing state of the same operands, in the same order.
+    ///
+    /// Must be *pure*: outputs depend only on the gate and `inputs`, so
+    /// the worklist may re-evaluate a gate without double-charging it.
+    fn transfer(&self, gate: &Gate<PhysQubit>, index: usize, inputs: &[Self::State]) -> Vec<Self::State>;
+}
+
+/// The fixpoint of a forward analysis over one circuit.
+#[derive(Debug, Clone)]
+pub struct DataflowResult<S> {
+    /// The state of every physical qubit after its last gate (boundary
+    /// state for untouched qubits).
+    pub exit: Vec<S>,
+    /// Per gate index: the operand output states (in operand order).
+    /// Barriers carry no entry (`None`), matching their identity
+    /// transfer.
+    pub after_gate: Vec<Option<Vec<S>>>,
+}
+
+/// Runs `analysis` forward over `circuit` to a fixpoint.
+///
+/// `num_qubits` is the width of the state vector — pass the *device*
+/// size when exit states for unused physical qubits matter.
+///
+/// The engine is a classic worklist: gates are processed in ascending
+/// program order (a topological order of the gate DAG, since operands
+/// chain each qubit's gates), and a gate is re-queued whenever one of
+/// its predecessors changes its output. Transfer functions are pure, so
+/// re-evaluation is idempotent and the fixpoint is reached as soon as
+/// the worklist drains.
+pub fn run_forward<A: ForwardAnalysis>(
+    analysis: &A,
+    circuit: &Circuit<PhysQubit>,
+    num_qubits: usize,
+) -> DataflowResult<A::State> {
+    let width = num_qubits.max(circuit.num_qubits());
+    let gates = circuit.gates();
+
+    // Dependency chains: for each gate and operand, the producing
+    // predecessor gate (and its operand slot), or the boundary.
+    #[derive(Clone, Copy)]
+    enum Source {
+        Boundary(usize),
+        Gate { index: usize, slot: usize },
+    }
+    let mut last_def: Vec<Source> = (0..width).map(Source::Boundary).collect();
+    let mut inputs_of: Vec<Vec<Source>> = Vec::with_capacity(gates.len());
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); gates.len()];
+    for (i, gate) in gates.iter().enumerate() {
+        if gate.is_barrier() {
+            inputs_of.push(Vec::new());
+            continue;
+        }
+        let mut sources = Vec::new();
+        for (slot, q) in gate.qubits().into_iter().enumerate() {
+            let src = last_def[q.index()];
+            if let Source::Gate { index, .. } = src {
+                successors[index].push(i);
+            }
+            sources.push(src);
+            last_def[q.index()] = Source::Gate { index: i, slot };
+        }
+        inputs_of.push(sources);
+    }
+
+    let boundary: Vec<A::State> = (0..width).map(|q| analysis.boundary(q)).collect();
+    let mut after_gate: Vec<Option<Vec<A::State>>> = vec![None; gates.len()];
+
+    // Ascending-order worklist: BTreeSet pops the smallest index, so the
+    // first sweep visits gates in program order and every predecessor is
+    // evaluated before its consumers.
+    let mut worklist: BTreeSet<usize> = (0..gates.len()).filter(|&i| !gates[i].is_barrier()).collect();
+    while let Some(&i) = worklist.iter().next() {
+        worklist.remove(&i);
+        let gate = &gates[i];
+        let operands = gate.qubits();
+        let ins: Vec<A::State> = inputs_of[i]
+            .iter()
+            .enumerate()
+            .map(|(slot, src)| match *src {
+                Source::Boundary(q) => boundary[q].clone(),
+                Source::Gate { index, slot: pslot } => match &after_gate[index] {
+                    // ascending order guarantees predecessors evaluate
+                    // first; the fallback covers a (hypothetical)
+                    // re-queue racing ahead of an unevaluated pred
+                    Some(outs) => outs[pslot].clone(),
+                    None => boundary[operands[slot].index()].clone(),
+                },
+            })
+            .collect();
+        let outs = analysis.transfer(gate, i, &ins);
+        debug_assert_eq!(
+            outs.len(),
+            ins.len(),
+            "{}: transfer must produce one state per operand",
+            analysis.name()
+        );
+        if after_gate[i].as_ref() != Some(&outs) {
+            after_gate[i] = Some(outs);
+            for &s in &successors[i] {
+                worklist.insert(s);
+            }
+        }
+    }
+
+    // Exit state per qubit: the output of its last defining gate.
+    let mut exit = boundary;
+    for (q, src) in last_def.iter().enumerate() {
+        if let Source::Gate { index, slot } = *src {
+            if let Some(outs) = &after_gate[index] {
+                exit[q] = outs[slot].clone();
+            }
+        }
+    }
+
+    DataflowResult { exit, after_gate }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quva_circuit::Cbit;
+
+    #[derive(Clone, PartialEq, Debug)]
+    struct Sum(f64);
+    impl JoinSemiLattice for Sum {
+        fn join(&self, other: &Self) -> Self {
+            Sum(self.0.max(other.0))
+        }
+    }
+
+    /// Charges every operand 1.0 per gate, 0.25 per measurement.
+    struct Charge;
+    impl ForwardAnalysis for Charge {
+        type State = Sum;
+        fn name(&self) -> &'static str {
+            "charge"
+        }
+        fn boundary(&self, _q: usize) -> Sum {
+            Sum(0.0)
+        }
+        fn transfer(&self, gate: &Gate<PhysQubit>, _i: usize, inputs: &[Sum]) -> Vec<Sum> {
+            let amount = if gate.is_measurement() { 0.25 } else { 1.0 };
+            inputs.iter().map(|s| Sum(s.0 + amount)).collect()
+        }
+    }
+
+    #[test]
+    fn straight_line_converges_in_one_pass() {
+        let mut c: Circuit<PhysQubit> = Circuit::with_cbits(3, 3);
+        c.h(PhysQubit(0));
+        c.cnot(PhysQubit(0), PhysQubit(1));
+        c.swap(PhysQubit(1), PhysQubit(2));
+        c.measure(PhysQubit(2), Cbit(0));
+        let r = run_forward(&Charge, &c, 3);
+        assert_eq!(r.exit[0], Sum(2.0));
+        assert_eq!(r.exit[1], Sum(2.0));
+        assert_eq!(r.exit[2], Sum(1.25));
+    }
+
+    #[test]
+    fn per_gate_states_are_recorded() {
+        let mut c: Circuit<PhysQubit> = Circuit::new(2);
+        c.h(PhysQubit(1));
+        c.cnot(PhysQubit(0), PhysQubit(1));
+        let r = run_forward(&Charge, &c, 2);
+        // gate 0 touches only qubit 1
+        assert_eq!(r.after_gate[0].as_ref().unwrap().as_slice(), &[Sum(1.0)]);
+        // gate 1: control entered at boundary, target carried the H
+        assert_eq!(
+            r.after_gate[1].as_ref().unwrap().as_slice(),
+            &[Sum(1.0), Sum(2.0)]
+        );
+    }
+
+    #[test]
+    fn barriers_are_identity() {
+        let mut c: Circuit<PhysQubit> = Circuit::new(2);
+        c.h(PhysQubit(0));
+        c.barrier_all();
+        c.h(PhysQubit(0));
+        let r = run_forward(&Charge, &c, 2);
+        assert_eq!(r.exit[0], Sum(2.0));
+        assert_eq!(r.exit[1], Sum(0.0));
+        assert!(r.after_gate[1].is_none(), "barrier carries no state");
+    }
+
+    #[test]
+    fn device_wider_than_circuit_keeps_boundary_states() {
+        let mut c: Circuit<PhysQubit> = Circuit::new(1);
+        c.h(PhysQubit(0));
+        let r = run_forward(&Charge, &c, 5);
+        assert_eq!(r.exit.len(), 5);
+        assert_eq!(r.exit[4], Sum(0.0));
+    }
+
+    #[test]
+    fn empty_circuit_is_all_boundary() {
+        let c: Circuit<PhysQubit> = Circuit::new(3);
+        let r = run_forward(&Charge, &c, 3);
+        assert!(r.exit.iter().all(|s| *s == Sum(0.0)));
+        assert!(r.after_gate.is_empty());
+    }
+}

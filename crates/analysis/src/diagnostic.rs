@@ -86,9 +86,67 @@ pub enum LintCode {
     /// A SWAP whose effect is unobservable: neither operand is used or
     /// measured afterwards.
     ZeroEffectSwap,
+    /// A single coupling link dominates the circuit's static failure
+    /// weight — the compiled circuit leans on the device's weakest link.
+    DominantWeakLink,
+    /// The whole-circuit static ESP upper bound is below the floor: even
+    /// under optimistic calibration drift the circuit is unlikely to
+    /// produce a correct trial.
+    LowEspBound,
+    /// A qubit idles long enough between its first and last gate for
+    /// T1 decoherence to become a material failure source.
+    ExcessiveIdling,
+    /// A router-inserted SWAP chain is measurably less reliable than the
+    /// best path available on the live device (a missed-VQM route).
+    MissedVqmRoute,
+    /// The allocated physical region is substantially weaker than the
+    /// strongest same-size region on the device (a missed-VQA
+    /// allocation).
+    WeakRegionAllocation,
 }
 
 impl LintCode {
+    /// Every released code, in code order. The doc-sync test walks this
+    /// to keep the DESIGN.md code table and the enum in lockstep.
+    pub const ALL: [LintCode; 20] = [
+        LintCode::OffCouplerGate,
+        LintCode::DisabledLinkGate,
+        LintCode::PermutationMismatch,
+        LintCode::SequenceMismatch,
+        LintCode::UseAfterMeasure,
+        LintCode::WidthExceeded,
+        LintCode::UnmappedOperand,
+        LintCode::CalibrationEscape,
+        LintCode::UnusedQubit,
+        LintCode::UnmeasuredQubit,
+        LintCode::NoMeasurements,
+        LintCode::ClobberedCbit,
+        LintCode::SwapAfterMeasure,
+        LintCode::RedundantPair,
+        LintCode::ZeroEffectSwap,
+        LintCode::DominantWeakLink,
+        LintCode::LowEspBound,
+        LintCode::ExcessiveIdling,
+        LintCode::MissedVqmRoute,
+        LintCode::WeakRegionAllocation,
+    ];
+
+    /// Resolves a `QVnnn` code or a slug name back to its variant.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use quva_analysis::LintCode;
+    ///
+    /// assert_eq!(LintCode::from_code("QV001"), Some(LintCode::OffCouplerGate));
+    /// assert_eq!(LintCode::from_code("missed-vqm-route"), Some(LintCode::MissedVqmRoute));
+    /// assert_eq!(LintCode::from_code("QV999"), None);
+    /// ```
+    pub fn from_code(s: &str) -> Option<LintCode> {
+        LintCode::ALL
+            .into_iter()
+            .find(|c| c.code().eq_ignore_ascii_case(s) || c.name() == s)
+    }
     /// The stable short code, e.g. `QV001`.
     pub fn code(self) -> &'static str {
         match self {
@@ -107,6 +165,11 @@ impl LintCode {
             LintCode::SwapAfterMeasure => "QV105",
             LintCode::RedundantPair => "QV201",
             LintCode::ZeroEffectSwap => "QV202",
+            LintCode::DominantWeakLink => "QV301",
+            LintCode::LowEspBound => "QV302",
+            LintCode::ExcessiveIdling => "QV303",
+            LintCode::MissedVqmRoute => "QV304",
+            LintCode::WeakRegionAllocation => "QV305",
         }
     }
 
@@ -128,6 +191,11 @@ impl LintCode {
             LintCode::SwapAfterMeasure => "swap-after-measure",
             LintCode::RedundantPair => "redundant-pair",
             LintCode::ZeroEffectSwap => "zero-effect-swap",
+            LintCode::DominantWeakLink => "dominant-weak-link",
+            LintCode::LowEspBound => "low-esp-bound",
+            LintCode::ExcessiveIdling => "excessive-idling",
+            LintCode::MissedVqmRoute => "missed-vqm-route",
+            LintCode::WeakRegionAllocation => "weak-region-allocation",
         }
     }
 
@@ -148,7 +216,124 @@ impl LintCode {
             | LintCode::ClobberedCbit
             | LintCode::SwapAfterMeasure
             | LintCode::RedundantPair
-            | LintCode::ZeroEffectSwap => Severity::Warning,
+            | LintCode::ZeroEffectSwap
+            | LintCode::DominantWeakLink
+            | LintCode::LowEspBound
+            | LintCode::ExcessiveIdling
+            | LintCode::MissedVqmRoute
+            | LintCode::WeakRegionAllocation => Severity::Warning,
+        }
+    }
+
+    /// One-sentence description of what the code reports, as shown by
+    /// `quva lint --explain`.
+    pub fn description(self) -> &'static str {
+        match self {
+            LintCode::OffCouplerGate => {
+                "a two-qubit gate addresses a pair of physical qubits with no coupler between them"
+            }
+            LintCode::DisabledLinkGate => {
+                "a two-qubit gate addresses a coupler that exists but has been disabled (a dead link)"
+            }
+            LintCode::PermutationMismatch => {
+                "replaying the compiled SWAPs from the initial mapping does not reproduce the claimed \
+                 final mapping"
+            }
+            LintCode::SequenceMismatch => {
+                "the compiled gate stream is not the logical program under the evolving qubit mapping"
+            }
+            LintCode::UseAfterMeasure => "a qubit is operated on after it has been measured",
+            LintCode::WidthExceeded => {
+                "the circuit needs more qubits than the device provides, or a mapping's shape does not \
+                 match the circuit/device it claims to connect"
+            }
+            LintCode::UnmappedOperand => {
+                "a physical gate operates on a location no program qubit occupies at that point"
+            }
+            LintCode::CalibrationEscape => {
+                "an invalid calibration value escaped sanitization and is visible to policy code"
+            }
+            LintCode::UnusedQubit => "a register qubit is allocated but never referenced by any gate",
+            LintCode::UnmeasuredQubit => {
+                "a used qubit is never measured although the circuit measures others"
+            }
+            LintCode::NoMeasurements => "the circuit contains no measurements at all",
+            LintCode::ClobberedCbit => {
+                "two measurements write the same classical bit; the first result is lost"
+            }
+            LintCode::SwapAfterMeasure => "a SWAP moves a qubit that has already been measured",
+            LintCode::RedundantPair => "two adjacent gates cancel each other exactly",
+            LintCode::ZeroEffectSwap => {
+                "a SWAP whose effect is unobservable: neither operand is used or measured afterwards"
+            }
+            LintCode::DominantWeakLink => {
+                "a single coupling link dominates the circuit's static failure weight"
+            }
+            LintCode::LowEspBound => "the whole-circuit static ESP upper bound is below the success floor",
+            LintCode::ExcessiveIdling => {
+                "a qubit idles long enough between gates for T1 decoherence to become a material \
+                 failure source"
+            }
+            LintCode::MissedVqmRoute => {
+                "a router-inserted SWAP chain is measurably less reliable than the best path on the \
+                 live device"
+            }
+            LintCode::WeakRegionAllocation => {
+                "the allocated physical region is substantially weaker than the strongest same-size \
+                 region on the device"
+            }
+        }
+    }
+
+    /// Why the code matters — the consequence of ignoring it, as shown
+    /// by `quva lint --explain`.
+    pub fn rationale(self) -> &'static str {
+        match self {
+            LintCode::OffCouplerGate | LintCode::DisabledLinkGate => {
+                "the hardware cannot execute the gate: the run would be rejected or silently rerouted \
+                 by the vendor stack"
+            }
+            LintCode::PermutationMismatch | LintCode::SequenceMismatch | LintCode::UnmappedOperand => {
+                "the compiled circuit computes a different function than the source program — every \
+                 downstream PST number would describe the wrong circuit"
+            }
+            LintCode::UseAfterMeasure | LintCode::SwapAfterMeasure => {
+                "operations after measurement cannot affect the recorded outcome; the gate is wasted \
+                 or the measurement is misplaced"
+            }
+            LintCode::WidthExceeded => "the artifact cannot be placed on the device at all",
+            LintCode::CalibrationEscape => {
+                "policy code consuming NaN or out-of-range rates produces unreliable mappings"
+            }
+            LintCode::UnusedQubit
+            | LintCode::UnmeasuredQubit
+            | LintCode::NoMeasurements
+            | LintCode::ClobberedCbit => {
+                "results are dropped or qubits wasted; usually a program-generation bug"
+            }
+            LintCode::RedundantPair | LintCode::ZeroEffectSwap => {
+                "pure overhead: extra error exposure with no observable effect"
+            }
+            LintCode::DominantWeakLink => {
+                "rerouting around one link (or re-allocating away from it) would recover most of the \
+                 lost success probability — the cheapest reliability fix available"
+            }
+            LintCode::LowEspBound => {
+                "trials are mostly noise at this success rate; shrink the circuit or improve the \
+                 mapping before spending shots"
+            }
+            LintCode::ExcessiveIdling => {
+                "idle decoherence is unmodelled by gate-error-only policies; scheduling the qubit \
+                 later or compacting the critical path recovers fidelity"
+            }
+            LintCode::MissedVqmRoute => {
+                "a variability-aware router (VQM) would have found a more reliable chain within the \
+                 hop budget — the gap is free PST"
+            }
+            LintCode::WeakRegionAllocation => {
+                "a variability-aware allocator (VQA) would have placed the program on a stronger \
+                 subgraph — the gap is free PST"
+            }
         }
     }
 }
@@ -235,6 +420,23 @@ impl Diagnostic {
     pub fn message(&self) -> &str {
         &self.message
     }
+
+    /// The diagnostic as a single-line JSON object — the shared schema
+    /// of `Report::render_json` and the audit report.
+    pub(crate) fn json_object(&self) -> String {
+        let span = match self.span {
+            Some(s) => format!("{{\"start\": {}, \"end\": {}}}", s.start, s.end),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"code\": \"{}\", \"name\": \"{}\", \"severity\": \"{}\", \"span\": {}, \"message\": \"{}\"}}",
+            self.code.code(),
+            self.code.name(),
+            self.severity(),
+            span,
+            escape_json(&self.message)
+        )
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -310,11 +512,35 @@ impl Report {
         self.diagnostics.iter().filter(|d| d.code() == code).collect()
     }
 
+    /// Merges another report into this one: diagnostics and pass names
+    /// concatenate (rendering re-sorts diagnostics anyway).
+    pub fn merge(mut self, other: Report) -> Report {
+        self.diagnostics.extend(other.diagnostics);
+        self.passes.extend(other.passes);
+        self
+    }
+
+    /// The diagnostics in the deterministic rendering order: by span
+    /// (gate-anchored findings first, in gate order), then code, then
+    /// message. Both renderers use this order, so reports are
+    /// byte-stable across runs regardless of pass scheduling.
+    pub fn ordered(&self) -> Vec<&Diagnostic> {
+        let mut v: Vec<&Diagnostic> = self.diagnostics.iter().collect();
+        v.sort_by(|a, b| {
+            let key = |d: &Diagnostic| {
+                let (s, e) = d.span().map_or((usize::MAX, usize::MAX), |s| (s.start, s.end));
+                (s, e, d.code().code())
+            };
+            key(a).cmp(&key(b)).then_with(|| a.message().cmp(b.message()))
+        });
+        v
+    }
+
     /// Renders the report as human-readable text, one diagnostic per
     /// line plus a summary line.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
-        for d in &self.diagnostics {
+        for d in self.ordered() {
             out.push_str(&d.to_string());
             out.push('\n');
         }
@@ -340,23 +566,12 @@ impl Report {
     /// the dependency policy of `quva-device::snapshot`).
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n  \"diagnostics\": [");
-        for (i, d) in self.diagnostics.iter().enumerate() {
+        for (i, d) in self.ordered().into_iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str("\n    {");
-            out.push_str(&format!("\"code\": \"{}\", ", d.code().code()));
-            out.push_str(&format!("\"name\": \"{}\", ", d.code().name()));
-            out.push_str(&format!("\"severity\": \"{}\", ", d.severity()));
-            match d.span() {
-                Some(s) => out.push_str(&format!(
-                    "\"span\": {{\"start\": {}, \"end\": {}}}, ",
-                    s.start, s.end
-                )),
-                None => out.push_str("\"span\": null, "),
-            }
-            out.push_str(&format!("\"message\": \"{}\"", escape_json(d.message())));
-            out.push('}');
+            out.push_str("\n    ");
+            out.push_str(&d.json_object());
         }
         if !self.diagnostics.is_empty() {
             out.push_str("\n  ");
@@ -385,7 +600,7 @@ impl Report {
 }
 
 /// Escapes a string for inclusion in a JSON string literal.
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
         match ch {
@@ -422,23 +637,7 @@ mod tests {
 
     #[test]
     fn codes_are_stable_and_unique() {
-        let all = [
-            LintCode::OffCouplerGate,
-            LintCode::DisabledLinkGate,
-            LintCode::PermutationMismatch,
-            LintCode::SequenceMismatch,
-            LintCode::UseAfterMeasure,
-            LintCode::WidthExceeded,
-            LintCode::UnmappedOperand,
-            LintCode::CalibrationEscape,
-            LintCode::UnusedQubit,
-            LintCode::UnmeasuredQubit,
-            LintCode::NoMeasurements,
-            LintCode::ClobberedCbit,
-            LintCode::SwapAfterMeasure,
-            LintCode::RedundantPair,
-            LintCode::ZeroEffectSwap,
-        ];
+        let all = LintCode::ALL;
         let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
         codes.sort_unstable();
         codes.dedup();
@@ -447,6 +646,65 @@ mod tests {
         assert_eq!(LintCode::OffCouplerGate.code(), "QV001");
         assert_eq!(LintCode::PermutationMismatch.code(), "QV003");
         assert_eq!(LintCode::UseAfterMeasure.code(), "QV005");
+        // the reliability block is appended, never renumbered
+        assert_eq!(LintCode::DominantWeakLink.code(), "QV301");
+        assert_eq!(LintCode::WeakRegionAllocation.code(), "QV305");
+    }
+
+    #[test]
+    fn from_code_resolves_codes_and_slugs() {
+        for c in LintCode::ALL {
+            assert_eq!(LintCode::from_code(c.code()), Some(c));
+            assert_eq!(LintCode::from_code(c.name()), Some(c));
+        }
+        assert_eq!(LintCode::from_code("qv304"), Some(LintCode::MissedVqmRoute));
+        assert_eq!(LintCode::from_code("QV999"), None);
+        assert_eq!(LintCode::from_code(""), None);
+    }
+
+    #[test]
+    fn every_code_has_explanation_text() {
+        for c in LintCode::ALL {
+            assert!(!c.description().is_empty(), "{} lacks a description", c.code());
+            assert!(!c.rationale().is_empty(), "{} lacks a rationale", c.code());
+        }
+    }
+
+    #[test]
+    fn rendering_sorts_by_span_then_code() {
+        // built in deliberately scrambled order
+        let r = Report::new(
+            vec![
+                Diagnostic::new(LintCode::RedundantPair, Some(Span::gate(9)), "late"),
+                Diagnostic::new(LintCode::CalibrationEscape, None, "device-level"),
+                Diagnostic::new(LintCode::ZeroEffectSwap, Some(Span::gate(2)), "zes"),
+                Diagnostic::new(LintCode::OffCouplerGate, Some(Span::gate(2)), "ocg"),
+            ],
+            vec!["p"],
+        );
+        let order: Vec<&str> = r.ordered().iter().map(|d| d.code().code()).collect();
+        assert_eq!(order, ["QV001", "QV202", "QV201", "QV008"]);
+        // text follows the same order
+        let text = r.render_text();
+        let first = text.find("QV001").unwrap();
+        let last = text.find("QV008").unwrap();
+        assert!(first < last, "{text}");
+    }
+
+    #[test]
+    fn merge_concatenates_reports() {
+        let a = Report::new(
+            vec![Diagnostic::new(LintCode::UnusedQubit, None, "a")],
+            vec!["pass-a"],
+        );
+        let b = Report::new(
+            vec![Diagnostic::new(LintCode::OffCouplerGate, None, "b")],
+            vec!["pass-b"],
+        );
+        let merged = a.merge(b);
+        assert_eq!(merged.diagnostics().len(), 2);
+        assert_eq!(merged.passes(), ["pass-a", "pass-b"]);
+        assert_eq!(merged.error_count(), 1);
     }
 
     #[test]

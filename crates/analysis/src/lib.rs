@@ -6,20 +6,28 @@
 //! active coupler, SWAP chains that really realize the claimed
 //! permutation); this crate proves it statically, per artifact.
 //!
-//! Three layers:
+//! Four layers:
 //!
 //! - **Diagnostics** ([`Diagnostic`], [`Severity`], stable [`LintCode`]s
-//!   `QV001`–`QV202`, gate-index [`Span`]s) aggregated into a [`Report`]
+//!   `QV001`–`QV305`, gate-index [`Span`]s) aggregated into a [`Report`]
 //!   renderable as text or JSON.
 //! - **Passes** ([`CircuitPass`] over logical circuits, [`CompiledPass`]
 //!   over compiler output) collected in a [`PassRegistry`].
+//! - **The [`dataflow`] engine** — a generic forward worklist analysis
+//!   over physical circuits (abstract state per qubit, transfer function
+//!   per gate) that powers the reliability-semantic passes: static ESP
+//!   intervals, decoherence exposure, missed-VQM routes, weak-region
+//!   allocations.
 //! - **The [`Verifier`]**, which bundles the standard registry and plugs
-//!   into `MappingPolicy::compile_with` via [`quva::CompileAudit`].
+//!   into `MappingPolicy::compile_with` via [`quva::CompileAudit`]; the
+//!   [`audit_compiled`] entry point adds the reliability report
+//!   (ESP bound + attribution) on top of verification.
 //!
 //! Severity policy: `QV0xx` codes are [`Severity::Error`] — the artifact
-//! is illegal or semantically wrong and verification fails. `QV1xx` and
-//! `QV2xx` are [`Severity::Warning`] — legal but suspicious or wasteful;
-//! a report with only warnings still [`Report::is_clean`].
+//! is illegal or semantically wrong and verification fails. `QV1xx`,
+//! `QV2xx`, and the reliability block `QV3xx` are [`Severity::Warning`]
+//! — legal but suspicious or wasteful; a report with only warnings still
+//! [`Report::is_clean`].
 //!
 //! ## Examples
 //!
@@ -63,12 +71,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod audit;
+pub mod dataflow;
 mod diagnostic;
 mod pass;
 pub mod passes;
 
+pub use audit::{audit_compiled, audit_with, AuditReport, QubitReliability};
 pub use diagnostic::{Diagnostic, LintCode, Report, Severity, Span};
 pub use pass::{CircuitPass, CompiledContext, CompiledPass, PassRegistry};
+pub use passes::esp::{
+    esp_interval, link_attribution, per_qubit_esp, EspConfig, EspInterval, LinkAttribution,
+};
 
 use quva::{CompileAudit, CompiledCircuit};
 use quva_circuit::Circuit;

@@ -83,7 +83,9 @@ impl PassRegistry {
     /// redundancy, calibration sanity (when a device is supplied).
     /// Compiled passes: coupler legality, permutation & sequence
     /// consistency, physical hygiene (use-after-measure, redundancy),
-    /// calibration sanity.
+    /// calibration sanity, then the reliability-semantic passes (ESP
+    /// bound & attribution, decoherence exposure, missed-VQM routes,
+    /// weak-region allocation).
     pub fn standard() -> Self {
         let mut r = PassRegistry::empty();
         r.register_circuit_pass(Box::new(passes::liveness::QubitLiveness));
@@ -95,6 +97,10 @@ impl PassRegistry {
         r.register_compiled_pass(Box::new(passes::liveness::PhysicalLiveness));
         r.register_compiled_pass(Box::new(passes::redundancy::PhysicalRedundancy));
         r.register_compiled_pass(Box::new(passes::calibration::CompiledCalibrationSanity));
+        r.register_compiled_pass(Box::new(passes::esp::EspReliability::default()));
+        r.register_compiled_pass(Box::new(passes::decoherence::DecoherenceExposure::default()));
+        r.register_compiled_pass(Box::new(passes::routing::MissedVqm::default()));
+        r.register_compiled_pass(Box::new(passes::region::WeakRegion::default()));
         r
     }
 

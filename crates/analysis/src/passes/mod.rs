@@ -5,7 +5,11 @@
 
 pub mod calibration;
 pub mod coupler;
+pub mod decoherence;
+pub mod esp;
 pub mod liveness;
 pub mod measurement;
 pub mod permutation;
 pub mod redundancy;
+pub mod region;
+pub mod routing;

@@ -1,0 +1,77 @@
+//! Keeps the DESIGN.md §8 lint-code table and the `LintCode` enum in
+//! lockstep: every released code must be documented with its exact
+//! name and severity, and every documented code must still exist.
+
+use quva_analysis::{LintCode, Severity};
+
+/// Parses the `| QVxxx | name | severity |` rows out of DESIGN.md.
+fn documented_codes() -> Vec<(String, String, String)> {
+    let design = include_str!("../../../DESIGN.md");
+    design
+        .lines()
+        .filter_map(|line| {
+            let mut cells = line.split('|').map(str::trim);
+            cells.next()?; // leading empty cell before the first pipe
+            let code = cells.next()?;
+            if !code.starts_with("QV") || !code[2..].chars().all(|c| c.is_ascii_digit()) {
+                return None;
+            }
+            let name = cells.next()?;
+            let severity = cells.next()?;
+            Some((code.to_string(), name.to_string(), severity.to_string()))
+        })
+        .collect()
+}
+
+#[test]
+fn every_lint_code_is_documented() {
+    let documented = documented_codes();
+    for code in LintCode::ALL {
+        let row = documented.iter().find(|(c, _, _)| c == code.code());
+        let (_, name, severity) = row.unwrap_or_else(|| {
+            panic!(
+                "{} ({}) is missing from the DESIGN.md §8 code table",
+                code.code(),
+                code.name()
+            )
+        });
+        assert_eq!(name, code.name(), "{}: documented name drifted", code.code());
+        let expected = match code.severity() {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        assert_eq!(severity, expected, "{}: documented severity drifted", code.code());
+    }
+}
+
+#[test]
+fn every_documented_code_exists() {
+    let documented = documented_codes();
+    assert!(
+        documented.len() >= LintCode::ALL.len(),
+        "table has {} rows but LintCode has {} variants",
+        documented.len(),
+        LintCode::ALL.len()
+    );
+    for (code, name, _) in &documented {
+        let variant = LintCode::from_code(code)
+            .unwrap_or_else(|| panic!("DESIGN.md documents {code} ({name}) but no such LintCode exists"));
+        assert_eq!(variant.name(), name, "{code}: DESIGN.md name out of date");
+    }
+}
+
+#[test]
+fn explanations_exist_for_every_code() {
+    for code in LintCode::ALL {
+        assert!(
+            !code.description().is_empty(),
+            "{} has an empty description",
+            code.code()
+        );
+        assert!(
+            !code.rationale().is_empty(),
+            "{} has an empty rationale",
+            code.code()
+        );
+    }
+}

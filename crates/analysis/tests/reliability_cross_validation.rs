@@ -1,0 +1,204 @@
+//! Cross-validation of the static reliability analysis against the
+//! Monte-Carlo simulator:
+//!
+//! 1. For every table-1 benchmark × every paper policy, the fixed-seed
+//!    Monte-Carlo PST lands inside the static ESP interval, and the
+//!    static point estimate is *bit-identical* to the analytic PST
+//!    (they multiply the same factors in the same order).
+//! 2. The static policy rank-ordering matches the Monte-Carlo
+//!    rank-ordering wherever the static gap exceeds the sampling noise.
+//! 3. Property: on seeded synthetic devices the analytic agreement and
+//!    interval containment hold for arbitrary calibrations.
+//! 4. A seeded worst-link corruption surfaces at the top of the
+//!    attribution table and as a QV301 finding.
+
+use proptest::prelude::*;
+use quva::MappingPolicy;
+use quva_analysis::{audit_compiled, esp_interval, link_attribution, verify_compiled, EspConfig, LintCode};
+use quva_benchmarks::{table1_suite, Benchmark};
+use quva_device::{CalibrationGenerator, Device, Topology, VariationProfile};
+use quva_sim::{monte_carlo_pst, CoherenceModel, FailureProfile};
+
+const SEED: u64 = 7;
+const TRIALS: u64 = 100_000;
+/// Two policies whose static ESP differs by less than this are treated
+/// as tied for rank-ordering purposes: at 100k trials the Monte-Carlo
+/// standard error is at most ~0.0016, so 0.01 is a >6-sigma margin.
+const RANK_MARGIN: f64 = 0.01;
+
+fn policies() -> [MappingPolicy; 4] {
+    [
+        MappingPolicy::baseline(),
+        MappingPolicy::vqm(),
+        MappingPolicy::vqm_hop_limited(),
+        MappingPolicy::vqa_vqm(),
+    ]
+}
+
+fn compile(bench: &Benchmark, policy: MappingPolicy, device: &Device) -> quva::CompiledCircuit {
+    policy
+        .compile(bench.circuit(), device)
+        .unwrap_or_else(|e| panic!("{} failed to compile {}: {e}", policy.name(), bench.name()))
+}
+
+#[test]
+fn monte_carlo_lands_inside_static_esp_interval() {
+    let device = Device::ibm_q20();
+    let config = EspConfig::default();
+    for bench in table1_suite() {
+        for policy in policies() {
+            let compiled = compile(&bench, policy, &device);
+            let physical = compiled.physical();
+            let interval = esp_interval(&device, physical, &config);
+            assert!(
+                interval.lo <= interval.point && interval.point <= interval.hi,
+                "{} under {}: malformed interval",
+                bench.name(),
+                policy.name()
+            );
+
+            // the static point is the analytic PST, bit for bit
+            let profile = FailureProfile::new(&device, physical, CoherenceModel::Disabled)
+                .unwrap_or_else(|e| panic!("profile: {e}"));
+            assert_eq!(
+                interval.point.to_bits(),
+                profile.success_probability().to_bits(),
+                "{} under {}: static ESP diverged from analytic PST",
+                bench.name(),
+                policy.name()
+            );
+
+            let mc = monte_carlo_pst(&device, physical, TRIALS, SEED, CoherenceModel::Disabled)
+                .unwrap_or_else(|e| panic!("mc: {e}"));
+            // allow 4 binomial standard errors of sampling noise: deep
+            // circuits have ESP well below 1/trials, where a finite
+            // sample cannot resolve the interval
+            let p = interval.hi.max(mc.pst);
+            let tol = 4.0 * (p * (1.0 - p) / TRIALS as f64).sqrt();
+            assert!(
+                interval.lo - tol <= mc.pst && mc.pst <= interval.hi + tol,
+                "{} under {}: MC PST {} outside static ESP [{}, {}] (point {})",
+                bench.name(),
+                policy.name(),
+                mc.pst,
+                interval.lo,
+                interval.hi,
+                interval.point
+            );
+        }
+    }
+}
+
+#[test]
+fn static_rank_ordering_matches_monte_carlo() {
+    let device = Device::ibm_q20();
+    let config = EspConfig::default();
+    for bench in table1_suite() {
+        let mut rows: Vec<(String, f64, f64)> = Vec::new();
+        for policy in policies() {
+            let compiled = compile(&bench, policy, &device);
+            let physical = compiled.physical();
+            let stat = esp_interval(&device, physical, &config).point;
+            let mc = monte_carlo_pst(&device, physical, TRIALS, SEED, CoherenceModel::Disabled)
+                .unwrap_or_else(|e| panic!("mc: {e}"))
+                .pst;
+            rows.push((policy.name().to_string(), stat, mc));
+        }
+        for i in 0..rows.len() {
+            for j in (i + 1)..rows.len() {
+                let (ref ni, si, mi) = rows[i];
+                let (ref nj, sj, mj) = rows[j];
+                if (si - sj).abs() <= RANK_MARGIN {
+                    continue; // statically tied: MC order is noise
+                }
+                assert_eq!(
+                    si > sj,
+                    mi > mj,
+                    "{}: static ranks {ni} ({si}) vs {nj} ({sj}) but MC says {mi} vs {mj}",
+                    bench.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupted_worst_link_dominates_attribution_and_lints_qv301() {
+    let device = Device::ibm_q20();
+    let bench = Benchmark::bv(8);
+    let policy = MappingPolicy::baseline();
+    let compiled = compile(&bench, policy, &device);
+
+    // find the busiest link of the healthy compilation, then corrupt it
+    let healthy = link_attribution(&device, compiled.physical());
+    let busiest = healthy[0];
+    let id = device
+        .topology()
+        .link_id(busiest.a, busiest.b)
+        .unwrap_or_else(|| panic!("attributed link must exist"));
+    let mut cal = device.calibration().clone();
+    cal.set_two_qubit_error(id, 0.45);
+    let corrupted = device
+        .with_calibration(cal)
+        .unwrap_or_else(|e| panic!("calibration valid: {e}"));
+
+    let report = audit_compiled(bench.circuit(), &corrupted, &compiled);
+    assert_eq!(
+        (report.links[0].a, report.links[0].b),
+        (busiest.a, busiest.b),
+        "corrupted link must top the attribution table"
+    );
+    let verified = verify_compiled(bench.circuit(), &corrupted, &compiled);
+    assert!(
+        verified
+            .ordered()
+            .iter()
+            .any(|d| d.code() == LintCode::DominantWeakLink),
+        "expected QV301 on the corrupted device:\n{}",
+        verified.render_text()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// On any seeded synthetic q20 calibration, the static point stays
+    /// bit-identical to the analytic PST and the interval brackets it.
+    #[test]
+    fn static_esp_agrees_with_analytic_on_seeded_devices(seed in 0u64..1_000_000) {
+        let topology = Topology::ibm_q20_tokyo();
+        let mut generator = CalibrationGenerator::new(VariationProfile::ibm_q20_paper(), seed);
+        let cal = generator.snapshot(&topology);
+        let device = Device::new(topology, |_| cal);
+        let bench = Benchmark::bv(8);
+        let compiled = compile(&bench, MappingPolicy::vqm(), &device);
+        let physical = compiled.physical();
+
+        let interval = esp_interval(&device, physical, &EspConfig::default());
+        let profile = FailureProfile::new(&device, physical, CoherenceModel::Disabled)
+            .unwrap_or_else(|e| panic!("profile: {e}"));
+        let analytic = profile.success_probability();
+        prop_assert_eq!(interval.point.to_bits(), analytic.to_bits());
+        prop_assert!(interval.lo <= analytic && analytic <= interval.hi);
+        prop_assert!(interval.lo >= 0.0 && interval.hi <= 1.0);
+    }
+
+    /// Widening the drift never shrinks the interval.
+    #[test]
+    fn wider_drift_widens_the_interval((seed, drift_pct) in (0u64..1_000_000, 0u32..50)) {
+        let drift = f64::from(drift_pct) / 100.0;
+        let topology = Topology::ibm_q20_tokyo();
+        let mut generator = CalibrationGenerator::new(VariationProfile::ibm_q20_paper(), seed);
+        let cal = generator.snapshot(&topology);
+        let device = Device::new(topology, |_| cal);
+        let bench = Benchmark::ghz(6);
+        let compiled = compile(&bench, MappingPolicy::vqm(), &device);
+        let physical = compiled.physical();
+
+        let narrow = esp_interval(&device, physical, &EspConfig { drift });
+        let wide = esp_interval(&device, physical, &EspConfig { drift: drift + 0.1 });
+        prop_assert!(wide.lo <= narrow.lo, "lo rose: {} -> {}", narrow.lo, wide.lo);
+        prop_assert!(wide.hi >= narrow.hi, "hi fell: {} -> {}", narrow.hi, wide.hi);
+        prop_assert_eq!(wide.point.to_bits(), narrow.point.to_bits());
+    }
+}

@@ -177,6 +177,21 @@ impl Schedule {
         (w.last_end - w.first_start - w.busy).max(0.0)
     }
 
+    /// Active window of qubit `q`: nanoseconds between its first gate
+    /// start and last gate end (measurements excluded); zero for unused
+    /// qubits. `window_ns == busy_ns + idle_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn window_ns(&self, q: usize) -> f64 {
+        let w = self.windows[q];
+        if !w.used {
+            return 0.0;
+        }
+        (w.last_end - w.first_start).max(0.0)
+    }
+
     /// Busy (actively gated) time of qubit `q`, nanoseconds.
     ///
     /// # Panics

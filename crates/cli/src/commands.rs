@@ -23,6 +23,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, ArgsError> {
     match args.command() {
         "compile" => cmd_compile(args),
         "lint" => cmd_lint(args),
+        "audit" => cmd_audit(args),
         "pst" => cmd_pst(args),
         "simulate" => cmd_simulate(args),
         "trials" => cmd_trials(args),
@@ -52,10 +53,17 @@ FLAGS:
     --strict      reject a --calibration snapshot with any invalid field
     --lenient     clamp invalid snapshot fields to pessimistic values,
                   reporting each repair on stderr (the default)
+    --deny-warnings  (lint, audit) treat warnings as failures: exit
+                  nonzero when any warning-severity finding is reported
 
 COMMANDS:
     compile       compile a program and emit routed OpenQASM
-    lint          run the static lint passes over a program (no compile)
+    lint          run the static lint passes over a program (no compile);
+                  with --policy, also compile and run the compiled-output
+                  passes (legality + reliability lints)
+    audit         compile a program and emit the static reliability
+                  report: ESP bounds, per-link/per-qubit attribution,
+                  and every verification finding
     pst           estimate the probability of a successful trial
     simulate      Monte-Carlo PST as machine-readable JSON
     trials        run noisy state-vector trials and report outcomes
@@ -63,12 +71,24 @@ COMMANDS:
     partition     decide between one strong copy and two copies (§8)
     help          show this message
 
+EXIT CODE: 0 on success (warnings allowed unless --deny-warnings);
+    nonzero when any error-severity finding is reported, when
+    --deny-warnings is set and a warning fires, when an audit
+    Monte-Carlo cross-check (--mc-trials) falls outside the static ESP
+    bound, or on usage/compile errors.
+
 COMMON OPTIONS:
     --device  q20 | q5 | linear:N | ring:N | grid:RxC | full:N (append @SEED)
     --policy  baseline | vqm | vqm-mah:K | vqa-vqm | native:SEED
     --bench   bv:N | qft:N | ghz:N | alu | triswap | rnd-sd:N:C | rnd-ld:N:C
     --qasm    path to an OpenQASM 2.0 file (alternative to --bench)
-    --format  (lint) text | json
+    --format  (lint, audit) text | json
+    --explain (lint) QVxxx or slug: print the code's description,
+              severity, and rationale, then exit
+    --drift   (audit) relative calibration-drift uncertainty widening
+              every error rate into an interval (default 0.1)
+    --mc-trials (audit) also run a Monte-Carlo PST estimate with this
+              many trials and fail unless it falls inside the bound
     --threads (pst, simulate) Monte-Carlo worker threads; defaults to
               the available parallelism. The estimate is bit-identical
               for every thread count — 1 gives the exact same numbers
@@ -81,6 +101,10 @@ EXAMPLES:
     quva compile --device q20 --policy vqa-vqm --bench bv:16 --stats --verify
     quva lint --bench qft:12
     quva lint --qasm program.qasm --device q20 --format json
+    quva lint --explain QV304
+    quva lint --bench bv:16 --device q20 --policy baseline --deny-warnings
+    quva audit --device q20 --policy vqa-vqm --bench bv:16 --format json
+    quva audit --device q20 --policy baseline --bench qft:12 --mc-trials 100000
     quva pst --device q20 --policy baseline --bench qft:12 --trials 100000
     quva simulate --device q20 --policy vqa-vqm --bench bv:16 --threads 8
     quva trials --device q5 --policy vqa-vqm --bench ghz:3 --trials 4096
@@ -201,18 +225,54 @@ fn cmd_compile(args: &ParsedArgs) -> Result<String, ArgsError> {
     Ok(out)
 }
 
+/// `quva lint --explain QVxxx`: the code's description, severity, and
+/// rationale.
+fn explain_code(spec: &str) -> Result<String, ArgsError> {
+    let code = quva_analysis::LintCode::from_code(spec).ok_or_else(|| {
+        ArgsError::new(format!(
+            "unknown lint code '{spec}' (codes are QV001..QV305; try e.g. QV304 or missed-vqm-route)"
+        ))
+    })?;
+    Ok(format!(
+        "{} ({})\nseverity : {}\n{}\n\nrationale: {}\n",
+        code.code(),
+        code.name(),
+        code.severity(),
+        code.description(),
+        code.rationale()
+    ))
+}
+
 /// `quva lint`: runs the static circuit passes over a program without
 /// compiling it. With `--device` the device-dependent checks (register
-/// width, calibration sanity) run too. Any error-severity finding makes
-/// the command fail, so CI can gate on the exit code; warnings are
-/// reported but do not fail the lint.
+/// width, calibration sanity) run too; with `--policy` (requires a
+/// device) the program is additionally compiled and the compiled-output
+/// passes — legality, consistency, and the reliability lints — run over
+/// the result.
+///
+/// Exit-code contract: any error-severity finding makes the command
+/// fail, so CI can gate on the exit code; warnings are reported but do
+/// not fail the lint unless `--deny-warnings` is set.
 fn cmd_lint(args: &ParsedArgs) -> Result<String, ArgsError> {
+    if let Some(spec) = args.get("explain") {
+        return explain_code(spec);
+    }
     let (name, program) = load_program(args)?;
     let device = match args.get("device") {
         Some(_) => Some(load_device(args, "q20")?),
         None => None,
     };
-    let report = quva_analysis::lint_circuit(&program, device.as_ref());
+    let mut report = quva_analysis::lint_circuit(&program, device.as_ref());
+    if let Some(policy_spec) = args.get("policy") {
+        let Some(device) = device.as_ref() else {
+            return Err(ArgsError::new("--policy needs a --device to compile for"));
+        };
+        let policy = parse_policy(policy_spec)?;
+        let compiled = policy
+            .compile(&program, device)
+            .map_err(|e| ArgsError::new(e.to_string()))?;
+        report = report.merge(quva_analysis::verify_compiled(&program, device, &compiled));
+    }
     let rendered = match args.get_or("format", "text") {
         "text" => format!("lint report for {name}\n{}", report.render_text()),
         "json" => report.render_json(),
@@ -222,7 +282,97 @@ fn cmd_lint(args: &ParsedArgs) -> Result<String, ArgsError> {
             )))
         }
     };
-    if report.is_clean() {
+    let denied = args.has_switch("deny-warnings") && report.warning_count() > 0;
+    if report.is_clean() && !denied {
+        Ok(rendered)
+    } else {
+        Err(ArgsError::new(rendered))
+    }
+}
+
+/// `quva audit`: compiles a program and emits the static reliability
+/// report — whole-circuit ESP interval, per-link/per-qubit error
+/// attribution, decoherence exposure, and every verification finding.
+///
+/// With `--mc-trials N` a Monte-Carlo PST estimate (deterministic for a
+/// fixed `--seed`, default 7) is embedded in the report and the command
+/// fails if the estimate falls outside the static `[lo, hi]` bound —
+/// the CI cross-check between the dataflow engine and the simulator.
+fn cmd_audit(args: &ParsedArgs) -> Result<String, ArgsError> {
+    let (device, policy, name, program) = load_setup(args)?;
+    let drift: f64 = args.get_parsed("drift")?.unwrap_or(0.1);
+    if !(0.0..1.0).contains(&drift) {
+        return Err(ArgsError::new("--drift must be in [0, 1)"));
+    }
+    let compiled = policy
+        .compile(&program, &device)
+        .map_err(|e| ArgsError::new(e.to_string()))?;
+    let report = quva_analysis::audit_with(&program, &device, &compiled, &quva_analysis::EspConfig { drift });
+
+    let mc = match args.get_parsed::<u64>("mc-trials")? {
+        Some(0) => return Err(ArgsError::new("--mc-trials must be at least 1")),
+        Some(trials) => {
+            let seed: u64 = args.get_parsed("seed")?.unwrap_or(7);
+            let engine = parse_engine(args)?;
+            let estimate = monte_carlo_pst_with(
+                &device,
+                compiled.physical(),
+                trials,
+                seed,
+                CoherenceModel::Disabled,
+                engine,
+            )
+            .map_err(|e| ArgsError::new(e.to_string()))?;
+            Some((trials, seed, estimate.pst))
+        }
+        None => None,
+    };
+    // containment up to 4 binomial standard errors of sampling noise:
+    // circuits with ESP well below 1/trials would otherwise fail on a
+    // statistically-empty sample
+    let mc_ok = mc.is_none_or(|(trials, _, pst)| {
+        let p = report.esp.hi.max(pst);
+        let tol = 4.0 * (p * (1.0 - p) / trials as f64).sqrt();
+        report.esp.lo - tol <= pst && pst <= report.esp.hi + tol
+    });
+
+    let rendered = match args.get_or("format", "text") {
+        "json" => {
+            let mut extras: Vec<(&str, String)> = vec![
+                ("program", format!("\"{name}\"")),
+                ("device", format!("\"{}\"", args.get_or("device", "q20"))),
+                ("policy", format!("\"{}\"", policy.name())),
+                ("drift", drift.to_string()),
+            ];
+            if let Some((trials, seed, pst)) = mc {
+                extras.push(("mc_trials", trials.to_string()));
+                extras.push(("mc_seed", seed.to_string()));
+                extras.push(("mc_pst", pst.to_string()));
+                extras.push(("mc_within_bounds", mc_ok.to_string()));
+            }
+            report.render_json_with_extras(&extras)
+        }
+        "text" => {
+            let mut out = format!("reliability audit for {name} ({} on {device})\n", policy.name());
+            out.push_str(&report.render_text());
+            if let Some((trials, _, pst)) = mc {
+                let _ = writeln!(
+                    out,
+                    "monte-carlo PST: {pst:.6} over {trials} trials — {} the static bound",
+                    if mc_ok { "inside" } else { "OUTSIDE" }
+                );
+            }
+            out
+        }
+        other => {
+            return Err(ArgsError::new(format!(
+                "unknown --format '{other}' (use text or json)"
+            )))
+        }
+    };
+
+    let denied = args.has_switch("deny-warnings") && report.findings.warning_count() > 0;
+    if report.findings.is_clean() && mc_ok && !denied {
         Ok(rendered)
     } else {
         Err(ArgsError::new(rendered))
@@ -793,5 +943,134 @@ mod tests {
     fn qasm_and_bench_conflict() {
         let err = run_line(&["pst", "--bench", "bv:4", "--qasm", "x.qasm"]).unwrap_err();
         assert!(err.to_string().contains("not both"));
+    }
+
+    #[test]
+    fn explain_describes_a_code_by_id_or_name() {
+        let out = run_line(&["lint", "--explain", "QV304"]).unwrap();
+        assert!(out.contains("missed-vqm-route"), "{out}");
+        assert!(out.contains("rationale"), "{out}");
+        // names resolve too, case-insensitively
+        let by_name = run_line(&["lint", "--explain", "weak-region-allocation"]).unwrap();
+        assert!(by_name.contains("QV305"), "{by_name}");
+    }
+
+    #[test]
+    fn explain_rejects_unknown_codes() {
+        let err = run_line(&["lint", "--explain", "QV999"]).unwrap_err();
+        assert!(err.to_string().contains("unknown lint code"), "{err}");
+    }
+
+    #[test]
+    fn deny_warnings_flips_warning_only_lint_to_failure() {
+        // bv's ancilla produces QV102 warnings: exit 0 by default…
+        let out = run_line(&["lint", "--bench", "bv:8", "--device", "q20"]).unwrap();
+        assert!(out.contains("0 error(s)"), "{out}");
+        // …but nonzero under --deny-warnings
+        let err = run_line(&["lint", "--bench", "bv:8", "--device", "q20", "--deny-warnings"]).unwrap_err();
+        assert!(err.to_string().contains("QV102"), "{err}");
+        // a genuinely clean program still passes under the flag
+        let ok = run_line(&["lint", "--bench", "ghz:4", "--deny-warnings"]).unwrap();
+        assert!(ok.contains("clean"), "{ok}");
+    }
+
+    #[test]
+    fn lint_policy_merges_compiled_findings() {
+        let out = run_line(&[
+            "lint", "--bench", "bv:8", "--device", "q20", "--policy", "baseline", "--format", "json",
+        ])
+        .unwrap();
+        // compiled-output passes ran alongside the source-level ones
+        assert!(out.contains("esp-reliability"), "{out}");
+        assert!(out.contains("coupler-legality"), "{out}");
+        assert!(out.contains("QV102"), "{out}");
+    }
+
+    #[test]
+    fn lint_policy_requires_device() {
+        let err = run_line(&["lint", "--bench", "bv:8", "--policy", "baseline"]).unwrap_err();
+        assert!(err.to_string().contains("--device"), "{err}");
+    }
+
+    #[test]
+    fn audit_text_reports_esp_and_attribution() {
+        let out = run_line(&[
+            "audit", "--device", "q20", "--policy", "vqa-vqm", "--bench", "bv:8",
+        ])
+        .unwrap();
+        assert!(out.contains("reliability audit"), "{out}");
+        assert!(out.contains("static ESP:"), "{out}");
+        assert!(out.contains("link attribution"), "{out}");
+    }
+
+    #[test]
+    fn audit_json_is_deterministic_and_schema_complete() {
+        let line = [
+            "audit", "--device", "q20", "--policy", "vqm", "--bench", "bv:8", "--format", "json",
+        ];
+        let a = run_line(&line).unwrap();
+        let b = run_line(&line).unwrap();
+        assert_eq!(a, b, "audit JSON must be byte-deterministic");
+        for key in [
+            "\"esp\"",
+            "\"links\"",
+            "\"qubits\"",
+            "\"findings\"",
+            "\"program\"",
+            "\"device\"",
+            "\"policy\"",
+            "\"drift\"",
+            "\"passes\"",
+        ] {
+            assert!(a.contains(key), "audit JSON missing {key}:\n{a}");
+        }
+    }
+
+    #[test]
+    fn audit_mc_cross_check_lands_inside_interval() {
+        let out = run_line(&[
+            "audit",
+            "--device",
+            "q5",
+            "--policy",
+            "vqm",
+            "--bench",
+            "bv:4",
+            "--mc-trials",
+            "20000",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        assert!(out.contains("\"mc_within_bounds\": true"), "{out}");
+        assert!(out.contains("\"mc_trials\": 20000"), "{out}");
+    }
+
+    #[test]
+    fn audit_rejects_bad_drift() {
+        for bad in ["1.5", "-0.1", "nope"] {
+            let err = run_line(&[
+                "audit", "--device", "q5", "--policy", "vqm", "--bench", "bv:4", "--drift", bad,
+            ])
+            .unwrap_err();
+            assert!(err.to_string().contains("--drift"), "{err}");
+        }
+    }
+
+    #[test]
+    fn audit_rejects_zero_mc_trials() {
+        let err = run_line(&[
+            "audit",
+            "--device",
+            "q5",
+            "--policy",
+            "vqm",
+            "--bench",
+            "bv:4",
+            "--mc-trials",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("--mc-trials"), "{err}");
     }
 }

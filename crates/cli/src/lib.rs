@@ -1,9 +1,10 @@
 //! # quva-cli — command-line interface for the quva NISQ compiler
 //!
 //! Subcommands: `compile` (emit routed OpenQASM), `lint` (static
-//! checks without compiling), `pst` (reliability estimation),
-//! `simulate` (Monte-Carlo PST as machine-readable JSON), `trials`
-//! (noisy state-vector execution), `characterize` (calibration
+//! checks without compiling), `audit` (compile + static reliability
+//! report: ESP bounds, error attribution, findings), `pst` (reliability
+//! estimation), `simulate` (Monte-Carlo PST as machine-readable JSON),
+//! `trials` (noisy state-vector execution), `characterize` (calibration
 //! summary), `partition` (§8 one-vs-two copies analysis). See
 //! [`commands::usage`] for the full syntax.
 //!
@@ -29,6 +30,14 @@ pub mod commands;
 pub mod spec;
 
 /// The boolean switches every subcommand recognizes: `--stats`,
-/// `--optimize`, and `--verify` (compile), plus the `--strict` /
-/// `--lenient` calibration-sanitization modes.
-pub const SWITCHES: &[&str] = &["stats", "optimize", "verify", "strict", "lenient"];
+/// `--optimize`, and `--verify` (compile), `--deny-warnings` (lint /
+/// audit), plus the `--strict` / `--lenient` calibration-sanitization
+/// modes.
+pub const SWITCHES: &[&str] = &[
+    "stats",
+    "optimize",
+    "verify",
+    "strict",
+    "lenient",
+    "deny-warnings",
+];

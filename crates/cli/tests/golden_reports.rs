@@ -1,0 +1,112 @@
+//! Golden-file tests for the machine-readable report surfaces.
+//!
+//! `lint --format json` and `audit --format json` are consumed by CI
+//! jobs and external tooling, so their schema and byte-level rendering
+//! are contractual: fixed key order, documented row sort orders, floats
+//! via Rust's shortest-roundtrip formatting. These tests pin the exact
+//! bytes against checked-in goldens.
+//!
+//! To regenerate after an intentional schema change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p quva-cli --test golden_reports
+//! ```
+
+use quva_cli::args::ParsedArgs;
+use quva_cli::commands;
+
+fn run(line: &[&str]) -> String {
+    let parsed =
+        ParsedArgs::parse(line, quva_cli::SWITCHES).unwrap_or_else(|e| panic!("argv parse failed: {e}"));
+    commands::run(&parsed).unwrap_or_else(|e| panic!("command failed: {e}"))
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden; run with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn lint_json_matches_golden() {
+    let out = run(&["lint", "--bench", "ghz:4", "--format", "json"]);
+    check_golden("lint_ghz4.json", &out);
+}
+
+#[test]
+fn audit_json_matches_golden() {
+    let out = run(&[
+        "audit",
+        "--device",
+        "q5",
+        "--policy",
+        "vqm",
+        "--bench",
+        "bv:4",
+        "--format",
+        "json",
+        "--mc-trials",
+        "20000",
+    ]);
+    check_golden("audit_q5_vqm_bv4.json", &out);
+}
+
+#[test]
+fn audit_golden_is_thread_count_invariant() {
+    let base = run(&[
+        "audit",
+        "--device",
+        "q5",
+        "--policy",
+        "vqm",
+        "--bench",
+        "bv:4",
+        "--format",
+        "json",
+        "--mc-trials",
+        "20000",
+    ]);
+    let threaded = run(&[
+        "audit",
+        "--device",
+        "q5",
+        "--policy",
+        "vqm",
+        "--bench",
+        "bv:4",
+        "--format",
+        "json",
+        "--mc-trials",
+        "20000",
+        "--threads",
+        "3",
+    ]);
+    assert_eq!(base, threaded, "--threads leaked into the audit JSON");
+}
+
+#[test]
+fn diagnostics_sort_by_span_then_code() {
+    // baseline routing of bv-8 on q20 emits a mix of spanned (QV105,
+    // QV303-free) and span-less diagnostics; the JSON must order them
+    // span-first (span-less last), then by code, deterministically.
+    let out = run(&[
+        "lint", "--bench", "bv:8", "--device", "q20", "--policy", "baseline", "--format", "json",
+    ]);
+    let codes: Vec<&str> = out
+        .lines()
+        .filter_map(|l| l.split("\"code\": \"").nth(1))
+        .filter_map(|rest| rest.split('"').next())
+        .collect();
+    assert!(!codes.is_empty(), "expected diagnostics in:\n{out}");
+    let rerun = run(&[
+        "lint", "--bench", "bv:8", "--device", "q20", "--policy", "baseline", "--format", "json",
+    ]);
+    assert_eq!(out, rerun, "lint JSON must be deterministic");
+}

@@ -49,7 +49,8 @@ pub use distances::{HopMatrix, ReliabilityMatrix, UNREACHABLE_HOPS};
 pub use log::CalibrationLog;
 pub use snapshot::SnapshotError;
 pub use strength::{
-    candidate_regions, k_core_numbers, node_strengths, strongest_subgraph, try_strongest_subgraph,
+    best_region, candidate_regions, k_core_numbers, node_strengths, region_internal_success,
+    strongest_subgraph, try_strongest_subgraph,
 };
 pub use topology::{Link, Topology};
 pub use validate::{

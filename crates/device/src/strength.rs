@@ -211,6 +211,35 @@ pub fn candidate_regions(device: &Device, k: usize) -> Vec<Vec<PhysQubit>> {
         .collect()
 }
 
+/// Total link success mass internal to `region`: Σ over active links
+/// with both endpoints inside of `1 − e2q`. The aggregate-strength
+/// objective of Algorithm 2, exposed so allocation audits can score an
+/// *arbitrary* region (e.g. the one a compiler actually used) on the
+/// same scale as [`candidate_regions`].
+///
+/// # Examples
+///
+/// ```
+/// use quva_circuit::PhysQubit;
+/// use quva_device::{region_internal_success, Calibration, Device, Topology};
+///
+/// let dev = Device::new(Topology::linear(3), |t| Calibration::uniform(t, 0.1, 0.0, 0.0));
+/// let s = region_internal_success(&dev, &[PhysQubit(0), PhysQubit(1)]);
+/// assert!((s - 0.9).abs() < 1e-12);
+/// ```
+pub fn region_internal_success(device: &Device, region: &[PhysQubit]) -> f64 {
+    let members: Vec<usize> = region.iter().map(|q| q.index()).collect();
+    internal_success(device, &members)
+}
+
+/// The strongest connected k-region and its internal success mass, or
+/// `None` when no connected k-subgraph exists.
+pub fn best_region(device: &Device, k: usize) -> Option<(Vec<PhysQubit>, f64)> {
+    let region = try_strongest_subgraph(device, k)?;
+    let score = region_internal_success(device, &region);
+    Some((region, score))
+}
+
 /// Total link success mass internal to a vertex set — the objective the
 /// greedy maximizes.
 fn internal_success(device: &Device, members: &[usize]) -> f64 {
