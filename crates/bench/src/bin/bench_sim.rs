@@ -14,8 +14,11 @@
 //! ```
 //!
 //! Exit status is non-zero when `--check` finds the sequential loop
-//! more than `--tolerance` (default 0.15) slower than the baseline, or
-//! when a host with >= 4 CPUs fails to reach a 2x speedup at 4 threads.
+//! more than `--tolerance` (default 0.15) slower than the baseline,
+//! when a host with >= 4 CPUs fails to reach a 2x speedup at 4
+//! threads, or when the disabled-tracing dispatch (`McEngine::run`
+//! with the `quva-obs` recorder off) costs more than 2% over the
+//! uninstrumented reference loop (`McEngine::run_reference`).
 
 use quva::MappingPolicy;
 use quva_device::Device;
@@ -102,6 +105,31 @@ fn time_engine(engine: &McEngine, profile: &FailureProfile, trials: u64, reps: u
         .unwrap_or(0)
 }
 
+/// Disabled-recorder overhead of the observability layer: with the
+/// recorder off, `McEngine::run` dispatches to the reference loop
+/// after one relaxed atomic load, so its best-of-`reps` wall clock
+/// must track `McEngine::run_reference` to within noise. Returns the
+/// fractional overhead (`dispatch / reference - 1`, may be negative).
+fn measure_obs_overhead(profile: &FailureProfile, trials: u64, reps: u32) -> f64 {
+    assert!(!quva_obs::enabled(), "overhead baseline needs the recorder off");
+    let engine = McEngine::sequential();
+    let reps = reps.max(3);
+    let dispatch = time_engine(&engine, profile, trials, reps);
+    engine.run_reference(profile, trials, 1);
+    let reference = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(engine.run_reference(profile, trials, 1));
+            start.elapsed().as_nanos()
+        })
+        .min()
+        .unwrap_or(0);
+    if reference == 0 {
+        return 0.0;
+    }
+    dispatch as f64 / reference as f64 - 1.0
+}
+
 /// Pulls `"key": <number>` out of a hand-rolled JSON line.
 fn extract_f64(line: &str, key: &str) -> Option<f64> {
     let tag = format!("\"{key}\":");
@@ -167,6 +195,12 @@ fn main() {
         })
         .collect();
 
+    let obs_overhead = measure_obs_overhead(&profile, cfg.trials, cfg.reps);
+    eprintln!(
+        "obs dispatch overhead (recorder off): {:+.2}%",
+        obs_overhead * 100.0
+    );
+
     let seq = rows[0].ns_per_trial;
     let speedup_4t = rows
         .iter()
@@ -189,6 +223,7 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&format!("  \"obs_overhead\": {obs_overhead},\n"));
     json.push_str(&format!("  \"speedup_4t\": {speedup_4t}\n"));
     json.push_str("}\n");
     std::fs::write(&cfg.out, &json).unwrap_or_else(|e| die(&format!("cannot write {}: {e}", cfg.out)));
@@ -216,6 +251,13 @@ fn main() {
             }
         } else {
             println!("speedup gate skipped: host has {host_threads} CPU(s), need >= 4");
+        }
+        if obs_overhead > 0.02 {
+            eprintln!(
+                "bench_sim: FAIL — disabled tracing costs {:.1}% over the reference loop (> 2%)",
+                obs_overhead * 100.0
+            );
+            std::process::exit(1);
         }
         println!("regression gate: PASS");
     }

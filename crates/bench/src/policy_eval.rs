@@ -60,15 +60,18 @@ pub fn esp_interval_of(policy: MappingPolicy, benchmark: &Benchmark, device: &De
     );
     if let Ok(cache) = esp_cache().lock() {
         if let Some(&esp) = cache.get(&key) {
+            quva_obs::counter("cache.esp.hit", 1);
             return esp;
         }
     }
+    quva_obs::counter("cache.esp.miss", 1);
     let compiled = policy
         .compile(benchmark.circuit(), device)
         .unwrap_or_else(|e| panic!("{} failed to compile {}: {e}", policy.name(), benchmark.name()));
     let esp = esp_interval(device, compiled.physical(), &EspConfig::default());
     if let Ok(mut cache) = esp_cache().lock() {
         cache.insert(key, esp);
+        quva_obs::counter("cache.esp.insert", 1);
     }
     esp
 }
@@ -100,9 +103,11 @@ pub fn pst_of(policy: MappingPolicy, benchmark: &Benchmark, device: &Device) -> 
     );
     if let Ok(cache) = pst_cache().lock() {
         if let Some(&pst) = cache.get(&key) {
+            quva_obs::counter("cache.pst.hit", 1);
             return pst;
         }
     }
+    quva_obs::counter("cache.pst.miss", 1);
     let compiled = policy
         .compile(benchmark.circuit(), device)
         .unwrap_or_else(|e| panic!("{} failed to compile {}: {e}", policy.name(), benchmark.name()));
@@ -112,6 +117,7 @@ pub fn pst_of(policy: MappingPolicy, benchmark: &Benchmark, device: &Device) -> 
         .pst;
     if let Ok(mut cache) = pst_cache().lock() {
         cache.insert(key, pst);
+        quva_obs::counter("cache.pst.insert", 1);
     }
     pst
 }

@@ -1,0 +1,97 @@
+//! Cache observability contract of the policy-evaluation memos.
+//!
+//! These tests own the process-global `quva-obs` recorder, so they live
+//! in their own integration-test binary and serialize on a local mutex.
+//! The memo caches are also process-global: each test uses a device
+//! calibration no other test in this binary touches, so its cache keys
+//! are guaranteed cold on first evaluation.
+
+use std::sync::{Mutex, MutexGuard};
+
+use quva::MappingPolicy;
+use quva_bench::policy_eval::{esp_interval_of, pst_of};
+use quva_benchmarks::Benchmark;
+use quva_device::{Calibration, Device, Topology};
+
+fn guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// A device with a calibration signature unique to `err_2q`, so each
+/// test owns a disjoint slice of the process-wide memo caches.
+fn fresh_device(err_2q: f64) -> Device {
+    Device::new(Topology::grid(4, 5), |t| {
+        Calibration::uniform(t, err_2q, 0.0015, 0.025)
+    })
+}
+
+fn counter(report: &quva_obs::TraceReport, name: &str) -> u64 {
+    report.counters.get(name).copied().unwrap_or(0)
+}
+
+#[test]
+fn repeated_pst_evaluation_is_a_cache_hit() {
+    let _g = guard();
+    let device = fresh_device(0.021);
+    let bench = Benchmark::bv(6);
+
+    quva_obs::reset();
+    quva_obs::enable();
+    let first = pst_of(MappingPolicy::vqm(), &bench, &device);
+    let cold = quva_obs::drain();
+    let second = pst_of(MappingPolicy::vqm(), &bench, &device);
+    let warm = quva_obs::drain();
+    quva_obs::disable();
+
+    assert_eq!(first.to_bits(), second.to_bits());
+    assert_eq!(counter(&cold, "cache.pst.miss"), 1);
+    assert_eq!(counter(&cold, "cache.pst.insert"), 1);
+    assert_eq!(counter(&cold, "cache.pst.hit"), 0);
+    assert_eq!(counter(&warm, "cache.pst.hit"), 1);
+    assert_eq!(counter(&warm, "cache.pst.miss"), 0);
+    assert_eq!(counter(&warm, "cache.pst.insert"), 0);
+}
+
+#[test]
+fn repeated_esp_evaluation_is_a_cache_hit() {
+    let _g = guard();
+    let device = fresh_device(0.023);
+    let bench = Benchmark::bv(6);
+
+    quva_obs::reset();
+    quva_obs::enable();
+    let first = esp_interval_of(MappingPolicy::baseline(), &bench, &device);
+    let cold = quva_obs::drain();
+    let second = esp_interval_of(MappingPolicy::baseline(), &bench, &device);
+    let warm = quva_obs::drain();
+    quva_obs::disable();
+
+    assert_eq!(first, second);
+    assert_eq!(counter(&cold, "cache.esp.miss"), 1);
+    assert_eq!(counter(&cold, "cache.esp.insert"), 1);
+    assert_eq!(counter(&warm, "cache.esp.hit"), 1);
+    assert_eq!(counter(&warm, "cache.esp.miss"), 0);
+}
+
+#[test]
+fn distinct_devices_do_not_share_cache_entries() {
+    let _g = guard();
+    let bench = Benchmark::bv(6);
+    let a = fresh_device(0.027);
+    let b = fresh_device(0.029);
+
+    quva_obs::reset();
+    quva_obs::enable();
+    pst_of(MappingPolicy::vqm(), &bench, &a);
+    pst_of(MappingPolicy::vqm(), &bench, &b);
+    let report = quva_obs::drain();
+    quva_obs::disable();
+
+    assert_eq!(
+        counter(&report, "cache.pst.miss"),
+        2,
+        "different calibrations must not alias"
+    );
+    assert_eq!(counter(&report, "cache.pst.hit"), 0);
+}

@@ -15,11 +15,47 @@ use crate::spec::{parse_benchmark, parse_device, parse_policy};
 
 /// Top-level dispatch: runs one subcommand and returns its report text.
 ///
+/// With `--trace <file>` or `--metrics` (or for `profile`, which
+/// implies both-style instrumentation) the process-global `quva-obs`
+/// recorder is enabled around the command: the Chrome `trace_event`
+/// JSON is written to the `--trace` path (even when the command fails,
+/// so aborted compiles can be profiled) and `--metrics` appends the
+/// deterministic counter/histogram summary to the report. Without
+/// either flag the recorder stays off and the output is byte-identical
+/// to an uninstrumented build.
+///
 /// # Errors
 ///
 /// Returns a message for unknown commands, malformed specs, I/O
 /// problems, or compilation failures.
 pub fn run(args: &ParsedArgs) -> Result<String, ArgsError> {
+    let profiling = args.command() == "profile";
+    // `trace-verify` reads a --trace file; never re-enter the recorder
+    // for it (the wrapper would overwrite its input).
+    let observed = (args.get("trace").is_some() || args.has_switch("metrics") || profiling)
+        && args.command() != "trace-verify";
+    if !observed {
+        return dispatch(args);
+    }
+    quva_obs::reset();
+    quva_obs::enable();
+    let result = dispatch(args);
+    let report = quva_obs::drain();
+    quva_obs::disable();
+    if let Some(path) = args.get("trace") {
+        std::fs::write(path, report.to_chrome_json())
+            .map_err(|e| ArgsError::new(format!("cannot write {path}: {e}")))?;
+    }
+    let mut out = result?;
+    if profiling {
+        out.push_str(&report.render_text());
+    } else if args.has_switch("metrics") {
+        out.push_str(&report.render_metrics_text());
+    }
+    Ok(out)
+}
+
+fn dispatch(args: &ParsedArgs) -> Result<String, ArgsError> {
     match args.command() {
         "compile" => cmd_compile(args),
         "lint" => cmd_lint(args),
@@ -29,6 +65,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, ArgsError> {
         "trials" => cmd_trials(args),
         "characterize" => cmd_characterize(args),
         "partition" => cmd_partition(args),
+        "profile" => cmd_profile(args),
+        "trace-verify" => cmd_trace_verify(args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(ArgsError::new(format!(
             "unknown command '{other}'\n\n{}",
@@ -55,6 +93,8 @@ FLAGS:
                   reporting each repair on stderr (the default)
     --deny-warnings  (lint, audit) treat warnings as failures: exit
                   nonzero when any warning-severity finding is reported
+    --metrics     append the deterministic observability summary
+                  (counters, histograms, warnings) to the report
 
 COMMANDS:
     compile       compile a program and emit routed OpenQASM
@@ -69,6 +109,10 @@ COMMANDS:
     trials        run noisy state-vector trials and report outcomes
     characterize  print a device's calibration summary
     partition     decide between one strong copy and two copies (§8)
+    profile       compile + simulate a suite × policy matrix and report
+                  per-stage timings, counters, and cache statistics
+    trace-verify  structurally validate a --trace output file (JSON
+                  parses, spans nest, no negative durations)
     help          show this message
 
 EXIT CODE: 0 on success (warnings allowed unless --deny-warnings);
@@ -96,6 +140,12 @@ COMMON OPTIONS:
     --seed    (pst, simulate) Monte-Carlo root seed (default 7)
     --calibration  JSON calibration snapshot overriding the device's
                    (export one with: characterize --export cal.json)
+    --trace   write a Chrome trace_event JSON file of the run — open it
+              in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+              Never alters the command's stdout
+    --bench / --policy  (profile) restrict the matrix to one benchmark
+              or one policy; defaults: the table-1 suite × baseline,
+              vqm, vqm-mah:4, vqa-vqm
 
 EXAMPLES:
     quva compile --device q20 --policy vqa-vqm --bench bv:16 --stats --verify
@@ -110,6 +160,10 @@ EXAMPLES:
     quva trials --device q5 --policy vqa-vqm --bench ghz:3 --trials 4096
     quva characterize --device q20
     quva partition --device q20 --policy vqa-vqm --bench bv:10
+    quva compile --device q20 --policy vqm --bench bv:16 --trace out.json
+    quva simulate --device q20 --bench bv:16 --metrics
+    quva profile --device q20 --trace profile.json
+    quva trace-verify profile.json
 "
     .to_string()
 }
@@ -172,7 +226,10 @@ fn load_device(args: &ParsedArgs, default_spec: &str) -> Result<Device, ArgsErro
         .sanitize(device.topology(), policy, None)
         .map_err(|e| ArgsError::new(format!("{path} does not fit the device: {e}")))?;
     for line in report.diagnostics() {
+        // stderr stays byte-identical with the recorder on or off; the
+        // structured copy only surfaces under --trace / --metrics
         eprintln!("{path}: {line}");
+        quva_obs::warn("calibration", &format!("{path}: {line}"));
     }
     device
         .with_calibration(calibration)
@@ -593,6 +650,106 @@ fn cmd_partition(args: &ParsedArgs) -> Result<String, ArgsError> {
         PartitionChoice::TwoCopies => "run TWO concurrent copies",
     };
     let _ = writeln!(out, "recommendation  : {verdict}");
+    Ok(out)
+}
+
+/// `quva profile`: compiles and simulates a suite × policy matrix
+/// under the observability recorder and reports, per case, the
+/// analytic PST, the static ESP interval, and a Monte-Carlo estimate.
+/// The caller ([`run`]) appends the per-stage span table and the
+/// counter summary — including the `cache.pst.*` / `cache.esp.*`
+/// memo statistics (each case evaluates its PST twice, so a healthy
+/// cache shows one hit per case).
+///
+/// Defaults: the table-1 suite × {baseline, vqm, vqm-mah:4, vqa-vqm}
+/// on `q20`; `--bench` / `--policy` restrict the matrix to one row or
+/// column.
+fn cmd_profile(args: &ParsedArgs) -> Result<String, ArgsError> {
+    let device = load_device(args, "q20")?;
+    let trials: u64 = args.get_parsed("trials")?.unwrap_or(20_000);
+    if trials == 0 {
+        return Err(ArgsError::new("--trials must be at least 1"));
+    }
+    let seed: u64 = args.get_parsed("seed")?.unwrap_or(7);
+    let engine = parse_engine(args)?;
+    let benches = match args.get("bench") {
+        Some(spec) => vec![parse_benchmark(spec)?],
+        None => quva_benchmarks::table1_suite(),
+    };
+    let policies = match args.get("policy") {
+        Some(spec) => vec![parse_policy(spec)?],
+        None => vec![
+            MappingPolicy::baseline(),
+            MappingPolicy::vqm(),
+            parse_policy("vqm-mah:4")?,
+            MappingPolicy::vqa_vqm(),
+        ],
+    };
+
+    let mut table = Table::new(["bench", "policy", "analytic_pst", "esp_lo", "esp_hi", "mc_pst"]);
+    for bench in &benches {
+        for &policy in &policies {
+            let _case = quva_obs::span("profile", "profile.case");
+            quva_obs::counter("profile.cases", 1);
+            // compile first so a failure is a reported error, not a
+            // panic inside the memoized evaluators
+            let compiled = policy
+                .compile(bench.circuit(), &device)
+                .map_err(|e| ArgsError::new(format!("{} on {}: {e}", policy.name(), bench.name())))?;
+            let pst = quva_bench::policy_eval::pst_of(policy, bench, &device);
+            // the second evaluation is the memo-cache probe: it must
+            // land as a cache.pst.hit in the counter summary
+            let _ = quva_bench::policy_eval::pst_of(policy, bench, &device);
+            let esp = quva_bench::policy_eval::esp_interval_of(policy, bench, &device);
+            let mc = {
+                let _mc = quva_obs::span("profile", "profile.simulate");
+                monte_carlo_pst_with(
+                    &device,
+                    compiled.physical(),
+                    trials,
+                    seed,
+                    CoherenceModel::Disabled,
+                    engine,
+                )
+                .map_err(|e| ArgsError::new(e.to_string()))?
+            };
+            table.row([
+                bench.name().to_string(),
+                policy.name(),
+                format!("{pst:.4}"),
+                format!("{:.4}", esp.lo),
+                format!("{:.4}", esp.hi),
+                format!("{:.4}", mc.pst),
+            ]);
+        }
+    }
+    Ok(format!(
+        "profile: {} case(s) on {device}, {trials} trials, seed {seed}\n\n{table}\n",
+        benches.len() * policies.len()
+    ))
+}
+
+/// `quva trace-verify <file>`: structural validation of a `--trace`
+/// output — the JSON parses, every event carries the trace_event
+/// schema, durations are non-negative, and spans nest per lane.
+fn cmd_trace_verify(args: &ParsedArgs) -> Result<String, ArgsError> {
+    let path = args
+        .positionals()
+        .first()
+        .map(String::as_str)
+        .or_else(|| args.get("trace"))
+        .ok_or_else(|| ArgsError::new("missing trace file: quva trace-verify <trace.json>"))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgsError::new(format!("cannot read {path}: {e}")))?;
+    let stats = quva_obs::validate_chrome_trace(&text)
+        .map_err(|e| ArgsError::new(format!("{path}: invalid trace: {e}")))?;
+    let mut out = format!("{path}: valid Chrome trace\n");
+    let _ = writeln!(out, "  events    : {}", stats.events);
+    let _ = writeln!(out, "  spans     : {}", stats.spans);
+    let _ = writeln!(out, "  counters  : {}", stats.counters);
+    let _ = writeln!(out, "  instants  : {}", stats.instants);
+    let _ = writeln!(out, "  lanes     : {}", stats.threads);
+    let _ = writeln!(out, "  max depth : {}", stats.max_depth);
     Ok(out)
 }
 

@@ -5,11 +5,16 @@
 //! report: ESP bounds, error attribution, findings), `pst` (reliability
 //! estimation), `simulate` (Monte-Carlo PST as machine-readable JSON),
 //! `trials` (noisy state-vector execution), `characterize` (calibration
-//! summary), `partition` (§8 one-vs-two copies analysis). See
+//! summary), `partition` (§8 one-vs-two copies analysis), `profile`
+//! (suite × policy matrix with per-stage timings and counters), and
+//! `trace-verify` (structural validation of a `--trace` output). See
 //! [`commands::usage`] for the full syntax.
 //!
 //! Monte-Carlo commands accept `--threads N` (default: available
 //! parallelism); results are bit-identical for every thread count.
+//! Every pipeline command additionally accepts `--trace <file>` (write
+//! Chrome `trace_event` JSON for Perfetto / `chrome://tracing`) and
+//! `--metrics` (append the deterministic counter/histogram summary).
 //!
 //! # Examples
 //!
@@ -31,8 +36,8 @@ pub mod spec;
 
 /// The boolean switches every subcommand recognizes: `--stats`,
 /// `--optimize`, and `--verify` (compile), `--deny-warnings` (lint /
-/// audit), plus the `--strict` / `--lenient` calibration-sanitization
-/// modes.
+/// audit), `--metrics` (append the observability summary), plus the
+/// `--strict` / `--lenient` calibration-sanitization modes.
 pub const SWITCHES: &[&str] = &[
     "stats",
     "optimize",
@@ -40,4 +45,5 @@ pub const SWITCHES: &[&str] = &[
     "strict",
     "lenient",
     "deny-warnings",
+    "metrics",
 ];

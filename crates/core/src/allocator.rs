@@ -182,6 +182,7 @@ fn refine_by_exchange(
     };
 
     for _pass in 0..20 {
+        quva_obs::counter("alloc.refine_passes", 1);
         let mut improved = false;
         // relocations to free slots
         let mut occupied: std::collections::HashSet<PhysQubit> = positions.iter().copied().collect();
@@ -274,6 +275,7 @@ fn vqa_allocate(
     let n = device.num_qubits();
     let region = try_strongest_subgraph(device, k)
         .ok_or_else(|| format!("no connected region of {k} qubits over active links on {n}-qubit device"))?;
+    quva_obs::observe("alloc.region_size", region.len() as f64);
 
     let strengths = node_strengths(device);
     let rel = ReliabilityMatrix::of_active(device, |id| {

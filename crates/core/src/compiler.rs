@@ -145,8 +145,10 @@ impl MappingPolicy {
         device: &Device,
         options: &CompileOptions<'_>,
     ) -> Result<CompiledCircuit, CompileError> {
+        let _total = quva_obs::span("compile", "compile.total");
         let compiled = self.compile_unchecked(circuit, device)?;
         if let Some(auditor) = options.verify {
+            let _verify = quva_obs::span("compile", "compile.verify");
             auditor
                 .audit(circuit, device, &compiled)
                 .map_err(CompileError::Verification)?;
@@ -156,14 +158,17 @@ impl MappingPolicy {
 
     /// The compile pipeline without the optional post-compile audit.
     fn compile_unchecked(&self, circuit: &Circuit, device: &Device) -> Result<CompiledCircuit, CompileError> {
-        let mapping = self
-            .allocation
-            .allocate(circuit, device)
-            .map_err(CompileError::Allocation)?;
+        let mapping = {
+            let _alloc = quva_obs::span("compile", "compile.allocate");
+            self.allocation
+                .allocate(circuit, device)
+                .map_err(CompileError::Allocation)?
+        };
         let compiled = route(circuit, device, mapping, self.routing)?;
         if !matches!(self.allocation, AllocationStrategy::StrongestSubgraph { .. }) {
             return Ok(compiled);
         }
+        let _portfolio = quva_obs::span("compile", "compile.portfolio");
         let alt_policy = MappingPolicy {
             allocation: AllocationStrategy::GreedyInteraction,
             routing: self.routing,
@@ -177,8 +182,10 @@ impl MappingPolicy {
                 .unwrap_or(0.0)
         };
         if pst(&alt) > pst(&compiled) {
+            quva_obs::counter("compile.portfolio.greedy_won", 1);
             Ok(alt)
         } else {
+            quva_obs::counter("compile.portfolio.vqa_won", 1);
             Ok(compiled)
         }
     }
@@ -465,6 +472,7 @@ fn route(
     mut mapping: Mapping,
     metric: RoutingMetric,
 ) -> Result<CompiledCircuit, CompileError> {
+    let _route_span = quva_obs::span("compile", "compile.route");
     let topo = device.topology();
     let hops = HopMatrix::of_active(device);
     // metric distance between physical locations: expected failure
@@ -484,10 +492,24 @@ fn route(
                 // enabled links always carry a weight
             })
         }
-        // hop metric, or the documented VQM fallback when reliability
-        // weights are unusable: uniform cost makes distance = hops
-        _ => ReliabilityMatrix::of_active(device, |_| 1.0),
+        // the documented VQM degradation: unusable reliability weights
+        // fall back to hop-count distances (uniform cost = hops)
+        RoutingMetric::Reliability { .. } => {
+            quva_obs::warn(
+                "router",
+                "reliability weights unusable; VQM routing degraded to hop-count distances",
+            );
+            ReliabilityMatrix::of_active(device, |_| 1.0)
+        }
+        RoutingMetric::Hops => ReliabilityMatrix::of_active(device, |_| 1.0),
     };
+    // chosen-vs-best bookkeeping: when tracing is on, each separated
+    // CNOT's realized failure weight is compared against the plan-based
+    // router's optimum for the same endpoints (negative excess means
+    // the stepwise lookahead beat the single-gate plan)
+    let excess_router =
+        (quva_obs::enabled() && weights_usable && matches!(metric, RoutingMetric::Reliability { .. }))
+            .then(|| crate::router::Router::new(device, metric));
 
     let initial = mapping.clone();
     let mut out: Circuit<PhysQubit> = Circuit::with_cbits(device.num_qubits(), circuit.num_cbits().max(1));
@@ -532,6 +554,8 @@ fn route(
                         (qs[0], qs[1])
                     })
                     .collect();
+                let start_len = out.gates().len();
+                let start_locs = (mapping.phys_of(*a), mapping.phys_of(*b));
                 bring_together(
                     device,
                     &hops,
@@ -555,16 +579,56 @@ fn route(
                         out.swap(pa, pb);
                     }
                 }
+                if let Some(router) = &excess_router {
+                    if matches!(gate, Gate::Cnot { .. }) && start_locs.0 != start_locs.1 {
+                        observe_excess_weight(device, router, start_locs, &out.gates()[start_len..]);
+                    }
+                }
             }
         }
     }
 
+    quva_obs::counter("route.gates", two_qubit_positions.len() as u64);
+    quva_obs::counter("route.swaps_inserted", inserted as u64);
     Ok(CompiledCircuit {
         physical: out,
         initial,
         final_mapping: mapping,
         inserted_swaps: inserted,
     })
+}
+
+/// Records how much failure weight the stepwise router's realized gate
+/// sequence (`emitted`: inserted SWAPs plus the executed CNOT) spent
+/// over the plan-based optimum for the same starting endpoints.
+///
+/// The value may be *negative*: the stepwise lookahead sometimes finds
+/// a better meeting split than the plan's, and bounding it at zero
+/// would hide exactly the signal this histogram exists to expose.
+fn observe_excess_weight(
+    device: &Device,
+    router: &crate::router::Router<'_>,
+    start: (PhysQubit, PhysQubit),
+    emitted: &[Gate<PhysQubit>],
+) {
+    let Ok(plan) = router.plan(start.0, start.1) else {
+        return;
+    };
+    let best = router.plan_failure_weight(&plan);
+    let chosen: f64 = emitted
+        .iter()
+        .map(|g| match g {
+            Gate::Swap { a, b } => device.swap_failure_weight(*a, *b).unwrap_or(f64::INFINITY),
+            Gate::Cnot {
+                control: a,
+                target: b,
+            } => device.cnot_failure_weight(*a, *b).unwrap_or(f64::INFINITY),
+            _ => 0.0,
+        })
+        .sum();
+    if chosen.is_finite() && best.is_finite() {
+        quva_obs::observe("route.excess_weight", chosen - best);
+    }
 }
 
 /// Inserts SWAPs one at a time until program qubits `a` and `b` sit on
@@ -597,10 +661,12 @@ fn bring_together(
     };
     let mut steps = 0usize;
     let mut last_swap: Option<(PhysQubit, PhysQubit)> = None;
+    let mut candidates = 0u64;
 
     loop {
         let (pa, pb) = (mapping.phys_of(a), mapping.phys_of(b));
         if device.has_active_link(pa, pb) {
+            quva_obs::counter("route.candidates", candidates);
             return Ok(());
         }
         let strict = steps >= explore_budget;
@@ -611,6 +677,7 @@ fn bring_together(
         for &active in &[pa, pb] {
             for nb in device.active_neighbors(active) {
                 let cand = (active, nb);
+                candidates += 1;
                 if last_swap == Some((cand.1, cand.0)) || last_swap == Some(cand) {
                     continue; // never undo the previous step
                 }
@@ -675,6 +742,7 @@ fn bring_together(
         // candidate swap; anything else (e.g. every incident weight
         // unusable) degrades to a typed error instead of a panic
         let Some((_, (u, v))) = best else {
+            quva_obs::counter("route.candidates", candidates);
             return Err(CompileError::Disconnected { a, b });
         };
         out.swap(u, v);

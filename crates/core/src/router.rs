@@ -192,6 +192,7 @@ impl<'d> Router<'d> {
     /// * [`RouteError::Disconnected`] when no path of active links joins
     ///   the endpoints (split topology or dead links in the way).
     pub fn plan(&self, a: PhysQubit, b: PhysQubit) -> Result<RoutePlan, RouteError> {
+        quva_obs::counter("router.plans", 1);
         if a == b {
             return Err(RouteError::SelfRoute(a));
         }
@@ -336,7 +337,9 @@ impl<'d> Router<'d> {
             node: a.index(),
             hops: 0,
         });
+        let mut pops = 0u64;
         while let Some(Entry { cost, node, hops }) = heap.pop() {
+            pops += 1;
             if cost > dist[idx(node, hops)] {
                 continue;
             }
@@ -352,6 +355,7 @@ impl<'d> Router<'d> {
                     rev.push(PhysQubit(cn as u32));
                 }
                 rev.reverse();
+                quva_obs::counter("router.dijkstra_pops", pops);
                 return Some(rev);
             }
             if hops == cap {
@@ -379,6 +383,7 @@ impl<'d> Router<'d> {
                 }
             }
         }
+        quva_obs::counter("router.dijkstra_pops", pops);
         None
     }
 }

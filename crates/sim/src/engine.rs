@@ -43,7 +43,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::montecarlo::McEstimate;
-use crate::profile::FailureProfile;
+use crate::profile::{EventClass, FailureProfile};
 
 /// Trials per chunk: the unit of work handed to worker threads.
 ///
@@ -81,6 +81,45 @@ fn run_chunk(events: &[f64], trials: u64, seed: u64) -> u64 {
         successes += 1;
     }
     successes
+}
+
+/// [`run_chunk`] with fault attribution: the aborting event's class is
+/// tallied into `aborts` (indexed by [`EventClass::index`]).
+///
+/// Draws the RNG stream *identically* to `run_chunk` — both abort a
+/// trial at its first firing event — so for equal inputs the success
+/// count is bit-identical; only the bookkeeping differs.
+fn run_chunk_traced(
+    events: &[f64],
+    classes: &[EventClass],
+    trials: u64,
+    seed: u64,
+    aborts: &mut [u64; 5],
+) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut successes = 0u64;
+    'trial: for _ in 0..trials {
+        for (i, &p) in events.iter().enumerate() {
+            if rng.random::<f64>() < p {
+                aborts[classes[i].index()] += 1;
+                continue 'trial;
+            }
+        }
+        successes += 1;
+    }
+    successes
+}
+
+/// Publishes a per-worker abort tally as `sim.abort.<class>` counters
+/// (zero classes omitted). Counter merging is u64 addition, so the
+/// drained totals are independent of the work-stealing schedule.
+fn record_aborts(aborts: &[u64; 5]) {
+    for class in EventClass::ALL {
+        let n = aborts[class.index()];
+        if n > 0 {
+            quva_obs::counter(class.abort_counter(), n);
+        }
+    }
 }
 
 /// A chunked, deterministic, optionally multi-threaded executor for
@@ -170,8 +209,27 @@ impl McEngine {
     /// merges the per-chunk estimates.
     ///
     /// Deterministic for a given `(trials, seed)`: the result is the
-    /// same `McEstimate`, bit for bit, whatever `threads` is.
+    /// same `McEstimate`, bit for bit, whatever `threads` is — and
+    /// whether or not the `quva-obs` recorder is enabled (the traced
+    /// path draws the identical RNG stream).
+    ///
+    /// When the recorder is on, each run contributes `sim.*` counters
+    /// (`sim.trials`, `sim.chunks`, `sim.abort.<class>`, …) and
+    /// per-chunk/per-worker spans. When it is off, the only cost over
+    /// [`Self::run_reference`] is one relaxed atomic load.
     pub fn run(&self, profile: &FailureProfile, trials: u64, seed: u64) -> McEstimate {
+        if quva_obs::enabled() {
+            self.run_traced(profile, trials, seed)
+        } else {
+            self.run_reference(profile, trials, seed)
+        }
+    }
+
+    /// The uninstrumented injection loop: no recorder check, no spans,
+    /// no counters. [`Self::run`] delegates here whenever tracing is
+    /// disabled; `bench_sim`'s overhead gate compares the two to keep
+    /// the disabled path within 2 % of this baseline.
+    pub fn run_reference(&self, profile: &FailureProfile, trials: u64, seed: u64) -> McEstimate {
         let events = profile.active_events();
         let chunks = trials.div_ceil(self.chunk_trials);
         let workers = (self.threads as u64).min(chunks);
@@ -201,6 +259,79 @@ impl McEngine {
                             }
                             local += run_chunk(events, self.chunk_len(trials, k), chunk_seed(seed, k));
                         }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
+                .sum()
+        });
+        McEstimate::from_counts(successes, trials)
+    }
+
+    /// The instrumented twin of [`Self::run_reference`]: same chunking,
+    /// same seeds, same RNG draws (via [`run_chunk_traced`]), plus
+    /// spans and deterministic counters. Worker threads record only
+    /// u64 counters and flush before exiting, so a drain after this
+    /// returns sees schedule-independent totals.
+    fn run_traced(&self, profile: &FailureProfile, trials: u64, seed: u64) -> McEstimate {
+        let _run = quva_obs::span("sim", "sim.run");
+        let events = profile.active_events();
+        let classes = profile.active_event_classes();
+        let chunks = trials.div_ceil(self.chunk_trials);
+        let workers = (self.threads as u64).min(chunks);
+        quva_obs::counter("sim.runs", 1);
+        quva_obs::counter("sim.trials", trials);
+        quva_obs::counter("sim.chunks", chunks);
+        quva_obs::counter("sim.workers", workers.max(1));
+
+        if workers <= 1 {
+            let mut successes = 0u64;
+            let mut aborts = [0u64; 5];
+            for k in 0..chunks {
+                let _chunk = quva_obs::span("sim", "sim.chunk");
+                successes += run_chunk_traced(
+                    events,
+                    classes,
+                    self.chunk_len(trials, k),
+                    chunk_seed(seed, k),
+                    &mut aborts,
+                );
+            }
+            record_aborts(&aborts);
+            return McEstimate::from_counts(successes, trials);
+        }
+
+        let next = AtomicU64::new(0);
+        let successes: u64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = 0u64;
+                        let mut aborts = [0u64; 5];
+                        {
+                            let _worker = quva_obs::span("sim", "sim.worker");
+                            loop {
+                                let k = next.fetch_add(1, Ordering::Relaxed);
+                                if k >= chunks {
+                                    break;
+                                }
+                                let _chunk = quva_obs::span("sim", "sim.chunk");
+                                local += run_chunk_traced(
+                                    events,
+                                    classes,
+                                    self.chunk_len(trials, k),
+                                    chunk_seed(seed, k),
+                                    &mut aborts,
+                                );
+                            }
+                        }
+                        record_aborts(&aborts);
+                        // TLS destructors may lag a scope join: merge now
+                        // so the caller's drain sees this worker
+                        quva_obs::flush();
                         local
                     })
                 })

@@ -115,7 +115,10 @@ pub fn monte_carlo_pst_with(
     coherence: CoherenceModel,
     engine: McEngine,
 ) -> Result<McEstimate, SimError> {
-    let profile = FailureProfile::new(device, circuit, coherence)?;
+    let profile = {
+        let _s = quva_obs::span("sim", "sim.profile");
+        FailureProfile::new(device, circuit, coherence)?
+    };
     Ok(engine.run(&profile, trials, seed))
 }
 

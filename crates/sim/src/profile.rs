@@ -29,6 +29,70 @@ pub enum CoherenceModel {
     IdleWindow,
 }
 
+/// The fault class of one injection-table event: which physical
+/// mechanism a Monte-Carlo trial abort is attributed to.
+///
+/// Parallel to [`FailureProfile::active_events`] via
+/// [`FailureProfile::active_event_classes`]; the traced engine
+/// aggregates per-class abort counts under `sim.abort.<class>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventClass {
+    /// A single-qubit gate failed.
+    OneQubit,
+    /// A CNOT failed.
+    Cnot,
+    /// An inserted SWAP (three back-to-back CNOTs) failed.
+    Swap,
+    /// A measurement read out wrong.
+    Readout,
+    /// An idle qubit decohered.
+    Coherence,
+}
+
+impl EventClass {
+    /// Every class, in [`Self::index`] order.
+    pub const ALL: [EventClass; 5] = [
+        EventClass::OneQubit,
+        EventClass::Cnot,
+        EventClass::Swap,
+        EventClass::Readout,
+        EventClass::Coherence,
+    ];
+
+    /// Dense index for array-backed accumulators.
+    pub fn index(self) -> usize {
+        match self {
+            EventClass::OneQubit => 0,
+            EventClass::Cnot => 1,
+            EventClass::Swap => 2,
+            EventClass::Readout => 3,
+            EventClass::Coherence => 4,
+        }
+    }
+
+    /// Snake-case label used in counter names and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventClass::OneQubit => "one_qubit",
+            EventClass::Cnot => "cnot",
+            EventClass::Swap => "swap",
+            EventClass::Readout => "readout",
+            EventClass::Coherence => "coherence",
+        }
+    }
+
+    /// The obs counter this class's aborts accumulate under.
+    pub fn abort_counter(self) -> &'static str {
+        match self {
+            EventClass::OneQubit => "sim.abort.one_qubit",
+            EventClass::Cnot => "sim.abort.cnot",
+            EventClass::Swap => "sim.abort.swap",
+            EventClass::Readout => "sim.abort.readout",
+            EventClass::Coherence => "sim.abort.coherence",
+        }
+    }
+}
+
 /// The flattened error process of one routed circuit on one device.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FailureProfile {
@@ -42,6 +106,9 @@ pub struct FailureProfile {
     /// Monte-Carlo hot loop — and every worker thread sharing this
     /// profile — walks a dense immutable slice.
     active_events: Vec<f64>,
+    /// Fault class of each `active_events` entry, same order, so the
+    /// traced engine can attribute an abort without re-deriving gates.
+    active_event_classes: Vec<EventClass>,
     /// Decomposition accumulators (failure weights `−ln(1−p)`).
     gate_weight: f64,
     readout_weight: f64,
@@ -69,19 +136,21 @@ impl FailureProfile {
         }
         let cal = device.calibration();
         let mut op_failures = Vec::with_capacity(circuit.len());
+        let mut op_classes = Vec::with_capacity(circuit.len());
         let mut gate_weight = 0.0;
         let mut readout_weight = 0.0;
         for (idx, gate) in circuit.iter().enumerate() {
-            let p = match gate {
-                Gate::OneQubit { qubit, .. } => cal.one_qubit_error(qubit.index()),
+            let (p, class) = match gate {
+                Gate::OneQubit { qubit, .. } => (cal.one_qubit_error(qubit.index()), EventClass::OneQubit),
                 Gate::Cnot { control, target } => {
-                    device
+                    let e = device
                         .link_error(*control, *target)
                         .ok_or(SimError::UncoupledOperands {
                             gate_index: idx,
                             a: *control,
                             b: *target,
-                        })?
+                        })?;
+                    (e, EventClass::Cnot)
                 }
                 Gate::Swap { a, b } => {
                     let e = device.link_error(*a, *b).ok_or(SimError::UncoupledOperands {
@@ -89,9 +158,9 @@ impl FailureProfile {
                         a: *a,
                         b: *b,
                     })?;
-                    1.0 - (1.0 - e).powi(3)
+                    (1.0 - (1.0 - e).powi(3), EventClass::Swap)
                 }
-                Gate::Measure { qubit, .. } => cal.readout_error(qubit.index()),
+                Gate::Measure { qubit, .. } => (cal.readout_error(qubit.index()), EventClass::Readout),
                 Gate::Barrier { .. } => continue,
             };
             let weight = -(1.0 - p).max(f64::MIN_POSITIVE).ln();
@@ -101,6 +170,7 @@ impl FailureProfile {
                 gate_weight += weight;
             }
             op_failures.push(p);
+            op_classes.push(class);
         }
 
         let coherence_failures = match coherence {
@@ -118,11 +188,19 @@ impl FailureProfile {
             .copied()
             .filter(|&p| p > 0.0)
             .collect();
+        let active_event_classes = op_failures
+            .iter()
+            .zip(op_classes.iter().copied())
+            .chain(coherence_failures.iter().map(|p| (p, EventClass::Coherence)))
+            .filter(|&(&p, _)| p > 0.0)
+            .map(|(_, class)| class)
+            .collect();
 
         Ok(FailureProfile {
             op_failures,
             coherence_failures,
             active_events,
+            active_event_classes,
             gate_weight,
             readout_weight,
             coherence_weight,
@@ -146,6 +224,12 @@ impl FailureProfile {
     /// worker threads.
     pub fn active_events(&self) -> &[f64] {
         &self.active_events
+    }
+
+    /// Fault class of each [`Self::active_events`] entry, same order —
+    /// what the traced Monte-Carlo engine charges an abort to.
+    pub fn active_event_classes(&self) -> &[EventClass] {
+        &self.active_event_classes
     }
 
     /// The probability that *no* failure event fires — the analytic PST.
@@ -237,6 +321,39 @@ mod tests {
         // h has zero 1Q error on this device: it must not appear in the
         // injection table, while the CNOT and both measurements do
         assert_eq!(p.active_events(), &[0.1, 0.02, 0.02]);
+    }
+
+    #[test]
+    fn event_classes_stay_parallel_to_active_events() {
+        let p = FailureProfile::new(&device(), &routed_bell(), CoherenceModel::Disabled).unwrap();
+        assert_eq!(p.active_event_classes().len(), p.active_events().len());
+        assert_eq!(
+            p.active_event_classes(),
+            &[
+                EventClass::OneQubit,
+                EventClass::Cnot,
+                EventClass::Readout,
+                EventClass::Readout
+            ]
+        );
+        // zero-probability events drop out of both tables in lockstep
+        let dev = Device::new(Topology::linear(3), |t| Calibration::uniform(t, 0.1, 0.0, 0.02));
+        let p = FailureProfile::new(&dev, &routed_bell(), CoherenceModel::Disabled).unwrap();
+        assert_eq!(
+            p.active_event_classes(),
+            &[EventClass::Cnot, EventClass::Readout, EventClass::Readout]
+        );
+        // idle-window coherence events land at the tail
+        let mut c: Circuit<PhysQubit> = Circuit::new(3);
+        c.h(PhysQubit(2));
+        for _ in 0..50 {
+            c.h(PhysQubit(0));
+        }
+        c.cnot(PhysQubit(0), PhysQubit(1));
+        c.cnot(PhysQubit(1), PhysQubit(2));
+        let p = FailureProfile::new(&device(), &c, CoherenceModel::IdleWindow).unwrap();
+        assert_eq!(p.active_event_classes().len(), p.active_events().len());
+        assert!(p.active_event_classes().contains(&EventClass::Coherence));
     }
 
     #[test]
