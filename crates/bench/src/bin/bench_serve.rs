@@ -1,0 +1,377 @@
+//! Machine-readable load benchmark for the `quvad` daemon: drives a
+//! deterministic traffic mix (audits, small simulations, compiles,
+//! with repeats that should hit the result cache) over N client
+//! connections, writes `BENCH_serve.json`, and (with `--check`) gates
+//! CI on latency/throughput regressions against a committed baseline.
+//!
+//! By default the daemon is spawned in-process on an ephemeral port;
+//! `--addr HOST:PORT` points at an externally started daemon instead
+//! (the CI `serve-smoke` job uses this), and `--shutdown` sends a
+//! `shutdown` frame at the end so the external daemon drains.
+//!
+//! Clients honor backpressure: an `overloaded` response is retried
+//! with the shared deterministic [`Backoff`] schedule, seeded per
+//! connection, taking the server's `retry_after_ms` hint into
+//! account.
+//!
+//! ```text
+//! bench_serve [--requests N] [--conns N] [--quick] [--out PATH]
+//!             [--check BASELINE] [--tolerance FRAC]
+//!             [--addr HOST:PORT] [--shutdown]
+//! ```
+//!
+//! Exit status is non-zero when `--check` finds the p99 latency more
+//! than `--tolerance` (default 0.60 — CI hosts may have one CPU)
+//! above the baseline, throughput below `1 - tolerance` of the
+//! baseline, or any request that ended without a typed `ok` response.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use quva_serve::{Backoff, Server, ServerConfig, ServerHandle};
+
+struct Config {
+    requests: usize,
+    conns: usize,
+    out: String,
+    check: Option<String>,
+    tolerance: f64,
+    addr: Option<String>,
+    shutdown: bool,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        requests: 240,
+        conns: 4,
+        out: "BENCH_serve.json".into(),
+        check: None,
+        tolerance: 0.60,
+        addr: None,
+        shutdown: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{flag} requires a value")))
+        };
+        match arg.as_str() {
+            "--requests" => {
+                cfg.requests = value("--requests")
+                    .parse()
+                    .unwrap_or_else(|_| die("--requests expects an integer"));
+            }
+            "--conns" => {
+                cfg.conns = value("--conns")
+                    .parse()
+                    .unwrap_or_else(|_| die("--conns expects an integer"));
+            }
+            "--quick" => {
+                cfg.requests = 80;
+                cfg.conns = 2;
+            }
+            "--out" => cfg.out = value("--out"),
+            "--check" => cfg.check = Some(value("--check")),
+            "--tolerance" => {
+                cfg.tolerance = value("--tolerance")
+                    .parse()
+                    .unwrap_or_else(|_| die("--tolerance expects a fraction"));
+            }
+            "--addr" => cfg.addr = Some(value("--addr")),
+            "--shutdown" => cfg.shutdown = true,
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    if cfg.requests == 0 || cfg.conns == 0 {
+        die("--requests and --conns must be positive");
+    }
+    cfg
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_serve: {msg}");
+    std::process::exit(2);
+}
+
+/// The deterministic traffic mix: request `i` always maps to the same
+/// job line, and the small modulus guarantees repeats (cache hits).
+fn job_line(id: &str, i: usize) -> String {
+    match i % 8 {
+        0..=2 => format!(
+            "{{\"id\":\"{id}\",\"kind\":\"audit\",\"device\":\"q20\",\"policy\":\"vqm\",\
+             \"benchmark\":\"bv:{}\"}}",
+            4 + (i % 3) * 2
+        ),
+        3..=4 => format!(
+            "{{\"id\":\"{id}\",\"kind\":\"compile\",\"device\":\"q5\",\"policy\":\"baseline\",\
+             \"benchmark\":\"ghz:{}\"}}",
+            3 + i % 2
+        ),
+        5 | 6 => format!(
+            "{{\"id\":\"{id}\",\"kind\":\"simulate\",\"device\":\"q20\",\"policy\":\"vqm\",\
+             \"benchmark\":\"ghz:4\",\"trials\":2000,\"seed\":{}}}",
+            1 + i % 4
+        ),
+        _ => format!(
+            "{{\"id\":\"{id}\",\"kind\":\"simulate\",\"device\":\"q5\",\"policy\":\"vqa-vqm\",\
+             \"benchmark\":\"bv:4\",\"trials\":2000,\"seed\":1}}"
+        ),
+    }
+}
+
+fn connect(addr: &str) -> TcpStream {
+    let stream = TcpStream::connect(addr).unwrap_or_else(|e| die(&format!("cannot connect to {addr}: {e}")));
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap_or_else(|e| die(&format!("set_read_timeout: {e}")));
+    stream
+}
+
+fn roundtrip(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    line: &str,
+) -> Result<String, String> {
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut response = String::new();
+    match reader.read_line(&mut response) {
+        Ok(0) => Err("connection closed".to_string()),
+        Ok(_) => Ok(response.trim_end().to_string()),
+        Err(e) => Err(format!("recv: {e}")),
+    }
+}
+
+/// Pulls `"key":<number>` out of a hand-rolled JSON line.
+fn extract_f64(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+#[derive(Default, Clone)]
+struct ClientTally {
+    latencies_us: Vec<u64>,
+    ok: u64,
+    errors: u64,
+    overloaded_retries: u64,
+    deadline_exceeded: u64,
+    gave_up: u64,
+}
+
+/// One client connection's share of the traffic. Latency is measured
+/// end-to-end per logical request, retries included — the figure a
+/// well-behaved client actually experiences.
+fn run_client(addr: &str, conn: usize, conns: usize, requests: usize) -> ClientTally {
+    let mut tally = ClientTally::default();
+    let mut stream = connect(addr);
+    let mut reader = BufReader::new(stream.try_clone().unwrap_or_else(|e| die(&format!("clone: {e}"))));
+    let mut backoff = Backoff::new(0xbe9c | conn as u64, 5, 200);
+    for i in (conn..requests).step_by(conns) {
+        let line = job_line(&format!("c{conn}-r{i}"), i);
+        let start = Instant::now();
+        let mut settled = false;
+        for _attempt in 0..8 {
+            let response = match roundtrip(&mut stream, &mut reader, &line) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("bench_serve: request c{conn}-r{i} transport error: {e}");
+                    tally.errors += 1;
+                    settled = true;
+                    break;
+                }
+            };
+            if response.contains("\"status\":\"ok\"") {
+                tally.ok += 1;
+                settled = true;
+                break;
+            } else if response.contains("\"status\":\"overloaded\"") {
+                tally.overloaded_retries += 1;
+                let hint = extract_f64(&response, "retry_after_ms").unwrap_or(0.0) as u64;
+                thread::sleep(Duration::from_millis(backoff.next_delay_after_hint_ms(hint)));
+            } else if response.contains("\"status\":\"deadline_exceeded\"") {
+                tally.deadline_exceeded += 1;
+                settled = true;
+                break;
+            } else {
+                eprintln!("bench_serve: request c{conn}-r{i} failed: {response}");
+                tally.errors += 1;
+                settled = true;
+                break;
+            }
+        }
+        if !settled {
+            tally.gave_up += 1;
+        }
+        tally.latencies_us.push(start.elapsed().as_micros() as u64);
+        backoff.reset_attempts();
+    }
+    tally
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+fn main() {
+    let cfg = parse_args();
+
+    // in-process daemon unless --addr points elsewhere
+    let (handle, addr): (Option<ServerHandle>, String) = match &cfg.addr {
+        Some(addr) => (None, addr.clone()),
+        None => {
+            let handle = Server::spawn(ServerConfig {
+                workers: 2,
+                queue_capacity: 32,
+                default_deadline_ms: 60_000,
+                ..ServerConfig::default()
+            })
+            .unwrap_or_else(|e| die(&format!("cannot spawn daemon: {e}")));
+            let addr = handle
+                .local_addr()
+                .unwrap_or_else(|| die("daemon has no TCP address"))
+                .to_string();
+            (Some(handle), addr)
+        }
+    };
+
+    let start = Instant::now();
+    let clients: Vec<_> = (0..cfg.conns)
+        .map(|conn| {
+            let addr = addr.clone();
+            let (conns, requests) = (cfg.conns, cfg.requests);
+            thread::spawn(move || run_client(&addr, conn, conns, requests))
+        })
+        .collect();
+    let mut tally = ClientTally::default();
+    for client in clients {
+        let t = client.join().unwrap_or_else(|_| die("a client thread panicked"));
+        tally.latencies_us.extend(t.latencies_us);
+        tally.ok += t.ok;
+        tally.errors += t.errors;
+        tally.overloaded_retries += t.overloaded_retries;
+        tally.deadline_exceeded += t.deadline_exceeded;
+        tally.gave_up += t.gave_up;
+    }
+    let elapsed = start.elapsed();
+
+    // daemon-side counters for the shed / cache-hit rates
+    let mut stream = connect(&addr);
+    let mut reader = BufReader::new(stream.try_clone().unwrap_or_else(|e| die(&format!("clone: {e}"))));
+    let stats = roundtrip(&mut stream, &mut reader, "{\"id\":\"stats\",\"kind\":\"stats\"}")
+        .unwrap_or_else(|e| die(&format!("stats request failed: {e}")));
+    if cfg.shutdown {
+        let _ = roundtrip(&mut stream, &mut reader, "{\"id\":\"bye\",\"kind\":\"shutdown\"}");
+    }
+    drop((stream, reader));
+    if let Some(handle) = handle {
+        handle.shutdown();
+        handle.join();
+    }
+
+    let cache_hits = extract_f64(&stats, "cache_hits").unwrap_or(0.0);
+    let cache_misses = extract_f64(&stats, "cache_misses").unwrap_or(0.0);
+    let shed = extract_f64(&stats, "shed").unwrap_or(0.0);
+
+    tally.latencies_us.sort_unstable();
+    let p50_us = percentile(&tally.latencies_us, 0.50);
+    let p99_us = percentile(&tally.latencies_us, 0.99);
+    let throughput_rps = tally.ok as f64 / elapsed.as_secs_f64().max(1e-9);
+    let answered = tally.latencies_us.len() as f64;
+    let shed_rate = shed / answered.max(1.0);
+    let cache_hit_rate = cache_hits / (cache_hits + cache_misses).max(1.0);
+
+    eprintln!(
+        "{} request(s) over {} connection(s) in {:.2}s: {} ok, {} retried, {} deadline, {} error",
+        answered,
+        cfg.conns,
+        elapsed.as_secs_f64(),
+        tally.ok,
+        tally.overloaded_retries,
+        tally.deadline_exceeded,
+        tally.errors + tally.gave_up
+    );
+    eprintln!(
+        "p50 {p50_us} us, p99 {p99_us} us, {throughput_rps:.1} req/s, cache hit rate {cache_hit_rate:.2}"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"quva-bench-serve/v1\",\n");
+    json.push_str(&format!("  \"requests\": {},\n", cfg.requests));
+    json.push_str(&format!("  \"conns\": {},\n", cfg.conns));
+    json.push_str(&format!("  \"ok\": {},\n", tally.ok));
+    json.push_str(&format!("  \"failed\": {},\n", tally.errors + tally.gave_up));
+    json.push_str(&format!(
+        "  \"overloaded_retries\": {},\n",
+        tally.overloaded_retries
+    ));
+    json.push_str(&format!(
+        "  \"deadline_exceeded\": {},\n",
+        tally.deadline_exceeded
+    ));
+    json.push_str(&format!("  \"shed\": {shed},\n"));
+    json.push_str(&format!("  \"cache_hits\": {cache_hits},\n"));
+    json.push_str(&format!("  \"cache_misses\": {cache_misses},\n"));
+    json.push_str(&format!("  \"p50_us\": {p50_us},\n"));
+    json.push_str(&format!("  \"p99_us\": {p99_us},\n"));
+    json.push_str(&format!("  \"throughput_rps\": {throughput_rps},\n"));
+    json.push_str(&format!("  \"shed_rate\": {shed_rate},\n"));
+    json.push_str(&format!("  \"cache_hit_rate\": {cache_hit_rate}\n"));
+    json.push_str("}\n");
+    std::fs::write(&cfg.out, &json).unwrap_or_else(|e| die(&format!("cannot write {}: {e}", cfg.out)));
+    println!("wrote {} (p99 {p99_us} us, {throughput_rps:.1} req/s)", cfg.out);
+
+    if let Some(baseline) = &cfg.check {
+        let text = std::fs::read_to_string(baseline)
+            .unwrap_or_else(|e| die(&format!("cannot read baseline {baseline}: {e}")));
+        let base_p99 = extract_f64(&text, "p99_us")
+            .unwrap_or_else(|| die(&format!("baseline {baseline} has no p99_us")));
+        let base_rps = extract_f64(&text, "throughput_rps")
+            .unwrap_or_else(|| die(&format!("baseline {baseline} has no throughput_rps")));
+        let p99_limit = base_p99 * (1.0 + cfg.tolerance);
+        let rps_floor = base_rps * (1.0 - cfg.tolerance);
+        println!(
+            "regression gate: p99 {p99_us} us vs baseline {base_p99:.0} (limit {p99_limit:.0}), \
+             throughput {throughput_rps:.1} vs baseline {base_rps:.1} (floor {rps_floor:.1})"
+        );
+        let mut failed = false;
+        if tally.errors + tally.gave_up > 0 {
+            eprintln!(
+                "bench_serve: FAIL — {} request(s) ended without a typed ok",
+                tally.errors + tally.gave_up
+            );
+            failed = true;
+        }
+        if (p99_us as f64) > p99_limit {
+            eprintln!(
+                "bench_serve: FAIL — p99 latency regressed {:.1}% (> {:.0}% tolerance)",
+                (p99_us as f64 / base_p99 - 1.0) * 100.0,
+                cfg.tolerance * 100.0
+            );
+            failed = true;
+        }
+        if throughput_rps < rps_floor {
+            eprintln!(
+                "bench_serve: FAIL — throughput dropped {:.1}% (> {:.0}% tolerance)",
+                (1.0 - throughput_rps / base_rps) * 100.0,
+                cfg.tolerance * 100.0
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("regression gate: PASS");
+    }
+}

@@ -11,6 +11,7 @@
 
 pub mod ablations;
 pub mod chaos;
+pub mod chaos_serve;
 pub mod characterization;
 pub mod io;
 pub mod policy_eval;

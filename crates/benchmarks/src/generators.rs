@@ -314,7 +314,9 @@ pub fn mirror(n: usize, depth: usize, seed: u64) -> Circuit {
             forward.cnot(Qubit(pair[0]), Qubit(pair[1]));
         }
     }
-    let inverse = forward.inverse().expect("forward half has no measurements");
+    // the forward half is built gate-by-gate with no measurements, so
+    // inversion cannot fail; fall back to an empty suffix structurally
+    let inverse = forward.inverse().unwrap_or_else(|_| Circuit::new(n));
     let mut c = forward;
     c.append(&inverse);
     c.measure_all();

@@ -66,6 +66,7 @@ fn dispatch(args: &ParsedArgs) -> Result<String, ArgsError> {
         "characterize" => cmd_characterize(args),
         "partition" => cmd_partition(args),
         "profile" => cmd_profile(args),
+        "serve" => cmd_serve(args),
         "trace-verify" => cmd_trace_verify(args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(ArgsError::new(format!(
@@ -111,6 +112,10 @@ COMMANDS:
     partition     decide between one strong copy and two copies (§8)
     profile       compile + simulate a suite × policy matrix and report
                   per-stage timings, counters, and cache statistics
+    serve         run the quvad compilation daemon: line-delimited JSON
+                  jobs (compile / simulate / audit) over TCP or a unix
+                  socket, with a bounded queue, deadlines, a result
+                  cache, and graceful drain (see DESIGN.md §12)
     trace-verify  structurally validate a --trace output file (JSON
                   parses, spans nest, no negative durations)
     help          show this message
@@ -147,6 +152,19 @@ COMMON OPTIONS:
               or one policy; defaults: the table-1 suite × baseline,
               vqm, vqm-mah:4, vqa-vqm
 
+SERVE OPTIONS:
+    --listen ADDR       TCP address (default 127.0.0.1:7411; port 0
+                        picks an ephemeral port)
+    --socket PATH       serve on a unix-domain socket instead of TCP
+    --workers N         job worker threads (default 2)
+    --queue N           bounded queue capacity (default 64); a full
+                        queue answers overloaded + retry_after_ms
+    --deadline-ms N     default per-job deadline (default 10000)
+    --retry-after-ms N  backpressure hint on overloaded responses
+    --idle-timeout-ms N close idle / stalled connections (default 10000)
+    --max-connections N concurrent connection cap (default 64)
+    --chaos             honor 'panic' fault-injection frames (testing)
+
 EXAMPLES:
     quva compile --device q20 --policy vqa-vqm --bench bv:16 --stats --verify
     quva lint --bench qft:12
@@ -164,6 +182,8 @@ EXAMPLES:
     quva simulate --device q20 --bench bv:16 --metrics
     quva profile --device q20 --trace profile.json
     quva trace-verify profile.json
+    quva serve --listen 127.0.0.1:7411 --workers 2 --trace served.json
+    quva serve --socket /tmp/quvad.sock --queue 128 --deadline-ms 5000
 "
     .to_string()
 }
@@ -727,6 +747,66 @@ fn cmd_profile(args: &ParsedArgs) -> Result<String, ArgsError> {
         "profile: {} case(s) on {device}, {trials} trials, seed {seed}\n\n{table}\n",
         benches.len() * policies.len()
     ))
+}
+
+/// `quva serve`: runs the `quvad` compilation daemon until a client
+/// sends a `shutdown` frame, then drains gracefully and reports the
+/// final metrics. See DESIGN.md §12 for the protocol and failure-mode
+/// table.
+///
+/// With `--trace <file>` the whole daemon lifetime is recorded: every
+/// request span, queue-depth sample, and cache/shed/retry counter
+/// lands in the Chrome trace written after the drain completes.
+fn cmd_serve(args: &ParsedArgs) -> Result<String, ArgsError> {
+    use quva_serve::{Listen, Server, ServerConfig};
+    fn knob<T: std::str::FromStr + PartialEq + Default>(
+        args: &ParsedArgs,
+        name: &str,
+        default: T,
+    ) -> Result<T, ArgsError> {
+        match args.get_parsed::<T>(name)? {
+            Some(n) if n == T::default() => Err(ArgsError::new(format!("--{name} must be at least 1"))),
+            Some(n) => Ok(n),
+            None => Ok(default),
+        }
+    }
+    let listen = match (args.get("listen"), args.get("socket")) {
+        (Some(_), Some(_)) => {
+            return Err(ArgsError::new("give either --listen or --socket, not both"));
+        }
+        (None, Some(path)) => Listen::Unix(std::path::PathBuf::from(path)),
+        (addr, None) => Listen::Tcp(addr.unwrap_or("127.0.0.1:7411").to_string()),
+    };
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        listen,
+        workers: knob(args, "workers", defaults.workers)?,
+        engine_threads: knob(args, "threads", defaults.engine_threads)?,
+        queue_capacity: knob(args, "queue", defaults.queue_capacity)?,
+        default_deadline_ms: knob(args, "deadline-ms", defaults.default_deadline_ms)?,
+        retry_after_ms: args
+            .get_parsed("retry-after-ms")?
+            .unwrap_or(defaults.retry_after_ms),
+        idle_timeout_ms: knob(args, "idle-timeout-ms", defaults.idle_timeout_ms)?,
+        max_connections: knob(args, "max-connections", defaults.max_connections)?,
+        chaos_panics: args.has_switch("chaos"),
+        ..defaults
+    };
+
+    let workers = config.workers;
+    let queue = config.queue_capacity;
+    let endpoint = match &config.listen {
+        Listen::Tcp(addr) => addr.clone(),
+        Listen::Unix(path) => path.display().to_string(),
+    };
+    let handle = Server::spawn(config).map_err(|e| ArgsError::new(format!("cannot bind {endpoint}: {e}")))?;
+    let bound = handle
+        .local_addr()
+        .map_or_else(|| endpoint.clone(), |a| a.to_string());
+    // announce on stderr: stdout carries only the final drain report
+    eprintln!("quvad listening on {bound} ({workers} worker(s), queue {queue})");
+    let metrics = handle.join();
+    Ok(format!("quvad drained cleanly\nfinal metrics: {metrics}\n"))
 }
 
 /// `quva trace-verify <file>`: structural validation of a `--trace`

@@ -6,9 +6,11 @@
 //! estimation), `simulate` (Monte-Carlo PST as machine-readable JSON),
 //! `trials` (noisy state-vector execution), `characterize` (calibration
 //! summary), `partition` (§8 one-vs-two copies analysis), `profile`
-//! (suite × policy matrix with per-stage timings and counters), and
-//! `trace-verify` (structural validation of a `--trace` output). See
-//! [`commands::usage`] for the full syntax.
+//! (suite × policy matrix with per-stage timings and counters),
+//! `trace-verify` (structural validation of a `--trace` output), and
+//! `serve` (the `quvad` compilation daemon: line-delimited JSON jobs
+//! over TCP or a unix socket, with admission control, deadlines, and
+//! graceful drain). See [`commands::usage`] for the full syntax.
 //!
 //! Monte-Carlo commands accept `--threads N` (default: available
 //! parallelism); results are bit-identical for every thread count.
@@ -36,7 +38,8 @@ pub mod spec;
 
 /// The boolean switches every subcommand recognizes: `--stats`,
 /// `--optimize`, and `--verify` (compile), `--deny-warnings` (lint /
-/// audit), `--metrics` (append the observability summary), plus the
+/// audit), `--metrics` (append the observability summary), `--chaos`
+/// (serve: honor `panic` fault-injection frames), plus the
 /// `--strict` / `--lenient` calibration-sanitization modes.
 pub const SWITCHES: &[&str] = &[
     "stats",
@@ -46,4 +49,5 @@ pub const SWITCHES: &[&str] = &[
     "lenient",
     "deny-warnings",
     "metrics",
+    "chaos",
 ];

@@ -1,9 +1,13 @@
 //! Textual specifications for devices, policies, and workloads — the
 //! vocabulary of the `quva` CLI.
+//!
+//! The parsers themselves live in `quva_serve::spec` (they are shared
+//! with the daemon's wire protocol); this module adapts their typed
+//! [`quva_serve::SpecError`] into the CLI's [`ArgsError`].
 
-use quva::{AllocationStrategy, MappingPolicy, RoutingMetric};
+use quva::MappingPolicy;
 use quva_benchmarks::Benchmark;
-use quva_device::{CalibrationGenerator, Device, Topology, VariationProfile};
+use quva_device::Device;
 
 use crate::args::ArgsError;
 
@@ -20,66 +24,7 @@ use crate::args::ArgsError;
 ///
 /// Fails on unknown names or malformed dimensions.
 pub fn parse_device(spec: &str) -> Result<Device, ArgsError> {
-    match spec {
-        "q20" | "ibm-q20" => return Ok(Device::ibm_q20()),
-        "q5" | "ibm-q5" => return Ok(Device::ibm_q5()),
-        "melbourne" | "ibm-q16" => {
-            let topo = Topology::ibm_q16_melbourne();
-            let mut generator = CalibrationGenerator::new(VariationProfile::ibm_q20_paper(), 1);
-            let cal = generator.snapshot(&topo);
-            return Device::from_parts(topo, cal).map_err(|e| ArgsError::new(e.to_string()));
-        }
-        _ => {}
-    }
-    let (shape, seed) = match spec.split_once('@') {
-        Some((s, seed)) => {
-            let seed: u64 = seed
-                .parse()
-                .map_err(|_| ArgsError::new(format!("bad calibration seed in device spec '{spec}'")))?;
-            (s, seed)
-        }
-        None => (spec, 1),
-    };
-    let (kind, dims) = shape.split_once(':').ok_or_else(|| {
-        ArgsError::new(format!(
-            "unknown device '{spec}' (try q20, q5, linear:N, grid:RxC)"
-        ))
-    })?;
-    let topology = match kind {
-        "linear" => Topology::linear(parse_dim(spec, dims)?),
-        "ring" => Topology::ring(parse_dim(spec, dims)?),
-        "full" => Topology::fully_connected(parse_dim(spec, dims)?),
-        "grid" => {
-            let (r, c) = dims
-                .split_once('x')
-                .ok_or_else(|| ArgsError::new(format!("grid spec needs RxC, got '{spec}'")))?;
-            Topology::grid(parse_dim(spec, r)?, parse_dim(spec, c)?)
-        }
-        "heavyhex" => {
-            let (r, c) = dims
-                .split_once('x')
-                .ok_or_else(|| ArgsError::new(format!("heavyhex spec needs RxC, got '{spec}'")))?;
-            Topology::heavy_hex(parse_dim(spec, r)?, parse_dim(spec, c)?)
-        }
-        _ => {
-            return Err(ArgsError::new(format!(
-                "unknown device kind '{kind}' in '{spec}'"
-            )))
-        }
-    };
-    let mut generator = CalibrationGenerator::new(VariationProfile::ibm_q20_paper(), seed);
-    let calibration = generator.snapshot(&topology);
-    Device::from_parts(topology, calibration).map_err(|e| ArgsError::new(e.to_string()))
-}
-
-fn parse_dim(spec: &str, text: &str) -> Result<usize, ArgsError> {
-    let d: usize = text
-        .parse()
-        .map_err(|_| ArgsError::new(format!("bad dimension '{text}' in device spec '{spec}'")))?;
-    if d == 0 || d > 1000 {
-        return Err(ArgsError::new(format!("dimension {d} out of range in '{spec}'")));
-    }
-    Ok(d)
+    quva_serve::parse_device(spec).map_err(|e| ArgsError::new(e.to_string()))
 }
 
 /// Builds a mapping policy from a spec string: `baseline`, `vqm`,
@@ -89,43 +34,7 @@ fn parse_dim(spec: &str, text: &str) -> Result<usize, ArgsError> {
 ///
 /// Fails on unknown names or malformed parameters.
 pub fn parse_policy(spec: &str) -> Result<MappingPolicy, ArgsError> {
-    Ok(match spec {
-        "baseline" => MappingPolicy::baseline(),
-        "vqm" => MappingPolicy::vqm(),
-        "vqm-mah4" => MappingPolicy::vqm_hop_limited(),
-        "vqa-vqm" | "vqa+vqm" => MappingPolicy::vqa_vqm(),
-        "vqa-ro-vqm" => MappingPolicy {
-            allocation: AllocationStrategy::vqa_readout_aware(),
-            routing: RoutingMetric::reliability(),
-        },
-        "vqa" => MappingPolicy {
-            allocation: AllocationStrategy::vqa(),
-            routing: RoutingMetric::Hops,
-        },
-        _ => {
-            if let Some(k) = spec.strip_prefix("vqm-mah:") {
-                let mah: u32 = k
-                    .parse()
-                    .map_err(|_| ArgsError::new(format!("bad MAH value in policy '{spec}'")))?;
-                MappingPolicy {
-                    allocation: AllocationStrategy::GreedyInteraction,
-                    routing: RoutingMetric::Reliability {
-                        max_additional_hops: Some(mah),
-                        optimize_meeting_edge: false,
-                    },
-                }
-            } else if let Some(seed) = spec.strip_prefix("native:") {
-                let seed: u64 = seed
-                    .parse()
-                    .map_err(|_| ArgsError::new(format!("bad seed in policy '{spec}'")))?;
-                MappingPolicy::native(seed)
-            } else {
-                return Err(ArgsError::new(format!(
-                    "unknown policy '{spec}' (try baseline, vqm, vqm-mah:K, vqa-vqm, native:SEED)"
-                )));
-            }
-        }
-    })
+    quva_serve::parse_policy(spec).map_err(|e| ArgsError::new(e.to_string()))
 }
 
 /// Builds a named benchmark workload: `bv:N`, `qft:N`, `ghz:N`, `alu`,
@@ -135,49 +44,13 @@ pub fn parse_policy(spec: &str) -> Result<MappingPolicy, ArgsError> {
 ///
 /// Fails on unknown names or malformed parameters.
 pub fn parse_benchmark(spec: &str) -> Result<Benchmark, ArgsError> {
-    let bad = |what: &str| ArgsError::new(format!("bad {what} in benchmark '{spec}'"));
-    if spec == "alu" {
-        return Ok(Benchmark::alu());
-    }
-    if spec == "triswap" {
-        return Ok(Benchmark::triswap());
-    }
-    if let Some((kind, rest)) = spec.split_once(':') {
-        return match kind {
-            "bv" => Ok(Benchmark::bv(rest.parse().map_err(|_| bad("size"))?)),
-            "w" => Ok(Benchmark::w_state(rest.parse().map_err(|_| bad("size"))?)),
-            "grover2" => Ok(Benchmark::grover2(rest.parse().map_err(|_| bad("marked item"))?)),
-            "mirror" => {
-                let (n, depth) = rest.split_once(':').ok_or_else(|| bad("shape (want N:DEPTH)"))?;
-                Ok(Benchmark::mirror(
-                    n.parse().map_err(|_| bad("size"))?,
-                    depth.parse().map_err(|_| bad("depth"))?,
-                    1,
-                ))
-            }
-            "qft" => Ok(Benchmark::qft(rest.parse().map_err(|_| bad("size"))?)),
-            "ghz" => Ok(Benchmark::ghz(rest.parse().map_err(|_| bad("size"))?)),
-            "rnd-sd" | "rnd-ld" => {
-                let (n, cnots) = rest.split_once(':').ok_or_else(|| bad("shape (want N:CNOTS)"))?;
-                let n = n.parse().map_err(|_| bad("size"))?;
-                let cnots = cnots.parse().map_err(|_| bad("cnot count"))?;
-                Ok(if kind == "rnd-sd" {
-                    Benchmark::rnd_sd(n, cnots, 1)
-                } else {
-                    Benchmark::rnd_ld(n, cnots, 2)
-                })
-            }
-            _ => Err(ArgsError::new(format!("unknown benchmark '{spec}'"))),
-        };
-    }
-    Err(ArgsError::new(format!(
-        "unknown benchmark '{spec}' (try bv:16, qft:12, ghz:3, alu, triswap)"
-    )))
+    quva_serve::parse_benchmark(spec).map_err(|e| ArgsError::new(e.to_string()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use quva::RoutingMetric;
 
     #[test]
     fn named_devices() {

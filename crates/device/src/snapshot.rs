@@ -181,6 +181,11 @@ impl JsonValue {
     }
 }
 
+/// Maximum container nesting the snapshot parser accepts. Snapshot
+/// files are untrusted input; a `[[[[…` bomb must surface as a
+/// [`SnapshotError`] instead of overflowing the stack (an abort).
+const MAX_SNAPSHOT_DEPTH: usize = 64;
+
 /// Recursive-descent JSON parser, extended with `NaN`, `Infinity`, and
 /// `-Infinity` literals.
 struct Parser<'a> {
@@ -190,7 +195,7 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn parse_document(mut self) -> Result<JsonValue, SnapshotError> {
-        let value = self.parse_value()?;
+        let value = self.parse_value(0)?;
         self.skip_ws();
         if self.pos != self.bytes.len() {
             return Err(self.err("trailing characters after the document"));
@@ -236,10 +241,13 @@ impl Parser<'_> {
         }
     }
 
-    fn parse_value(&mut self) -> Result<JsonValue, SnapshotError> {
+    fn parse_value(&mut self, depth: usize) -> Result<JsonValue, SnapshotError> {
+        if depth > MAX_SNAPSHOT_DEPTH {
+            return Err(self.err(format!("nesting depth exceeds {MAX_SNAPSHOT_DEPTH}")));
+        }
         match self.peek() {
-            Some(b'{') => self.parse_object(),
-            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
             Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
             Some(b't') if self.eat_keyword("true") => Ok(JsonValue::Bool(true)),
             Some(b'f') if self.eat_keyword("false") => Ok(JsonValue::Bool(false)),
@@ -256,7 +264,7 @@ impl Parser<'_> {
         }
     }
 
-    fn parse_object(&mut self) -> Result<JsonValue, SnapshotError> {
+    fn parse_object(&mut self, depth: usize) -> Result<JsonValue, SnapshotError> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
         if self.peek() == Some(b'}') {
@@ -266,7 +274,7 @@ impl Parser<'_> {
         loop {
             let key = self.parse_string()?;
             self.expect(b':')?;
-            let value = self.parse_value()?;
+            let value = self.parse_value(depth + 1)?;
             fields.push((key, value));
             match self.peek() {
                 Some(b',') => self.pos += 1,
@@ -279,7 +287,7 @@ impl Parser<'_> {
         }
     }
 
-    fn parse_array(&mut self) -> Result<JsonValue, SnapshotError> {
+    fn parse_array(&mut self, depth: usize) -> Result<JsonValue, SnapshotError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         if self.peek() == Some(b']') {
@@ -287,7 +295,7 @@ impl Parser<'_> {
             return Ok(JsonValue::Array(items));
         }
         loop {
-            items.push(self.parse_value()?);
+            items.push(self.parse_value(depth + 1)?);
             match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
@@ -435,6 +443,63 @@ mod tests {
         assert_eq!(fmt_f64(f64::NEG_INFINITY), "-Infinity");
         assert_eq!(fmt_f64(80.0), "80.0");
         assert_eq!(fmt_f64(0.0042), "0.0042");
+    }
+
+    #[test]
+    fn every_byte_truncation_is_a_typed_error() {
+        // A partially-written snapshot (crash mid-flush, torn download)
+        // must never panic — every prefix parses to Err or, for the
+        // rare prefix that is itself complete JSON, to a missing-field
+        // error caught by the structural checks.
+        let t = Topology::ibm_q5_tenerife();
+        let full = to_json(&Calibration::uniform(&t, 0.031_25, 0.0042, 0.0211));
+        assert!(parse_raw(&full).is_ok());
+        // Trailing whitespace aside, every strict prefix leaves the
+        // top-level object unclosed and must fail.
+        let doc = full.trim_end();
+        for cut in 0..doc.len() {
+            if !doc.is_char_boundary(cut) {
+                continue;
+            }
+            assert!(parse_raw(&doc[..cut]).is_err(), "prefix of {cut} bytes parsed");
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_are_typed_errors() {
+        for garbage in [
+            "\u{0}\u{1}\u{2}",
+            "PK\u{3}\u{4}not-json-at-all",
+            "{\"t1_us\": [1.0,,]}",
+            "[[[[",
+            "{\"a\": {\"b\": ",
+            "\"\\u12\"",
+            "{\"t1_us\"; [1.0]}",
+        ] {
+            assert!(parse_raw(garbage).is_err(), "garbage {garbage:?} parsed");
+        }
+    }
+
+    #[test]
+    fn nesting_bomb_is_an_error_not_a_stack_overflow() {
+        for open in ["[", "{\"k\":"] {
+            let bomb = open.repeat(100_000);
+            let err = parse_raw(&bomb).unwrap_err();
+            assert!(err.to_string().contains("nesting depth"), "{err}");
+        }
+        // Depth at the limit still parses structurally (then fails the
+        // snapshot field checks, which is the expected typed error).
+        let deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_SNAPSHOT_DEPTH),
+            "]".repeat(MAX_SNAPSHOT_DEPTH)
+        );
+        let err = Parser {
+            bytes: deep.as_bytes(),
+            pos: 0,
+        }
+        .parse_document();
+        assert!(err.is_ok());
     }
 
     #[test]

@@ -61,11 +61,18 @@ impl JsonValue {
     }
 }
 
+/// Maximum container nesting depth [`parse_json`] accepts. Inputs may
+/// come from untrusted sources (network frames, on-disk traces); the
+/// recursive-descent parser must return an error on `[[[[…` bombs
+/// instead of overflowing the stack, which would abort the process.
+pub const MAX_JSON_DEPTH: usize = 64;
+
 /// Parses a complete JSON document. Errors carry a byte offset.
+/// Container nesting beyond [`MAX_JSON_DEPTH`] is a parse error.
 pub fn parse_json(text: &str) -> Result<JsonValue, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing data at byte {pos}"));
@@ -79,12 +86,18 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
     skip_ws(bytes, pos);
+    if depth > MAX_JSON_DEPTH {
+        return Err(format!(
+            "nesting depth exceeds {MAX_JSON_DEPTH} at byte {pos}",
+            pos = *pos
+        ));
+    }
     match bytes.get(*pos) {
         None => Err("unexpected end of input".to_string()),
-        Some(b'{') => parse_obj(bytes, pos),
-        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'{') => parse_obj(bytes, pos, depth),
+        Some(b'[') => parse_arr(bytes, pos, depth),
         Some(b'"') => Ok(JsonValue::Str(parse_str(bytes, pos)?)),
         Some(b't') => parse_lit(bytes, pos, "true", JsonValue::Bool(true)),
         Some(b'f') => parse_lit(bytes, pos, "false", JsonValue::Bool(false)),
@@ -166,7 +179,7 @@ fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+fn parse_arr(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
     *pos += 1; // '['
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -175,7 +188,7 @@ fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
         return Ok(JsonValue::Arr(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -188,7 +201,7 @@ fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     }
 }
 
-fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+fn parse_obj(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
     *pos += 1; // '{'
     let mut members = Vec::new();
     skip_ws(bytes, pos);
@@ -207,7 +220,7 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
             return Err(format!("expected ':' at byte {pos}", pos = *pos));
         }
         *pos += 1;
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth + 1)?;
         members.push((key, value));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -403,6 +416,22 @@ mod tests {
         assert!(parse_json(r#"{"a": }"#).is_err());
         assert!(parse_json(r#"{"a": 1} trailing"#).is_err());
         assert!(parse_json(r#""unterminated"#).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        // A nesting bomb must come back as Err, never abort the process.
+        for open in ["[", "{\"k\":"] {
+            let bomb = open.repeat(100_000);
+            let err = parse_json(&bomb).unwrap_err();
+            assert!(err.contains("nesting depth"), "unexpected error: {err}");
+        }
+        // Exactly at the limit still parses.
+        let depth = MAX_JSON_DEPTH;
+        let ok = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(parse_json(&ok).is_ok());
+        let too_deep = format!("{}1{}", "[".repeat(depth + 1), "]".repeat(depth + 1));
+        assert!(parse_json(&too_deep).is_err());
     }
 
     #[test]

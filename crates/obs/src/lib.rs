@@ -60,7 +60,7 @@
 mod json;
 mod trace;
 
-pub use json::{parse_json, schema_summary, validate_chrome_trace, JsonValue, TraceStats};
+pub use json::{parse_json, schema_summary, validate_chrome_trace, JsonValue, TraceStats, MAX_JSON_DEPTH};
 pub use trace::{Histogram, SpanRecord, TraceReport, WarnRecord};
 
 use std::cell::RefCell;

@@ -1,0 +1,156 @@
+//! Deterministic retry backoff: capped exponential delays with seeded
+//! jitter.
+//!
+//! Clients of an overloaded daemon must not retry in lockstep — but the
+//! repo's determinism contract ("same inputs, same bytes") extends to
+//! the load generator, so the jitter is drawn from a SplitMix64 stream
+//! seeded by the caller: a fixed seed reproduces the exact same retry
+//! schedule on every run, on every host.
+
+/// SplitMix64 increment — the same constant the simulator's chunk
+/// seeding uses, so backoff streams are decorrelated the same way
+/// Monte-Carlo chunks are.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(GOLDEN);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic capped-exponential backoff schedule.
+///
+/// Delay for attempt `k` (0-based) is `min(base << k, cap)` plus a
+/// jitter drawn uniformly from `[0, delay/2]` via a seeded SplitMix64
+/// stream. The schedule depends only on the seed and the attempt
+/// sequence — never on wall-clock or global state.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    state: u64,
+    base_ms: u64,
+    cap_ms: u64,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// Creates a schedule with the given seed, base delay, and cap.
+    /// A zero base is clamped to 1 ms so the schedule always advances.
+    pub fn new(seed: u64, base_ms: u64, cap_ms: u64) -> Self {
+        Backoff {
+            state: seed ^ 0x6261_636b_6f66_6621, // "backoff!"
+            base_ms: base_ms.max(1),
+            cap_ms: cap_ms.max(base_ms.max(1)),
+            attempt: 0,
+        }
+    }
+
+    /// Returns the next delay in milliseconds and advances the schedule.
+    pub fn next_delay_ms(&mut self) -> u64 {
+        let exp = self.attempt.min(32);
+        self.attempt = self.attempt.saturating_add(1);
+        let raw = self.base_ms.saturating_shl(exp).min(self.cap_ms);
+        let jitter_span = raw / 2;
+        let jitter = if jitter_span == 0 {
+            0
+        } else {
+            splitmix64(&mut self.state) % (jitter_span + 1)
+        };
+        raw.saturating_add(jitter).min(self.cap_ms.saturating_mul(2))
+    }
+
+    /// Combines a server-provided `retry_after_ms` hint with the local
+    /// schedule: the delay is the larger of the two, so a client never
+    /// retries earlier than the server asked, and never abandons its
+    /// own exponential growth.
+    pub fn next_delay_after_hint_ms(&mut self, retry_after_ms: u64) -> u64 {
+        self.next_delay_ms().max(retry_after_ms)
+    }
+
+    /// Number of delays handed out so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Rewinds the schedule to attempt zero, keeping the seed stream
+    /// position (a fresh job shares the client's jitter stream without
+    /// restarting its exponential curve).
+    pub fn reset_attempts(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, rhs: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, rhs: u32) -> u64 {
+        if rhs >= 64 || self > (u64::MAX >> rhs) {
+            u64::MAX
+        } else {
+            self << rhs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_seed_reproduces_schedule_exactly() {
+        let schedule = |seed: u64| -> Vec<u64> {
+            let mut b = Backoff::new(seed, 10, 5_000);
+            (0..12).map(|_| b.next_delay_ms()).collect()
+        };
+        assert_eq!(schedule(7), schedule(7), "same seed must give identical delays");
+        assert_ne!(
+            schedule(7),
+            schedule(8),
+            "different seeds must jitter differently"
+        );
+    }
+
+    #[test]
+    fn delays_grow_exponentially_until_cap() {
+        let mut b = Backoff::new(1, 10, 1_000);
+        let delays: Vec<u64> = (0..16).map(|_| b.next_delay_ms()).collect();
+        // raw delay for attempt k is min(10 << k, 1000); jitter adds at most raw/2
+        for (k, &d) in delays.iter().enumerate() {
+            let raw = 10u64.saturating_shl(k as u32).min(1_000);
+            assert!(d >= raw, "attempt {k}: delay {d} below raw {raw}");
+            assert!(d <= raw + raw / 2, "attempt {k}: delay {d} above raw+jitter");
+        }
+        assert!(delays[15] <= 1_500, "cap must bound late attempts");
+    }
+
+    #[test]
+    fn hint_dominates_when_larger() {
+        let mut b = Backoff::new(3, 1, 10);
+        assert!(b.next_delay_after_hint_ms(9_999) >= 9_999);
+        // local schedule still advanced
+        assert_eq!(b.attempts(), 1);
+    }
+
+    #[test]
+    fn no_overflow_at_extreme_attempts() {
+        let mut b = Backoff::new(0, u64::MAX / 2, u64::MAX);
+        for _ in 0..80 {
+            let _ = b.next_delay_ms();
+        }
+        assert_eq!(b.attempts(), 80);
+    }
+
+    #[test]
+    fn reset_rewinds_exponent_but_not_stream() {
+        let mut a = Backoff::new(5, 10, 1_000);
+        let first = a.next_delay_ms();
+        a.reset_attempts();
+        let again = a.next_delay_ms();
+        // both are attempt-0 delays (raw 10) but jitter stream moved on
+        assert!((10..=15).contains(&first));
+        assert!((10..=15).contains(&again));
+    }
+}

@@ -1,0 +1,190 @@
+//! Sharded result cache keyed by device × circuit fingerprints.
+//!
+//! The daemon's jobs are pure functions of (device, policy, circuit,
+//! trials, seed) — the same determinism contract the rest of the repo
+//! enforces — so results can be cached forever and replayed verbatim.
+//! The cache stores the *rendered* result JSON fragment, which is what
+//! makes identical payloads yield byte-identical response lines.
+//!
+//! Sharding keeps lock contention off the hot path: the shard index is
+//! derived from the key hash, and each shard is an independent
+//! mutex-guarded map with FIFO eviction at a per-shard capacity.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::protocol::JobKind;
+
+/// Identity of a cached job result.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// `Device::fingerprint()` of the resolved device.
+    pub device_fp: u64,
+    /// `Circuit::fingerprint()` of the source circuit.
+    pub circuit_fp: u64,
+    /// Canonical policy spec string.
+    pub policy: String,
+    /// Job kind — compile/simulate/audit results differ.
+    pub kind: JobKind,
+    /// Monte-Carlo trials (0 for non-simulate jobs).
+    pub trials: u64,
+    /// Monte-Carlo seed (0 for non-simulate jobs).
+    pub seed: u64,
+}
+
+struct Shard {
+    map: HashMap<CacheKey, Arc<str>>,
+    order: VecDeque<CacheKey>,
+}
+
+/// Sharded map from [`CacheKey`] to rendered result JSON.
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("shards", &self.shards.len())
+            .field("per_shard_capacity", &self.per_shard_capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Recovers a shard guard even if a holder panicked: the cache holds
+/// plain owned data, so a poisoned lock is still structurally sound.
+fn lock_shard(shard: &Mutex<Shard>) -> MutexGuard<'_, Shard> {
+    shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl ResultCache {
+    /// Creates a cache with `shards` independent shards of
+    /// `per_shard_capacity` entries each. Zero arguments are clamped
+    /// to 1.
+    pub fn new(shards: usize, per_shard_capacity: usize) -> Self {
+        let shards = shards.clamp(1, 1024);
+        ResultCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        order: VecDeque::new(),
+                    })
+                })
+                .collect(),
+            per_shard_capacity: per_shard_capacity.max(1),
+        }
+    }
+
+    fn shard_for(&self, key: &CacheKey) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        let idx = (h.finish() as usize) % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// Looks up a rendered result.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<str>> {
+        lock_shard(self.shard_for(key)).map.get(key).cloned()
+    }
+
+    /// Inserts a rendered result, evicting the oldest entry of the
+    /// shard when it is full. Re-inserting an existing key refreshes
+    /// the value without growing the shard.
+    pub fn insert(&self, key: CacheKey, rendered: Arc<str>) {
+        let mut shard = lock_shard(self.shard_for(&key));
+        if shard.map.insert(key.clone(), rendered).is_none() {
+            shard.order.push_back(key);
+            while shard.map.len() > self.per_shard_capacity {
+                match shard.order.pop_front() {
+                    Some(oldest) => {
+                        shard.map.remove(&oldest);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock_shard(s).map.len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> CacheKey {
+        CacheKey {
+            device_fp: n,
+            circuit_fp: n.wrapping_mul(31),
+            policy: "vqm".into(),
+            kind: JobKind::Simulate,
+            trials: 1000,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn round_trips_and_distinguishes_keys() {
+        let cache = ResultCache::new(4, 8);
+        assert!(cache.get(&key(1)).is_none());
+        cache.insert(key(1), Arc::from("{\"pst\":0.5}"));
+        assert_eq!(cache.get(&key(1)).as_deref(), Some("{\"pst\":0.5}"));
+        assert!(cache.get(&key(2)).is_none());
+        let mut other = key(1);
+        other.kind = JobKind::Audit;
+        assert!(cache.get(&other).is_none(), "kind is part of the key");
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_bounded() {
+        let cache = ResultCache::new(1, 3);
+        for n in 0..10 {
+            cache.insert(key(n), Arc::from(format!("{{\"n\":{n}}}").as_str()));
+        }
+        assert_eq!(cache.len(), 3);
+        assert!(cache.get(&key(0)).is_none(), "oldest entries evicted");
+        assert!(cache.get(&key(9)).is_some(), "newest entry kept");
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_growth() {
+        let cache = ResultCache::new(1, 4);
+        cache.insert(key(1), Arc::from("old"));
+        cache.insert(key(1), Arc::from("new"));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&key(1)).as_deref(), Some("new"));
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        let cache = Arc::new(ResultCache::new(8, 32));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for n in 0..200u64 {
+                        cache.insert(key(n % 50), Arc::from(format!("{{\"t\":{t}}}").as_str()));
+                        let _ = cache.get(&key((n + 13) % 50));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.len() <= 50);
+    }
+}

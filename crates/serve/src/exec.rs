@@ -1,0 +1,196 @@
+//! Job resolution and execution: from spec strings to a rendered
+//! result fragment.
+//!
+//! Resolution (spec strings → device/policy/circuit) runs on the
+//! connection thread so the cache can be consulted before admission;
+//! execution (compile/simulate/audit) runs on a worker. Both are
+//! hardened: resolution wraps the benchmark generators in
+//! `catch_unwind` because degenerate sizes (e.g. `bv:1`) assert, and
+//! execution is wrapped again by the worker loop as the last line of
+//! panic isolation.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use quva::MappingPolicy;
+use quva_analysis::audit_compiled;
+use quva_benchmarks::Benchmark;
+use quva_device::Device;
+use quva_sim::{monte_carlo_pst_with, CoherenceModel, McEngine};
+
+use crate::cache::CacheKey;
+use crate::protocol::{JobKind, JobSpec};
+use crate::spec::{parse_benchmark, parse_device, parse_policy};
+
+/// A job whose specs resolved to concrete pipeline inputs.
+#[derive(Debug, Clone)]
+pub struct ResolvedJob {
+    /// The original wire spec.
+    pub spec: JobSpec,
+    /// Resolved target device.
+    pub device: Device,
+    /// Resolved workload.
+    pub benchmark: Benchmark,
+    /// Resolved mapping policy.
+    pub policy: MappingPolicy,
+    /// Fingerprint-derived cache identity.
+    pub key: CacheKey,
+}
+
+/// Resolves a job's spec strings into pipeline inputs and its cache
+/// key.
+///
+/// # Errors
+///
+/// Returns a message naming the offending spec on parse failure, or a
+/// generic message if a generator asserted on a degenerate parameter.
+pub fn resolve(spec: &JobSpec) -> Result<ResolvedJob, String> {
+    let spec = spec.clone();
+    catch_unwind(AssertUnwindSafe(move || -> Result<ResolvedJob, String> {
+        let device = parse_device(&spec.device).map_err(|e| e.to_string())?;
+        let policy = parse_policy(&spec.policy).map_err(|e| e.to_string())?;
+        let benchmark = parse_benchmark(&spec.benchmark).map_err(|e| e.to_string())?;
+        let key = CacheKey {
+            device_fp: device.fingerprint(),
+            circuit_fp: benchmark.circuit().fingerprint(),
+            policy: spec.policy.clone(),
+            kind: spec.kind,
+            trials: spec.trials,
+            seed: spec.seed,
+        };
+        Ok(ResolvedJob {
+            spec,
+            device,
+            benchmark,
+            policy,
+            key,
+        })
+    }))
+    .unwrap_or_else(|_| Err("job spec rejected: workload parameters out of range".to_string()))
+}
+
+/// Runs a resolved job and renders its result as a one-line JSON
+/// object fragment (fixed key order — identical jobs render identical
+/// bytes).
+///
+/// # Errors
+///
+/// Returns a message on compile or simulation failure. Panics are the
+/// caller's job to contain (the worker loop wraps this in
+/// `catch_unwind`).
+pub fn execute(job: &ResolvedJob, engine: McEngine) -> Result<String, String> {
+    let compiled = job
+        .policy
+        .compile(job.benchmark.circuit(), &job.device)
+        .map_err(|e| format!("compile failed: {e}"))?;
+    let physical = compiled.physical();
+    let head = format!(
+        "{{\"benchmark\":\"{}\",\"device_fp\":\"{:016x}\",\"circuit_fp\":\"{:016x}\",\
+         \"gates\":{},\"depth\":{},\"swaps\":{}",
+        job.benchmark.name(),
+        job.key.device_fp,
+        job.key.circuit_fp,
+        physical.len(),
+        physical.depth(),
+        compiled.inserted_swaps()
+    );
+    match job.spec.kind {
+        JobKind::Compile => {
+            let pst = compiled
+                .analytic_pst(&job.device, CoherenceModel::Disabled)
+                .map_err(|e| format!("analytic PST failed: {e}"))?;
+            Ok(format!("{head},\"analytic_pst\":{}}}", pst.pst))
+        }
+        JobKind::Simulate => {
+            let est = monte_carlo_pst_with(
+                &job.device,
+                physical,
+                job.spec.trials,
+                job.spec.seed,
+                CoherenceModel::Disabled,
+                engine,
+            )
+            .map_err(|e| format!("simulation failed: {e}"))?;
+            Ok(format!(
+                "{head},\"pst\":{},\"successes\":{},\"trials\":{},\"std_error\":{}}}",
+                est.pst,
+                est.successes,
+                est.trials,
+                est.std_error()
+            ))
+        }
+        JobKind::Audit => {
+            let report = audit_compiled(job.benchmark.circuit(), &job.device, &compiled);
+            Ok(format!(
+                "{head},\"esp_lo\":{},\"esp_hi\":{},\"esp_point\":{},\"errors\":{},\"warnings\":{},\
+                 \"clean\":{}}}",
+                report.esp.lo,
+                report.esp.hi,
+                report.esp.point,
+                report.findings.error_count(),
+                report.findings.warning_count(),
+                report.findings.is_clean()
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quva_obs::parse_json;
+
+    fn spec(kind: JobKind) -> JobSpec {
+        JobSpec {
+            kind,
+            device: "q20".into(),
+            policy: "vqm".into(),
+            benchmark: "bv:8".into(),
+            trials: if kind == JobKind::Simulate { 2_000 } else { 0 },
+            seed: 7,
+            priority: 5,
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn resolve_builds_fingerprint_key() {
+        let job = resolve(&spec(JobKind::Compile)).unwrap();
+        assert_eq!(job.key.device_fp, job.device.fingerprint());
+        assert_eq!(job.key.circuit_fp, job.benchmark.circuit().fingerprint());
+        assert_eq!(job.key.kind, JobKind::Compile);
+    }
+
+    #[test]
+    fn resolve_rejects_bad_specs_without_panicking() {
+        let mut s = spec(JobKind::Compile);
+        s.device = "hexagon:9".into();
+        assert!(resolve(&s).is_err());
+        // bv:1 asserts inside the generator — must come back as Err
+        let mut s = spec(JobKind::Compile);
+        s.benchmark = "bv:1".into();
+        assert!(resolve(&s).is_err());
+    }
+
+    #[test]
+    fn execute_renders_parseable_deterministic_results() {
+        for kind in [JobKind::Compile, JobKind::Simulate, JobKind::Audit] {
+            let job = resolve(&spec(kind)).unwrap();
+            let a = execute(&job, McEngine::sequential()).unwrap();
+            let b = execute(&job, McEngine::new(4)).unwrap();
+            assert_eq!(a, b, "{kind:?} result must be engine-independent");
+            let doc = parse_json(&a).unwrap_or_else(|e| panic!("{kind:?}: {e}\n{a}"));
+            assert_eq!(doc.get("benchmark").and_then(|v| v.as_str()), Some("bv-8"));
+            assert!(doc.get("gates").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn simulate_result_carries_estimate() {
+        let job = resolve(&spec(JobKind::Simulate)).unwrap();
+        let out = execute(&job, McEngine::sequential()).unwrap();
+        let doc = parse_json(&out).unwrap();
+        let pst = doc.get("pst").and_then(|v| v.as_f64()).unwrap();
+        assert!(pst > 0.0 && pst < 1.0, "{out}");
+        assert_eq!(doc.get("trials").and_then(|v| v.as_f64()), Some(2_000.0));
+    }
+}

@@ -1,0 +1,93 @@
+//! Daemon-lifetime counters, readable over the wire via a `stats`
+//! request.
+//!
+//! These are plain atomics, always on — unlike `quva-obs` (which the
+//! server *also* feeds when recording is enabled), the stats endpoint
+//! must answer even in production runs with tracing disabled. Counter
+//! order in the rendered JSON is fixed, so stats lines diff cleanly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lifetime counters for one server instance.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Frames received (well-formed or not).
+    pub requests: AtomicU64,
+    /// Responses with status `ok`.
+    pub ok: AtomicU64,
+    /// Responses with status `error` (malformed frames included).
+    pub errors: AtomicU64,
+    /// Responses with status `overloaded`.
+    pub overloaded: AtomicU64,
+    /// Responses with status `deadline_exceeded`.
+    pub deadline_exceeded: AtomicU64,
+    /// Responses with status `shutting_down`.
+    pub shutting_down: AtomicU64,
+    /// Job results served straight from the cache.
+    pub cache_hits: AtomicU64,
+    /// Jobs executed by a worker (cache misses).
+    pub cache_misses: AtomicU64,
+    /// Queued jobs evicted by higher-priority arrivals.
+    pub shed: AtomicU64,
+    /// Worker panics caught and converted to error responses.
+    pub worker_panics: AtomicU64,
+    /// Worker loops re-armed after a caught panic.
+    pub worker_respawns: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Connections refused at the accept gate (too many open).
+    pub connections_rejected: AtomicU64,
+    /// Frames that failed protocol parsing.
+    pub malformed_frames: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// Adds one to a counter.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the counters as a one-line JSON object with fixed key
+    /// order.
+    pub fn render_json(&self) -> String {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        format!(
+            "{{\"requests\":{},\"ok\":{},\"errors\":{},\"overloaded\":{},\"deadline_exceeded\":{},\
+             \"shutting_down\":{},\"cache_hits\":{},\"cache_misses\":{},\"shed\":{},\
+             \"worker_panics\":{},\"worker_respawns\":{},\"connections\":{},\
+             \"connections_rejected\":{},\"malformed_frames\":{}}}",
+            g(&self.requests),
+            g(&self.ok),
+            g(&self.errors),
+            g(&self.overloaded),
+            g(&self.deadline_exceeded),
+            g(&self.shutting_down),
+            g(&self.cache_hits),
+            g(&self.cache_misses),
+            g(&self.shed),
+            g(&self.worker_panics),
+            g(&self.worker_respawns),
+            g(&self.connections),
+            g(&self.connections_rejected),
+            g(&self.malformed_frames)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_fixed_order_and_reparses() {
+        let m = ServeMetrics::default();
+        ServeMetrics::bump(&m.requests);
+        ServeMetrics::bump(&m.requests);
+        ServeMetrics::bump(&m.cache_hits);
+        let json = m.render_json();
+        assert!(json.starts_with("{\"requests\":2,"), "{json}");
+        let doc = quva_obs::parse_json(&json).unwrap();
+        assert_eq!(doc.get("cache_hits").and_then(|v| v.as_f64()), Some(1.0));
+        assert_eq!(doc.get("worker_panics").and_then(|v| v.as_f64()), Some(0.0));
+    }
+}

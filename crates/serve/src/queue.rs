@@ -1,0 +1,250 @@
+//! Bounded priority work queue — the daemon's admission-control core.
+//!
+//! A single mutex-plus-condvar queue with a hard capacity. Pushing
+//! into a full queue either *sheds* the lowest-priority queued item
+//! (when the newcomer outranks it) or *rejects* the newcomer — the
+//! caller turns both outcomes into typed backpressure responses, so
+//! overload is always answered, never silently dropped. Workers pop
+//! highest-priority-first, FIFO within a priority band.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+struct Entry<T> {
+    priority: u8,
+    seq: u64,
+    item: T,
+}
+
+struct Inner<T> {
+    entries: Vec<Entry<T>>,
+    seq: u64,
+    closed: bool,
+}
+
+/// Outcome of a push attempt.
+#[derive(Debug)]
+pub enum Push<T> {
+    /// The item was queued.
+    Admitted,
+    /// The item was queued after evicting this lower-priority item;
+    /// the caller must answer the evicted item's submitter.
+    Shed(T),
+    /// The queue is full of equal-or-higher-priority work; the item is
+    /// returned so the caller can answer with backpressure.
+    Rejected(T),
+    /// The queue is draining; no new work is accepted.
+    Closed(T),
+}
+
+/// Outcome of a pop attempt.
+#[derive(Debug)]
+pub enum Pop<T> {
+    /// The highest-priority queued item.
+    Item(T),
+    /// Nothing arrived within the timeout; the queue is still open.
+    TimedOut,
+    /// The queue is closed and fully drained; the worker should exit.
+    Drained,
+}
+
+/// A bounded, priority-aware, multi-producer multi-consumer queue.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> std::fmt::Debug for BoundedQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+fn lock<T>(m: &Mutex<Inner<T>>) -> MutexGuard<'_, Inner<T>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (clamped to 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                entries: Vec::new(),
+                seq: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Attempts to queue `item` at `priority` (9 outranks 0).
+    pub fn push(&self, priority: u8, item: T) -> Push<T> {
+        let mut inner = lock(&self.inner);
+        if inner.closed {
+            return Push::Closed(item);
+        }
+        if inner.entries.len() >= self.capacity {
+            // shed the weakest queued item iff the newcomer outranks it
+            let weakest = inner
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| (e.priority, std::cmp::Reverse(e.seq)))
+                .map(|(i, e)| (i, e.priority));
+            match weakest {
+                Some((idx, weakest_priority)) if weakest_priority < priority => {
+                    let shed = inner.entries.swap_remove(idx);
+                    let seq = inner.seq;
+                    inner.seq += 1;
+                    inner.entries.push(Entry { priority, seq, item });
+                    drop(inner);
+                    self.ready.notify_one();
+                    return Push::Shed(shed.item);
+                }
+                _ => return Push::Rejected(item),
+            }
+        }
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.entries.push(Entry { priority, seq, item });
+        drop(inner);
+        self.ready.notify_one();
+        Push::Admitted
+    }
+
+    /// Pops the best item, waiting up to `timeout` for one to arrive.
+    /// "Best" is highest priority, oldest first within a priority.
+    pub fn pop(&self, timeout: Duration) -> Pop<T> {
+        let mut inner = lock(&self.inner);
+        if inner.entries.is_empty() && !inner.closed {
+            let (guard, _) = self
+                .ready
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = guard;
+        }
+        if let Some(best) = inner
+            .entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| (e.priority, std::cmp::Reverse(e.seq)))
+            .map(|(i, _)| i)
+        {
+            return Pop::Item(inner.entries.swap_remove(best).item);
+        }
+        if inner.closed {
+            Pop::Drained
+        } else {
+            Pop::TimedOut
+        }
+    }
+
+    /// Closes the queue: pushes are refused, pops drain what remains
+    /// and then report [`Pop::Drained`]. Idempotent.
+    pub fn close(&self) {
+        lock(&self.inner).closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).entries.len()
+    }
+
+    /// Whether the queue holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        lock(&self.inner).closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_priority_and_priority_order_across() {
+        let q = BoundedQueue::new(8);
+        assert!(matches!(q.push(5, "a"), Push::Admitted));
+        assert!(matches!(q.push(5, "b"), Push::Admitted));
+        assert!(matches!(q.push(9, "urgent"), Push::Admitted));
+        assert!(matches!(q.push(0, "later"), Push::Admitted));
+        let order: Vec<&str> = (0..4)
+            .map(|_| match q.pop(Duration::from_millis(10)) {
+                Pop::Item(s) => s,
+                other => panic!("expected item, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(order, ["urgent", "a", "b", "later"]);
+    }
+
+    #[test]
+    fn full_queue_rejects_equal_priority_and_sheds_lower() {
+        let q = BoundedQueue::new(2);
+        assert!(matches!(q.push(3, "x"), Push::Admitted));
+        assert!(matches!(q.push(5, "y"), Push::Admitted));
+        // equal to the weakest queued priority: rejected, queue unchanged
+        match q.push(3, "z") {
+            Push::Rejected(z) => assert_eq!(z, "z"),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+        // outranks the weakest: weakest is shed, newcomer admitted
+        match q.push(7, "vip") {
+            Push::Shed(loser) => assert_eq!(loser, "x"),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_reports_drained() {
+        let q = BoundedQueue::new(4);
+        assert!(matches!(q.push(1, 10), Push::Admitted));
+        q.close();
+        assert!(matches!(q.push(9, 11), Push::Closed(11)));
+        assert!(matches!(q.pop(Duration::from_millis(1)), Pop::Item(10)));
+        assert!(matches!(q.pop(Duration::from_millis(1)), Pop::Drained));
+        assert!(matches!(q.pop(Duration::from_millis(1)), Pop::Drained));
+    }
+
+    #[test]
+    fn pop_timeout_on_empty_open_queue() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        assert!(matches!(q.pop(Duration::from_millis(5)), Pop::TimedOut));
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || match q2.pop(Duration::from_secs(5)) {
+            Pop::Item(v) => v,
+            other => panic!("expected item, got {other:?}"),
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(matches!(q.push(5, 99), Push::Admitted));
+        assert_eq!(popper.join().unwrap(), 99);
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_close() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || matches!(q2.pop(Duration::from_secs(5)), Pop::Drained));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(popper.join().unwrap());
+    }
+}

@@ -1,0 +1,765 @@
+//! The `quvad` daemon: socket transport, admission control, worker
+//! pool, and graceful drain.
+//!
+//! Thread model: one nonblocking accept loop, one thread per accepted
+//! connection (bounded by `max_connections`), and a fixed worker pool
+//! consuming the bounded job queue. Connection threads resolve specs,
+//! consult the result cache, and run admission control; workers do the
+//! heavy compile/simulate/audit work inside `catch_unwind`, so a
+//! panicking job becomes a structured error response and a re-armed
+//! worker, never a dead daemon.
+//!
+//! Failure containment invariants (chaos-tested in `quva-bench`):
+//!
+//! * every delivered well-formed frame gets exactly one response line;
+//! * malformed frames get an `error` response, not a dropped socket;
+//! * a full queue answers `overloaded` + `retry_after_ms`;
+//! * a worker panic answers `error` and bumps `serve.worker.respawn`;
+//! * drain stops intake (`shutting_down`), finishes or
+//!   deadline-expires in-flight jobs, and flushes every thread's obs
+//!   buffers before exit.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use quva_sim::McEngine;
+
+use crate::cache::ResultCache;
+use crate::exec::{execute, resolve, ResolvedJob};
+use crate::metrics::ServeMetrics;
+use crate::protocol::{parse_request, JobSpec, RequestKind, Response, MAX_FRAME_BYTES};
+use crate::queue::{BoundedQueue, Pop, Push};
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Listen {
+    /// TCP socket; `127.0.0.1:0` picks an ephemeral port.
+    Tcp(String),
+    /// Unix-domain socket at this path (removed and re-created).
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+/// Daemon tuning knobs. `Default` is sized for tests and smoke runs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listening transport and address.
+    pub listen: Listen,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Monte-Carlo engine threads per worker (results are
+    /// thread-count-independent; this is wall-clock only).
+    pub engine_threads: usize,
+    /// Bounded queue capacity — the admission-control limit.
+    pub queue_capacity: usize,
+    /// Deadline applied to jobs that do not carry `deadline_ms`.
+    pub default_deadline_ms: u64,
+    /// Backpressure hint attached to `overloaded` responses.
+    pub retry_after_ms: u64,
+    /// Hard per-frame byte limit.
+    pub max_line_bytes: usize,
+    /// Close connections idle (or stalled mid-frame) this long.
+    pub idle_timeout_ms: u64,
+    /// Maximum concurrently open connections.
+    pub max_connections: usize,
+    /// Result-cache shard count.
+    pub cache_shards: usize,
+    /// Result-cache entries per shard.
+    pub cache_capacity_per_shard: usize,
+    /// Honor `panic` frames (fault injection). Off in production.
+    pub chaos_panics: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen: Listen::Tcp("127.0.0.1:0".to_string()),
+            workers: 2,
+            engine_threads: 1,
+            queue_capacity: 64,
+            default_deadline_ms: 10_000,
+            retry_after_ms: 50,
+            max_line_bytes: MAX_FRAME_BYTES,
+            idle_timeout_ms: 10_000,
+            max_connections: 64,
+            cache_shards: 8,
+            cache_capacity_per_shard: 64,
+            chaos_panics: false,
+        }
+    }
+}
+
+/// What a worker hands back to the waiting connection thread.
+enum JobOutcome {
+    Done(Arc<str>),
+    Failed(String),
+    Shed,
+}
+
+/// Work items flowing through the queue.
+enum Work {
+    Run(Box<ResolvedJob>),
+    InjectedPanic,
+}
+
+struct QueuedJob {
+    work: Work,
+    reply: mpsc::Sender<JobOutcome>,
+}
+
+enum FrameOutcome {
+    Reply(String),
+    ReplyThenDrain(String),
+}
+
+enum WorkerExit {
+    Drained,
+    Respawn,
+}
+
+struct Shared {
+    config: ServerConfig,
+    queue: BoundedQueue<QueuedJob>,
+    cache: ResultCache,
+    metrics: ServeMetrics,
+    draining: AtomicBool,
+    active_connections: AtomicUsize,
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        quva_obs::counter("serve.drain", 1);
+    }
+
+    /// Decodes and answers one frame. Always produces a response line.
+    fn handle_frame(&self, line: &str) -> FrameOutcome {
+        let _span = quva_obs::span("serve", "request");
+        ServeMetrics::bump(&self.metrics.requests);
+        quva_obs::counter("serve.requests", 1);
+        let request = match parse_request(line) {
+            Err(e) => {
+                ServeMetrics::bump(&self.metrics.malformed_frames);
+                ServeMetrics::bump(&self.metrics.errors);
+                quva_obs::counter("serve.malformed", 1);
+                return FrameOutcome::Reply(
+                    Response::Error {
+                        id: e.id,
+                        message: e.message,
+                    }
+                    .render(),
+                );
+            }
+            Ok(r) => r,
+        };
+        let id = request.id;
+        match request.kind {
+            RequestKind::Ping => {
+                ServeMetrics::bump(&self.metrics.ok);
+                FrameOutcome::Reply(
+                    Response::Ok {
+                        id,
+                        result: "{\"pong\":true}".to_string(),
+                    }
+                    .render(),
+                )
+            }
+            RequestKind::Stats => {
+                ServeMetrics::bump(&self.metrics.ok);
+                FrameOutcome::Reply(
+                    Response::Ok {
+                        id,
+                        result: self.metrics.render_json(),
+                    }
+                    .render(),
+                )
+            }
+            RequestKind::Shutdown => {
+                ServeMetrics::bump(&self.metrics.ok);
+                FrameOutcome::ReplyThenDrain(
+                    Response::Ok {
+                        id,
+                        result: "{\"draining\":true}".to_string(),
+                    }
+                    .render(),
+                )
+            }
+            RequestKind::Panic => {
+                if !self.config.chaos_panics {
+                    ServeMetrics::bump(&self.metrics.errors);
+                    return FrameOutcome::Reply(
+                        Response::Error {
+                            id,
+                            message: "panic injection disabled (start with --chaos)".to_string(),
+                        }
+                        .render(),
+                    );
+                }
+                FrameOutcome::Reply(self.submit(id, 9, self.config.default_deadline_ms, Work::InjectedPanic))
+            }
+            RequestKind::Job(spec) => FrameOutcome::Reply(self.handle_job(id, spec)),
+        }
+    }
+
+    /// Resolves, cache-checks, admits, and awaits one job.
+    fn handle_job(&self, id: String, spec: JobSpec) -> String {
+        if self.draining() {
+            ServeMetrics::bump(&self.metrics.shutting_down);
+            return Response::ShuttingDown { id }.render();
+        }
+        let resolved = match resolve(&spec) {
+            Err(message) => {
+                ServeMetrics::bump(&self.metrics.errors);
+                return Response::Error { id, message }.render();
+            }
+            Ok(r) => r,
+        };
+        // cache first: saturation cannot delay a result we already have
+        if let Some(hit) = self.cache.get(&resolved.key) {
+            ServeMetrics::bump(&self.metrics.cache_hits);
+            quva_obs::counter("serve.cache.hit", 1);
+            ServeMetrics::bump(&self.metrics.ok);
+            return Response::Ok {
+                id,
+                result: hit.to_string(),
+            }
+            .render();
+        }
+        quva_obs::counter("serve.cache.miss", 1);
+        let deadline_ms = spec.deadline_ms.unwrap_or(self.config.default_deadline_ms);
+        self.submit(id, spec.priority, deadline_ms, Work::Run(Box::new(resolved)))
+    }
+
+    /// Pushes work through admission control and waits for its
+    /// outcome or deadline. Always returns a rendered response.
+    fn submit(&self, id: String, priority: u8, deadline_ms: u64, work: Work) -> String {
+        let (reply, outcome) = mpsc::channel();
+        match self.queue.push(priority, QueuedJob { work, reply }) {
+            Push::Admitted => {}
+            Push::Shed(loser) => {
+                // lower-priority queued job evicted to make room
+                ServeMetrics::bump(&self.metrics.shed);
+                quva_obs::counter("serve.shed", 1);
+                let _ = loser.reply.send(JobOutcome::Shed);
+            }
+            Push::Rejected(_) => {
+                ServeMetrics::bump(&self.metrics.overloaded);
+                quva_obs::counter("serve.retry_after", 1);
+                return Response::Overloaded {
+                    id,
+                    retry_after_ms: self.config.retry_after_ms,
+                }
+                .render();
+            }
+            Push::Closed(_) => {
+                ServeMetrics::bump(&self.metrics.shutting_down);
+                return Response::ShuttingDown { id }.render();
+            }
+        }
+        ServeMetrics::bump(&self.metrics.cache_misses);
+        quva_obs::observe("serve.queue.depth", self.queue.len() as f64);
+        match outcome.recv_timeout(Duration::from_millis(deadline_ms)) {
+            Ok(JobOutcome::Done(result)) => {
+                ServeMetrics::bump(&self.metrics.ok);
+                Response::Ok {
+                    id,
+                    result: result.to_string(),
+                }
+                .render()
+            }
+            Ok(JobOutcome::Failed(message)) => {
+                ServeMetrics::bump(&self.metrics.errors);
+                Response::Error { id, message }.render()
+            }
+            Ok(JobOutcome::Shed) => {
+                ServeMetrics::bump(&self.metrics.overloaded);
+                Response::Overloaded {
+                    id,
+                    retry_after_ms: self.config.retry_after_ms,
+                }
+                .render()
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                ServeMetrics::bump(&self.metrics.deadline_exceeded);
+                quva_obs::counter("serve.deadline_exceeded", 1);
+                Response::DeadlineExceeded { id, deadline_ms }.render()
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                // worker died between pop and reply — backstop path
+                ServeMetrics::bump(&self.metrics.errors);
+                Response::Error {
+                    id,
+                    message: "worker unavailable".to_string(),
+                }
+                .render()
+            }
+        }
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// One worker's pop-execute loop. Returns on drain or after a caught
+/// job panic (so the supervisor can count the respawn).
+fn worker_iterations(shared: &Shared) -> WorkerExit {
+    let engine = McEngine::new(shared.config.engine_threads.max(1));
+    loop {
+        let job = match shared.queue.pop(Duration::from_millis(100)) {
+            Pop::Item(job) => job,
+            Pop::TimedOut => continue,
+            Pop::Drained => return WorkerExit::Drained,
+        };
+        quva_obs::observe("serve.queue.depth", shared.queue.len() as f64);
+        let _span = quva_obs::span("serve", "job");
+        match job.work {
+            Work::InjectedPanic => {
+                let caught = catch_unwind(AssertUnwindSafe(|| -> () { panic!("injected chaos panic") }));
+                if let Err(payload) = caught {
+                    ServeMetrics::bump(&shared.metrics.worker_panics);
+                    quva_obs::counter("serve.worker.panic", 1);
+                    let _ = job.reply.send(JobOutcome::Failed(format!(
+                        "worker panicked: {}",
+                        panic_text(payload.as_ref())
+                    )));
+                    return WorkerExit::Respawn;
+                }
+            }
+            Work::Run(resolved) => {
+                let caught = catch_unwind(AssertUnwindSafe(|| execute(&resolved, engine)));
+                match caught {
+                    Ok(Ok(text)) => {
+                        let rendered: Arc<str> = Arc::from(text.as_str());
+                        shared.cache.insert(resolved.key.clone(), Arc::clone(&rendered));
+                        quva_obs::counter("serve.cache.insert", 1);
+                        let _ = job.reply.send(JobOutcome::Done(rendered));
+                    }
+                    Ok(Err(message)) => {
+                        let _ = job.reply.send(JobOutcome::Failed(message));
+                    }
+                    Err(payload) => {
+                        ServeMetrics::bump(&shared.metrics.worker_panics);
+                        quva_obs::counter("serve.worker.panic", 1);
+                        let _ = job.reply.send(JobOutcome::Failed(format!(
+                            "worker panicked: {}",
+                            panic_text(payload.as_ref())
+                        )));
+                        return WorkerExit::Respawn;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Worker supervisor: re-arms the loop after every caught panic and
+/// flushes this thread's obs buffers before exiting.
+fn worker_main(shared: &Arc<Shared>) {
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| worker_iterations(shared))) {
+            Ok(WorkerExit::Drained) => break,
+            Ok(WorkerExit::Respawn) => {
+                ServeMetrics::bump(&shared.metrics.worker_respawns);
+                quva_obs::counter("serve.worker.respawn", 1);
+            }
+            Err(_) => {
+                // a panic escaped the per-job guard (supervisor backstop)
+                ServeMetrics::bump(&shared.metrics.worker_panics);
+                ServeMetrics::bump(&shared.metrics.worker_respawns);
+                quva_obs::counter("serve.worker.respawn", 1);
+            }
+        }
+    }
+    quva_obs::flush();
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn set_read_timeout(&self, timeout: Duration) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(Some(timeout)),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(Some(timeout)),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                let _ = s.set_nodelay(true); // latency over batching
+                Stream::Tcp(s)
+            }),
+            #[cfg(unix)]
+            Listener::Unix(l, _) => l.accept().map(|(s, _)| Stream::Unix(s)),
+        }
+    }
+
+    fn set_nonblocking(&self) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(true),
+            #[cfg(unix)]
+            Listener::Unix(l, _) => l.set_nonblocking(true),
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+fn write_line(stream: &mut Stream, line: &str) -> io::Result<()> {
+    // one write per frame: a separate 1-byte newline write interacts
+    // with Nagle + delayed ACK and costs ~40ms per response on TCP
+    let mut framed = Vec::with_capacity(line.len() + 1);
+    framed.extend_from_slice(line.as_bytes());
+    framed.push(b'\n');
+    stream.write_all(&framed)?;
+    stream.flush()
+}
+
+/// Reads frames off one connection until EOF, error, idle timeout, or
+/// drain; answers every complete frame.
+fn handle_connection(mut stream: Stream, shared: &Arc<Shared>) {
+    let poll = Duration::from_millis(shared.config.idle_timeout_ms.clamp(1, 250));
+    if stream.set_read_timeout(poll).is_err() {
+        return;
+    }
+    let idle_limit = Duration::from_millis(shared.config.idle_timeout_ms.max(1));
+    let mut pending: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 4096];
+    let mut last_activity = Instant::now();
+    loop {
+        while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let mut line: Vec<u8> = pending.drain(..=pos).collect();
+            line.pop(); // strip '\n'
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            last_activity = Instant::now();
+            if line.is_empty() {
+                continue;
+            }
+            let outcome = match String::from_utf8(line) {
+                Ok(text) => shared.handle_frame(&text),
+                Err(_) => {
+                    ServeMetrics::bump(&shared.metrics.malformed_frames);
+                    ServeMetrics::bump(&shared.metrics.errors);
+                    FrameOutcome::Reply(
+                        Response::Error {
+                            id: String::new(),
+                            message: "frame is not valid UTF-8".to_string(),
+                        }
+                        .render(),
+                    )
+                }
+            };
+            match outcome {
+                FrameOutcome::Reply(text) => {
+                    if write_line(&mut stream, &text).is_err() {
+                        return;
+                    }
+                }
+                FrameOutcome::ReplyThenDrain(text) => {
+                    // drain first: once the client reads this reply,
+                    // the daemon must already report itself draining
+                    shared.begin_drain();
+                    let _ = write_line(&mut stream, &text);
+                    return;
+                }
+            }
+        }
+        if pending.len() > shared.config.max_line_bytes {
+            ServeMetrics::bump(&shared.metrics.malformed_frames);
+            ServeMetrics::bump(&shared.metrics.errors);
+            let _ = write_line(
+                &mut stream,
+                &Response::Error {
+                    id: String::new(),
+                    message: format!("frame exceeds {} bytes", shared.config.max_line_bytes),
+                }
+                .render(),
+            );
+            return;
+        }
+        if shared.draining() && pending.is_empty() {
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return, // client closed; any queued work still completes
+            Ok(n) => {
+                pending.extend_from_slice(&buf[..n]);
+                last_activity = Instant::now();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+                if last_activity.elapsed() >= idle_limit {
+                    if !pending.is_empty() {
+                        // slow-loris: a frame stalled mid-line
+                        let _ = write_line(
+                            &mut stream,
+                            &Response::Error {
+                                id: String::new(),
+                                message: "connection idle mid-frame".to_string(),
+                            }
+                            .render(),
+                        );
+                    }
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn accept_loop(listener: Listener, shared: &Arc<Shared>) {
+    loop {
+        if shared.draining() {
+            break;
+        }
+        match listener.accept() {
+            Ok(mut stream) => {
+                let open = shared.active_connections.fetch_add(1, Ordering::SeqCst) + 1;
+                if open > shared.config.max_connections {
+                    ServeMetrics::bump(&shared.metrics.connections_rejected);
+                    let _ = write_line(
+                        &mut stream,
+                        &Response::Overloaded {
+                            id: String::new(),
+                            retry_after_ms: shared.config.retry_after_ms,
+                        }
+                        .render(),
+                    );
+                    shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+                    continue;
+                }
+                ServeMetrics::bump(&shared.metrics.connections);
+                quva_obs::counter("serve.connections", 1);
+                let conn_shared = Arc::clone(shared);
+                let handle = std::thread::spawn(move || {
+                    handle_connection(stream, &conn_shared);
+                    conn_shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+                    quva_obs::flush();
+                });
+                shared
+                    .conn_handles
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                // transient accept errors (e.g. aborted handshake)
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    drop(listener); // removes a unix socket file
+    quva_obs::flush();
+}
+
+/// A running daemon. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown`] (or send a `shutdown` frame) and
+/// then [`ServerHandle::join`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    local_addr: Option<SocketAddr>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("local_addr", &self.local_addr)
+            .field("draining", &self.shared.draining())
+            .finish()
+    }
+}
+
+impl ServerHandle {
+    /// The bound TCP address (None for unix-socket servers). With a
+    /// `127.0.0.1:0` config this is where the ephemeral port lives.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+
+    /// Begins graceful drain: stop accepting, refuse new jobs, let
+    /// in-flight jobs finish or deadline-expire. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Whether drain has begun (via [`ServerHandle::shutdown`] or a
+    /// client `shutdown` frame).
+    pub fn draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    /// A point-in-time snapshot of the server metrics as JSON.
+    pub fn metrics_json(&self) -> String {
+        self.shared.metrics.render_json()
+    }
+
+    /// Blocks until the daemon has fully drained: accept loop stopped,
+    /// every connection closed, the queue drained, every worker exited
+    /// (each flushing its obs buffers). Returns the final metrics
+    /// snapshot.
+    ///
+    /// Without a prior [`ServerHandle::shutdown`] this blocks until a
+    /// client sends a `shutdown` frame — that is the daemon's normal
+    /// "run until asked to stop" mode.
+    pub fn join(mut self) -> String {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        loop {
+            let handles: Vec<JoinHandle<()>> = {
+                let mut guard = self
+                    .shared
+                    .conn_handles
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                guard.drain(..).collect()
+            };
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        quva_obs::flush();
+        self.shared.metrics.render_json()
+    }
+}
+
+/// A `quva-serve` daemon instance.
+#[derive(Debug)]
+pub struct Server;
+
+impl Server {
+    /// Binds the configured socket and spawns the accept loop and
+    /// worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the socket cannot be bound.
+    pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
+        let (listener, local_addr) = match &config.listen {
+            Listen::Tcp(addr) => {
+                let l = TcpListener::bind(addr)?;
+                let local = l.local_addr()?;
+                (Listener::Tcp(l), Some(local))
+            }
+            #[cfg(unix)]
+            Listen::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                (Listener::Unix(l, path.clone()), None)
+            }
+        };
+        listener.set_nonblocking()?;
+
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            cache: ResultCache::new(config.cache_shards, config.cache_capacity_per_shard),
+            metrics: ServeMetrics::default(),
+            draining: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            conn_handles: Mutex::new(Vec::new()),
+            config,
+        });
+
+        let workers = (0..shared.config.workers.max(1))
+            .map(|_| {
+                let worker_shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_main(&worker_shared))
+            })
+            .collect();
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || accept_loop(listener, &accept_shared));
+
+        Ok(ServerHandle {
+            shared,
+            accept: Some(accept),
+            workers,
+            local_addr,
+        })
+    }
+}

@@ -1,0 +1,211 @@
+//! End-to-end robustness tests for the `quvad` daemon: determinism of
+//! cached responses, deadline enforcement, graceful drain with
+//! in-flight work, the connection-count gate, and the unix-socket
+//! transport.
+//!
+//! Observability assertions live in `serve_trace.rs` (the `quva-obs`
+//! recorder is process-global; that test binary keeps it isolated).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+use quva_serve::{Server, ServerConfig, ServerHandle};
+
+fn spawn(config: ServerConfig) -> (ServerHandle, String) {
+    let handle = Server::spawn(config).expect("daemon spawns");
+    let addr = handle.local_addr().expect("tcp address").to_string();
+    (handle, addr)
+}
+
+fn open(addr: &str) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+fn send(stream: &mut TcpStream, line: &str) {
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("send frame");
+}
+
+fn recv(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).expect("recv response");
+    assert!(n > 0, "connection closed before a response arrived");
+    line.trim_end().to_string()
+}
+
+fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    send(stream, line);
+    recv(reader)
+}
+
+#[test]
+fn identical_payloads_yield_byte_identical_responses_with_cache_hit() {
+    let (handle, addr) = spawn(ServerConfig::default());
+    let (mut stream, mut reader) = open(&addr);
+    let job = "{\"id\":\"j1\",\"kind\":\"simulate\",\"device\":\"q20\",\"policy\":\"vqm\",\
+               \"benchmark\":\"bv:6\",\"trials\":5000,\"seed\":3}";
+    let first = roundtrip(&mut stream, &mut reader, job);
+    let second = roundtrip(&mut stream, &mut reader, job);
+    assert!(first.contains("\"status\":\"ok\""), "{first}");
+    assert_eq!(first, second, "cached response must be byte-identical");
+    // the same payload from a different connection is also identical
+    let (mut s2, mut r2) = open(&addr);
+    let third = roundtrip(&mut s2, &mut r2, job);
+    assert_eq!(first, third);
+    let stats = roundtrip(&mut stream, &mut reader, "{\"id\":\"s\",\"kind\":\"stats\"}");
+    let doc = quva_obs::parse_json(&stats).expect("stats parse");
+    let hits = doc
+        .get("result")
+        .and_then(|r| r.get("cache_hits"))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    assert!(hits >= 2.0, "expected recorded cache hits, got {stats}");
+    drop((stream, reader, s2, r2));
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn per_request_deadline_yields_typed_deadline_exceeded() {
+    // one worker, and it is busy: the second job cannot start within
+    // its 1ms deadline
+    let (handle, addr) = spawn(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let (mut blocker, mut blocker_reader) = open(&addr);
+    send(
+        &mut blocker,
+        "{\"id\":\"slow\",\"kind\":\"simulate\",\"device\":\"q20\",\"policy\":\"vqm\",\
+         \"benchmark\":\"bv:8\",\"trials\":2000000,\"seed\":1}",
+    );
+    thread::sleep(Duration::from_millis(100)); // let the worker pick it up
+    let (mut stream, mut reader) = open(&addr);
+    let response = roundtrip(
+        &mut stream,
+        &mut reader,
+        "{\"id\":\"urgent\",\"kind\":\"audit\",\"device\":\"q5\",\"policy\":\"vqm\",\
+         \"benchmark\":\"ghz:3\",\"deadline_ms\":1}",
+    );
+    assert!(
+        response.contains("\"status\":\"deadline_exceeded\"") && response.contains("\"deadline_ms\":1"),
+        "{response}"
+    );
+    // the slow job itself still completes
+    let slow = recv(&mut blocker_reader);
+    assert!(slow.contains("\"status\":\"ok\""), "{slow}");
+    drop((stream, reader, blocker, blocker_reader));
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn graceful_drain_completes_in_flight_work_and_refuses_new_work() {
+    let (handle, addr) = spawn(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    // conn A: a job long enough to still be running when drain begins
+    let (mut a, mut a_reader) = open(&addr);
+    send(
+        &mut a,
+        "{\"id\":\"inflight\",\"kind\":\"simulate\",\"device\":\"q20\",\"policy\":\"vqm\",\
+         \"benchmark\":\"bv:8\",\"trials\":2000000,\"seed\":7}",
+    );
+    // conn D opens before the drain so it survives the accept-loop exit
+    let (mut d, mut d_reader) = open(&addr);
+    assert!(
+        roundtrip(&mut d, &mut d_reader, "{\"id\":\"p\",\"kind\":\"ping\"}").contains("\"status\":\"ok\"")
+    );
+    thread::sleep(Duration::from_millis(100)); // job admitted and running
+                                               // conn B asks for the drain
+    let (mut b, mut b_reader) = open(&addr);
+    let bye = roundtrip(&mut b, &mut b_reader, "{\"id\":\"bye\",\"kind\":\"shutdown\"}");
+    assert!(bye.contains("\"draining\":true"), "{bye}");
+    assert!(handle.draining());
+    // new work on a pre-drain connection gets a typed shutting_down
+    let refused = roundtrip(
+        &mut d,
+        &mut d_reader,
+        "{\"id\":\"late\",\"kind\":\"audit\",\"device\":\"q5\",\"policy\":\"vqm\",\
+         \"benchmark\":\"ghz:3\"}",
+    );
+    assert!(refused.contains("\"status\":\"shutting_down\""), "{refused}");
+    // the in-flight job is not dropped: it completes with a typed ok
+    let inflight = recv(&mut a_reader);
+    assert!(inflight.contains("\"status\":\"ok\""), "{inflight}");
+    drop((a, a_reader, b, b_reader, d, d_reader));
+    let metrics = handle.join();
+    let doc = quva_obs::parse_json(&metrics).expect("metrics parse");
+    let ok = doc.get("ok").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let down = doc.get("shutting_down").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    assert!(ok >= 2.0, "{metrics}");
+    assert!(down >= 1.0, "{metrics}");
+}
+
+#[test]
+fn connection_gate_sheds_excess_clients_with_typed_overloaded() {
+    let (handle, addr) = spawn(ServerConfig {
+        max_connections: 1,
+        ..ServerConfig::default()
+    });
+    let (mut a, mut a_reader) = open(&addr);
+    assert!(
+        roundtrip(&mut a, &mut a_reader, "{\"id\":\"p\",\"kind\":\"ping\"}").contains("\"status\":\"ok\"")
+    );
+    let (_b, mut b_reader) = open(&addr);
+    let refused = recv(&mut b_reader);
+    assert!(refused.contains("\"status\":\"overloaded\""), "{refused}");
+    // once the first client leaves, a new one is admitted
+    drop((a, a_reader));
+    let admitted = (0..50).find_map(|_| {
+        thread::sleep(Duration::from_millis(20));
+        let (mut c, mut c_reader) = open(&addr);
+        let line = roundtrip(&mut c, &mut c_reader, "{\"id\":\"p2\",\"kind\":\"ping\"}");
+        line.contains("\"status\":\"ok\"").then_some(line)
+    });
+    assert!(admitted.is_some(), "slot was never released");
+    handle.shutdown();
+    handle.join();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_transport_serves_jobs() {
+    use std::os::unix::net::UnixStream;
+
+    let path = std::env::temp_dir().join(format!("quvad-test-{}.sock", std::process::id()));
+    let handle = Server::spawn(ServerConfig {
+        listen: quva_serve::Listen::Unix(path.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("unix daemon spawns");
+    let stream = UnixStream::connect(&path).expect("unix connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut stream = stream;
+    stream
+        .write_all(
+            b"{\"id\":\"u1\",\"kind\":\"audit\",\"device\":\"q5\",\"policy\":\"vqm\",\
+              \"benchmark\":\"ghz:3\"}\n",
+        )
+        .expect("send");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("recv");
+    assert!(line.contains("\"status\":\"ok\""), "{line}");
+    drop((stream, reader));
+    handle.shutdown();
+    handle.join();
+    assert!(!path.exists(), "socket file must be removed on drain");
+}

@@ -1,0 +1,78 @@
+//! Observability integration: a drained daemon leaves a complete,
+//! structurally valid Chrome trace behind — worker and connection
+//! threads flush their thread-local buffers before exiting, so no
+//! span or counter is lost.
+//!
+//! This is its own test binary (one `#[test]`) because the `quva-obs`
+//! recorder is process-global.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use quva_serve::{Server, ServerConfig};
+
+fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("send frame");
+    let mut response = String::new();
+    let n = reader.read_line(&mut response).expect("recv response");
+    assert!(n > 0, "connection closed early");
+    response.trim_end().to_string()
+}
+
+#[test]
+fn drained_daemon_leaves_a_valid_chrome_trace() {
+    quva_obs::reset();
+    quva_obs::enable();
+
+    let handle = Server::spawn(ServerConfig::default()).expect("daemon spawns");
+    let addr = handle.local_addr().expect("tcp address").to_string();
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut stream = stream;
+
+    assert!(
+        roundtrip(&mut stream, &mut reader, "{\"id\":\"p\",\"kind\":\"ping\"}").contains("\"status\":\"ok\"")
+    );
+    let job = "{\"id\":\"j\",\"kind\":\"simulate\",\"device\":\"q5\",\"policy\":\"vqm\",\
+               \"benchmark\":\"ghz:3\",\"trials\":5000,\"seed\":1}";
+    assert!(roundtrip(&mut stream, &mut reader, job).contains("\"status\":\"ok\""));
+    assert!(roundtrip(&mut stream, &mut reader, job).contains("\"status\":\"ok\"")); // cache hit
+    assert!(roundtrip(&mut stream, &mut reader, "not json").contains("\"status\":\"error\""));
+    drop((stream, reader));
+
+    handle.shutdown();
+    handle.join(); // joins every thread; each flushes its obs buffers
+
+    quva_obs::flush();
+    let report = quva_obs::drain();
+    quva_obs::disable();
+
+    // counters survived the thread exits
+    assert!(report.counters.get("serve.requests").copied().unwrap_or(0) >= 4);
+    assert!(report.counters.get("serve.connections").copied().unwrap_or(0) >= 1);
+    assert!(report.counters.get("serve.cache.hit").copied().unwrap_or(0) >= 1);
+    assert!(report.counters.get("serve.cache.miss").copied().unwrap_or(0) >= 1);
+    assert!(report.counters.get("serve.malformed").copied().unwrap_or(0) >= 1);
+    assert!(report.counters.get("serve.drain").copied().unwrap_or(0) >= 1);
+    // request spans from the connection thread, job spans from a worker
+    assert!(report.spans.iter().any(|s| s.name == "request"));
+    assert!(report.spans.iter().any(|s| s.name == "job"));
+    assert!(report.histograms.contains_key("serve.queue.depth"));
+
+    // the rendered trace passes the same structural validation the CI
+    // `trace-verify` command applies
+    let chrome = report.to_chrome_json();
+    let stats = quva_obs::validate_chrome_trace(&chrome).expect("valid chrome trace");
+    assert!(stats.spans >= 2, "{stats:?}");
+    assert!(
+        stats.threads >= 2,
+        "worker and connection lanes expected, got {stats:?}"
+    );
+}
