@@ -103,12 +103,28 @@ pub enum LintCode {
     /// strongest same-size region on the device (a missed-VQA
     /// allocation).
     WeakRegionAllocation,
+    /// Even the optimistic bound of the static cost envelope exceeds
+    /// the job's deadline: the job cannot finish in time on any
+    /// plausible host.
+    DeadlineInfeasibleJob,
+    /// The requested trial budget cannot reach the requested
+    /// confidence-interval width: the estimate will be noisier than
+    /// asked for no matter how the trials land.
+    TrialBudgetTooSmall,
+    /// The worst-case SWAP overhead dwarfs the source program: routing
+    /// on this topology can blow the compile and execution cost up by
+    /// more than the configured ratio.
+    PathologicalRoutingBlowup,
+    /// The pessimistic bound of the rendered-response size exceeds the
+    /// wire protocol's frame budget: the daemon would refuse to frame
+    /// the result.
+    ResponseExceedsFrameBudget,
 }
 
 impl LintCode {
     /// Every released code, in code order. The doc-sync test walks this
     /// to keep the DESIGN.md code table and the enum in lockstep.
-    pub const ALL: [LintCode; 20] = [
+    pub const ALL: [LintCode; 24] = [
         LintCode::OffCouplerGate,
         LintCode::DisabledLinkGate,
         LintCode::PermutationMismatch,
@@ -129,6 +145,10 @@ impl LintCode {
         LintCode::ExcessiveIdling,
         LintCode::MissedVqmRoute,
         LintCode::WeakRegionAllocation,
+        LintCode::DeadlineInfeasibleJob,
+        LintCode::TrialBudgetTooSmall,
+        LintCode::PathologicalRoutingBlowup,
+        LintCode::ResponseExceedsFrameBudget,
     ];
 
     /// Resolves a `QVnnn` code or a slug name back to its variant.
@@ -170,6 +190,10 @@ impl LintCode {
             LintCode::ExcessiveIdling => "QV303",
             LintCode::MissedVqmRoute => "QV304",
             LintCode::WeakRegionAllocation => "QV305",
+            LintCode::DeadlineInfeasibleJob => "QV401",
+            LintCode::TrialBudgetTooSmall => "QV402",
+            LintCode::PathologicalRoutingBlowup => "QV403",
+            LintCode::ResponseExceedsFrameBudget => "QV404",
         }
     }
 
@@ -196,6 +220,10 @@ impl LintCode {
             LintCode::ExcessiveIdling => "excessive-idling",
             LintCode::MissedVqmRoute => "missed-vqm-route",
             LintCode::WeakRegionAllocation => "weak-region-allocation",
+            LintCode::DeadlineInfeasibleJob => "deadline-infeasible-job",
+            LintCode::TrialBudgetTooSmall => "trial-budget-too-small",
+            LintCode::PathologicalRoutingBlowup => "pathological-routing-blowup",
+            LintCode::ResponseExceedsFrameBudget => "response-exceeds-frame-budget",
         }
     }
 
@@ -221,7 +249,11 @@ impl LintCode {
             | LintCode::LowEspBound
             | LintCode::ExcessiveIdling
             | LintCode::MissedVqmRoute
-            | LintCode::WeakRegionAllocation => Severity::Warning,
+            | LintCode::WeakRegionAllocation
+            | LintCode::DeadlineInfeasibleJob
+            | LintCode::TrialBudgetTooSmall
+            | LintCode::PathologicalRoutingBlowup
+            | LintCode::ResponseExceedsFrameBudget => Severity::Warning,
         }
     }
 
@@ -282,6 +314,19 @@ impl LintCode {
                 "the allocated physical region is substantially weaker than the strongest same-size \
                  region on the device"
             }
+            LintCode::DeadlineInfeasibleJob => {
+                "even the optimistic bound of the static cost envelope exceeds the job's deadline"
+            }
+            LintCode::TrialBudgetTooSmall => {
+                "the trial budget cannot reach the requested confidence-interval width"
+            }
+            LintCode::PathologicalRoutingBlowup => {
+                "worst-case SWAP overhead on this topology dwarfs the source program"
+            }
+            LintCode::ResponseExceedsFrameBudget => {
+                "the pessimistic bound of the rendered-response size exceeds the wire protocol's \
+                 frame budget"
+            }
         }
     }
 
@@ -333,6 +378,22 @@ impl LintCode {
             LintCode::WeakRegionAllocation => {
                 "a variability-aware allocator (VQA) would have placed the program on a stronger \
                  subgraph — the gap is free PST"
+            }
+            LintCode::DeadlineInfeasibleJob => {
+                "running the job would burn a worker slot only to miss the deadline anyway; reject \
+                 it at admission and let the client resize or re-budget"
+            }
+            LintCode::TrialBudgetTooSmall => {
+                "the Monte-Carlo estimate will be wider than the requested interval — either raise \
+                 the trial budget or relax the width before spending compute"
+            }
+            LintCode::PathologicalRoutingBlowup => {
+                "the cost envelope degenerates on long-diameter topologies; pick a denser device or \
+                 shrink the program before trusting static admission decisions"
+            }
+            LintCode::ResponseExceedsFrameBudget => {
+                "a response the daemon cannot frame is indistinguishable from a failed job to the \
+                 client; trim the workload or raise the frame budget"
             }
         }
     }

@@ -9,7 +9,7 @@
 //! Four layers:
 //!
 //! - **Diagnostics** ([`Diagnostic`], [`Severity`], stable [`LintCode`]s
-//!   `QV001`–`QV305`, gate-index [`Span`]s) aggregated into a [`Report`]
+//!   `QV001`–`QV404`, gate-index [`Span`]s) aggregated into a [`Report`]
 //!   renderable as text or JSON.
 //! - **Passes** ([`CircuitPass`] over logical circuits, [`CompiledPass`]
 //!   over compiler output) collected in a [`PassRegistry`].
@@ -25,8 +25,9 @@
 //!
 //! Severity policy: `QV0xx` codes are [`Severity::Error`] — the artifact
 //! is illegal or semantically wrong and verification fails. `QV1xx`,
-//! `QV2xx`, and the reliability block `QV3xx` are [`Severity::Warning`]
-//! — legal but suspicious or wasteful; a report with only warnings still
+//! `QV2xx`, the reliability block `QV3xx`, and the cost block `QV4xx`
+//! are [`Severity::Warning`] — legal but suspicious, wasteful, or
+//! budget-hostile; a report with only warnings still
 //! [`Report::is_clean`].
 //!
 //! ## Examples
@@ -80,6 +81,10 @@ pub mod passes;
 pub use audit::{audit_compiled, audit_with, AuditReport, QubitReliability};
 pub use diagnostic::{Diagnostic, LintCode, Report, Severity, Span};
 pub use pass::{CircuitPass, CompiledContext, CompiledPass, PassRegistry};
+pub use passes::cost::{
+    cost_envelope, envelope_of, per_qubit_events, total_events, CostBudget, CostEnvelope, CostInterval,
+    CostModel, FRAME_BUDGET_BYTES,
+};
 pub use passes::esp::{
     esp_interval, link_attribution, per_qubit_esp, EspConfig, EspInterval, LinkAttribution,
 };

@@ -101,6 +101,7 @@ impl PassRegistry {
         r.register_compiled_pass(Box::new(passes::decoherence::DecoherenceExposure::default()));
         r.register_compiled_pass(Box::new(passes::routing::MissedVqm::default()));
         r.register_compiled_pass(Box::new(passes::region::WeakRegion::default()));
+        r.register_compiled_pass(Box::new(passes::cost::CostBudget::default()));
         r
     }
 

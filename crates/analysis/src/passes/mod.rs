@@ -4,6 +4,7 @@
 //! wires them all up in a fixed order.
 
 pub mod calibration;
+pub mod cost;
 pub mod coupler;
 pub mod decoherence;
 pub mod esp;

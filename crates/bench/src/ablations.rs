@@ -117,9 +117,11 @@ pub fn ablation_correlated_errors() -> Table {
     ]);
     for bench in [Benchmark::bv(16), Benchmark::bv(20), Benchmark::alu()] {
         let pst_corr = |policy: MappingPolicy, seed: u64| -> f64 {
-            let compiled = policy.compile(bench.circuit(), &device).expect("suite compiles");
+            let compiled = policy
+                .compile(bench.circuit(), &device)
+                .unwrap_or_else(|e| panic!("suite compiles: {e}"));
             monte_carlo_pst_correlated(&device, compiled.physical(), trials, seed, model)
-                .expect("routed circuit evaluates")
+                .unwrap_or_else(|e| panic!("routed circuit evaluates: {e}"))
                 .pst
         };
         let base = pst_corr(MappingPolicy::baseline(), 1);
@@ -153,9 +155,11 @@ pub fn ablation_crosstalk() -> Table {
     ]);
     for bench in table1_suite() {
         let pst_xt = |policy: MappingPolicy| -> f64 {
-            let compiled = policy.compile(bench.circuit(), &device).expect("suite compiles");
+            let compiled = policy
+                .compile(bench.circuit(), &device)
+                .unwrap_or_else(|e| panic!("suite compiles: {e}"));
             analytic_pst_with_crosstalk(&device, compiled.physical(), CoherenceModel::Disabled, model)
-                .expect("routed circuit evaluates")
+                .unwrap_or_else(|e| panic!("routed circuit evaluates: {e}"))
                 .pst
         };
         let base = pst_xt(MappingPolicy::baseline());
@@ -210,13 +214,13 @@ pub fn ablation_router() -> Table {
     for bench in table1_suite() {
         let stepwise = MappingPolicy::vqm()
             .compile(bench.circuit(), &device)
-            .expect("suite compiles");
+            .unwrap_or_else(|e| panic!("suite compiles: {e}"));
         let plan = MappingPolicy::vqm()
             .compile_plan_based(bench.circuit(), &device)
-            .expect("suite compiles plan-based");
+            .unwrap_or_else(|e| panic!("suite compiles plan-based: {e}"));
         let pst = |c: &quva::CompiledCircuit| {
             c.analytic_pst(&device, CoherenceModel::Disabled)
-                .expect("routed")
+                .unwrap_or_else(|e| panic!("routed: {e}"))
                 .pst
         };
         let (ps, pp) = (pst(&stepwise), pst(&plan));

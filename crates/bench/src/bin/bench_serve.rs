@@ -30,6 +30,9 @@ use std::net::TcpStream;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use quva_analysis::{cost_envelope, CostModel};
+use quva_bench::cost_check::{violations, CostCheck};
+use quva_device::Device;
 use quva_serve::{Backoff, Server, ServerConfig, ServerHandle};
 
 struct Config {
@@ -268,6 +271,48 @@ fn main() {
     // daemon-side counters for the shed / cache-hit rates
     let mut stream = connect(&addr);
     let mut reader = BufReader::new(stream.try_clone().unwrap_or_else(|e| die(&format!("clone: {e}"))));
+
+    // Envelope probe: one *uncached* simulate round-trip (ghz:6 is not
+    // in the traffic mix) against the statically predicted total
+    // envelope. The queue is idle by now, so the fixed overhead terms
+    // in `hi` cover protocol, dispatch, and result rendering; the
+    // slack factors live in `CostModel` (mc_slack / compile_slack).
+    let probe_trials: u64 = 2_000;
+    let probe_env = cost_envelope(
+        &Device::ibm_q20(),
+        quva_benchmarks::Benchmark::ghz(6).circuit(),
+        probe_trials,
+        &CostModel::default(),
+    );
+    let probe_line = format!(
+        "{{\"id\":\"envelope-probe\",\"kind\":\"simulate\",\"device\":\"q20\",\"policy\":\"vqm\",\
+         \"benchmark\":\"ghz:6\",\"trials\":{probe_trials},\"seed\":7}}"
+    );
+    let probe_start = Instant::now();
+    let probe_response = roundtrip(&mut stream, &mut reader, &probe_line)
+        .unwrap_or_else(|e| die(&format!("envelope probe failed: {e}")));
+    let probe_ns = probe_start.elapsed().as_nanos() as f64;
+    if !probe_response.contains("\"status\":\"ok\"") {
+        die(&format!("envelope probe got a non-ok response: {probe_response}"));
+    }
+    let probe_check = CostCheck {
+        resource: "serve_total_ns",
+        measured_ns: probe_ns,
+        bound: probe_env.total_ns(),
+    };
+    let probe_violations = violations("simulate/ghz-6/ibm-q20/vqm", &[probe_check]);
+    for v in &probe_violations {
+        eprintln!("bench_serve: envelope {v}");
+    }
+    let envelope_holds = probe_violations.is_empty();
+    eprintln!(
+        "envelope probe: {} ({:.1} ms measured, [{:.1}, {:.1}] ms predicted)",
+        if envelope_holds { "HOLDS" } else { "VIOLATED" },
+        probe_ns / 1e6,
+        probe_env.total_ns().lo / 1e6,
+        probe_env.total_ns().hi / 1e6,
+    );
+
     let stats = roundtrip(&mut stream, &mut reader, "{\"id\":\"stats\",\"kind\":\"stats\"}")
         .unwrap_or_else(|e| die(&format!("stats request failed: {e}")));
     if cfg.shutdown {
@@ -327,7 +372,13 @@ fn main() {
     json.push_str(&format!("  \"p99_us\": {p99_us},\n"));
     json.push_str(&format!("  \"throughput_rps\": {throughput_rps},\n"));
     json.push_str(&format!("  \"shed_rate\": {shed_rate},\n"));
-    json.push_str(&format!("  \"cache_hit_rate\": {cache_hit_rate}\n"));
+    json.push_str(&format!("  \"cache_hit_rate\": {cache_hit_rate},\n"));
+    json.push_str(&format!(
+        "  \"envelope_probe\": {{\"measured_ns\": {probe_ns}, \"lo_ns\": {}, \"hi_ns\": {}, \
+         \"holds\": {envelope_holds}}}\n",
+        probe_env.total_ns().lo,
+        probe_env.total_ns().hi,
+    ));
     json.push_str("}\n");
     std::fs::write(&cfg.out, &json).unwrap_or_else(|e| die(&format!("cannot write {}: {e}", cfg.out)));
     println!("wrote {} (p99 {p99_us} us, {throughput_rps:.1} req/s)", cfg.out);
@@ -367,6 +418,10 @@ fn main() {
                 (1.0 - throughput_rps / base_rps) * 100.0,
                 cfg.tolerance * 100.0
             );
+            failed = true;
+        }
+        if !envelope_holds {
+            eprintln!("bench_serve: FAIL — uncached round-trip escaped the predicted cost envelope");
             failed = true;
         }
         if failed {

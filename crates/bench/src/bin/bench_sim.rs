@@ -21,6 +21,8 @@
 //! uninstrumented reference loop (`McEngine::run_reference`).
 
 use quva::MappingPolicy;
+use quva_analysis::{cost_envelope, total_events, CostModel};
+use quva_bench::cost_check::{violations, CostCheck};
 use quva_device::Device;
 use quva_sim::{CoherenceModel, FailureProfile, McEngine};
 use std::time::Instant;
@@ -152,9 +154,12 @@ fn baseline_ns_per_trial(path: &str) -> f64 {
 fn main() {
     let cfg = parse_args();
     let device = Device::ibm_q20();
+    let program = quva_benchmarks::bv(16);
+    let compile_start = Instant::now();
     let compiled = MappingPolicy::baseline()
-        .compile(&quva_benchmarks::bv(16), &device)
+        .compile(&program, &device)
         .expect("bv-16 compiles on ibm-q20");
+    let compile_ns = compile_start.elapsed().as_nanos() as f64;
     let profile = FailureProfile::new(&device, compiled.physical(), CoherenceModel::Disabled)
         .expect("compiled circuit is routed");
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -207,6 +212,32 @@ fn main() {
         .find(|r| r.name == "threads-4")
         .map_or(1.0, |r| seq / r.ns_per_trial);
 
+    // Envelope-validation stage: predict [lo, hi] wall-clock bounds
+    // from the *logical* circuit with the shipped default CostModel
+    // (the model quvad admits jobs on), then require this run's
+    // measured compile and sequential Monte-Carlo times to land inside
+    // the band. The slack factors making this fair across host speeds
+    // are part of the model (`CostModel::mc_slack` / `compile_slack`).
+    let envelope = cost_envelope(&device, &program, cfg.trials, &CostModel::default());
+    let checks = [
+        CostCheck {
+            resource: "compile_ns",
+            measured_ns: compile_ns,
+            bound: envelope.compile_ns,
+        },
+        CostCheck {
+            resource: "mc_ns",
+            measured_ns: rows[0].ns as f64,
+            bound: envelope.mc_ns,
+        },
+    ];
+    let envelope_violations = violations("run_trials/bv-16/ibm-q20/baseline", &checks);
+    for v in &envelope_violations {
+        eprintln!("bench_sim: envelope {v}");
+    }
+    let envelope_holds = envelope_violations.is_empty();
+    eprintln!("envelope: {}", if envelope_holds { "HOLDS" } else { "VIOLATED" });
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"quva-bench-sim/v1\",\n");
@@ -223,6 +254,16 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"envelope\": {{\"compile_lo_ns\": {}, \"compile_hi_ns\": {}, \"measured_compile_ns\": {}, \
+         \"mc_lo_ns\": {}, \"mc_hi_ns\": {}, \"measured_mc_ns\": {}, \"holds\": {envelope_holds}}},\n",
+        envelope.compile_ns.lo,
+        envelope.compile_ns.hi,
+        compile_ns,
+        envelope.mc_ns.lo,
+        envelope.mc_ns.hi,
+        rows[0].ns,
+    ));
     json.push_str(&format!("  \"obs_overhead\": {obs_overhead},\n"));
     json.push_str(&format!("  \"speedup_4t\": {speedup_4t}\n"));
     json.push_str("}\n");
@@ -259,6 +300,42 @@ fn main() {
             );
             std::process::exit(1);
         }
+        if !envelope_holds {
+            eprintln!("bench_sim: FAIL — measured wall-clock escaped the default-model cost envelope");
+            std::process::exit(1);
+        }
+        // Calibrate-predict-verify: the ns-per-event the committed
+        // baseline implies must still bound this host's measurements.
+        let text = std::fs::read_to_string(baseline)
+            .unwrap_or_else(|e| die(&format!("cannot read baseline {baseline}: {e}")));
+        let events_per_trial = total_events(compiled.physical()) as f64;
+        let calibrated = CostModel::from_bench(&text, events_per_trial).unwrap_or_else(|e| {
+            die(&format!(
+                "baseline {baseline} cannot calibrate the cost model: {e}"
+            ))
+        });
+        let recal = cost_envelope(&device, &program, cfg.trials, &calibrated);
+        let recal_checks = [
+            CostCheck {
+                resource: "compile_ns",
+                measured_ns: compile_ns,
+                bound: recal.compile_ns,
+            },
+            CostCheck {
+                resource: "mc_ns",
+                measured_ns: rows[0].ns as f64,
+                bound: recal.mc_ns,
+            },
+        ];
+        let recal_violations = violations("calibrated/bv-16/ibm-q20/baseline", &recal_checks);
+        if !recal_violations.is_empty() {
+            for v in &recal_violations {
+                eprintln!("bench_sim: envelope {v}");
+            }
+            eprintln!("bench_sim: FAIL — measured wall-clock escaped the baseline-calibrated envelope");
+            std::process::exit(1);
+        }
+        println!("envelope gate: PASS (default and baseline-calibrated models)");
         println!("regression gate: PASS");
     }
 }

@@ -1,0 +1,147 @@
+//! Envelope validation — the *verify* leg of the cost model's
+//! calibrate-predict-verify loop.
+//!
+//! [`quva_analysis::cost_envelope`] predicts `[lo, hi]` wall-clock
+//! bounds before a job runs; this module measures the job and judges
+//! the prediction. `bench_sim` and `bench_serve` call [`measure_case`]
+//! / [`violations`] as their envelope-validation stage (gated under
+//! `--check`), the `cost_envelope` proptest sweeps the table-1 suite
+//! across policies and seeded devices, and the deliberate
+//! miscalibration test below proves the gate actually trips when the
+//! model lies.
+//!
+//! The slack factors that make containment a fair test across CI hosts
+//! live in the model itself ([`quva_analysis::CostModel::mc_slack`],
+//! [`quva_analysis::CostModel::compile_slack`]) — this module adds no
+//! hidden margin of its own.
+
+use std::time::Instant;
+
+use quva::MappingPolicy;
+use quva_analysis::{cost_envelope, CostInterval, CostModel};
+use quva_benchmarks::Benchmark;
+use quva_device::Device;
+use quva_sim::{CoherenceModel, FailureProfile, McEngine};
+
+/// One resource's predicted-vs-measured comparison.
+#[derive(Debug, Clone)]
+pub struct CostCheck {
+    /// Which envelope component was measured (`"compile_ns"`, `"mc_ns"`).
+    pub resource: &'static str,
+    /// Measured wall-clock, nanoseconds.
+    pub measured_ns: f64,
+    /// The predicted `[lo, hi]` bound the measurement must fall inside.
+    pub bound: CostInterval,
+}
+
+impl CostCheck {
+    /// Whether the measurement fell inside the predicted bound.
+    pub fn holds(&self) -> bool {
+        self.bound.contains(self.measured_ns)
+    }
+}
+
+/// Compiles `bench` with `policy` and (when `trials > 0`) runs the
+/// sequential Monte-Carlo engine, timing both stages against the
+/// envelope predicted *before* either ran. The Monte-Carlo stage takes
+/// the best of one warmed rep, matching how `bench_sim` times the same
+/// loop.
+pub fn measure_case(
+    device: &Device,
+    bench: &Benchmark,
+    policy: &MappingPolicy,
+    trials: u64,
+    model: &CostModel,
+) -> Vec<CostCheck> {
+    let envelope = cost_envelope(device, bench.circuit(), trials, model);
+
+    let start = Instant::now();
+    let compiled = policy
+        .compile(bench.circuit(), device)
+        .unwrap_or_else(|e| panic!("{} failed to compile {}: {e}", policy.name(), bench.name()));
+    let compile_ns = start.elapsed().as_nanos() as f64;
+    let mut checks = vec![CostCheck {
+        resource: "compile_ns",
+        measured_ns: compile_ns,
+        bound: envelope.compile_ns,
+    }];
+
+    if trials > 0 {
+        let profile = FailureProfile::new(device, compiled.physical(), CoherenceModel::Disabled)
+            .unwrap_or_else(|e| panic!("compiled {} is routed: {e}", bench.name()));
+        let engine = McEngine::sequential();
+        engine.run(&profile, trials, 1); // warm-up, untimed
+        let start = Instant::now();
+        std::hint::black_box(engine.run(&profile, trials, 1));
+        checks.push(CostCheck {
+            resource: "mc_ns",
+            measured_ns: start.elapsed().as_nanos() as f64,
+            bound: envelope.mc_ns,
+        });
+    }
+    checks
+}
+
+/// Renders every failed check as a human-readable line; an empty vec
+/// means the envelope held for all measured resources.
+pub fn violations(label: &str, checks: &[CostCheck]) -> Vec<String> {
+    checks
+        .iter()
+        .filter(|c| !c.holds())
+        .map(|c| {
+            format!(
+                "{label}: measured {} {:.0} ns outside predicted [{:.0}, {:.0}]",
+                c.resource, c.measured_ns, c.bound.lo, c.bound.hi
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_model_passes_and_miscalibrated_model_trips_the_gate() {
+        let device = Device::ibm_q20();
+        let bench = Benchmark::bv(8);
+        let policy = MappingPolicy::vqm();
+
+        // A model claiming each fault event costs 10 us with no slack:
+        // the *optimistic* Monte-Carlo bound alone is seconds, so any
+        // real measurement lands below `lo` and the gate must trip —
+        // deterministically, on any host speed.
+        let lying = CostModel {
+            ns_per_event: 1.0e4,
+            mc_slack: 1.0,
+            ..CostModel::default()
+        };
+        let checks = measure_case(&device, &bench, &policy, 20_000, &lying);
+        assert!(
+            checks.iter().any(|c| c.resource == "mc_ns" && !c.holds()),
+            "miscalibrated model went undetected: {checks:?}"
+        );
+        assert!(!violations("bv-8/vqm", &checks).is_empty());
+
+        // The defaults (calibrated against the committed BENCH_sim
+        // baseline) must hold on the same case.
+        let honest = measure_case(&device, &bench, &policy, 20_000, &CostModel::default());
+        let bad = violations("bv-8/vqm", &honest);
+        assert!(bad.is_empty(), "{bad:?}");
+    }
+
+    #[test]
+    fn zero_trials_checks_compile_only() {
+        let device = Device::ibm_q5();
+        let checks = measure_case(
+            &device,
+            &Benchmark::ghz(4),
+            &MappingPolicy::baseline(),
+            0,
+            &CostModel::default(),
+        );
+        assert_eq!(checks.len(), 1);
+        assert_eq!(checks[0].resource, "compile_ns");
+        assert!(checks[0].holds(), "{checks:?}");
+    }
+}

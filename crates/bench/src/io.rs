@@ -8,14 +8,14 @@ use quva_stats::Table;
 /// The `results/` directory at the workspace root, created on demand.
 pub fn results_dir() -> PathBuf {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
-    fs::create_dir_all(&dir).expect("results directory must be creatable");
+    fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("results directory must be creatable: {e}"));
     dir
 }
 
 /// Writes a table as `results/<name>.csv` and returns the path.
 pub fn write_csv(name: &str, table: &Table) -> PathBuf {
     let path = results_dir().join(format!("{name}.csv"));
-    fs::write(&path, table.to_csv()).expect("results csv must be writable");
+    fs::write(&path, table.to_csv()).unwrap_or_else(|e| panic!("results csv must be writable: {e}"));
     path
 }
 

@@ -13,6 +13,7 @@ pub mod ablations;
 pub mod chaos;
 pub mod chaos_serve;
 pub mod characterization;
+pub mod cost_check;
 pub mod io;
 pub mod policy_eval;
 pub mod real_system;

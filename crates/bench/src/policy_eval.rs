@@ -113,7 +113,7 @@ pub fn pst_of(policy: MappingPolicy, benchmark: &Benchmark, device: &Device) -> 
         .unwrap_or_else(|e| panic!("{} failed to compile {}: {e}", policy.name(), benchmark.name()));
     let pst = compiled
         .analytic_pst(device, CoherenceModel::Disabled)
-        .expect("compiled circuits are routed")
+        .unwrap_or_else(|e| panic!("compiled circuits are routed: {e}"))
         .pst;
     if let Ok(mut cache) = pst_cache().lock() {
         cache.insert(key, pst);
@@ -128,10 +128,10 @@ pub fn pst_of(policy: MappingPolicy, benchmark: &Benchmark, device: &Device) -> 
 pub fn coherence_ratio(benchmark: &Benchmark, device: &Device) -> f64 {
     let compiled = MappingPolicy::baseline()
         .compile(benchmark.circuit(), device)
-        .expect("benchmark compiles on the evaluation device");
+        .unwrap_or_else(|e| panic!("benchmark compiles on the evaluation device: {e}"));
     compiled
         .analytic_pst(device, CoherenceModel::IdleWindow)
-        .expect("compiled circuits are routed")
+        .unwrap_or_else(|e| panic!("compiled circuits are routed: {e}"))
         .gate_to_coherence_ratio()
 }
 
@@ -143,7 +143,7 @@ pub fn table1_benchmarks() -> Table {
     for b in table1_suite() {
         let compiled = MappingPolicy::baseline()
             .compile(b.circuit(), &device)
-            .expect("table-1 workloads compile on Q20");
+            .unwrap_or_else(|e| panic!("table-1 workloads compile on Q20: {e}"));
         table.row([
             b.name().to_string(),
             b.circuit().num_qubits().to_string(),
@@ -244,7 +244,8 @@ pub fn fig14_daily() -> Table {
     let mut covs = Vec::with_capacity(DAYS);
     for (d, cal) in days.into_iter().enumerate() {
         let cov = cal.two_qubit_cov();
-        let device = Device::from_parts(topo.clone(), cal).expect("daily calibration matches topology");
+        let device = Device::from_parts(topo.clone(), cal)
+            .unwrap_or_else(|e| panic!("daily calibration matches topology: {e}"));
         let base = pst_of(MappingPolicy::baseline(), &bench, &device);
         let aware = pst_of(MappingPolicy::vqa_vqm(), &bench, &device);
         benefits.push(aware / base);
@@ -289,7 +290,7 @@ pub fn table2_error_scaling() -> Table {
             "10x lower, Cov-Base",
             device
                 .with_calibration(device.calibration().with_errors_scaled(0.1))
-                .expect("scaling preserves shape"),
+                .unwrap_or_else(|e| panic!("scaling preserves shape: {e}")),
         ),
         (
             "10x lower, 2*Cov-Base",
@@ -300,7 +301,7 @@ pub fn table2_error_scaling() -> Table {
                         .with_errors_scaled(0.1)
                         .with_two_qubit_cov_scaled(2.0),
                 )
-                .expect("scaling preserves shape"),
+                .unwrap_or_else(|e| panic!("scaling preserves shape: {e}")),
         ),
     ];
 

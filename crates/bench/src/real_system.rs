@@ -31,7 +31,7 @@ pub fn table3_ibmq5(seed: u64) -> Table {
     let device = Device::ibm_q5();
     let hardware = device
         .with_calibration(device.calibration().with_errors_scaled(Q5_EFFECTIVE_NOISE))
-        .expect("scaled calibration stays valid");
+        .unwrap_or_else(|e| panic!("scaled calibration stays valid: {e}"));
     let mut table = Table::new(["benchmark", "pst_baseline", "pst_vqa_vqm", "relative_benefit"]);
     let mut benefits = Vec::new();
     for b in ibm_q5_suite() {
@@ -42,7 +42,7 @@ pub fn table3_ibmq5(seed: u64) -> Table {
                 .compile(b.circuit(), &device)
                 .unwrap_or_else(|e| panic!("{} failed on {}: {e}", policy.name(), b.name()));
             run_noisy_trials(&hardware, compiled.physical(), Q5_TRIALS, seed)
-                .expect("compiled circuits are routed")
+                .unwrap_or_else(|e| panic!("compiled circuits are routed: {e}"))
                 .success_rate(|o| b.is_success(o))
         };
         let base = pst(MappingPolicy::baseline());
@@ -72,7 +72,7 @@ pub fn table3_ibmq5_exact() -> Table {
     let device = Device::ibm_q5();
     let hardware = device
         .with_calibration(device.calibration().with_errors_scaled(Q5_EFFECTIVE_NOISE))
-        .expect("scaled calibration stays valid");
+        .unwrap_or_else(|e| panic!("scaled calibration stays valid: {e}"));
     let mut table = Table::new(["benchmark", "pst_baseline", "pst_vqa_vqm", "relative_benefit"]);
     let mut benefits = Vec::new();
     for b in ibm_q5_suite() {
@@ -81,7 +81,7 @@ pub fn table3_ibmq5_exact() -> Table {
                 .compile(b.circuit(), &device)
                 .unwrap_or_else(|e| panic!("{} failed on {}: {e}", policy.name(), b.name()));
             let dist = quva_sim::exact_noisy_distribution(&hardware, compiled.physical())
-                .expect("compiled circuits are routed");
+                .unwrap_or_else(|e| panic!("compiled circuits are routed: {e}"));
             dist.iter()
                 .enumerate()
                 .filter(|(o, _)| b.is_success(*o as u64))
@@ -130,14 +130,15 @@ pub fn ext_topologies() -> Table {
     for topo in topologies {
         let mut gen = CalibrationGenerator::new(VariationProfile::ibm_q20_paper(), 4);
         let cal = gen.snapshot(&topo);
-        let device = Device::from_parts(topo, cal).expect("generated calibration fits");
+        let device =
+            Device::from_parts(topo, cal).unwrap_or_else(|e| panic!("generated calibration fits: {e}"));
         let bench = quva_benchmarks::Benchmark::bv(10);
         let pst = |policy: MappingPolicy| -> f64 {
             policy
                 .compile(bench.circuit(), &device)
-                .expect("bv-10 fits every candidate topology")
+                .unwrap_or_else(|e| panic!("bv-10 fits every candidate topology: {e}"))
                 .analytic_pst(&device, CoherenceModel::Disabled)
-                .expect("routed")
+                .unwrap_or_else(|e| panic!("routed: {e}"))
                 .pst
         };
         let base = pst(MappingPolicy::baseline());

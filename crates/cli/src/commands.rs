@@ -60,6 +60,7 @@ fn dispatch(args: &ParsedArgs) -> Result<String, ArgsError> {
         "compile" => cmd_compile(args),
         "lint" => cmd_lint(args),
         "audit" => cmd_audit(args),
+        "cost" => cmd_cost(args),
         "pst" => cmd_pst(args),
         "simulate" => cmd_simulate(args),
         "trials" => cmd_trials(args),
@@ -105,6 +106,10 @@ COMMANDS:
     audit         compile a program and emit the static reliability
                   report: ESP bounds, per-link/per-qubit attribution,
                   and every verification finding
+    cost          static WCET-style cost envelope: [lo, hi] bounds on
+                  compile time, Monte-Carlo time, peak memory, and
+                  response size, computed before compiling anything —
+                  the same envelope quvad's admission control uses
     pst           estimate the probability of a successful trial
     simulate      Monte-Carlo PST as machine-readable JSON
     trials        run noisy state-vector trials and report outcomes
@@ -131,9 +136,21 @@ COMMON OPTIONS:
     --policy  baseline | vqm | vqm-mah:K | vqa-vqm | native:SEED
     --bench   bv:N | qft:N | ghz:N | alu | triswap | rnd-sd:N:C | rnd-ld:N:C
     --qasm    path to an OpenQASM 2.0 file (alternative to --bench)
-    --format  (lint, audit) text | json
+    --format  (lint, audit, cost) text | json
     --explain (lint) QVxxx or slug: print the code's description,
               severity, and rationale, then exit
+
+COST OPTIONS:
+    --trials N          Monte-Carlo budget the envelope is computed for
+                        (default 0: compile-only)
+    --deadline-ms N     report feasibility against this deadline; exit
+                        nonzero when it is statically infeasible
+    --ci-half-width W   report the trial budget a 95% confidence
+                        half-width of W requires
+    --calibrate FILE    re-derive ns-per-event from a measured
+                        BENCH_sim.json baseline instead of the defaults
+    --policy SPEC       also compile and report the realized fault-event
+                        count against the predicted interval
     --drift   (audit) relative calibration-drift uncertainty widening
               every error rate into an interval (default 0.1)
     --mc-trials (audit) also run a Monte-Carlo PST estimate with this
@@ -173,6 +190,9 @@ EXAMPLES:
     quva lint --bench bv:16 --device q20 --policy baseline --deny-warnings
     quva audit --device q20 --policy vqa-vqm --bench bv:16 --format json
     quva audit --device q20 --policy baseline --bench qft:12 --mc-trials 100000
+    quva cost --device q20 --bench bv:16 --trials 20000 --deadline-ms 2000
+    quva cost --device q20 --policy vqm --bench bv:8 --format json
+    quva cost --bench qft:12 --trials 100000 --ci-half-width 0.01 --calibrate BENCH_sim.json
     quva pst --device q20 --policy baseline --bench qft:12 --trials 100000
     quva simulate --device q20 --policy vqa-vqm --bench bv:16 --threads 8
     quva trials --device q5 --policy vqa-vqm --bench ghz:3 --trials 4096
@@ -307,7 +327,7 @@ fn cmd_compile(args: &ParsedArgs) -> Result<String, ArgsError> {
 fn explain_code(spec: &str) -> Result<String, ArgsError> {
     let code = quva_analysis::LintCode::from_code(spec).ok_or_else(|| {
         ArgsError::new(format!(
-            "unknown lint code '{spec}' (codes are QV001..QV305; try e.g. QV304 or missed-vqm-route)"
+            "unknown lint code '{spec}' (codes are QV001..QV404; try e.g. QV304 or missed-vqm-route)"
         ))
     })?;
     Ok(format!(
@@ -454,6 +474,164 @@ fn cmd_audit(args: &ParsedArgs) -> Result<String, ArgsError> {
     } else {
         Err(ArgsError::new(rendered))
     }
+}
+
+/// `quva cost`: the static WCET-style cost envelope of a job — closed
+/// `[lo, hi]` bounds on compile time, Monte-Carlo time, peak memory,
+/// and rendered-response size, derived from the source program, the
+/// device's distance matrix, and the requested trial budget *before*
+/// compiling or simulating anything. This is the same envelope quvad's
+/// admission control evaluates when answering `infeasible`, picking a
+/// shed victim, and deriving `retry_after_ms`.
+///
+/// With `--policy` the program is additionally compiled and the
+/// realized fault-event count is reported next to the predicted
+/// `[events_lo, events_hi]` interval — it must fall inside (the same
+/// containment the envelope-soundness CI stage checks suite-wide).
+/// With `--deadline-ms` the command reports feasibility and fails on a
+/// statically infeasible deadline; `--ci-half-width` reports the trial
+/// budget a 95 % confidence half-width needs. `--calibrate
+/// BENCH_sim.json` re-derives ns-per-event from the committed measured
+/// baseline (bv-16 on ibm-q20 under baseline mapping — the file's
+/// workload) instead of the built-in defaults.
+fn cmd_cost(args: &ParsedArgs) -> Result<String, ArgsError> {
+    let device = load_device(args, "q20")?;
+    let (name, program) = load_program(args)?;
+    let trials: u64 = args.get_parsed("trials")?.unwrap_or(0);
+    let deadline_ms: Option<u64> = args.get_parsed("deadline-ms")?;
+    let ci_half_width: Option<f64> = args.get_parsed("ci-half-width")?;
+    if let Some(w) = ci_half_width {
+        if !(w > 0.0 && w < 1.0) {
+            return Err(ArgsError::new("--ci-half-width must be in (0, 1)"));
+        }
+    }
+    let model = match args.get("calibrate") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ArgsError::new(format!("cannot read {path}: {e}")))?;
+            // events/trial of the file's workload — bv-16 on ibm-q20
+            // under baseline mapping — counted on the compiled circuit
+            let baseline = parse_benchmark("bv:16")?;
+            let q20 = parse_device("q20")?;
+            let compiled = MappingPolicy::baseline()
+                .compile(baseline.circuit(), &q20)
+                .map_err(|e| ArgsError::new(e.to_string()))?;
+            let events = quva_analysis::total_events(compiled.physical()) as f64;
+            quva_analysis::CostModel::from_bench(&text, events)
+                .map_err(|e| ArgsError::new(format!("{path}: {e}")))?
+        }
+        None => quva_analysis::CostModel::default(),
+    };
+    let envelope = quva_analysis::envelope_of(&device, &program, trials, &model);
+    let compiled_events = match args.get("policy") {
+        Some(spec) => {
+            let policy = parse_policy(spec)?;
+            let compiled = policy
+                .compile(&program, &device)
+                .map_err(|e| ArgsError::new(e.to_string()))?;
+            Some((policy.name(), quva_analysis::total_events(compiled.physical())))
+        }
+        None => None,
+    };
+    let feasible = deadline_ms.map(|d| !envelope.infeasible_for(d));
+    let trials_needed = ci_half_width.map(quva_analysis::CostBudget::trials_needed);
+
+    // conservative integer rendering: lo floors, hi ceils, so the
+    // printed interval always contains the computed one
+    let ns = |i: quva_analysis::CostInterval| (i.lo.floor() as u64, i.hi.ceil() as u64);
+    let rendered = match args.get_or("format", "text") {
+        "json" => {
+            // Hand-rolled JSON (vendor policy: no serde); fixed key
+            // order, integer bounds — byte-deterministic per input.
+            let pair = |i| {
+                let (lo, hi) = ns(i);
+                format!("{{\"lo\": {lo}, \"hi\": {hi}}}")
+            };
+            let mut out = String::from("{\n");
+            let _ = writeln!(out, "  \"program\": \"{name}\",");
+            let _ = writeln!(out, "  \"device\": \"{}\",", args.get_or("device", "q20"));
+            let _ = writeln!(out, "  \"trials\": {trials},");
+            let _ = writeln!(out, "  \"ns_per_event\": {},", model.ns_per_event);
+            let _ = writeln!(
+                out,
+                "  \"events\": {{\"lo\": {}, \"hi\": {}}},",
+                envelope.events_lo, envelope.events_hi
+            );
+            let _ = writeln!(out, "  \"compile_ns\": {},", pair(envelope.compile_ns));
+            let _ = writeln!(out, "  \"mc_ns\": {},", pair(envelope.mc_ns));
+            let _ = writeln!(out, "  \"total_ns\": {},", pair(envelope.total_ns()));
+            let _ = writeln!(out, "  \"peak_bytes\": {},", pair(envelope.peak_bytes));
+            let _ = writeln!(out, "  \"response_bytes\": {},", pair(envelope.response_bytes));
+            let _ = write!(out, "  \"predicted_ms\": {}", envelope.predicted_ms_lo());
+            if let Some((policy, events)) = &compiled_events {
+                let _ = write!(out, ",\n  \"compiled_policy\": \"{policy}\"");
+                let _ = write!(out, ",\n  \"compiled_events\": {events}");
+            }
+            if let (Some(d), Some(f)) = (deadline_ms, feasible) {
+                let _ = write!(out, ",\n  \"deadline_ms\": {d}");
+                let _ = write!(out, ",\n  \"feasible\": {f}");
+            }
+            if let (Some(w), Some(n)) = (ci_half_width, trials_needed) {
+                let _ = write!(out, ",\n  \"ci_half_width\": {w}");
+                let _ = write!(out, ",\n  \"trials_needed\": {n}");
+            }
+            out.push_str("\n}\n");
+            out
+        }
+        "text" => {
+            let mut out = format!("static cost envelope for {name} on {device} ({trials} trial(s))\n");
+            let row = |label: &str, i, unit: &str| {
+                let (lo, hi) = ns(i);
+                format!("  {label:<16}: [{lo}, {hi}] {unit}\n")
+            };
+            let _ = writeln!(
+                out,
+                "  {:<16}: [{}, {}] per trial",
+                "fault events", envelope.events_lo, envelope.events_hi
+            );
+            out.push_str(&row("compile", envelope.compile_ns, "ns"));
+            out.push_str(&row("monte-carlo", envelope.mc_ns, "ns"));
+            out.push_str(&row("total", envelope.total_ns(), "ns"));
+            out.push_str(&row("peak memory", envelope.peak_bytes, "B"));
+            out.push_str(&row("response size", envelope.response_bytes, "B"));
+            let _ = writeln!(out, "  {:<16}: ≥ {} ms", "predicted", envelope.predicted_ms_lo());
+            if let Some((policy, events)) = &compiled_events {
+                let inside = (envelope.events_lo..=envelope.events_hi).contains(events);
+                let _ = writeln!(
+                    out,
+                    "  {:<16}: {events} ({policy}) — {} the predicted interval",
+                    "compiled events",
+                    if inside { "inside" } else { "OUTSIDE" }
+                );
+            }
+            if let (Some(d), Some(f)) = (deadline_ms, feasible) {
+                let _ = writeln!(
+                    out,
+                    "  {:<16}: {} ms — {}",
+                    "deadline",
+                    d,
+                    if f { "feasible" } else { "statically INFEASIBLE" }
+                );
+            }
+            if let (Some(w), Some(n)) = (ci_half_width, trials_needed) {
+                let _ = writeln!(
+                    out,
+                    "  {:<16}: ±{w} needs ≥ {n} trial(s) (requested {trials})",
+                    "ci half-width"
+                );
+            }
+            out
+        }
+        other => {
+            return Err(ArgsError::new(format!(
+                "unknown --format '{other}' (use text or json)"
+            )))
+        }
+    };
+    if feasible == Some(false) {
+        return Err(ArgsError::new(rendered));
+    }
+    Ok(rendered)
 }
 
 /// The Monte-Carlo execution engine selected by `--threads N`

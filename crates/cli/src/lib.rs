@@ -2,7 +2,10 @@
 //!
 //! Subcommands: `compile` (emit routed OpenQASM), `lint` (static
 //! checks without compiling), `audit` (compile + static reliability
-//! report: ESP bounds, error attribution, findings), `pst` (reliability
+//! report: ESP bounds, error attribution, findings), `cost` (static
+//! WCET-style cost envelope: `[lo, hi]` bounds on compile time,
+//! Monte-Carlo time, memory, and response size — the envelope quvad's
+//! admission control evaluates), `pst` (reliability
 //! estimation), `simulate` (Monte-Carlo PST as machine-readable JSON),
 //! `trials` (noisy state-vector execution), `characterize` (calibration
 //! summary), `partition` (§8 one-vs-two copies analysis), `profile`

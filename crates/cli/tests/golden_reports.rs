@@ -59,6 +59,48 @@ fn audit_json_matches_golden() {
 }
 
 #[test]
+fn cost_json_matches_golden() {
+    let out = run(&[
+        "cost", "--device", "q20", "--policy", "vqm", "--bench", "bv:8", "--format", "json",
+    ]);
+    check_golden("cost_q20_vqm_bv8.json", &out);
+}
+
+#[test]
+fn cost_json_is_deterministic_and_schema_complete() {
+    let line = [
+        "cost",
+        "--device",
+        "q20",
+        "--bench",
+        "bv:16",
+        "--trials",
+        "20000",
+        "--deadline-ms",
+        "60000",
+        "--ci-half-width",
+        "0.01",
+        "--format",
+        "json",
+    ];
+    let a = run(&line);
+    assert_eq!(a, run(&line), "cost JSON must be byte-deterministic");
+    for key in [
+        "\"events\"",
+        "\"compile_ns\"",
+        "\"mc_ns\"",
+        "\"total_ns\"",
+        "\"peak_bytes\"",
+        "\"response_bytes\"",
+        "\"predicted_ms\"",
+        "\"feasible\": true",
+        "\"trials_needed\": 10000",
+    ] {
+        assert!(a.contains(key), "cost JSON missing {key}:\n{a}");
+    }
+}
+
+#[test]
 fn audit_golden_is_thread_count_invariant() {
     let base = run(&[
         "audit",

@@ -121,6 +121,13 @@ fn compile_stdout_is_unchanged_by_trace() {
 fn compile_trace_schema_matches_golden() {
     let _g = guard();
     let path = temp_path("compile_schema.json");
+    // warm the process-global cost-envelope memo first: other tests in
+    // this binary compile the same q20/vqm/bv:8 key, so without the
+    // warm-up the traced run would record hit vs miss+insert counters
+    // depending on test order
+    run(&[
+        "compile", "--device", "q20", "--policy", "vqm", "--bench", "bv:8", "--verify",
+    ]);
     run(&[
         "compile", "--device", "q20", "--policy", "vqm", "--bench", "bv:8", "--verify", "--trace", &path,
     ]);

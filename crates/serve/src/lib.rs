@@ -10,9 +10,13 @@
 //!
 //! Robustness is the design center, not an afterthought:
 //!
-//! * **Admission control** — a bounded priority queue; a full queue
-//!   answers `overloaded` with a `retry_after_ms` hint, or sheds the
-//!   lowest-priority queued job when the newcomer outranks it.
+//! * **Admission control** — a bounded priority queue fed by static
+//!   cost envelopes (`quva-analysis`): a job whose *optimistic* cost
+//!   bound already exceeds its deadline is answered `infeasible`
+//!   before queueing, spending no worker time; a full queue answers
+//!   `overloaded` with a `retry_after_ms` hint derived from the
+//!   predicted drain time of the queued work, or sheds the outranked
+//!   queued job with the worst predicted-cost-per-priority ratio.
 //! * **Deadlines** — every job has one (its own `deadline_ms` or the
 //!   server default); a missed deadline is a typed response, and the
 //!   worker's eventual result still lands in the cache.

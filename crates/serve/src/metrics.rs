@@ -39,6 +39,10 @@ pub struct ServeMetrics {
     pub connections_rejected: AtomicU64,
     /// Frames that failed protocol parsing.
     pub malformed_frames: AtomicU64,
+    /// Jobs rejected at admission because even the optimistic static
+    /// cost bound exceeded their deadline (status `infeasible`). These
+    /// never reach a worker.
+    pub jobs_infeasible: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -55,7 +59,7 @@ impl ServeMetrics {
             "{{\"requests\":{},\"ok\":{},\"errors\":{},\"overloaded\":{},\"deadline_exceeded\":{},\
              \"shutting_down\":{},\"cache_hits\":{},\"cache_misses\":{},\"shed\":{},\
              \"worker_panics\":{},\"worker_respawns\":{},\"connections\":{},\
-             \"connections_rejected\":{},\"malformed_frames\":{}}}",
+             \"connections_rejected\":{},\"malformed_frames\":{},\"jobs_infeasible\":{}}}",
             g(&self.requests),
             g(&self.ok),
             g(&self.errors),
@@ -69,7 +73,8 @@ impl ServeMetrics {
             g(&self.worker_respawns),
             g(&self.connections),
             g(&self.connections_rejected),
-            g(&self.malformed_frames)
+            g(&self.malformed_frames),
+            g(&self.jobs_infeasible)
         )
     }
 }

@@ -21,7 +21,8 @@
 //! default 5) and `deadline_ms` are optional on every job.
 //!
 //! Response statuses: `ok`, `error`, `overloaded` (with
-//! `retry_after_ms`), `deadline_exceeded`, `shutting_down`.
+//! `retry_after_ms`), `infeasible` (with `predicted_ms` and
+//! `deadline_ms`), `deadline_exceeded`, `shutting_down`.
 
 use quva_obs::parse_json;
 
@@ -283,6 +284,17 @@ pub enum Response {
         /// Client should wait at least this long before retrying.
         retry_after_ms: u64,
     },
+    /// Admission control proved the job cannot meet its deadline: even
+    /// the *optimistic* static cost bound exceeds it. Returned before
+    /// the job is queued — no worker time is spent on it.
+    Infeasible {
+        /// Echoed request id.
+        id: String,
+        /// Optimistic end-to-end prediction, in milliseconds.
+        predicted_ms: u64,
+        /// The deadline the job asked for, in milliseconds.
+        deadline_ms: u64,
+    },
     /// The job missed its deadline (queue wait + execution).
     DeadlineExceeded {
         /// Echoed request id.
@@ -319,6 +331,16 @@ impl Response {
                 json_escape(id),
                 retry_after_ms
             ),
+            Response::Infeasible {
+                id,
+                predicted_ms,
+                deadline_ms,
+            } => format!(
+                "{{\"id\":\"{}\",\"status\":\"infeasible\",\"predicted_ms\":{},\"deadline_ms\":{}}}",
+                json_escape(id),
+                predicted_ms,
+                deadline_ms
+            ),
             Response::DeadlineExceeded { id, deadline_ms } => format!(
                 "{{\"id\":\"{}\",\"status\":\"deadline_exceeded\",\"deadline_ms\":{}}}",
                 json_escape(id),
@@ -336,6 +358,7 @@ impl Response {
             Response::Ok { .. } => "ok",
             Response::Error { .. } => "error",
             Response::Overloaded { .. } => "overloaded",
+            Response::Infeasible { .. } => "infeasible",
             Response::DeadlineExceeded { .. } => "deadline_exceeded",
             Response::ShuttingDown { .. } => "shutting_down",
         }
@@ -439,11 +462,21 @@ mod tests {
             err.render(),
             r#"{"id":"c\"d","status":"error","error":"line1\nline2"}"#
         );
+        let infeasible = Response::Infeasible {
+            id: "f".into(),
+            predicted_ms: 9000,
+            deadline_ms: 100,
+        };
+        assert_eq!(
+            infeasible.render(),
+            r#"{"id":"f","status":"infeasible","predicted_ms":9000,"deadline_ms":100}"#
+        );
         // every rendered response reparses as JSON
         for r in [
             ok,
             over,
             err,
+            infeasible,
             Response::DeadlineExceeded {
                 id: "d".into(),
                 deadline_ms: 10,
@@ -452,5 +485,19 @@ mod tests {
         ] {
             assert!(parse_json(&r.render()).is_ok(), "{}", r.render());
         }
+    }
+
+    #[test]
+    fn infeasible_status_and_fields_roundtrip() {
+        let r = Response::Infeasible {
+            id: "job".into(),
+            predicted_ms: 1234,
+            deadline_ms: 50,
+        };
+        assert_eq!(r.status(), "infeasible");
+        let doc = parse_json(&r.render()).unwrap();
+        assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("infeasible"));
+        assert_eq!(doc.get("predicted_ms").and_then(|v| v.as_f64()), Some(1234.0));
+        assert_eq!(doc.get("deadline_ms").and_then(|v| v.as_f64()), Some(50.0));
     }
 }

@@ -1,17 +1,25 @@
 //! Bounded priority work queue — the daemon's admission-control core.
 //!
 //! A single mutex-plus-condvar queue with a hard capacity. Pushing
-//! into a full queue either *sheds* the lowest-priority queued item
+//! into a full queue either *sheds* a lower-priority queued item
 //! (when the newcomer outranks it) or *rejects* the newcomer — the
 //! caller turns both outcomes into typed backpressure responses, so
 //! overload is always answered, never silently dropped. Workers pop
 //! highest-priority-first, FIFO within a priority band.
+//!
+//! Entries carry a *weight* (quvad uses the pessimistic static cost
+//! bound in nanoseconds). Weight steers two decisions: eviction picks
+//! the candidate with the worst weight-per-priority ratio (shed the
+//! biggest predicted resource hog among the outranked), and
+//! [`BoundedQueue::queued_weight`] exposes the total queued weight so
+//! the caller can derive drain-time-based `retry_after_ms` hints.
 
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 struct Entry<T> {
     priority: u8,
+    weight: u64,
     seq: u64,
     item: T,
 }
@@ -83,36 +91,64 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// Attempts to queue `item` at `priority` (9 outranks 0).
+    /// Attempts to queue `item` at `priority` (9 outranks 0) with unit
+    /// weight. See [`BoundedQueue::push_weighted`].
     pub fn push(&self, priority: u8, item: T) -> Push<T> {
+        self.push_weighted(priority, 1, item)
+    }
+
+    /// Attempts to queue `item` at `priority` (9 outranks 0) carrying
+    /// `weight` (a predicted cost; any consistent unit). On a full
+    /// queue the newcomer may only displace *outranked* entries
+    /// (priority strictly below its own); among those the victim is
+    /// the one with the worst weight/(priority+1) ratio — the largest
+    /// predicted cost per unit of importance — newest first on ties.
+    pub fn push_weighted(&self, priority: u8, weight: u64, item: T) -> Push<T> {
         let mut inner = lock(&self.inner);
         if inner.closed {
             return Push::Closed(item);
         }
         if inner.entries.len() >= self.capacity {
-            // shed the weakest queued item iff the newcomer outranks it
-            let weakest = inner
+            // shed the costliest outranked entry, if any is outranked
+            let victim = inner
                 .entries
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, e)| (e.priority, std::cmp::Reverse(e.seq)))
-                .map(|(i, e)| (i, e.priority));
-            match weakest {
-                Some((idx, weakest_priority)) if weakest_priority < priority => {
+                .filter(|(_, e)| e.priority < priority)
+                .max_by(|(_, a), (_, b)| {
+                    // a.weight/(a.priority+1) vs b.weight/(b.priority+1),
+                    // cross-multiplied to stay in integers
+                    let lhs = u128::from(a.weight) * u128::from(b.priority as u64 + 1);
+                    let rhs = u128::from(b.weight) * u128::from(a.priority as u64 + 1);
+                    lhs.cmp(&rhs).then(a.seq.cmp(&b.seq))
+                })
+                .map(|(i, _)| i);
+            match victim {
+                Some(idx) => {
                     let shed = inner.entries.swap_remove(idx);
                     let seq = inner.seq;
                     inner.seq += 1;
-                    inner.entries.push(Entry { priority, seq, item });
+                    inner.entries.push(Entry {
+                        priority,
+                        weight,
+                        seq,
+                        item,
+                    });
                     drop(inner);
                     self.ready.notify_one();
                     return Push::Shed(shed.item);
                 }
-                _ => return Push::Rejected(item),
+                None => return Push::Rejected(item),
             }
         }
         let seq = inner.seq;
         inner.seq += 1;
-        inner.entries.push(Entry { priority, seq, item });
+        inner.entries.push(Entry {
+            priority,
+            weight,
+            seq,
+            item,
+        });
         drop(inner);
         self.ready.notify_one();
         Push::Admitted
@@ -155,6 +191,16 @@ impl<T> BoundedQueue<T> {
     /// Items currently queued.
     pub fn len(&self) -> usize {
         lock(&self.inner).entries.len()
+    }
+
+    /// Total weight of everything currently queued (saturating). With
+    /// cost-bound weights this is the predicted nanoseconds of work a
+    /// single worker would need to drain the queue.
+    pub fn queued_weight(&self) -> u64 {
+        lock(&self.inner)
+            .entries
+            .iter()
+            .fold(0u64, |acc, e| acc.saturating_add(e.weight))
     }
 
     /// Whether the queue holds no items.
@@ -206,6 +252,61 @@ mod tests {
             other => panic!("expected shed, got {other:?}"),
         }
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn shed_picks_worst_weight_per_priority_ratio() {
+        let q = BoundedQueue::new(3);
+        // ratios: a = 100/(1+1) = 50, b = 600/(4+1) = 120, c = 90/(0+1) = 90
+        assert!(matches!(q.push_weighted(1, 100, "a"), Push::Admitted));
+        assert!(matches!(q.push_weighted(4, 600, "b"), Push::Admitted));
+        assert!(matches!(q.push_weighted(0, 90, "c"), Push::Admitted));
+        assert_eq!(q.queued_weight(), 790);
+        // newcomer at priority 5 outranks all three; b is the worst ratio
+        match q.push_weighted(5, 10, "vip") {
+            Push::Shed(loser) => assert_eq!(loser, "b"),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        assert_eq!(q.queued_weight(), 200);
+    }
+
+    #[test]
+    fn shed_only_considers_outranked_entries() {
+        let q = BoundedQueue::new(2);
+        // the heaviest entry outranks the newcomer and must survive
+        assert!(matches!(
+            q.push_weighted(7, 1_000_000, "heavy-vip"),
+            Push::Admitted
+        ));
+        assert!(matches!(q.push_weighted(2, 10, "light-low"), Push::Admitted));
+        match q.push_weighted(5, 500, "mid") {
+            Push::Shed(loser) => assert_eq!(loser, "light-low"),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        // nothing queued is outranked by priority 5 now → rejected
+        assert!(matches!(q.push_weighted(5, 1, "again"), Push::Rejected("again")));
+    }
+
+    #[test]
+    fn equal_ratio_ties_shed_the_newest() {
+        let q = BoundedQueue::new(2);
+        assert!(matches!(q.push_weighted(2, 30, "old"), Push::Admitted));
+        assert!(matches!(q.push_weighted(2, 30, "new"), Push::Admitted));
+        match q.push_weighted(3, 1, "vip") {
+            Push::Shed(loser) => assert_eq!(loser, "new"),
+            other => panic!("expected shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queued_weight_tracks_pops_and_defaults_to_unit() {
+        let q = BoundedQueue::new(4);
+        assert!(matches!(q.push(5, "a"), Push::Admitted));
+        assert!(matches!(q.push_weighted(5, 41, "b"), Push::Admitted));
+        assert_eq!(q.queued_weight(), 42);
+        assert!(matches!(q.pop(Duration::from_millis(5)), Pop::Item(_)));
+        assert!(matches!(q.pop(Duration::from_millis(5)), Pop::Item(_)));
+        assert_eq!(q.queued_weight(), 0);
     }
 
     #[test]

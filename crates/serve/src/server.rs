@@ -13,7 +13,12 @@
 //!
 //! * every delivered well-formed frame gets exactly one response line;
 //! * malformed frames get an `error` response, not a dropped socket;
-//! * a full queue answers `overloaded` + `retry_after_ms`;
+//! * a full queue answers `overloaded` + `retry_after_ms`, where the
+//!   hint is derived from the predicted drain time of the queued work
+//!   (the configured value is only a floor);
+//! * a job whose deadline is statically infeasible — the *optimistic*
+//!   cost-envelope bound already exceeds it — answers `infeasible`
+//!   before it is queued, spending no worker time;
 //! * a worker panic answers `error` and bumps `serve.worker.respawn`;
 //! * drain stops intake (`shutting_down`), finishes or
 //!   deadline-expires in-flight jobs, and flushes every thread's obs
@@ -31,6 +36,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use quva_analysis::{envelope_of, CostModel};
 use quva_sim::McEngine;
 
 use crate::cache::ResultCache;
@@ -63,8 +69,14 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Deadline applied to jobs that do not carry `deadline_ms`.
     pub default_deadline_ms: u64,
-    /// Backpressure hint attached to `overloaded` responses.
+    /// Floor of the backpressure hint attached to `overloaded`
+    /// responses; the actual hint grows with the predicted drain time
+    /// of the queued work.
     pub retry_after_ms: u64,
+    /// Cost model powering envelope-based admission control. Replace
+    /// it with a [`CostModel::from_bench`]-calibrated model when a
+    /// measured baseline is available.
+    pub cost_model: CostModel,
     /// Hard per-frame byte limit.
     pub max_line_bytes: usize,
     /// Close connections idle (or stalled mid-frame) this long.
@@ -88,6 +100,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             default_deadline_ms: 10_000,
             retry_after_ms: 50,
+            cost_model: CostModel::default(),
             max_line_bytes: MAX_FRAME_BYTES,
             idle_timeout_ms: 10_000,
             max_connections: 64,
@@ -144,6 +157,17 @@ impl Shared {
     fn begin_drain(&self) {
         self.draining.store(true, Ordering::SeqCst);
         quva_obs::counter("serve.drain", 1);
+    }
+
+    /// Backpressure hint for `overloaded` responses: the configured
+    /// floor, raised to the predicted wall-clock (ms) for the worker
+    /// pool to drain the currently queued work. Queue weights are the
+    /// jobs' pessimistic cost bounds in nanoseconds, so the drain
+    /// estimate is total weight over pool parallelism.
+    fn retry_hint_ms(&self) -> u64 {
+        let workers = self.config.workers.max(1) as u64;
+        let drain_ms = self.queue.queued_weight() / (workers * 1_000_000);
+        self.config.retry_after_ms.max(drain_ms)
     }
 
     /// Decodes and answers one frame. Always produces a response line.
@@ -209,7 +233,13 @@ impl Shared {
                         .render(),
                     );
                 }
-                FrameOutcome::Reply(self.submit(id, 9, self.config.default_deadline_ms, Work::InjectedPanic))
+                FrameOutcome::Reply(self.submit(
+                    id,
+                    9,
+                    1,
+                    self.config.default_deadline_ms,
+                    Work::InjectedPanic,
+                ))
             }
             RequestKind::Job(spec) => FrameOutcome::Reply(self.handle_job(id, spec)),
         }
@@ -241,14 +271,47 @@ impl Shared {
         }
         quva_obs::counter("serve.cache.miss", 1);
         let deadline_ms = spec.deadline_ms.unwrap_or(self.config.default_deadline_ms);
-        self.submit(id, spec.priority, deadline_ms, Work::Run(Box::new(resolved)))
+        // static admission: a job whose *optimistic* cost bound already
+        // exceeds its deadline is answered typed-infeasible here, on
+        // the connection thread — it never occupies a queue slot or a
+        // worker. Rejecting on `lo` (never `hi`) keeps loose
+        // pessimistic bounds from causing false rejections.
+        let envelope = envelope_of(
+            &resolved.device,
+            resolved.benchmark.circuit(),
+            spec.trials,
+            &self.config.cost_model,
+        );
+        if envelope.infeasible_for(deadline_ms) {
+            ServeMetrics::bump(&self.metrics.jobs_infeasible);
+            quva_obs::counter("serve.infeasible", 1);
+            return Response::Infeasible {
+                id,
+                predicted_ms: envelope.predicted_ms_lo(),
+                deadline_ms,
+            }
+            .render();
+        }
+        let weight = (envelope.total_ns().hi.ceil() as u64).max(1);
+        self.submit(
+            id,
+            spec.priority,
+            weight,
+            deadline_ms,
+            Work::Run(Box::new(resolved)),
+        )
     }
 
     /// Pushes work through admission control and waits for its
-    /// outcome or deadline. Always returns a rendered response.
-    fn submit(&self, id: String, priority: u8, deadline_ms: u64, work: Work) -> String {
+    /// outcome or deadline. `weight` is the job's pessimistic cost
+    /// bound in nanoseconds (it steers shed choice and drain-time
+    /// retry hints). Always returns a rendered response.
+    fn submit(&self, id: String, priority: u8, weight: u64, deadline_ms: u64, work: Work) -> String {
         let (reply, outcome) = mpsc::channel();
-        match self.queue.push(priority, QueuedJob { work, reply }) {
+        match self
+            .queue
+            .push_weighted(priority, weight, QueuedJob { work, reply })
+        {
             Push::Admitted => {}
             Push::Shed(loser) => {
                 // lower-priority queued job evicted to make room
@@ -261,7 +324,7 @@ impl Shared {
                 quva_obs::counter("serve.retry_after", 1);
                 return Response::Overloaded {
                     id,
-                    retry_after_ms: self.config.retry_after_ms,
+                    retry_after_ms: self.retry_hint_ms(),
                 }
                 .render();
             }
@@ -289,7 +352,7 @@ impl Shared {
                 ServeMetrics::bump(&self.metrics.overloaded);
                 Response::Overloaded {
                     id,
-                    retry_after_ms: self.config.retry_after_ms,
+                    retry_after_ms: self.retry_hint_ms(),
                 }
                 .render()
             }
@@ -593,7 +656,7 @@ fn accept_loop(listener: Listener, shared: &Arc<Shared>) {
                         &mut stream,
                         &Response::Overloaded {
                             id: String::new(),
-                            retry_after_ms: shared.config.retry_after_ms,
+                            retry_after_ms: shared.retry_hint_ms(),
                         }
                         .render(),
                     );

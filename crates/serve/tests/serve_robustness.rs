@@ -178,6 +178,58 @@ fn connection_gate_sheds_excess_clients_with_typed_overloaded() {
     handle.join();
 }
 
+#[test]
+fn statically_infeasible_deadline_gets_typed_response_without_worker_time() {
+    // one worker, kept completely idle: the infeasible job must be
+    // answered on the connection thread, before admission
+    let (handle, addr) = spawn(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let (mut stream, mut reader) = open(&addr);
+    // 1e8 trials cannot finish within 1ms even under the optimistic
+    // cost bound — the envelope proves it statically
+    let response = roundtrip(
+        &mut stream,
+        &mut reader,
+        "{\"id\":\"doomed\",\"kind\":\"simulate\",\"device\":\"q20\",\"policy\":\"vqm\",\
+         \"benchmark\":\"bv:8\",\"trials\":100000000,\"seed\":1,\"deadline_ms\":1}",
+    );
+    assert!(response.contains("\"status\":\"infeasible\""), "{response}");
+    let doc = quva_obs::parse_json(&response).expect("infeasible response parses");
+    let predicted = doc.get("predicted_ms").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    assert!(predicted > 1.0, "prediction must exceed the deadline: {response}");
+    assert_eq!(doc.get("deadline_ms").and_then(|v| v.as_f64()), Some(1.0));
+    // the same job with a generous deadline is admitted normally
+    let ok = roundtrip(
+        &mut stream,
+        &mut reader,
+        "{\"id\":\"fine\",\"kind\":\"simulate\",\"device\":\"q20\",\"policy\":\"vqm\",\
+         \"benchmark\":\"bv:8\",\"trials\":2000,\"seed\":1,\"deadline_ms\":60000}",
+    );
+    assert!(ok.contains("\"status\":\"ok\""), "{ok}");
+    drop((stream, reader));
+    handle.shutdown();
+    let metrics = handle.join();
+    let doc = quva_obs::parse_json(&metrics).expect("metrics parse");
+    let infeasible = doc.get("jobs_infeasible").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let misses = doc.get("cache_misses").and_then(|v| v.as_f64()).unwrap_or(-1.0);
+    assert_eq!(infeasible, 1.0, "{metrics}");
+    // only the feasible job reached the queue; the infeasible one
+    // never consumed a worker slot
+    assert_eq!(misses, 1.0, "{metrics}");
+}
+
+#[test]
+fn frame_budget_constant_matches_analysis_crate() {
+    // QV404's budget and the daemon's hard frame limit must agree, or
+    // the lint would bless responses the wire rejects (and vice versa)
+    assert_eq!(
+        quva_analysis::FRAME_BUDGET_BYTES,
+        quva_serve::MAX_FRAME_BYTES as f64
+    );
+}
+
 #[cfg(unix)]
 #[test]
 fn unix_socket_transport_serves_jobs() {
