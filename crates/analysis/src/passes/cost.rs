@@ -151,10 +151,12 @@ pub fn per_qubit_events(circuit: &Circuit<PhysQubit>, num_qubits: usize) -> Vec<
 /// slack factors that widen point predictions into sound envelopes.
 ///
 /// The defaults are derived from the committed `BENCH_sim.json`
-/// baseline (≈ 75 ns/trial for bv-16 on IBM-Q20, ≈ 90 fault events
-/// per trial); [`CostModel::from_bench`] re-derives `ns_per_event`
-/// from a measured baseline file so the model tracks the host it
-/// gates on.
+/// baseline's bit-parallel row (≈ 8 ns/trial for bv-16 on IBM-Q20,
+/// ≈ 72 fault events per trial); [`CostModel::from_bench`] re-derives
+/// `ns_per_event` from a measured baseline file so the model tracks
+/// the host it gates on. The scalar oracle is ~10x slower than this
+/// rate — `mc_slack` comfortably covers it, so envelopes stay sound
+/// for jobs explicitly pinned to the scalar kernel.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Nanoseconds one Monte-Carlo fault event costs (per trial).
@@ -176,7 +178,7 @@ pub struct CostModel {
 impl Default for CostModel {
     fn default() -> Self {
         CostModel {
-            ns_per_event: 1.0,
+            ns_per_event: 0.12,
             ns_per_route_unit: 40.0,
             mc_slack: 16.0,
             compile_slack: 64.0,
@@ -186,34 +188,41 @@ impl Default for CostModel {
 }
 
 impl CostModel {
-    /// Calibrates `ns_per_event` against a `BENCH_sim.json` document
-    /// (schema `quva-bench-sim/v1`): the committed baseline's
-    /// sequential `ns_per_trial` divided by the fault events per trial
-    /// of the baseline workload (bv-16 on IBM-Q20, which the caller
-    /// counts via [`total_events`] on the compiled circuit). All other
+    /// Calibrates `ns_per_event` against a `BENCH_sim.json` document:
+    /// the committed baseline's per-trial cost of the *production*
+    /// Monte-Carlo path divided by the fault events per trial of the
+    /// baseline workload (bv-16 on IBM-Q20, which the caller counts
+    /// via [`total_events`] on the compiled circuit). All other
     /// coefficients keep their defaults.
+    ///
+    /// Schema `quva-bench-sim/v2` calibrates on the `bitparallel` row
+    /// (the default kernel everything downstream runs); pre-kernel
+    /// `v1` baselines calibrate on their `sequential` row, which timed
+    /// the then-default scalar loop.
     pub fn from_bench(json: &str, events_per_trial: f64) -> Result<CostModel, String> {
         if !events_per_trial.is_finite() || events_per_trial <= 0.0 {
             return Err("events_per_trial must be positive".to_string());
         }
         let doc = quva_obs::parse_json(json)?;
         let schema = doc.get("schema").and_then(|v| v.as_str()).unwrap_or("");
-        if schema != "quva-bench-sim/v1" {
-            return Err(format!("unsupported bench schema {schema:?}"));
-        }
+        let row_name = match schema {
+            "quva-bench-sim/v2" => "bitparallel",
+            "quva-bench-sim/v1" => "sequential",
+            _ => return Err(format!("unsupported bench schema {schema:?}")),
+        };
         let rows = doc
             .get("results")
             .and_then(|v| v.as_arr())
             .ok_or_else(|| "missing results array".to_string())?;
-        let sequential = rows
+        let row = rows
             .iter()
-            .find(|r| r.get("name").and_then(|n| n.as_str()) == Some("sequential"))
-            .ok_or_else(|| "missing sequential row".to_string())?;
-        let ns_per_trial = sequential
+            .find(|r| r.get("name").and_then(|n| n.as_str()) == Some(row_name))
+            .ok_or_else(|| format!("missing {row_name} row"))?;
+        let ns_per_trial = row
             .get("ns_per_trial")
             .and_then(|v| v.as_f64())
             .filter(|v| *v > 0.0)
-            .ok_or_else(|| "sequential row lacks a positive ns_per_trial".to_string())?;
+            .ok_or_else(|| format!("{row_name} row lacks a positive ns_per_trial"))?;
         Ok(CostModel {
             ns_per_event: ns_per_trial / events_per_trial,
             ..CostModel::default()
@@ -628,6 +637,32 @@ mod tests {
         assert!(CostModel::from_bench(json, 0.0).is_err());
         assert!(CostModel::from_bench("{\"schema\": \"other\"}", 50.0).is_err());
         assert!(CostModel::from_bench("{\"schema\": \"quva-bench-sim/v1\"}", 50.0).is_err());
+    }
+
+    #[test]
+    fn from_bench_v2_calibrates_on_the_bitparallel_row() {
+        let json = r#"{
+            "schema": "quva-bench-sim/v2",
+            "results": [
+                {"name": "scalar", "threads": 1, "ns": 80000000, "ns_per_trial": 80.0},
+                {"name": "bitparallel", "threads": 1, "ns": 8000000, "ns_per_trial": 8.0,
+                 "speedup_vs_scalar": 10.0},
+                {"name": "threads-4", "threads": 4, "ns": 8000000, "ns_per_trial": 8.0}
+            ]
+        }"#;
+        let model = CostModel::from_bench(json, 80.0).unwrap();
+        assert!(
+            (model.ns_per_event - 0.1).abs() < 1e-12,
+            "v2 must calibrate on bitparallel, not scalar: got {}",
+            model.ns_per_event
+        );
+
+        // a v2 file without the production row cannot calibrate
+        let missing = r#"{
+            "schema": "quva-bench-sim/v2",
+            "results": [{"name": "scalar", "threads": 1, "ns": 80000000, "ns_per_trial": 80.0}]
+        }"#;
+        assert!(CostModel::from_bench(missing, 80.0).is_err());
     }
 
     fn run_budget(budget: CostBudget, bench: &Benchmark, device: &Device) -> Vec<Diagnostic> {

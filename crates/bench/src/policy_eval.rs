@@ -8,7 +8,7 @@ use quva::MappingPolicy;
 use quva_analysis::{esp_interval, EspConfig, EspInterval};
 use quva_benchmarks::{table1_suite, Benchmark};
 use quva_device::{CalibrationGenerator, Device, Topology, VariationProfile};
-use quva_sim::CoherenceModel;
+use quva_sim::{monte_carlo_pst_with, CoherenceModel, McEngine, McEstimate, McKernel};
 use quva_stats::{fmt3, fmt_ratio, mean, Table};
 
 /// Memoized (policy, circuit, device) → PST evaluations.
@@ -28,6 +28,77 @@ fn pst_cache() -> &'static Mutex<HashMap<PstKey, f64>> {
 
 /// (device fingerprint, policy debug form, circuit fingerprint).
 type PstKey = (u64, String, u64);
+
+/// [`PstKey`] extended with the sampling configuration: trials, seed,
+/// and the trial kernel. The kernel is part of the key because the
+/// scalar oracle and the bit-parallel kernel are distinct
+/// deterministic samples — memoizing across kernels would hide
+/// exactly the divergence the cross-validation suite exists to catch.
+type McKey = (u64, String, u64, u64, u64, McKernel);
+
+/// Memoized (policy, circuit, device, trials, seed, kernel) →
+/// Monte-Carlo estimate. The cross-validation suite evaluates the
+/// same (suite × policy) grid once per kernel; the repeated
+/// compile + profile work dominates, so repeats are a map lookup.
+fn mc_cache() -> &'static Mutex<HashMap<McKey, McEstimate>> {
+    static CACHE: OnceLock<Mutex<HashMap<McKey, McEstimate>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Monte-Carlo PST estimate of `benchmark` compiled with `policy` on
+/// `device`, sampled with `kernel` — memoized process-wide like
+/// [`pst_of`], with the sampling configuration (trials, seed, kernel)
+/// folded into the key.
+///
+/// Runs on the sequential engine: estimates are thread-count
+/// independent by the chunk-merge contract, so a cache keyed without
+/// a thread count is sound.
+///
+/// # Panics
+///
+/// Panics if compilation fails — the experiment configurations are all
+/// known-compilable.
+pub fn mc_pst_of(
+    policy: MappingPolicy,
+    benchmark: &Benchmark,
+    device: &Device,
+    trials: u64,
+    seed: u64,
+    kernel: McKernel,
+) -> McEstimate {
+    let key = (
+        device.fingerprint(),
+        format!("{policy:?}"),
+        benchmark.circuit().fingerprint(),
+        trials,
+        seed,
+        kernel,
+    );
+    if let Ok(cache) = mc_cache().lock() {
+        if let Some(&est) = cache.get(&key) {
+            quva_obs::counter("cache.mc.hit", 1);
+            return est;
+        }
+    }
+    quva_obs::counter("cache.mc.miss", 1);
+    let compiled = policy
+        .compile(benchmark.circuit(), device)
+        .unwrap_or_else(|e| panic!("{} failed to compile {}: {e}", policy.name(), benchmark.name()));
+    let est = monte_carlo_pst_with(
+        device,
+        compiled.physical(),
+        trials,
+        seed,
+        CoherenceModel::Disabled,
+        McEngine::sequential().with_kernel(kernel),
+    )
+    .unwrap_or_else(|e| panic!("compiled circuits are routed: {e}"));
+    if let Ok(mut cache) = mc_cache().lock() {
+        cache.insert(key, est);
+        quva_obs::counter("cache.mc.insert", 1);
+    }
+    est
+}
 
 /// Memoized (policy, circuit, device) → static ESP interval, keyed
 /// identically to [`pst_cache`] so the two caches age together. The
@@ -351,6 +422,53 @@ mod tests {
             .with_calibration(device.calibration().with_errors_scaled(0.5))
             .unwrap();
         assert!(pst_of(MappingPolicy::vqm(), &bench, &scaled) > first);
+    }
+
+    #[test]
+    fn mc_memo_keys_on_the_kernel_and_agrees_with_the_analytic_value() {
+        let device = Device::ibm_q20();
+        let bench = Benchmark::bv(8);
+        let trials = 50_000;
+        let bp = mc_pst_of(
+            MappingPolicy::vqm(),
+            &bench,
+            &device,
+            trials,
+            7,
+            McKernel::BitParallel,
+        );
+        let cached = mc_pst_of(
+            MappingPolicy::vqm(),
+            &bench,
+            &device,
+            trials,
+            7,
+            McKernel::BitParallel,
+        );
+        assert_eq!(
+            bp.pst.to_bits(),
+            cached.pst.to_bits(),
+            "mc memo hit must be identical"
+        );
+
+        // the scalar oracle is a distinct deterministic sample — the
+        // kernel must be part of the key, not collapsed away
+        let scalar = mc_pst_of(MappingPolicy::vqm(), &bench, &device, trials, 7, McKernel::Scalar);
+        assert_ne!(
+            scalar.successes, bp.successes,
+            "kernels aliased in the MC cache (or sampled identically, which the contract forbids)"
+        );
+
+        // both estimates bracket the analytic value within ~4 SE
+        let exact = pst_of(MappingPolicy::vqm(), &bench, &device);
+        for est in [bp, scalar] {
+            let se = (exact * (1.0 - exact) / trials as f64).sqrt();
+            assert!(
+                (est.pst - exact).abs() <= 4.0 * se,
+                "estimate {} vs analytic {exact} beyond 4 SE ({se})",
+                est.pst
+            );
+        }
     }
 
     #[test]

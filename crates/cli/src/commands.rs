@@ -7,7 +7,7 @@ use quva::{partition_analysis, CompileOptions, MappingPolicy, PartitionChoice};
 use quva_analysis::Verifier;
 use quva_circuit::{qasm, Circuit};
 use quva_device::{node_strengths, snapshot, Device, SanitizePolicy};
-use quva_sim::{monte_carlo_pst_with, run_noisy_trials, CoherenceModel, McEngine};
+use quva_sim::{monte_carlo_pst_with, run_noisy_trials, CoherenceModel, McEngine, McKernel};
 use quva_stats::{fmt3, Table};
 
 use crate::args::{ArgsError, ParsedArgs};
@@ -159,6 +159,11 @@ COST OPTIONS:
               the available parallelism. The estimate is bit-identical
               for every thread count — 1 gives the exact same numbers
               on a single thread
+    --engine  (pst, simulate, audit) Monte-Carlo trial kernel:
+              bitparallel (64 trials per lane-word, the default) or
+              scalar (the per-trial loop kept as the cross-validation
+              oracle). The kernels are distinct deterministic samples
+              of the same model
     --seed    (pst, simulate) Monte-Carlo root seed (default 7)
     --calibration  JSON calibration snapshot overriding the device's
                    (export one with: characterize --export cal.json)
@@ -195,6 +200,7 @@ EXAMPLES:
     quva cost --bench qft:12 --trials 100000 --ci-half-width 0.01 --calibrate BENCH_sim.json
     quva pst --device q20 --policy baseline --bench qft:12 --trials 100000
     quva simulate --device q20 --policy vqa-vqm --bench bv:16 --threads 8
+    quva simulate --device q5 --policy baseline --bench ghz:3 --engine scalar
     quva trials --device q5 --policy vqa-vqm --bench ghz:3 --trials 4096
     quva characterize --device q20
     quva partition --device q20 --policy vqa-vqm --bench bv:10
@@ -635,15 +641,23 @@ fn cmd_cost(args: &ParsedArgs) -> Result<String, ArgsError> {
 }
 
 /// The Monte-Carlo execution engine selected by `--threads N`
-/// (default: one worker per available hardware thread). The choice
+/// (default: one worker per available hardware thread) and `--engine
+/// scalar|bitparallel` (default: bit-parallel). The thread count
 /// affects wall-clock only — estimates are bit-identical for every
-/// thread count.
+/// thread count; the kernel selects which deterministic sample is
+/// drawn (the scalar oracle and the bit-parallel kernel are distinct
+/// samples of the same model).
 fn parse_engine(args: &ParsedArgs) -> Result<McEngine, ArgsError> {
-    match args.get_parsed::<usize>("threads")? {
-        Some(0) => Err(ArgsError::new("--threads must be at least 1")),
-        Some(n) => Ok(McEngine::new(n)),
-        None => Ok(McEngine::auto()),
-    }
+    let engine = match args.get_parsed::<usize>("threads")? {
+        Some(0) => return Err(ArgsError::new("--threads must be at least 1")),
+        Some(n) => McEngine::new(n),
+        None => McEngine::auto(),
+    };
+    let kernel = match args.get("engine") {
+        Some(spec) => spec.parse::<McKernel>().map_err(ArgsError::new)?,
+        None => McKernel::default(),
+    };
+    Ok(engine.with_kernel(kernel))
 }
 
 fn cmd_pst(args: &ParsedArgs) -> Result<String, ArgsError> {
@@ -960,6 +974,10 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, ArgsError> {
         listen,
         workers: knob(args, "workers", defaults.workers)?,
         engine_threads: knob(args, "threads", defaults.engine_threads)?,
+        engine_kernel: match args.get("engine") {
+            Some(spec) => spec.parse::<McKernel>().map_err(ArgsError::new)?,
+            None => McKernel::default(),
+        },
         queue_capacity: knob(args, "queue", defaults.queue_capacity)?,
         default_deadline_ms: knob(args, "deadline-ms", defaults.default_deadline_ms)?,
         retry_after_ms: args
@@ -1215,6 +1233,44 @@ mod tests {
         let err =
             run_line(&["simulate", "--device", "q5", "--bench", "ghz:3", "--threads", "0"]).unwrap_err();
         assert!(err.to_string().contains("--threads"), "{err}");
+    }
+
+    #[test]
+    fn default_engine_is_bitparallel() {
+        let base = &[
+            "simulate", "--device", "q5", "--policy", "vqm", "--bench", "bv:4", "--trials", "20000",
+        ];
+        let implicit = run_line(base).unwrap();
+        let mut explicit_args = base.to_vec();
+        explicit_args.extend_from_slice(&["--engine", "bitparallel"]);
+        let explicit = run_line(&explicit_args).unwrap();
+        assert_eq!(implicit, explicit, "default kernel is not the bit-parallel one");
+    }
+
+    #[test]
+    fn scalar_engine_draws_a_distinct_sample() {
+        let run_with = |kernel: &str| {
+            run_line(&[
+                "simulate", "--device", "q5", "--policy", "vqm", "--bench", "bv:4", "--trials", "20000",
+                "--engine", kernel,
+            ])
+            .unwrap()
+        };
+        assert_ne!(
+            run_with("scalar"),
+            run_with("bitparallel"),
+            "the two kernels should be distinct deterministic samples"
+        );
+    }
+
+    #[test]
+    fn unknown_engine_is_rejected() {
+        let err = run_line(&["pst", "--device", "q5", "--bench", "ghz:3", "--engine", "simd"]).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("simd") && msg.contains("scalar|bitparallel"),
+            "{msg}"
+        );
     }
 
     #[test]

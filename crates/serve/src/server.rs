@@ -37,7 +37,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use quva_analysis::{envelope_of, CostModel};
-use quva_sim::McEngine;
+use quva_sim::{McEngine, McKernel};
 
 use crate::cache::ResultCache;
 use crate::exec::{execute, resolve, ResolvedJob};
@@ -65,6 +65,12 @@ pub struct ServerConfig {
     /// Monte-Carlo engine threads per worker (results are
     /// thread-count-independent; this is wall-clock only).
     pub engine_threads: usize,
+    /// Monte-Carlo trial kernel the workers run. The default
+    /// bit-parallel kernel and the scalar oracle are distinct
+    /// deterministic samples of the same model, so this knob changes
+    /// rendered estimates — keep it fixed across a fleet that shares
+    /// a result cache.
+    pub engine_kernel: McKernel,
     /// Bounded queue capacity — the admission-control limit.
     pub queue_capacity: usize,
     /// Deadline applied to jobs that do not carry `deadline_ms`.
@@ -97,6 +103,7 @@ impl Default for ServerConfig {
             listen: Listen::Tcp("127.0.0.1:0".to_string()),
             workers: 2,
             engine_threads: 1,
+            engine_kernel: McKernel::default(),
             queue_capacity: 64,
             default_deadline_ms: 10_000,
             retry_after_ms: 50,
@@ -387,7 +394,7 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
 /// One worker's pop-execute loop. Returns on drain or after a caught
 /// job panic (so the supervisor can count the respawn).
 fn worker_iterations(shared: &Shared) -> WorkerExit {
-    let engine = McEngine::new(shared.config.engine_threads.max(1));
+    let engine = McEngine::new(shared.config.engine_threads.max(1)).with_kernel(shared.config.engine_kernel);
     loop {
         let job = match shared.queue.pop(Duration::from_millis(100)) {
             Pop::Item(job) => job,

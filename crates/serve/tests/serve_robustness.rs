@@ -86,7 +86,7 @@ fn per_request_deadline_yields_typed_deadline_exceeded() {
     send(
         &mut blocker,
         "{\"id\":\"slow\",\"kind\":\"simulate\",\"device\":\"q20\",\"policy\":\"vqm\",\
-         \"benchmark\":\"bv:8\",\"trials\":2000000,\"seed\":1}",
+         \"benchmark\":\"bv:8\",\"trials\":50000000,\"seed\":1}",
     );
     thread::sleep(Duration::from_millis(100)); // let the worker pick it up
     let (mut stream, mut reader) = open(&addr);
@@ -119,7 +119,7 @@ fn graceful_drain_completes_in_flight_work_and_refuses_new_work() {
     send(
         &mut a,
         "{\"id\":\"inflight\",\"kind\":\"simulate\",\"device\":\"q20\",\"policy\":\"vqm\",\
-         \"benchmark\":\"bv:8\",\"trials\":2000000,\"seed\":7}",
+         \"benchmark\":\"bv:8\",\"trials\":50000000,\"seed\":7}",
     );
     // conn D opens before the drain so it survives the accept-loop exit
     let (mut d, mut d_reader) = open(&addr);

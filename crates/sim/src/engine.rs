@@ -8,9 +8,23 @@
 //! root seed by a SplitMix64 counter, and merging the per-chunk
 //! [`McEstimate`]s by pure integer addition.
 //!
+//! Two trial kernels share that chunked executor, selected by
+//! [`McKernel`]:
+//!
+//! * **`BitParallel`** (the default) — the SWAR kernel of
+//!   [`crate::bitparallel`]: 64 trials per `u64` lane-word, one
+//!   binomial alias draw per `(word, event)`, OR-folded failure masks,
+//!   `count_ones()` to merge. ~10x the scalar throughput on the
+//!   1-CPU CI host.
+//! * **`Scalar`** — the original per-trial Bernoulli loop over
+//!   [`rand::rngs::StdRng`], retained as the cross-validation oracle:
+//!   an independent sampling procedure the bit-parallel estimates are
+//!   held to within binomial standard error (the `mc-crossval` CI
+//!   job).
+//!
 //! # Determinism contract
 //!
-//! For a given `(trials, seed, chunk_trials)` the result is
+//! For a given `(trials, seed, chunk_trials, kernel)` the result is
 //! **bit-identical for every thread count, including 1**:
 //!
 //! * chunk `k` always simulates the same trial range with the RNG
@@ -27,6 +41,13 @@
 //! laptop, a CI runner, and a 96-core server all produce the same
 //! bytes.
 //!
+//! The bit-parallel kernel's contract is strictly stronger: its draws
+//! are keyed by the *global* lane-word index (lane-major seeding), not
+//! by the chunk, so its counts are invariant under the chunk size too
+//! — any partition of the trial range merges to the same bytes. The
+//! scalar kernel keeps its historical per-chunk streams, where the
+//! chunk size selects the (deterministic) sample.
+//!
 //! # Seed derivation
 //!
 //! Chunk `k` is seeded with element `k` of the SplitMix64 stream
@@ -34,7 +55,10 @@
 //! constants, that [`rand::rngs::StdRng`] uses internally to expand
 //! seeds). SplitMix64 is a bijective counter-based generator, so chunk
 //! seeds are derived in O(1) without scanning — workers can claim
-//! chunks in any order — and distinct chunks never collide.
+//! chunks in any order — and distinct chunks never collide. The
+//! bit-parallel kernel anchors the same stream at the same root but
+//! indexes it by global lane-word instead of chunk: word `w`'s draws
+//! all derive from stream element `w` by salted counter offsets.
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -42,6 +66,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::bitparallel::{self, BpTrace, LaneTable, LANES};
 use crate::montecarlo::McEstimate;
 use crate::profile::{EventClass, FailureProfile};
 
@@ -58,13 +83,22 @@ pub const DEFAULT_CHUNK_TRIALS: u64 = 16_384;
 /// `StdRng`'s seed expansion.
 const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
 
-/// Element `index` of the SplitMix64 stream anchored at `root` — the
-/// RNG seed of chunk `index`. Counter-based: O(1) for any index.
-fn chunk_seed(root: u64, index: u64) -> u64 {
-    let z = root.wrapping_add(GOLDEN.wrapping_mul(index.wrapping_add(1)));
+/// The SplitMix64 output finalizer: a bijective avalanche over `u64`.
+/// Shared by the chunk-seed derivation here and every counter-based
+/// draw of the bit-parallel kernel.
+#[inline]
+pub(crate) fn splitmix(z: u64) -> u64 {
     let z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     let z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Element `index` of the SplitMix64 stream anchored at `root` — the
+/// RNG seed of chunk `index` (scalar kernel) or the base of lane-word
+/// `index`'s draws (bit-parallel kernel). Counter-based: O(1) for any
+/// index.
+fn chunk_seed(root: u64, index: u64) -> u64 {
+    splitmix(root.wrapping_add(GOLDEN.wrapping_mul(index.wrapping_add(1))))
 }
 
 /// Runs one chunk of the injection loop: `trials` independent trials
@@ -122,6 +156,123 @@ fn record_aborts(aborts: &[u64; 5]) {
     }
 }
 
+/// Publishes a per-worker bit-parallel tally: the shared `sim.abort.*`
+/// accounting plus the kernel's own `sim.bitparallel.*` counters.
+fn record_bp_trace(trace: &BpTrace) {
+    record_aborts(&trace.aborts);
+    if trace.words > 0 {
+        quva_obs::counter("sim.bitparallel.words", trace.words);
+    }
+    if trace.fires > 0 {
+        quva_obs::counter("sim.bitparallel.fires", trace.fires);
+    }
+}
+
+/// The lane mask selecting bits `lo..hi` of a word (`hi ≤ 64`,
+/// `lo < hi`).
+#[inline]
+fn lane_mask(lo: u64, hi: u64) -> u64 {
+    debug_assert!(lo < hi && hi <= LANES);
+    (!0u64 >> (LANES - (hi - lo))) << lo
+}
+
+/// Runs the bit-parallel kernel over the *global* trial range
+/// `[start, start + len)`. Lane-words overlapping the range are
+/// evaluated in full — every draw is keyed by the global word index,
+/// so a word split across two chunks is computed identically by both
+/// and each counts only its own lanes. That is what makes the merged
+/// result independent of the chunking.
+fn run_chunk_bitparallel(table: &LaneTable, seed: u64, start: u64, len: u64) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let end = start + len;
+    let mut successes = 0u64;
+    let mut scratch = bitparallel::Scratch::default();
+    for w in start / LANES..end.div_ceil(LANES) {
+        let lo = start.max(w * LANES) - w * LANES;
+        let hi = end.min((w + 1) * LANES) - w * LANES;
+        let fail = bitparallel::word_failures(table, chunk_seed(seed, w), &mut scratch);
+        successes += u64::from((!fail & lane_mask(lo, hi)).count_ones());
+    }
+    successes
+}
+
+/// [`run_chunk_bitparallel`] with fault attribution and kernel
+/// counters. Identical draws, identical masks, identical counts —
+/// only the bookkeeping differs (the contract shared with
+/// [`run_chunk_traced`]).
+fn run_chunk_bitparallel_traced(
+    table: &LaneTable,
+    seed: u64,
+    start: u64,
+    len: u64,
+    trace: &mut BpTrace,
+) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let end = start + len;
+    let mut successes = 0u64;
+    let mut scratch = bitparallel::Scratch::default();
+    for w in start / LANES..end.div_ceil(LANES) {
+        let lo = start.max(w * LANES) - w * LANES;
+        let hi = end.min((w + 1) * LANES) - w * LANES;
+        let lanes = lane_mask(lo, hi);
+        let fail = bitparallel::word_failures_traced(table, chunk_seed(seed, w), lanes, trace, &mut scratch);
+        successes += u64::from((!fail & lanes).count_ones());
+    }
+    successes
+}
+
+/// Which trial kernel a [`McEngine`] runs.
+///
+/// Both kernels sample the same model (independent Bernoulli per
+/// active event) and satisfy the same determinism contract; they are
+/// *different deterministic samples*, cross-validated against each
+/// other statistically rather than bit-compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum McKernel {
+    /// Per-trial Bernoulli loop over `StdRng` — the original kernel,
+    /// kept as the independent oracle for cross-validation.
+    Scalar,
+    /// 64-trials-per-word SWAR kernel ([`crate::bitparallel`]) — the
+    /// production default.
+    #[default]
+    BitParallel,
+}
+
+impl McKernel {
+    /// The stable textual name, as accepted by [`McKernel::from_str`]
+    /// and the CLI `--engine` flag.
+    pub fn label(self) -> &'static str {
+        match self {
+            McKernel::Scalar => "scalar",
+            McKernel::BitParallel => "bitparallel",
+        }
+    }
+}
+
+impl std::fmt::Display for McKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for McKernel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scalar" => Ok(McKernel::Scalar),
+            "bitparallel" => Ok(McKernel::BitParallel),
+            other => Err(format!(
+                "unknown engine kernel '{other}' (expected scalar|bitparallel)"
+            )),
+        }
+    }
+}
+
 /// A chunked, deterministic, optionally multi-threaded executor for
 /// Monte-Carlo trial runs.
 ///
@@ -148,6 +299,7 @@ fn record_aborts(aborts: &[u64; 5]) {
 pub struct McEngine {
     threads: usize,
     chunk_trials: u64,
+    kernel: McKernel,
 }
 
 impl Default for McEngine {
@@ -166,6 +318,7 @@ impl McEngine {
         McEngine {
             threads: threads.max(1),
             chunk_trials: DEFAULT_CHUNK_TRIALS,
+            kernel: McKernel::default(),
         }
     }
 
@@ -190,6 +343,14 @@ impl McEngine {
         self
     }
 
+    /// Selects the trial kernel. The default is
+    /// [`McKernel::BitParallel`]; cross-validation harnesses pass
+    /// [`McKernel::Scalar`] to run the oracle.
+    pub fn with_kernel(mut self, kernel: McKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
     /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
@@ -198,6 +359,11 @@ impl McEngine {
     /// The configured trials-per-chunk granularity.
     pub fn chunk_trials(&self) -> u64 {
         self.chunk_trials
+    }
+
+    /// The configured trial kernel.
+    pub fn kernel(&self) -> McKernel {
+        self.kernel
     }
 
     /// Number of trials chunk `index` simulates out of `trials` total.
@@ -225,11 +391,20 @@ impl McEngine {
         }
     }
 
-    /// The uninstrumented injection loop: no recorder check, no spans,
-    /// no counters. [`Self::run`] delegates here whenever tracing is
-    /// disabled; `bench_sim`'s overhead gate compares the two to keep
-    /// the disabled path within 2 % of this baseline.
+    /// The uninstrumented injection loop for the configured kernel: no
+    /// recorder check, no spans, no counters. [`Self::run`] delegates
+    /// here whenever tracing is disabled; `bench_sim`'s overhead gate
+    /// compares the two to keep the disabled path within 5 % of this
+    /// baseline (the bit-parallel kernel runs at ~8 ns/trial, so a
+    /// tighter bound would be below timing resolution).
     pub fn run_reference(&self, profile: &FailureProfile, trials: u64, seed: u64) -> McEstimate {
+        match self.kernel {
+            McKernel::Scalar => self.run_reference_scalar(profile, trials, seed),
+            McKernel::BitParallel => self.run_reference_bitparallel(profile, trials, seed),
+        }
+    }
+
+    fn run_reference_scalar(&self, profile: &FailureProfile, trials: u64, seed: u64) -> McEstimate {
         let events = profile.active_events();
         let chunks = trials.div_ceil(self.chunk_trials);
         let workers = (self.threads as u64).min(chunks);
@@ -271,12 +446,63 @@ impl McEngine {
         McEstimate::from_counts(successes, trials)
     }
 
+    fn run_reference_bitparallel(&self, profile: &FailureProfile, trials: u64, seed: u64) -> McEstimate {
+        let table = LaneTable::new(profile);
+        let chunks = trials.div_ceil(self.chunk_trials);
+        let workers = (self.threads as u64).min(chunks);
+        if workers <= 1 {
+            let successes = (0..chunks)
+                .map(|k| {
+                    run_chunk_bitparallel(&table, seed, k * self.chunk_trials, self.chunk_len(trials, k))
+                })
+                .sum();
+            return McEstimate::from_counts(successes, trials);
+        }
+
+        let next = AtomicU64::new(0);
+        let table = &table;
+        let successes = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = 0u64;
+                        loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            if k >= chunks {
+                                break;
+                            }
+                            local += run_chunk_bitparallel(
+                                table,
+                                seed,
+                                k * self.chunk_trials,
+                                self.chunk_len(trials, k),
+                            );
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
+                .sum()
+        });
+        McEstimate::from_counts(successes, trials)
+    }
+
     /// The instrumented twin of [`Self::run_reference`]: same chunking,
-    /// same seeds, same RNG draws (via [`run_chunk_traced`]), plus
-    /// spans and deterministic counters. Worker threads record only
-    /// u64 counters and flush before exiting, so a drain after this
-    /// returns sees schedule-independent totals.
+    /// same seeds, same RNG draws, plus spans and deterministic
+    /// counters. Worker threads record only u64 counters and flush
+    /// before exiting, so a drain after this returns sees
+    /// schedule-independent totals.
     fn run_traced(&self, profile: &FailureProfile, trials: u64, seed: u64) -> McEstimate {
+        match self.kernel {
+            McKernel::Scalar => self.run_traced_scalar(profile, trials, seed),
+            McKernel::BitParallel => self.run_traced_bitparallel(profile, trials, seed),
+        }
+    }
+
+    fn run_traced_scalar(&self, profile: &FailureProfile, trials: u64, seed: u64) -> McEstimate {
         let _run = quva_obs::span("sim", "sim.run");
         let events = profile.active_events();
         let classes = profile.active_event_classes();
@@ -343,6 +569,75 @@ impl McEngine {
         });
         McEstimate::from_counts(successes, trials)
     }
+
+    fn run_traced_bitparallel(&self, profile: &FailureProfile, trials: u64, seed: u64) -> McEstimate {
+        let _run = quva_obs::span("sim", "sim.run");
+        let table = LaneTable::new(profile);
+        let chunks = trials.div_ceil(self.chunk_trials);
+        let workers = (self.threads as u64).min(chunks);
+        quva_obs::counter("sim.runs", 1);
+        quva_obs::counter("sim.trials", trials);
+        quva_obs::counter("sim.chunks", chunks);
+        quva_obs::counter("sim.workers", workers.max(1));
+        quva_obs::counter("sim.bitparallel.runs", 1);
+
+        if workers <= 1 {
+            let mut successes = 0u64;
+            let mut trace = BpTrace::default();
+            for k in 0..chunks {
+                let _chunk = quva_obs::span("sim", "sim.chunk");
+                successes += run_chunk_bitparallel_traced(
+                    &table,
+                    seed,
+                    k * self.chunk_trials,
+                    self.chunk_len(trials, k),
+                    &mut trace,
+                );
+            }
+            record_bp_trace(&trace);
+            return McEstimate::from_counts(successes, trials);
+        }
+
+        let next = AtomicU64::new(0);
+        let table = &table;
+        let successes: u64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = 0u64;
+                        let mut trace = BpTrace::default();
+                        {
+                            let _worker = quva_obs::span("sim", "sim.worker");
+                            loop {
+                                let k = next.fetch_add(1, Ordering::Relaxed);
+                                if k >= chunks {
+                                    break;
+                                }
+                                let _chunk = quva_obs::span("sim", "sim.chunk");
+                                local += run_chunk_bitparallel_traced(
+                                    table,
+                                    seed,
+                                    k * self.chunk_trials,
+                                    self.chunk_len(trials, k),
+                                    &mut trace,
+                                );
+                            }
+                        }
+                        record_bp_trace(&trace);
+                        // TLS destructors may lag a scope join: merge now
+                        // so the caller's drain sees this worker
+                        quva_obs::flush();
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
+                .sum()
+        });
+        McEstimate::from_counts(successes, trials)
+    }
 }
 
 #[cfg(test)]
@@ -377,10 +672,60 @@ mod tests {
     #[test]
     fn thread_counts_are_bit_identical() {
         let p = profile(0.08, 7);
-        let reference = McEngine::sequential().run(&p, 100_000, 11);
-        for threads in [2usize, 3, 4, 8, 17] {
-            let parallel = McEngine::new(threads).run(&p, 100_000, 11);
-            assert_eq!(reference, parallel, "{threads} threads diverged");
+        for kernel in [McKernel::Scalar, McKernel::BitParallel] {
+            let reference = McEngine::sequential().with_kernel(kernel).run(&p, 100_000, 11);
+            for threads in [2usize, 3, 4, 8, 17] {
+                let parallel = McEngine::new(threads).with_kernel(kernel).run(&p, 100_000, 11);
+                assert_eq!(reference, parallel, "{kernel} at {threads} threads diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn bitparallel_is_chunk_size_invariant() {
+        // lane-major seeding: the bit-parallel sample is a function of
+        // (trials, seed) alone — any chunking merges to the same bytes,
+        // including chunk sizes that split words across chunks
+        let p = profile(0.08, 7);
+        let reference = McEngine::sequential().run(&p, 50_001, 13);
+        for chunk_trials in [1u64, 7, 63, 64, 100, 1000, 16_384, 60_000] {
+            let est = McEngine::new(4)
+                .with_chunk_trials(chunk_trials)
+                .run(&p, 50_001, 13);
+            assert_eq!(reference, est, "chunk size {chunk_trials} changed the sample");
+        }
+    }
+
+    #[test]
+    fn kernels_agree_statistically_and_are_distinct_samples() {
+        let p = profile(0.05, 10);
+        let trials = 200_000u64;
+        let scalar = McEngine::new(4).with_kernel(McKernel::Scalar).run(&p, trials, 2);
+        let bitparallel = McEngine::new(4)
+            .with_kernel(McKernel::BitParallel)
+            .run(&p, trials, 2);
+        let se = (scalar.std_error().powi(2) + bitparallel.std_error().powi(2)).sqrt();
+        assert!(
+            (scalar.pst - bitparallel.pst).abs() < 4.0 * se.max(1e-4),
+            "scalar {} vs bit-parallel {}",
+            scalar.pst,
+            bitparallel.pst
+        );
+        // different kernels are different deterministic samples: exact
+        // equality would mean the oracle is not independent
+        assert_ne!(scalar.successes, bitparallel.successes);
+    }
+
+    #[test]
+    fn kernel_selection_round_trips() {
+        assert_eq!(McEngine::new(2).kernel(), McKernel::BitParallel);
+        let oracle = McEngine::new(2).with_kernel(McKernel::Scalar);
+        assert_eq!(oracle.kernel(), McKernel::Scalar);
+        assert_eq!("scalar".parse::<McKernel>().unwrap(), McKernel::Scalar);
+        assert_eq!("bitparallel".parse::<McKernel>().unwrap(), McKernel::BitParallel);
+        assert!("simd".parse::<McKernel>().is_err());
+        for kernel in [McKernel::Scalar, McKernel::BitParallel] {
+            assert_eq!(kernel.label().parse::<McKernel>().unwrap(), kernel);
         }
     }
 

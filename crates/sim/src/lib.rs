@@ -8,7 +8,10 @@
 //! * [`monte_carlo_pst`] — the Fig. 10 Monte-Carlo fault injector,
 //!   which converges to the analytic value (property-tested). Trial
 //!   execution runs on the deterministic parallel [`McEngine`]:
-//!   chunked, seed-derived, and bit-identical for every thread count;
+//!   chunked, seed-derived, and bit-identical for every thread count.
+//!   Two kernels are available via [`McKernel`]: the default
+//!   bit-parallel SWAR kernel (64 trials per `u64` lane-word) and the
+//!   scalar per-trial loop retained as its cross-validation oracle;
 //! * [`run_noisy_trials`] — a dense state-vector simulation with
 //!   stochastic Pauli gate noise and readout flips, the stand-in for
 //!   the paper's real-hardware IBM-Q5 runs (§7).
@@ -38,6 +41,7 @@
 #![warn(missing_debug_implementations)]
 
 mod analytic;
+mod bitparallel;
 mod complex;
 mod correlated;
 mod crosstalk;
@@ -55,7 +59,7 @@ pub use complex::Complex64;
 pub use correlated::{monte_carlo_pst_correlated, CorrelatedModel};
 pub use crosstalk::{analytic_pst_with_crosstalk, CrosstalkModel};
 pub use density::{DensityMatrix, MAX_DENSITY_QUBITS};
-pub use engine::{McEngine, DEFAULT_CHUNK_TRIALS};
+pub use engine::{McEngine, McKernel, DEFAULT_CHUNK_TRIALS};
 pub use error::SimError;
 pub use exact::exact_noisy_distribution;
 pub use montecarlo::{monte_carlo_pst, monte_carlo_pst_with, run_trials, McEstimate};
