@@ -1,0 +1,178 @@
+//! The pipeline-contract checker: maps `quva::pipeline`'s typed
+//! [`ContractViolation`]s onto the stable `QV5xx` lint codes and
+//! renders them through the same [`Report`] machinery as every other
+//! pass — so `quva pipeline --check` produces the same deterministic
+//! text/JSON as `quva lint` and `quva audit`, and CI can grep for a
+//! code.
+//!
+//! The analysis itself lives in core ([`Pipeline::violations`]): the
+//! invariant-lattice walk must sit beside the passes it describes, and
+//! core cannot depend on this crate (dependency inversion — the same
+//! reason `quva::CompileAudit` exists). This module is the diagnostics
+//! adapter.
+
+use quva::pipeline::{ContractViolationKind, Pipeline};
+use quva::ContractViolation;
+
+use crate::diagnostic::{Diagnostic, LintCode, Report, Span};
+
+/// The stable lint code of one contract violation class.
+pub fn violation_code(kind: &ContractViolationKind) -> LintCode {
+    match kind {
+        ContractViolationKind::MissingPrecondition { .. } => LintCode::PipelineMissingPrecondition,
+        ContractViolationKind::ClobberedInvariant { .. } => LintCode::PipelineClobberedInvariant,
+        ContractViolationKind::UnreachablePass => LintCode::PipelineUnreachablePass,
+        ContractViolationKind::OutputMissing { .. } => LintCode::PipelineOutputMissing,
+    }
+}
+
+fn diagnostic_of(v: &ContractViolation) -> Diagnostic {
+    // the span anchors to the pass *position* in the pipeline, the
+    // analogue of a gate index in a circuit report
+    Diagnostic::new(
+        violation_code(v.kind()),
+        Some(Span::gate(v.index())),
+        v.to_string(),
+    )
+}
+
+/// Statically checks a pipeline's pass contracts, rendering every
+/// violation as a `QV5xx` diagnostic. A clean report means the
+/// pipeline would convert into a `CheckedPipeline` as-is.
+///
+/// # Examples
+///
+/// ```
+/// use quva::pipeline::{Pipeline, RoutePass};
+/// use quva::{MappingPolicy, RoutingMetric};
+/// use quva_analysis::{check_pipeline, LintCode};
+///
+/// // every standard policy pipeline is contract-clean
+/// let report = check_pipeline(&Pipeline::for_policy(&MappingPolicy::vqa_vqm()));
+/// assert!(report.is_clean(), "{}", report.render_text());
+///
+/// // routing without allocating is refused with a stable code
+/// let broken = Pipeline::new().with_pass(RoutePass { metric: RoutingMetric::Hops });
+/// let report = check_pipeline(&broken);
+/// assert!(report.has_code(LintCode::PipelineMissingPrecondition));
+/// ```
+pub fn check_pipeline(pipeline: &Pipeline<'_>) -> Report {
+    let diagnostics: Vec<Diagnostic> = pipeline.violations().iter().map(diagnostic_of).collect();
+    Report::new(diagnostics, vec!["pipeline-contracts"])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quva::pipeline::{AllocatePass, OptimizePass, PortfolioRoutePass, RoutePass, VerifyPass};
+    use quva::{AllocationStrategy, MappingPolicy, RoutingMetric};
+    use quva_circuit::Circuit;
+    use quva_device::Device;
+
+    fn allocate() -> AllocatePass {
+        AllocatePass {
+            strategy: AllocationStrategy::GreedyInteraction,
+        }
+    }
+
+    fn route() -> RoutePass {
+        RoutePass {
+            metric: RoutingMetric::Hops,
+        }
+    }
+
+    #[test]
+    fn standard_pipelines_are_clean() {
+        for policy in [
+            MappingPolicy::baseline(),
+            MappingPolicy::vqm(),
+            MappingPolicy::vqm_hop_limited(),
+            MappingPolicy::vqa_vqm(),
+            MappingPolicy::native(0),
+        ] {
+            let report = check_pipeline(&Pipeline::for_policy(&policy));
+            assert!(report.is_clean(), "{}: {}", policy.name(), report.render_text());
+            assert_eq!(report.passes(), ["pipeline-contracts"]);
+        }
+    }
+
+    #[test]
+    fn missing_precondition_is_qv501() {
+        let report = check_pipeline(&Pipeline::new().with_pass(route()));
+        assert!(report.has_code(LintCode::PipelineMissingPrecondition));
+        assert!(!report.is_clean());
+        let text = report.render_text();
+        assert!(text.contains("QV501"), "{text}");
+        assert!(text.contains("requires Mapped"), "{text}");
+    }
+
+    #[test]
+    fn clobbered_invariant_is_qv502() {
+        let report = check_pipeline(
+            &Pipeline::new()
+                .with_pass(allocate())
+                .with_pass(OptimizePass)
+                .with_pass(route()),
+        );
+        assert!(report.has_code(LintCode::PipelineClobberedInvariant));
+        let text = report.render_text();
+        assert!(text.contains("QV502"), "{text}");
+        assert!(text.contains("'optimize' clobbered"), "{text}");
+    }
+
+    #[test]
+    fn unreachable_pass_is_qv503() {
+        let report = check_pipeline(
+            &Pipeline::new()
+                .with_pass(allocate())
+                .with_pass(allocate())
+                .with_pass(route()),
+        );
+        assert!(report.has_code(LintCode::PipelineUnreachablePass));
+        assert!(report.render_text().contains("QV503"));
+    }
+
+    #[test]
+    fn output_missing_is_qv504() {
+        let report = check_pipeline(&Pipeline::new().with_pass(allocate()));
+        assert!(report.has_code(LintCode::PipelineOutputMissing));
+        assert!(report.render_text().contains("QV504"));
+    }
+
+    #[test]
+    fn span_anchors_to_pass_position() {
+        let report = check_pipeline(&Pipeline::new().with_pass(allocate()).with_pass(allocate()));
+        let d = report.with_code(LintCode::PipelineUnreachablePass);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].span().map(|s| s.start), Some(1));
+    }
+
+    #[test]
+    fn json_rendering_carries_stable_codes() {
+        let report = check_pipeline(&Pipeline::new());
+        let json = report.render_json();
+        assert!(json.contains("\"code\": \"QV504\""), "{json}");
+        assert!(json.contains("\"passes\": [\"pipeline-contracts\"]"), "{json}");
+    }
+
+    #[test]
+    fn portfolio_pipeline_with_verify_is_clean_and_runs() {
+        let verifier = crate::Verifier::new();
+        let pipeline = Pipeline::new()
+            .with_pass(allocate())
+            .with_pass(PortfolioRoutePass {
+                metric: RoutingMetric::reliability(),
+                width: 3,
+            })
+            .with_pass(VerifyPass::new(&verifier));
+        assert!(check_pipeline(&pipeline).is_clean());
+        let device = Device::ibm_q5();
+        let mut program = Circuit::new(3);
+        program.h(quva_circuit::Qubit(0));
+        program.cnot(quva_circuit::Qubit(0), quva_circuit::Qubit(2));
+        program.measure(quva_circuit::Qubit(2), quva_circuit::Cbit(0));
+        let compiled = pipeline.compile(&program, &device).unwrap();
+        let report = crate::verify_compiled(&program, &device, &compiled);
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+}

@@ -119,12 +119,24 @@ pub enum LintCode {
     /// wire protocol's frame budget: the daemon would refuse to frame
     /// the result.
     ResponseExceedsFrameBudget,
+    /// A compile pass requires an invariant that no earlier pass in the
+    /// pipeline establishes.
+    PipelineMissingPrecondition,
+    /// A compile pass requires an invariant that an earlier pass
+    /// established but an intermediate pass then destroyed.
+    PipelineClobberedInvariant,
+    /// A compile pass neither establishes a new invariant nor disturbs
+    /// a live one: it is dead in this pipeline.
+    PipelineUnreachablePass,
+    /// The pipeline terminates without establishing the invariant a
+    /// compiled output needs: no compiled circuit would be produced.
+    PipelineOutputMissing,
 }
 
 impl LintCode {
     /// Every released code, in code order. The doc-sync test walks this
     /// to keep the DESIGN.md code table and the enum in lockstep.
-    pub const ALL: [LintCode; 24] = [
+    pub const ALL: [LintCode; 28] = [
         LintCode::OffCouplerGate,
         LintCode::DisabledLinkGate,
         LintCode::PermutationMismatch,
@@ -149,6 +161,10 @@ impl LintCode {
         LintCode::TrialBudgetTooSmall,
         LintCode::PathologicalRoutingBlowup,
         LintCode::ResponseExceedsFrameBudget,
+        LintCode::PipelineMissingPrecondition,
+        LintCode::PipelineClobberedInvariant,
+        LintCode::PipelineUnreachablePass,
+        LintCode::PipelineOutputMissing,
     ];
 
     /// Resolves a `QVnnn` code or a slug name back to its variant.
@@ -194,6 +210,10 @@ impl LintCode {
             LintCode::TrialBudgetTooSmall => "QV402",
             LintCode::PathologicalRoutingBlowup => "QV403",
             LintCode::ResponseExceedsFrameBudget => "QV404",
+            LintCode::PipelineMissingPrecondition => "QV501",
+            LintCode::PipelineClobberedInvariant => "QV502",
+            LintCode::PipelineUnreachablePass => "QV503",
+            LintCode::PipelineOutputMissing => "QV504",
         }
     }
 
@@ -224,6 +244,10 @@ impl LintCode {
             LintCode::TrialBudgetTooSmall => "trial-budget-too-small",
             LintCode::PathologicalRoutingBlowup => "pathological-routing-blowup",
             LintCode::ResponseExceedsFrameBudget => "response-exceeds-frame-budget",
+            LintCode::PipelineMissingPrecondition => "pipeline-missing-precondition",
+            LintCode::PipelineClobberedInvariant => "pipeline-clobbered-invariant",
+            LintCode::PipelineUnreachablePass => "pipeline-unreachable-pass",
+            LintCode::PipelineOutputMissing => "pipeline-output-missing",
         }
     }
 
@@ -238,6 +262,12 @@ impl LintCode {
             | LintCode::WidthExceeded
             | LintCode::UnmappedOperand
             | LintCode::CalibrationEscape => Severity::Error,
+            // pipeline contract violations are construction bugs: the
+            // pipeline cannot produce a legal artifact, so they gate
+            LintCode::PipelineMissingPrecondition
+            | LintCode::PipelineClobberedInvariant
+            | LintCode::PipelineUnreachablePass
+            | LintCode::PipelineOutputMissing => Severity::Error,
             LintCode::UnusedQubit
             | LintCode::UnmeasuredQubit
             | LintCode::NoMeasurements
@@ -327,6 +357,20 @@ impl LintCode {
                 "the pessimistic bound of the rendered-response size exceeds the wire protocol's \
                  frame budget"
             }
+            LintCode::PipelineMissingPrecondition => {
+                "a compile pass requires an invariant that no earlier pass in the pipeline establishes"
+            }
+            LintCode::PipelineClobberedInvariant => {
+                "a compile pass requires an invariant that an earlier pass established but an \
+                 intermediate pass then destroyed"
+            }
+            LintCode::PipelineUnreachablePass => {
+                "a compile pass neither establishes a new invariant nor disturbs a live one: it is \
+                 dead in this pipeline"
+            }
+            LintCode::PipelineOutputMissing => {
+                "the pipeline terminates without establishing the invariant a compiled output needs"
+            }
         }
     }
 
@@ -394,6 +438,22 @@ impl LintCode {
             LintCode::ResponseExceedsFrameBudget => {
                 "a response the daemon cannot frame is indistinguishable from a failed job to the \
                  client; trim the workload or raise the frame budget"
+            }
+            LintCode::PipelineMissingPrecondition => {
+                "the pass would run on state that does not exist — catching it statically turns a \
+                 runtime compile failure into a construction-time rejection"
+            }
+            LintCode::PipelineClobberedInvariant => {
+                "the pass would consume state a reordered pass already invalidated; reorder the \
+                 pipeline so consumers run before clobberers"
+            }
+            LintCode::PipelineUnreachablePass => {
+                "a dead pass burns compile time for no effect and usually means a duplicated or \
+                 misplaced stage; delete or move it"
+            }
+            LintCode::PipelineOutputMissing => {
+                "running the pipeline could only ever fail — no sequence of these passes produces a \
+                 routed circuit to return"
             }
         }
     }

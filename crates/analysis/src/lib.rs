@@ -9,10 +9,12 @@
 //! Four layers:
 //!
 //! - **Diagnostics** ([`Diagnostic`], [`Severity`], stable [`LintCode`]s
-//!   `QV001`–`QV404`, gate-index [`Span`]s) aggregated into a [`Report`]
+//!   `QV001`–`QV504`, gate-index [`Span`]s) aggregated into a [`Report`]
 //!   renderable as text or JSON.
 //! - **Passes** ([`CircuitPass`] over logical circuits, [`CompiledPass`]
-//!   over compiler output) collected in a [`PassRegistry`].
+//!   over compiler output) collected in a [`PassRegistry`], plus the
+//!   [`contracts`] checker that validates `quva::pipeline` pass
+//!   pipelines *before they run*.
 //! - **The [`dataflow`] engine** — a generic forward worklist analysis
 //!   over physical circuits (abstract state per qubit, transfer function
 //!   per gate) that powers the reliability-semantic passes: static ESP
@@ -28,7 +30,9 @@
 //! `QV2xx`, the reliability block `QV3xx`, and the cost block `QV4xx`
 //! are [`Severity::Warning`] — legal but suspicious, wasteful, or
 //! budget-hostile; a report with only warnings still
-//! [`Report::is_clean`].
+//! [`Report::is_clean`]. The pipeline-contract block `QV5xx` is
+//! [`Severity::Error`] again: a misconfigured pipeline cannot produce a
+//! legal artifact, so it is refused before it runs.
 //!
 //! ## Examples
 //!
@@ -73,12 +77,14 @@
 #![warn(missing_debug_implementations)]
 
 mod audit;
+pub mod contracts;
 pub mod dataflow;
 mod diagnostic;
 mod pass;
 pub mod passes;
 
 pub use audit::{audit_compiled, audit_with, AuditReport, QubitReliability};
+pub use contracts::{check_pipeline, violation_code};
 pub use diagnostic::{Diagnostic, LintCode, Report, Severity, Span};
 pub use pass::{CircuitPass, CompiledContext, CompiledPass, PassRegistry};
 pub use passes::cost::{

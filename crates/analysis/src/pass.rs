@@ -12,7 +12,11 @@ use crate::passes;
 
 /// A static pass over a *logical* (program) circuit, optionally aware
 /// of the device it is intended for.
-pub trait CircuitPass {
+///
+/// `Send + Sync` are supertraits so a registry (and the `Verifier`
+/// built on it) satisfies `quva::CompileAudit`'s `Sync` bound and can
+/// sit inside a cached, thread-shared compile pipeline.
+pub trait CircuitPass: Send + Sync {
     /// The stable pass name shown in reports.
     fn name(&self) -> &'static str;
     /// Runs the pass, appending any findings to `out`.
@@ -32,7 +36,10 @@ pub struct CompiledContext<'a> {
 }
 
 /// A static pass over a compiled circuit (no simulation involved).
-pub trait CompiledPass {
+///
+/// `Send + Sync` are supertraits for the same reason as on
+/// [`CircuitPass`].
+pub trait CompiledPass: Send + Sync {
     /// The stable pass name shown in reports.
     fn name(&self) -> &'static str;
     /// Runs the pass, appending any findings to `out`.

@@ -1,0 +1,128 @@
+//! Property tests for the pass-pipeline contracts and the ESP-pruned
+//! portfolio router:
+//!
+//! 1. Over seeded devices and workloads, the portfolio pipeline's
+//!    static ESP point never falls below the single-candidate pipeline
+//!    of the same policy — the protected-chain guarantee, exercised
+//!    across calibration draws rather than just the named devices.
+//! 2. Every pipeline permutation that omits a required pass (no
+//!    allocation, or no routing at all) is rejected by contract
+//!    checking, and `compile` refuses it with a typed
+//!    `CompileError::Contract` — nothing runs.
+//! 3. The diagnostics adapter and the core validator always agree: a
+//!    clean `check_pipeline` report means `validate()` succeeds, and
+//!    vice versa.
+
+use proptest::prelude::*;
+use quva::pipeline::{
+    static_esp_point, AllocatePass, OptimizePass, PortfolioRoutePass, RoutePass, SelectAlternativePass,
+};
+use quva::{AllocationStrategy, CompileError, MappingPolicy, Pipeline};
+use quva_analysis::check_pipeline;
+use quva_benchmarks::Benchmark;
+use quva_device::{CalibrationGenerator, Device, Topology, VariationProfile};
+
+/// A device with a seeded synthetic calibration over one of three
+/// topologies — the same construction the CLI's `grid:RxC@SEED` specs
+/// use.
+fn seeded_device(seed: u64) -> Device {
+    let topology = match seed % 3 {
+        0 => Topology::grid(4, 5),
+        1 => Topology::ring(16),
+        _ => Topology::ibm_q20_tokyo(),
+    };
+    let mut generator = CalibrationGenerator::new(VariationProfile::ibm_q20_paper(), seed);
+    let calibration = generator.snapshot(&topology);
+    Device::from_parts(topology, calibration).unwrap()
+}
+
+/// Builds a pipeline from a sampled index sequence over the five-pass
+/// vocabulary. Mirrors the CLI's `--passes` list.
+fn pipeline_of(indices: &[usize], width: usize) -> Pipeline<'static> {
+    let policy = MappingPolicy::vqm();
+    let mut p = Pipeline::new();
+    for &i in indices {
+        p = match i {
+            0 => p.with_pass(OptimizePass),
+            1 => p.with_pass(AllocatePass {
+                strategy: policy.allocation,
+            }),
+            2 => p.with_pass(RoutePass {
+                metric: policy.routing,
+            }),
+            3 => p.with_pass(PortfolioRoutePass {
+                metric: policy.routing,
+                width,
+            }),
+            _ => p.with_pass(SelectAlternativePass {
+                alternative: MappingPolicy {
+                    allocation: AllocationStrategy::GreedyInteraction,
+                    routing: policy.routing,
+                },
+            }),
+        };
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Portfolio routing never loses to single-candidate routing under
+    /// the same policy, on any seeded calibration: the protected chain
+    /// is the single-candidate route, and selection only ever takes a
+    /// maximum on top of it.
+    #[test]
+    fn portfolio_esp_never_below_single_candidate((seed, width) in (0u64..512, 2usize..6)) {
+        let device = seeded_device(seed);
+        let bench = Benchmark::rnd_sd(12, 24, seed);
+        for policy in [MappingPolicy::baseline(), MappingPolicy::vqm(), MappingPolicy::vqa_vqm()] {
+            let base = Pipeline::for_policy(&policy)
+                .compile(bench.circuit(), &device)
+                .unwrap_or_else(|e| panic!("{} baseline failed: {e}", policy.name()));
+            let port = Pipeline::for_policy_portfolio(&policy, width)
+                .compile(bench.circuit(), &device)
+                .unwrap_or_else(|e| panic!("{} portfolio failed: {e}", policy.name()));
+            let base_esp = static_esp_point(&device, base.physical());
+            let port_esp = static_esp_point(&device, port.physical());
+            prop_assert!(
+                port_esp >= base_esp,
+                "seed {seed} width {width} {}: portfolio {port_esp} < baseline {base_esp}",
+                policy.name()
+            );
+        }
+    }
+
+    /// A pipeline omitting a required pass — no allocation, or no
+    /// routing pass of either kind — is always rejected statically,
+    /// and `compile` refuses it with `CompileError::Contract` before
+    /// any pass runs. Conversely, anything that validates carries both
+    /// required passes.
+    #[test]
+    fn omitting_a_required_pass_is_always_rejected(indices in prop::collection::vec(0usize..5, 0..6)) {
+        let has_allocate = indices.contains(&1);
+        let has_route = indices.contains(&2) || indices.contains(&3);
+        let report = check_pipeline(&pipeline_of(&indices, 2));
+        let valid = pipeline_of(&indices, 2).validate().is_ok();
+        prop_assert_eq!(
+            report.is_clean(), valid,
+            "checker and validator disagree on {:?}:\n{}", &indices, report.render_text()
+        );
+        if !(has_allocate && has_route) {
+            prop_assert!(
+                !valid,
+                "pipeline {:?} omits a required pass but validated", &indices
+            );
+            // and the compile entry point refuses it with a typed error
+            let device = Device::ibm_q5();
+            let bench = Benchmark::ghz(3);
+            match pipeline_of(&indices, 2).compile(bench.circuit(), &device) {
+                Err(CompileError::Contract(err)) => prop_assert!(!err.violations().is_empty()),
+                Err(other) => prop_assert!(false, "expected Contract error, got {other}"),
+                Ok(_) => prop_assert!(false, "pipeline {:?} compiled without required passes", &indices),
+            }
+        } else if valid {
+            prop_assert!(has_allocate && has_route);
+        }
+    }
+}

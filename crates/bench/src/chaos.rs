@@ -88,6 +88,13 @@ pub enum Fault {
         /// Qubits beyond the device size.
         extra: usize,
     },
+    /// Configure a broken pass pipeline (route without allocate). The
+    /// contract checker must refuse it with a typed
+    /// [`quva::CompileError::Contract`] before any pass executes; the
+    /// run then proceeds with the correct pipeline as the recovery
+    /// probe. Never drawn by [`FaultPlan::generate`] — it is a
+    /// configuration fault, not a calibration one.
+    MisconfiguredPipeline,
 }
 
 /// A seeded combination of faults to inject into one pipeline run.
@@ -156,8 +163,8 @@ fn random_fault(rng: &mut StdRng) -> Fault {
 /// `Err` the typed error's message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageResult {
-    /// Stage name: `sanitize`, `allocate`, `route`, `compile`,
-    /// `verify`, or `simulate`.
+    /// Stage name: `sanitize`, `contract`, `allocate`, `route`,
+    /// `compile`, `verify`, or `simulate`.
     pub stage: &'static str,
     /// What happened.
     pub outcome: Result<String, String>,
@@ -285,6 +292,28 @@ pub fn run_chaos(plan: &FaultPlan, policy: MappingPolicy) -> ChaosRun {
         .max()
         .unwrap_or(0);
     let circuit = ghz(device.num_qubits() + extra);
+
+    // stage: contract — a misconfigured pass pipeline must be refused
+    // by the static contract check, with a typed error and no partial
+    // compile; every later stage is then the recovery probe (the
+    // correctly-configured pipeline must still work)
+    if plan.faults.contains(&Fault::MisconfiguredPipeline) {
+        let broken = quva::Pipeline::new().with_pass(quva::pipeline::RoutePass {
+            metric: policy.routing,
+        });
+        let outcome = match broken.compile(&circuit, &device) {
+            Err(quva::CompileError::Contract(err)) => Ok(format!(
+                "refused before any pass ran ({} violation(s))",
+                err.violations().len()
+            )),
+            Err(other) => Err(format!("expected a contract refusal, got: {other}")),
+            Ok(_) => Err("misconfigured pipeline produced a compile".to_string()),
+        };
+        stages.push(StageResult {
+            stage: "contract",
+            outcome,
+        });
+    }
 
     // stage: allocate
     let mapping = policy.allocation.allocate(&circuit, &device);
@@ -416,7 +445,8 @@ fn apply_calibration_fault(raw: &mut RawCalibration, fault: Fault, topo: &Topolo
         Fault::DropLink { .. }
         | Fault::IsolateQubit { .. }
         | Fault::StaleSnapshot { .. }
-        | Fault::OversizedCircuit { .. } => {}
+        | Fault::OversizedCircuit { .. }
+        | Fault::MisconfiguredPipeline => {}
     }
 }
 
@@ -527,6 +557,13 @@ pub fn scenarios() -> Vec<(&'static str, FaultPlan)> {
             FaultPlan {
                 seed: 11,
                 faults: vec![Fault::OversizedCircuit { extra: 4 }],
+            },
+        ),
+        (
+            "pipeline-misconfig",
+            FaultPlan {
+                seed: 13,
+                faults: vec![Fault::MisconfiguredPipeline],
             },
         ),
         (
@@ -684,6 +721,34 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// The contract-rejected pipeline is refused before any pass
+    /// executes — typed error, no partial compile — and the recovery
+    /// probe (the correct pipeline) passes every later stage.
+    #[test]
+    fn pipeline_misconfig_is_refused_before_any_pass_runs() {
+        let plan = scenarios()
+            .into_iter()
+            .find(|(n, _)| *n == "pipeline-misconfig")
+            .map(|(_, p)| p)
+            .unwrap();
+        for policy in policies() {
+            let run = run_chaos(&plan, policy);
+            let contract = run
+                .stage("contract")
+                .unwrap_or_else(|| panic!("no contract stage under {}: {run}", policy.name()));
+            let msg = contract
+                .outcome
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{}: refusal not typed: {e}\n{run}", policy.name()));
+            assert!(msg.contains("refused before any pass ran"), "{run}");
+            // the refusal precedes allocation — nothing executed first
+            let pos = |name| run.stages.iter().position(|s| s.stage == name);
+            assert!(pos("contract").unwrap() < pos("allocate").unwrap(), "{run}");
+            // recovery probe: the correct pipeline passes end to end
+            assert!(run.fully_succeeded(), "{}: {run}", policy.name());
         }
     }
 

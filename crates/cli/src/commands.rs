@@ -58,6 +58,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, ArgsError> {
 fn dispatch(args: &ParsedArgs) -> Result<String, ArgsError> {
     match args.command() {
         "compile" => cmd_compile(args),
+        "pipeline" => cmd_pipeline(args),
         "lint" => cmd_lint(args),
         "audit" => cmd_audit(args),
         "cost" => cmd_cost(args),
@@ -100,6 +101,12 @@ FLAGS:
 
 COMMANDS:
     compile       compile a program and emit routed OpenQASM
+    pipeline      statically check a pass pipeline's contracts before it
+                  runs (--check, the default): missing preconditions,
+                  clobbered invariants, unreachable passes, and missing
+                  output are QV5xx errors; or --compare portfolio
+                  routing against the single-candidate baseline by
+                  static ESP (no Monte Carlo)
     lint          run the static lint passes over a program (no compile);
                   with --policy, also compile and run the compiled-output
                   passes (legality + reliability lints)
@@ -136,9 +143,23 @@ COMMON OPTIONS:
     --policy  baseline | vqm | vqm-mah:K | vqa-vqm | native:SEED
     --bench   bv:N | qft:N | ghz:N | alu | triswap | rnd-sd:N:C | rnd-ld:N:C
     --qasm    path to an OpenQASM 2.0 file (alternative to --bench)
-    --format  (lint, audit, cost) text | json
+    --format  (lint, audit, cost, pipeline) text | json
     --explain (lint) QVxxx or slug: print the code's description,
               severity, and rationale, then exit
+
+PIPELINE OPTIONS:
+    --check             contract-check mode (the default): validate the
+                        pipeline statically; exit nonzero on any QV5xx
+    --passes a,b,c      explicit pass list instead of the --policy
+                        pipeline (optimize, allocate, route, select,
+                        portfolio, verify)
+    --verify            append the verification pass to the --policy
+                        pipeline
+    --width N           portfolio candidates kept per layer (default 4)
+    --compare           compile --bench through the single-candidate
+                        pipeline and the ESP-pruned portfolio router,
+                        report both static ESP points, and exit nonzero
+                        if the portfolio is worse
 
 COST OPTIONS:
     --trials N          Monte-Carlo budget the envelope is computed for
@@ -189,6 +210,10 @@ SERVE OPTIONS:
 
 EXAMPLES:
     quva compile --device q20 --policy vqa-vqm --bench bv:16 --stats --verify
+    quva pipeline --check --policy vqa-vqm --verify
+    quva pipeline --check --passes allocate,route --format json
+    quva pipeline --compare --device q20 --policy vqm --bench bv:16 --width 4
+    quva lint --explain QV501
     quva lint --bench qft:12
     quva lint --qasm program.qasm --device q20 --format json
     quva lint --explain QV304
@@ -328,12 +353,204 @@ fn cmd_compile(args: &ParsedArgs) -> Result<String, ArgsError> {
     Ok(out)
 }
 
+/// Builds a pipeline from a `--passes` comma list. Pass names:
+/// `optimize`, `allocate`, `route`, `select`, `portfolio`, `verify`;
+/// strategies and metrics come from `--policy`, the portfolio width
+/// from `--width`, and `verify` audits with the standard [`Verifier`].
+fn pipeline_from_names<'v>(
+    names: &str,
+    policy: &MappingPolicy,
+    width: usize,
+    verifier: &'v Verifier,
+) -> Result<quva::Pipeline<'v>, ArgsError> {
+    use quva::pipeline::{
+        AllocatePass, OptimizePass, PortfolioRoutePass, RoutePass, SelectAlternativePass, VerifyPass,
+    };
+    let mut pipeline = quva::Pipeline::new();
+    for name in names.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        pipeline = match name {
+            "optimize" => pipeline.with_pass(OptimizePass),
+            "allocate" => pipeline.with_pass(AllocatePass {
+                strategy: policy.allocation,
+            }),
+            "route" => pipeline.with_pass(RoutePass {
+                metric: policy.routing,
+            }),
+            "select" => pipeline.with_pass(SelectAlternativePass {
+                alternative: MappingPolicy {
+                    allocation: quva::AllocationStrategy::GreedyInteraction,
+                    routing: policy.routing,
+                },
+            }),
+            "portfolio" => pipeline.with_pass(PortfolioRoutePass {
+                metric: policy.routing,
+                width,
+            }),
+            "verify" => pipeline.with_pass(VerifyPass::new(verifier)),
+            other => {
+                return Err(ArgsError::new(format!(
+                    "unknown pass '{other}' (passes: optimize, allocate, route, select, portfolio, verify)"
+                )))
+            }
+        };
+    }
+    Ok(pipeline)
+}
+
+/// `quva pipeline`: statically checks a pass pipeline's contracts
+/// (the default, `--check`) or compares portfolio routing against the
+/// single-candidate baseline by static ESP (`--compare`).
+///
+/// The check never compiles anything: the pipeline is built — from
+/// `--policy` (the standard policy pipeline, `--verify` appending the
+/// verification pass) or from an explicit `--passes a,b,c` list — and
+/// its contracts are walked exactly as `Pipeline::validate` would
+/// before a compile. Violations render as stable `QV5xx` diagnostics
+/// (see `quva lint --explain QV501`) in deterministic text or JSON,
+/// and any violation makes the command exit nonzero, so CI can gate on
+/// pipeline configurations the same way it gates on lints.
+fn cmd_pipeline(args: &ParsedArgs) -> Result<String, ArgsError> {
+    if args.has_switch("compare") {
+        return cmd_pipeline_compare(args);
+    }
+    let policy = parse_policy(args.get_or("policy", "vqa-vqm"))?;
+    let width: usize = args.get_parsed("width")?.unwrap_or(4);
+    if width == 0 {
+        return Err(ArgsError::new("--width must be at least 1"));
+    }
+    let verifier = Verifier::new();
+    let pipeline = match args.get("passes") {
+        Some(names) => pipeline_from_names(names, &policy, width, &verifier)?,
+        None => quva::Pipeline::for_policy_with(
+            &policy,
+            args.has_switch("verify")
+                .then_some(&verifier as &dyn quva::CompileAudit),
+        ),
+    };
+    let report = quva_analysis::check_pipeline(&pipeline);
+    let rendered = match args.get_or("format", "text") {
+        "text" => {
+            let mut out = String::new();
+            let _ = writeln!(out, "pipeline check for policy {}", policy.name());
+            let names = pipeline.pass_names();
+            let _ = writeln!(
+                out,
+                "passes: {}",
+                if names.is_empty() {
+                    "(none)".to_string()
+                } else {
+                    names.join(" -> ")
+                }
+            );
+            let inv_list =
+                |list: &[quva::Invariant]| list.iter().map(|i| i.name()).collect::<Vec<_>>().join(", ");
+            for (name, contract) in pipeline.contracts() {
+                let _ = writeln!(
+                    out,
+                    "  {name}: requires [{}] guarantees [{}] clobbers [{}]",
+                    inv_list(contract.requires),
+                    inv_list(contract.guarantees),
+                    inv_list(contract.clobbers)
+                );
+            }
+            out.push_str(&report.render_text());
+            out
+        }
+        "json" => report.render_json(),
+        other => {
+            return Err(ArgsError::new(format!(
+                "unknown --format '{other}' (use text or json)"
+            )))
+        }
+    };
+    if report.is_clean() {
+        Ok(rendered)
+    } else {
+        Err(ArgsError::new(rendered))
+    }
+}
+
+/// `quva pipeline --compare`: compiles a benchmark twice — through the
+/// policy's single-candidate pipeline and through the ESP-pruned
+/// portfolio router at `--width` — and reports both static ESP points.
+/// No Monte Carlo runs: the comparison is the same gate-order
+/// `static_esp_point` fold the portfolio prunes by, so CI can assert
+/// "portfolio never worse than baseline" cheaply and deterministically.
+/// Exits nonzero if the portfolio falls below the baseline.
+fn cmd_pipeline_compare(args: &ParsedArgs) -> Result<String, ArgsError> {
+    use quva::pipeline::static_esp_point;
+    let (device, policy, name, program) = load_setup(args)?;
+    let width: usize = args.get_parsed("width")?.unwrap_or(4);
+    if width == 0 {
+        return Err(ArgsError::new("--width must be at least 1"));
+    }
+    let baseline = quva::Pipeline::for_policy(&policy)
+        .compile(&program, &device)
+        .map_err(|e| ArgsError::new(e.to_string()))?;
+    let portfolio = quva::Pipeline::for_policy_portfolio(&policy, width)
+        .compile(&program, &device)
+        .map_err(|e| ArgsError::new(e.to_string()))?;
+    let baseline_esp = static_esp_point(&device, baseline.physical());
+    let portfolio_esp = static_esp_point(&device, portfolio.physical());
+    let not_worse = portfolio_esp >= baseline_esp;
+    let rendered = match args.get_or("format", "text") {
+        "text" => {
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "portfolio comparison for {name} ({} on {device})",
+                policy.name()
+            );
+            let _ = writeln!(out, "portfolio width    : {width}");
+            let _ = writeln!(out, "baseline  esp point: {baseline_esp:.9}");
+            let _ = writeln!(out, "portfolio esp point: {portfolio_esp:.9}");
+            let _ = writeln!(out, "baseline  swaps    : {}", baseline.inserted_swaps());
+            let _ = writeln!(out, "portfolio swaps    : {}", portfolio.inserted_swaps());
+            let _ = writeln!(
+                out,
+                "result             : {}",
+                if not_worse {
+                    "portfolio >= baseline"
+                } else {
+                    "portfolio < baseline (REGRESSION)"
+                }
+            );
+            out
+        }
+        "json" => {
+            let mut out = String::new();
+            out.push_str("{\n");
+            let _ = writeln!(out, "  \"program\": \"{name}\",");
+            let _ = writeln!(out, "  \"device\": \"{}\",", args.get_or("device", "q20"));
+            let _ = writeln!(out, "  \"policy\": \"{}\",", policy.name());
+            let _ = writeln!(out, "  \"width\": {width},");
+            let _ = writeln!(out, "  \"baseline_esp_point\": {baseline_esp},");
+            let _ = writeln!(out, "  \"portfolio_esp_point\": {portfolio_esp},");
+            let _ = writeln!(out, "  \"baseline_swaps\": {},", baseline.inserted_swaps());
+            let _ = writeln!(out, "  \"portfolio_swaps\": {},", portfolio.inserted_swaps());
+            let _ = writeln!(out, "  \"portfolio_not_worse\": {not_worse}");
+            out.push_str("}\n");
+            out
+        }
+        other => {
+            return Err(ArgsError::new(format!(
+                "unknown --format '{other}' (use text or json)"
+            )))
+        }
+    };
+    if not_worse {
+        Ok(rendered)
+    } else {
+        Err(ArgsError::new(rendered))
+    }
+}
+
 /// `quva lint --explain QVxxx`: the code's description, severity, and
 /// rationale.
 fn explain_code(spec: &str) -> Result<String, ArgsError> {
     let code = quva_analysis::LintCode::from_code(spec).ok_or_else(|| {
         ArgsError::new(format!(
-            "unknown lint code '{spec}' (codes are QV001..QV404; try e.g. QV304 or missed-vqm-route)"
+            "unknown lint code '{spec}' (codes are QV001..QV504; try e.g. QV304 or missed-vqm-route)"
         ))
     })?;
     Ok(format!(
@@ -1543,5 +1760,105 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.to_string().contains("--mc-trials"), "{err}");
+    }
+
+    #[test]
+    fn pipeline_check_accepts_every_standard_policy() {
+        for policy in ["baseline", "vqm", "vqm-mah:4", "vqa-vqm", "native:7"] {
+            let out = run_line(&["pipeline", "--check", "--policy", policy]).unwrap();
+            assert!(out.contains("clean"), "{policy}: {out}");
+            let out = run_line(&["pipeline", "--check", "--policy", policy, "--verify"]).unwrap();
+            assert!(out.contains("verify"), "{policy}: {out}");
+        }
+    }
+
+    #[test]
+    fn pipeline_check_rejects_broken_pass_lists_with_stable_codes() {
+        // one per violation class, each with its QV5xx code in the output
+        for (passes, code) in [
+            ("route", "QV501"),
+            ("allocate,optimize,route", "QV502"),
+            ("allocate,allocate,route", "QV503"),
+            ("allocate", "QV504"),
+        ] {
+            let err = run_line(&["pipeline", "--check", "--passes", passes]).unwrap_err();
+            assert!(err.to_string().contains(code), "{passes}: {err}");
+        }
+    }
+
+    #[test]
+    fn pipeline_check_json_is_deterministic_and_carries_codes() {
+        let err = run_line(&["pipeline", "--check", "--passes", "route", "--format", "json"]).unwrap_err();
+        let again = run_line(&["pipeline", "--check", "--passes", "route", "--format", "json"]).unwrap_err();
+        assert_eq!(err.to_string(), again.to_string());
+        assert!(err.to_string().contains("\"code\": \"QV501\""), "{err}");
+        assert!(err.to_string().contains("\"pipeline-contracts\""), "{err}");
+    }
+
+    #[test]
+    fn pipeline_check_portfolio_list_is_clean() {
+        let out = run_line(&[
+            "pipeline",
+            "--check",
+            "--passes",
+            "allocate,portfolio,verify",
+            "--width",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("portfolio"), "{out}");
+        assert!(out.contains("clean"), "{out}");
+    }
+
+    #[test]
+    fn pipeline_rejects_unknown_pass_and_zero_width() {
+        let err = run_line(&["pipeline", "--check", "--passes", "allocate,teleport"]).unwrap_err();
+        assert!(err.to_string().contains("unknown pass 'teleport'"), "{err}");
+        let err = run_line(&["pipeline", "--check", "--width", "0"]).unwrap_err();
+        assert!(err.to_string().contains("--width"), "{err}");
+    }
+
+    #[test]
+    fn pipeline_compare_portfolio_not_worse_than_baseline() {
+        let out = run_line(&[
+            "pipeline",
+            "--compare",
+            "--device",
+            "q5",
+            "--policy",
+            "vqm",
+            "--bench",
+            "bv:4",
+        ])
+        .unwrap();
+        assert!(out.contains("portfolio >= baseline"), "{out}");
+    }
+
+    #[test]
+    fn pipeline_compare_json_reports_both_points() {
+        let out = run_line(&[
+            "pipeline",
+            "--compare",
+            "--device",
+            "q5",
+            "--policy",
+            "baseline",
+            "--bench",
+            "ghz:4",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        assert!(out.contains("\"baseline_esp_point\""), "{out}");
+        assert!(out.contains("\"portfolio_not_worse\": true"), "{out}");
+    }
+
+    #[test]
+    fn explain_covers_pipeline_codes() {
+        for code in ["QV501", "QV502", "QV503", "QV504"] {
+            let out = run_line(&["lint", "--explain", code]).unwrap();
+            assert!(out.contains("severity : error"), "{code}: {out}");
+            assert!(out.contains("pipeline"), "{code}: {out}");
+        }
     }
 }

@@ -1,7 +1,9 @@
 //! # quva-cli — command-line interface for the quva NISQ compiler
 //!
-//! Subcommands: `compile` (emit routed OpenQASM), `lint` (static
-//! checks without compiling), `audit` (compile + static reliability
+//! Subcommands: `compile` (emit routed OpenQASM), `pipeline`
+//! (statically contract-check a pass pipeline, or compare portfolio
+//! routing against the single-candidate baseline by static ESP),
+//! `lint` (static checks without compiling), `audit` (compile + static reliability
 //! report: ESP bounds, error attribution, findings), `cost` (static
 //! WCET-style cost envelope: `[lo, hi]` bounds on compile time,
 //! Monte-Carlo time, memory, and response size — the envelope quvad's
@@ -40,10 +42,12 @@ pub mod commands;
 pub mod spec;
 
 /// The boolean switches every subcommand recognizes: `--stats`,
-/// `--optimize`, and `--verify` (compile), `--deny-warnings` (lint /
-/// audit), `--metrics` (append the observability summary), `--chaos`
-/// (serve: honor `panic` fault-injection frames), plus the
-/// `--strict` / `--lenient` calibration-sanitization modes.
+/// `--optimize`, and `--verify` (compile, pipeline), `--deny-warnings`
+/// (lint / audit), `--metrics` (append the observability summary),
+/// `--chaos` (serve: honor `panic` fault-injection frames), `--check` /
+/// `--compare` (pipeline: contract check / portfolio-vs-baseline ESP
+/// comparison), plus the `--strict` / `--lenient`
+/// calibration-sanitization modes.
 pub const SWITCHES: &[&str] = &[
     "stats",
     "optimize",
@@ -53,4 +57,6 @@ pub const SWITCHES: &[&str] = &[
     "deny-warnings",
     "metrics",
     "chaos",
+    "check",
+    "compare",
 ];

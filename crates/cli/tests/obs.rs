@@ -149,6 +149,74 @@ fn compile_trace_schema_matches_golden() {
 }
 
 #[test]
+fn compile_verify_runs_exactly_once_per_compile() {
+    let _g = guard();
+    // `--verify` is threaded through the pipeline's verify pass — not
+    // run again by CompileOptions — so one compile must mean exactly
+    // one verification, pinned by the pass's own counter
+    let out = run(&[
+        "compile",
+        "--device",
+        "q5",
+        "--policy",
+        "vqm",
+        "--bench",
+        "bv:4",
+        "--verify",
+        "--metrics",
+    ]);
+    assert!(
+        out.contains("counter compile.verify.runs = 1"),
+        "verification must execute exactly once:\n{}",
+        metrics_block(&out)
+    );
+    // and without --verify, not at all
+    let out = run(&[
+        "compile",
+        "--device",
+        "q5",
+        "--policy",
+        "vqm",
+        "--bench",
+        "bv:4",
+        "--metrics",
+    ]);
+    assert!(
+        !out.contains("compile.verify.runs"),
+        "verification ran without --verify:\n{}",
+        metrics_block(&out)
+    );
+}
+
+#[test]
+fn portfolio_compare_records_per_candidate_excess_weight() {
+    let _g = guard();
+    // the portfolio router probes route.excess_weight for every
+    // reliability-routed candidate extension, and the whole run is
+    // deterministic — so the histogram count (baseline route + every
+    // surviving portfolio candidate) is pinnable exactly
+    let out = run(&[
+        "pipeline",
+        "--compare",
+        "--device",
+        "q20",
+        "--policy",
+        "vqm",
+        "--bench",
+        "bv:16",
+        "--metrics",
+    ]);
+    assert!(out.contains("portfolio >= baseline"), "{out}");
+    assert!(
+        out.contains("histogram route.excess_weight: count 111"),
+        "per-candidate excess-weight count drifted:\n{}",
+        metrics_block(&out)
+    );
+    assert!(out.contains("counter portfolio.kept = 45"), "{out}");
+    assert!(out.contains("counter portfolio.pruned = 123"), "{out}");
+}
+
+#[test]
 fn profile_reports_stage_timings_and_cache_counters() {
     let _g = guard();
     let out = run(&[

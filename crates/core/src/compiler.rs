@@ -131,9 +131,13 @@ impl MappingPolicy {
 
     /// Like [`MappingPolicy::compile`], with explicit [`CompileOptions`].
     ///
-    /// When [`CompileOptions::verify`] is set, the audit runs once on
-    /// the finally chosen circuit (after VQA portfolio selection); a
-    /// finding surfaces as [`CompileError::Verification`].
+    /// This is now a thin front over the pass pipeline: the policy is
+    /// expressed as [`crate::pipeline::Pipeline::for_policy_with`],
+    /// contract-validated, and run. Standard policy pipelines always
+    /// validate; verification — when [`CompileOptions::verify`] is set —
+    /// is a pipeline pass that runs exactly once, on the finally chosen
+    /// circuit (after VQA portfolio selection). A finding surfaces as
+    /// [`CompileError::Verification`].
     ///
     /// # Errors
     ///
@@ -146,48 +150,7 @@ impl MappingPolicy {
         options: &CompileOptions<'_>,
     ) -> Result<CompiledCircuit, CompileError> {
         let _total = quva_obs::span("compile", "compile.total");
-        let compiled = self.compile_unchecked(circuit, device)?;
-        if let Some(auditor) = options.verify {
-            let _verify = quva_obs::span("compile", "compile.verify");
-            auditor
-                .audit(circuit, device, &compiled)
-                .map_err(CompileError::Verification)?;
-        }
-        Ok(compiled)
-    }
-
-    /// The compile pipeline without the optional post-compile audit.
-    fn compile_unchecked(&self, circuit: &Circuit, device: &Device) -> Result<CompiledCircuit, CompileError> {
-        let mapping = {
-            let _alloc = quva_obs::span("compile", "compile.allocate");
-            self.allocation
-                .allocate(circuit, device)
-                .map_err(CompileError::Allocation)?
-        };
-        let compiled = route(circuit, device, mapping, self.routing)?;
-        if !matches!(self.allocation, AllocationStrategy::StrongestSubgraph { .. }) {
-            return Ok(compiled);
-        }
-        let _portfolio = quva_obs::span("compile", "compile.portfolio");
-        let alt_policy = MappingPolicy {
-            allocation: AllocationStrategy::GreedyInteraction,
-            routing: self.routing,
-        };
-        let Ok(alt) = alt_policy.compile_unchecked(circuit, device) else {
-            return Ok(compiled);
-        };
-        let pst = |c: &CompiledCircuit| {
-            c.analytic_pst(device, CoherenceModel::Disabled)
-                .map(|r| r.pst)
-                .unwrap_or(0.0)
-        };
-        if pst(&alt) > pst(&compiled) {
-            quva_obs::counter("compile.portfolio.greedy_won", 1);
-            Ok(alt)
-        } else {
-            quva_obs::counter("compile.portfolio.vqa_won", 1);
-            Ok(compiled)
-        }
+        crate::pipeline::Pipeline::for_policy_with(self, options.verify).compile(circuit, device)
     }
 
     /// Compiles with the *plan-based* router instead of the default
@@ -273,7 +236,10 @@ impl MappingPolicy {
 /// Defined here so `quva` never depends on the analysis machinery
 /// (dependency inversion): `quva-analysis::Verifier` implements this
 /// trait, and callers thread it in through [`CompileOptions::verify`].
-pub trait CompileAudit {
+///
+/// `Sync` is a supertrait so a verify pass holding an auditor keeps
+/// checked pipelines shareable across threads (`quvad` caches them).
+pub trait CompileAudit: Sync {
     /// Audits `compiled` against its source program and target device.
     ///
     /// # Errors
@@ -314,6 +280,9 @@ pub enum CompileError {
     /// The post-compile audit rejected the output; the string is the
     /// auditor's rendered report.
     Verification(String),
+    /// The pass pipeline was rejected by the static contract checker
+    /// before any pass executed.
+    Contract(crate::pipeline::ContractError),
 }
 
 impl fmt::Display for CompileError {
@@ -326,6 +295,7 @@ impl fmt::Display for CompileError {
             CompileError::Verification(report) => {
                 write!(f, "compiled output failed verification:\n{report}")
             }
+            CompileError::Contract(err) => write!(f, "{err}"),
         }
     }
 }
@@ -451,32 +421,22 @@ const LOOKAHEAD_WINDOW: usize = 16;
 /// Relative weight of the lookahead term against the current gate.
 const LOOKAHEAD_WEIGHT: f64 = 0.5;
 
-/// Routes an allocated circuit with stepwise SWAP insertion: for each
-/// two-qubit gate whose operands are separated, single SWAPs are chosen
-/// one at a time by a score combining the metric's cost of the SWAP,
-/// the remaining separation of the active pair, and a lookahead over
-/// the next [`LOOKAHEAD_WINDOW`] two-qubit gates — the displacement of
-/// bystander qubits is thereby accounted for instead of compounding
-/// silently (the instability the paper's MAH heuristic also targets).
-///
-/// All distance matrices are built over the device's *active* coupling
-/// graph: disabled links are never routed over, and a mapping split
-/// across dead links surfaces as [`CompileError::Disconnected`].
+/// The metric distance table between physical locations — expected
+/// failure weight (reliability) or SWAP count (hops) to bring them
+/// together — plus whether the device's reliability weights were
+/// usable at all.
 ///
 /// Degradation: if any active link's reliability weight is unusable
 /// (non-finite), the reliability metric falls back to hop-count
 /// distances — VQM degrades to baseline routing rather than panicking.
-fn route(
-    circuit: &Circuit,
+/// The warning is emitted only when `warn_on_degraded` is set, so the
+/// portfolio router's extra metric tables don't repeat it.
+pub(crate) fn metric_distances(
     device: &Device,
-    mut mapping: Mapping,
     metric: RoutingMetric,
-) -> Result<CompiledCircuit, CompileError> {
-    let _route_span = quva_obs::span("compile", "compile.route");
+    warn_on_degraded: bool,
+) -> (ReliabilityMatrix, bool) {
     let topo = device.topology();
-    let hops = HopMatrix::of_active(device);
-    // metric distance between physical locations: expected failure
-    // weight (reliability) or SWAP count (hops) to bring them together
     let weights_usable = (0..topo.num_links()).all(|id| {
         let link = topo.links()[id];
         !device.link_enabled(id)
@@ -495,40 +455,86 @@ fn route(
         // the documented VQM degradation: unusable reliability weights
         // fall back to hop-count distances (uniform cost = hops)
         RoutingMetric::Reliability { .. } => {
-            quva_obs::warn(
-                "router",
-                "reliability weights unusable; VQM routing degraded to hop-count distances",
-            );
+            if warn_on_degraded {
+                quva_obs::warn(
+                    "router",
+                    "reliability weights unusable; VQM routing degraded to hop-count distances",
+                );
+            }
             ReliabilityMatrix::of_active(device, |_| 1.0)
         }
         RoutingMetric::Hops => ReliabilityMatrix::of_active(device, |_| 1.0),
     };
-    // chosen-vs-best bookkeeping: when tracing is on, each separated
-    // CNOT's realized failure weight is compared against the plan-based
-    // router's optimum for the same endpoints (negative excess means
-    // the stepwise lookahead beat the single-gate plan)
-    let excess_router =
-        (quva_obs::enabled() && weights_usable && matches!(metric, RoutingMetric::Reliability { .. }))
-            .then(|| crate::router::Router::new(device, metric));
+    (dist, weights_usable)
+}
 
-    let initial = mapping.clone();
-    let mut out: Circuit<PhysQubit> = Circuit::with_cbits(device.num_qubits(), circuit.num_cbits().max(1));
-    let mut inserted = 0usize;
+/// The routing order shared by every candidate of a portfolio: gates
+/// flattened in layer order, the positions of two-qubit gates (feeding
+/// the lookahead), and per-layer position bounds so the portfolio
+/// router can extend candidates one layer at a time.
+pub(crate) struct RouteBase {
+    /// Gate indices in layer order.
+    pub(crate) order: Vec<usize>,
+    /// Positions (into `order`) of the two-qubit gates.
+    pub(crate) two_qubit_positions: Vec<usize>,
+    /// Per position, the count of two-qubit gates at positions `<=`
+    /// it: the lookahead starts at `two_qubit_positions[rank_2q[pos]]`.
+    pub(crate) rank_2q: Vec<usize>,
+    /// Half-open `(start, end)` position ranges, one per circuit layer.
+    pub(crate) layer_bounds: Vec<(usize, usize)>,
+}
 
-    // flatten gates in layer order once; two-qubit gates feed the
-    // lookahead
-    let layers = Layers::of(circuit);
-    let order: Vec<usize> = layers.iter().flatten().copied().collect();
-    let two_qubit_positions: Vec<usize> = (0..order.len())
-        .filter(|&i| circuit.gates()[order[i]].is_two_qubit())
-        .collect();
-    let mut next_2q = 0usize; // index into two_qubit_positions
-
-    for (pos, &gi) in order.iter().enumerate() {
-        let gate = &circuit.gates()[gi];
-        if gate.is_two_qubit() {
-            next_2q += 1;
+impl RouteBase {
+    pub(crate) fn of(circuit: &Circuit) -> Self {
+        let layers = Layers::of(circuit);
+        let mut order = Vec::new();
+        let mut layer_bounds = Vec::with_capacity(layers.len());
+        for li in 0..layers.len() {
+            let start = order.len();
+            order.extend_from_slice(layers.layer(li));
+            layer_bounds.push((start, order.len()));
         }
+        let two_qubit_positions: Vec<usize> = (0..order.len())
+            .filter(|&i| circuit.gates()[order[i]].is_two_qubit())
+            .collect();
+        let mut rank_2q = vec![0usize; order.len()];
+        let mut rank = 0usize;
+        for (pos, &gi) in order.iter().enumerate() {
+            if circuit.gates()[gi].is_two_qubit() {
+                rank += 1;
+            }
+            rank_2q[pos] = rank;
+        }
+        RouteBase {
+            order,
+            two_qubit_positions,
+            rank_2q,
+            layer_bounds,
+        }
+    }
+}
+
+/// Routes the positions in `range` (indices into `base.order`) onto
+/// `out`, advancing `mapping` and `inserted` — the stepwise routing
+/// step shared by [`route`] (whole circuit at once) and the portfolio
+/// router (layer by layer per candidate).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn route_positions(
+    circuit: &Circuit,
+    device: &Device,
+    hops: &HopMatrix,
+    dist: &ReliabilityMatrix,
+    metric: RoutingMetric,
+    excess_router: Option<&crate::router::Router<'_>>,
+    base: &RouteBase,
+    range: std::ops::Range<usize>,
+    mapping: &mut Mapping,
+    out: &mut Circuit<PhysQubit>,
+    inserted: &mut usize,
+) -> Result<(), CompileError> {
+    for pos in range {
+        let gi = base.order[pos];
+        let gate = &circuit.gates()[gi];
         match gate {
             Gate::OneQubit { kind, qubit } => {
                 out.one(*kind, mapping.phys_of(*qubit));
@@ -545,28 +551,19 @@ fn route(
                 target: b,
             }
             | Gate::Swap { a, b } => {
-                debug_assert!(pos < order.len());
-                let upcoming: Vec<(Qubit, Qubit)> = two_qubit_positions[next_2q..]
+                debug_assert!(pos < base.order.len());
+                let upcoming: Vec<(Qubit, Qubit)> = base.two_qubit_positions[base.rank_2q[pos]..]
                     .iter()
                     .take(LOOKAHEAD_WINDOW)
                     .map(|&i| {
-                        let qs = circuit.gates()[order[i]].qubits();
+                        let qs = circuit.gates()[base.order[i]].qubits();
                         (qs[0], qs[1])
                     })
                     .collect();
                 let start_len = out.gates().len();
                 let start_locs = (mapping.phys_of(*a), mapping.phys_of(*b));
                 bring_together(
-                    device,
-                    &hops,
-                    &dist,
-                    metric,
-                    &mut mapping,
-                    &mut out,
-                    &mut inserted,
-                    *a,
-                    *b,
-                    &upcoming,
+                    device, hops, dist, metric, mapping, out, inserted, *a, *b, &upcoming,
                 )?;
                 let (pa, pb) = (mapping.phys_of(*a), mapping.phys_of(*b));
                 match gate {
@@ -579,7 +576,7 @@ fn route(
                         out.swap(pa, pb);
                     }
                 }
-                if let Some(router) = &excess_router {
+                if let Some(router) = excess_router {
                     if matches!(gate, Gate::Cnot { .. }) && start_locs.0 != start_locs.1 {
                         observe_excess_weight(device, router, start_locs, &out.gates()[start_len..]);
                     }
@@ -587,8 +584,60 @@ fn route(
             }
         }
     }
+    Ok(())
+}
 
-    quva_obs::counter("route.gates", two_qubit_positions.len() as u64);
+/// Routes an allocated circuit with stepwise SWAP insertion: for each
+/// two-qubit gate whose operands are separated, single SWAPs are chosen
+/// one at a time by a score combining the metric's cost of the SWAP,
+/// the remaining separation of the active pair, and a lookahead over
+/// the next [`LOOKAHEAD_WINDOW`] two-qubit gates — the displacement of
+/// bystander qubits is thereby accounted for instead of compounding
+/// silently (the instability the paper's MAH heuristic also targets).
+///
+/// All distance matrices are built over the device's *active* coupling
+/// graph: disabled links are never routed over, and a mapping split
+/// across dead links surfaces as [`CompileError::Disconnected`].
+///
+/// Degradation: see [`metric_distances`] — VQM degrades to baseline
+/// routing rather than panicking on unusable reliability weights.
+pub(crate) fn route(
+    circuit: &Circuit,
+    device: &Device,
+    mut mapping: Mapping,
+    metric: RoutingMetric,
+) -> Result<CompiledCircuit, CompileError> {
+    let _route_span = quva_obs::span("compile", "compile.route");
+    let hops = HopMatrix::of_active(device);
+    let (dist, weights_usable) = metric_distances(device, metric, true);
+    // chosen-vs-best bookkeeping: when tracing is on, each separated
+    // CNOT's realized failure weight is compared against the plan-based
+    // router's optimum for the same endpoints (negative excess means
+    // the stepwise lookahead beat the single-gate plan)
+    let excess_router =
+        (quva_obs::enabled() && weights_usable && matches!(metric, RoutingMetric::Reliability { .. }))
+            .then(|| crate::router::Router::new(device, metric));
+
+    let initial = mapping.clone();
+    let mut out: Circuit<PhysQubit> = Circuit::with_cbits(device.num_qubits(), circuit.num_cbits().max(1));
+    let mut inserted = 0usize;
+
+    let base = RouteBase::of(circuit);
+    route_positions(
+        circuit,
+        device,
+        &hops,
+        &dist,
+        metric,
+        excess_router.as_ref(),
+        &base,
+        0..base.order.len(),
+        &mut mapping,
+        &mut out,
+        &mut inserted,
+    )?;
+
+    quva_obs::counter("route.gates", base.two_qubit_positions.len() as u64);
     quva_obs::counter("route.swaps_inserted", inserted as u64);
     Ok(CompiledCircuit {
         physical: out,

@@ -50,10 +50,15 @@ mod allocator;
 mod compiler;
 mod mapping;
 mod partition;
+pub mod pipeline;
 mod router;
 
 pub use allocator::AllocationStrategy;
 pub use compiler::{CompileAudit, CompileError, CompileOptions, CompiledCircuit, MappingPolicy};
 pub use mapping::Mapping;
 pub use partition::{partition_analysis, CopyPlan, PartitionChoice, PartitionReport};
+pub use pipeline::{
+    CheckedPipeline, CompilePass, ContractError, ContractViolation, ContractViolationKind, Invariant,
+    PassContext, PassContract, Pipeline,
+};
 pub use router::{RouteError, RoutePlan, Router, RoutingMetric};

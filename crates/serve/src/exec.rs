@@ -9,9 +9,11 @@
 //! execution is wrapped again by the worker loop as the last line of
 //! panic isolation.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, OnceLock};
 
-use quva::MappingPolicy;
+use quva::{CheckedPipeline, MappingPolicy, Pipeline};
 use quva_analysis::audit_compiled;
 use quva_benchmarks::Benchmark;
 use quva_device::Device;
@@ -68,6 +70,34 @@ pub fn resolve(spec: &JobSpec) -> Result<ResolvedJob, String> {
     .unwrap_or_else(|_| Err("job spec rejected: workload parameters out of range".to_string()))
 }
 
+/// The constructed-and-contract-checked pipeline for a policy, built
+/// once per process and shared across every job and worker thread
+/// (`CheckedPipeline` is `Sync`: passes are stateless, all mutable
+/// compile state lives in the per-run `PassContext`). Validation —
+/// the invariant-lattice walk — therefore happens once per distinct
+/// policy, not once per job; the `serve.pipeline.hit` /
+/// `serve.pipeline.miss` counters expose the reuse rate.
+fn checked_pipeline(policy: &MappingPolicy) -> Result<Arc<CheckedPipeline<'static>>, String> {
+    static PIPELINES: OnceLock<Mutex<HashMap<String, Arc<CheckedPipeline<'static>>>>> = OnceLock::new();
+    let cache = PIPELINES.get_or_init(|| Mutex::new(HashMap::new()));
+    // Debug form, not name(): it carries every policy parameter
+    // (MAH hop limit, native-policy seed), so distinct policies can
+    // never share a checked pipeline
+    let key = format!("{policy:?}");
+    let mut map = cache.lock().map_err(|_| "pipeline cache poisoned".to_string())?;
+    if let Some(pipeline) = map.get(&key) {
+        quva_obs::counter("serve.pipeline.hit", 1);
+        return Ok(Arc::clone(pipeline));
+    }
+    let checked = Pipeline::for_policy(policy)
+        .validate()
+        .map_err(|e| format!("pipeline rejected: {e}"))?;
+    quva_obs::counter("serve.pipeline.miss", 1);
+    let pipeline = Arc::new(checked);
+    map.insert(key, Arc::clone(&pipeline));
+    Ok(pipeline)
+}
+
 /// Runs a resolved job and renders its result as a one-line JSON
 /// object fragment (fixed key order — identical jobs render identical
 /// bytes).
@@ -78,10 +108,15 @@ pub fn resolve(spec: &JobSpec) -> Result<ResolvedJob, String> {
 /// caller's job to contain (the worker loop wraps this in
 /// `catch_unwind`).
 pub fn execute(job: &ResolvedJob, engine: McEngine) -> Result<String, String> {
-    let compiled = job
-        .policy
-        .compile(job.benchmark.circuit(), &job.device)
-        .map_err(|e| format!("compile failed: {e}"))?;
+    let pipeline = checked_pipeline(&job.policy)?;
+    let compiled = {
+        // same span compile_with emits, so serve traces keep the
+        // compile.total > compile.allocate/route nesting
+        let _total = quva_obs::span("compile", "compile.total");
+        pipeline
+            .run(job.benchmark.circuit(), &job.device)
+            .map_err(|e| format!("compile failed: {e}"))?
+    };
     let physical = compiled.physical();
     let head = format!(
         "{{\"benchmark\":\"{}\",\"device_fp\":\"{:016x}\",\"circuit_fp\":\"{:016x}\",\
@@ -182,6 +217,32 @@ mod tests {
             assert_eq!(doc.get("benchmark").and_then(|v| v.as_str()), Some("bv-8"));
             assert!(doc.get("gates").and_then(|v| v.as_f64()).unwrap() > 0.0);
         }
+    }
+
+    #[test]
+    fn checked_pipeline_is_shared_across_jobs() {
+        let a = checked_pipeline(&quva::MappingPolicy::vqm()).unwrap();
+        let b = checked_pipeline(&quva::MappingPolicy::vqm()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same policy must reuse the checked pipeline");
+        let c = checked_pipeline(&quva::MappingPolicy::baseline()).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "distinct policies must not share");
+    }
+
+    #[test]
+    fn pipeline_reuse_matches_fresh_compile_bytes() {
+        // the cached CheckedPipeline must compile byte-identically to
+        // the one-shot MappingPolicy::compile path
+        let job = resolve(&spec(JobKind::Compile)).unwrap();
+        let via_pipeline = checked_pipeline(&job.policy)
+            .unwrap()
+            .run(job.benchmark.circuit(), &job.device)
+            .unwrap();
+        let via_policy = job.policy.compile(job.benchmark.circuit(), &job.device).unwrap();
+        assert_eq!(
+            quva_circuit::qasm::to_qasm(via_pipeline.physical()),
+            quva_circuit::qasm::to_qasm(via_policy.physical())
+        );
+        assert_eq!(via_pipeline.inserted_swaps(), via_policy.inserted_swaps());
     }
 
     #[test]
