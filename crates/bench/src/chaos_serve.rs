@@ -20,6 +20,8 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
 use std::time::Duration;
 
@@ -69,6 +71,7 @@ pub fn serve_scenarios() -> Vec<&'static str> {
         "disconnect-mid-job",
         "worker-panic",
         "queue-flood",
+        "dump-storm",
     ]
 }
 
@@ -88,6 +91,7 @@ pub fn run_serve_chaos(name: &str) -> Result<ServeChaosOutcome, String> {
         "disconnect-mid-job" => disconnect_mid_job(),
         "worker-panic" => worker_panic(),
         "queue-flood" => queue_flood(),
+        "dump-storm" => dump_storm(),
         other => Err(format!("unknown serve chaos scenario '{other}'")),
     }
 }
@@ -304,6 +308,97 @@ fn queue_flood() -> Result<ServeChaosOutcome, String> {
     finish("queue-flood", fault_responses, handle, &addr)
 }
 
+/// Distinguishes concurrent dump-storm runs inside one test process.
+static STORM_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Walks the dump directory and reports cap compliance and per-line
+/// parseability as one synthetic fault-response line.
+fn inspect_dump_dir(dir: &Path, total_cap: u64) -> String {
+    let mut files = 0u64;
+    let mut bytes = 0u64;
+    let mut parse_ok = true;
+    let mut headers_ok = true;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let Ok(text) = std::fs::read_to_string(entry.path()) else {
+                parse_ok = false;
+                continue;
+            };
+            files += 1;
+            bytes += text.len() as u64;
+            let mut lines = text.lines();
+            let header_ok = lines
+                .next()
+                .and_then(|line| quva_obs::parse_json(line).ok())
+                .and_then(|doc| doc.get("schema").and_then(|v| v.as_str().map(str::to_string)))
+                .is_some_and(|schema| schema == quva_serve::DUMP_SCHEMA);
+            headers_ok &= header_ok;
+            for line in lines {
+                parse_ok &= quva_obs::parse_json(line).is_ok();
+            }
+        }
+    }
+    format!(
+        "dump_files:{files} dump_bytes:{bytes} within_cap:{} parse_ok:{parse_ok} headers_ok:{headers_ok}",
+        bytes <= total_cap
+    )
+}
+
+/// A sustained anomaly stream against tiny dump caps: a long simulate
+/// pins the only worker, then a burst of 1 ms-deadline jobs all expire
+/// in the queue — each expiry snapshots the flight ring into the dump
+/// directory. The directory must stay under its total byte cap (rotate,
+/// newest survives), every surviving dump must parse line by line, and
+/// the daemon must still answer the recovery probe.
+fn dump_storm() -> Result<ServeChaosOutcome, String> {
+    let dump_dir = std::env::temp_dir().join(format!(
+        "quva-dump-storm-{}-{}",
+        std::process::id(),
+        STORM_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dump_dir);
+    let total_cap: u64 = 8 * 1024;
+    let config = ServerConfig {
+        workers: 1,
+        flight_capacity: 512,
+        dump_dir: Some(dump_dir.clone()),
+        dump_max_file_bytes: 2 * 1024,
+        dump_max_total_bytes: total_cap,
+        default_deadline_ms: 60_000,
+        ..ServerConfig::default()
+    };
+    let (handle, addr) = spawn_server(config)?;
+    // the blocker occupies the single worker for the whole storm; its
+    // client hangs up without reading (the daemon tolerates ghosts)
+    let mut blocker = connect(&addr)?;
+    blocker
+        .write_all(
+            b"{\"id\":\"blocker\",\"kind\":\"simulate\",\"device\":\"q5\",\"policy\":\"vqm\",\
+              \"benchmark\":\"ghz:3\",\"trials\":50000000,\"seed\":1}\n",
+        )
+        .map_err(|e| format!("send blocker: {e}"))?;
+    let (mut stream, mut reader) = open(&addr)?;
+    let mut deadline_hits = 0u64;
+    for i in 0..24 {
+        let line = format!(
+            "{{\"id\":\"storm-{i}\",\"kind\":\"audit\",\"device\":\"q5\",\"policy\":\"vqm\",\
+             \"benchmark\":\"ghz:3\",\"deadline_ms\":1}}"
+        );
+        if roundtrip(&mut stream, &mut reader, &line)?.contains("\"status\":\"deadline_exceeded\"") {
+            deadline_hits += 1;
+        }
+    }
+    let fault_responses = vec![
+        format!("deadline_hits:{deadline_hits}"),
+        inspect_dump_dir(&dump_dir, total_cap),
+    ];
+    drop((stream, reader));
+    drop(blocker);
+    let outcome = finish("dump-storm", fault_responses, handle, &addr);
+    let _ = std::fs::remove_dir_all(&dump_dir);
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,6 +485,44 @@ mod tests {
             outcome.metric("worker_respawns") >= 1,
             "{}",
             outcome.final_metrics
+        );
+    }
+
+    #[test]
+    fn dump_storm_respects_caps_and_recovers() {
+        let outcome = run_serve_chaos("dump-storm").unwrap();
+        let hits: u64 = outcome.fault_responses[0]
+            .strip_prefix("deadline_hits:")
+            .and_then(|n| n.parse().ok())
+            .unwrap_or_else(|| panic!("malformed hit count: {:?}", outcome.fault_responses));
+        assert!(
+            hits >= 1,
+            "storm produced no deadline anomalies: {:?}",
+            outcome.fault_responses
+        );
+        let report = &outcome.fault_responses[1];
+        let files: u64 = report
+            .strip_prefix("dump_files:")
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|n| n.parse().ok())
+            .unwrap_or_else(|| panic!("malformed dump report: {report}"));
+        assert!(files >= 1, "no dump files survived the storm: {report}");
+        assert!(
+            report.contains("within_cap:true"),
+            "dump directory outgrew its cap: {report}"
+        );
+        assert!(
+            report.contains("parse_ok:true"),
+            "a dump line failed to parse: {report}"
+        );
+        assert!(
+            report.contains("headers_ok:true"),
+            "a dump header drifted from schema: {report}"
+        );
+        assert!(
+            outcome.recovered(),
+            "probe after the storm: {}",
+            outcome.probe_response
         );
     }
 

@@ -69,6 +69,7 @@ fn dispatch(args: &ParsedArgs) -> Result<String, ArgsError> {
         "partition" => cmd_partition(args),
         "profile" => cmd_profile(args),
         "serve" => cmd_serve(args),
+        "top" => cmd_top(args),
         "trace-verify" => cmd_trace_verify(args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(ArgsError::new(format!(
@@ -128,6 +129,10 @@ COMMANDS:
                   jobs (compile / simulate / audit) over TCP or a unix
                   socket, with a bounded queue, deadlines, a result
                   cache, and graceful drain (see DESIGN.md §12)
+    top           live quvad telemetry: poll the daemon's `metrics`
+                  verb and render queue depth, per-verb latency
+                  quantiles, counters, and anomaly-dump totals
+                  (see DESIGN.md §17)
     trace-verify  structurally validate a --trace output file (JSON
                   parses, spans nest, no negative durations)
     help          show this message
@@ -207,6 +212,25 @@ SERVE OPTIONS:
     --idle-timeout-ms N close idle / stalled connections (default 10000)
     --max-connections N concurrent connection cap (default 64)
     --chaos             honor 'panic' fault-injection frames (testing)
+    --flight-capacity N flight-recorder ring capacity in events
+                        (default 4096); the ring is always armed
+    --dump-dir DIR      write anomaly-triggered flight dumps here
+                        (off unless given)
+    --dump-file-cap-bytes N   per-dump-file byte cap (default 256 KiB)
+    --dump-cap-bytes N  dump-directory total byte cap (default 4 MiB);
+                        oldest dumps rotate out
+    --journal FILE      append a per-job JSONL audit journal here
+                        (off unless given)
+    --journal-cap-bytes N     journal size-rotation threshold
+                        (default 4 MiB; rotates to FILE.1)
+
+TOP OPTIONS:
+    --addr ADDR         daemon address (default 127.0.0.1:7411)
+    --interval-ms N     refresh period (default 1000)
+    --count N           number of refreshes, 0 = until interrupted
+                        (default 0)
+    --raw               print the raw exposition text instead of the
+                        rendered dashboard (no screen clearing)
 
 EXAMPLES:
     quva compile --device q20 --policy vqa-vqm --bench bv:16 --stats --verify
@@ -235,6 +259,9 @@ EXAMPLES:
     quva trace-verify profile.json
     quva serve --listen 127.0.0.1:7411 --workers 2 --trace served.json
     quva serve --socket /tmp/quvad.sock --queue 128 --deadline-ms 5000
+    quva serve --listen 127.0.0.1:7411 --dump-dir /var/tmp/quvad-dumps --journal /var/tmp/quvad.jsonl
+    quva top --addr 127.0.0.1:7411 --interval-ms 500
+    quva top --addr 127.0.0.1:7411 --count 1 --raw
 "
     .to_string()
 }
@@ -1203,6 +1230,20 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, ArgsError> {
         idle_timeout_ms: knob(args, "idle-timeout-ms", defaults.idle_timeout_ms)?,
         max_connections: knob(args, "max-connections", defaults.max_connections)?,
         chaos_panics: args.has_switch("chaos"),
+        flight_capacity: args
+            .get_parsed("flight-capacity")?
+            .unwrap_or(defaults.flight_capacity),
+        dump_dir: args.get("dump-dir").map(std::path::PathBuf::from),
+        dump_max_file_bytes: args
+            .get_parsed("dump-file-cap-bytes")?
+            .unwrap_or(defaults.dump_max_file_bytes),
+        dump_max_total_bytes: args
+            .get_parsed("dump-cap-bytes")?
+            .unwrap_or(defaults.dump_max_total_bytes),
+        journal_path: args.get("journal").map(std::path::PathBuf::from),
+        journal_max_bytes: args
+            .get_parsed("journal-cap-bytes")?
+            .unwrap_or(defaults.journal_max_bytes),
         ..defaults
     };
 
@@ -1220,6 +1261,163 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, ArgsError> {
     eprintln!("quvad listening on {bound} ({workers} worker(s), queue {queue})");
     let metrics = handle.join();
     Ok(format!("quvad drained cleanly\nfinal metrics: {metrics}\n"))
+}
+
+/// One numeric sample scraped off an exposition line.
+fn expo_value(line: &str) -> Option<(&str, f64)> {
+    let (name, value) = line.rsplit_once(' ')?;
+    Some((name, value.parse().ok()?))
+}
+
+/// The label value inside `name{key="value"}` for a given key.
+fn expo_label<'a>(name: &'a str, key: &str) -> Option<&'a str> {
+    let rest = name.split_once('{')?.1;
+    let marker = format!("{key}=\"");
+    let tail = rest.split_once(marker.as_str())?.1;
+    tail.split_once('"').map(|(v, _)| v)
+}
+
+/// Renders one `quva top` dashboard frame from an exposition snapshot.
+/// Pure text-to-text, so it is testable without a daemon.
+fn render_top(exposition: &str) -> String {
+    let mut queue_depth = 0.0;
+    let mut workers = 0.0;
+    let mut uptime_us = 0.0;
+    let mut counters: Vec<(String, f64)> = Vec::new();
+    let mut dumps: Vec<(String, f64)> = Vec::new();
+    // verb -> [p50, p95, p99, count]
+    let mut latency: Vec<(String, [f64; 4])> = Vec::new();
+    for line in exposition.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some((name, value)) = expo_value(line) else {
+            continue;
+        };
+        if name == "quvad_queue_depth" {
+            queue_depth = value;
+        } else if name == "quvad_workers_alive" {
+            workers = value;
+        } else if name == "quvad_uptime_us" {
+            uptime_us = value;
+        } else if name.starts_with("quvad_dumps_total{") {
+            if let Some(trigger) = expo_label(name, "trigger") {
+                dumps.push((trigger.to_string(), value));
+            }
+        } else if name.starts_with("quvad_latency_us{") || name.starts_with("quvad_latency_us_count{") {
+            let Some(verb) = expo_label(name, "verb") else {
+                continue;
+            };
+            let slot = match latency.iter().position(|(v, _)| v == verb) {
+                Some(i) => i,
+                None => {
+                    latency.push((verb.to_string(), [0.0; 4]));
+                    latency.len() - 1
+                }
+            };
+            if name.starts_with("quvad_latency_us_count{") {
+                latency[slot].1[3] = value;
+            } else if let Some(q) = expo_label(name, "quantile") {
+                match q {
+                    "0.5" => latency[slot].1[0] = value,
+                    "0.95" => latency[slot].1[1] = value,
+                    "0.99" => latency[slot].1[2] = value,
+                    _ => {}
+                }
+            }
+        } else if let Some(counter) = name.strip_prefix("quvad_").and_then(|n| n.strip_suffix("_total")) {
+            if !name.contains('{') {
+                counters.push((counter.to_string(), value));
+            }
+        }
+    }
+    let mut out = format!(
+        "quvad · up {:.1}s · queue depth {} · workers alive {}\n\n",
+        uptime_us / 1e6,
+        queue_depth as u64,
+        workers as u64
+    );
+    out.push_str("counters:\n");
+    for (name, value) in &counters {
+        let _ = writeln!(out, "  {name:<22} {}", *value as u64);
+    }
+    out.push_str("\nlatency (us):\n");
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>10} {:>10} {:>10} {:>8}",
+        "verb", "p50", "p95", "p99", "count"
+    );
+    for (verb, [p50, p95, p99, count]) in &latency {
+        let _ = writeln!(
+            out,
+            "  {verb:<10} {:>10} {:>10} {:>10} {:>8}",
+            *p50 as u64, *p95 as u64, *p99 as u64, *count as u64
+        );
+    }
+    out.push_str("\nanomaly dumps:\n");
+    for (trigger, value) in &dumps {
+        let _ = writeln!(out, "  {trigger:<22} {}", *value as u64);
+    }
+    out
+}
+
+/// Pulls the exposition text out of one `metrics` response line.
+fn extract_exposition(line: &str) -> Result<String, ArgsError> {
+    let doc = quva_obs::parse_json(line.trim())
+        .map_err(|e| ArgsError::new(format!("malformed metrics response: {e}: {line}")))?;
+    if doc.get("status").and_then(|v| v.as_str()) != Some("ok") {
+        return Err(ArgsError::new(format!("daemon refused metrics request: {line}")));
+    }
+    doc.get("result")
+        .and_then(|r| r.get("exposition"))
+        .and_then(|e| e.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| ArgsError::new(format!("metrics response has no exposition: {line}")))
+}
+
+/// `quva top`: poll a running daemon's `metrics` verb and render live
+/// telemetry. `--count N` stops after N refreshes (the last frame is
+/// the command's output); `--raw` prints exposition text verbatim.
+fn cmd_top(args: &ParsedArgs) -> Result<String, ArgsError> {
+    use std::io::{BufRead, BufReader, Write};
+    let addr = args.get_or("addr", "127.0.0.1:7411");
+    let interval =
+        std::time::Duration::from_millis(args.get_parsed::<u64>("interval-ms")?.unwrap_or(1000).max(50));
+    let count: u64 = args.get_parsed("count")?.unwrap_or(0);
+    let raw = args.has_switch("raw");
+    let stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| ArgsError::new(format!("cannot connect to {addr}: {e}")))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| ArgsError::new(format!("cannot clone connection: {e}")))?;
+    let mut reader = BufReader::new(stream);
+    let mut refresh: u64 = 0;
+    loop {
+        refresh += 1;
+        writeln!(writer, "{{\"id\":\"top-{refresh}\",\"kind\":\"metrics\"}}")
+            .map_err(|e| ArgsError::new(format!("connection to {addr} lost: {e}")))?;
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| ArgsError::new(format!("connection to {addr} lost: {e}")))?;
+        if n == 0 {
+            return Err(ArgsError::new(format!("daemon at {addr} closed the connection")));
+        }
+        let exposition = extract_exposition(&line)?;
+        let frame = if raw { exposition } else { render_top(&exposition) };
+        if count != 0 && refresh >= count {
+            return Ok(frame);
+        }
+        if raw {
+            println!("{frame}");
+        } else {
+            // clear + home between refreshes; the final frame goes
+            // through the normal report path instead
+            print!("\x1b[2J\x1b[H{frame}");
+            let _ = std::io::stdout().flush();
+        }
+        std::thread::sleep(interval);
+    }
 }
 
 /// `quva trace-verify <file>`: structural validation of a `--trace`
@@ -1860,5 +2058,52 @@ mod tests {
             assert!(out.contains("severity : error"), "{code}: {out}");
             assert!(out.contains("pipeline"), "{code}: {out}");
         }
+    }
+
+    #[test]
+    fn render_top_shows_all_dashboard_sections() {
+        let exposition = "\
+# TYPE quvad_requests_total counter\n\
+quvad_requests_total 42\n\
+# TYPE quvad_queue_depth gauge\n\
+quvad_queue_depth 3\n\
+# TYPE quvad_workers_alive gauge\n\
+quvad_workers_alive 2\n\
+quvad_dumps_total{trigger=\"deadline_exceeded\"} 1\n\
+quvad_latency_us{verb=\"simulate\",quantile=\"0.5\"} 120\n\
+quvad_latency_us{verb=\"simulate\",quantile=\"0.95\"} 900\n\
+quvad_latency_us{verb=\"simulate\",quantile=\"0.99\"} 1500\n\
+quvad_latency_us_count{verb=\"simulate\"} 7\n\
+quvad_uptime_us 2500000\n";
+        let out = render_top(exposition);
+        assert!(out.contains("up 2.5s"), "{out}");
+        assert!(out.contains("queue depth 3"), "{out}");
+        assert!(out.contains("workers alive 2"), "{out}");
+        assert!(out.contains("requests"), "{out}");
+        assert!(out.contains("simulate"), "{out}");
+        assert!(out.contains("1500"), "{out}");
+        assert!(out.contains("deadline_exceeded"), "{out}");
+    }
+
+    #[test]
+    fn top_scrapes_a_live_daemon() {
+        use quva_serve::{Listen, Server, ServerConfig};
+        let handle = Server::spawn(ServerConfig {
+            listen: Listen::Tcp("127.0.0.1:0".to_string()),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = handle.local_addr().unwrap().to_string();
+        let raw = run_line(&["top", "--addr", &addr, "--count", "1", "--raw"]).unwrap();
+        assert!(raw.contains("quvad_requests_total"), "{raw}");
+        assert!(raw.contains("quvad_queue_depth"), "{raw}");
+        assert!(
+            raw.contains("quvad_latency_us{verb=\"metrics\",quantile=\"0.99\"}"),
+            "{raw}"
+        );
+        let rendered = run_line(&["top", "--addr", &addr, "--count", "1"]).unwrap();
+        assert!(rendered.contains("workers alive 2"), "{rendered}");
+        handle.shutdown();
+        handle.join();
     }
 }

@@ -12,10 +12,13 @@
 //! `trials` (noisy state-vector execution), `characterize` (calibration
 //! summary), `partition` (§8 one-vs-two copies analysis), `profile`
 //! (suite × policy matrix with per-stage timings and counters),
-//! `trace-verify` (structural validation of a `--trace` output), and
+//! `trace-verify` (structural validation of a `--trace` output),
 //! `serve` (the `quvad` compilation daemon: line-delimited JSON jobs
 //! over TCP or a unix socket, with admission control, deadlines, and
-//! graceful drain). See [`commands::usage`] for the full syntax.
+//! graceful drain), and `top` (live daemon telemetry: polls the
+//! `metrics` verb and renders queue depth, per-verb latency quantiles,
+//! and anomaly-dump totals). See [`commands::usage`] for the full
+//! syntax.
 //!
 //! Monte-Carlo commands accept `--threads N` (default: available
 //! parallelism); results are bit-identical for every thread count.
@@ -46,8 +49,8 @@ pub mod spec;
 /// (lint / audit), `--metrics` (append the observability summary),
 /// `--chaos` (serve: honor `panic` fault-injection frames), `--check` /
 /// `--compare` (pipeline: contract check / portfolio-vs-baseline ESP
-/// comparison), plus the `--strict` / `--lenient`
-/// calibration-sanitization modes.
+/// comparison), `--raw` (top: print the exposition text verbatim),
+/// plus the `--strict` / `--lenient` calibration-sanitization modes.
 pub const SWITCHES: &[&str] = &[
     "stats",
     "optimize",
@@ -59,4 +62,5 @@ pub const SWITCHES: &[&str] = &[
     "chaos",
     "check",
     "compare",
+    "raw",
 ];

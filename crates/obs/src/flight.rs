@@ -1,0 +1,356 @@
+//! The flight recorder: an always-on, bounded ring buffer of recent
+//! spans and events.
+//!
+//! The main recorder ([`crate::enable`]) is an opt-in, drain-once
+//! session tool: it collects everything and hands it over exactly
+//! once. That model cannot answer the operational question "what was
+//! the daemon doing *just before* this anomaly?" unless tracing was
+//! armed from process start. The flight recorder closes that gap: a
+//! fixed-capacity ring of the most recent [`FlightEvent`]s, cheap
+//! enough to leave armed for the life of a production daemon, and
+//! snapshottable at any moment without consuming anything.
+//!
+//! Three properties drive the design:
+//!
+//! * **Bounded** — the ring holds at most its configured capacity;
+//!   arrival `capacity + k` evicts the oldest event and bumps the
+//!   eviction counter by exactly `k` ([`dropped`], exposed as
+//!   `obs.dropped` in dumps and the daemon's `metrics` exposition).
+//!   Eviction accounting is deterministic: `recorded == retained +
+//!   dropped` always holds.
+//! * **Lock-light** — the disarmed path is one relaxed atomic load
+//!   (the same disabled-path contract the main recorder's `bench_sim`
+//!   gate enforces); the armed path is one short mutex-guarded
+//!   `VecDeque` push of a small struct. There is no per-thread
+//!   buffering: flight events must be visible to *other* threads (the
+//!   anomaly dumper) immediately, which is exactly what the main
+//!   recorder's thread-local design cannot provide.
+//! * **Stable schema** — [`FlightEvent::render_json`] emits a fixed
+//!   key set in fixed order ([`EVENT_FIELDS`]); anomaly dumps are
+//!   line-delimited JSON of exactly these objects, pinned by the
+//!   DESIGN.md §17 doc-sync test.
+//!
+//! Spans and warn events recorded through the crate's normal entry
+//! points ([`crate::span`], [`crate::warn`]) are mirrored into the
+//! ring whenever it is armed — with or without the main recorder
+//! enabled. [`note`] records flight-only instant events (e.g. a
+//! daemon tagging a job id at admission) that never touch the main
+//! recorder.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+use crate::trace::json_str;
+
+/// Fixed key order of one rendered [`FlightEvent`] line. The DESIGN.md
+/// §17 dump-schema table and this list are held in lockstep by a
+/// doc-sync test in `quva-serve`.
+pub const EVENT_FIELDS: &[&str] = &["seq", "ts_us", "tid", "kind", "cat", "name", "dur_us"];
+
+/// Default ring capacity when [`arm`] is given 0.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// What one ring slot records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A closed span (`dur_us` is meaningful).
+    Span,
+    /// A warn-level diagnostic.
+    Warn,
+    /// A flight-only instant event recorded via [`note`].
+    Note,
+}
+
+impl FlightKind {
+    /// Stable wire name of the kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlightKind::Span => "span",
+            FlightKind::Warn => "warn",
+            FlightKind::Note => "note",
+        }
+    }
+}
+
+/// One recent event retained by the ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Process-wide arrival index (monotonic; never reused while
+    /// armed). `snapshot().events` is sorted by this.
+    pub seq: u64,
+    /// Event time in microseconds since the recorder epoch (span
+    /// start for spans).
+    pub ts_us: u64,
+    /// Recorder-assigned thread id (shared with the main recorder).
+    pub tid: u64,
+    /// What this slot records.
+    pub kind: FlightKind,
+    /// Category, e.g. `"serve"`.
+    pub cat: String,
+    /// Span name, warn message, or note text.
+    pub name: String,
+    /// Span duration (0 for warns and notes).
+    pub dur_us: u64,
+}
+
+impl FlightEvent {
+    /// Renders the event as one JSON object line with the fixed
+    /// [`EVENT_FIELDS`] key order — identical events render identical
+    /// bytes.
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"seq\":{},\"ts_us\":{},\"tid\":{},\"kind\":\"{}\",\"cat\":{},\"name\":{},\"dur_us\":{}}}",
+            self.seq,
+            self.ts_us,
+            self.tid,
+            self.kind.name(),
+            json_str(&self.cat),
+            json_str(&self.name),
+            self.dur_us
+        )
+    }
+}
+
+/// A point-in-time copy of the ring: the retained events (oldest
+/// first) plus the deterministic eviction accounting.
+#[derive(Debug, Clone, Default)]
+pub struct FlightSnapshot {
+    /// Retained events in `seq` order (oldest first).
+    pub events: Vec<FlightEvent>,
+    /// Events evicted to make room since the ring was (re-)armed.
+    pub dropped: u64,
+    /// The ring capacity in force when the snapshot was taken.
+    pub capacity: usize,
+}
+
+struct Ring {
+    events: VecDeque<FlightEvent>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl Default for Ring {
+    fn default() -> Self {
+        Ring {
+            events: VecDeque::new(),
+            capacity: DEFAULT_CAPACITY,
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+}
+
+/// Whether the ring is collecting. Relaxed suffices: the flag gates
+/// best-effort telemetry, never data the computation depends on.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn ring() -> &'static Mutex<Ring> {
+    static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(Ring::default()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Ring> {
+    ring().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Arms (or re-arms) the flight recorder with the given ring capacity
+/// (0 selects [`DEFAULT_CAPACITY`]). Re-arming clears retained events
+/// and resets the eviction and sequence counters — the clean-slate
+/// primitive daemons and tests start sessions with.
+pub fn arm(capacity: usize) {
+    let mut ring = lock();
+    *ring = Ring {
+        capacity: if capacity == 0 { DEFAULT_CAPACITY } else { capacity },
+        ..Ring::default()
+    };
+    ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Disarms the flight recorder. Retained events are kept until the
+/// next [`arm`], so a post-mortem [`snapshot`] still works.
+pub fn disarm() {
+    ARMED.store(false, Ordering::Relaxed);
+}
+
+/// Whether the ring is collecting: one relaxed atomic load.
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Events evicted to make room since the ring was last armed.
+pub fn dropped() -> u64 {
+    lock().dropped
+}
+
+/// Copies the ring without consuming it: retained events in arrival
+/// order plus the eviction accounting. Safe to call from any thread at
+/// any time — this is what anomaly dumps are built from.
+pub fn snapshot() -> FlightSnapshot {
+    let ring = lock();
+    FlightSnapshot {
+        events: ring.events.iter().cloned().collect(),
+        dropped: ring.dropped,
+        capacity: ring.capacity,
+    }
+}
+
+fn push(kind: FlightKind, cat: &str, name: &str, ts_us: u64, dur_us: u64) {
+    let tid = crate::local_tid();
+    let mut ring = lock();
+    let seq = ring.next_seq;
+    ring.next_seq += 1;
+    if ring.events.len() >= ring.capacity {
+        ring.events.pop_front();
+        ring.dropped += 1;
+    }
+    ring.events.push_back(FlightEvent {
+        seq,
+        ts_us,
+        tid,
+        kind,
+        cat: cat.to_string(),
+        name: name.to_string(),
+        dur_us,
+    });
+}
+
+/// Records a flight-only instant event (never enters the main
+/// recorder). No-op while disarmed — one relaxed atomic load.
+pub fn note(cat: &str, text: &str) {
+    if !armed() {
+        return;
+    }
+    push(FlightKind::Note, cat, text, crate::now_us(), 0);
+}
+
+/// Mirror of a closed span (called from the `Span` guard).
+pub(crate) fn record_span(cat: &str, name: &str, start_us: u64, dur_us: u64) {
+    push(FlightKind::Span, cat, name, start_us, dur_us);
+}
+
+/// Mirror of a warn event (called from [`crate::warn`]).
+pub(crate) fn record_warn(cat: &str, message: &str, ts_us: u64) {
+    push(FlightKind::Warn, cat, message, ts_us, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The ring is process-global; these tests serialize with every
+    // other recorder test through the crate-wide test guard.
+    use crate::tests_support::guard;
+
+    #[test]
+    fn disarmed_ring_records_nothing() {
+        let _g = guard();
+        arm(8);
+        disarm();
+        note("t", "nothing");
+        {
+            let _s = crate::span("t", "t.ghost");
+        }
+        let snap = snapshot();
+        assert!(snap.events.is_empty(), "{snap:?}");
+        assert_eq!(snap.dropped, 0);
+    }
+
+    #[test]
+    fn eviction_accounting_is_deterministic() {
+        let _g = guard();
+        arm(4);
+        for i in 0..10 {
+            note("t", &format!("e{i}"));
+        }
+        let snap = snapshot();
+        disarm();
+        assert_eq!(snap.capacity, 4);
+        assert_eq!(snap.events.len(), 4);
+        assert_eq!(snap.dropped, 6, "recorded == retained + dropped");
+        // the survivors are exactly the newest four, in seq order
+        let names: Vec<&str> = snap.events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["e6", "e7", "e8", "e9"]);
+        let seqs: Vec<u64> = snap.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn spans_and_warns_mirror_into_the_ring_without_the_main_recorder() {
+        let _g = guard();
+        crate::reset(); // main recorder OFF
+        arm(16);
+        {
+            let _s = crate::span("serve", "request");
+            crate::warn("serve", "queue is deep");
+        }
+        let snap = snapshot();
+        disarm();
+        assert!(
+            snap.events
+                .iter()
+                .any(|e| e.kind == FlightKind::Span && e.name == "request"),
+            "{snap:?}"
+        );
+        assert!(
+            snap.events
+                .iter()
+                .any(|e| e.kind == FlightKind::Warn && e.name == "queue is deep"),
+            "{snap:?}"
+        );
+        // nothing leaked into the (disabled) main recorder
+        let report = crate::drain();
+        assert!(report.is_empty(), "flight armed must not feed the main recorder");
+    }
+
+    #[test]
+    fn rendered_events_parse_and_pin_the_field_order() {
+        let _g = guard();
+        arm(8);
+        note("serve", "job \"x\" admitted");
+        let snap = snapshot();
+        disarm();
+        let line = snap.events[0].render_json();
+        let doc = crate::parse_json(&line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        assert_eq!(doc.get("kind").and_then(|v| v.as_str()), Some("note"));
+        assert_eq!(doc.get("cat").and_then(|v| v.as_str()), Some("serve"));
+        // every schema field present, in the pinned order
+        let mut at = 0;
+        for field in EVENT_FIELDS {
+            let pos = line[at..]
+                .find(&format!("\"{field}\":"))
+                .unwrap_or_else(|| panic!("{field} missing or out of order in {line}"));
+            at += pos;
+        }
+    }
+
+    #[test]
+    fn rearm_clears_and_resets() {
+        let _g = guard();
+        arm(4);
+        for i in 0..9 {
+            note("t", &format!("old{i}"));
+        }
+        assert!(dropped() > 0);
+        arm(4);
+        let snap = snapshot();
+        assert!(snap.events.is_empty());
+        assert_eq!(snap.dropped, 0);
+        note("t", "fresh");
+        assert_eq!(snapshot().events[0].seq, 0, "seq restarts on re-arm");
+        disarm();
+    }
+
+    #[test]
+    fn snapshot_does_not_consume() {
+        let _g = guard();
+        arm(8);
+        note("t", "stay");
+        let first = snapshot();
+        let second = snapshot();
+        disarm();
+        assert_eq!(first.events, second.events);
+    }
+}

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod flight;
 mod json;
 mod trace;
 
@@ -120,6 +121,14 @@ fn shared() -> &'static Shared {
 /// Elapsed microseconds since the recorder epoch (monotonic).
 fn now_us() -> u64 {
     (shared().epoch.elapsed().as_nanos() / 1_000) as u64
+}
+
+/// Recorder-assigned id of the calling thread (the buffer is created on
+/// demand; stays 0 during thread teardown, when the TLS slot is gone).
+pub(crate) fn local_tid() -> u64 {
+    let mut tid = 0;
+    with_local(|t, _| tid = t);
+    tid
 }
 
 #[derive(Default)]
@@ -234,6 +243,7 @@ pub struct Span {
     cat: String,
     name: String,
     active: bool,
+    main: bool,
 }
 
 impl Drop for Span {
@@ -242,11 +252,20 @@ impl Drop for Span {
             return;
         }
         let end_us = now_us();
+        let dur_us = end_us.saturating_sub(self.start_us);
+        // the flight mirror runs outside with_local: its own tid lookup
+        // must not hit the already-borrowed TLS slot
+        if flight::armed() {
+            flight::record_span(&self.cat, &self.name, self.start_us, dur_us);
+        }
+        if !self.main {
+            return;
+        }
         let record = SpanRecord {
             cat: std::mem::take(&mut self.cat),
             name: std::mem::take(&mut self.name),
             start_us: self.start_us,
-            dur_us: end_us.saturating_sub(self.start_us),
+            dur_us,
             tid: 0,
         };
         with_local(|tid, data| {
@@ -255,15 +274,19 @@ impl Drop for Span {
     }
 }
 
-/// Opens a span named `name` under category `cat`. When the recorder
-/// is disabled this allocates nothing and the guard is inert.
+/// Opens a span named `name` under category `cat`. The interval is
+/// recorded by the main recorder when [`enabled`], and mirrored into
+/// the [`flight`] ring when armed. With both off this allocates
+/// nothing and the guard is inert.
 pub fn span(cat: &str, name: &str) -> Span {
-    if !enabled() {
+    let main = enabled();
+    if !main && !flight::armed() {
         return Span {
             start_us: 0,
             cat: String::new(),
             name: String::new(),
             active: false,
+            main: false,
         };
     }
     Span {
@@ -271,6 +294,7 @@ pub fn span(cat: &str, name: &str) -> Span {
         cat: cat.to_string(),
         name: name.to_string(),
         active: true,
+        main,
     }
 }
 
@@ -307,12 +331,21 @@ pub fn observe(name: &str, value: f64) {
 }
 
 /// Records a warn-level event: a structured diagnostic that shows up
-/// in traces and metrics reports without touching stdout/stderr.
+/// in traces and metrics reports without touching stdout/stderr. Also
+/// mirrored into the [`flight`] ring when armed.
 pub fn warn(cat: &str, message: &str) {
-    if !enabled() {
+    let main = enabled();
+    let armed = flight::armed();
+    if !main && !armed {
         return;
     }
     let ts_us = now_us();
+    if armed {
+        flight::record_warn(cat, message, ts_us);
+    }
+    if !main {
+        return;
+    }
     with_local(|tid, data| {
         data.warns.push(WarnRecord {
             cat: cat.to_string(),
@@ -369,15 +402,22 @@ pub fn drain() -> TraceReport {
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::MutexGuard;
+pub(crate) mod tests_support {
+    use std::sync::{Mutex, MutexGuard};
 
-    /// The recorder is process-global; tests touching it serialize.
-    fn guard() -> MutexGuard<'static, ()> {
+    /// The recorder and the flight ring are process-global; every test
+    /// in this crate that touches either serializes on this one lock
+    /// (per-module locks would not serialize across modules).
+    pub(crate) fn guard() -> MutexGuard<'static, ()> {
         static LOCK: Mutex<()> = Mutex::new(());
         LOCK.lock().unwrap_or_else(|p| p.into_inner())
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::guard;
+    use super::*;
 
     #[test]
     fn disabled_recorder_collects_nothing() {

@@ -239,7 +239,7 @@ impl TraceReport {
 
 /// JSON string literal with escaping for quotes, backslashes, and
 /// control characters.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

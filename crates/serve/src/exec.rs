@@ -17,7 +17,7 @@ use quva::{CheckedPipeline, MappingPolicy, Pipeline};
 use quva_analysis::audit_compiled;
 use quva_benchmarks::Benchmark;
 use quva_device::Device;
-use quva_sim::{monte_carlo_pst_with, CoherenceModel, McEngine};
+use quva_sim::{monte_carlo_pst_progress, monte_carlo_pst_with, CoherenceModel, McEngine};
 
 use crate::cache::CacheKey;
 use crate::protocol::{JobKind, JobSpec};
@@ -108,6 +108,24 @@ fn checked_pipeline(policy: &MappingPolicy) -> Result<Arc<CheckedPipeline<'stati
 /// caller's job to contain (the worker loop wraps this in
 /// `catch_unwind`).
 pub fn execute(job: &ResolvedJob, engine: McEngine) -> Result<String, String> {
+    execute_with(job, engine, None)
+}
+
+/// [`execute`] with an optional chunk-boundary progress callback,
+/// invoked as `f(done_trials, total_trials)` during `simulate` jobs
+/// (compile and audit finish in one step and never call it). Progress
+/// observes the run without altering it — the rendered result is
+/// byte-identical to [`execute`].
+///
+/// # Errors
+///
+/// Returns a message on compile or simulation failure, like
+/// [`execute`].
+pub fn execute_with(
+    job: &ResolvedJob,
+    engine: McEngine,
+    progress: Option<&(dyn Fn(u64, u64) + Sync)>,
+) -> Result<String, String> {
     let pipeline = checked_pipeline(&job.policy)?;
     let compiled = {
         // same span compile_with emits, so serve traces keep the
@@ -136,14 +154,25 @@ pub fn execute(job: &ResolvedJob, engine: McEngine) -> Result<String, String> {
             Ok(format!("{head},\"analytic_pst\":{}}}", pst.pst))
         }
         JobKind::Simulate => {
-            let est = monte_carlo_pst_with(
-                &job.device,
-                physical,
-                job.spec.trials,
-                job.spec.seed,
-                CoherenceModel::Disabled,
-                engine,
-            )
+            let est = match progress {
+                Some(f) => monte_carlo_pst_progress(
+                    &job.device,
+                    physical,
+                    job.spec.trials,
+                    job.spec.seed,
+                    CoherenceModel::Disabled,
+                    engine,
+                    f,
+                ),
+                None => monte_carlo_pst_with(
+                    &job.device,
+                    physical,
+                    job.spec.trials,
+                    job.spec.seed,
+                    CoherenceModel::Disabled,
+                    engine,
+                ),
+            }
             .map_err(|e| format!("simulation failed: {e}"))?;
             Ok(format!(
                 "{head},\"pst\":{},\"successes\":{},\"trials\":{},\"std_error\":{}}}",
@@ -184,6 +213,7 @@ mod tests {
             seed: 7,
             priority: 5,
             deadline_ms: None,
+            progress: false,
         }
     }
 
@@ -243,6 +273,31 @@ mod tests {
             quva_circuit::qasm::to_qasm(via_policy.physical())
         );
         assert_eq!(via_pipeline.inserted_swaps(), via_policy.inserted_swaps());
+    }
+
+    #[test]
+    fn progress_callback_leaves_result_bytes_unchanged() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let mut s = spec(JobKind::Simulate);
+        s.trials = 40_000; // several chunks at the default granularity
+        let job = resolve(&s).unwrap();
+        let plain = execute(&job, McEngine::sequential()).unwrap();
+        let calls = AtomicU64::new(0);
+        let peak = AtomicU64::new(0);
+        let cb = |done: u64, total: u64| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            peak.fetch_max(done, Ordering::Relaxed);
+            assert_eq!(total, 40_000);
+        };
+        let streamed = execute_with(&job, McEngine::sequential(), Some(&cb)).unwrap();
+        assert_eq!(plain, streamed);
+        assert!(calls.load(Ordering::Relaxed) >= 3, "expected one call per chunk");
+        assert_eq!(peak.load(Ordering::Relaxed), 40_000);
+        // compile jobs never invoke the callback
+        let compile = resolve(&spec(JobKind::Compile)).unwrap();
+        let before = calls.load(Ordering::Relaxed);
+        execute_with(&compile, McEngine::sequential(), Some(&cb)).unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), before);
     }
 
     #[test]

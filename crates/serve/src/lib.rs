@@ -29,6 +29,14 @@
 //! * **Determinism** — results are pure functions of the job spec, so
 //!   the sharded cache (keyed by `Device::fingerprint` ×
 //!   `Circuit::fingerprint`) replays byte-identical response lines.
+//! * **Observability** — an always-on flight recorder mirrors spans
+//!   and warnings into a bounded in-memory ring; anomalies (deadline
+//!   misses, worker panics, shed and queue-flood events) snapshot it
+//!   into size-capped rotated JSONL dumps; a `metrics` verb serves a
+//!   Prometheus-style text exposition with exact per-verb latency
+//!   quantiles; a per-job JSONL audit journal records every admission
+//!   decision; and `"progress":true` simulate jobs stream
+//!   chunk-boundary progress frames ahead of the final response.
 //!
 //! ```no_run
 //! use quva_serve::{Listen, Server, ServerConfig};
@@ -59,7 +67,10 @@
 
 pub mod backoff;
 pub mod cache;
+pub mod dump;
 pub mod exec;
+pub mod expo;
+pub mod journal;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
@@ -68,9 +79,13 @@ pub mod spec;
 
 pub use backoff::Backoff;
 pub use cache::{CacheKey, ResultCache};
+pub use dump::{DumpSink, DUMP_HEADER_FIELDS, DUMP_SCHEMA, TRIGGERS};
+pub use expo::{is_timing_line, render_exposition, ExpoInputs, LatencyRecorder};
+pub use journal::{Journal, JournalRecord, JOURNAL_FIELDS, JOURNAL_SCHEMA};
 pub use metrics::ServeMetrics;
 pub use protocol::{
-    parse_request, JobKind, JobSpec, ProtocolError, Request, RequestKind, Response, MAX_FRAME_BYTES,
+    parse_request, progress_frame, JobKind, JobSpec, ProtocolError, Request, RequestKind, Response,
+    MAX_FRAME_BYTES,
 };
 pub use queue::{BoundedQueue, Pop, Push};
 pub use server::{Listen, Server, ServerConfig, ServerHandle};

@@ -43,6 +43,13 @@ pub struct ServeMetrics {
     /// cost bound exceeded their deadline (status `infeasible`). These
     /// never reach a worker.
     pub jobs_infeasible: AtomicU64,
+    /// Flight-recorder ring evictions (synced from
+    /// `quva_obs::flight::dropped` before each render). Appended after
+    /// the original keys to preserve the fixed-order contract.
+    pub dropped_events: AtomicU64,
+    /// Lifetime bytes appended to the audit journal (synced before
+    /// each render; 0 when no journal is configured).
+    pub journal_bytes: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -59,7 +66,8 @@ impl ServeMetrics {
             "{{\"requests\":{},\"ok\":{},\"errors\":{},\"overloaded\":{},\"deadline_exceeded\":{},\
              \"shutting_down\":{},\"cache_hits\":{},\"cache_misses\":{},\"shed\":{},\
              \"worker_panics\":{},\"worker_respawns\":{},\"connections\":{},\
-             \"connections_rejected\":{},\"malformed_frames\":{},\"jobs_infeasible\":{}}}",
+             \"connections_rejected\":{},\"malformed_frames\":{},\"jobs_infeasible\":{},\
+             \"dropped_events\":{},\"journal_bytes\":{}}}",
             g(&self.requests),
             g(&self.ok),
             g(&self.errors),
@@ -74,7 +82,9 @@ impl ServeMetrics {
             g(&self.connections),
             g(&self.connections_rejected),
             g(&self.malformed_frames),
-            g(&self.jobs_infeasible)
+            g(&self.jobs_infeasible),
+            g(&self.dropped_events),
+            g(&self.journal_bytes)
         )
     }
 }
@@ -94,5 +104,22 @@ mod tests {
         let doc = quva_obs::parse_json(&json).unwrap();
         assert_eq!(doc.get("cache_hits").and_then(|v| v.as_f64()), Some(1.0));
         assert_eq!(doc.get("worker_panics").and_then(|v| v.as_f64()), Some(0.0));
+    }
+
+    #[test]
+    fn telemetry_fields_append_after_original_keys() {
+        // the byte-determinism contract: existing consumers parse by
+        // position up to jobs_infeasible; new fields only ever append
+        let m = ServeMetrics::default();
+        m.dropped_events.store(7, Ordering::Relaxed);
+        m.journal_bytes.store(512, Ordering::Relaxed);
+        let json = m.render_json();
+        assert!(
+            json.ends_with(",\"jobs_infeasible\":0,\"dropped_events\":7,\"journal_bytes\":512}"),
+            "{json}"
+        );
+        let doc = quva_obs::parse_json(&json).unwrap();
+        assert_eq!(doc.get("dropped_events").and_then(|v| v.as_f64()), Some(7.0));
+        assert_eq!(doc.get("journal_bytes").and_then(|v| v.as_f64()), Some(512.0));
     }
 }

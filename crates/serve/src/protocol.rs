@@ -14,15 +14,23 @@
 //!  "priority": 5, "deadline_ms": 2000}
 //! ```
 //!
-//! `kind` is one of `ping`, `stats`, `compile`, `simulate`, `audit`,
-//! or `shutdown`. Job kinds (`compile`/`simulate`/`audit`) require
-//! `device`, `policy`, and `benchmark`; `trials` and `seed` only apply
-//! to `simulate`. `priority` (0 = first shed … 9 = last shed,
-//! default 5) and `deadline_ms` are optional on every job.
+//! `kind` is one of `ping`, `stats`, `metrics`, `compile`,
+//! `simulate`, `audit`, or `shutdown`. Job kinds
+//! (`compile`/`simulate`/`audit`) require `device`, `policy`, and
+//! `benchmark`; `trials` and `seed` only apply to `simulate`.
+//! `priority` (0 = first shed … 9 = last shed, default 5),
+//! `deadline_ms`, and `progress` (request interleaved progress
+//! frames; only `simulate` emits them) are optional on every job.
 //!
 //! Response statuses: `ok`, `error`, `overloaded` (with
 //! `retry_after_ms`), `infeasible` (with `predicted_ms` and
 //! `deadline_ms`), `deadline_exceeded`, `shutting_down`.
+//!
+//! A job sent with `"progress":true` may receive interleaved
+//! **progress frames** before its response: `{"id":…,"event":
+//! "progress","done":…,"total":…}` ([`progress_frame`]). Progress
+//! frames carry `event`, never `status`, so a client matching on
+//! `status` skips them safely; the id keys them to their job.
 
 use quva_obs::parse_json;
 
@@ -75,6 +83,9 @@ pub struct JobSpec {
     pub priority: u8,
     /// Per-request deadline override in milliseconds.
     pub deadline_ms: Option<u64>,
+    /// Whether the client asked for interleaved progress frames
+    /// (meaningful for `simulate`; other kinds finish in one step).
+    pub progress: bool,
 }
 
 /// Every frame the daemon understands.
@@ -84,6 +95,9 @@ pub enum RequestKind {
     Ping,
     /// Metrics snapshot; answered inline, never queued.
     Stats,
+    /// Prometheus-style text exposition (wrapped in a one-line JSON
+    /// envelope); answered inline, never queued.
+    Metrics,
     /// Begin graceful drain and shut the daemon down.
     Shutdown,
     /// Deliberate worker panic — only honored when the server was
@@ -158,6 +172,12 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
                 kind: RequestKind::Stats,
             })
         }
+        "metrics" => {
+            return Ok(Request {
+                id,
+                kind: RequestKind::Metrics,
+            })
+        }
         "shutdown" => {
             return Ok(Request {
                 id,
@@ -227,6 +247,12 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             Some(d)
         }
     };
+    let progress = match doc.get("progress") {
+        None => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| ProtocolError::new(id.clone(), "\"progress\" must be a boolean"))?,
+    };
 
     Ok(Request {
         id,
@@ -239,8 +265,18 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             seed,
             priority: priority as u8,
             deadline_ms,
+            progress,
         }),
     })
+}
+
+/// Renders one interleaved progress frame (no trailing newline). Key
+/// order is fixed; carries `event`, never `status`.
+pub fn progress_frame(id: &str, done: u64, total: u64) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"event\":\"progress\",\"done\":{done},\"total\":{total}}}",
+        json_escape(id)
+    )
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -396,9 +432,35 @@ mod tests {
                 assert_eq!(job.seed, 42);
                 assert_eq!(job.priority, 9);
                 assert_eq!(job.deadline_ms, Some(1500));
+                assert!(!job.progress, "progress defaults to off");
             }
             other => panic!("expected job, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn progress_field_parses_and_type_checks() {
+        let line = r#"{"id":"p","kind":"simulate","device":"q5","policy":"vqm","benchmark":"ghz:3","progress":true}"#;
+        match parse_request(line).unwrap().kind {
+            RequestKind::Job(job) => assert!(job.progress),
+            other => panic!("expected job, got {other:?}"),
+        }
+        assert!(parse_request(
+            r#"{"id":"p","kind":"simulate","device":"q5","policy":"vqm","benchmark":"ghz:3","progress":1}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn progress_frames_render_fixed_order_and_reparse() {
+        let frame = progress_frame("p\"q", 163840, 1000000);
+        assert_eq!(
+            frame,
+            r#"{"id":"p\"q","event":"progress","done":163840,"total":1000000}"#
+        );
+        let doc = parse_json(&frame).unwrap();
+        assert_eq!(doc.get("event").and_then(|v| v.as_str()), Some("progress"));
+        assert!(doc.get("status").is_none(), "progress frames never carry status");
     }
 
     #[test]
@@ -406,6 +468,7 @@ mod tests {
         for (kind, want) in [
             ("ping", RequestKind::Ping),
             ("stats", RequestKind::Stats),
+            ("metrics", RequestKind::Metrics),
             ("shutdown", RequestKind::Shutdown),
             ("panic", RequestKind::Panic),
         ] {

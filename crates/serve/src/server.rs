@@ -30,7 +30,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -40,9 +40,14 @@ use quva_analysis::{envelope_of, CostModel};
 use quva_sim::{McEngine, McKernel};
 
 use crate::cache::ResultCache;
-use crate::exec::{execute, resolve, ResolvedJob};
+use crate::dump::DumpSink;
+use crate::exec::{execute, execute_with, resolve, ResolvedJob};
+use crate::expo::{self, LatencyRecorder};
+use crate::journal::{Journal, JournalRecord};
 use crate::metrics::ServeMetrics;
-use crate::protocol::{parse_request, JobSpec, RequestKind, Response, MAX_FRAME_BYTES};
+use crate::protocol::{
+    json_escape, parse_request, progress_frame, JobKind, JobSpec, RequestKind, Response, MAX_FRAME_BYTES,
+};
 use crate::queue::{BoundedQueue, Pop, Push};
 
 /// Where the daemon listens.
@@ -95,6 +100,22 @@ pub struct ServerConfig {
     pub cache_capacity_per_shard: usize,
     /// Honor `panic` frames (fault injection). Off in production.
     pub chaos_panics: bool,
+    /// Flight-recorder ring capacity in events; `0` selects the
+    /// `quva-obs` default. The ring is always armed while the daemon
+    /// runs — anomaly dumps need history from *before* the trigger.
+    pub flight_capacity: usize,
+    /// Directory receiving anomaly-triggered flight dumps (`None`
+    /// disables dumping; the ring still records).
+    pub dump_dir: Option<PathBuf>,
+    /// Per-dump-file byte cap (oldest events truncated first).
+    pub dump_max_file_bytes: u64,
+    /// Total byte cap across the dump directory; oldest dump files
+    /// are deleted to stay under it.
+    pub dump_max_total_bytes: u64,
+    /// Path of the per-job JSONL audit journal (`None` disables).
+    pub journal_path: Option<PathBuf>,
+    /// Journal size-rotation threshold in bytes.
+    pub journal_max_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -114,6 +135,12 @@ impl Default for ServerConfig {
             cache_shards: 8,
             cache_capacity_per_shard: 64,
             chaos_panics: false,
+            flight_capacity: 0,
+            dump_dir: None,
+            dump_max_file_bytes: 256 * 1024,
+            dump_max_total_bytes: 4 * 1024 * 1024,
+            journal_path: None,
+            journal_max_bytes: 4 * 1024 * 1024,
         }
     }
 }
@@ -123,6 +150,13 @@ enum JobOutcome {
     Done(Arc<str>),
     Failed(String),
     Shed,
+    /// Chunk-boundary progress from a streaming simulate job; the
+    /// connection thread forwards it as a `progress` frame and keeps
+    /// waiting for a terminal outcome.
+    Progress {
+        done: u64,
+        total: u64,
+    },
 }
 
 /// Work items flowing through the queue.
@@ -132,6 +166,9 @@ enum Work {
 }
 
 struct QueuedJob {
+    /// Client-supplied request id — labels anomaly dumps and flight
+    /// notes for the job.
+    id: String,
     work: Work,
     reply: mpsc::Sender<JobOutcome>,
 }
@@ -154,6 +191,11 @@ struct Shared {
     draining: AtomicBool,
     active_connections: AtomicUsize,
     conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    started: Instant,
+    latency: LatencyRecorder,
+    dump: Option<DumpSink>,
+    journal: Option<Journal>,
+    workers_alive: AtomicU64,
 }
 
 impl Shared {
@@ -177,9 +219,44 @@ impl Shared {
         self.config.retry_after_ms.max(drain_ms)
     }
 
+    /// Refreshes the metric fields that mirror external telemetry
+    /// sources (flight-ring drops, journal size). Called immediately
+    /// before every `stats` / exposition render so both read current
+    /// values.
+    fn sync_telemetry(&self) {
+        self.metrics
+            .dropped_events
+            .store(quva_obs::flight::dropped(), Ordering::Relaxed);
+        let journal_bytes = self.journal.as_ref().map_or(0, |j| j.bytes_written());
+        self.metrics.journal_bytes.store(journal_bytes, Ordering::Relaxed);
+    }
+
+    /// Renders the Prometheus-style text exposition for the `metrics`
+    /// verb — byte-deterministic modulo timing-valued lines.
+    fn render_exposition(&self) -> String {
+        self.sync_telemetry();
+        let dumps = match &self.dump {
+            Some(d) => d.counts(),
+            None => crate::dump::TRIGGERS.iter().map(|t| (*t, 0)).collect(),
+        };
+        expo::render_exposition(&expo::ExpoInputs {
+            metrics: &self.metrics,
+            latency: &self.latency,
+            queue_depth: self.queue.len(),
+            workers_alive: self.workers_alive.load(Ordering::Relaxed),
+            flight_dropped: quva_obs::flight::dropped(),
+            journal_bytes: self.metrics.journal_bytes.load(Ordering::Relaxed),
+            dumps,
+            uptime_us: self.started.elapsed().as_micros() as u64,
+        })
+    }
+
     /// Decodes and answers one frame. Always produces a response line.
-    fn handle_frame(&self, line: &str) -> FrameOutcome {
+    /// `emit` writes an out-of-band frame (streaming progress) to the
+    /// client ahead of the final response.
+    fn handle_frame(&self, line: &str, emit: &mut dyn FnMut(&str) -> io::Result<()>) -> FrameOutcome {
         let _span = quva_obs::span("serve", "request");
+        let frame_started = Instant::now();
         ServeMetrics::bump(&self.metrics.requests);
         quva_obs::counter("serve.requests", 1);
         let request = match parse_request(line) {
@@ -198,7 +275,15 @@ impl Shared {
             Ok(r) => r,
         };
         let id = request.id;
-        match request.kind {
+        let verb: &'static str = match &request.kind {
+            RequestKind::Ping => "ping",
+            RequestKind::Stats => "stats",
+            RequestKind::Metrics => "metrics",
+            RequestKind::Shutdown => "shutdown",
+            RequestKind::Panic => "panic",
+            RequestKind::Job(spec) => spec.kind.name(),
+        };
+        let outcome = match request.kind {
             RequestKind::Ping => {
                 ServeMetrics::bump(&self.metrics.ok);
                 FrameOutcome::Reply(
@@ -211,10 +296,22 @@ impl Shared {
             }
             RequestKind::Stats => {
                 ServeMetrics::bump(&self.metrics.ok);
+                self.sync_telemetry();
                 FrameOutcome::Reply(
                     Response::Ok {
                         id,
                         result: self.metrics.render_json(),
+                    }
+                    .render(),
+                )
+            }
+            RequestKind::Metrics => {
+                ServeMetrics::bump(&self.metrics.ok);
+                let exposition = self.render_exposition();
+                FrameOutcome::Reply(
+                    Response::Ok {
+                        id,
+                        result: format!("{{\"exposition\":\"{}\"}}", json_escape(&exposition)),
                     }
                     .render(),
                 )
@@ -240,27 +337,70 @@ impl Shared {
                         .render(),
                     );
                 }
-                FrameOutcome::Reply(self.submit(
+                let (rendered, _status) = self.submit(
                     id,
                     9,
                     1,
                     self.config.default_deadline_ms,
                     Work::InjectedPanic,
-                ))
+                    false,
+                    emit,
+                );
+                FrameOutcome::Reply(rendered)
             }
-            RequestKind::Job(spec) => FrameOutcome::Reply(self.handle_job(id, spec)),
-        }
+            RequestKind::Job(spec) => FrameOutcome::Reply(self.handle_job(id, spec, emit)),
+        };
+        self.latency
+            .record(verb, frame_started.elapsed().as_micros() as u64);
+        outcome
     }
 
-    /// Resolves, cache-checks, admits, and awaits one job.
-    fn handle_job(&self, id: String, spec: JobSpec) -> String {
+    /// Resolves, cache-checks, admits, and awaits one job, writing an
+    /// audit-journal record describing what happened to it.
+    fn handle_job(&self, id: String, spec: JobSpec, emit: &mut dyn FnMut(&str) -> io::Result<()>) -> String {
+        let job_started = Instant::now();
+        let mut record = JournalRecord {
+            id: id.clone(),
+            kind: spec.kind.name().to_string(),
+            device: spec.device.clone(),
+            policy: spec.policy.clone(),
+            benchmark: spec.benchmark.clone(),
+            admission: "error",
+            cache_hit: false,
+            envelope_lo_ms: 0,
+            envelope_hi_ms: 0,
+            kernel: format!("{:?}", self.config.engine_kernel),
+            outcome: String::new(),
+            elapsed_us: 0,
+        };
+        let rendered = self.handle_job_inner(id, spec, emit, &mut record);
+        if let Some(journal) = &self.journal {
+            record.elapsed_us = job_started.elapsed().as_micros() as u64;
+            journal.append(&record);
+        }
+        rendered
+    }
+
+    /// The job path proper; fills `record` as admission decisions are
+    /// made so [`Shared::handle_job`] can journal the job on every
+    /// exit path.
+    fn handle_job_inner(
+        &self,
+        id: String,
+        spec: JobSpec,
+        emit: &mut dyn FnMut(&str) -> io::Result<()>,
+        record: &mut JournalRecord,
+    ) -> String {
         if self.draining() {
             ServeMetrics::bump(&self.metrics.shutting_down);
+            record.admission = "draining";
+            record.outcome = "shutting_down".to_string();
             return Response::ShuttingDown { id }.render();
         }
         let resolved = match resolve(&spec) {
             Err(message) => {
                 ServeMetrics::bump(&self.metrics.errors);
+                record.outcome = "error".to_string();
                 return Response::Error { id, message }.render();
             }
             Ok(r) => r,
@@ -270,6 +410,9 @@ impl Shared {
             ServeMetrics::bump(&self.metrics.cache_hits);
             quva_obs::counter("serve.cache.hit", 1);
             ServeMetrics::bump(&self.metrics.ok);
+            record.admission = "cache";
+            record.cache_hit = true;
+            record.outcome = "ok".to_string();
             return Response::Ok {
                 id,
                 result: hit.to_string(),
@@ -289,9 +432,13 @@ impl Shared {
             spec.trials,
             &self.config.cost_model,
         );
+        record.envelope_lo_ms = envelope.predicted_ms_lo();
+        record.envelope_hi_ms = (envelope.total_ns().hi / 1e6).ceil() as u64;
         if envelope.infeasible_for(deadline_ms) {
             ServeMetrics::bump(&self.metrics.jobs_infeasible);
             quva_obs::counter("serve.infeasible", 1);
+            record.admission = "infeasible";
+            record.outcome = "infeasible".to_string();
             return Response::Infeasible {
                 id,
                 predicted_ms: envelope.predicted_ms_lo(),
@@ -300,83 +447,148 @@ impl Shared {
             .render();
         }
         let weight = (envelope.total_ns().hi.ceil() as u64).max(1);
-        self.submit(
+        let progress = spec.progress;
+        let (rendered, status) = self.submit(
             id,
             spec.priority,
             weight,
             deadline_ms,
             Work::Run(Box::new(resolved)),
-        )
+            progress,
+            emit,
+        );
+        record.admission = match status {
+            "overloaded" => "overloaded",
+            "shutting_down" => "draining",
+            _ => "admitted",
+        };
+        record.outcome = status.to_string();
+        rendered
     }
 
     /// Pushes work through admission control and waits for its
-    /// outcome or deadline. `weight` is the job's pessimistic cost
-    /// bound in nanoseconds (it steers shed choice and drain-time
-    /// retry hints). Always returns a rendered response.
-    fn submit(&self, id: String, priority: u8, weight: u64, deadline_ms: u64, work: Work) -> String {
+    /// outcome or deadline, forwarding streamed progress frames via
+    /// `emit` when `progress` is set. `weight` is the job's
+    /// pessimistic cost bound in nanoseconds (it steers shed choice
+    /// and drain-time retry hints). Returns the rendered response and
+    /// a short status label for the audit journal.
+    #[allow(clippy::too_many_arguments)]
+    fn submit(
+        &self,
+        id: String,
+        priority: u8,
+        weight: u64,
+        deadline_ms: u64,
+        work: Work,
+        progress: bool,
+        emit: &mut dyn FnMut(&str) -> io::Result<()>,
+    ) -> (String, &'static str) {
+        quva_obs::flight::note("serve", &format!("job {id} submit"));
         let (reply, outcome) = mpsc::channel();
-        match self
-            .queue
-            .push_weighted(priority, weight, QueuedJob { work, reply })
-        {
+        match self.queue.push_weighted(
+            priority,
+            weight,
+            QueuedJob {
+                id: id.clone(),
+                work,
+                reply,
+            },
+        ) {
             Push::Admitted => {}
             Push::Shed(loser) => {
                 // lower-priority queued job evicted to make room
                 ServeMetrics::bump(&self.metrics.shed);
                 quva_obs::counter("serve.shed", 1);
+                if let Some(dump) = &self.dump {
+                    dump.record("shed_weakest", &loser.id);
+                }
                 let _ = loser.reply.send(JobOutcome::Shed);
             }
             Push::Rejected(_) => {
                 ServeMetrics::bump(&self.metrics.overloaded);
                 quva_obs::counter("serve.retry_after", 1);
-                return Response::Overloaded {
-                    id,
-                    retry_after_ms: self.retry_hint_ms(),
+                if let Some(dump) = &self.dump {
+                    dump.record("queue_flood", &id);
                 }
-                .render();
+                return (
+                    Response::Overloaded {
+                        id,
+                        retry_after_ms: self.retry_hint_ms(),
+                    }
+                    .render(),
+                    "overloaded",
+                );
             }
             Push::Closed(_) => {
                 ServeMetrics::bump(&self.metrics.shutting_down);
-                return Response::ShuttingDown { id }.render();
+                return (Response::ShuttingDown { id }.render(), "shutting_down");
             }
         }
         ServeMetrics::bump(&self.metrics.cache_misses);
         quva_obs::observe("serve.queue.depth", self.queue.len() as f64);
-        match outcome.recv_timeout(Duration::from_millis(deadline_ms)) {
-            Ok(JobOutcome::Done(result)) => {
-                ServeMetrics::bump(&self.metrics.ok);
-                Response::Ok {
-                    id,
-                    result: result.to_string(),
+        let deadline_at = Instant::now() + Duration::from_millis(deadline_ms);
+        loop {
+            let remaining = deadline_at.saturating_duration_since(Instant::now());
+            return match outcome.recv_timeout(remaining) {
+                Ok(JobOutcome::Progress { done, total }) => {
+                    // not terminal: forward (best-effort — a client
+                    // that stopped reading still gets its final
+                    // response attempt) and keep waiting
+                    if progress {
+                        let _ = emit(&progress_frame(&id, done, total));
+                    }
+                    continue;
                 }
-                .render()
-            }
-            Ok(JobOutcome::Failed(message)) => {
-                ServeMetrics::bump(&self.metrics.errors);
-                Response::Error { id, message }.render()
-            }
-            Ok(JobOutcome::Shed) => {
-                ServeMetrics::bump(&self.metrics.overloaded);
-                Response::Overloaded {
-                    id,
-                    retry_after_ms: self.retry_hint_ms(),
+                Ok(JobOutcome::Done(result)) => {
+                    ServeMetrics::bump(&self.metrics.ok);
+                    (
+                        Response::Ok {
+                            id,
+                            result: result.to_string(),
+                        }
+                        .render(),
+                        "ok",
+                    )
                 }
-                .render()
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                ServeMetrics::bump(&self.metrics.deadline_exceeded);
-                quva_obs::counter("serve.deadline_exceeded", 1);
-                Response::DeadlineExceeded { id, deadline_ms }.render()
-            }
-            Err(RecvTimeoutError::Disconnected) => {
-                // worker died between pop and reply — backstop path
-                ServeMetrics::bump(&self.metrics.errors);
-                Response::Error {
-                    id,
-                    message: "worker unavailable".to_string(),
+                Ok(JobOutcome::Failed(message)) => {
+                    ServeMetrics::bump(&self.metrics.errors);
+                    (Response::Error { id, message }.render(), "error")
                 }
-                .render()
-            }
+                Ok(JobOutcome::Shed) => {
+                    ServeMetrics::bump(&self.metrics.overloaded);
+                    (
+                        Response::Overloaded {
+                            id,
+                            retry_after_ms: self.retry_hint_ms(),
+                        }
+                        .render(),
+                        "overloaded",
+                    )
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    ServeMetrics::bump(&self.metrics.deadline_exceeded);
+                    quva_obs::counter("serve.deadline_exceeded", 1);
+                    if let Some(dump) = &self.dump {
+                        dump.record("deadline_exceeded", &id);
+                    }
+                    (
+                        Response::DeadlineExceeded { id, deadline_ms }.render(),
+                        "deadline_exceeded",
+                    )
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // worker died between pop and reply — backstop path
+                    ServeMetrics::bump(&self.metrics.errors);
+                    (
+                        Response::Error {
+                            id,
+                            message: "worker unavailable".to_string(),
+                        }
+                        .render(),
+                        "error",
+                    )
+                }
+            };
         }
     }
 }
@@ -402,6 +614,7 @@ fn worker_iterations(shared: &Shared) -> WorkerExit {
             Pop::Drained => return WorkerExit::Drained,
         };
         quva_obs::observe("serve.queue.depth", shared.queue.len() as f64);
+        quva_obs::flight::note("serve", &format!("job {} start", job.id));
         let _span = quva_obs::span("serve", "job");
         match job.work {
             Work::InjectedPanic => {
@@ -409,6 +622,9 @@ fn worker_iterations(shared: &Shared) -> WorkerExit {
                 if let Err(payload) = caught {
                     ServeMetrics::bump(&shared.metrics.worker_panics);
                     quva_obs::counter("serve.worker.panic", 1);
+                    if let Some(dump) = &shared.dump {
+                        dump.record("worker_panic", &job.id);
+                    }
                     let _ = job.reply.send(JobOutcome::Failed(format!(
                         "worker panicked: {}",
                         panic_text(payload.as_ref())
@@ -417,7 +633,30 @@ fn worker_iterations(shared: &Shared) -> WorkerExit {
                 }
             }
             Work::Run(resolved) => {
-                let caught = catch_unwind(AssertUnwindSafe(|| execute(&resolved, engine)));
+                let want_progress = resolved.spec.progress && resolved.spec.kind == JobKind::Simulate;
+                let caught = if want_progress {
+                    // Sender is !Sync and the engine calls back from
+                    // its trial threads, so the clone lives behind a
+                    // mutex. Frames are throttled to decile
+                    // boundaries; the decile check and the send share
+                    // one lock so the stream stays strictly monotone
+                    // even when work-stealing completes chunks out of
+                    // order.
+                    let progress_state = Mutex::new((job.reply.clone(), 0u64));
+                    let callback = |done: u64, total: u64| {
+                        let decile = (done * 10).checked_div(total).unwrap_or(10);
+                        let mut state = progress_state.lock().unwrap_or_else(PoisonError::into_inner);
+                        if decile > state.1 {
+                            state.1 = decile;
+                            let _ = state.0.send(JobOutcome::Progress { done, total });
+                        }
+                    };
+                    catch_unwind(AssertUnwindSafe(|| {
+                        execute_with(&resolved, engine, Some(&callback))
+                    }))
+                } else {
+                    catch_unwind(AssertUnwindSafe(|| execute(&resolved, engine)))
+                };
                 match caught {
                     Ok(Ok(text)) => {
                         let rendered: Arc<str> = Arc::from(text.as_str());
@@ -452,12 +691,21 @@ fn worker_main(shared: &Arc<Shared>) {
             Ok(WorkerExit::Respawn) => {
                 ServeMetrics::bump(&shared.metrics.worker_respawns);
                 quva_obs::counter("serve.worker.respawn", 1);
+                // flush *before* the replacement loop starts: the
+                // respawn counter and any records buffered before the
+                // panic must be visible to a mid-run drain, not parked
+                // in this thread's TLS until final exit
+                quva_obs::flush();
             }
             Err(_) => {
                 // a panic escaped the per-job guard (supervisor backstop)
                 ServeMetrics::bump(&shared.metrics.worker_panics);
                 ServeMetrics::bump(&shared.metrics.worker_respawns);
                 quva_obs::counter("serve.worker.respawn", 1);
+                if let Some(dump) = &shared.dump {
+                    dump.record("worker_panic", "");
+                }
+                quva_obs::flush();
             }
         }
     }
@@ -577,7 +825,12 @@ fn handle_connection(mut stream: Stream, shared: &Arc<Shared>) {
                 continue;
             }
             let outcome = match String::from_utf8(line) {
-                Ok(text) => shared.handle_frame(&text),
+                Ok(text) => {
+                    // progress frames stream through this closure while
+                    // the connection thread waits on the job outcome
+                    let mut emit = |frame: &str| write_line(&mut stream, frame);
+                    shared.handle_frame(&text, &mut emit)
+                }
                 Err(_) => {
                     ServeMetrics::bump(&shared.metrics.malformed_frames);
                     ServeMetrics::bump(&shared.metrics.errors);
@@ -738,7 +991,14 @@ impl ServerHandle {
 
     /// A point-in-time snapshot of the server metrics as JSON.
     pub fn metrics_json(&self) -> String {
+        self.shared.sync_telemetry();
         self.shared.metrics.render_json()
+    }
+
+    /// A point-in-time Prometheus-style text exposition — the same
+    /// bytes the `metrics` verb returns (modulo timing-valued lines).
+    pub fn exposition(&self) -> String {
+        self.shared.render_exposition()
     }
 
     /// Blocks until the daemon has fully drained: accept loop stopped,
@@ -774,6 +1034,7 @@ impl ServerHandle {
             let _ = w.join();
         }
         quva_obs::flush();
+        self.shared.sync_telemetry();
         self.shared.metrics.render_json()
     }
 }
@@ -805,6 +1066,22 @@ impl Server {
         };
         listener.set_nonblocking()?;
 
+        // the flight recorder is always on while a daemon runs: anomaly
+        // dumps need the history from *before* the trigger
+        quva_obs::flight::arm(config.flight_capacity);
+        let dump = match &config.dump_dir {
+            Some(dir) => Some(DumpSink::new(
+                dir.clone(),
+                config.dump_max_file_bytes,
+                config.dump_max_total_bytes,
+            )?),
+            None => None,
+        };
+        let journal = match &config.journal_path {
+            Some(path) => Some(Journal::new(path.clone(), config.journal_max_bytes)?),
+            None => None,
+        };
+
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             cache: ResultCache::new(config.cache_shards, config.cache_capacity_per_shard),
@@ -812,13 +1089,22 @@ impl Server {
             draining: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
             conn_handles: Mutex::new(Vec::new()),
+            started: Instant::now(),
+            latency: LatencyRecorder::default(),
+            dump,
+            journal,
+            workers_alive: AtomicU64::new(0),
             config,
         });
 
         let workers = (0..shared.config.workers.max(1))
             .map(|_| {
                 let worker_shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_main(&worker_shared))
+                worker_shared.workers_alive.fetch_add(1, Ordering::SeqCst);
+                std::thread::spawn(move || {
+                    worker_main(&worker_shared);
+                    worker_shared.workers_alive.fetch_sub(1, Ordering::SeqCst);
+                })
             })
             .collect();
 

@@ -1,0 +1,62 @@
+//! Keeps the DESIGN.md §17 schema tables and the code-side field-order
+//! constants in lockstep: the dump header, journal record, and flight
+//! event key orders are wire schemas — drift between the docs and the
+//! rendered JSON fails the build in both directions.
+
+/// Parses the backticked first-column field names from the DESIGN.md
+/// table whose header's first cell is `marker`, in document order.
+fn documented_fields(marker: &str) -> Vec<String> {
+    let design = include_str!("../../../DESIGN.md");
+    let mut fields = Vec::new();
+    let mut in_table = false;
+    for line in design.lines() {
+        let mut cells = line.split('|').map(str::trim);
+        let Some("") = cells.next() else {
+            in_table = false;
+            continue;
+        };
+        let Some(first) = cells.next() else {
+            in_table = false;
+            continue;
+        };
+        if first == marker {
+            in_table = true;
+            continue;
+        }
+        if !in_table || first.starts_with("---") {
+            continue;
+        }
+        match first.strip_prefix('`').and_then(|f| f.strip_suffix('`')) {
+            Some(name) => fields.push(name.to_string()),
+            None => in_table = false,
+        }
+    }
+    fields
+}
+
+#[test]
+fn dump_header_fields_match_design_md() {
+    assert_eq!(
+        documented_fields("dump header field"),
+        quva_serve::DUMP_HEADER_FIELDS,
+        "DESIGN.md §17.2 dump-header table drifted from DUMP_HEADER_FIELDS"
+    );
+}
+
+#[test]
+fn journal_fields_match_design_md() {
+    assert_eq!(
+        documented_fields("journal field"),
+        quva_serve::JOURNAL_FIELDS,
+        "DESIGN.md §17.4 journal table drifted from JOURNAL_FIELDS"
+    );
+}
+
+#[test]
+fn flight_event_fields_match_design_md() {
+    assert_eq!(
+        documented_fields("flight event field"),
+        quva_obs::flight::EVENT_FIELDS,
+        "DESIGN.md §17.1 flight-event table drifted from EVENT_FIELDS"
+    );
+}

@@ -225,6 +225,27 @@ fn run_chunk_bitparallel_traced(
     successes
 }
 
+/// Chunk-boundary progress accounting threaded through the injection
+/// loops. `done` is a shared cumulative counter, so each completed
+/// chunk reports the *total* trials finished so far; with work
+/// stealing the callback may be invoked from several worker threads
+/// and invocation order is schedule-dependent (fold with `max` for a
+/// monotonic display). Progress observes the run — it never alters
+/// chunking, seeding, or merging, so results stay bit-identical with
+/// and without a sink.
+struct ProgressSink<'a> {
+    done: AtomicU64,
+    total: u64,
+    f: &'a (dyn Fn(u64, u64) + Sync),
+}
+
+impl ProgressSink<'_> {
+    fn chunk_done(&self, n: u64) {
+        let done = self.done.fetch_add(n, Ordering::Relaxed) + n;
+        (self.f)(done.min(self.total), self.total);
+    }
+}
+
 /// Which trial kernel a [`McEngine`] runs.
 ///
 /// Both kernels sample the same model (independent Bernoulli per
@@ -384,10 +405,43 @@ impl McEngine {
     /// per-chunk/per-worker spans. When it is off, the only cost over
     /// [`Self::run_reference`] is one relaxed atomic load.
     pub fn run(&self, profile: &FailureProfile, trials: u64, seed: u64) -> McEstimate {
+        self.run_with(profile, trials, seed, None)
+    }
+
+    /// [`Self::run`] with a chunk-boundary progress callback, invoked
+    /// as `f(done, total)` after each completed chunk with the
+    /// cumulative trial count. The callback observes the run without
+    /// altering it: chunking, seeding, and merging are untouched, so
+    /// the estimate is bit-identical to [`Self::run`]. With work
+    /// stealing the callback fires from worker threads in
+    /// schedule-dependent order (`done` values are cumulative totals;
+    /// fold with `max` for a monotonic display).
+    pub fn run_with_progress(
+        &self,
+        profile: &FailureProfile,
+        trials: u64,
+        seed: u64,
+        f: &(dyn Fn(u64, u64) + Sync),
+    ) -> McEstimate {
+        let sink = ProgressSink {
+            done: AtomicU64::new(0),
+            total: trials,
+            f,
+        };
+        self.run_with(profile, trials, seed, Some(&sink))
+    }
+
+    fn run_with(
+        &self,
+        profile: &FailureProfile,
+        trials: u64,
+        seed: u64,
+        progress: Option<&ProgressSink>,
+    ) -> McEstimate {
         if quva_obs::enabled() {
-            self.run_traced(profile, trials, seed)
+            self.run_traced(profile, trials, seed, progress)
         } else {
-            self.run_reference(profile, trials, seed)
+            self.run_reference_with(profile, trials, seed, progress)
         }
     }
 
@@ -398,20 +452,43 @@ impl McEngine {
     /// baseline (the bit-parallel kernel runs at ~8 ns/trial, so a
     /// tighter bound would be below timing resolution).
     pub fn run_reference(&self, profile: &FailureProfile, trials: u64, seed: u64) -> McEstimate {
+        self.run_reference_with(profile, trials, seed, None)
+    }
+
+    fn run_reference_with(
+        &self,
+        profile: &FailureProfile,
+        trials: u64,
+        seed: u64,
+        progress: Option<&ProgressSink>,
+    ) -> McEstimate {
         match self.kernel {
-            McKernel::Scalar => self.run_reference_scalar(profile, trials, seed),
-            McKernel::BitParallel => self.run_reference_bitparallel(profile, trials, seed),
+            McKernel::Scalar => self.run_reference_scalar(profile, trials, seed, progress),
+            McKernel::BitParallel => self.run_reference_bitparallel(profile, trials, seed, progress),
         }
     }
 
-    fn run_reference_scalar(&self, profile: &FailureProfile, trials: u64, seed: u64) -> McEstimate {
+    fn run_reference_scalar(
+        &self,
+        profile: &FailureProfile,
+        trials: u64,
+        seed: u64,
+        progress: Option<&ProgressSink>,
+    ) -> McEstimate {
         let events = profile.active_events();
         let chunks = trials.div_ceil(self.chunk_trials);
         let workers = (self.threads as u64).min(chunks);
         if workers <= 1 {
             // Caller-thread path: same chunking, same seeds, no spawn.
             let successes = (0..chunks)
-                .map(|k| run_chunk(events, self.chunk_len(trials, k), chunk_seed(seed, k)))
+                .map(|k| {
+                    let len = self.chunk_len(trials, k);
+                    let s = run_chunk(events, len, chunk_seed(seed, k));
+                    if let Some(p) = progress {
+                        p.chunk_done(len);
+                    }
+                    s
+                })
                 .sum();
             return McEstimate::from_counts(successes, trials);
         }
@@ -432,7 +509,11 @@ impl McEngine {
                             if k >= chunks {
                                 break;
                             }
-                            local += run_chunk(events, self.chunk_len(trials, k), chunk_seed(seed, k));
+                            let len = self.chunk_len(trials, k);
+                            local += run_chunk(events, len, chunk_seed(seed, k));
+                            if let Some(p) = progress {
+                                p.chunk_done(len);
+                            }
                         }
                         local
                     })
@@ -446,14 +527,25 @@ impl McEngine {
         McEstimate::from_counts(successes, trials)
     }
 
-    fn run_reference_bitparallel(&self, profile: &FailureProfile, trials: u64, seed: u64) -> McEstimate {
+    fn run_reference_bitparallel(
+        &self,
+        profile: &FailureProfile,
+        trials: u64,
+        seed: u64,
+        progress: Option<&ProgressSink>,
+    ) -> McEstimate {
         let table = LaneTable::new(profile);
         let chunks = trials.div_ceil(self.chunk_trials);
         let workers = (self.threads as u64).min(chunks);
         if workers <= 1 {
             let successes = (0..chunks)
                 .map(|k| {
-                    run_chunk_bitparallel(&table, seed, k * self.chunk_trials, self.chunk_len(trials, k))
+                    let len = self.chunk_len(trials, k);
+                    let s = run_chunk_bitparallel(&table, seed, k * self.chunk_trials, len);
+                    if let Some(p) = progress {
+                        p.chunk_done(len);
+                    }
+                    s
                 })
                 .sum();
             return McEstimate::from_counts(successes, trials);
@@ -471,12 +563,11 @@ impl McEngine {
                             if k >= chunks {
                                 break;
                             }
-                            local += run_chunk_bitparallel(
-                                table,
-                                seed,
-                                k * self.chunk_trials,
-                                self.chunk_len(trials, k),
-                            );
+                            let len = self.chunk_len(trials, k);
+                            local += run_chunk_bitparallel(table, seed, k * self.chunk_trials, len);
+                            if let Some(p) = progress {
+                                p.chunk_done(len);
+                            }
                         }
                         local
                     })
@@ -495,14 +586,26 @@ impl McEngine {
     /// counters. Worker threads record only u64 counters and flush
     /// before exiting, so a drain after this returns sees
     /// schedule-independent totals.
-    fn run_traced(&self, profile: &FailureProfile, trials: u64, seed: u64) -> McEstimate {
+    fn run_traced(
+        &self,
+        profile: &FailureProfile,
+        trials: u64,
+        seed: u64,
+        progress: Option<&ProgressSink>,
+    ) -> McEstimate {
         match self.kernel {
-            McKernel::Scalar => self.run_traced_scalar(profile, trials, seed),
-            McKernel::BitParallel => self.run_traced_bitparallel(profile, trials, seed),
+            McKernel::Scalar => self.run_traced_scalar(profile, trials, seed, progress),
+            McKernel::BitParallel => self.run_traced_bitparallel(profile, trials, seed, progress),
         }
     }
 
-    fn run_traced_scalar(&self, profile: &FailureProfile, trials: u64, seed: u64) -> McEstimate {
+    fn run_traced_scalar(
+        &self,
+        profile: &FailureProfile,
+        trials: u64,
+        seed: u64,
+        progress: Option<&ProgressSink>,
+    ) -> McEstimate {
         let _run = quva_obs::span("sim", "sim.run");
         let events = profile.active_events();
         let classes = profile.active_event_classes();
@@ -518,13 +621,11 @@ impl McEngine {
             let mut aborts = [0u64; 5];
             for k in 0..chunks {
                 let _chunk = quva_obs::span("sim", "sim.chunk");
-                successes += run_chunk_traced(
-                    events,
-                    classes,
-                    self.chunk_len(trials, k),
-                    chunk_seed(seed, k),
-                    &mut aborts,
-                );
+                let len = self.chunk_len(trials, k);
+                successes += run_chunk_traced(events, classes, len, chunk_seed(seed, k), &mut aborts);
+                if let Some(p) = progress {
+                    p.chunk_done(len);
+                }
             }
             record_aborts(&aborts);
             return McEstimate::from_counts(successes, trials);
@@ -545,13 +646,12 @@ impl McEngine {
                                     break;
                                 }
                                 let _chunk = quva_obs::span("sim", "sim.chunk");
-                                local += run_chunk_traced(
-                                    events,
-                                    classes,
-                                    self.chunk_len(trials, k),
-                                    chunk_seed(seed, k),
-                                    &mut aborts,
-                                );
+                                let len = self.chunk_len(trials, k);
+                                local +=
+                                    run_chunk_traced(events, classes, len, chunk_seed(seed, k), &mut aborts);
+                                if let Some(p) = progress {
+                                    p.chunk_done(len);
+                                }
                             }
                         }
                         record_aborts(&aborts);
@@ -570,7 +670,13 @@ impl McEngine {
         McEstimate::from_counts(successes, trials)
     }
 
-    fn run_traced_bitparallel(&self, profile: &FailureProfile, trials: u64, seed: u64) -> McEstimate {
+    fn run_traced_bitparallel(
+        &self,
+        profile: &FailureProfile,
+        trials: u64,
+        seed: u64,
+        progress: Option<&ProgressSink>,
+    ) -> McEstimate {
         let _run = quva_obs::span("sim", "sim.run");
         let table = LaneTable::new(profile);
         let chunks = trials.div_ceil(self.chunk_trials);
@@ -586,13 +692,12 @@ impl McEngine {
             let mut trace = BpTrace::default();
             for k in 0..chunks {
                 let _chunk = quva_obs::span("sim", "sim.chunk");
-                successes += run_chunk_bitparallel_traced(
-                    &table,
-                    seed,
-                    k * self.chunk_trials,
-                    self.chunk_len(trials, k),
-                    &mut trace,
-                );
+                let len = self.chunk_len(trials, k);
+                successes +=
+                    run_chunk_bitparallel_traced(&table, seed, k * self.chunk_trials, len, &mut trace);
+                if let Some(p) = progress {
+                    p.chunk_done(len);
+                }
             }
             record_bp_trace(&trace);
             return McEstimate::from_counts(successes, trials);
@@ -614,13 +719,17 @@ impl McEngine {
                                     break;
                                 }
                                 let _chunk = quva_obs::span("sim", "sim.chunk");
+                                let len = self.chunk_len(trials, k);
                                 local += run_chunk_bitparallel_traced(
                                     table,
                                     seed,
                                     k * self.chunk_trials,
-                                    self.chunk_len(trials, k),
+                                    len,
                                     &mut trace,
                                 );
+                                if let Some(p) = progress {
+                                    p.chunk_done(len);
+                                }
                             }
                         }
                         record_bp_trace(&trace);
@@ -768,6 +877,43 @@ mod tests {
             "engine {} vs analytic {analytic}",
             est.pst
         );
+    }
+
+    #[test]
+    fn progress_callback_observes_without_changing_results() {
+        let p = profile(0.08, 7);
+        for kernel in [McKernel::Scalar, McKernel::BitParallel] {
+            for threads in [1usize, 4] {
+                let plain = McEngine::new(threads).with_kernel(kernel).run(&p, 100_000, 11);
+                let calls = AtomicU64::new(0);
+                let peak = AtomicU64::new(0);
+                let with_progress = McEngine::new(threads).with_kernel(kernel).run_with_progress(
+                    &p,
+                    100_000,
+                    11,
+                    &|done, total| {
+                        assert_eq!(total, 100_000);
+                        assert!(done <= total, "{done}");
+                        calls.fetch_add(1, Ordering::Relaxed);
+                        peak.fetch_max(done, Ordering::Relaxed);
+                    },
+                );
+                assert_eq!(
+                    plain, with_progress,
+                    "{kernel}@{threads}: progress changed the estimate"
+                );
+                assert_eq!(
+                    peak.load(Ordering::Relaxed),
+                    100_000,
+                    "last chunk must report total"
+                );
+                assert_eq!(
+                    calls.load(Ordering::Relaxed),
+                    100_000u64.div_ceil(DEFAULT_CHUNK_TRIALS),
+                    "one callback per chunk"
+                );
+            }
+        }
     }
 
     #[test]

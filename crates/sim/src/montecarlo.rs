@@ -122,6 +122,34 @@ pub fn monte_carlo_pst_with(
     Ok(engine.run(&profile, trials, seed))
 }
 
+/// [`monte_carlo_pst_with`] with a chunk-boundary progress callback
+/// (`f(done_trials, total_trials)` after each completed chunk) — the
+/// daemon's streaming progress frames land here. Progress observes
+/// the run without altering it: the estimate is bit-identical to
+/// [`monte_carlo_pst_with`] for the same engine. See
+/// [`McEngine::run_with_progress`] for the callback's threading
+/// contract.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the circuit is unrouted for `device` or uses
+/// more qubits than the device has.
+pub fn monte_carlo_pst_progress(
+    device: &Device,
+    circuit: &Circuit<PhysQubit>,
+    trials: u64,
+    seed: u64,
+    coherence: CoherenceModel,
+    engine: McEngine,
+    progress: &(dyn Fn(u64, u64) + Sync),
+) -> Result<McEstimate, SimError> {
+    let profile = {
+        let _s = quva_obs::span("sim", "sim.profile");
+        FailureProfile::new(device, circuit, coherence)?
+    };
+    Ok(engine.run_with_progress(&profile, trials, seed, progress))
+}
+
 /// Runs the injection loop against a prebuilt [`FailureProfile`] —
 /// useful when sweeping trial counts over the same circuit.
 ///
